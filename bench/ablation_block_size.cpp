@@ -1,0 +1,95 @@
+// Ablation A1 (§V-A): block-size selection.
+//
+// The paper reports that sub-optimal thread-block sizes cost StackOnly
+// 1.55x/2.40x (geomean/worst) and Hybrid 1.39x/1.80x, i.e. Hybrid is the
+// more robust version. Those costs come from warp-level execution effects
+// that are out of scope for this substrate (DESIGN.md §6): here a block's
+// throughput is one SM-equivalent regardless of its thread count, so
+// measured times across the sweep differ only by scheduling noise.
+//
+// What the substrate *can* reproduce is the §IV-E selection machinery the
+// sweep exercises: how a forced block size changes the planned kernel
+// variant, resident grid and occupancy on the paper's V100 model — including
+// the shared-memory -> global-memory fallback as |V| grows — plus the
+// empirical check that both solvers stay correct and within noise across
+// the whole sweep (robustness in the only sense the substrate defines).
+//
+//   ./ablation_block_size [--scale smoke|default|large]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  using harness::ProblemInstance;
+  using parallel::Method;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Ablation: block-size sweep (scale=%s)\n\n",
+              bench::scale_name(env.scale));
+
+  const int kBlockSizes[] = {32, 64, 128, 256, 512, 1024};
+
+  // Part 1 — the §IV-E plan on the paper's V100 model across |V| scales:
+  // small graphs plan the shared-memory kernel at full occupancy; large
+  // graphs trip the per-block shared-memory limit and fall back to the
+  // global-memory kernel.
+  std::printf("Planned launch on the V100 model (stack depth 200):\n");
+  util::Table plans({"|V|", "forced block", "variant", "grid", "occupancy"},
+                    {util::Align::kRight, util::Align::kRight,
+                     util::Align::kLeft, util::Align::kRight,
+                     util::Align::kLeft});
+  for (std::int64_t v : {300, 5000, 30000, 200000}) {
+    for (int b : {0, 128, 1024}) {
+      auto plan = device::plan_launch(device::DeviceSpec::v100(), v, 200, b);
+      plans.add_row({util::format("%lld", static_cast<long long>(v)),
+                     b == 0 ? std::string("auto") : util::format("%d", b),
+                     device::kernel_variant_name(plan.variant),
+                     util::format("%d", plan.grid_size),
+                     plan.full_occupancy ? "full" : "reduced"});
+    }
+    plans.add_separator();
+  }
+  std::printf("%s\n", plans.render().c_str());
+
+  // Part 2 — measured sweep on catalog instances: answers must be invariant
+  // and simulated times within noise (no warp model on this substrate).
+  const char* kInstances[] = {"p_hat_300_2", "p_hat_500_1", "LastFM_Asia"};
+  util::Table table({"Version", "Instance", "spread (worst/best)",
+                     "answers agree"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kLeft});
+  for (Method method : {Method::kStackOnly, Method::kHybrid}) {
+    for (const char* name : kInstances) {
+      const auto& inst = harness::find_instance(env.catalog, name);
+      double best_t = 1e18, worst_t = 0;
+      int first_answer = -1;
+      bool agree = true;
+      for (int b : kBlockSizes) {
+        auto config = env.r().make_config(ProblemInstance::kMvc, 0);
+        config.block_size_override = b;
+        auto r = parallel::solve(inst.graph(), method, config);
+        double t = bench::sim_or_budget(r, env.runner_options.limits.time_limit_s);
+        best_t = std::min(best_t, t);
+        worst_t = std::max(worst_t, t);
+        if (first_answer < 0) first_answer = r.best_size;
+        agree = agree && r.best_size == first_answer;
+      }
+      table.add_row({parallel::method_name(method), name,
+                     util::format("%.2fx", worst_t / best_t),
+                     agree ? "yes" : "NO"});
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper context: on real hardware sub-optimal block sizes cost "
+      "StackOnly up to 2.40x and Hybrid up to 1.80x; this substrate has no "
+      "warp model, so spreads here are scheduling noise and the sweep "
+      "validates the planner (variant/occupancy) and answer invariance "
+      "instead.\n");
+  return 0;
+}

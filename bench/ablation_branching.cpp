@@ -1,0 +1,81 @@
+// Ablation A6 (ours, motivated by §II-B): the branching-vertex choice.
+// Fig. 1 line 10 branches on a maximum-degree vertex; the paper inherits
+// the rule without ablating it. This bench measures what the choice buys by
+// sweeping the BranchStrategy axis on the Sequential solver (the strategy
+// reshapes the tree identically in every version; Sequential isolates it
+// from scheduling noise), then confirms on the Hybrid solver that tree-size
+// differences translate into simulated-time differences.
+//
+//   ./ablation_branching [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "parallel/solver.hpp"
+#include "vc/branching.hpp"
+#include "vc/sequential.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf(
+      "Ablation: branching-vertex strategy, MVC (scale=%s)\n"
+      "MaxDegree is the paper's rule (Fig. 1 line 10).\n\n",
+      bench::scale_name(env.scale));
+
+  const char* kInstances[] = {"p_hat_300_1", "p_hat_500_3", "US_power_grid",
+                              "LastFM_Asia", "Sister_Cities"};
+
+  util::Table table({"Instance", "Strategy", "seq time (s)", "tree nodes",
+                     "nodes vs MaxDegree", "hybrid sim (s)"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "strategy", "seq_seconds", "nodes",
+                     "node_ratio", "hybrid_sim_seconds"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    std::uint64_t base_nodes = 0;
+    for (vc::BranchStrategy strat : vc::all_branch_strategies()) {
+      vc::SequentialConfig config;
+      config.branch = strat;
+      config.branch_seed = 1;
+      config.limits = env.runner_options.limits;
+      auto seq = vc::solve_sequential(inst.graph(), config);
+      if (base_nodes == 0)
+        base_nodes = std::max<std::uint64_t>(seq.tree_nodes, 1);
+
+      parallel::ParallelConfig pc =
+          env.r().make_config(harness::ProblemInstance::kMvc, 0);
+      pc.branch = strat;
+      pc.branch_seed = 1;
+      auto hyb =
+          parallel::solve(inst.graph(), parallel::Method::kHybrid, pc);
+
+      std::vector<std::string> row = {
+          name, vc::branch_strategy_name(strat),
+          seq.timed_out ? ">limit" : util::format("%.3f", seq.seconds),
+          util::format("%llu",
+                       static_cast<unsigned long long>(seq.tree_nodes)),
+          util::format("%.1fx", static_cast<double>(seq.tree_nodes) /
+                                    static_cast<double>(base_nodes)),
+          bench::cell(hyb)};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: MaxDegree yields the smallest trees almost everywhere — "
+      "the neighbors branch deletes the most vertices and the edge-count "
+      "prune bites earliest. MinDegree degrades most on dense complements; "
+      "Random sits between; First tracks MaxDegree only when vertex ids "
+      "happen to correlate with degree.\n");
+  return 0;
+}

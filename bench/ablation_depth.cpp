@@ -1,0 +1,71 @@
+// Ablation A2 (§V-A): StackOnly's sensitivity to the sub-tree starting
+// depth. The paper sweeps depths {8, 12, 16} on the V100 and reports a
+// geomean 1.18x / worst 1.37x slowdown for sub-optimal choices; the scaled
+// sweep here uses {2, 4, 6, 8, 10}. Deeper starts extract more parallelism
+// but pay more redundant root-to-sub-tree descent (§III-A) — the bench also
+// prints total visited nodes so the redundancy is directly visible.
+//
+//   ./ablation_depth [--scale smoke|default|large]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  using harness::ProblemInstance;
+  using parallel::Method;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Ablation: StackOnly starting depth, MVC (scale=%s)\n\n",
+              bench::scale_name(env.scale));
+
+  const int kDepths[] = {2, 4, 6, 8, 10};
+  const char* kInstances[] = {"p_hat_300_2", "p_hat_500_1", "p_hat_700_1",
+                              "US_power_grid"};
+
+  util::Table table({"Instance", "depth", "blocks", "time (s)", "tree nodes",
+                     "vs best"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "depth", "blocks", "seconds", "nodes",
+                     "slowdown_vs_best"});
+
+  std::vector<double> slowdowns;
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    struct Cell { int depth; double t; std::uint64_t nodes; };
+    std::vector<Cell> cells;
+    for (int d : kDepths) {
+      auto config = env.r().make_config(ProblemInstance::kMvc, 0);
+      config.start_depth = d;
+      auto r = parallel::solve(inst.graph(), Method::kStackOnly, config);
+      double t = bench::sim_or_budget(r, env.runner_options.limits.time_limit_s);
+      cells.push_back({d, t, r.tree_nodes});
+      std::fflush(stdout);
+    }
+    double best = 1e18;
+    for (const auto& c : cells) best = std::min(best, c.t);
+    for (const auto& c : cells) {
+      slowdowns.push_back(c.t / best);
+      std::vector<std::string> row = {
+          name, util::format("%d", c.depth), util::format("%d", 1 << c.depth),
+          util::format("%.3f", c.t),
+          util::format("%llu", static_cast<unsigned long long>(c.nodes)),
+          util::format("%.2fx", c.t / best)};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Sub-optimal depth slowdown: geomean %.2fx, worst %.2fx "
+              "(paper: 1.18x / 1.37x)\n",
+              util::geomean(slowdowns), util::max_of(slowdowns));
+  std::printf("Note how tree nodes grow with depth: redundant descent.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation A8 (ours, motivated by §II-B): MVC direct vs. MVC through PVC
+// queries. The paper observes that PVC with k ≥ min "tends to be faster
+// than MVC because the search terminates as soon as a solution is found",
+// and its Table I confirms it (k = min and k = min+1 columns are orders of
+// magnitude cheaper than MVC). The natural question the paper leaves open:
+// can a sequence of cheap PVC probes replace the expensive MVC run?
+//
+// This bench answers it: linear descent pays many cheap "yes" probes plus
+// ONE hard k = min−1 refutation; binary search pays fewer probes but its
+// below-min probes are full-tree refutations (Table I's k = min−1 rows are
+// as bad as MVC). Direct MVC amortizes everything into one tree with a
+// continuously improving bound.
+//
+//   ./ablation_mvc_via_pvc [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "parallel/mvc_via_pvc.hpp"
+#include "parallel/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Ablation: MVC direct vs via-PVC query sequences, Hybrid "
+              "(scale=%s)\n\n",
+              bench::scale_name(env.scale));
+
+  const char* kInstances[] = {"p_hat_300_1", "p_hat_300_3", "p_hat_500_1",
+                              "LastFM_Asia", "Sister_Cities"};
+
+  util::Table table({"Instance", "Mode", "queries", "tree nodes", "time (s)"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "mode", "queries", "nodes", "seconds"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    parallel::ParallelConfig config =
+        env.r().make_config(harness::ProblemInstance::kMvc, 0);
+
+    // Direct MVC.
+    parallel::ParallelResult direct =
+        parallel::solve(inst.graph(), parallel::Method::kHybrid, config);
+    std::vector<std::string> row = {
+        name, "direct MVC", "1",
+        util::format("%llu",
+                     static_cast<unsigned long long>(direct.tree_nodes)),
+        direct.timed_out ? ">limit" : util::format("%.3f", direct.seconds)};
+    table.add_row(row);
+    if (env.csv) env.csv->row(row);
+
+    for (auto [mode, label] :
+         {std::pair{parallel::PvcSearch::kLinearDown, "PVC linear down"},
+          std::pair{parallel::PvcSearch::kBinary, "PVC binary"}}) {
+      parallel::MvcViaPvcResult r = parallel::solve_mvc_via_pvc(
+          inst.graph(), parallel::Method::kHybrid, config, mode);
+      GVC_CHECK(r.timed_out || r.best_size == direct.best_size ||
+                direct.timed_out);
+      row = {name, label, util::format("%d", r.queries),
+             util::format("%llu",
+                          static_cast<unsigned long long>(r.total_tree_nodes)),
+             r.timed_out ? ">limit" : util::format("%.3f", r.seconds)};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: linear descent's node total is dominated by its single "
+      "k = min−1 refutation, landing close to direct MVC (the refutation "
+      "tree IS the MVC tree without the incremental bound). Binary search "
+      "pays several such refutations and loses. Direct MVC wins or ties "
+      "everywhere — evidence for the paper's choice to implement MVC as its "
+      "own kernel rather than a PVC loop.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A5 (ours, motivated by §V-D): what each reduction rule buys.
+// Fig. 6 shows the Hybrid kernel spending ~65% of its time inside the three
+// rules and calls that time well spent; this bench quantifies the claim by
+// toggling each rule off and measuring tree size and time on the Sequential
+// solver (rule effects are identical across versions; Sequential isolates
+// them from scheduling noise).
+//
+//   ./ablation_reductions [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vc/sequential.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Ablation: reduction rules on/off, Sequential MVC (scale=%s)\n\n",
+              bench::scale_name(env.scale));
+
+  struct Variant {
+    const char* name;
+    vc::RuleSet rules;
+  };
+  const Variant kVariants[] = {
+      {"all rules", {true, true, true}},
+      {"no degree-one", {false, true, true}},
+      {"no degree-two-triangle", {true, false, true}},
+      {"no high-degree", {true, true, false}},
+      {"no rules", {false, false, false}},
+  };
+  const char* kInstances[] = {"p_hat_300_3", "p_hat_500_1", "US_power_grid",
+                              "LastFM_Asia", "Sister_Cities"};
+
+  util::Table table({"Instance", "Rules", "time (s)", "tree nodes",
+                     "nodes vs all-rules"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "rules", "seconds", "nodes", "node_ratio"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    std::uint64_t base_nodes = 0;
+    for (const auto& variant : kVariants) {
+      vc::SequentialConfig config;
+      config.rules = variant.rules;
+      config.limits = env.runner_options.limits;
+      auto r = vc::solve_sequential(inst.graph(), config);
+      if (base_nodes == 0) base_nodes = std::max<std::uint64_t>(r.tree_nodes, 1);
+      std::vector<std::string> row = {
+          name, variant.name,
+          r.timed_out ? ">limit" : util::format("%.3f", r.seconds),
+          util::format("%llu", static_cast<unsigned long long>(r.tree_nodes)),
+          util::format("%.1fx", static_cast<double>(r.tree_nodes) /
+                                    static_cast<double>(base_nodes))};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected: dropping any rule inflates the tree; degree-one "
+              "dominates on sparse graphs, high-degree on dense complements "
+              "(it is also what makes the (best-|S|-1)^2 edge cut-off "
+              "effective).\n");
+  return 0;
+}

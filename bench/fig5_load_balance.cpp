@@ -1,0 +1,92 @@
+// Reproduces Fig. 5: distribution of load across SMs for StackOnly vs
+// Hybrid, on the highest-average-degree and lowest-average-degree catalog
+// instances, for the four problem instances. Load is the number of tree
+// nodes visited by an SM normalized to the across-SM average — exactly the
+// paper's metric.
+//
+//   ./fig5_load_balance [--scale smoke|default|large]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/check.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  using harness::ProblemInstance;
+  using parallel::Method;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+
+  // The paper plots the extremes by average degree: p_hat_1000_1 and the
+  // US power grid. At reduced scale the sparsest stand-ins dissolve under
+  // the degree-one rule into a handful of tree nodes, leaving nothing to
+  // balance, so the low-degree pick is the sparsest instance whose Hybrid
+  // MVC tree still has meaningful work within the cell budget.
+  auto ratio = [](const harness::Instance& i) {
+    return static_cast<double>(i.graph().num_edges()) /
+           static_cast<double>(i.graph().num_vertices());
+  };
+  const harness::Instance* densest = nullptr;
+  for (const auto& inst : env.catalog)
+    if (!densest || ratio(inst) > ratio(*densest)) densest = &inst;
+
+  const harness::Instance* sparsest = nullptr;
+  for (const auto& inst : env.catalog) {
+    if (inst.high_degree()) continue;
+    auto probe = env.r().run(inst, Method::kHybrid, ProblemInstance::kMvc);
+    if (probe.timed_out || probe.tree_nodes < 1000) continue;
+    if (!sparsest || ratio(inst) < ratio(*sparsest)) sparsest = &inst;
+  }
+  GVC_CHECK_MSG(sparsest != nullptr,
+                "no low-degree instance with enough work at this scale");
+
+  std::printf("Fig. 5: per-SM load distribution, normalized to the mean "
+              "(scale=%s)\n"
+              "graphs: %s (highest avg degree), %s (lowest avg degree)\n\n",
+              bench::scale_name(env.scale), densest->name().c_str(),
+              sparsest->name().c_str());
+
+  util::Table table({"Graph", "Instance", "Version", "min", "p25", "median",
+                     "p75", "max", "CV"},
+                    {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"graph", "instance", "version", "min", "p25", "median",
+                     "p75", "max", "cv"});
+
+  const ProblemInstance kProblems[] = {
+      ProblemInstance::kMvc, ProblemInstance::kPvcMinMinus1,
+      ProblemInstance::kPvcMin, ProblemInstance::kPvcMinPlus1};
+
+  for (const auto* inst : {densest, sparsest}) {
+    for (auto p : kProblems) {
+      for (auto m : {Method::kStackOnly, Method::kHybrid}) {
+        auto r = env.r().run(*inst, m, p);
+        auto load = r.launch.load_per_sm_normalized();
+        util::Distribution d = util::summarize(load);
+        double cv = util::coeff_of_variation(load);
+        std::vector<std::string> row = {
+            inst->name(), harness::problem_instance_name(p),
+            parallel::method_name(m), util::format("%.2f", d.min),
+            util::format("%.2f", d.p25), util::format("%.2f", d.median),
+            util::format("%.2f", d.p75), util::format("%.2f", d.max),
+            util::format("%.2f", cv)};
+        table.add_row(row);
+        if (env.csv) env.csv->row(row);
+      }
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper's shape: StackOnly shows wide spreads (max >> 1, min ~0,"
+              " large CV), worst on the high-degree graph and the exhaustive\n"
+              "instances (MVC, k=min-1); Hybrid's distribution hugs 1.0 "
+              "everywhere (the paper reports 0.89-1.07 on p_hat_1000_1 MVC).\n");
+  return 0;
+}

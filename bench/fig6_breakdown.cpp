@@ -1,0 +1,95 @@
+// Reproduces Fig. 6: breakdown of Hybrid MVC kernel time into the eleven
+// instrumented activities — work distribution / load balancing (worklist
+// add+remove, stack push+pop, terminate), the three reduction rules, and
+// branching (find max degree, remove vmax, remove neighbors). Per-block
+// activity cycles are normalized within each block and averaged over blocks,
+// exactly as the paper measures with SM clocks.
+//
+//   ./fig6_breakdown [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  using util::Activity;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Fig. 6: breakdown of Hybrid MVC execution time (scale=%s)\n\n",
+              bench::scale_name(env.scale));
+
+  std::vector<std::string> cols = {"Graph"};
+  for (int a = 0; a < util::kNumActivities; ++a)
+    cols.push_back(util::activity_name(static_cast<Activity>(a)));
+  std::vector<util::Align> aligns(cols.size(), util::Align::kRight);
+  aligns[0] = util::Align::kLeft;
+  util::Table table(cols, aligns);
+  if (env.csv) env.csv->header(cols);
+
+  std::vector<double> mean_fracs(util::kNumActivities, 0.0);
+  util::ActivityAccumulator total_work;
+  int counted = 0;
+
+  for (const auto& inst : env.catalog) {
+    auto r = env.r().run(inst, parallel::Method::kHybrid,
+                         harness::ProblemInstance::kMvc);
+    auto frac = r.launch.mean_activity_fractions();
+    total_work.merge(r.launch.merged_activities());
+    std::vector<std::string> row = {inst.name()};
+    for (int a = 0; a < util::kNumActivities; ++a) {
+      row.push_back(util::format("%.1f%%", 100.0 * frac[a]));
+      mean_fracs[static_cast<std::size_t>(a)] += frac[a];
+    }
+    ++counted;
+    table.add_row(row);
+    if (env.csv) env.csv->row(row);
+    std::fflush(stdout);
+  }
+
+  table.add_separator();
+  std::vector<std::string> mean_row = {"Mean"};
+  double distribution = 0, reduction = 0, branching = 0;
+  for (int a = 0; a < util::kNumActivities; ++a) {
+    double f = mean_fracs[static_cast<std::size_t>(a)] / counted;
+    mean_row.push_back(util::format("%.1f%%", 100.0 * f));
+    if (a <= static_cast<int>(Activity::kTerminate))
+      distribution += f;
+    else if (a <= static_cast<int>(Activity::kHighDegreeRule))
+      reduction += f;
+    else
+      branching += f;
+  }
+  table.add_row(mean_row);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Grouped means (per-block, the paper's method): work "
+              "distribution & load balancing %.1f%%, reduction rules %.1f%%, "
+              "branching %.1f%%\n",
+              100 * distribution, 100 * reduction, 100 * branching);
+
+  // Work-weighted grouping: fractions of total instrumented CPU across all
+  // blocks and instances. Immune to the near-idle blocks of trivially small
+  // runs, whose whole budget is termination polling.
+  double wd = 0, wr = 0, wb = 0;
+  double wtotal = static_cast<double>(total_work.total_ns());
+  if (wtotal > 0) {
+    for (int a = 0; a < util::kNumActivities; ++a) {
+      double f = static_cast<double>(
+                     total_work.ns(static_cast<Activity>(a))) / wtotal;
+      if (a <= static_cast<int>(Activity::kTerminate)) wd += f;
+      else if (a <= static_cast<int>(Activity::kHighDegreeRule)) wr += f;
+      else wb += f;
+    }
+  }
+  std::printf("Grouped means (work-weighted): distribution %.1f%%, reduction "
+              "rules %.1f%%, branching %.1f%%\n",
+              100 * wd, 100 * wr, 100 * wb);
+  std::printf("Paper's shape: ~24%% distribution (worklist-remove dominant "
+              "within it), ~65%% reduction rules (roughly even split), "
+              "~11%% branching (mostly remove-neighbors). On this substrate "
+              "waiting costs no CPU, so the distribution share is smaller on "
+              "busy instances; near-idle blocks on trivial instances inflate "
+              "the per-block Terminate column instead.\n");
+  return 0;
+}

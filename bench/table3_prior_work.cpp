@@ -1,0 +1,63 @@
+// Reproduces Table III: comparison with the most recent prior GPU work
+// (Abu-Khzam et al. [15]) on the p_hat family, solving PVC with k = min.
+//
+// The prior-work column replicates the seconds published in the paper
+// (their code is not public; the paper itself compares against the printed
+// numbers, measured on 2x AMD FirePro D500). Our three columns are measured
+// on this substrate at the configured scale — absolute values are not
+// comparable across hardware; the column is reproduced for completeness,
+// exactly as the paper does.
+//
+//   ./table3_prior_work [--scale smoke|default|large]
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  using harness::ProblemInstance;
+  using parallel::Method;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf("Table III: execution time (s) vs prior work, PVC k=min "
+              "(scale=%s)\n\n", bench::scale_name(env.scale));
+
+  // Seconds published in Table III of the paper for Abu-Khzam et al. [15].
+  const std::map<std::string, double> abu_khzam = {
+      {"p_hat_300_1", 4.4},   {"p_hat_300_2", 5.0},  {"p_hat_300_3", 2.8},
+      {"p_hat_500_1", 10.7},  {"p_hat_500_2", 10.1}, {"p_hat_500_3", 6.0},
+      {"p_hat_700_1", 21.0},  {"p_hat_700_2", 14.8},
+      {"p_hat_1000_1", 48.3}, {"p_hat_1000_2", 30.8},
+  };
+
+  util::Table table({"Graph", "Sequential", "StackOnly", "Hybrid",
+                     "Abu-Khzam et al. [15] (published, 2x FirePro D500)"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"graph", "sequential", "stackonly", "hybrid",
+                     "abu_khzam_published"});
+
+  for (const auto& inst : env.catalog) {
+    auto ref = abu_khzam.find(inst.name());
+    if (ref == abu_khzam.end()) continue;
+    auto seq = env.r().run(inst, Method::kSequential, ProblemInstance::kPvcMin);
+    auto st = env.r().run(inst, Method::kStackOnly, ProblemInstance::kPvcMin);
+    auto hy = env.r().run(inst, Method::kHybrid, ProblemInstance::kPvcMin);
+    std::vector<std::string> row = {inst.name(), bench::cell(seq),
+                                    bench::cell(st), bench::cell(hy),
+                                    util::format("%.1f", ref->second)};
+    table.add_row(row);
+    if (env.csv) env.csv->row(row);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper's shape: all three of this paper's versions beat the "
+              "published prior-work times by orders of magnitude on k=min.\n"
+              "(Instances here are scaled stand-ins; compare column-to-column "
+              "shape, not absolute seconds.)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Search-tree shape report — the quantitative backing for §III-B / Fig. 3.
+//
+// The paper motivates the Hybrid design by arguing that sub-trees rooted at
+// a fixed starting depth (prior work's unit of parallelism) have
+// "dramatically different sizes", so distributing them across thread blocks
+// load-imbalances no matter how the blocks are scheduled. This bench
+// measures the claim directly: for the Fig. 5 instance pair (the highest-
+// and lowest-average-degree graphs of the catalog) it prints, per candidate
+// starting depth, how many sub-trees exist, how many of the 2^depth slots
+// are empty, and how skewed the size distribution is.
+//
+//   ./tree_shape_report [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "harness/tree_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf(
+      "Search-tree shape at candidate StackOnly starting depths "
+      "(scale=%s)\nMVC, Sequential traversal (Fig. 1 semantics).\n\n",
+      bench::scale_name(env.scale));
+
+  const char* kInstances[] = {"p_hat_1000_1", "US_power_grid"};
+
+  util::Table table(
+      {"Instance", "depth", "sub-trees", "empty slots", "max/mean", "CV",
+       "Gini", "top share"},
+      {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "depth", "subtrees", "empty_slots",
+                     "max_over_mean", "cv", "gini", "top_share"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    harness::TreeShapeOptions opt;
+    opt.record_max_depth = 10;
+    opt.solver.limits = env.runner_options.limits;
+    harness::TreeShape shape = harness::analyze_tree_shape(inst.graph(), opt);
+
+    std::printf("%s: %llu tree nodes, depth %d%s\n", name,
+                static_cast<unsigned long long>(shape.total_nodes),
+                shape.max_depth_reached,
+                shape.timed_out ? " (budget hit; partial tree)" : "");
+
+    for (int depth : {2, 4, 6, 8, 10}) {
+      const auto& slice = shape.slices[static_cast<std::size_t>(depth)];
+      if (slice.subtree_sizes.empty()) continue;
+      std::vector<std::string> row = {
+          name,
+          util::format("%d", depth),
+          util::format("%zu", slice.subtree_sizes.size()),
+          util::format("%llu",
+                       static_cast<unsigned long long>(slice.empty_slots)),
+          util::format("%.2fx", slice.max_over_mean),
+          util::format("%.2f", slice.cv),
+          util::format("%.2f", slice.gini),
+          util::format("%.0f%%", slice.top_share * 100.0)};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+    }
+    table.add_separator();
+  }
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Reading: at every candidate starting depth a handful of sub-trees "
+      "hold most of the nodes (high top share / Gini), and most of the "
+      "2^depth block slots are empty — the Fig. 3 picture. Going deeper "
+      "multiplies slots faster than it splits the big sub-trees, which is "
+      "why StackOnly cannot buy balance with depth and the paper moves "
+      "work at *every* level through the global worklist.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gvc::graph {
+
+GraphBuilder::GraphBuilder(Vertex n) : n_(n) { GVC_CHECK(n >= 0); }
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  GVC_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_, "edge endpoint out of range");
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::contains(Vertex u, Vertex v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+std::vector<std::pair<Vertex, Vertex>> GraphBuilder::normalized_edges() const {
+  auto es = edges_;
+  std::sort(es.begin(), es.end());
+  es.erase(std::unique(es.begin(), es.end()), es.end());
+  return es;
+}
+
+CsrGraph GraphBuilder::build() const {
+  auto es = normalized_edges();
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [u, v] : es) {
+    ++offsets[static_cast<std::size_t>(u) + 1];
+    ++offsets[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Vertex> adj(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (auto [u, v] : es) {
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  // Edges were emitted in (u,v)-sorted order, so each vertex's neighbor list
+  // from 'u' slots is sorted, but the mix of u-slots and v-slots is not;
+  // sort each range.
+  for (Vertex v = 0; v < n_; ++v) {
+    auto b = adj.begin() + offsets[static_cast<std::size_t>(v)];
+    auto e = adj.begin() + offsets[static_cast<std::size_t>(v) + 1];
+    std::sort(b, e);
+  }
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+CsrGraph from_edges(Vertex n,
+                    const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  GraphBuilder b(n);
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace gvc::graph

@@ -1,0 +1,53 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gvc::graph {
+
+CsrGraph::CsrGraph(std::vector<std::int64_t> offsets,
+                   std::vector<Vertex> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  GVC_CHECK_MSG(!offsets_.empty(), "CSR offsets must have at least one entry");
+  GVC_CHECK(offsets_.front() == 0);
+  GVC_CHECK(offsets_.back() == static_cast<std::int64_t>(adjacency_.size()));
+}
+
+bool CsrGraph::has_edge(Vertex u, Vertex v) const {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Vertex CsrGraph::max_degree() const {
+  Vertex best = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double CsrGraph::average_degree() const {
+  if (num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices());
+}
+
+void CsrGraph::validate() const {
+  const Vertex n = num_vertices();
+  GVC_CHECK(offsets_.front() == 0);
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i)
+    GVC_CHECK_MSG(offsets_[i] <= offsets_[i + 1], "offsets not monotone");
+  GVC_CHECK(offsets_.back() == static_cast<std::int64_t>(adjacency_.size()));
+
+  for (Vertex v = 0; v < n; ++v) {
+    auto nbrs = neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      Vertex u = nbrs[i];
+      GVC_CHECK_MSG(u >= 0 && u < n, "neighbor out of range");
+      GVC_CHECK_MSG(u != v, "self-loop");
+      if (i > 0) GVC_CHECK_MSG(nbrs[i - 1] < u, "adjacency unsorted/duplicate");
+      GVC_CHECK_MSG(has_edge(u, v), "asymmetric edge");
+    }
+  }
+}
+
+}  // namespace gvc::graph

@@ -1,0 +1,77 @@
+#pragma once
+
+// Compressed Sparse Row representation of a finite, simple, undirected graph
+// (§IV-B of the paper). A single immutable CSR instance is shared by every
+// thread block; all intermediate graphs are expressed as degree arrays
+// layered on top of it (see vc/degree_array.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gvc::graph {
+
+/// Vertex identifier. Graphs in this project are bounded by host memory,
+/// well within 32-bit range.
+using Vertex = std::int32_t;
+
+/// Immutable undirected graph in CSR form.
+///
+/// Invariants (checked by validate()):
+///  * offsets has size n+1, offsets[0] == 0, non-decreasing;
+///  * adjacency of every vertex is sorted ascending and duplicate-free;
+///  * no self-loops;
+///  * symmetric: u ∈ adj(v) ⇔ v ∈ adj(u).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of raw CSR arrays. Call validate() afterwards if the
+  /// arrays come from an untrusted source; the builder already guarantees
+  /// the invariants.
+  CsrGraph(std::vector<std::int64_t> offsets, std::vector<Vertex> adjacency);
+
+  /// Number of vertices.
+  Vertex num_vertices() const { return static_cast<Vertex>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges (half the stored directed arcs).
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(adjacency_.size()) / 2; }
+
+  /// Degree of v in the original graph.
+  Vertex degree(Vertex v) const {
+    return static_cast<Vertex>(offsets_[static_cast<std::size_t>(v) + 1] -
+                               offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sorted neighbors of v.
+  std::span<const Vertex> neighbors(Vertex v) const {
+    auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {adjacency_.data() + b, e - b};
+  }
+
+  /// O(log deg) adjacency test.
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Maximum degree Δ(G); 0 for an empty graph.
+  Vertex max_degree() const;
+
+  /// Average degree 2|E|/|V|; 0 for an empty graph.
+  double average_degree() const;
+
+  /// Verifies all class invariants; aborts with a message on violation.
+  /// Intended for tests and for graphs loaded from disk.
+  void validate() const;
+
+  /// Structural equality (same vertex count and adjacency).
+  bool operator==(const CsrGraph& other) const = default;
+
+  const std::vector<std::int64_t>& offsets() const { return offsets_; }
+  const std::vector<Vertex>& adjacency() const { return adjacency_; }
+
+ private:
+  std::vector<std::int64_t> offsets_ = {0};
+  std::vector<Vertex> adjacency_;
+};
+
+}  // namespace gvc::graph

@@ -1,0 +1,272 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gvc::graph {
+
+using util::Pcg32;
+
+CsrGraph gnp(Vertex n, double p, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GVC_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p > 0.0 && n > 1) {
+    Pcg32 rng(seed);
+    // Iterate over the implicit index of pairs (u,v), u<v, skipping
+    // geometrically between present edges.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+    std::uint64_t idx = rng.geometric_skip(p);
+    while (idx < total) {
+      // Invert the pair index: find u such that idx lies in u's row.
+      // Row u (0-based) holds n-1-u entries, so row u starts at
+      // row_start(u) = u*(n-1) - u*(u-1)/2. Invert via the quadratic
+      // formula, then nudge against floating-point off-by-ones.
+      auto row_start = [&](Vertex r) {
+        auto rr = static_cast<std::uint64_t>(r);
+        return rr * static_cast<std::uint64_t>(n - 1) - rr * (rr - 1) / 2;
+      };
+      double nn = static_cast<double>(n);
+      double disc = (2.0 * nn - 1.0) * (2.0 * nn - 1.0) -
+                    8.0 * static_cast<double>(idx);
+      auto u = static_cast<Vertex>(std::floor(
+          ((2.0 * nn - 1.0) - std::sqrt(std::max(disc, 0.0))) / 2.0));
+      u = std::clamp<Vertex>(u, 0, n - 2);
+      while (u > 0 && row_start(u) > idx) --u;
+      while (u < n - 2 && row_start(u + 1) <= idx) ++u;
+      std::uint64_t rem = idx - row_start(u);
+      Vertex v = static_cast<Vertex>(static_cast<std::uint64_t>(u) + 1 + rem);
+      b.add_edge(u, v);
+      idx += 1 + rng.geometric_skip(p);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph p_hat(Vertex n, double p_low, double p_high, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GVC_CHECK(0.0 <= p_low && p_low <= p_high && p_high <= 1.0);
+  Pcg32 rng(seed);
+  std::vector<double> propensity(static_cast<std::size_t>(n));
+  for (auto& a : propensity) a = p_low + (p_high - p_low) * rng.real();
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      double p = 0.5 * (propensity[static_cast<std::size_t>(u)] +
+                        propensity[static_cast<std::size_t>(v)]);
+      if (rng.chance(p)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph barabasi_albert(Vertex n, int m, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GVC_CHECK(m >= 1);
+  GraphBuilder b(n);
+  if (n <= 1) return b.build();
+  Pcg32 rng(seed);
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // endpoint of every edge appears once in `targets`.
+  std::vector<Vertex> targets;
+  Vertex seed_size = static_cast<Vertex>(std::min<Vertex>(n, m + 1));
+  // Seed clique keeps early degrees nonzero.
+  for (Vertex u = 0; u < seed_size; ++u)
+    for (Vertex v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  for (Vertex v = seed_size; v < n; ++v) {
+    std::set<Vertex> chosen;
+    while (static_cast<int>(chosen.size()) < m) {
+      Vertex t = targets[rng.below(static_cast<std::uint32_t>(targets.size()))];
+      if (t != v) chosen.insert(t);
+    }
+    for (Vertex t : chosen) {
+      b.add_edge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph watts_strogatz(Vertex n, int k, double beta, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GVC_CHECK(k >= 1);
+  GVC_CHECK(beta >= 0.0 && beta <= 1.0);
+  GraphBuilder b(n);
+  if (n <= 2) {
+    if (n == 2) b.add_edge(0, 1);
+    return b.build();
+  }
+  Pcg32 rng(seed);
+  std::set<std::pair<Vertex, Vertex>> present;
+  auto norm = [](Vertex u, Vertex v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  };
+  // Ring lattice.
+  for (Vertex u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      Vertex v = static_cast<Vertex>((u + j) % n);
+      if (u == v) continue;
+      present.insert(norm(u, v));
+    }
+  }
+  // Rewire each lattice edge with probability beta.
+  std::vector<std::pair<Vertex, Vertex>> edges(present.begin(), present.end());
+  for (auto& [u, v] : edges) {
+    if (!rng.chance(beta)) continue;
+    // Rewire the v endpoint to a uniform random non-neighbor of u.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      Vertex w = static_cast<Vertex>(rng.below(static_cast<std::uint32_t>(n)));
+      if (w == u || present.count(norm(u, w))) continue;
+      present.erase(norm(u, v));
+      present.insert(norm(u, w));
+      v = w;
+      break;
+    }
+  }
+  for (auto [u, v] : present) b.add_edge(u, v);
+  return b.build();
+}
+
+CsrGraph power_grid(Vertex n, double extra_edge_frac, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GVC_CHECK(extra_edge_frac >= 0.0);
+  GraphBuilder b(n);
+  if (n <= 1) return b.build();
+  Pcg32 rng(seed);
+  // Random spanning tree via random attachment with locality: vertex v
+  // attaches to a vertex in the recent window, mimicking the chain-like
+  // topology of transmission grids (high diameter, low degree).
+  for (Vertex v = 1; v < n; ++v) {
+    Vertex window = static_cast<Vertex>(std::min<Vertex>(v, 16));
+    Vertex u = static_cast<Vertex>(v - 1 - rng.below(static_cast<std::uint32_t>(window)));
+    b.add_edge(u, v);
+  }
+  auto extras = static_cast<std::int64_t>(extra_edge_frac * static_cast<double>(n));
+  for (std::int64_t i = 0; i < extras; ++i) {
+    auto u = static_cast<Vertex>(rng.below(static_cast<std::uint32_t>(n)));
+    // Local shortcut within a bounded span.
+    Vertex span = static_cast<Vertex>(2 + rng.below(62));
+    Vertex lo = static_cast<Vertex>(std::max<Vertex>(0, u - span));
+    Vertex hi = static_cast<Vertex>(std::min<Vertex>(n - 1, u + span));
+    auto v = static_cast<Vertex>(lo + rng.below(static_cast<std::uint32_t>(hi - lo + 1)));
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+CsrGraph bipartite(Vertex n_left, Vertex n_right, std::int64_t edges,
+                   std::uint64_t seed) {
+  GVC_CHECK(n_left >= 0 && n_right >= 0);
+  const std::int64_t max_edges =
+      static_cast<std::int64_t>(n_left) * static_cast<std::int64_t>(n_right);
+  GVC_CHECK(edges >= 0 && edges <= max_edges);
+  GraphBuilder b(static_cast<Vertex>(n_left + n_right));
+  Pcg32 rng(seed);
+  std::set<std::int64_t> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < edges) {
+    auto l = static_cast<std::int64_t>(rng.below(static_cast<std::uint32_t>(n_left)));
+    auto r = static_cast<std::int64_t>(rng.below(static_cast<std::uint32_t>(n_right)));
+    if (chosen.insert(l * n_right + r).second)
+      b.add_edge(static_cast<Vertex>(l), static_cast<Vertex>(n_left + r));
+  }
+  return b.build();
+}
+
+CsrGraph random_tree(Vertex n, std::uint64_t seed) {
+  GVC_CHECK(n >= 0);
+  GraphBuilder b(n);
+  if (n <= 1) return b.build();
+  if (n == 2) { b.add_edge(0, 1); return b.build(); }
+  Pcg32 rng(seed);
+  // Prüfer sequence decoding: uniform over all labeled trees.
+  std::vector<Vertex> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = static_cast<Vertex>(rng.below(static_cast<std::uint32_t>(n)));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (Vertex x : prufer) ++deg[static_cast<std::size_t>(x)];
+  std::set<Vertex> leaves;
+  for (Vertex v = 0; v < n; ++v)
+    if (deg[static_cast<std::size_t>(v)] == 1) leaves.insert(v);
+  for (Vertex x : prufer) {
+    Vertex leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    b.add_edge(leaf, x);
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  Vertex u = *leaves.begin();
+  Vertex v = *std::next(leaves.begin());
+  b.add_edge(u, v);
+  return b.build();
+}
+
+CsrGraph empty_graph(Vertex n) { return GraphBuilder(n).build(); }
+
+CsrGraph complete(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+CsrGraph path(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v - 1, v);
+  return b.build();
+}
+
+CsrGraph cycle(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v - 1, v);
+  if (n >= 3) b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+CsrGraph star(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+CsrGraph complete_bipartite(Vertex a, Vertex b_) {
+  GraphBuilder b(static_cast<Vertex>(a + b_));
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b_; ++v) b.add_edge(u, static_cast<Vertex>(a + v));
+  return b.build();
+}
+
+CsrGraph petersen() {
+  GraphBuilder b(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5.
+  for (Vertex i = 0; i < 5; ++i) {
+    b.add_edge(i, static_cast<Vertex>((i + 1) % 5));
+    b.add_edge(static_cast<Vertex>(5 + i), static_cast<Vertex>(5 + (i + 2) % 5));
+    b.add_edge(i, static_cast<Vertex>(5 + i));
+  }
+  return b.build();
+}
+
+CsrGraph grid2d(Vertex rows, Vertex cols) {
+  GVC_CHECK(rows >= 0 && cols >= 0);
+  GraphBuilder b(static_cast<Vertex>(rows * cols));
+  auto id = [cols](Vertex r, Vertex c) { return static_cast<Vertex>(r * cols + c); };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gvc::graph

@@ -1,0 +1,67 @@
+#pragma once
+
+// Graph generators.
+//
+// These supply (a) the benchmark instance families — the DIMACS p_hat
+// construction whose complements the paper evaluates, plus structural
+// stand-ins for the KONECT/SNAP/PACE graphs we cannot redistribute — and
+// (b) small fixture graphs for the test suites.
+//
+// Every generator is deterministic given its seed.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+/// Erdős–Rényi G(n, p). Uses geometric edge skipping, O(|E|) expected time.
+CsrGraph gnp(Vertex n, double p, std::uint64_t seed);
+
+/// DIMACS "p_hat" family generator (Gendreau–Soriano–Salvail construction):
+/// each vertex i draws a propensity a(i) uniform in [p_low, p_high]; edge
+/// {i,j} is present with probability (a(i)+a(j))/2. Compared to G(n,p) at the
+/// same density this produces a much wider degree spread, which is exactly
+/// what makes the p_hat clique instances (and their complements, used for
+/// vertex cover) hard and imbalanced.
+CsrGraph p_hat(Vertex n, double p_low, double p_high, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to m
+/// existing vertices chosen proportionally to degree. Power-law stand-in for
+/// the wikipedia link graphs.
+CsrGraph barabasi_albert(Vertex n, int m, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta. Stand-in for social graphs
+/// (LastFM Asia).
+CsrGraph watts_strogatz(Vertex n, int k, double beta, std::uint64_t seed);
+
+/// Sparse quasi-planar "power grid": a random spanning tree over n vertices
+/// plus extra_edge_frac*n shortcut edges between near-in-tree vertices.
+/// Matches the |E|/|V| ≈ 1.3 regime of the US power grid instance.
+CsrGraph power_grid(Vertex n, double extra_edge_frac, std::uint64_t seed);
+
+/// Random bipartite graph with the given number of edges between the two
+/// sides (vertices 0..n_left-1 vs n_left..n_left+n_right-1). Stand-in for the
+/// movielens rating graph.
+CsrGraph bipartite(Vertex n_left, Vertex n_right, std::int64_t edges,
+                   std::uint64_t seed);
+
+/// Uniform random labeled tree (Prüfer sequence).
+CsrGraph random_tree(Vertex n, std::uint64_t seed);
+
+// --- Deterministic fixtures -------------------------------------------------
+
+CsrGraph empty_graph(Vertex n);
+CsrGraph complete(Vertex n);
+CsrGraph path(Vertex n);
+CsrGraph cycle(Vertex n);
+/// Star with n-1 leaves attached to vertex 0.
+CsrGraph star(Vertex n);
+CsrGraph complete_bipartite(Vertex a, Vertex b);
+/// The Petersen graph (10 vertices, 15 edges, MVC size 6).
+CsrGraph petersen();
+/// 2D grid graph rows x cols with 4-neighborhood.
+CsrGraph grid2d(Vertex rows, Vertex cols);
+
+}  // namespace gvc::graph

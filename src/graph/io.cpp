@@ -1,0 +1,338 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::graph {
+
+using util::parse_int;
+using util::split_ws;
+using util::starts_with;
+using util::to_lower;
+using util::trim;
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what, int line_no) {
+  GVC_CHECK_MSG(false,
+                util::format("malformed graph file: %s (line %d)",
+                             what.c_str(), line_no)
+                    .c_str());
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+CsrGraph read_dimacs(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  Vertex n = 0;
+  GraphBuilder builder(0);
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == 'c') continue;
+    if (t[0] == 'p') {
+      if (have_header) malformed("duplicate p line", line_no);
+      auto fields = split_ws(t);
+      if (fields.size() < 4) malformed("short p line", line_no);
+      long long nn = 0, mm = 0;
+      if (!parse_int(fields[2], nn) || !parse_int(fields[3], mm) || nn < 0)
+        malformed("bad p line numbers", line_no);
+      n = static_cast<Vertex>(nn);
+      builder = GraphBuilder(n);
+      have_header = true;
+      continue;
+    }
+    if (t[0] == 'e') {
+      if (!have_header) malformed("edge before p line", line_no);
+      auto fields = split_ws(t);
+      if (fields.size() < 3) malformed("short e line", line_no);
+      long long u = 0, v = 0;
+      if (!parse_int(fields[1], u) || !parse_int(fields[2], v))
+        malformed("bad e line numbers", line_no);
+      if (u < 1 || u > n || v < 1 || v > n)
+        malformed("edge endpoint out of range", line_no);
+      builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
+      continue;
+    }
+    malformed("unknown record type", line_no);
+  }
+  if (!have_header) malformed("missing p line", line_no);
+  return builder.build();
+}
+
+void write_dimacs(std::ostream& out, const CsrGraph& g,
+                  const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << '\n';
+  out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (Vertex u : g.neighbors(v))
+      if (u > v) out << "e " << (v + 1) << ' ' << (u + 1) << '\n';
+}
+
+CsrGraph read_metis(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  // Header: skip comment lines starting with '%'.
+  long long n = 0, m = 0, fmt = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    auto fields = split_ws(t);
+    if (fields.size() < 2) malformed("short METIS header", line_no);
+    if (!parse_int(fields[0], n) || !parse_int(fields[1], m) || n < 0)
+      malformed("bad METIS header", line_no);
+    if (fields.size() >= 3 && (!parse_int(fields[2], fmt) || fmt != 0))
+      malformed("weighted METIS format unsupported", line_no);
+    break;
+  }
+  GraphBuilder builder(static_cast<Vertex>(n));
+  Vertex v = 0;
+  while (v < n && std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (!t.empty() && t[0] == '%') continue;
+    for (const auto& f : split_ws(t)) {
+      long long u = 0;
+      if (!parse_int(f, u)) malformed("bad METIS neighbor", line_no);
+      if (u < 1 || u > n) malformed("METIS neighbor out of range", line_no);
+      builder.add_edge(v, static_cast<Vertex>(u - 1));
+    }
+    ++v;
+  }
+  if (v != n) malformed("METIS file truncated", line_no);
+  return builder.build();
+}
+
+void write_metis(std::ostream& out, const CsrGraph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (Vertex u : g.neighbors(v)) {
+      if (!first) out << ' ';
+      out << (u + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+CsrGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  GVC_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty mtx file");
+  ++line_no;
+  auto banner = to_lower(trim(line));
+  if (!starts_with(banner, "%%matrixmarket"))
+    malformed("missing MatrixMarket banner", line_no);
+  if (banner.find("coordinate") == std::string::npos)
+    malformed("only coordinate mtx supported", line_no);
+  // Header line: rows cols entries.
+  long long rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    auto fields = split_ws(t);
+    if (fields.size() < 3) malformed("short mtx size line", line_no);
+    if (!parse_int(fields[0], rows) || !parse_int(fields[1], cols) ||
+        !parse_int(fields[2], entries))
+      malformed("bad mtx size line", line_no);
+    break;
+  }
+  if (rows != cols) malformed("mtx adjacency matrix must be square", line_no);
+  GraphBuilder builder(static_cast<Vertex>(rows));
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    auto fields = split_ws(t);
+    if (fields.size() < 2) malformed("short mtx entry", line_no);
+    long long u = 0, v = 0;
+    if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
+      malformed("bad mtx entry", line_no);
+    if (u < 1 || u > rows || v < 1 || v > rows)
+      malformed("mtx entry out of range", line_no);
+    builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
+    ++seen;
+  }
+  if (seen != entries) malformed("mtx file truncated", line_no);
+  return builder.build();
+}
+
+CsrGraph read_edge_list(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  std::vector<std::pair<long long, long long>> raw;
+  std::map<long long, Vertex> compact;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == '%') continue;
+    auto fields = split_ws(t);
+    if (fields.size() < 2) malformed("short edge list line", line_no);
+    long long u = 0, v = 0;
+    if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
+      malformed("bad edge list line", line_no);
+    raw.emplace_back(u, v);
+    compact.emplace(u, 0);
+    compact.emplace(v, 0);
+  }
+  Vertex next = 0;
+  for (auto& [id, mapped] : compact) mapped = next++;
+  GraphBuilder builder(next);
+  for (auto [u, v] : raw) builder.add_edge(compact.at(u), compact.at(v));
+  return builder.build();
+}
+
+void write_edge_list(std::ostream& out, const CsrGraph& g) {
+  out << "# gvc edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (Vertex u : g.neighbors(v))
+      if (u > v) out << v << ' ' << u << '\n';
+}
+
+CsrGraph read_pace(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  long long n = 0, m = 0;
+  GraphBuilder builder(0);
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == 'c') continue;
+    if (t[0] == 'p') {
+      if (have_header) malformed("duplicate p line", line_no);
+      auto fields = split_ws(t);
+      if (fields.size() < 4) malformed("short p line", line_no);
+      const auto desc = to_lower(fields[1]);
+      if (desc != "td" && desc != "vc" && desc != "edge")
+        malformed("unknown PACE problem descriptor", line_no);
+      if (!parse_int(fields[2], n) || !parse_int(fields[3], m) || n < 0 ||
+          m < 0)
+        malformed("bad p line numbers", line_no);
+      builder = GraphBuilder(static_cast<Vertex>(n));
+      have_header = true;
+      continue;
+    }
+    if (!have_header) malformed("edge before p line", line_no);
+    auto fields = split_ws(t);
+    if (fields.size() < 2) malformed("short edge line", line_no);
+    long long u = 0, v = 0;
+    if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
+      malformed("bad edge line numbers", line_no);
+    if (u < 1 || u > n || v < 1 || v > n)
+      malformed("edge endpoint out of range", line_no);
+    builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
+  }
+  if (!have_header) malformed("missing p line", line_no);
+  return builder.build();
+}
+
+void write_pace(std::ostream& out, const CsrGraph& g,
+                const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << '\n';
+  out << "p td " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (Vertex u : g.neighbors(v))
+      if (u > v) out << (v + 1) << ' ' << (u + 1) << '\n';
+}
+
+void write_pace_solution(std::ostream& out, Vertex num_vertices,
+                         const std::vector<Vertex>& cover) {
+  out << "s vc " << num_vertices << ' ' << cover.size() << '\n';
+  for (Vertex v : cover) out << (v + 1) << '\n';
+}
+
+std::vector<Vertex> read_pace_solution(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  long long n = 0, k = 0;
+  std::vector<Vertex> cover;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == 'c') continue;
+    if (t[0] == 's') {
+      if (have_header) malformed("duplicate s line", line_no);
+      auto fields = split_ws(t);
+      if (fields.size() < 4 || to_lower(fields[1]) != "vc")
+        malformed("bad s line", line_no);
+      if (!parse_int(fields[2], n) || !parse_int(fields[3], k) || n < 0 ||
+          k < 0 || k > n)
+        malformed("bad s line numbers", line_no);
+      cover.reserve(static_cast<std::size_t>(k));
+      have_header = true;
+      continue;
+    }
+    if (!have_header) malformed("vertex before s line", line_no);
+    long long v = 0;
+    if (!parse_int(t, v)) malformed("bad solution vertex", line_no);
+    if (v < 1 || v > n) malformed("solution vertex out of range", line_no);
+    cover.push_back(static_cast<Vertex>(v - 1));
+  }
+  if (!have_header) malformed("missing s line", line_no);
+  if (static_cast<long long>(cover.size()) != k)
+    malformed("solution size disagrees with s line", line_no);
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+namespace {
+
+enum class Format { kDimacs, kMetis, kMtx, kPace, kEdgeList };
+
+Format sniff(const std::string& path) {
+  auto p = to_lower(path);
+  if (util::ends_with(p, ".col") || util::ends_with(p, ".clq") ||
+      util::ends_with(p, ".dimacs"))
+    return Format::kDimacs;
+  if (util::ends_with(p, ".graph") || util::ends_with(p, ".metis"))
+    return Format::kMetis;
+  if (util::ends_with(p, ".mtx")) return Format::kMtx;
+  if (util::ends_with(p, ".gr")) return Format::kPace;
+  return Format::kEdgeList;
+}
+
+}  // namespace
+
+CsrGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  GVC_CHECK_MSG(in.good(), "cannot open graph file");
+  switch (sniff(path)) {
+    case Format::kDimacs:   return read_dimacs(in);
+    case Format::kMetis:    return read_metis(in);
+    case Format::kMtx:      return read_matrix_market(in);
+    case Format::kPace:     return read_pace(in);
+    case Format::kEdgeList: return read_edge_list(in);
+  }
+  GVC_CHECK(false);
+  return {};
+}
+
+void save_graph(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  GVC_CHECK_MSG(out.good(), "cannot open output file");
+  switch (sniff(path)) {
+    case Format::kDimacs: write_dimacs(out, g); break;
+    case Format::kPace:   write_pace(out, g); break;
+    default:              write_edge_list(out, g); break;
+  }
+}
+
+}  // namespace gvc::graph

@@ -1,0 +1,61 @@
+#pragma once
+
+// Graph file IO. Readers accept the formats the paper's instance collections
+// ship in: DIMACS .col/.clq ("p edge"), METIS, MatrixMarket pattern files,
+// and SNAP/KONECT whitespace edge lists. Writers exist for DIMACS and edge
+// lists so generated stand-ins can be exported and inspected.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+/// DIMACS: "c" comments, "p edge|col <n> <m>" header, "e <u> <v>" edges
+/// (1-based). Tolerates edge counts that disagree with the header (common in
+/// the wild) but requires a header before the first edge.
+CsrGraph read_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const CsrGraph& g,
+                  const std::string& comment = "");
+
+/// METIS: header "<n> <m> [fmt]", then line i holds the 1-based neighbors of
+/// vertex i. Only the unweighted format (fmt absent or 0) is supported.
+CsrGraph read_metis(std::istream& in);
+void write_metis(std::ostream& out, const CsrGraph& g);
+
+/// MatrixMarket coordinate pattern, symmetric or general. General matrices
+/// are symmetrized; diagonal entries are dropped.
+CsrGraph read_matrix_market(std::istream& in);
+
+/// SNAP/KONECT edge list: "#"/"%" comments, one "u v" pair per line.
+/// Vertex ids are compacted to 0..n-1 preserving numeric order.
+CsrGraph read_edge_list(std::istream& in);
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+
+/// PACE challenge .gr (the format of the paper's vc-exact_009/023 rows):
+/// "c" comments, "p td <n> <m>" header (the 2019 VC track reused the
+/// treedepth descriptor; "p vc"/"p edge" are accepted too), then one
+/// 1-based "u v" pair per line before which the header must appear.
+CsrGraph read_pace(std::istream& in);
+void write_pace(std::ostream& out, const CsrGraph& g,
+                const std::string& comment = "");
+
+/// PACE solution exchange format (.vc/.sol): "c" comments, "s vc <n> <k>"
+/// header, then k lines each holding one 1-based cover vertex.
+void write_pace_solution(std::ostream& out, Vertex num_vertices,
+                         const std::vector<Vertex>& cover);
+/// Returns the cover as 0-based vertex ids (ascending).
+std::vector<Vertex> read_pace_solution(std::istream& in);
+
+/// Loads from a path, dispatching on extension:
+///   .col/.clq/.dimacs → DIMACS, .graph/.metis → METIS,
+///   .mtx → MatrixMarket, .gr → PACE, anything else → edge list.
+CsrGraph load_graph(const std::string& path);
+
+/// Saves as DIMACS if path ends in .col/.clq/.dimacs, PACE if .gr, else
+/// edge list.
+void save_graph(const std::string& path, const CsrGraph& g);
+
+}  // namespace gvc::graph

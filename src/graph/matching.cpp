@@ -1,0 +1,155 @@
+#include "graph/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace gvc::graph {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HopcroftKarp {
+  int n_left, n_right;
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> match_l, match_r, dist;
+
+  HopcroftKarp(int nl, int nr, const std::vector<std::vector<int>>& a)
+      : n_left(nl),
+        n_right(nr),
+        adj(a),
+        match_l(static_cast<std::size_t>(nl), -1),
+        match_r(static_cast<std::size_t>(nr), -1),
+        dist(static_cast<std::size_t>(nl), 0) {}
+
+  bool bfs() {
+    std::queue<int> q;
+    bool free_right_reachable = false;
+    for (int l = 0; l < n_left; ++l) {
+      if (match_l[static_cast<std::size_t>(l)] == -1) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        q.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      int l = q.front();
+      q.pop();
+      for (int r : adj[static_cast<std::size_t>(l)]) {
+        int l2 = match_r[static_cast<std::size_t>(r)];
+        if (l2 == -1) {
+          free_right_reachable = true;
+        } else if (dist[static_cast<std::size_t>(l2)] == kInf) {
+          dist[static_cast<std::size_t>(l2)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return free_right_reachable;
+  }
+
+  bool dfs(int l) {
+    for (int r : adj[static_cast<std::size_t>(l)]) {
+      int l2 = match_r[static_cast<std::size_t>(r)];
+      if (l2 == -1 || (dist[static_cast<std::size_t>(l2)] ==
+                           dist[static_cast<std::size_t>(l)] + 1 &&
+                       dfs(l2))) {
+        match_l[static_cast<std::size_t>(l)] = r;
+        match_r[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+
+  void run() {
+    while (bfs()) {
+      for (int l = 0; l < n_left; ++l)
+        if (match_l[static_cast<std::size_t>(l)] == -1) dfs(l);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> hopcroft_karp(int n_left, int n_right,
+                               const std::vector<std::vector<int>>& adj) {
+  GVC_CHECK(n_left >= 0 && n_right >= 0);
+  GVC_CHECK(static_cast<int>(adj.size()) == n_left);
+  for (const auto& nbrs : adj)
+    for (int r : nbrs) GVC_CHECK_MSG(0 <= r && r < n_right, "right id range");
+  HopcroftKarp hk(n_left, n_right, adj);
+  hk.run();
+  return hk.match_l;
+}
+
+int double_cover_matching_size(const CsrGraph& g) {
+  const int n = g.num_vertices();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    adj[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+  }
+  auto match = hopcroft_karp(n, n, adj);
+  int matched = 0;
+  for (int l = 0; l < n; ++l)
+    if (match[static_cast<std::size_t>(l)] != -1) ++matched;
+  return matched;
+}
+
+KonigCover konig_cover(int n_left, int n_right,
+                       const std::vector<std::vector<int>>& adj) {
+  HopcroftKarp hk(n_left, n_right, adj);
+  for (const auto& nbrs : adj)
+    for (int r : nbrs) GVC_CHECK_MSG(0 <= r && r < n_right, "right id range");
+  hk.run();
+
+  // König: Z = free left vertices and everything alternating-reachable;
+  // cover = (L \ Z) ∪ (R ∩ Z).
+  std::vector<bool> visited_l(static_cast<std::size_t>(n_left), false);
+  std::vector<bool> visited_r(static_cast<std::size_t>(n_right), false);
+  std::queue<int> q;
+  for (int l = 0; l < n_left; ++l) {
+    if (hk.match_l[static_cast<std::size_t>(l)] == -1) {
+      visited_l[static_cast<std::size_t>(l)] = true;
+      q.push(l);
+    }
+  }
+  while (!q.empty()) {
+    int l = q.front();
+    q.pop();
+    for (int r : adj[static_cast<std::size_t>(l)]) {
+      if (visited_r[static_cast<std::size_t>(r)]) continue;
+      visited_r[static_cast<std::size_t>(r)] = true;
+      int l2 = hk.match_r[static_cast<std::size_t>(r)];
+      if (l2 != -1 && !visited_l[static_cast<std::size_t>(l2)]) {
+        visited_l[static_cast<std::size_t>(l2)] = true;
+        q.push(l2);
+      }
+    }
+  }
+
+  KonigCover cover;
+  cover.left.assign(static_cast<std::size_t>(n_left), false);
+  cover.right.assign(static_cast<std::size_t>(n_right), false);
+  for (int l = 0; l < n_left; ++l) {
+    if (!visited_l[static_cast<std::size_t>(l)]) {
+      cover.left[static_cast<std::size_t>(l)] = true;
+      ++cover.size;
+    }
+  }
+  for (int r = 0; r < n_right; ++r) {
+    if (visited_r[static_cast<std::size_t>(r)]) {
+      cover.right[static_cast<std::size_t>(r)] = true;
+      ++cover.size;
+    }
+  }
+  return cover;
+}
+
+}  // namespace gvc::graph

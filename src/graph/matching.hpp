@@ -1,0 +1,39 @@
+#pragma once
+
+// Maximum bipartite matching (Hopcroft–Karp). Substrate for the
+// Nemhauser–Trotter LP kernelization in vc/kernelization.hpp, and a strong
+// vertex cover lower bound in its own right via König's theorem.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+/// Maximum matching in an explicitly bipartite graph with `n_left` left
+/// vertices and `n_right` right vertices. adj[l] lists the right-side
+/// neighbors (0-based within the right side) of left vertex l.
+///
+/// Returns match_left: for each left vertex, its matched right vertex or -1.
+/// Hopcroft–Karp, O(E * sqrt(V)).
+std::vector<int> hopcroft_karp(int n_left, int n_right,
+                               const std::vector<std::vector<int>>& adj);
+
+/// Size of a maximum matching of the bipartite double cover of g
+/// (each vertex split into a left and right copy; edge {u,v} becomes
+/// u_L–v_R and v_L–u_R). Half of it, rounded up, is the LP lower bound for
+/// vertex cover — always at least the maximal-matching bound.
+int double_cover_matching_size(const CsrGraph& g);
+
+/// König vertex cover of an explicitly bipartite graph (by sides, as in
+/// hopcroft_karp). Returns (in_cover_left, in_cover_right) flags whose
+/// total count equals the maximum matching size.
+struct KonigCover {
+  std::vector<bool> left;
+  std::vector<bool> right;
+  int size = 0;
+};
+KonigCover konig_cover(int n_left, int n_right,
+                       const std::vector<std::vector<int>>& adj);
+
+}  // namespace gvc::graph

@@ -1,0 +1,193 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gvc::graph {
+
+CsrGraph complement(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    std::size_t i = 0;
+    for (Vertex v = u + 1; v < n; ++v) {
+      while (i < nbrs.size() && nbrs[i] < v) ++i;
+      bool adjacent = i < nbrs.size() && nbrs[i] == v;
+      if (!adjacent) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph induced_subgraph(const CsrGraph& g, const std::vector<Vertex>& keep) {
+  std::vector<Vertex> remap(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    Vertex v = keep[i];
+    GVC_CHECK(v >= 0 && v < g.num_vertices());
+    GVC_CHECK_MSG(remap[static_cast<std::size_t>(v)] == -1,
+                  "duplicate vertex in induced_subgraph");
+    remap[static_cast<std::size_t>(v)] = static_cast<Vertex>(i);
+  }
+  GraphBuilder b(static_cast<Vertex>(keep.size()));
+  for (Vertex v : keep) {
+    for (Vertex u : g.neighbors(v)) {
+      Vertex ru = remap[static_cast<std::size_t>(u)];
+      if (ru != -1)
+        b.add_edge(remap[static_cast<std::size_t>(v)], ru);
+    }
+  }
+  return b.build();
+}
+
+std::vector<int> connected_components(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<Vertex> stack;
+  int next = 0;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex u : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == -1) {
+          comp[static_cast<std::size_t>(u)] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+int num_connected_components(const CsrGraph& g) {
+  auto comp = connected_components(g);
+  if (comp.empty()) return 0;
+  return *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+int degeneracy(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return 0;
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  int maxd = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    maxd = std::max(maxd, deg[static_cast<std::size_t>(v)]);
+  }
+  // Bucket-based peeling (Matula–Beck).
+  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(maxd) + 1);
+  for (Vertex v = 0; v < n; ++v)
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])].push_back(v);
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  int degen = 0;
+  int cursor = 0;
+  for (Vertex iter = 0; iter < n; ++iter) {
+    while (cursor <= maxd && buckets[static_cast<std::size_t>(cursor)].empty())
+      ++cursor;
+    // The current degree of a vertex may have dropped since it was bucketed;
+    // lazily skip stale entries.
+    while (cursor <= maxd) {
+      auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+      if (bucket.empty()) { ++cursor; continue; }
+      Vertex v = bucket.back();
+      bucket.pop_back();
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      if (deg[static_cast<std::size_t>(v)] != cursor) {
+        buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])]
+            .push_back(v);
+        continue;
+      }
+      removed[static_cast<std::size_t>(v)] = true;
+      degen = std::max(degen, cursor);
+      for (Vertex u : g.neighbors(v)) {
+        if (!removed[static_cast<std::size_t>(u)]) {
+          int& du = deg[static_cast<std::size_t>(u)];
+          --du;
+          buckets[static_cast<std::size_t>(du)].push_back(u);
+          if (du < cursor) cursor = du;
+        }
+      }
+      break;
+    }
+  }
+  return degen;
+}
+
+std::int64_t triangle_count(const CsrGraph& g) {
+  std::int64_t count = 0;
+  const Vertex n = g.num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    auto nu = g.neighbors(u);
+    for (Vertex v : nu) {
+      if (v <= u) continue;
+      auto nv = g.neighbors(v);
+      // Count common neighbors w with w > v to count each triangle once.
+      std::size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) ++i;
+        else if (nu[i] > nv[j]) ++j;
+        else {
+          if (nu[i] > v) ++count;
+          ++i; ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+bool is_vertex_cover(const CsrGraph& g, const std::vector<Vertex>& vertices) {
+  std::vector<bool> in(static_cast<std::size_t>(g.num_vertices()), false);
+  for (Vertex v : vertices) {
+    GVC_CHECK(v >= 0 && v < g.num_vertices());
+    in[static_cast<std::size_t>(v)] = true;
+  }
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (in[static_cast<std::size_t>(u)]) continue;
+    for (Vertex v : g.neighbors(u))
+      if (v > u && !in[static_cast<std::size_t>(v)]) return false;
+  }
+  return true;
+}
+
+bool is_independent_set(const CsrGraph& g, const std::vector<Vertex>& vertices) {
+  std::vector<bool> in(static_cast<std::size_t>(g.num_vertices()), false);
+  for (Vertex v : vertices) {
+    GVC_CHECK(v >= 0 && v < g.num_vertices());
+    in[static_cast<std::size_t>(v)] = true;
+  }
+  for (Vertex v : vertices)
+    for (Vertex u : g.neighbors(v))
+      if (in[static_cast<std::size_t>(u)]) return false;
+  return true;
+}
+
+CsrGraph shuffle_labels(const CsrGraph& g, std::uint64_t seed,
+                        std::vector<Vertex>* permutation_out) {
+  const Vertex n = g.num_vertices();
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Pcg32 rng(seed);
+  util::shuffle(perm, rng);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (Vertex u : g.neighbors(v))
+      if (u > v)
+        b.add_edge(perm[static_cast<std::size_t>(v)],
+                   perm[static_cast<std::size_t>(u)]);
+  if (permutation_out) {
+    permutation_out->assign(perm.begin(), perm.end());
+  }
+  return b.build();
+}
+
+}  // namespace gvc::graph

@@ -1,0 +1,45 @@
+#pragma once
+
+// Whole-graph operations: complement (the paper evaluates on complements of
+// DIMACS clique instances, §V-B), induced subgraphs, connected components,
+// and structural measures used by the instance catalog.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+/// Complement graph: edge {u,v} (u≠v) present iff absent in g.
+/// O(|V|²) — intended for the dense DIMACS-style instances.
+CsrGraph complement(const CsrGraph& g);
+
+/// Subgraph induced by `keep` (need not be sorted; duplicates are an error).
+/// Vertices are relabeled 0..keep.size()-1 in the order given.
+CsrGraph induced_subgraph(const CsrGraph& g, const std::vector<Vertex>& keep);
+
+/// Component id per vertex (ids are 0-based, assigned in discovery order),
+/// plus the number of components via the return value's max+1.
+std::vector<int> connected_components(const CsrGraph& g);
+
+int num_connected_components(const CsrGraph& g);
+
+/// Degeneracy (max over the degeneracy ordering of the min remaining degree)
+/// — a standard sparsity measure; used to sanity-check generated stand-ins.
+int degeneracy(const CsrGraph& g);
+
+/// Number of triangles in g (sum over edges of common neighbors / 3).
+std::int64_t triangle_count(const CsrGraph& g);
+
+/// True if `vertices` is a vertex cover of g.
+bool is_vertex_cover(const CsrGraph& g, const std::vector<Vertex>& vertices);
+
+/// True if `vertices` is an independent set of g.
+bool is_independent_set(const CsrGraph& g, const std::vector<Vertex>& vertices);
+
+/// Relabels vertices with a random permutation (seeded); used by property
+/// tests to check solver invariance under isomorphism.
+CsrGraph shuffle_labels(const CsrGraph& g, std::uint64_t seed,
+                        std::vector<Vertex>* permutation_out = nullptr);
+
+}  // namespace gvc::graph

@@ -1,0 +1,41 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::graph {
+
+GraphStats compute_stats(const CsrGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices > 0) {
+    s.avg_degree = g.average_degree();
+    s.edge_vertex_ratio =
+        static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+    s.min_degree = g.degree(0);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      s.max_degree = std::max(s.max_degree, g.degree(v));
+      s.min_degree = std::min(s.min_degree, g.degree(v));
+    }
+  }
+  s.degeneracy = degeneracy(g);
+  s.components = num_connected_components(g);
+  s.triangles = triangle_count(g);
+  return s;
+}
+
+std::string GraphStats::to_string() const {
+  return util::format(
+      "|V|=%d |E|=%lld |E|/|V|=%.2f deg[min=%d max=%d avg=%.2f] "
+      "degeneracy=%d components=%d triangles=%lld",
+      num_vertices, static_cast<long long>(num_edges), edge_vertex_ratio,
+      min_degree, max_degree, avg_degree, degeneracy, components,
+      static_cast<long long>(triangles));
+}
+
+bool is_high_degree(const GraphStats& s) { return s.edge_vertex_ratio >= 10.0; }
+
+}  // namespace gvc::graph

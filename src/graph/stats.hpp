@@ -1,0 +1,37 @@
+#pragma once
+
+// Structural summary of a graph, printed by the harness next to each
+// instance (|V|, |E|, |E|/|V| — the columns of Table I) plus extra shape
+// measures used to validate that generated stand-ins match their targets.
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+struct GraphStats {
+  Vertex num_vertices = 0;
+  std::int64_t num_edges = 0;
+  double avg_degree = 0.0;       ///< 2|E|/|V|
+  double edge_vertex_ratio = 0.0;///< |E|/|V|, the column printed in Table I
+  Vertex max_degree = 0;
+  Vertex min_degree = 0;
+  int degeneracy = 0;
+  int components = 0;
+  std::int64_t triangles = 0;
+
+  /// One-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Computes all fields. Triangle counting is O(sum deg²); fine at the scales
+/// used here.
+GraphStats compute_stats(const CsrGraph& g);
+
+/// The paper's high-degree vs low-degree split (Table I groups rows by
+/// average degree). Threshold chosen between the two clusters of the paper's
+/// instances: high-degree rows have |E|/|V| ≥ 22, low-degree rows ≤ 4.9.
+bool is_high_degree(const GraphStats& s);
+
+}  // namespace gvc::graph

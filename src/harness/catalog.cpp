@@ -1,0 +1,170 @@
+#include "harness/catalog.hpp"
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::harness {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+Scale parse_scale(const std::string& name) {
+  std::string n = util::to_lower(name);
+  if (n == "smoke") return Scale::kSmoke;
+  if (n == "default") return Scale::kDefault;
+  if (n == "large") return Scale::kLarge;
+  GVC_CHECK_MSG(false, "unknown scale (want smoke|default|large)");
+  return Scale::kDefault;
+}
+
+Instance::Instance(std::string name, std::string family, bool high_degree,
+                   std::string substitution,
+                   std::function<CsrGraph()> make)
+    : name_(std::move(name)),
+      family_(std::move(family)),
+      high_degree_(high_degree),
+      substitution_(std::move(substitution)),
+      make_(std::move(make)) {}
+
+const CsrGraph& Instance::graph() const {
+  if (!cached_) cached_ = std::make_shared<CsrGraph>(make_());
+  return *cached_;
+}
+
+namespace {
+
+/// Complement of a p_hat graph — the paper takes edge complements of the
+/// DIMACS p_hat clique instances (§V-B). `lo`/`hi` are the propensity range
+/// of the underlying clique graph: the *_1 instances are the sparsest clique
+/// graphs (densest complements), *_3 the densest (sparsest complements).
+CsrGraph p_hat_complement(Vertex n, double lo, double hi, std::uint64_t seed) {
+  return graph::complement(graph::p_hat(n, lo, hi, seed));
+}
+
+struct Sizes {
+  // p_hat family sizes standing in for n = 300/500/700/1000.
+  Vertex ph300, ph500, ph700, ph1000;
+  // Stand-in sizes for the KONECT/SNAP/PACE rows.
+  Vertex movielens_l, movielens_r;
+  std::int64_t movielens_e;
+  Vertex wiki_lo, wiki_csb;
+  Vertex powergrid, lastfm, sister, vc23, vc9;
+};
+
+Sizes sizes_for(Scale scale) {
+  // Calibrated on a 1-core host (see bench/catalog_report): the p_hat *_2/3
+  // rows land in the "hard but exactly solvable" band (1e4-1e6 tree nodes),
+  // the vc-exact rows are intentionally beyond the per-cell budget for MVC /
+  // k=min-1 (the paper's ">2 hrs" rows) while min itself stays computable,
+  // and the remaining rows are the paper's easy/moderate mix.
+  switch (scale) {
+    case Scale::kSmoke:
+      return Sizes{110, 140, 170, 190,
+                   24, 66, 630,
+                   100, 130,
+                   300, 100, 400, 150, 150};
+    case Scale::kDefault:
+      return Sizes{130, 160, 200, 230,
+                   30, 80, 990,
+                   120, 160,
+                   500, 120, 700, 165, 160};
+    case Scale::kLarge:
+      return Sizes{160, 200, 240, 280,
+                   40, 110, 1800,
+                   160, 200,
+                   900, 160, 1100, 185, 180};
+  }
+  GVC_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+std::vector<Instance> paper_catalog(Scale scale) {
+  const Sizes s = sizes_for(scale);
+  std::vector<Instance> cat;
+
+  auto ph = [&](const char* name, Vertex n, double lo, double hi,
+                std::uint64_t seed) {
+    cat.emplace_back(
+        name, "p_hat complement", /*high_degree=*/true,
+        util::format("DIMACS %s complement -> generated p_hat(%d, %.2f, %.2f) "
+                     "complement (same two-level-density construction, scaled)",
+                     name, n, lo, hi),
+        [=] { return p_hat_complement(n, lo, hi, seed); });
+  };
+
+  // The *_1 clique graphs are sparse (dense complements), *_3 dense (sparse
+  // complements); density bands follow the DIMACS generator settings.
+  ph("p_hat_300_1", s.ph300, 0.10, 0.40, 301);
+  ph("p_hat_300_2", s.ph300, 0.30, 0.70, 302);
+  ph("p_hat_300_3", s.ph300, 0.50, 0.90, 303);
+  ph("p_hat_500_1", s.ph500, 0.10, 0.40, 501);
+  ph("p_hat_500_2", s.ph500, 0.30, 0.70, 502);
+  ph("p_hat_500_3", s.ph500, 0.50, 0.90, 503);
+  ph("p_hat_700_1", s.ph700, 0.10, 0.40, 701);
+  ph("p_hat_700_2", s.ph700, 0.30, 0.70, 702);
+  ph("p_hat_1000_1", s.ph1000, 0.10, 0.40, 1001);
+  ph("p_hat_1000_2", s.ph1000, 0.30, 0.70, 1002);
+
+  cat.emplace_back(
+      "movielens-100k", "bipartite rating", /*high_degree=*/true,
+      "KONECT movielens-100k_rating -> random bipartite user-item graph at "
+      "the same |E|/|V| band",
+      [=] { return graph::bipartite(s.movielens_l, s.movielens_r,
+                                    s.movielens_e, 1101); });
+  cat.emplace_back(
+      "wikipedia_link_lo", "power-law", /*high_degree=*/true,
+      "KONECT wikipedia_link_lo -> Barabasi-Albert power-law graph at the "
+      "same |E|/|V| band",
+      [=] { return graph::barabasi_albert(s.wiki_lo, 11, 1201); });
+  cat.emplace_back(
+      "wikipedia_link_csb", "power-law", /*high_degree=*/true,
+      "KONECT wikipedia_link_csb -> Barabasi-Albert power-law graph at the "
+      "same |E|/|V| band",
+      [=] { return graph::barabasi_albert(s.wiki_csb, 17, 1301); });
+
+  cat.emplace_back(
+      "US_power_grid", "spatial sparse", /*high_degree=*/false,
+      "KONECT opsahl-powergrid -> spanning-tree-plus-local-shortcuts graph "
+      "at |E|/|V| = 1.33",
+      [=] { return graph::power_grid(s.powergrid, 0.33, 1401); });
+  cat.emplace_back(
+      "LastFM_Asia", "small world", /*high_degree=*/false,
+      "SNAP feather-lastfm-social -> Watts-Strogatz small world at the same "
+      "|E|/|V| band",
+      [=] { return graph::watts_strogatz(s.lastfm, 4, 0.15, 1501); });
+  cat.emplace_back(
+      "Sister_Cities", "spatial sparse", /*high_degree=*/false,
+      "KONECT sister cities -> spanning-tree-plus-local-shortcuts graph at "
+      "|E|/|V| = 1.44",
+      [=] { return graph::power_grid(s.sister, 0.44, 1601); });
+  cat.emplace_back(
+      "vc-exact_023", "sparse random", /*high_degree=*/false,
+      "PACE 2019 vc-exact_023 -> G(n,p) at |E|/|V| = 4.8",
+      [=] {
+        double p = 2.0 * 4.8 / static_cast<double>(s.vc23 - 1);
+        return graph::gnp(s.vc23, p, 1701);
+      });
+  cat.emplace_back(
+      "vc-exact_009", "sparse random", /*high_degree=*/false,
+      "PACE 2019 vc-exact_009 -> G(n,p) at |E|/|V| = 4.5",
+      [=] {
+        double p = 2.0 * 4.5 / static_cast<double>(s.vc9 - 1);
+        return graph::gnp(s.vc9, p, 1801);
+      });
+
+  return cat;
+}
+
+const Instance& find_instance(const std::vector<Instance>& catalog,
+                              const std::string& name) {
+  for (const auto& inst : catalog)
+    if (inst.name() == name) return inst;
+  GVC_CHECK_MSG(false, "instance not found in catalog");
+  __builtin_unreachable();
+}
+
+}  // namespace gvc::harness

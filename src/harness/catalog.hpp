@@ -1,0 +1,62 @@
+#pragma once
+
+// The benchmark instance catalog: one entry per Table I row of the paper,
+// each generated as a structural stand-in for the original dataset (see
+// DESIGN.md §2 for the substitution rationale). Three scales are provided;
+// all are smaller than the paper's instances so the full suite completes on
+// a laptop-class host, preserving the high-degree/low-degree split and the
+// per-family density profile that drive the paper's observations.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::harness {
+
+enum class Scale {
+  kSmoke,    ///< seconds-total run for CI and tests
+  kDefault,  ///< minutes-total run; the scale EXPERIMENTS.md reports
+  kLarge,    ///< stress run
+};
+
+Scale parse_scale(const std::string& name);
+
+class Instance {
+ public:
+  Instance(std::string name, std::string family, bool high_degree,
+           std::string substitution,
+           std::function<graph::CsrGraph()> make);
+
+  /// Name of the paper instance this stands in for (e.g. "p_hat_300_1").
+  const std::string& name() const { return name_; }
+  /// Generator family (e.g. "p_hat complement").
+  const std::string& family() const { return family_; }
+  /// Table I group: high average degree vs low average degree.
+  bool high_degree() const { return high_degree_; }
+  /// What the paper used → what this is (recorded in EXPERIMENTS.md).
+  const std::string& substitution() const { return substitution_; }
+
+  /// The graph, generated on first use and cached.
+  const graph::CsrGraph& graph() const;
+
+ private:
+  std::string name_;
+  std::string family_;
+  bool high_degree_;
+  std::string substitution_;
+  std::function<graph::CsrGraph()> make_;
+  mutable std::shared_ptr<graph::CsrGraph> cached_;
+};
+
+/// All 18 Table I rows at the given scale, in the paper's order
+/// (13 high-degree rows, then 5 low-degree rows).
+std::vector<Instance> paper_catalog(Scale scale);
+
+/// Lookup by name; aborts if absent.
+const Instance& find_instance(const std::vector<Instance>& catalog,
+                              const std::string& name);
+
+}  // namespace gvc::harness

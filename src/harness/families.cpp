@@ -1,0 +1,85 @@
+#include "harness/families.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::harness {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+const std::vector<FamilyInfo>& family_catalog() {
+  static const std::vector<FamilyInfo> kFamilies = {
+      {"gnp", "Erdős–Rényi G(n, p)"},
+      {"p_hat", "DIMACS p_hat two-level density (p .. p2); pair with "
+                "--complement for the paper's benchmark style"},
+      {"ba", "Barabási–Albert preferential attachment, m edges per vertex"},
+      {"ws", "Watts–Strogatz small world: ring degree m, rewire prob. p"},
+      {"power_grid", "degree-bounded quasi-tree with p extra edge fraction"},
+      {"bipartite", "random bipartite n × n2 with `edges` edges"},
+      {"tree", "uniform random tree"},
+      {"grid", "2D grid, n × n2 (n2 = n when 0)"},
+      {"path", "path on n vertices"},
+      {"cycle", "cycle on n vertices"},
+      {"star", "star with n-1 leaves"},
+      {"complete", "complete graph K_n"},
+      {"petersen", "the Petersen graph (fixed 10 vertices)"},
+  };
+  return kFamilies;
+}
+
+bool is_family(const std::string& family) {
+  const std::string f = util::to_lower(family);
+  const auto& cat = family_catalog();
+  return std::any_of(cat.begin(), cat.end(),
+                     [&](const FamilyInfo& i) { return i.name == f; });
+}
+
+CsrGraph make_family(const std::string& family, const FamilyParams& params) {
+  const std::string f = util::to_lower(family);
+  const Vertex n = params.n;
+  const Vertex n2 = params.n2 > 0 ? params.n2 : n;
+  CsrGraph g;
+  if (f == "gnp") {
+    g = graph::gnp(n, params.p, params.seed);
+  } else if (f == "p_hat") {
+    g = graph::p_hat(n, params.p, params.p2, params.seed);
+  } else if (f == "ba") {
+    g = graph::barabasi_albert(n, params.m, params.seed);
+  } else if (f == "ws") {
+    g = graph::watts_strogatz(n, params.m, params.p, params.seed);
+  } else if (f == "power_grid") {
+    g = graph::power_grid(n, params.p, params.seed);
+  } else if (f == "bipartite") {
+    const std::int64_t edges =
+        params.edges > 0
+            ? params.edges
+            : static_cast<std::int64_t>(static_cast<double>(n) *
+                                        static_cast<double>(n2) * params.p);
+    g = graph::bipartite(n, n2, edges, params.seed);
+  } else if (f == "tree") {
+    g = graph::random_tree(n, params.seed);
+  } else if (f == "grid") {
+    g = graph::grid2d(n, n2);
+  } else if (f == "path") {
+    g = graph::path(n);
+  } else if (f == "cycle") {
+    g = graph::cycle(n);
+  } else if (f == "star") {
+    g = graph::star(n);
+  } else if (f == "complete") {
+    g = graph::complete(n);
+  } else if (f == "petersen") {
+    g = graph::petersen();
+  } else {
+    GVC_CHECK_MSG(false, "unknown graph family (see family_catalog())");
+  }
+  if (params.take_complement) g = graph::complement(g);
+  return g;
+}
+
+}  // namespace gvc::harness

@@ -1,0 +1,41 @@
+#pragma once
+
+// Named graph-family registry: the string interface behind the gvc_gen CLI
+// tool (and anything else that wants "family name + parameters → graph"
+// without hard-coding generator signatures).
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::harness {
+
+struct FamilyParams {
+  graph::Vertex n = 100;      ///< vertices (left side for bipartite)
+  graph::Vertex n2 = 0;       ///< right side for bipartite (0 = n)
+  double p = 0.1;             ///< edge probability (gnp), rewire beta (ws)
+  double p2 = 0.5;            ///< p_hat upper probability
+  int m = 2;                  ///< attachment edges (ba), ring degree (ws)
+  std::int64_t edges = 0;     ///< bipartite edge count (0 = n·n2·p)
+  std::uint64_t seed = 1;
+  bool take_complement = false;  ///< complement the result (DIMACS style)
+};
+
+/// Family names accepted by make_family, with one-line descriptions
+/// (printed by gvc_gen --list).
+struct FamilyInfo {
+  std::string name;
+  std::string description;
+};
+const std::vector<FamilyInfo>& family_catalog();
+
+/// True if `family` names a registered generator.
+bool is_family(const std::string& family);
+
+/// Builds a graph of the named family. Aborts on unknown names — the CLI
+/// surfaces the list via family_catalog() first.
+graph::CsrGraph make_family(const std::string& family,
+                            const FamilyParams& params);
+
+}  // namespace gvc::harness

@@ -1,0 +1,290 @@
+#include "harness/tree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "vc/branching.hpp"
+#include "vc/greedy.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::harness {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+/// One traversal replaying the Sequential solver's visit order: a node is
+/// processed (reduce → prune → cover-check), then the vmax child is
+/// explored before the neighbors child — the recursion of Fig. 1, which is
+/// what sequential.cpp's LIFO stack realizes.
+class ShapeTraversal {
+ public:
+  ShapeTraversal(const CsrGraph& g, const TreeShapeOptions& options,
+                 TreeShape& shape)
+      : g_(g), opt_(options), shape_(shape) {
+    mvc_ = opt_.solver.problem == vc::Problem::kMvc;
+    k_ = opt_.solver.k;
+    GVC_CHECK_MSG(mvc_ || k_ > 0, "PVC requires k > 0");
+    vc::GreedyResult greedy = vc::greedy_mvc(g);
+    best_ = greedy.size;
+    best_size_ = mvc_ ? greedy.size : -1;
+    shape_.slices.resize(
+        static_cast<std::size_t>(opt_.record_max_depth) + 1);
+    for (int d = 0; d <= opt_.record_max_depth; ++d)
+      shape_.slices[static_cast<std::size_t>(d)].depth = d;
+  }
+
+  void run() {
+    visit(vc::DegreeArray(g_), 0);
+    shape_.total_nodes = nodes_;
+    shape_.best_size = best_size_;
+    shape_.timed_out = timed_out_;
+    finalize_slices();
+  }
+
+ private:
+  std::uint64_t visit(vc::DegreeArray da, int depth) {
+    if (timed_out_ || pvc_found_) return 0;
+    if ((opt_.solver.limits.max_tree_nodes != 0 &&
+         nodes_ >= opt_.solver.limits.max_tree_nodes) ||
+        (opt_.solver.limits.time_limit_s != 0.0 &&
+         timer_.seconds() > opt_.solver.limits.time_limit_s)) {
+      timed_out_ = true;
+      return 0;
+    }
+
+    ++nodes_;
+    if (static_cast<std::size_t>(depth) >= shape_.nodes_per_depth.size())
+      shape_.nodes_per_depth.resize(static_cast<std::size_t>(depth) + 1, 0);
+    ++shape_.nodes_per_depth[static_cast<std::size_t>(depth)];
+    shape_.max_depth_reached = std::max(shape_.max_depth_reached, depth);
+
+    std::uint64_t size = 1;
+
+    const vc::BudgetPolicy policy =
+        mvc_ ? vc::BudgetPolicy::mvc(best_) : vc::BudgetPolicy::pvc(k_);
+    vc::reduce(g_, da, policy, opt_.solver.semantics, opt_.solver.rules);
+
+    const std::int64_t s = da.solution_size();
+    const std::int64_t e = da.num_edges();
+    const bool pruned =
+        mvc_ ? (s >= best_ || e > (best_ - s - 1) * (best_ - s - 1))
+             : (s > k_ || e > (k_ - s) * (k_ - s));
+
+    if (!pruned) {
+      if (e == 0) {  // cover found
+        if (mvc_) {
+          best_ = s;
+          best_size_ = static_cast<int>(s);
+        } else {
+          pvc_found_ = true;
+          best_size_ = static_cast<int>(s);
+        }
+      } else {
+        const Vertex vmax = vc::select_branch_vertex(
+            da, opt_.solver.branch, opt_.solver.branch_seed);
+        GVC_DCHECK(vmax >= 0);
+        vc::DegreeArray neighbors_child = da;
+        neighbors_child.remove_neighbors_into_solution(g_, vmax);
+        da.remove_into_solution(g_, vmax);
+        size += visit(std::move(da), depth + 1);
+        size += visit(std::move(neighbors_child), depth + 1);
+      }
+    }
+
+    if (depth <= opt_.record_max_depth)
+      shape_.slices[static_cast<std::size_t>(depth)].subtree_sizes.push_back(
+          size);
+    return size;
+  }
+
+  void finalize_slices() {
+    for (DepthSlice& slice : shape_.slices) {
+      const auto reached =
+          static_cast<std::uint64_t>(slice.subtree_sizes.size());
+      const std::uint64_t slots =
+          slice.depth < 63 ? (std::uint64_t{1} << slice.depth) : 0;
+      slice.empty_slots = slots > reached ? slots - reached : 0;
+      if (reached == 0) continue;
+      std::vector<double> xs(slice.subtree_sizes.begin(),
+                             slice.subtree_sizes.end());
+      const double total = [&] {
+        double t = 0;
+        for (double x : xs) t += x;
+        return t;
+      }();
+      slice.max_over_mean =
+          total > 0 ? util::max_of(xs) / (total / static_cast<double>(reached))
+                    : 0.0;
+      slice.cv = util::coeff_of_variation(xs);
+      slice.gini = gini_coefficient(xs);
+      slice.top_share = total > 0 ? util::max_of(xs) / total : 0.0;
+    }
+  }
+
+  const CsrGraph& g_;
+  const TreeShapeOptions& opt_;
+  TreeShape& shape_;
+
+  bool mvc_ = true;
+  int k_ = 0;
+  std::int64_t best_ = 0;
+  int best_size_ = -1;
+  bool pvc_found_ = false;
+  bool timed_out_ = false;
+  std::uint64_t nodes_ = 0;
+  util::WallTimer timer_;
+};
+
+}  // namespace
+
+double gini_coefficient(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double total = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    GVC_DCHECK(xs[i] >= 0.0);
+    total += xs[i];
+    weighted += static_cast<double>(i + 1) * xs[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const auto n = static_cast<double>(xs.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+TreeShape analyze_tree_shape(const graph::CsrGraph& g,
+                             const TreeShapeOptions& options) {
+  TreeShape shape;
+  ShapeTraversal traversal(g, options, shape);
+  traversal.run();
+  return shape;
+}
+
+namespace {
+
+/// Emitter for tree_to_dot: replays the Sequential traversal, writing one
+/// DOT node per visit until the budget runs out, then one collapsed
+/// placeholder per elided sub-tree.
+class DotEmitter {
+ public:
+  DotEmitter(const CsrGraph& g, const TreeShapeOptions& options,
+             std::uint64_t max_nodes, std::string& out)
+      : g_(g), opt_(options), max_nodes_(max_nodes), out_(out) {
+    mvc_ = opt_.solver.problem == vc::Problem::kMvc;
+    k_ = opt_.solver.k;
+    GVC_CHECK_MSG(mvc_ || k_ > 0, "PVC requires k > 0");
+    best_ = vc::greedy_mvc(g).size;
+  }
+
+  void run() {
+    out_ += "digraph search_tree {\n";
+    out_ += "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+    visit(vc::DegreeArray(g_), 0, -1);
+    out_ += "}\n";
+  }
+
+ private:
+  /// Returns the sub-tree size (for collapsed placeholders).
+  std::uint64_t visit(vc::DegreeArray da, int depth, std::int64_t parent) {
+    if (pvc_found_) return 0;
+
+    const vc::BudgetPolicy policy =
+        mvc_ ? vc::BudgetPolicy::mvc(best_) : vc::BudgetPolicy::pvc(k_);
+    vc::reduce(g_, da, policy, opt_.solver.semantics, opt_.solver.rules);
+
+    const std::int64_t s = da.solution_size();
+    const std::int64_t e = da.num_edges();
+    const bool pruned =
+        mvc_ ? (s >= best_ || e > (best_ - s - 1) * (best_ - s - 1))
+             : (s > k_ || e > (k_ - s) * (k_ - s));
+    const bool cover = !pruned && e == 0;
+
+    const bool emit = emitted_ < max_nodes_;
+    std::int64_t id = -1;
+    if (emit) {
+      id = static_cast<std::int64_t>(emitted_++);
+      out_ += util::format(
+          "  n%lld [label=\"d=%d |S|=%lld |E|=%lld\"%s];\n",
+          static_cast<long long>(id), depth, static_cast<long long>(s),
+          static_cast<long long>(e),
+          cover ? ", style=filled, fillcolor=palegreen"
+                : (pruned ? ", style=filled, fillcolor=mistyrose" : ""));
+      if (parent >= 0)
+        out_ += util::format("  n%lld -> n%lld;\n",
+                             static_cast<long long>(parent),
+                             static_cast<long long>(id));
+    }
+
+    std::uint64_t size = 1;
+    if (!pruned) {
+      if (cover) {
+        if (mvc_)
+          best_ = s;
+        else
+          pvc_found_ = true;
+      } else {
+        const Vertex vmax = vc::select_branch_vertex(
+            da, opt_.solver.branch, opt_.solver.branch_seed);
+        GVC_DCHECK(vmax >= 0);
+        vc::DegreeArray neighbors_child = da;
+        neighbors_child.remove_neighbors_into_solution(g_, vmax);
+        da.remove_into_solution(g_, vmax);
+
+        // Each child still gets traversed when the node budget is gone (the
+        // best-bound updates must stay faithful), but its whole sub-tree
+        // collapses into one dashed placeholder under the last emitted
+        // ancestor.
+        auto child = [&](vc::DegreeArray&& node) {
+          const bool full_before = emitted_ >= max_nodes_;
+          const std::uint64_t sz = visit(std::move(node), depth + 1, id);
+          if (id >= 0 && full_before && sz > 0) {
+            out_ += util::format(
+                "  p%llu [label=\"... %llu more nodes\", shape=plaintext];\n"
+                "  n%lld -> p%llu [style=dashed];\n",
+                static_cast<unsigned long long>(placeholders_),
+                static_cast<unsigned long long>(sz),
+                static_cast<long long>(id),
+                static_cast<unsigned long long>(placeholders_));
+            ++placeholders_;
+          }
+          return sz;
+        };
+        size += child(std::move(da));
+        size += child(std::move(neighbors_child));
+      }
+    }
+
+    return size;
+  }
+
+  const CsrGraph& g_;
+  const TreeShapeOptions& opt_;
+  std::uint64_t max_nodes_;
+  std::string& out_;
+
+  bool mvc_ = true;
+  int k_ = 0;
+  std::int64_t best_ = 0;
+  bool pvc_found_ = false;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t placeholders_ = 0;
+};
+
+}  // namespace
+
+std::string tree_to_dot(const graph::CsrGraph& g,
+                        const TreeShapeOptions& options,
+                        std::uint64_t max_nodes) {
+  std::string out;
+  DotEmitter emitter(g, options, max_nodes, out);
+  emitter.run();
+  return out;
+}
+
+}  // namespace gvc::harness

@@ -1,0 +1,72 @@
+#pragma once
+
+// Configuration and result types shared by the two GPU-style solvers.
+
+#include <cstdint>
+
+#include "device/device_spec.hpp"
+#include "device/occupancy.hpp"
+#include "device/virtual_device.hpp"
+#include "vc/branching.hpp"
+#include "vc/solve_types.hpp"
+#include "worklist/global_worklist.hpp"
+
+namespace gvc::parallel {
+
+struct ParallelConfig {
+  vc::Problem problem = vc::Problem::kMvc;
+  int k = 0;  ///< PVC bound
+
+  /// Device model the kernel is planned against (§IV-E). For host runs use
+  /// a scaled device (see DeviceSpec presets) so the grid fits host threads.
+  device::DeviceSpec device = device::DeviceSpec::host_scaled();
+
+  /// Reduction-rule semantics; GPU kernels use the sweep semantics (§IV-D).
+  vc::ReduceSemantics semantics = vc::ReduceSemantics::kParallelSweep;
+  vc::RuleSet rules = {};
+  vc::Limits limits = {};
+
+  /// Branching-vertex selection; kMaxDegree is the paper's rule (§II-B).
+  vc::BranchStrategy branch = vc::BranchStrategy::kMaxDegree;
+  std::uint64_t branch_seed = 0;  ///< used by BranchStrategy::kRandom
+
+  /// Force a block size in the occupancy plan (0 = let §IV-E choose).
+  int block_size_override = 0;
+
+  /// Force the grid size (0 = the plan's resident-grid size). For Hybrid
+  /// this is the number of persistent blocks in the termination protocol.
+  int grid_override = 0;
+
+  // --- StackOnly ---
+  /// Sub-trees start at this tree depth: the grid is 2^start_depth blocks
+  /// (the paper evaluates depths 8/12/16 on the full-size card; the scaled
+  /// ablation sweeps 4/6/8/10).
+  int start_depth = 6;
+
+  // --- Hybrid ---
+  /// Global worklist capacity in entries (the paper uses 128K-512K on a
+  /// 32 GiB card; scaled defaults keep the same threshold/capacity ratios).
+  std::size_t worklist_capacity = 4096;
+
+  /// Donation threshold as a fraction of capacity (paper sweeps 0.25-1.0).
+  double worklist_threshold_frac = 0.5;
+};
+
+struct ParallelResult : vc::SolveResult {
+  device::LaunchPlan plan;
+  device::LaunchStats launch;
+  worklist::WorklistStats worklist;  ///< meaningful for Hybrid only
+
+  /// Simulated parallel execution time: the per-SM CPU-work makespan of the
+  /// launch (LaunchStats::makespan_seconds). For Sequential this equals
+  /// `seconds`. The benches report this as the "GPU time" — on a host with
+  /// fewer cores than virtual SMs, `seconds` measures total work instead.
+  double sim_seconds = 0.0;
+
+  /// GlobalOnly only: number of tree nodes a block had to keep locally
+  /// because the worklist was full — the frontier-explosion events of
+  /// §IV-A's strawman design. Always 0 for the other methods.
+  std::uint64_t overflow_spills = 0;
+};
+
+}  // namespace gvc::parallel

@@ -1,0 +1,179 @@
+#include "parallel/global_only.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "parallel/shared_state.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/branching.hpp"
+#include "vc/greedy.hpp"
+#include "vc/reductions.hpp"
+#include "worklist/global_worklist.hpp"
+
+namespace gvc::parallel {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+using util::Activity;
+using util::ActivityScope;
+using worklist::GlobalWorklist;
+
+}  // namespace
+
+ParallelResult solve_global_only(const CsrGraph& g,
+                                 const ParallelConfig& config) {
+  util::WallTimer timer;
+  ParallelResult result;
+
+  const bool mvc = config.problem == vc::Problem::kMvc;
+  GVC_CHECK_MSG(mvc || config.k > 0, "PVC requires k > 0");
+
+  vc::GreedyResult greedy = vc::greedy_mvc(g);
+  result.greedy_upper_bound = greedy.size;
+  const int depth_bound = (mvc ? greedy.size : config.k) + 2;
+
+  result.plan = device::plan_launch(config.device, g.num_vertices(),
+                                    depth_bound, config.block_size_override);
+  const int grid =
+      config.grid_override > 0 ? config.grid_override : result.plan.grid_size;
+  GVC_CHECK(grid > 0);
+
+  SharedSearch shared(config.problem, config.k, greedy.size,
+                      std::move(greedy.cover), config.limits);
+
+  // Threshold == capacity: the donation gate never rejects below fullness,
+  // so try_donate degenerates to "add unless full" — the per-node policy of
+  // the strawman. rejected_full then counts exactly the explosion events.
+  GlobalWorklist worklist(config.worklist_capacity, config.worklist_capacity,
+                          grid);
+  worklist.add(vc::DegreeArray(g));
+
+  std::atomic<std::uint64_t> spills{0};
+
+  auto body = [&](device::BlockContext& ctx) {
+    // Host-side escape hatch for a full queue; see the header comment. The
+    // pure design has no per-block storage at all.
+    std::vector<vc::DegreeArray> spill;
+    vc::DegreeArray da;
+    vc::DegreeArray child;
+    bool have_node = false;
+
+    for (;;) {
+      if (!mvc && shared.pvc_found()) return;
+      if (shared.aborted()) {
+        worklist.signal_stop();
+        return;
+      }
+
+      if (!have_node) {
+        if (!spill.empty()) {
+          ActivityScope scope(ctx.activities(), Activity::kStackPop);
+          da = std::move(spill.back());
+          spill.pop_back();
+        } else {
+          std::uint64_t t0 = util::thread_cpu_ns();
+          GlobalWorklist::RemoveOutcome out = worklist.remove(da);
+          std::uint64_t elapsed = util::thread_cpu_ns() - t0;
+          if (out == GlobalWorklist::RemoveOutcome::kDone) {
+            ctx.activities().add(Activity::kTerminate, elapsed);
+            return;
+          }
+          ctx.activities().add(Activity::kWorklistRemove, elapsed);
+        }
+      }
+      have_node = false;
+
+      if (!shared.register_node()) {
+        worklist.signal_stop();
+        return;
+      }
+      ctx.count_node();
+
+      const vc::BudgetPolicy policy =
+          mvc ? vc::BudgetPolicy::mvc(shared.best())
+              : vc::BudgetPolicy::pvc(config.k);
+      vc::reduce(g, da, policy, config.semantics, config.rules,
+                 &ctx.activities());
+
+      const std::int64_t s = da.solution_size();
+      const std::int64_t e = da.num_edges();
+      bool pruned;
+      if (mvc) {
+        const std::int64_t best = shared.best();
+        pruned = s >= best || e > (best - s - 1) * (best - s - 1);
+      } else {
+        const std::int64_t k = config.k;
+        pruned = s > k || e > (k - s) * (k - s);
+      }
+      if (pruned) continue;
+
+      Vertex vmax;
+      {
+        ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
+        vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
+      }
+      if (vmax < 0) {  // edgeless: new cover found
+        if (mvc) {
+          shared.offer_cover(da);
+          continue;
+        }
+        shared.set_pvc_found(da);
+        worklist.signal_stop();
+        return;
+      }
+
+      // Branch: the strawman hands BOTH children to the worklist rather
+      // than keeping one. The vmax child goes second so that under spill
+      // the locally retained order still favors the deeper (neighbors)
+      // branch, mirroring Fig. 4's traversal order.
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+        child = da;
+        child.remove_neighbors_into_solution(g, vmax);
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+      bool donated_child;
+      {
+        ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
+        donated_child = worklist.try_donate(std::move(child));
+      }
+      if (!donated_child) {
+        spills.fetch_add(1, std::memory_order_relaxed);
+        ActivityScope scope(ctx.activities(), Activity::kStackPush);
+        spill.push_back(child);
+      }
+      bool donated_self;
+      {
+        ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
+        donated_self = worklist.try_donate(std::move(da));
+      }
+      if (!donated_self) {
+        // Keep it in hand: processing it directly is cheaper than a spill
+        // round-trip and keeps the loop structure of Fig. 4.
+        spills.fetch_add(1, std::memory_order_relaxed);
+        have_node = true;
+      }
+    }
+  };
+
+  device::VirtualDevice dev(config.device);
+  result.launch = dev.launch(grid, /*cooperative=*/true, body);
+
+  static_cast<vc::SolveResult&>(result) = shared.harvest();
+  result.greedy_upper_bound = greedy.size;
+  result.seconds = timer.seconds();
+  result.sim_seconds = result.launch.makespan_seconds();
+  result.worklist = worklist.stats();
+  result.overflow_spills = spills.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace gvc::parallel

@@ -1,0 +1,31 @@
+#pragma once
+
+// The pure-global-worklist design that §IV-A discusses (and rejects) as the
+// motivation for the Hybrid approach: thread blocks are assigned single tree
+// nodes instead of sub-trees, and on every branch BOTH children go back to
+// the global worklist. This extracts maximal parallelism and obviates local
+// stacks, but converts the traversal into a breadth-first one whose frontier
+// explodes exponentially and serializes every block through the queue.
+//
+// We implement it as a measurable baseline so the ablation benches can put
+// numbers on the two drawbacks the paper names: queue occupancy approaching
+// capacity (vs. the Hybrid threshold holding it low) and the share of block
+// time spent inside worklist add/remove (contention).
+//
+// On a real GPU a full queue would deadlock the kernel (every block stuck in
+// add, none removing) or require an over-provisioned worklist. As the
+// host-side escape hatch, a block whose add is rejected keeps the node on an
+// unbounded per-block spill vector and drains it before touching the
+// worklist again; every such event is counted in
+// ParallelResult::overflow_spills, making the explosion visible instead of
+// fatal.
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+
+namespace gvc::parallel {
+
+ParallelResult solve_global_only(const graph::CsrGraph& g,
+                                 const ParallelConfig& config);
+
+}  // namespace gvc::parallel

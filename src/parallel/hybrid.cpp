@@ -1,0 +1,177 @@
+#include "parallel/hybrid.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/shared_state.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/branching.hpp"
+#include "vc/greedy.hpp"
+#include "vc/reductions.hpp"
+#include "worklist/global_worklist.hpp"
+#include "worklist/local_stack.hpp"
+
+namespace gvc::parallel {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+using util::Activity;
+using util::ActivityScope;
+using worklist::GlobalWorklist;
+
+}  // namespace
+
+ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
+  util::WallTimer timer;
+  ParallelResult result;
+
+  const bool mvc = config.problem == vc::Problem::kMvc;
+  GVC_CHECK_MSG(mvc || config.k > 0, "PVC requires k > 0");
+
+  vc::GreedyResult greedy = vc::greedy_mvc(g);
+  result.greedy_upper_bound = greedy.size;
+  const int depth_bound = (mvc ? greedy.size : config.k) + 2;
+
+  result.plan = device::plan_launch(config.device, g.num_vertices(),
+                                    depth_bound, config.block_size_override);
+
+  // Persistent grid: every block participates in the termination protocol,
+  // so the grid size is exactly the resident-block count.
+  const int grid =
+      config.grid_override > 0 ? config.grid_override : result.plan.grid_size;
+  GVC_CHECK(grid > 0);
+
+  SharedSearch shared(config.problem, config.k, greedy.size,
+                      std::move(greedy.cover), config.limits);
+
+  const auto threshold = static_cast<std::size_t>(
+      config.worklist_threshold_frac *
+      static_cast<double>(config.worklist_capacity));
+  GlobalWorklist worklist(config.worklist_capacity,
+                          std::min(threshold, config.worklist_capacity), grid);
+
+  // Seed: the worklist initially holds the root of the tree (§IV-A).
+  worklist.add(vc::DegreeArray(g));
+
+  const Vertex n = g.num_vertices();
+
+  auto body = [&](device::BlockContext& ctx) {
+    worklist::LocalStack stack(n, depth_bound);
+    vc::DegreeArray da;
+    vc::DegreeArray child;
+    bool get_new_node = true;
+
+    for (;;) {
+      // PVC: blocks check the found-flag before picking up new work (§IV-A);
+      // the abort latch (node/time budget) exits the same way.
+      if (!mvc && shared.pvc_found()) return;
+      if (shared.aborted()) {
+        worklist.signal_stop();
+        return;
+      }
+
+      if (get_new_node) {
+        bool popped;
+        {
+          ActivityScope scope(ctx.activities(), Activity::kStackPop);
+          popped = stack.try_pop(da);
+        }
+        if (!popped) {
+          // CPU time, like every activity: contention/polling cost is
+          // charged, sleep-waiting is free (an idle SM). See EXPERIMENTS.md
+          // for how this maps onto the paper's Fig. 6 waiting share.
+          std::uint64_t t0 = util::thread_cpu_ns();
+          GlobalWorklist::RemoveOutcome out = worklist.remove(da);
+          std::uint64_t elapsed = util::thread_cpu_ns() - t0;
+          if (out == GlobalWorklist::RemoveOutcome::kDone) {
+            // Waiting that ends in termination is charged to "Terminate".
+            ctx.activities().add(Activity::kTerminate, elapsed);
+            return;
+          }
+          ctx.activities().add(Activity::kWorklistRemove, elapsed);
+        }
+      }
+
+      if (!shared.register_node()) {
+        worklist.signal_stop();
+        return;
+      }
+      ctx.count_node();
+
+      const vc::BudgetPolicy policy =
+          mvc ? vc::BudgetPolicy::mvc(shared.best())
+              : vc::BudgetPolicy::pvc(config.k);
+      vc::reduce(g, da, policy, config.semantics, config.rules,
+                 &ctx.activities());
+
+      const std::int64_t s = da.solution_size();
+      const std::int64_t e = da.num_edges();
+      bool pruned;
+      if (mvc) {
+        const std::int64_t best = shared.best();
+        pruned = s >= best || e > (best - s - 1) * (best - s - 1);
+      } else {
+        const std::int64_t k = config.k;
+        pruned = s > k || e > (k - s) * (k - s);
+      }
+      if (pruned) {
+        get_new_node = true;
+        continue;
+      }
+
+      Vertex vmax;
+      {
+        ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
+        vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
+      }
+      if (vmax < 0) {  // edgeless: new cover found
+        if (mvc) {
+          shared.offer_cover(da);
+          get_new_node = true;
+          continue;
+        }
+        shared.set_pvc_found(da);
+        worklist.signal_stop();
+        return;
+      }
+
+      // Branch (Fig. 4 lines 20-29): build the neighbors child, donate it
+      // to the worklist if below threshold else keep it on the local stack,
+      // then continue immediately with the vmax child.
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+        child = da;
+        child.remove_neighbors_into_solution(g, vmax);
+      }
+      bool donated;
+      {
+        ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
+        donated = worklist.try_donate(std::move(child));
+      }
+      if (!donated) {
+        ActivityScope scope(ctx.activities(), Activity::kStackPush);
+        stack.push(child);
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+      get_new_node = false;
+    }
+  };
+
+  device::VirtualDevice dev(config.device);
+  result.launch = dev.launch(grid, /*cooperative=*/true, body);
+
+  static_cast<vc::SolveResult&>(result) = shared.harvest();
+  result.greedy_upper_bound = greedy.size;
+  result.seconds = timer.seconds();
+  result.sim_seconds = result.launch.makespan_seconds();
+  result.worklist = worklist.stats();
+  return result;
+}
+
+}  // namespace gvc::parallel

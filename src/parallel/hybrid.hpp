@@ -1,0 +1,18 @@
+#pragma once
+
+// The Hybrid solver (Fig. 4) — the paper's contribution. A persistent grid
+// of thread blocks each traverses a sub-tree depth-first with a local stack,
+// but on every branch donates one child to the bounded global worklist while
+// the worklist holds fewer than `threshold` entries. Idle blocks pop their
+// local stack first and steal from the worklist second; termination is the
+// all-blocks-waiting-on-empty-worklist protocol of §IV-C.
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+
+namespace gvc::parallel {
+
+ParallelResult solve_hybrid(const graph::CsrGraph& g,
+                            const ParallelConfig& config);
+
+}  // namespace gvc::parallel

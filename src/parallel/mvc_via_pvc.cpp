@@ -1,0 +1,85 @@
+#include "parallel/mvc_via_pvc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/bounds.hpp"
+#include "vc/greedy.hpp"
+
+namespace gvc::parallel {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+/// One PVC probe at the given k, recorded into the result.
+bool probe(const CsrGraph& g, Method method, const ParallelConfig& base,
+           int k, MvcViaPvcResult& result,
+           std::vector<Vertex>* cover_if_found) {
+  ParallelConfig config = base;
+  config.problem = vc::Problem::kPvc;
+  config.k = k;
+  ParallelResult r = solve(g, method, config);
+  ++result.queries;
+  result.trace.emplace_back(k, r.found);
+  result.total_tree_nodes += r.tree_nodes;
+  if (r.timed_out) result.timed_out = true;
+  if (r.found && cover_if_found != nullptr) *cover_if_found = r.cover;
+  return r.found;
+}
+
+}  // namespace
+
+MvcViaPvcResult solve_mvc_via_pvc(const CsrGraph& g, Method method,
+                                  const ParallelConfig& config,
+                                  PvcSearch search) {
+  util::WallTimer timer;
+  MvcViaPvcResult result;
+
+  // The greedy cover is the initial witness: PVC(greedy_ub) is trivially
+  // "yes", so the search starts strictly below it.
+  vc::GreedyResult greedy = vc::greedy_mvc(g);
+  result.best_size = greedy.size;
+  result.cover = greedy.cover;
+
+  if (greedy.size == 0) {  // edgeless
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  if (search == PvcSearch::kLinearDown) {
+    // Every "yes" lowers the witness; the single "no" proves minimality.
+    // k = 0 is never probed: the graph has an edge, so min ≥ 1.
+    for (int k = greedy.size - 1; k >= 1; --k) {
+      std::vector<Vertex> cover;
+      if (!probe(g, method, config, k, result, &cover)) break;
+      // The solver may find a cover smaller than k; skip the gap.
+      result.cover = std::move(cover);
+      result.best_size = static_cast<int>(result.cover.size());
+      k = result.best_size;  // loop decrement probes best_size - 1 next
+    }
+  } else {
+    int lo = vc::lower_bound(g);  // max(matching, clique cover) ≤ min
+    int hi = greedy.size;         // witness in hand
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      std::vector<Vertex> cover;
+      if (probe(g, method, config, mid, result, &cover)) {
+        result.cover = std::move(cover);
+        result.best_size = static_cast<int>(result.cover.size());
+        hi = std::min(mid, result.best_size);
+      } else {
+        lo = mid + 1;
+      }
+    }
+    result.best_size = hi;
+  }
+
+  result.seconds = timer.seconds();
+  GVC_DCHECK(static_cast<int>(result.cover.size()) == result.best_size);
+  return result;
+}
+
+}  // namespace gvc::parallel

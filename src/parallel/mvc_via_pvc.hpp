@@ -1,0 +1,51 @@
+#pragma once
+
+// MVC through repeated PVC queries — the flip side of the paper's §II-B
+// observation that "PVC tends to be faster than MVC when k ≥ min" because
+// the search stops at the first cover, while MVC must exhaust the tree.
+//
+// Any monotone sequence of PVC queries pins the minimum:
+//   * kLinearDown starts at the greedy upper bound and decreases k until
+//     the first "no". Every "yes" query is one of the paper's easy
+//     instances (k ≥ min); exactly one hard k = min − 1 proof is paid.
+//   * kBinary bisects [lower_bound, greedy_ub]. Fewer queries, but the
+//     early probes sit well below min, and the paper's Table I shows
+//     k < min instances are as hard as MVC (full-tree refutations).
+//
+// bench/ablation_mvc_via_pvc measures when either beats the direct MVC
+// solve. The queries run through any of the parallel engines.
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/solver.hpp"
+
+namespace gvc::parallel {
+
+enum class PvcSearch {
+  kLinearDown,  ///< greedy_ub − 1, −2, ... until the first "no"
+  kBinary,      ///< bisect [matching/clique lower bound, greedy_ub]
+};
+
+struct MvcViaPvcResult {
+  int best_size = -1;
+  std::vector<graph::Vertex> cover;
+
+  int queries = 0;                          ///< PVC solves issued
+  std::vector<std::pair<int, bool>> trace;  ///< (k, found) per query
+  std::uint64_t total_tree_nodes = 0;       ///< summed over all queries
+  double seconds = 0.0;                     ///< wall clock, all queries
+  bool timed_out = false;  ///< a query hit its limit; result is then only an
+                           ///< upper bound on the minimum
+};
+
+/// Computes the minimum vertex cover of g by PVC queries through `method`.
+/// `config`'s problem/k fields are overridden per query; limits apply to
+/// each query individually. The greedy bound caps the search from above;
+/// vc::lower_bound caps it from below (kBinary).
+MvcViaPvcResult solve_mvc_via_pvc(const graph::CsrGraph& g, Method method,
+                                  const ParallelConfig& config,
+                                  PvcSearch search = PvcSearch::kLinearDown);
+
+}  // namespace gvc::parallel

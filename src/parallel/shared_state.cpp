@@ -1,0 +1,79 @@
+#include "parallel/shared_state.hpp"
+
+#include "util/check.hpp"
+
+namespace gvc::parallel {
+
+SharedSearch::SharedSearch(vc::Problem problem, int k, int initial_best,
+                           std::vector<graph::Vertex> initial_cover,
+                           const vc::Limits& limits)
+    : problem_(problem),
+      k_(k),
+      limits_(limits),
+      best_(initial_best),
+      best_cover_(std::move(initial_cover)) {
+  GVC_CHECK(problem_ == vc::Problem::kMvc || k_ > 0);
+  GVC_CHECK(initial_best >= 0);
+  GVC_CHECK(static_cast<int>(best_cover_.size()) == initial_best);
+}
+
+bool SharedSearch::offer_cover(const vc::DegreeArray& da) {
+  int size = da.solution_size();
+  int cur = best_.load(std::memory_order_acquire);
+  while (size < cur) {
+    if (best_.compare_exchange_weak(cur, size, std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Another improver may have raced us with an even smaller cover;
+      // only materialize ours if it still matches the atomic.
+      if (best_.load(std::memory_order_acquire) == size)
+        best_cover_ = da.solution();
+      return true;
+    }
+  }
+  return false;
+}
+
+void SharedSearch::set_pvc_found(const vc::DegreeArray& da) {
+  bool expected = false;
+  if (pvc_found_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pvc_cover_ = da.solution();
+  }
+}
+
+bool SharedSearch::register_node() {
+  std::uint64_t n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes) {
+    aborted_.store(true, std::memory_order_release);
+    return false;
+  }
+  // Clock reads are cheap (vDSO) but still amortized across nodes.
+  if (limits_.time_limit_s != 0.0 && (n & 63) == 0 &&
+      timer_.seconds() > limits_.time_limit_s) {
+    aborted_.store(true, std::memory_order_release);
+    return false;
+  }
+  return !aborted_.load(std::memory_order_acquire);
+}
+
+vc::SolveResult SharedSearch::harvest() const {
+  vc::SolveResult r;
+  r.tree_nodes = nodes();
+  r.timed_out = aborted();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (problem_ == vc::Problem::kMvc) {
+    r.found = true;
+    r.best_size = best_.load(std::memory_order_acquire);
+    r.cover = best_cover_;
+  } else {
+    r.found = pvc_found();
+    if (r.found) {
+      r.best_size = static_cast<int>(pvc_cover_.size());
+      r.cover = pvc_cover_;
+    }
+  }
+  return r;
+}
+
+}  // namespace gvc::parallel

@@ -1,0 +1,66 @@
+#pragma once
+
+// State shared by all thread blocks of one kernel launch: the atomic `best`
+// (Fig. 4 line 18's atomic minimum update), the PVC found-flag (§IV-A), and
+// the limit/abort latch used by the harness to emulate the paper's ">2 hrs"
+// cut-offs.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/timer.hpp"
+#include "vc/degree_array.hpp"
+#include "vc/solve_types.hpp"
+
+namespace gvc::parallel {
+
+class SharedSearch {
+ public:
+  SharedSearch(vc::Problem problem, int k, int initial_best,
+               std::vector<graph::Vertex> initial_cover,
+               const vc::Limits& limits);
+
+  vc::Problem problem() const { return problem_; }
+  int k() const { return k_; }
+
+  /// Current best cover size (MVC). Lock-free; safe from any block.
+  int best() const { return best_.load(std::memory_order_acquire); }
+
+  /// MVC: record a strictly better cover. Returns true if `da`'s solution
+  /// improved the best at the moment of the call.
+  bool offer_cover(const vc::DegreeArray& da);
+
+  /// PVC: latch the first cover of size ≤ k. Idempotent; later calls lose.
+  void set_pvc_found(const vc::DegreeArray& da);
+  bool pvc_found() const { return pvc_found_.load(std::memory_order_acquire); }
+
+  /// Accounts one visited tree node against the limits. Returns false once
+  /// the node or time budget is exhausted (and latches aborted()).
+  bool register_node();
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  std::uint64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of the answer after the launch has completed.
+  vc::SolveResult harvest() const;
+
+ private:
+  vc::Problem problem_;
+  int k_;
+  vc::Limits limits_;
+  util::WallTimer timer_;
+
+  std::atomic<int> best_;
+  std::atomic<bool> pvc_found_{false};
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> nodes_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<graph::Vertex> best_cover_;  // guarded by mutex_
+  std::vector<graph::Vertex> pvc_cover_;   // guarded by mutex_
+};
+
+}  // namespace gvc::parallel

@@ -1,0 +1,69 @@
+#include "parallel/solver.hpp"
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::parallel {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kSequential:   return "Sequential";
+    case Method::kStackOnly:    return "StackOnly";
+    case Method::kHybrid:       return "Hybrid";
+    case Method::kGlobalOnly:   return "GlobalOnly";
+    case Method::kWorkStealing: return "WorkStealing";
+  }
+  return "?";
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> kAll = {
+      Method::kSequential, Method::kStackOnly, Method::kHybrid,
+      Method::kGlobalOnly, Method::kWorkStealing};
+  return kAll;
+}
+
+Method parse_method(const std::string& name) {
+  std::string n = util::to_lower(name);
+  if (n == "sequential" || n == "seq") return Method::kSequential;
+  if (n == "stackonly" || n == "stack-only") return Method::kStackOnly;
+  if (n == "hybrid") return Method::kHybrid;
+  if (n == "globalonly" || n == "global-only") return Method::kGlobalOnly;
+  if (n == "workstealing" || n == "work-stealing")
+    return Method::kWorkStealing;
+  GVC_CHECK_MSG(false,
+                "unknown method (want "
+                "sequential|stackonly|hybrid|globalonly|workstealing)");
+  return Method::kSequential;
+}
+
+ParallelResult solve(const graph::CsrGraph& g, Method method,
+                     const ParallelConfig& config) {
+  switch (method) {
+    case Method::kSequential: {
+      vc::SequentialConfig sc;
+      sc.problem = config.problem;
+      sc.k = config.k;
+      // The Sequential baseline of §V-A runs the textbook serial rules.
+      sc.semantics = vc::ReduceSemantics::kSerial;
+      sc.rules = config.rules;
+      sc.limits = config.limits;
+      ParallelResult r;
+      static_cast<vc::SolveResult&>(r) = solve_sequential(g, sc);
+      r.sim_seconds = r.seconds;  // one CPU thread: makespan == wall time
+      return r;
+    }
+    case Method::kStackOnly:
+      return solve_stack_only(g, config);
+    case Method::kHybrid:
+      return solve_hybrid(g, config);
+    case Method::kGlobalOnly:
+      return solve_global_only(g, config);
+    case Method::kWorkStealing:
+      return solve_work_stealing(g, config);
+  }
+  GVC_CHECK(false);
+  return {};
+}
+
+}  // namespace gvc::parallel

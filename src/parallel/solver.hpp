@@ -1,0 +1,45 @@
+#pragma once
+
+// Unified entry point over the code versions: the three the paper evaluates
+// in §V — Sequential (single CPU thread), StackOnly (prior work's
+// fixed-depth sub-tree distribution) and Hybrid (the paper's contribution) —
+// plus two study baselines: GlobalOnly (the pure-worklist strawman §IV-A
+// motivates Hybrid against) and WorkStealing (per-block deques with steals,
+// the classic alternative load balancer).
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+#include "parallel/global_only.hpp"
+#include "parallel/hybrid.hpp"
+#include "parallel/stack_only.hpp"
+#include "parallel/work_stealing.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::parallel {
+
+enum class Method {
+  kSequential,
+  kStackOnly,
+  kHybrid,
+  kGlobalOnly,
+  kWorkStealing,
+};
+
+const char* method_name(Method m);
+
+/// All methods, in the order above (handy for sweeps).
+const std::vector<Method>& all_methods();
+
+/// Parses "sequential" / "stackonly" / "hybrid" / "globalonly" /
+/// "workstealing" (case-insensitive). Aborts on anything else.
+Method parse_method(const std::string& name);
+
+/// Runs the selected implementation. Sequential ignores the device/worklist
+/// fields of the config; its result has empty launch/worklist stats.
+ParallelResult solve(const graph::CsrGraph& g, Method method,
+                     const ParallelConfig& config);
+
+}  // namespace gvc::parallel

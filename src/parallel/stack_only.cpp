@@ -1,0 +1,159 @@
+#include "parallel/stack_only.hpp"
+
+#include <utility>
+
+#include "parallel/shared_state.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/branching.hpp"
+#include "vc/greedy.hpp"
+#include "vc/reductions.hpp"
+#include "worklist/local_stack.hpp"
+
+namespace gvc::parallel {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+using util::Activity;
+using util::ActivityScope;
+
+enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
+
+/// One visit of Fig. 1: reduce, stopping condition, cover check. On kBranch,
+/// vmax_out holds the branching vertex.
+NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
+                         SharedSearch& shared, device::BlockContext& ctx,
+                         vc::DegreeArray& da, Vertex& vmax_out) {
+  if (!shared.register_node()) return NodeOutcome::kAbort;
+  ctx.count_node();
+
+  const bool mvc = config.problem == vc::Problem::kMvc;
+  const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
+                                      : vc::BudgetPolicy::pvc(config.k);
+  vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities());
+
+  const std::int64_t s = da.solution_size();
+  const std::int64_t e = da.num_edges();
+  if (mvc) {
+    const std::int64_t best = shared.best();
+    if (s >= best || e > (best - s - 1) * (best - s - 1))
+      return NodeOutcome::kPruned;
+  } else {
+    const std::int64_t k = config.k;
+    if (s > k || e > (k - s) * (k - s)) return NodeOutcome::kPruned;
+  }
+
+  Vertex vmax;
+  {
+    ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
+    vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
+  }
+  if (vmax < 0) {  // edgeless: cover found
+    if (mvc)
+      shared.offer_cover(da);
+    else
+      shared.set_pvc_found(da);
+    return NodeOutcome::kFound;
+  }
+  vmax_out = vmax;
+  return NodeOutcome::kBranch;
+}
+
+}  // namespace
+
+ParallelResult solve_stack_only(const CsrGraph& g,
+                                const ParallelConfig& config) {
+  util::WallTimer timer;
+  ParallelResult result;
+
+  const bool mvc = config.problem == vc::Problem::kMvc;
+  GVC_CHECK_MSG(mvc || config.k > 0, "PVC requires k > 0");
+  GVC_CHECK(config.start_depth >= 0 && config.start_depth < 24);
+
+  // Greedy approximation on the CPU (§II-B): seeds `best` and bounds the
+  // local stack depth (§IV-E).
+  vc::GreedyResult greedy = vc::greedy_mvc(g);
+  result.greedy_upper_bound = greedy.size;
+  const int depth_bound = (mvc ? greedy.size : config.k) + 2;
+
+  result.plan = device::plan_launch(config.device, g.num_vertices(),
+                                    depth_bound, config.block_size_override);
+
+  SharedSearch shared(config.problem, config.k, greedy.size,
+                      std::move(greedy.cover), config.limits);
+
+  // One block per depth-D branch pattern. grid_override is not meaningful
+  // here: the grid is structurally 2^start_depth.
+  const int grid = 1 << config.start_depth;
+  const Vertex n = g.num_vertices();
+
+  auto body = [&](device::BlockContext& ctx) {
+    if (shared.aborted()) return;
+    if (!mvc && shared.pvc_found()) return;
+
+    // Phase 1 — descend from the root to this block's sub-tree, replaying
+    // the branch decisions encoded in the block id (redundant across blocks
+    // with a shared prefix; that redundancy is the point of the baseline).
+    vc::DegreeArray da(g);
+    Vertex vmax = -1;
+    for (int level = 0; level < config.start_depth; ++level) {
+      NodeOutcome out = process_node(g, config, shared, ctx, da, vmax);
+      if (out != NodeOutcome::kBranch) return;  // sub-tree is empty
+      if ((ctx.block_id() >> level) & 1) {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+        da.remove_neighbors_into_solution(g, vmax);
+      } else {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+    }
+
+    // Phase 2 — depth-first traversal of the sub-tree with the pre-allocated
+    // local stack.
+    worklist::LocalStack stack(n, depth_bound);
+    bool have_node = true;
+    vc::DegreeArray child;
+    for (;;) {
+      if (!have_node) {
+        ActivityScope scope(ctx.activities(), Activity::kStackPop);
+        if (!stack.try_pop(da)) break;  // sub-tree exhausted
+      }
+      if (!mvc && shared.pvc_found()) return;
+
+      NodeOutcome out = process_node(g, config, shared, ctx, da, vmax);
+      if (out == NodeOutcome::kAbort) return;
+      if (out != NodeOutcome::kBranch) {
+        have_node = false;
+        continue;
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+        child = da;
+        child.remove_neighbors_into_solution(g, vmax);
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kStackPush);
+        stack.push(child);
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+      have_node = true;
+    }
+  };
+
+  device::VirtualDevice dev(config.device);
+  result.launch =
+      dev.launch(grid, /*cooperative=*/false, body, result.plan.grid_size);
+
+  static_cast<vc::SolveResult&>(result) = shared.harvest();
+  result.greedy_upper_bound = greedy.size;
+  result.seconds = timer.seconds();
+  result.sim_seconds = result.launch.makespan_seconds();
+  return result;
+}
+
+}  // namespace gvc::parallel

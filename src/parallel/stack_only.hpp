@@ -1,0 +1,19 @@
+#pragma once
+
+// The StackOnly baseline (§V-A): sub-trees rooted at a fixed depth are
+// distributed across thread blocks — one block per depth-D branch pattern,
+// 2^D blocks in the grid. Each block re-descends from the root replaying
+// its pattern's branch decisions (the redundant-work overhead of [15]
+// discussed in §III-A), then traverses its sub-tree depth-first with a
+// pre-allocated local stack. Blocks share only the atomic `best` (MVC) or
+// the found-flag (PVC).
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+
+namespace gvc::parallel {
+
+ParallelResult solve_stack_only(const graph::CsrGraph& g,
+                                const ParallelConfig& config);
+
+}  // namespace gvc::parallel

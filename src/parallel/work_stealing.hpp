@@ -1,0 +1,33 @@
+#pragma once
+
+// WorkStealing study baseline: the classic alternative to the paper's
+// bounded global worklist. Every block owns a steal deque (see
+// worklist/steal_deque.hpp); it traverses depth-first through the bottom of
+// its own deque exactly like Hybrid traverses its local stack, but instead
+// of donating branches to a shared queue, idle blocks steal the shallowest
+// entry from a victim's deque, scanning victims round-robin from their own
+// id.
+//
+// Contrasts the benches draw against Hybrid:
+//  * Hybrid pays the broker queue's contention on every branch (the
+//    threshold check) but donation is push-based, so work spreads ahead of
+//    demand; stealing is pull-based and only moves work once a block has
+//    already gone idle.
+//  * Steals take the shallowest node, which is the same
+//    biggest-subtree-first heuristic the worklist achieves implicitly.
+//  * Termination needs a dedicated all-idle protocol (here: the same
+//    waiting-count scheme as GlobalWorklist, over all deques).
+//
+// On the GPU this maps to per-block Chase–Lev deques in global memory; the
+// paper's worklist wins on implementation simplicity and on its §IV-E
+// memory argument (one bounded queue vs. N full-depth deques).
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+
+namespace gvc::parallel {
+
+ParallelResult solve_work_stealing(const graph::CsrGraph& g,
+                                   const ParallelConfig& config);
+
+}  // namespace gvc::parallel

@@ -1,0 +1,37 @@
+#pragma once
+
+// Lightweight precondition / invariant checking.
+//
+// GVC_CHECK is always on (cheap, used for API misuse that would otherwise
+// corrupt state); GVC_DCHECK compiles out in NDEBUG builds and is used on
+// hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gvc::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "GVC_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gvc::util
+
+#define GVC_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::gvc::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GVC_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) ::gvc::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define GVC_DCHECK(expr) ((void)0)
+#else
+#define GVC_DCHECK(expr) GVC_CHECK(expr)
+#endif

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace gvc::util {
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  GVC_CHECK_MSG(!header_written_, "CSV header already written");
+  GVC_CHECK(!cols.empty());
+  cols_ = cols.size();
+  header_written_ = true;
+  emit(cols);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  GVC_CHECK_MSG(header_written_, "CSV row before header");
+  GVC_CHECK_MSG(cells.size() == cols_, "CSV row arity mismatch");
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  bool needs = false;
+  for (char c : cell)
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') { needs = true; break; }
+  if (!needs) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace gvc::util

@@ -1,0 +1,36 @@
+#pragma once
+
+// CSV emission for benchmark results. Every bench binary can mirror its
+// console table into a machine-readable CSV so figures can be re-plotted.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gvc::util {
+
+/// Row-at-a-time CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (must outlive the writer).
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Emit the header row. Must be called before any data row.
+  void header(const std::vector<std::string>& cols);
+
+  /// Emit one data row; arity must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  static std::string quote(const std::string& cell);
+
+  std::ostream& out_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace gvc::util

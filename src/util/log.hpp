@@ -1,0 +1,33 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+
+#include <string>
+
+#include "util/strings.hpp"  // for gvc::util::format used by the macros
+
+namespace gvc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core emit; prefer the GVC_LOG_* macros which skip formatting when the
+/// level is disabled.
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace gvc::util
+
+#define GVC_LOG_AT(level, ...)                                       \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::gvc::util::log_level()))                  \
+      ::gvc::util::log_message(level, ::gvc::util::format(__VA_ARGS__)); \
+  } while (0)
+
+#define GVC_LOG_DEBUG(...) GVC_LOG_AT(::gvc::util::LogLevel::kDebug, __VA_ARGS__)
+#define GVC_LOG_INFO(...)  GVC_LOG_AT(::gvc::util::LogLevel::kInfo, __VA_ARGS__)
+#define GVC_LOG_WARN(...)  GVC_LOG_AT(::gvc::util::LogLevel::kWarn, __VA_ARGS__)
+#define GVC_LOG_ERROR(...) GVC_LOG_AT(::gvc::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace gvc::util {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next();
+  state_ += seed;
+  next();
+}
+
+std::uint32_t Pcg32::next() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::below(std::uint32_t bound) {
+  GVC_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Pcg32::range(std::int64_t lo, std::int64_t hi) {
+  GVC_CHECK(lo <= hi);
+  auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit span: combine two draws
+    std::uint64_t v = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return static_cast<std::int64_t>(v);
+  }
+  if (span <= 0xffffffffULL)
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint32_t>(span)));
+  // span > 2^32: draw 64 bits and reject over the largest multiple.
+  std::uint64_t limit = (~0ULL / span) * span;
+  for (;;) {
+    std::uint64_t v = (static_cast<std::uint64_t>(next()) << 32) | next();
+    if (v < limit) return lo + static_cast<std::int64_t>(v % span);
+  }
+}
+
+double Pcg32::real() {
+  return static_cast<double>(next()) * 0x1.0p-32;
+}
+
+bool Pcg32::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::uint64_t Pcg32::geometric_skip(double p) {
+  GVC_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = real();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-32;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+void shuffle(std::vector<int>& v, Pcg32& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = rng.below(static_cast<std::uint32_t>(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+std::vector<int> sample_without_replacement(int n, int k, Pcg32& rng) {
+  GVC_CHECK(0 <= k && k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::unordered_set<int> chosen;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int j = n - k; j < n; ++j) {
+    int t = static_cast<int>(rng.below(static_cast<std::uint32_t>(j + 1)));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace gvc::util

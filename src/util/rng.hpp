@@ -1,0 +1,62 @@
+#pragma once
+
+// PCG32 pseudo-random generator plus sampling helpers.
+//
+// All graph generators and workload drivers in gvc take an explicit seed so
+// every experiment is reproducible; std::mt19937 is avoided because its
+// stream is not specified to be identical across standard library
+// implementations for the distribution adaptors, whereas everything here is
+// fully self-contained.
+
+#include <cstdint>
+#include <vector>
+
+namespace gvc::util {
+
+/// Melissa O'Neill's PCG-XSH-RR 64/32 generator: 64-bit state, 32-bit output.
+/// Small, fast, and statistically solid for simulation workloads.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Next raw 32-bit value.
+  std::uint32_t next();
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  std::uint32_t operator()() { return next(); }
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+  /// Unbiased integer in [0, bound). bound must be > 0.
+  std::uint32_t below(std::uint32_t bound);
+
+  /// Integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Real in [0, 1).
+  double real();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Geometric "skip" count for Bernoulli(p) sampling: number of failures
+  /// before the next success. Used by the G(n,p) generator to jump directly
+  /// between edges instead of testing every pair. p must be in (0, 1].
+  std::uint64_t geometric_skip(double p);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Fisher–Yates shuffle of v using rng.
+void shuffle(std::vector<int>& v, Pcg32& rng);
+
+/// k distinct integers sampled uniformly from [0, n), in arbitrary order.
+/// Requires 0 <= k <= n. O(k) expected time via Floyd's algorithm.
+std::vector<int> sample_without_replacement(int n, int k, Pcg32& rng);
+
+}  // namespace gvc::util

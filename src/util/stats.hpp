@@ -1,0 +1,38 @@
+#pragma once
+
+// Summary statistics used by the benchmark harness: geometric means for the
+// speedup tables (Table II), quantiles for the load-distribution figure
+// (Fig. 5), and plain moments.
+
+#include <cstddef>
+#include <vector>
+
+namespace gvc::util {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean; requires every sample > 0. 0 for an empty input.
+/// This is the aggregation the paper uses for all speedup tables.
+double geomean(const std::vector<double>& xs);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0,1]. Input need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Box-plot style five-number summary plus mean, as plotted in Fig. 5.
+struct Distribution {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0, mean = 0;
+};
+
+Distribution summarize(const std::vector<double>& xs);
+
+/// Coefficient of variation (stddev / mean); a scalar imbalance measure.
+double coeff_of_variation(const std::vector<double>& xs);
+
+}  // namespace gvc::util

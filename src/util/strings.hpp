@@ -1,0 +1,37 @@
+#pragma once
+
+// Small string helpers shared by the IO parsers and the CLI.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gvc::util {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale-independent).
+std::string to_lower(std::string_view s);
+
+/// Parse an integer; returns false (and leaves out untouched) on any
+/// non-numeric trailing garbage or overflow.
+bool parse_int(std::string_view s, long long& out);
+bool parse_double(std::string_view s, double& out);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width human formatting of seconds, e.g. "1.234", "0.001", ">2 hrs".
+std::string format_seconds(double s);
+
+}  // namespace gvc::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gvc::util {
+
+Table::Table(std::vector<std::string> columns, std::vector<Align> aligns)
+    : columns_(std::move(columns)), aligns_(std::move(aligns)) {
+  GVC_CHECK(!columns_.empty());
+  if (aligns_.empty()) aligns_.assign(columns_.size(), Align::kLeft);
+  GVC_CHECK(aligns_.size() == columns_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GVC_CHECK_MSG(cells.size() == columns_.size(), "table row arity mismatch");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    std::size_t fill = width[c] - s.size();
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "  ";
+    os << pad(columns_[c], c);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      if (c) os << "  ";
+      os << pad(r.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gvc::util

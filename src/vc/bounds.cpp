@@ -1,0 +1,56 @@
+#include "vc/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "vc/greedy.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+int lower_bound_matching(const CsrGraph& g) { return matching_lower_bound(g); }
+
+int lower_bound_clique_cover(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<int> clique_of(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<Vertex>> cliques;
+  // Greedy: place each vertex (descending degree) into the first clique it
+  // is fully adjacent to, else open a new one.
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  for (Vertex v : order) {
+    bool placed = false;
+    for (std::size_t c = 0; c < cliques.size() && !placed; ++c) {
+      bool all_adjacent = true;
+      for (Vertex u : cliques[c]) {
+        if (!g.has_edge(u, v)) {
+          all_adjacent = false;
+          break;
+        }
+      }
+      if (all_adjacent) {
+        cliques[c].push_back(v);
+        clique_of[static_cast<std::size_t>(v)] = static_cast<int>(c);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      clique_of[static_cast<std::size_t>(v)] = static_cast<int>(cliques.size());
+      cliques.push_back({v});
+    }
+  }
+  int bound = 0;
+  for (const auto& c : cliques) bound += static_cast<int>(c.size()) - 1;
+  return bound;
+}
+
+int lower_bound(const CsrGraph& g) {
+  return std::max(lower_bound_matching(g), lower_bound_clique_cover(g));
+}
+
+}  // namespace gvc::vc

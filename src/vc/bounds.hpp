@@ -1,0 +1,23 @@
+#pragma once
+
+// Lower bounds on the minimum vertex cover. Used by tests to bracket solver
+// answers (LB ≤ optimum ≤ greedy) and exposed as library API — branch-and-
+// reduce extensions (the paper's future-work direction of stronger pruning)
+// would plug in here.
+
+#include "graph/csr.hpp"
+
+namespace gvc::vc {
+
+/// Maximal-matching bound: any cover needs one endpoint per matched edge.
+int lower_bound_matching(const graph::CsrGraph& g);
+
+/// Clique-cover bound: a clique on c vertices forces c-1 cover vertices.
+/// Greedily partitions V into cliques and sums (size-1). At least as strong
+/// as the matching bound on dense graphs.
+int lower_bound_clique_cover(const graph::CsrGraph& g);
+
+/// max(matching, clique cover).
+int lower_bound(const graph::CsrGraph& g);
+
+}  // namespace gvc::vc

@@ -1,0 +1,106 @@
+#include "vc/branching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::vc {
+
+const char* branch_strategy_name(BranchStrategy s) {
+  switch (s) {
+    case BranchStrategy::kMaxDegree: return "MaxDegree";
+    case BranchStrategy::kMinDegree: return "MinDegree";
+    case BranchStrategy::kRandom:    return "Random";
+    case BranchStrategy::kFirst:     return "First";
+  }
+  return "?";
+}
+
+BranchStrategy parse_branch_strategy(const std::string& name) {
+  std::string n = util::to_lower(name);
+  n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+  if (n == "maxdegree" || n == "max") return BranchStrategy::kMaxDegree;
+  if (n == "mindegree" || n == "min") return BranchStrategy::kMinDegree;
+  if (n == "random") return BranchStrategy::kRandom;
+  if (n == "first") return BranchStrategy::kFirst;
+  GVC_CHECK_MSG(false,
+                "unknown branch strategy (want maxdegree|mindegree|random|first)");
+  return BranchStrategy::kMaxDegree;
+}
+
+const std::vector<BranchStrategy>& all_branch_strategies() {
+  static const std::vector<BranchStrategy> kAll = {
+      BranchStrategy::kMaxDegree, BranchStrategy::kMinDegree,
+      BranchStrategy::kRandom, BranchStrategy::kFirst};
+  return kAll;
+}
+
+namespace {
+
+Vertex min_degree_vertex(const DegreeArray& da) {
+  Vertex best = -1;
+  std::int32_t best_deg = std::numeric_limits<std::int32_t>::max();
+  const Vertex n = da.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (!da.present(v)) continue;
+    const std::int32_t d = da.degree(v);
+    if (d >= 1 && d < best_deg) {
+      best = v;
+      best_deg = d;
+    }
+  }
+  return best;
+}
+
+Vertex first_vertex(const DegreeArray& da) {
+  const Vertex n = da.num_vertices();
+  for (Vertex v = 0; v < n; ++v)
+    if (da.present(v) && da.degree(v) >= 1) return v;
+  return -1;
+}
+
+Vertex random_vertex(const DegreeArray& da, std::uint64_t seed) {
+  // Stateless per-node choice: mix the seed with the node's signature so
+  // siblings draw differently but re-visits of an identical state agree.
+  const std::uint64_t mix =
+      seed ^ (static_cast<std::uint64_t>(da.solution_size()) << 32) ^
+      static_cast<std::uint64_t>(da.num_edges());
+  const Vertex n = da.num_vertices();
+  std::int64_t candidates = 0;
+  for (Vertex v = 0; v < n; ++v)
+    if (da.present(v) && da.degree(v) >= 1) ++candidates;
+  if (candidates == 0) return -1;
+  util::Pcg32 rng(mix, 0x9e3779b97f4a7c15ULL);
+  std::int64_t pick = rng.range(0, candidates - 1);
+  for (Vertex v = 0; v < n; ++v) {
+    if (da.present(v) && da.degree(v) >= 1 && pick-- == 0) return v;
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace
+
+Vertex select_branch_vertex(const DegreeArray& da, BranchStrategy strategy,
+                            std::uint64_t seed) {
+  switch (strategy) {
+    case BranchStrategy::kMaxDegree: {
+      // The paper's rule, reusing the parallel-reduction-equivalent scan.
+      Vertex v = da.max_degree_vertex();
+      return (v >= 0 && da.degree(v) >= 1) ? v : -1;
+    }
+    case BranchStrategy::kMinDegree:
+      return min_degree_vertex(da);
+    case BranchStrategy::kRandom:
+      return random_vertex(da, seed);
+    case BranchStrategy::kFirst:
+      return first_vertex(da);
+  }
+  GVC_CHECK(false);
+  return -1;
+}
+
+}  // namespace gvc::vc

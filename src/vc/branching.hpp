@@ -1,0 +1,50 @@
+#pragma once
+
+// Branching-vertex selection strategies.
+//
+// The paper (like most branch-and-reduce vertex cover solvers, §II-B)
+// branches on a maximum-degree vertex: the neighbors child then deletes
+// many vertices at once, and the high-degree/edge-count prunes bite early.
+// Any present vertex with at least one incident edge yields a *correct*
+// branching — for every edge {u,v}, either v is in the cover or all of
+// N(v) is — so strategy choice affects only the tree size, never the
+// answer. That makes it an ideal ablation axis: bench/ablation_branching
+// measures how much of the paper's performance comes from this one choice.
+//
+// All strategies are deterministic functions of the intermediate graph (and
+// a seed, for kRandom), so a run's tree is reproducible and independent of
+// which thread block happens to visit a node.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vc/degree_array.hpp"
+
+namespace gvc::vc {
+
+enum class BranchStrategy {
+  kMaxDegree,  ///< highest degree, smallest id on ties — the paper's choice
+  kMinDegree,  ///< lowest non-zero degree (a deliberately weak contrast)
+  kRandom,     ///< uniform over non-isolated present vertices (seeded)
+  kFirst,      ///< smallest-id non-isolated vertex (oblivious baseline)
+};
+
+const char* branch_strategy_name(BranchStrategy s);
+
+/// Parses "maxdegree" / "mindegree" / "random" / "first" (case-insensitive,
+/// hyphens tolerated). Aborts on anything else.
+BranchStrategy parse_branch_strategy(const std::string& name);
+
+/// All strategies, kMaxDegree first (handy for sweeps).
+const std::vector<BranchStrategy>& all_branch_strategies();
+
+/// Selects the branching vertex for the intermediate graph (g, da) under
+/// `strategy`. Returns a present vertex of degree ≥ 1, or -1 if the graph
+/// is edgeless (i.e. a cover has been reached). For kRandom, `seed` is
+/// mixed with the node's (|S|, |E|) so the pick is stateless yet varies
+/// from node to node.
+Vertex select_branch_vertex(const DegreeArray& da, BranchStrategy strategy,
+                            std::uint64_t seed = 0);
+
+}  // namespace gvc::vc

@@ -1,0 +1,59 @@
+#include "vc/components.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+std::vector<ComponentPiece> split_components(const CsrGraph& g) {
+  auto comp = graph::connected_components(g);
+  int num = comp.empty() ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+
+  std::vector<std::vector<Vertex>> members(static_cast<std::size_t>(num));
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    members[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]
+        .push_back(v);
+
+  std::vector<ComponentPiece> pieces;
+  for (auto& m : members) {
+    if (m.size() < 2) continue;  // isolated vertex: no edges to cover
+    ComponentPiece piece;
+    piece.subgraph = graph::induced_subgraph(g, m);
+    if (piece.subgraph.num_edges() == 0) continue;
+    piece.to_original = std::move(m);
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+SolveResult solve_mvc_by_components(
+    const CsrGraph& g,
+    const std::function<SolveResult(const CsrGraph&)>& component_solver) {
+  util::WallTimer timer;
+  SolveResult total;
+  total.found = true;
+  total.best_size = 0;
+
+  for (const ComponentPiece& piece : split_components(g)) {
+    SolveResult r = component_solver(piece.subgraph);
+    GVC_CHECK_MSG(!r.timed_out, "component solve exceeded its budget");
+    GVC_CHECK(r.found);
+    total.best_size += r.best_size;
+    total.tree_nodes += r.tree_nodes;
+    total.greedy_upper_bound += r.greedy_upper_bound;
+    for (Vertex kv : r.cover)
+      total.cover.push_back(piece.to_original[static_cast<std::size_t>(kv)]);
+  }
+  std::sort(total.cover.begin(), total.cover.end());
+  total.seconds = timer.seconds();
+  GVC_DCHECK(graph::is_vertex_cover(g, total.cover));
+  return total;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,34 @@
+#pragma once
+
+// Connected-component decomposition for vertex cover: MVC of a disconnected
+// graph is the sum of per-component MVCs, and components can be solved
+// independently (a classic branch-and-reduce preprocessing; particularly
+// effective on the sparse low-degree instances, which fall apart under the
+// degree-one rule).
+
+#include <functional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vc/solve_types.hpp"
+
+namespace gvc::vc {
+
+struct ComponentPiece {
+  graph::CsrGraph subgraph;
+  /// subgraph vertex id -> original vertex id.
+  std::vector<graph::Vertex> to_original;
+};
+
+/// Splits g into its connected components (singletons with no edges are
+/// dropped — they never enter a minimum cover).
+std::vector<ComponentPiece> split_components(const graph::CsrGraph& g);
+
+/// Exact MVC by solving each component with `component_solver` (a callable
+/// mapping a CsrGraph to a SolveResult, e.g. a bound sequential or hybrid
+/// solve) and summing. Aborts if any component solve times out.
+SolveResult solve_mvc_by_components(
+    const graph::CsrGraph& g,
+    const std::function<SolveResult(const graph::CsrGraph&)>& component_solver);
+
+}  // namespace gvc::vc

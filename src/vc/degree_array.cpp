@@ -1,0 +1,92 @@
+#include "vc/degree_array.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+DegreeArray::DegreeArray(const CsrGraph& g)
+    : deg_(static_cast<std::size_t>(g.num_vertices())),
+      solution_size_(0),
+      num_edges_(g.num_edges()) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    deg_[static_cast<std::size_t>(v)] = g.degree(v);
+}
+
+void DegreeArray::remove_into_solution(const CsrGraph& g, Vertex v) {
+  GVC_DCHECK(present(v));
+  num_edges_ -= deg_[static_cast<std::size_t>(v)];
+  deg_[static_cast<std::size_t>(v)] = kInSolution;
+  ++solution_size_;
+  for (Vertex u : g.neighbors(v)) {
+    auto& d = deg_[static_cast<std::size_t>(u)];
+    if (d != kInSolution) --d;
+  }
+}
+
+int DegreeArray::remove_neighbors_into_solution(const CsrGraph& g, Vertex v) {
+  GVC_DCHECK(present(v));
+  int removed = 0;
+  for (Vertex u : g.neighbors(v)) {
+    if (present(u)) {
+      remove_into_solution(g, u);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+Vertex DegreeArray::max_degree_vertex() const {
+  Vertex arg = -1;
+  std::int32_t best = -1;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    std::int32_t d = deg_[static_cast<std::size_t>(v)];
+    if (d != kInSolution && d > best) {
+      best = d;
+      arg = v;
+    }
+  }
+  return arg;
+}
+
+std::int32_t DegreeArray::max_degree() const {
+  Vertex v = max_degree_vertex();
+  return v < 0 ? 0 : degree(v);
+}
+
+std::vector<Vertex> DegreeArray::solution() const {
+  std::vector<Vertex> out;
+  out.reserve(static_cast<std::size_t>(solution_size_));
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (!present(v)) out.push_back(v);
+  return out;
+}
+
+std::vector<Vertex> DegreeArray::present_vertices() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (present(v)) out.push_back(v);
+  return out;
+}
+
+void DegreeArray::check_consistency(const CsrGraph& g) const {
+  GVC_CHECK(g.num_vertices() == num_vertices());
+  std::int64_t edges = 0;
+  std::int32_t removed = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    if (!present(v)) {
+      ++removed;
+      continue;
+    }
+    std::int32_t expect = 0;
+    for (Vertex u : g.neighbors(v))
+      if (present(u)) ++expect;
+    GVC_CHECK_MSG(degree(v) == expect, "degree array out of sync");
+    edges += expect;
+  }
+  GVC_CHECK_MSG(removed == solution_size_, "solution counter out of sync");
+  GVC_CHECK_MSG(edges / 2 == num_edges_, "edge counter out of sync");
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,91 @@
+#pragma once
+
+// The degree-array representation of an intermediate graph (§IV-B).
+//
+// A search-tree node's state (G', S) is the immutable original CSR graph
+// plus one array with an entry per original vertex: the vertex's current
+// degree if it is still in the graph, or a sentinel if it has been removed
+// and added to the solution S. Two maintained counters — |S| and |E(G')| —
+// implement the paper's optimization of not re-reducing over the array for
+// every stopping-condition check.
+//
+// The representation is:
+//   * compact: O(|V|) per tree node, which is what lets thousands of stack
+//     and worklist entries coexist in memory; and
+//   * self-contained: any thread block holding the original CSR can resume
+//     traversal from a degree array alone, which is what makes donating
+//     branches to the global worklist possible.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+class DegreeArray {
+ public:
+  /// Sentinel degree marking "removed from G and added to S".
+  static constexpr std::int32_t kInSolution = -1;
+
+  DegreeArray() = default;
+
+  /// Root state: every vertex present with its original degree, S = ∅.
+  explicit DegreeArray(const CsrGraph& g);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(deg_.size()); }
+
+  bool present(Vertex v) const {
+    return deg_[static_cast<std::size_t>(v)] != kInSolution;
+  }
+
+  /// Current degree; must only be called on present vertices.
+  std::int32_t degree(Vertex v) const { return deg_[static_cast<std::size_t>(v)]; }
+
+  /// |S|: number of vertices removed into the solution.
+  std::int32_t solution_size() const { return solution_size_; }
+
+  /// |E(G')|: edges among present vertices (maintained incrementally).
+  std::int64_t num_edges() const { return num_edges_; }
+
+  /// Removes v from the graph and adds it to S. Decrements the degrees of
+  /// its present neighbors. Requires present(v).
+  void remove_into_solution(const CsrGraph& g, Vertex v);
+
+  /// Removes every present neighbor of v into S (the "neighbors branch").
+  /// Returns the number of vertices removed. Requires present(v); v itself
+  /// stays in the graph and ends with degree 0.
+  int remove_neighbors_into_solution(const CsrGraph& g, Vertex v);
+
+  /// Present vertex of maximum degree, smallest id on ties (deterministic,
+  /// matching a parallel max-reduction with index tie-breaking). Returns -1
+  /// if no vertex is present.
+  Vertex max_degree_vertex() const;
+
+  /// Maximum current degree (0 if the graph is edgeless or empty).
+  std::int32_t max_degree() const;
+
+  /// The solution set S (ascending vertex order).
+  std::vector<Vertex> solution() const;
+
+  /// Present vertices (ascending).
+  std::vector<Vertex> present_vertices() const;
+
+  /// Recomputes degrees / |S| / |E| from scratch against g and aborts on any
+  /// divergence from the maintained values. Test and debugging aid.
+  void check_consistency(const CsrGraph& g) const;
+
+  bool operator==(const DegreeArray& other) const = default;
+
+  const std::vector<std::int32_t>& raw() const { return deg_; }
+
+ private:
+  std::vector<std::int32_t> deg_;
+  std::int32_t solution_size_ = 0;
+  std::int64_t num_edges_ = 0;
+};
+
+}  // namespace gvc::vc

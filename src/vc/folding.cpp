@@ -1,0 +1,213 @@
+#include "vc/folding.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+/// Mutable adjacency-set view of the working graph. The working space grows
+/// as folds mint new vertices; removed vertices keep an empty set and a
+/// `dead` mark so stale worklist entries are cheap to skip.
+struct Workspace {
+  std::vector<std::set<Vertex>> adj;
+  std::vector<bool> dead;
+  std::deque<Vertex> dirty;  ///< vertices to re-examine
+
+  explicit Workspace(const CsrGraph& g) {
+    const Vertex n = g.num_vertices();
+    adj.resize(static_cast<std::size_t>(n));
+    dead.assign(static_cast<std::size_t>(n), false);
+    for (Vertex v = 0; v < n; ++v) {
+      for (Vertex u : g.neighbors(v)) adj[static_cast<std::size_t>(v)].insert(u);
+      dirty.push_back(v);
+    }
+  }
+
+  std::size_t idx(Vertex v) const { return static_cast<std::size_t>(v); }
+
+  bool alive(Vertex v) const { return !dead[idx(v)]; }
+  int degree(Vertex v) const { return static_cast<int>(adj[idx(v)].size()); }
+
+  void touch(Vertex v) {
+    if (alive(v)) dirty.push_back(v);
+  }
+
+  /// Removes v from the graph; neighbors are re-queued for examination.
+  void remove(Vertex v) {
+    GVC_DCHECK(alive(v));
+    for (Vertex u : adj[idx(v)]) {
+      adj[idx(u)].erase(v);
+      touch(u);
+    }
+    adj[idx(v)].clear();
+    dead[idx(v)] = true;
+  }
+
+  /// Mints the fold product v' of {v, u, w} and removes the three.
+  Vertex fold(Vertex v, Vertex u, Vertex w) {
+    std::set<Vertex> merged_adj;
+    for (Vertex x : adj[idx(u)])
+      if (x != v && x != w) merged_adj.insert(x);
+    for (Vertex x : adj[idx(w)])
+      if (x != v && x != u) merged_adj.insert(x);
+
+    remove(v);
+    remove(u);
+    remove(w);
+
+    const Vertex merged = static_cast<Vertex>(adj.size());
+    adj.push_back(std::move(merged_adj));
+    dead.push_back(false);
+    for (Vertex x : adj[idx(merged)]) {
+      adj[idx(x)].insert(merged);
+      touch(x);
+    }
+    dirty.push_back(merged);
+    return merged;
+  }
+};
+
+}  // namespace
+
+std::vector<Vertex> FoldedKernel::lift(
+    const std::vector<Vertex>& kernel_cover) const {
+  // Working-space membership flags (covers fold products too).
+  std::size_t space = static_cast<std::size_t>(num_original);
+  for (const FoldStep& s : steps)
+    if (s.kind == FoldStep::Kind::kFold)
+      space = std::max(space, static_cast<std::size_t>(s.merged) + 1);
+  std::vector<char> in_cover(space, 0);
+
+  for (Vertex kv : kernel_cover) {
+    GVC_CHECK(kv >= 0 &&
+              static_cast<std::size_t>(kv) < kernel_to_working.size());
+    in_cover[static_cast<std::size_t>(kernel_to_working[
+        static_cast<std::size_t>(kv)])] = 1;
+  }
+
+  // Replay the ledger backwards: later steps may reference fold products of
+  // earlier ones, so the reverse pass resolves every product before the
+  // fold that minted it is undone.
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    switch (it->kind) {
+      case FoldStep::Kind::kForced:
+        in_cover[static_cast<std::size_t>(it->u)] = 1;
+        break;
+      case FoldStep::Kind::kFold:
+        if (in_cover[static_cast<std::size_t>(it->merged)]) {
+          in_cover[static_cast<std::size_t>(it->merged)] = 0;
+          in_cover[static_cast<std::size_t>(it->u)] = 1;
+          in_cover[static_cast<std::size_t>(it->w)] = 1;
+        } else {
+          in_cover[static_cast<std::size_t>(it->v)] = 1;
+        }
+        break;
+    }
+  }
+
+  std::vector<Vertex> cover;
+  for (Vertex v = 0; v < num_original; ++v)
+    if (in_cover[static_cast<std::size_t>(v)]) cover.push_back(v);
+  // Every fold product must have been resolved into original vertices.
+  for (std::size_t i = static_cast<std::size_t>(num_original); i < space; ++i)
+    GVC_CHECK_MSG(!in_cover[i], "unresolved fold product in lifted cover");
+  return cover;
+}
+
+FoldedKernel fold_reduce(const CsrGraph& g) {
+  FoldedKernel result;
+  result.num_original = g.num_vertices();
+
+  Workspace ws(g);
+
+  while (!ws.dirty.empty()) {
+    const Vertex v = ws.dirty.front();
+    ws.dirty.pop_front();
+    if (!ws.alive(v)) continue;
+
+    const int d = ws.degree(v);
+    if (d == 0) {
+      // Isolated: never in a minimum cover; drop silently.
+      ws.remove(v);
+      continue;
+    }
+    if (d == 1) {
+      // Degree-1: the neighbor is at least as good as v.
+      const Vertex u = *ws.adj[ws.idx(v)].begin();
+      result.steps.push_back(
+          {FoldStep::Kind::kForced, /*v=*/-1, /*u=*/u, /*w=*/-1, -1});
+      ++result.cover_offset;
+      ws.remove(u);
+      ws.remove(v);
+      continue;
+    }
+    if (d == 2) {
+      auto it = ws.adj[ws.idx(v)].begin();
+      const Vertex u = *it++;
+      const Vertex w = *it;
+      if (ws.adj[ws.idx(u)].count(w) != 0) {
+        // Triangle: {u, w} is at least as good as any alternative.
+        result.steps.push_back(
+            {FoldStep::Kind::kForced, -1, /*u=*/u, -1, -1});
+        result.steps.push_back(
+            {FoldStep::Kind::kForced, -1, /*u=*/w, -1, -1});
+        result.cover_offset += 2;
+        ws.remove(u);
+        ws.remove(w);
+        ws.remove(v);
+      } else {
+        // Fold: mvc drops by exactly one.
+        const Vertex merged = ws.fold(v, u, w);
+        result.steps.push_back(
+            {FoldStep::Kind::kFold, /*v=*/v, /*u=*/u, /*w=*/w, merged});
+        ++result.cover_offset;
+      }
+      continue;
+    }
+    // d >= 3: nothing to do (vertices are re-queued when neighbors change).
+  }
+
+  // Relabel survivors into a CSR kernel.
+  const std::size_t space = ws.adj.size();
+  std::vector<Vertex> to_kernel(space, -1);
+  for (std::size_t i = 0; i < space; ++i) {
+    if (!ws.dead[i]) {
+      to_kernel[i] = static_cast<Vertex>(result.kernel_to_working.size());
+      result.kernel_to_working.push_back(static_cast<Vertex>(i));
+    }
+  }
+  graph::GraphBuilder builder(
+      static_cast<Vertex>(result.kernel_to_working.size()));
+  for (std::size_t i = 0; i < space; ++i) {
+    if (ws.dead[i]) continue;
+    for (Vertex u : ws.adj[i])
+      if (static_cast<std::size_t>(u) > i)
+        builder.add_edge(to_kernel[i], to_kernel[static_cast<std::size_t>(u)]);
+  }
+  result.kernel = builder.build();
+  return result;
+}
+
+std::vector<Vertex> solve_mvc_with_folding(const CsrGraph& g) {
+  FoldedKernel folded = fold_reduce(g);
+  std::vector<Vertex> kernel_cover;
+  if (folded.kernel.num_edges() > 0) {
+    SequentialConfig config;
+    SolveResult r = solve_sequential(folded.kernel, config);
+    kernel_cover = std::move(r.cover);
+  }
+  return folded.lift(kernel_cover);
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,78 @@
+#pragma once
+
+// Degree-2 vertex folding — the classical "struction" reduction of the
+// Chen et al. line of work the paper cites for its FPT bounds [4, 33].
+//
+// The paper's GPU kernels apply only the degree-two-TRIANGLE rule (§II-B):
+// if v's two neighbors u, w are adjacent, take {u, w}. When uw is NOT an
+// edge the stronger folding rule applies: merge {v, u, w} into a single new
+// vertex v' with N(v') = (N(u) ∪ N(w)) \ {u, v, w}; then
+//     mvc(G) = mvc(G') + 1,
+// and an optimal cover lifts back as: v' ∈ S' ⇒ take {u, w}, else take {v}.
+//
+// Folding cannot be expressed in the paper's degree-array representation —
+// it changes the vertex set, while a degree array is indexed by the
+// *original* vertices (§IV-B). That is precisely why the GPU kernels stop
+// at the triangle case; we provide folding as a host-side preprocessing
+// stage (like the Nemhauser–Trotter kernel) that composes with every
+// solver: fold to a kernel, solve the kernel, lift the cover back.
+//
+// fold_reduce applies degree-0 removal, the degree-1 rule, the triangle
+// rule and folding to fixpoint, so the kernel has minimum degree ≥ 3.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::vc {
+
+/// One recorded reduction step, replayed in reverse by lift().
+struct FoldStep {
+  enum class Kind {
+    kForced,  ///< `u` is in some minimum cover (degree-1 / triangle rules)
+    kFold,    ///< {v,u,w} folded into `merged`
+  };
+  Kind kind;
+  graph::Vertex v = -1;       ///< the folded degree-2 vertex (kFold)
+  graph::Vertex u = -1;       ///< forced vertex (kForced) / first neighbor
+  graph::Vertex w = -1;       ///< second neighbor (kFold)
+  graph::Vertex merged = -1;  ///< the new vertex v' (kFold)
+};
+
+struct FoldedKernel {
+  /// The reduced graph, relabeled 0..|kernel|-1. Minimum degree ≥ 3 (or
+  /// empty). May contain "merged" vertices that exist in no input graph.
+  graph::CsrGraph kernel;
+
+  /// kernel id -> working-space id (original ids are 0..n-1; ids ≥ n are
+  /// fold products). Needed by lift(); exposed for tests.
+  std::vector<graph::Vertex> kernel_to_working;
+
+  /// Number of original vertices (working ids below this are original).
+  graph::Vertex num_original = 0;
+
+  /// Reduction ledger in application order.
+  std::vector<FoldStep> steps;
+
+  /// Guaranteed cover contribution of the reduction:
+  /// mvc(original) == mvc(kernel) + cover_offset.
+  int cover_offset = 0;
+
+  /// Lifts a cover of `kernel` to a cover of the original graph: maps
+  /// kernel ids to working ids, then replays the ledger backwards,
+  /// resolving every fold product into original vertices. The result is
+  /// sorted and contains only original ids.
+  std::vector<graph::Vertex> lift(
+      const std::vector<graph::Vertex>& kernel_cover) const;
+};
+
+/// Applies the folding reduction suite to fixpoint.
+FoldedKernel fold_reduce(const graph::CsrGraph& g);
+
+/// Convenience: exact MVC via folding + the sequential solver on the
+/// kernel. On sparse instances the kernel is dramatically smaller — paths,
+/// trees and cycles reduce to nothing.
+std::vector<graph::Vertex> solve_mvc_with_folding(const graph::CsrGraph& g);
+
+}  // namespace gvc::vc

@@ -1,0 +1,50 @@
+#include "vc/greedy.hpp"
+
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+GreedyResult greedy_mvc(const CsrGraph& g) {
+  DegreeArray da(g);
+  const BudgetPolicy policy = BudgetPolicy::none();
+  reduce(g, da, policy, ReduceSemantics::kSerial);
+  while (da.num_edges() > 0) {
+    Vertex v = da.max_degree_vertex();
+    GVC_DCHECK(v >= 0);
+    da.remove_into_solution(g, v);
+    reduce(g, da, policy, ReduceSemantics::kSerial);
+  }
+  return GreedyResult{da.solution_size(), da.solution()};
+}
+
+std::vector<std::pair<Vertex, Vertex>> maximal_matching(const CsrGraph& g) {
+  std::vector<bool> matched(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<std::pair<Vertex, Vertex>> matching;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (matched[static_cast<std::size_t>(v)]) continue;
+    for (Vertex u : g.neighbors(v)) {
+      if (u > v && !matched[static_cast<std::size_t>(u)]) {
+        matched[static_cast<std::size_t>(v)] = true;
+        matched[static_cast<std::size_t>(u)] = true;
+        matching.emplace_back(v, u);
+        break;
+      }
+    }
+  }
+  return matching;
+}
+
+int matching_lower_bound(const CsrGraph& g) {
+  return static_cast<int>(maximal_matching(g).size());
+}
+
+std::vector<Vertex> two_approx_cover(const CsrGraph& g) {
+  std::vector<Vertex> cover;
+  for (auto [u, v] : maximal_matching(g)) {
+    cover.push_back(u);
+    cover.push_back(v);
+  }
+  return cover;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,82 @@
+#include "vc/kernelization.hpp"
+
+#include <algorithm>
+
+#include "graph/matching.hpp"
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+NtKernel nemhauser_trotter(const CsrGraph& g) {
+  const int n = g.num_vertices();
+  NtKernel out;
+
+  // LP relaxation via the bipartite double cover: left copy l_v, right copy
+  // r_v, edge {u,v} -> l_u–r_v and l_v–r_u. A minimum vertex cover of the
+  // double cover (König) yields the half-integral LP optimum of g:
+  //   x_v = (cover(l_v) + cover(r_v)) / 2  ∈ {0, 1/2, 1}.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    adj[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+  }
+  graph::KonigCover cover = graph::konig_cover(n, n, adj);
+
+  std::vector<Vertex> half;
+  for (Vertex v = 0; v < n; ++v) {
+    int value = (cover.left[static_cast<std::size_t>(v)] ? 1 : 0) +
+                (cover.right[static_cast<std::size_t>(v)] ? 1 : 0);
+    if (value == 2) {
+      out.in_cover.push_back(v);
+    } else if (value == 0) {
+      out.excluded.push_back(v);
+    } else {
+      half.push_back(v);
+    }
+  }
+
+  out.kernel = graph::induced_subgraph(g, half);
+  out.kernel_to_original = half;
+  out.lp_lower_bound = static_cast<int>(out.in_cover.size()) +
+                       static_cast<int>((half.size() + 1) / 2);
+
+  // NT sanity: every neighbor of an excluded (value-0) vertex must have
+  // value 1 — otherwise some edge would be LP-uncovered.
+  for (Vertex v : out.excluded) {
+    for (Vertex u : g.neighbors(v)) {
+      GVC_DCHECK(std::binary_search(out.in_cover.begin(), out.in_cover.end(),
+                                    u));
+      (void)u;
+    }
+  }
+  return out;
+}
+
+std::vector<Vertex> lift_cover(const NtKernel& kernel,
+                               const std::vector<Vertex>& kernel_cover) {
+  std::vector<Vertex> cover = kernel.in_cover;
+  for (Vertex kv : kernel_cover) {
+    GVC_CHECK(kv >= 0 &&
+              kv < static_cast<Vertex>(kernel.kernel_to_original.size()));
+    cover.push_back(kernel.kernel_to_original[static_cast<std::size_t>(kv)]);
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+std::vector<Vertex> solve_mvc_with_kernelization(const CsrGraph& g) {
+  NtKernel nt = nemhauser_trotter(g);
+  SequentialConfig config;
+  SolveResult kernel_result = solve_sequential(nt.kernel, config);
+  GVC_CHECK(!kernel_result.timed_out);
+  auto cover = lift_cover(nt, kernel_result.cover);
+  GVC_DCHECK(graph::is_vertex_cover(g, cover));
+  return cover;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,50 @@
+#pragma once
+
+// Nemhauser–Trotter (LP/crown) kernelization — the classical preprocessing
+// the paper cites under "kernelization" [6, 7] in its introduction.
+//
+// Solve the LP relaxation of vertex cover via the bipartite double cover:
+// every vertex gets value 0, 1/2 or 1 (half-integrality), and NT's theorem
+// states there is a minimum vertex cover containing all 1-vertices and no
+// 0-vertices. The kernel is the half-graph G[V_half], which has at most
+// 2·opt vertices.
+//
+// Provided as a library preprocessing stage: it composes with every solver
+// (shrink the instance, solve the kernel, lift the solution back).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::vc {
+
+struct NtKernel {
+  /// Vertices forced into the cover (LP value 1).
+  std::vector<graph::Vertex> in_cover;
+  /// Vertices excluded from the cover (LP value 0); their neighbors are all
+  /// in `in_cover`.
+  std::vector<graph::Vertex> excluded;
+  /// The kernel: subgraph induced by the LP-value-1/2 vertices, relabeled
+  /// 0..|kernel|-1.
+  graph::CsrGraph kernel;
+  /// kernel vertex id -> original vertex id.
+  std::vector<graph::Vertex> kernel_to_original;
+  /// LP lower bound on the cover size: |in_cover| + |V_half|/2, rounded up.
+  int lp_lower_bound = 0;
+};
+
+/// Computes the NT decomposition of g.
+NtKernel nemhauser_trotter(const graph::CsrGraph& g);
+
+/// Lifts a cover of the kernel back to a cover of the original graph
+/// (kernel cover vertices mapped through kernel_to_original, plus the
+/// forced in_cover set).
+std::vector<graph::Vertex> lift_cover(const NtKernel& kernel,
+                                      const std::vector<graph::Vertex>& kernel_cover);
+
+/// Convenience: MVC via NT preprocessing + the sequential solver on the
+/// kernel. Exact; often far faster than solving g directly on sparse
+/// instances.
+std::vector<graph::Vertex> solve_mvc_with_kernelization(const graph::CsrGraph& g);
+
+}  // namespace gvc::vc

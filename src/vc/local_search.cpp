@@ -1,0 +1,137 @@
+#include "vc/local_search.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "vc/greedy.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+namespace {
+
+/// Uncovered-edge count for a membership mask; 0 means valid cover. Only
+/// referenced from GVC_DCHECKs, so unused in NDEBUG builds.
+[[maybe_unused]] std::int64_t uncovered_edges(const CsrGraph& g,
+                                              const std::vector<bool>& in) {
+  std::int64_t count = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (in[static_cast<std::size_t>(v)]) continue;
+    for (Vertex u : g.neighbors(v))
+      if (u > v && !in[static_cast<std::size_t>(u)]) ++count;
+  }
+  return count;
+}
+
+/// Removes cover vertices all of whose edges are otherwise covered.
+/// Scans in random order so plateau walks explore different prunings.
+int prune_redundant(const CsrGraph& g, std::vector<bool>& in,
+                    util::Pcg32& rng) {
+  std::vector<int> order;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (in[static_cast<std::size_t>(v)]) order.push_back(v);
+  util::shuffle(order, rng);
+  int removed = 0;
+  for (int v : order) {
+    bool redundant = true;
+    for (Vertex u : g.neighbors(static_cast<Vertex>(v))) {
+      if (!in[static_cast<std::size_t>(u)]) {
+        redundant = false;
+        break;
+      }
+    }
+    if (redundant) {
+      in[static_cast<std::size_t>(v)] = false;
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+/// Greedy repair: while uncovered edges exist, add the endpoint covering
+/// the most uncovered edges.
+void repair(const CsrGraph& g, std::vector<bool>& in) {
+  for (;;) {
+    Vertex best = -1;
+    int best_gain = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (in[static_cast<std::size_t>(v)]) continue;
+      int gain = 0;
+      for (Vertex u : g.neighbors(v))
+        if (!in[static_cast<std::size_t>(u)]) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0) return;  // no uncovered edge remains
+    in[static_cast<std::size_t>(best)] = true;
+  }
+}
+
+std::vector<Vertex> mask_to_cover(const std::vector<bool>& in) {
+  std::vector<Vertex> cover;
+  for (std::size_t v = 0; v < in.size(); ++v)
+    if (in[v]) cover.push_back(static_cast<Vertex>(v));
+  return cover;
+}
+
+}  // namespace
+
+std::vector<Vertex> improve_cover(const CsrGraph& g,
+                                  std::vector<Vertex> cover,
+                                  const LocalSearchOptions& options) {
+  GVC_CHECK_MSG(graph::is_vertex_cover(g, cover),
+                "improve_cover requires a valid cover");
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<bool> in(n, false);
+  for (Vertex v : cover) in[static_cast<std::size_t>(v)] = true;
+
+  util::Pcg32 rng(options.seed);
+  prune_redundant(g, in, rng);
+  auto size_of = [&] {
+    return std::count(in.begin(), in.end(), true);
+  };
+
+  auto best_mask = in;
+  auto best_size = size_of();
+  int stall = 0;
+  while (stall < options.max_stall_rounds && best_size > 0) {
+    // Perturb: drop one random cover vertex, then repair and re-prune.
+    std::vector<int> members;
+    for (std::size_t v = 0; v < n; ++v)
+      if (in[v]) members.push_back(static_cast<int>(v));
+    if (members.empty()) break;
+    int victim = members[rng.below(static_cast<std::uint32_t>(members.size()))];
+    in[static_cast<std::size_t>(victim)] = false;
+    repair(g, in);
+    prune_redundant(g, in, rng);
+
+    auto size = size_of();
+    if (size < best_size) {
+      best_size = size;
+      best_mask = in;
+      stall = 0;
+    } else if (size == best_size) {
+      best_mask = in;  // accept plateau moves
+      ++stall;
+    } else {
+      in = best_mask;  // reject
+      ++stall;
+    }
+  }
+
+  GVC_DCHECK(uncovered_edges(g, best_mask) == 0);
+  return mask_to_cover(best_mask);
+}
+
+std::vector<Vertex> local_search_cover(const CsrGraph& g,
+                                       const LocalSearchOptions& options) {
+  return improve_cover(g, greedy_mvc(g).cover, options);
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,36 @@
+#include "vc/mis.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+MisResult maximum_independent_set(const CsrGraph& g, const Limits& limits) {
+  SequentialConfig config;
+  config.problem = Problem::kMvc;
+  config.limits = limits;
+  MisResult out;
+  out.mvc = solve_sequential(g, config);
+
+  std::vector<bool> in_cover(static_cast<std::size_t>(g.num_vertices()), false);
+  for (Vertex v : out.mvc.cover) in_cover[static_cast<std::size_t>(v)] = true;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (!in_cover[static_cast<std::size_t>(v)]) out.independent_set.push_back(v);
+  out.size = static_cast<int>(out.independent_set.size());
+
+  if (!out.mvc.timed_out)
+    GVC_DCHECK(graph::is_independent_set(g, out.independent_set));
+  return out;
+}
+
+MisResult maximum_clique(const CsrGraph& g, const Limits& limits) {
+  CsrGraph comp = graph::complement(g);
+  MisResult mis = maximum_independent_set(comp, limits);
+  // Independent set of the complement = clique of g; vertex ids coincide
+  // because complement() preserves labels.
+  return mis;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,26 @@
+#pragma once
+
+// Maximum Independent Set via vertex cover (§VI: MIS is the complement of
+// MVC within the same graph). Provided as public API because the paper's
+// DIMACS instances are clique benchmarks — clique on G = MIS on complement(G)
+// = V minus MVC of complement(G) — and because downstream users of a vertex
+// cover library usually want this reduction packaged.
+
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+
+struct MisResult {
+  int size = 0;
+  std::vector<Vertex> independent_set;
+  SolveResult mvc;  ///< the underlying cover computation, for diagnostics
+};
+
+/// Exact maximum independent set of g, computed as V \ MVC(g).
+/// Limits are forwarded to the underlying sequential MVC solve.
+MisResult maximum_independent_set(const CsrGraph& g, const Limits& limits = {});
+
+/// Exact maximum clique of g: MIS on the complement graph.
+MisResult maximum_clique(const CsrGraph& g, const Limits& limits = {});
+
+}  // namespace gvc::vc

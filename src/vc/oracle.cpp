@@ -1,0 +1,94 @@
+#include "vc/oracle.hpp"
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+struct BitGraph {
+  int n = 0;
+  std::vector<std::uint64_t> adj;  // adj[v] = neighbor bitmask
+
+  explicit BitGraph(const CsrGraph& g) : n(g.num_vertices()) {
+    GVC_CHECK_MSG(n <= 64, "oracle supports at most 64 vertices");
+    adj.assign(static_cast<std::size_t>(n), 0);
+    for (Vertex v = 0; v < n; ++v)
+      for (Vertex u : g.neighbors(v))
+        adj[static_cast<std::size_t>(v)] |= (1ULL << u);
+  }
+};
+
+/// Minimum cover size of the subgraph induced on `alive`, computed exactly
+/// when it is ≤ budget; returns budget+1 otherwise. Valid for budget ≥ -1.
+int search(const BitGraph& bg, std::uint64_t alive, int budget) {
+  // Find an uncovered edge (u, v) among alive vertices.
+  int u = -1, v = -1;
+  for (int i = 0; i < bg.n; ++i) {
+    if (!(alive >> i & 1)) continue;
+    std::uint64_t nbrs = bg.adj[static_cast<std::size_t>(i)] & alive;
+    if (nbrs) {
+      u = i;
+      v = static_cast<int>(__builtin_ctzll(nbrs));
+      break;
+    }
+  }
+  if (u < 0) return 0;          // edgeless: empty cover suffices
+  if (budget <= 0) return budget + 1;  // an edge remains but no budget
+
+  // Edge {u,v}: any cover includes u or v.
+  int best = 1 + search(bg, alive & ~(1ULL << u), budget - 1);
+  best = std::min(best, budget + 1);
+  // The v-branch only helps if it beats `best`, so cap it at best-2.
+  int take_v = 1 + search(bg, alive & ~(1ULL << v), best - 2);
+  return std::min(best, take_v);
+}
+
+}  // namespace
+
+int oracle_mvc_size(const CsrGraph& g) {
+  BitGraph bg(g);
+  std::uint64_t alive = bg.n == 64 ? ~0ULL : ((1ULL << bg.n) - 1);
+  return search(bg, alive, bg.n);
+}
+
+std::vector<Vertex> oracle_mvc(const CsrGraph& g) {
+  BitGraph bg(g);
+  std::uint64_t alive = bg.n == 64 ? ~0ULL : ((1ULL << bg.n) - 1);
+  int opt = search(bg, alive, bg.n);
+
+  // Reconstruct greedily: vertex v is in some minimum cover iff removing it
+  // leaves a graph with cover number opt-1.
+  std::vector<Vertex> cover;
+  std::uint64_t cur = alive;
+  int remaining = opt;
+  for (int v = 0; v < bg.n && remaining > 0; ++v) {
+    if (!(cur >> v & 1)) continue;
+    // Does an uncovered edge still exist?
+    bool has_edge = false;
+    for (int i = 0; i < bg.n && !has_edge; ++i)
+      if ((cur >> i & 1) && (bg.adj[static_cast<std::size_t>(i)] & cur))
+        has_edge = true;
+    if (!has_edge) break;
+    int without_v = search(bg, cur & ~(1ULL << v), remaining - 1);
+    if (without_v <= remaining - 1) {
+      cover.push_back(v);
+      cur &= ~(1ULL << v);
+      --remaining;
+    }
+  }
+  GVC_CHECK(static_cast<int>(cover.size()) == opt);
+  return cover;
+}
+
+bool oracle_pvc(const CsrGraph& g, int k) {
+  GVC_CHECK(k >= 0);
+  return oracle_mvc_size(g) <= k;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,24 @@
+#pragma once
+
+// Independent brute-force reference solver for property tests.
+//
+// Deliberately shares no code with the branch-and-reduce implementation:
+// bitmask adjacency, edge-branching, and no reduction rules, so a bug in the
+// production reducer cannot hide in the oracle.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::vc {
+
+/// Exact minimum vertex cover size. Requires |V| ≤ 64.
+int oracle_mvc_size(const graph::CsrGraph& g);
+
+/// An exact minimum vertex cover. Requires |V| ≤ 64.
+std::vector<graph::Vertex> oracle_mvc(const graph::CsrGraph& g);
+
+/// Whether a cover of size ≤ k exists. Requires |V| ≤ 64.
+bool oracle_pvc(const graph::CsrGraph& g, int k);
+
+}  // namespace gvc::vc

@@ -1,0 +1,282 @@
+#include "vc/reductions.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+namespace {
+
+/// Unique present neighbor of a degree-one vertex v, judged against the
+/// membership snapshot `snap` (or the live array when snap == nullptr).
+Vertex unique_present_neighbor(const CsrGraph& g, const DegreeArray& da,
+                               const std::vector<std::int32_t>* snap,
+                               Vertex v) {
+  for (Vertex u : g.neighbors(v)) {
+    bool present = snap ? (*snap)[static_cast<std::size_t>(u)] != DegreeArray::kInSolution
+                        : da.present(u);
+    if (present) return u;
+  }
+  GVC_CHECK_MSG(false, "degree-one vertex with no present neighbor");
+  return -1;
+}
+
+/// The two present neighbors of a degree-two vertex v (snapshot semantics as
+/// above). Returns false if the vertex does not have exactly two.
+bool two_present_neighbors(const CsrGraph& g, const DegreeArray& da,
+                           const std::vector<std::int32_t>* snap, Vertex v,
+                           Vertex& a, Vertex& b) {
+  int found = 0;
+  for (Vertex u : g.neighbors(v)) {
+    bool present = snap ? (*snap)[static_cast<std::size_t>(u)] != DegreeArray::kInSolution
+                        : da.present(u);
+    if (!present) continue;
+    if (found == 0) a = u;
+    else if (found == 1) b = u;
+    else return false;
+    ++found;
+  }
+  return found == 2;
+}
+
+/// Whether x triggers the degree-two-triangle rule under the snapshot:
+/// snapshot degree 2 and its two snapshot-present neighbors are adjacent.
+bool sweep_triangle_qualifies(const CsrGraph& g, const DegreeArray& da,
+                              const std::vector<std::int32_t>& snap, Vertex x) {
+  if (snap[static_cast<std::size_t>(x)] != 2) return false;
+  Vertex a = -1, b = -1;
+  if (!two_present_neighbors(g, da, &snap, x, a, b)) return false;
+  return g.has_edge(a, b);
+}
+
+std::int64_t degree_one_serial(const CsrGraph& g, DegreeArray& da) {
+  std::int64_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (!da.present(v) || da.degree(v) != 1) continue;
+      Vertex u = unique_present_neighbor(g, da, nullptr, v);
+      da.remove_into_solution(g, u);
+      ++removed;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+std::int64_t degree_one_sweep(const CsrGraph& g, DegreeArray& da) {
+  std::int64_t removed = 0;
+  for (;;) {
+    const std::vector<std::int32_t> snap = da.raw();
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (snap[static_cast<std::size_t>(v)] != 1) continue;
+      Vertex u = unique_present_neighbor(g, da, &snap, v);
+      // Adjacent degree-one pair: only one endpoint executes so that only
+      // one of the two vertices enters S — the paper removes the one with
+      // the smaller id, so the larger-id endpoint is the executor (§IV-D).
+      if (snap[static_cast<std::size_t>(u)] == 1 && u > v) continue;
+      if (da.present(u)) {  // may already be gone via a shared neighbor
+        da.remove_into_solution(g, u);
+        ++this_sweep;
+      }
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+std::int64_t degree_two_serial(const CsrGraph& g, DegreeArray& da) {
+  std::int64_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (!da.present(v) || da.degree(v) != 2) continue;
+      Vertex a = -1, b = -1;
+      if (!two_present_neighbors(g, da, nullptr, v, a, b)) continue;
+      if (!g.has_edge(a, b)) continue;
+      da.remove_into_solution(g, a);
+      da.remove_into_solution(g, b);
+      removed += 2;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+std::int64_t degree_two_sweep(const CsrGraph& g, DegreeArray& da) {
+  std::int64_t removed = 0;
+  for (;;) {
+    const std::vector<std::int32_t> snap = da.raw();
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (!sweep_triangle_qualifies(g, da, snap, v)) continue;
+      Vertex a = -1, b = -1;
+      GVC_CHECK(two_present_neighbors(g, da, &snap, v, a, b));
+      // A triangle of three degree-two vertices makes all of them qualify;
+      // only the smallest id executes (§IV-D).
+      if ((sweep_triangle_qualifies(g, da, snap, a) && a < v) ||
+          (sweep_triangle_qualifies(g, da, snap, b) && b < v))
+        continue;
+      if (da.present(a)) { da.remove_into_solution(g, a); ++this_sweep; }
+      if (da.present(b)) { da.remove_into_solution(g, b); ++this_sweep; }
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+std::int64_t high_degree_serial(const CsrGraph& g, DegreeArray& da,
+                                const BudgetPolicy& policy) {
+  std::int64_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      std::int64_t budget = policy.budget(da.solution_size());
+      if (budget == std::numeric_limits<std::int64_t>::max()) return removed;
+      if (budget < 0) return removed;  // node is prunable; stop reducing
+      if (!da.present(v) || da.degree(v) <= budget) continue;
+      da.remove_into_solution(g, v);
+      ++removed;
+      changed = true;
+    }
+  }
+  return removed;
+}
+
+std::int64_t high_degree_sweep(const CsrGraph& g, DegreeArray& da,
+                               const BudgetPolicy& policy) {
+  std::int64_t removed = 0;
+  for (;;) {
+    std::int64_t budget = policy.budget(da.solution_size());
+    if (budget == std::numeric_limits<std::int64_t>::max()) break;
+    if (budget < 0) break;
+    const std::vector<std::int32_t> snap = da.raw();
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      std::int32_t d = snap[static_cast<std::size_t>(v)];
+      if (d == DegreeArray::kInSolution || d <= budget) continue;
+      // Sound even though |S| grows during the sweep: every removal tightens
+      // the budget by one while degrees drop by at most one per removed
+      // neighbor, so a snapshot-qualifying vertex still qualifies.
+      da.remove_into_solution(g, v);
+      ++this_sweep;
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+template <typename Fn>
+auto timed(util::ActivityAccumulator* acc, util::Activity a, Fn&& fn) {
+  if (!acc) return fn();
+  util::ActivityScope scope(*acc, a);
+  return fn();
+}
+
+}  // namespace
+
+void ReduceStats::merge(const ReduceStats& o) {
+  degree_one_removed += o.degree_one_removed;
+  degree_two_removed += o.degree_two_removed;
+  high_degree_removed += o.high_degree_removed;
+  rounds += o.rounds;
+}
+
+std::int64_t apply_degree_one(const CsrGraph& g, DegreeArray& da,
+                              ReduceSemantics semantics) {
+  return semantics == ReduceSemantics::kSerial ? degree_one_serial(g, da)
+                                               : degree_one_sweep(g, da);
+}
+
+std::int64_t apply_degree_two_triangle(const CsrGraph& g, DegreeArray& da,
+                                       ReduceSemantics semantics) {
+  return semantics == ReduceSemantics::kSerial ? degree_two_serial(g, da)
+                                               : degree_two_sweep(g, da);
+}
+
+std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
+                               const BudgetPolicy& policy,
+                               ReduceSemantics semantics) {
+  return semantics == ReduceSemantics::kSerial
+             ? high_degree_serial(g, da, policy)
+             : high_degree_sweep(g, da, policy);
+}
+
+std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da) {
+  std::int64_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex u = 0; u < da.num_vertices(); ++u) {
+      if (!da.present(u) || da.degree(u) == 0) continue;
+      // Does u dominate some present neighbor v? N[v] ⊆ N[u] iff every
+      // present neighbor of v other than u is also a neighbor of u.
+      bool dominates = false;
+      for (Vertex v : g.neighbors(u)) {
+        if (!da.present(v)) continue;
+        if (da.degree(v) > da.degree(u)) continue;  // cheap filter
+        bool subset = true;
+        for (Vertex w : g.neighbors(v)) {
+          if (w == u || !da.present(w)) continue;
+          if (!g.has_edge(u, w)) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          dominates = true;
+          break;
+        }
+      }
+      if (dominates) {
+        da.remove_into_solution(g, u);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
+                   const BudgetPolicy& policy, ReduceSemantics semantics,
+                   const RuleSet& rules, util::ActivityAccumulator* acc) {
+  ReduceStats stats;
+  std::int64_t round_removed;
+  do {
+    round_removed = 0;
+    if (rules.degree_one) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeOneRule, [&] {
+        return apply_degree_one(g, da, semantics);
+      });
+      stats.degree_one_removed += n;
+      round_removed += n;
+    }
+    if (rules.degree_two_triangle) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeTwoTriangleRule, [&] {
+        return apply_degree_two_triangle(g, da, semantics);
+      });
+      stats.degree_two_removed += n;
+      round_removed += n;
+    }
+    if (rules.high_degree) {
+      std::int64_t n = timed(acc, util::Activity::kHighDegreeRule, [&] {
+        return apply_high_degree(g, da, policy, semantics);
+      });
+      stats.high_degree_removed += n;
+      round_removed += n;
+    }
+    ++stats.rounds;
+  } while (round_removed > 0);
+  return stats;
+}
+
+}  // namespace gvc::vc

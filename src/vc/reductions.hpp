@@ -1,0 +1,103 @@
+#pragma once
+
+// The three reduction rules of §II-B / §IV-D, in two semantic variants:
+//
+//  * kSerial        — the textbook rules of Fig. 1: find one applicable
+//                     vertex, apply, repeat. Used by the Sequential solver.
+//  * kParallelSweep — the GPU semantics of §IV-D: every rule is applied as
+//                     a sweep over a degree snapshot, with all applicable
+//                     vertices handled "simultaneously" and the paper's
+//                     smaller-vertex-ID tie-breaks resolving conflicts
+//                     (adjacent degree-one pairs; shared triangles). A CUDA
+//                     block executing the rule with one thread per vertex
+//                     produces the same state transitions.
+//
+// Both variants preserve at least one optimal solution in the subtree
+// (soundness is property-tested against the brute-force oracle). The
+// high-degree sweep is sound because the budget tightens by exactly the
+// number of vertices removed while any vertex's degree drops by at most
+// that number, so snapshot-qualifying vertices still qualify at removal.
+
+#include <cstdint>
+#include <limits>
+
+#include "util/timer.hpp"
+#include "vc/degree_array.hpp"
+
+namespace gvc::vc {
+
+/// How the high-degree rule's threshold is derived from |S|.
+/// MVC removes v when d(v) > best - |S| - 1; PVC when d(v) > k - |S|;
+/// the greedy preprocessing runs with the rule disabled (infinite budget).
+class BudgetPolicy {
+ public:
+  static BudgetPolicy mvc(std::int64_t best) { return BudgetPolicy(best, -1); }
+  static BudgetPolicy pvc(std::int64_t k) { return BudgetPolicy(k, 0); }
+  static BudgetPolicy none() {
+    return BudgetPolicy(std::numeric_limits<std::int64_t>::max(), 0);
+  }
+
+  /// Maximum degree a vertex may keep; vertices exceeding it are moved to S.
+  /// May be negative, in which case the caller's node is already prunable
+  /// and the rule is skipped.
+  std::int64_t budget(std::int32_t solution_size) const {
+    if (bound_ == std::numeric_limits<std::int64_t>::max()) return bound_;
+    return bound_ - solution_size + offset_;
+  }
+
+ private:
+  BudgetPolicy(std::int64_t bound, std::int64_t offset)
+      : bound_(bound), offset_(offset) {}
+  std::int64_t bound_;
+  std::int64_t offset_;  // -1 for MVC, 0 for PVC
+};
+
+enum class ReduceSemantics { kSerial, kParallelSweep };
+
+/// Counters for analysis benches (how much work each rule does).
+struct ReduceStats {
+  std::int64_t degree_one_removed = 0;
+  std::int64_t degree_two_removed = 0;
+  std::int64_t high_degree_removed = 0;
+  int rounds = 0;
+
+  std::int64_t total_removed() const {
+    return degree_one_removed + degree_two_removed + high_degree_removed;
+  }
+  void merge(const ReduceStats& o);
+};
+
+/// Which rules to run; the ablation bench switches these off selectively.
+struct RuleSet {
+  bool degree_one = true;
+  bool degree_two_triangle = true;
+  bool high_degree = true;
+};
+
+/// Applies the enabled rules to (g, da) until a full round changes nothing
+/// (the do-while of Fig. 1 lines 14-30). If `acc` is non-null, time spent in
+/// each rule is charged to the matching Fig. 6 activity.
+ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
+                   const BudgetPolicy& policy, ReduceSemantics semantics,
+                   const RuleSet& rules = {},
+                   util::ActivityAccumulator* acc = nullptr);
+
+// Individual rules, each applied to its own fixpoint; exposed for unit
+// testing. Each returns the number of vertices moved into S.
+
+std::int64_t apply_degree_one(const CsrGraph& g, DegreeArray& da,
+                              ReduceSemantics semantics);
+std::int64_t apply_degree_two_triangle(const CsrGraph& g, DegreeArray& da,
+                                       ReduceSemantics semantics);
+std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
+                               const BudgetPolicy& policy,
+                               ReduceSemantics semantics);
+
+/// Extension (not part of the paper's kernels, kept out of RuleSet so the
+/// reproduction stays faithful): the domination rule. If an edge {u,v} has
+/// N[v] ⊆ N[u] (closed neighborhoods among present vertices), then u
+/// dominates v and some minimum cover contains u, so u moves into S.
+/// Subsumes the degree-one rule. Applied to fixpoint; returns removals.
+std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da);
+
+}  // namespace gvc::vc

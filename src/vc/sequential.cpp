@@ -1,0 +1,110 @@
+#include "vc/sequential.hpp"
+
+#include "vc/branching.hpp"
+
+#include <utility>
+
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/greedy.hpp"
+
+namespace gvc::vc {
+
+const SolveResult& check_result(const CsrGraph& g, const SolveResult& r) {
+  if (r.found) {
+    GVC_CHECK_MSG(static_cast<int>(r.cover.size()) == r.best_size,
+                  "cover size disagrees with best_size");
+    GVC_CHECK_MSG(graph::is_vertex_cover(g, r.cover),
+                  "reported cover does not cover all edges");
+  }
+  return r;
+}
+
+SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) {
+  util::WallTimer timer;
+  SolveResult result;
+
+  GreedyResult greedy = greedy_mvc(g);
+  result.greedy_upper_bound = greedy.size;
+
+  const bool mvc = config.problem == Problem::kMvc;
+  const std::int64_t k = config.k;
+  GVC_CHECK_MSG(mvc || k > 0, "PVC requires k > 0");
+
+  // MVC: `best` starts at the greedy bound; the tree only records strictly
+  // better covers, so the greedy cover is the answer if none is found.
+  std::int64_t best = greedy.size;
+  std::vector<Vertex> best_cover = greedy.cover;
+  bool pvc_found = false;
+  std::vector<Vertex> pvc_cover;
+
+  std::vector<DegreeArray> stack;
+  stack.emplace_back(g);
+
+  while (!stack.empty()) {
+    if ((config.limits.max_tree_nodes != 0 &&
+         result.tree_nodes >= config.limits.max_tree_nodes) ||
+        (config.limits.time_limit_s != 0.0 &&
+         timer.seconds() > config.limits.time_limit_s)) {
+      result.timed_out = true;
+      break;
+    }
+    DegreeArray da = std::move(stack.back());
+    stack.pop_back();
+    ++result.tree_nodes;
+
+    const BudgetPolicy policy =
+        mvc ? BudgetPolicy::mvc(best) : BudgetPolicy::pvc(k);
+    reduce(g, da, policy, config.semantics, config.rules);
+
+    const std::int64_t s = da.solution_size();
+    // Stopping condition (Fig. 1 line 5; §II-B PVC variant).
+    if (mvc) {
+      if (s >= best || da.num_edges() > (best - s - 1) * (best - s - 1))
+        continue;
+    } else {
+      if (s > k || da.num_edges() > (k - s) * (k - s)) continue;
+    }
+
+    if (da.num_edges() == 0) {  // found a cover
+      if (mvc) {
+        // s < best is guaranteed by the stopping condition above.
+        best = s;
+        best_cover = da.solution();
+      } else {
+        pvc_found = true;
+        pvc_cover = da.solution();
+        break;  // PVC ends the search at the first cover of size ≤ k
+      }
+      continue;
+    }
+
+    Vertex vmax = select_branch_vertex(da, config.branch, config.branch_seed);
+    GVC_DCHECK(vmax >= 0 && da.degree(vmax) >= 1);
+
+    // Fig. 1 recurses on (G − vmax) first, then (G − N(vmax)); with a LIFO
+    // stack the vmax child must be pushed last.
+    DegreeArray neighbors_child = da;
+    neighbors_child.remove_neighbors_into_solution(g, vmax);
+    da.remove_into_solution(g, vmax);
+    stack.push_back(std::move(neighbors_child));
+    stack.push_back(std::move(da));
+  }
+
+  result.seconds = timer.seconds();
+  if (mvc) {
+    result.found = true;
+    result.best_size = static_cast<int>(best);
+    result.cover = std::move(best_cover);
+  } else {
+    result.found = pvc_found;
+    if (pvc_found) {
+      result.best_size = static_cast<int>(pvc_cover.size());
+      result.cover = std::move(pvc_cover);
+    }
+  }
+  return result;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,37 @@
+#pragma once
+
+// The Sequential solver of Fig. 1 — the single-CPU-thread baseline of §V-A.
+// Implemented with an explicit depth-first stack (equivalent to the paper's
+// recursion, but immune to host stack limits on deep instances).
+
+#include "vc/branching.hpp"
+#include "vc/solve_types.hpp"
+
+namespace gvc::vc {
+
+struct SequentialConfig {
+  Problem problem = Problem::kMvc;
+  int k = 0;  ///< PVC bound; ignored for MVC
+
+  /// Rule application semantics. kSerial matches Fig. 1; kParallelSweep is
+  /// available so tests can check that both semantics reach the same optimum.
+  ReduceSemantics semantics = ReduceSemantics::kSerial;
+
+  /// Rule toggles for the reduction ablation bench.
+  RuleSet rules = {};
+
+  /// Branching-vertex selection; kMaxDegree is the paper's rule. Any
+  /// strategy is exact — this is the ablation axis of
+  /// bench/ablation_branching.
+  BranchStrategy branch = BranchStrategy::kMaxDegree;
+  std::uint64_t branch_seed = 0;  ///< used by BranchStrategy::kRandom
+
+  Limits limits = {};
+};
+
+/// Runs branch-and-reduce to completion (or a limit). For MVC the result
+/// carries the proven-optimal cover; for PVC it reports whether a cover of
+/// size ≤ k exists and, if so, one such cover.
+SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config);
+
+}  // namespace gvc::vc

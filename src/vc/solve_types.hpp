@@ -1,0 +1,57 @@
+#pragma once
+
+// Types shared by every solver implementation (Sequential, StackOnly,
+// Hybrid): problem selection, limits, and the result record.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::vc {
+
+/// The two problem formulations of §II-A.
+enum class Problem {
+  kMvc,  ///< minimum vertex cover
+  kPvc,  ///< cover of size ≤ k, or report none exists
+};
+
+/// Limits shared by all solvers. A zero value means "unlimited".
+struct Limits {
+  std::uint64_t max_tree_nodes = 0;
+  double time_limit_s = 0.0;
+};
+
+struct SolveResult {
+  /// PVC: whether a cover of size ≤ k exists. MVC: always true on a
+  /// completed (non-timed-out) run.
+  bool found = false;
+
+  /// True if a limit fired before the search space was exhausted; the other
+  /// fields then reflect the best knowledge at interruption (for MVC the
+  /// cover is still valid, just not proven minimum).
+  bool timed_out = false;
+
+  /// MVC: the minimum cover size. PVC: size of the found cover, or -1.
+  int best_size = -1;
+
+  /// A concrete cover achieving best_size (empty for PVC-not-found).
+  std::vector<Vertex> cover;
+
+  /// Search-tree nodes visited (the unit of Fig. 5's load measurements).
+  std::uint64_t tree_nodes = 0;
+
+  /// Wall-clock seconds of the search (excludes graph construction).
+  double seconds = 0.0;
+
+  /// The greedy upper bound computed before the search (§II-B); for MVC it
+  /// seeds `best`, for both it bounds the local stack depth.
+  int greedy_upper_bound = 0;
+};
+
+/// Verifies that r.cover is a vertex cover of g of size r.best_size.
+/// Aborts on violation; returns r for chaining.
+const SolveResult& check_result(const CsrGraph& g, const SolveResult& r);
+
+}  // namespace gvc::vc

@@ -1,0 +1,232 @@
+#include "vc/weighted.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "vc/degree_array.hpp"
+
+namespace gvc::vc {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+void check_weights(const CsrGraph& g, const std::vector<Weight>& w) {
+  GVC_CHECK_MSG(static_cast<Vertex>(w.size()) == g.num_vertices(),
+                "one weight per vertex required");
+  for (Weight x : w) GVC_CHECK_MSG(x > 0, "weights must be positive");
+}
+
+Weight weight_of(const std::vector<Weight>& w,
+                 const std::vector<Vertex>& vertices) {
+  Weight total = 0;
+  for (Vertex v : vertices) total += w[static_cast<std::size_t>(v)];
+  return total;
+}
+
+namespace {
+
+/// Local-ratio pricing pass over the present subgraph. Returns the total
+/// paid amount (a lower bound on the optimum of the present subgraph) and,
+/// via `zeroed`, the vertices whose residual hit zero (a valid 2-approx
+/// cover of the present subgraph).
+Weight local_ratio(const CsrGraph& g, const std::vector<Weight>& w,
+                   const DegreeArray* da, std::vector<bool>& zeroed) {
+  std::vector<Weight> residual = w;
+  Weight paid = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (da && !da->present(v)) continue;
+    for (Vertex u : g.neighbors(v)) {
+      if (u <= v) continue;  // each edge once
+      if (da && !da->present(u)) continue;
+      Weight m = std::min(residual[static_cast<std::size_t>(v)],
+                          residual[static_cast<std::size_t>(u)]);
+      if (m <= 0) continue;
+      residual[static_cast<std::size_t>(v)] -= m;
+      residual[static_cast<std::size_t>(u)] -= m;
+      paid += m;
+    }
+  }
+  zeroed.assign(static_cast<std::size_t>(g.num_vertices()), false);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (da && !da->present(v)) continue;
+    if (residual[static_cast<std::size_t>(v)] == 0)
+      zeroed[static_cast<std::size_t>(v)] = true;
+  }
+  return paid;
+}
+
+}  // namespace
+
+std::vector<Vertex> weighted_two_approx(const CsrGraph& g,
+                                        const std::vector<Weight>& w) {
+  check_weights(g, w);
+  std::vector<bool> zeroed;
+  local_ratio(g, w, nullptr, zeroed);
+  std::vector<Vertex> cover;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (zeroed[static_cast<std::size_t>(v)]) cover.push_back(v);
+  GVC_DCHECK(graph::is_vertex_cover(g, cover));
+  return cover;
+}
+
+Weight weighted_lower_bound(const CsrGraph& g, const std::vector<Weight>& w) {
+  check_weights(g, w);
+  std::vector<bool> zeroed;
+  return local_ratio(g, w, nullptr, zeroed);
+}
+
+std::vector<Vertex> weighted_greedy(const CsrGraph& g,
+                                    const std::vector<Weight>& w) {
+  check_weights(g, w);
+  DegreeArray da(g);
+  std::vector<Vertex> cover;
+  while (da.num_edges() > 0) {
+    // Max covered-edges-per-unit-weight; smallest id breaks ties.
+    Vertex best = -1;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (!da.present(v) || da.degree(v) == 0) continue;
+      if (best < 0 ||
+          static_cast<Weight>(da.degree(v)) * w[static_cast<std::size_t>(best)] >
+              static_cast<Weight>(da.degree(best)) * w[static_cast<std::size_t>(v)])
+        best = v;
+    }
+    GVC_DCHECK(best >= 0);
+    da.remove_into_solution(g, best);
+    cover.push_back(best);
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+WeightedResult solve_weighted(const CsrGraph& g, const std::vector<Weight>& w,
+                              const Limits& limits) {
+  check_weights(g, w);
+  util::WallTimer timer;
+  WeightedResult result;
+
+  // Seed the incumbent with the better of the two heuristics.
+  std::vector<Vertex> greedy = weighted_greedy(g, w);
+  std::vector<Vertex> approx = weighted_two_approx(g, w);
+  Weight best = weight_of(w, greedy);
+  std::vector<Vertex> best_cover = greedy;
+  if (weight_of(w, approx) < best) {
+    best = weight_of(w, approx);
+    best_cover = approx;
+  }
+
+  struct Node {
+    DegreeArray da;
+    Weight acc = 0;
+  };
+  std::vector<Node> stack;
+  stack.push_back(Node{DegreeArray(g), 0});
+
+  while (!stack.empty()) {
+    if ((limits.max_tree_nodes != 0 &&
+         result.tree_nodes >= limits.max_tree_nodes) ||
+        (limits.time_limit_s != 0.0 &&
+         timer.seconds() > limits.time_limit_s)) {
+      result.timed_out = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.tree_nodes;
+
+    // Weighted degree-one rule: the unique neighbor u of a degree-one
+    // vertex v enters the cover whenever w(u) ≤ w(v) (swapping v for u
+    // never costs more and covers at least as much).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        if (!node.da.present(v) || node.da.degree(v) != 1) continue;
+        Vertex u = -1;
+        for (Vertex cand : g.neighbors(v)) {
+          if (node.da.present(cand)) {
+            u = cand;
+            break;
+          }
+        }
+        GVC_DCHECK(u >= 0);
+        if (w[static_cast<std::size_t>(u)] <= w[static_cast<std::size_t>(v)]) {
+          node.da.remove_into_solution(g, u);
+          node.acc += w[static_cast<std::size_t>(u)];
+          changed = true;
+        }
+      }
+    }
+
+    if (node.acc >= best) continue;
+    if (node.da.num_edges() == 0) {
+      best = node.acc;
+      best_cover = node.da.solution();
+      // Solution vertices were accumulated into S; weights accounted in acc.
+      continue;
+    }
+    // Pricing bound on the remainder.
+    std::vector<bool> zeroed;
+    Weight lb = local_ratio(g, w, &node.da, zeroed);
+    if (node.acc + lb >= best) continue;
+
+    Vertex vmax = node.da.max_degree_vertex();
+    GVC_DCHECK(vmax >= 0 && node.da.degree(vmax) >= 1);
+
+    // Branch: take N(vmax) ... pushed first so "take vmax" is explored
+    // first (mirrors the unweighted solver's order).
+    Node neighbors_child;
+    neighbors_child.da = node.da;
+    neighbors_child.acc = node.acc;
+    for (Vertex u : g.neighbors(vmax)) {
+      if (neighbors_child.da.present(u)) {
+        neighbors_child.da.remove_into_solution(g, u);
+        neighbors_child.acc += w[static_cast<std::size_t>(u)];
+      }
+    }
+    node.da.remove_into_solution(g, vmax);
+    node.acc += w[static_cast<std::size_t>(vmax)];
+    stack.push_back(std::move(neighbors_child));
+    stack.push_back(std::move(node));
+  }
+
+  result.seconds = timer.seconds();
+  result.best_weight = best;
+  result.cover = std::move(best_cover);
+  GVC_DCHECK(graph::is_vertex_cover(g, result.cover));
+  return result;
+}
+
+namespace {
+
+void oracle_search(const CsrGraph& g, const std::vector<Weight>& w,
+                   std::uint32_t covered_mask, Weight acc, Weight& best) {
+  if (acc >= best) return;
+  // First uncovered edge.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (covered_mask >> v & 1u) continue;
+    for (Vertex u : g.neighbors(v)) {
+      if (u < v || (covered_mask >> u & 1u)) continue;
+      oracle_search(g, w, covered_mask | (1u << v),
+                    acc + w[static_cast<std::size_t>(v)], best);
+      oracle_search(g, w, covered_mask | (1u << u),
+                    acc + w[static_cast<std::size_t>(u)], best);
+      return;
+    }
+  }
+  best = std::min(best, acc);  // edgeless
+}
+
+}  // namespace
+
+Weight weighted_oracle(const CsrGraph& g, const std::vector<Weight>& w) {
+  check_weights(g, w);
+  GVC_CHECK_MSG(g.num_vertices() <= 24, "weighted oracle supports |V| <= 24");
+  Weight best = 0;
+  for (Weight x : w) best += x;  // all vertices: trivially a cover
+  oracle_search(g, w, 0, 0, best);
+  return best;
+}
+
+}  // namespace gvc::vc

@@ -1,0 +1,115 @@
+#pragma once
+
+// Bounded, linearizable MPMC FIFO — the CPU equivalent of the Broker Work
+// Distributor / broker queue of Kerbl et al. [21] that the paper uses as its
+// global worklist (§IV-C).
+//
+// Implementation: a Vyukov-style ring of ticketed cells. Each cell carries a
+// sequence number; producers claim a ticket with a CAS on the head counter
+// and publish by bumping the cell's sequence, consumers mirror the protocol
+// on the tail counter. This reproduces the broker queue's properties that
+// the algorithm depends on: bounded capacity, FIFO order, non-blocking
+// try-push/try-pop, and an O(1) entry count for the donation threshold
+// check.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gvc::worklist {
+
+template <typename T>
+class BrokerQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit BrokerQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  BrokerQueue(const BrokerQueue&) = delete;
+  BrokerQueue& operator=(const BrokerQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Number of enqueued entries. Exact when quiescent; a cheap, slightly
+  /// stale view under concurrency — the same guarantee the GPU broker queue
+  /// gives for its count, and all the donation threshold needs.
+  std::size_t size_approx() const {
+    std::int64_t n = count_.load(std::memory_order_relaxed);
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  /// Enqueue; returns false when the queue is full, in which case `value`
+  /// is left untouched (callers rely on this to fall back to their local
+  /// stack without losing the node).
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Dequeue; returns false when the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto dif = static_cast<std::intptr_t>(seq) -
+                 static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::int64_t> count_{0};
+};
+
+}  // namespace gvc::worklist

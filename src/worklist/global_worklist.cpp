@@ -1,0 +1,102 @@
+#include "worklist/global_worklist.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace gvc::worklist {
+
+GlobalWorklist::GlobalWorklist(std::size_t capacity, std::size_t threshold,
+                               int num_blocks)
+    : queue_(capacity), threshold_(threshold), num_blocks_(num_blocks) {
+  GVC_CHECK(num_blocks > 0);
+  GVC_CHECK_MSG(threshold <= queue_.capacity(),
+                "threshold exceeds worklist capacity");
+}
+
+void GlobalWorklist::add(vc::DegreeArray node) {
+  GVC_CHECK_MSG(queue_.try_push(std::move(node)), "worklist full while seeding");
+  adds_.fetch_add(1, std::memory_order_relaxed);
+  wait_cv_.notify_one();
+}
+
+bool GlobalWorklist::try_donate(vc::DegreeArray&& node) {
+  if (queue_.size_approx() >= threshold_) {
+    rejected_threshold_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!queue_.try_push(std::move(node))) {
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  adds_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t sz = queue_.size_approx();
+  std::uint64_t prev = max_size_.load(std::memory_order_relaxed);
+  while (sz > prev &&
+         !max_size_.compare_exchange_weak(prev, sz, std::memory_order_relaxed)) {
+  }
+  // Wake one sleeper; it will either take this entry or re-sleep.
+  wait_cv_.notify_one();
+  return true;
+}
+
+GlobalWorklist::RemoveOutcome GlobalWorklist::remove(vc::DegreeArray& out) {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire) ||
+        done_.load(std::memory_order_acquire))
+      return RemoveOutcome::kDone;
+
+    if (queue_.try_pop(out)) {
+      removes_.fetch_add(1, std::memory_order_relaxed);
+      return RemoveOutcome::kGot;
+    }
+
+    // Failed removal: register as waiting. If every block in the grid is
+    // now waiting, no block is processing a node, so no new work can ever
+    // be produced; one exact re-check of the queue decides termination.
+    // (Blocks only push while processing, i.e. outside remove(), so
+    // waiting == num_blocks implies there are no in-flight pushes, and the
+    // acq_rel chain through waiting_ makes completed pushes visible.)
+    int now_waiting = waiting_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (now_waiting == num_blocks_) {
+      if (queue_.try_pop(out)) {
+        waiting_.fetch_sub(1, std::memory_order_acq_rel);
+        removes_.fetch_add(1, std::memory_order_relaxed);
+        return RemoveOutcome::kGot;
+      }
+      done_.store(true, std::memory_order_release);
+      waiting_.fetch_sub(1, std::memory_order_acq_rel);
+      wait_cv_.notify_all();
+      return RemoveOutcome::kDone;
+    }
+    {
+      // Sleep briefly, then retry (the paper's nanosleep backoff). The
+      // timeout guards against a lost notify between the failed pop and
+      // the wait.
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      wait_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+        return !queue_.empty_approx() ||
+               stop_.load(std::memory_order_acquire) ||
+               done_.load(std::memory_order_acquire);
+      });
+    }
+    waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void GlobalWorklist::signal_stop() {
+  stop_.store(true, std::memory_order_release);
+  wait_cv_.notify_all();
+}
+
+WorklistStats GlobalWorklist::stats() const {
+  WorklistStats s;
+  s.adds = adds_.load();
+  s.removes = removes_.load();
+  s.donations_rejected_threshold = rejected_threshold_.load();
+  s.donations_rejected_full = rejected_full_.load();
+  s.max_size_seen = max_size_.load();
+  return s;
+}
+
+}  // namespace gvc::worklist

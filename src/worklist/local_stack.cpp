@@ -1,0 +1,41 @@
+#include "worklist/local_stack.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gvc::worklist {
+
+LocalStack::LocalStack(graph::Vertex num_vertices, int capacity)
+    : num_vertices_(num_vertices) {
+  GVC_CHECK(capacity >= 0);
+  entries_.resize(static_cast<std::size_t>(capacity));
+}
+
+void LocalStack::push(const vc::DegreeArray& node) {
+  GVC_CHECK_MSG(top_ < capacity(), "local stack overflow (depth bound violated)");
+  GVC_CHECK_MSG(node.num_vertices() == num_vertices_,
+                "degree array size mismatch");
+  entries_[static_cast<std::size_t>(top_)] = node;
+  ++top_;
+  high_water_ = std::max(high_water_, top_);
+}
+
+bool LocalStack::try_pop(vc::DegreeArray& out) {
+  if (top_ == 0) return false;
+  --top_;
+  // Copy (not move) so the slot keeps its pre-allocated buffer — mirroring
+  // the GPU discipline of fixed stack storage with memcpy in/out.
+  out = entries_[static_cast<std::size_t>(top_)];
+  return true;
+}
+
+std::int64_t LocalStack::footprint_bytes() const {
+  // Each pre-allocated slot stores one degree array entry: |V| 32-bit
+  // degrees plus the two maintained counters.
+  return static_cast<std::int64_t>(capacity()) *
+         (static_cast<std::int64_t>(num_vertices_) * 4 + 16);
+}
+
+}  // namespace gvc::worklist

@@ -1,0 +1,50 @@
+#pragma once
+
+// Per-block local stack (§III-C / §IV-E).
+//
+// On the GPU this is a pre-allocated region of global memory sized for the
+// maximum possible tree depth (the greedy upper bound for MVC, k for PVC),
+// because dynamic allocation inside a kernel is prohibitively expensive and
+// because the sum of all stacks must fit global memory. We reproduce that
+// discipline: all entries are allocated up front at construction, pushes
+// copy into pre-sized slots (no allocation on the hot path once warmed),
+// and overflow is a hard error rather than a reallocation.
+
+#include <cstdint>
+#include <vector>
+
+#include "vc/degree_array.hpp"
+
+namespace gvc::worklist {
+
+class LocalStack {
+ public:
+  /// num_vertices sizes each entry; capacity is the depth bound.
+  LocalStack(graph::Vertex num_vertices, int capacity);
+
+  bool empty() const { return top_ == 0; }
+  int size() const { return top_; }
+  int capacity() const { return static_cast<int>(entries_.size()); }
+
+  /// Deepest the stack has ever been; reported by the memory benches.
+  int high_water() const { return high_water_; }
+
+  /// Copies `node` into the next slot. Aborts on overflow — the depth bound
+  /// argument of §IV-E guarantees this cannot happen for correct callers.
+  void push(const vc::DegreeArray& node);
+
+  /// Moves the top into `out`; returns false when empty.
+  bool try_pop(vc::DegreeArray& out);
+
+  /// Bytes of entry storage held (the quantity the occupancy calculator
+  /// budgets against global memory).
+  std::int64_t footprint_bytes() const;
+
+ private:
+  std::vector<vc::DegreeArray> entries_;
+  int top_ = 0;
+  int high_water_ = 0;
+  graph::Vertex num_vertices_;
+};
+
+}  // namespace gvc::worklist

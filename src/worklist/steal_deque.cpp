@@ -1,0 +1,54 @@
+#include "worklist/steal_deque.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gvc::worklist {
+
+StealDeque::StealDeque(graph::Vertex num_vertices, int capacity)
+    : num_vertices_(num_vertices) {
+  GVC_CHECK(capacity > 0);
+  entries_.resize(static_cast<std::size_t>(capacity));
+}
+
+void StealDeque::push_bottom(const vc::DegreeArray& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto cap = entries_.size();
+  GVC_CHECK_MSG(bottom_ - top_ < cap, "steal deque overflow");
+  entries_[bottom_ % cap] = node;
+  ++bottom_;
+  const int sz = static_cast<int>(bottom_ - top_);
+  size_.store(sz, std::memory_order_relaxed);
+  high_water_ = std::max(high_water_, sz);
+  ++pushes_;
+}
+
+bool StealDeque::try_pop_bottom(vc::DegreeArray& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bottom_ == top_) return false;
+  --bottom_;
+  out = std::move(entries_[bottom_ % entries_.size()]);
+  size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
+  ++pops_;
+  return true;
+}
+
+bool StealDeque::try_steal_top(vc::DegreeArray& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bottom_ == top_) return false;
+  out = std::move(entries_[top_ % entries_.size()]);
+  ++top_;
+  size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
+  ++steals_;
+  return true;
+}
+
+std::int64_t StealDeque::footprint_bytes() const {
+  return static_cast<std::int64_t>(entries_.size()) *
+         static_cast<std::int64_t>(num_vertices_) *
+         static_cast<std::int64_t>(sizeof(std::int32_t));
+}
+
+}  // namespace gvc::worklist

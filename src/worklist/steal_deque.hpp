@@ -1,0 +1,82 @@
+#pragma once
+
+// Per-block work-stealing deque, the substrate of the WorkStealing study
+// baseline (see parallel/work_stealing.hpp). The owner block treats it as a
+// stack — push/pop at the bottom, preserving the depth-first order Fig. 4
+// relies on — while idle blocks steal from the top, where the shallowest
+// (and therefore statistically largest) sub-trees sit. That is the classic
+// steal-the-oldest policy of work-stealing schedulers.
+//
+// The implementation is a pre-allocated ring buffer guarded by a mutex.
+// A production GPU port would use a lock-free Chase–Lev deque in global
+// memory; the mutex keeps this host model obviously correct, and the benches
+// measure its contention the same way they measure the broker queue's
+// (cycles inside the locked sections are charged to the stealing/pushing
+// block's activity accumulator).
+//
+// Like LocalStack, storage is allocated once at construction: the owner can
+// hold at most one node per tree level, so `capacity` = the depth bound of
+// §IV-E, and steals only ever shrink the deque. Overflow is a hard error.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "vc/degree_array.hpp"
+
+namespace gvc::worklist {
+
+class StealDeque {
+ public:
+  /// num_vertices sizes each entry; capacity is the depth bound.
+  StealDeque(graph::Vertex num_vertices, int capacity);
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  int capacity() const { return static_cast<int>(entries_.size()); }
+
+  /// Entries currently held. Exact but immediately stale under concurrency;
+  /// used by thieves to skip obviously empty victims cheaply.
+  int size_approx() const { return size_.load(std::memory_order_relaxed); }
+  bool empty_approx() const { return size_approx() == 0; }
+
+  /// Owner: push a node at the bottom (deepest end). Aborts on overflow —
+  /// the §IV-E depth bound guarantees correct callers never overflow.
+  void push_bottom(const vc::DegreeArray& node);
+
+  /// Owner: pop the most recently pushed node (depth-first order).
+  bool try_pop_bottom(vc::DegreeArray& out);
+
+  /// Thief: steal the oldest (shallowest) node from the top.
+  bool try_steal_top(vc::DegreeArray& out);
+
+  /// Deepest the deque has ever been.
+  int high_water() const { return high_water_; }
+
+  /// Lifetime counters (read when quiescent).
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t pops() const { return pops_; }
+  std::uint64_t steals_suffered() const { return steals_; }
+
+  /// Bytes of entry storage held (for the memory budget, like LocalStack).
+  std::int64_t footprint_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<vc::DegreeArray> entries_;
+  // Ring indices: top_ chases bottom_; entries live in [top_, bottom_).
+  std::size_t top_ = 0;
+  std::size_t bottom_ = 0;
+  std::atomic<int> size_{0};
+
+  int high_water_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t steals_ = 0;
+
+  graph::Vertex num_vertices_;
+};
+
+}  // namespace gvc::worklist

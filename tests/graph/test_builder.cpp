@@ -1,0 +1,83 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gvc::graph {
+namespace {
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  g.validate();
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  g.validate();
+}
+
+TEST(GraphBuilder, BuildIsIdempotent) {
+  GraphBuilder b(4);
+  b.add_edge(0, 3);
+  b.add_edge(2, 1);
+  CsrGraph g1 = b.build();
+  CsrGraph g2 = b.build();
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(GraphBuilder, NormalizedEdgesSortedUnique) {
+  GraphBuilder b(4);
+  b.add_edge(3, 2);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  auto es = b.normalized_edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], std::make_pair(Vertex{0}, Vertex{1}));
+  EXPECT_EQ(es[1], std::make_pair(Vertex{2}, Vertex{3}));
+}
+
+TEST(GraphBuilder, ContainsIsOrderInsensitive) {
+  GraphBuilder b(3);
+  b.add_edge(2, 1);
+  EXPECT_TRUE(b.contains(1, 2));
+  EXPECT_TRUE(b.contains(2, 1));
+  EXPECT_FALSE(b.contains(0, 1));
+}
+
+TEST(GraphBuilder, ZeroVertexGraph) {
+  GraphBuilder b(0);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  g.validate();
+}
+
+TEST(GraphBuilder, LargeStarAdjacencySorted) {
+  constexpr Vertex n = 500;
+  GraphBuilder b(n);
+  // Insert in reverse to stress the per-vertex sort.
+  for (Vertex v = n - 1; v >= 1; --v) b.add_edge(0, v);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.degree(0), n - 1);
+  g.validate();
+}
+
+TEST(GraphBuilderDeathTest, OutOfRangeEndpoint) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "out of range");
+  EXPECT_DEATH(b.add_edge(-1, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace gvc::graph

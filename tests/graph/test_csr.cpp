@@ -1,0 +1,84 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace gvc::graph {
+namespace {
+
+CsrGraph triangle() { return from_edges(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  g.validate();
+}
+
+TEST(CsrGraph, TriangleBasics) {
+  CsrGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  g.validate();
+}
+
+TEST(CsrGraph, NeighborsSortedSpan) {
+  CsrGraph g = from_edges(4, {{2, 0}, {2, 3}, {2, 1}});
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(CsrGraph, HasEdgeSymmetric) {
+  CsrGraph g = triangle();
+  for (Vertex u = 0; u < 3; ++u)
+    for (Vertex v = 0; v < 3; ++v)
+      EXPECT_EQ(g.has_edge(u, v), u != v);
+}
+
+TEST(CsrGraph, HasEdgeAbsent) {
+  CsrGraph g = from_edges(4, {{0, 1}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveDegreeZero) {
+  CsrGraph g = from_edges(5, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(CsrGraph, EqualityIsStructural) {
+  EXPECT_EQ(triangle(), triangle());
+  EXPECT_NE(triangle(), from_edges(3, {{0, 1}, {1, 2}}));
+}
+
+TEST(CsrGraphDeathTest, ValidateCatchesAsymmetry) {
+  // Hand-build a broken CSR: arc 0→1 without 1→0.
+  CsrGraph g(std::vector<std::int64_t>{0, 1, 1}, std::vector<Vertex>{1});
+  EXPECT_DEATH(g.validate(), "asymmetric");
+}
+
+TEST(CsrGraphDeathTest, ValidateCatchesSelfLoop) {
+  CsrGraph g(std::vector<std::int64_t>{0, 1}, std::vector<Vertex>{0});
+  EXPECT_DEATH(g.validate(), "self-loop");
+}
+
+TEST(CsrGraphDeathTest, ConstructorRejectsInconsistentOffsets) {
+  EXPECT_DEATH(CsrGraph(std::vector<std::int64_t>{0, 5},
+                        std::vector<Vertex>{1}),
+               "GVC_CHECK");
+}
+
+}  // namespace
+}  // namespace gvc::graph

@@ -1,0 +1,179 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/ops.hpp"
+
+namespace gvc::graph {
+namespace {
+
+TEST(Fixtures, CompleteGraph) {
+  CsrGraph g = complete(8);
+  EXPECT_EQ(g.num_edges(), 28);
+  EXPECT_EQ(g.max_degree(), 7);
+  g.validate();
+}
+
+TEST(Fixtures, PathCycleStar) {
+  EXPECT_EQ(path(6).num_edges(), 5);
+  EXPECT_EQ(cycle(6).num_edges(), 6);
+  EXPECT_EQ(star(6).num_edges(), 5);
+  EXPECT_EQ(star(6).degree(0), 5);
+  path(6).validate();
+  cycle(6).validate();
+  star(6).validate();
+}
+
+TEST(Fixtures, TinySizes) {
+  EXPECT_EQ(path(0).num_vertices(), 0);
+  EXPECT_EQ(path(1).num_edges(), 0);
+  EXPECT_EQ(cycle(2).num_edges(), 1);  // degenerate: single edge, no loop
+  EXPECT_EQ(complete(1).num_edges(), 0);
+}
+
+TEST(Fixtures, CompleteBipartite) {
+  CsrGraph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(g.degree(0), 4);
+  EXPECT_EQ(g.degree(3), 3);
+  g.validate();
+}
+
+TEST(Fixtures, Petersen) {
+  CsrGraph g = petersen();
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);  // 3-regular
+  EXPECT_EQ(num_connected_components(g), 1);
+  g.validate();
+}
+
+TEST(Fixtures, Grid2d) {
+  CsrGraph g = grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Edges: 3*3 horizontal + 2*4 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_EQ(num_connected_components(g), 1);
+  g.validate();
+}
+
+TEST(Gnp, Deterministic) {
+  EXPECT_EQ(gnp(50, 0.2, 9), gnp(50, 0.2, 9));
+  EXPECT_NE(gnp(50, 0.2, 9), gnp(50, 0.2, 10));
+}
+
+TEST(Gnp, ExtremeProbabilities) {
+  EXPECT_EQ(gnp(20, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(gnp(20, 1.0, 1).num_edges(), 190);
+  gnp(20, 1.0, 1).validate();
+}
+
+TEST(Gnp, DensityNearExpected) {
+  CsrGraph g = gnp(400, 0.1, 17);
+  double expected = 0.1 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.1);
+  g.validate();
+}
+
+TEST(PHat, DensityBetweenBounds) {
+  CsrGraph g = p_hat(200, 0.2, 0.8, 5);
+  double lo = 0.2 * 200 * 199 / 2, hi = 0.8 * 200 * 199 / 2;
+  EXPECT_GT(g.num_edges(), static_cast<std::int64_t>(lo * 0.8));
+  EXPECT_LT(g.num_edges(), static_cast<std::int64_t>(hi * 1.2));
+  g.validate();
+}
+
+TEST(PHat, WiderDegreeSpreadThanGnp) {
+  // Same average density; p_hat should show a larger max-min degree gap.
+  CsrGraph ph = p_hat(300, 0.1, 0.9, 4);
+  CsrGraph er = gnp(300, 0.5, 4);
+  auto spread = [](const CsrGraph& g) {
+    Vertex lo = g.degree(0), hi = g.degree(0);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      lo = std::min(lo, g.degree(v));
+      hi = std::max(hi, g.degree(v));
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(ph), spread(er));
+}
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  CsrGraph g = barabasi_albert(300, 3, 8);
+  EXPECT_EQ(g.num_vertices(), 300);
+  // m edges per new vertex beyond the seed clique.
+  EXPECT_GE(g.num_edges(), 3 * (300 - 4));
+  EXPECT_EQ(num_connected_components(g), 1);
+  g.validate();
+}
+
+TEST(BarabasiAlbert, HasHubs) {
+  CsrGraph g = barabasi_albert(500, 2, 3);
+  // Scale-free graphs grow hubs far above the mean degree (~4).
+  EXPECT_GT(g.max_degree(), 20);
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedByRewiring) {
+  CsrGraph a = watts_strogatz(200, 3, 0.0, 6);
+  CsrGraph b = watts_strogatz(200, 3, 0.5, 6);
+  EXPECT_EQ(a.num_edges(), 200 * 3);
+  // Rewiring can only fail (keeping the edge), never drop below... it keeps
+  // the count unless an attempt exhausts retries, so allow small slack.
+  EXPECT_NEAR(static_cast<double>(b.num_edges()), 600.0, 10.0);
+  a.validate();
+  b.validate();
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  CsrGraph g = watts_strogatz(12, 2, 0.0, 1);
+  for (Vertex v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(PowerGrid, SparseAndConnected) {
+  CsrGraph g = power_grid(1000, 0.35, 2);
+  EXPECT_EQ(g.num_vertices(), 1000);
+  EXPECT_EQ(num_connected_components(g), 1);  // spanning tree backbone
+  double ratio = static_cast<double>(g.num_edges()) / 1000.0;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.6);
+  g.validate();
+}
+
+TEST(Bipartite, RespectsSidesAndCount) {
+  CsrGraph g = bipartite(40, 60, 500, 13);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 500);
+  // No edge inside either side.
+  for (Vertex v = 0; v < 40; ++v)
+    for (Vertex u : g.neighbors(v)) EXPECT_GE(u, 40);
+  g.validate();
+}
+
+TEST(RandomTree, IsATree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    CsrGraph g = random_tree(50, seed);
+    EXPECT_EQ(g.num_edges(), 49);
+    EXPECT_EQ(num_connected_components(g), 1);
+    g.validate();
+  }
+}
+
+TEST(RandomTree, TinySizes) {
+  EXPECT_EQ(random_tree(0, 1).num_vertices(), 0);
+  EXPECT_EQ(random_tree(1, 1).num_edges(), 0);
+  EXPECT_EQ(random_tree(2, 1).num_edges(), 1);
+  EXPECT_EQ(random_tree(3, 1).num_edges(), 2);
+}
+
+TEST(Generators, AllDeterministic) {
+  EXPECT_EQ(p_hat(60, 0.3, 0.7, 42), p_hat(60, 0.3, 0.7, 42));
+  EXPECT_EQ(barabasi_albert(80, 2, 42), barabasi_albert(80, 2, 42));
+  EXPECT_EQ(watts_strogatz(80, 2, 0.3, 42), watts_strogatz(80, 2, 0.3, 42));
+  EXPECT_EQ(power_grid(80, 0.3, 42), power_grid(80, 0.3, 42));
+  EXPECT_EQ(bipartite(20, 30, 100, 42), bipartite(20, 30, 100, 42));
+  EXPECT_EQ(random_tree(80, 42), random_tree(80, 42));
+}
+
+}  // namespace
+}  // namespace gvc::graph

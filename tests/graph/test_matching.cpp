@@ -1,0 +1,107 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "vc/greedy.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::graph {
+namespace {
+
+int matching_size(const std::vector<int>& match_l) {
+  int size = 0;
+  for (int r : match_l)
+    if (r != -1) ++size;
+  return size;
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  std::vector<std::vector<int>> adj(4);
+  for (auto& nbrs : adj) nbrs = {0, 1, 2, 3};
+  auto match = hopcroft_karp(4, 4, adj);
+  EXPECT_EQ(matching_size(match), 4);
+  // Matching property: distinct right endpoints.
+  std::set<int> rights(match.begin(), match.end());
+  EXPECT_EQ(rights.size(), 4u);
+}
+
+TEST(HopcroftKarp, AugmentingPathRequired) {
+  // Classic instance where greedy matching gets stuck at 2 but optimum is 3:
+  // l0:{r0,r1}, l1:{r0}, l2:{r1,r2}.
+  std::vector<std::vector<int>> adj = {{0, 1}, {0}, {1, 2}};
+  auto match = hopcroft_karp(3, 3, adj);
+  EXPECT_EQ(matching_size(match), 3);
+}
+
+TEST(HopcroftKarp, EmptySides) {
+  EXPECT_TRUE(hopcroft_karp(0, 5, {}).empty());
+  std::vector<std::vector<int>> adj(3);
+  EXPECT_EQ(matching_size(hopcroft_karp(3, 0, adj)), 0);
+}
+
+TEST(HopcroftKarp, UnbalancedSides) {
+  // 2 left, 5 right, everything adjacent: matching = 2.
+  std::vector<std::vector<int>> adj = {{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}};
+  EXPECT_EQ(matching_size(hopcroft_karp(2, 5, adj)), 2);
+}
+
+TEST(HopcroftKarpDeathTest, RejectsOutOfRangeRight) {
+  std::vector<std::vector<int>> adj = {{7}};
+  EXPECT_DEATH(hopcroft_karp(1, 3, adj), "right id range");
+}
+
+TEST(KonigCover, SizeEqualsMatchingAndCoversAllEdges) {
+  util::Pcg32 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int nl = 3 + static_cast<int>(rng.below(6));
+    int nr = 3 + static_cast<int>(rng.below(6));
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(nl));
+    for (int l = 0; l < nl; ++l)
+      for (int r = 0; r < nr; ++r)
+        if (rng.chance(0.3)) adj[static_cast<std::size_t>(l)].push_back(r);
+
+    auto match = hopcroft_karp(nl, nr, adj);
+    KonigCover cover = konig_cover(nl, nr, adj);
+    EXPECT_EQ(cover.size, matching_size(match));  // König's theorem
+    for (int l = 0; l < nl; ++l)
+      for (int r : adj[static_cast<std::size_t>(l)])
+        EXPECT_TRUE(cover.left[static_cast<std::size_t>(l)] ||
+                    cover.right[static_cast<std::size_t>(r)])
+            << "uncovered edge " << l << "-" << r;
+  }
+}
+
+TEST(DoubleCoverMatching, LpBoundBracketsOptimum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CsrGraph g = gnp(16, 0.3, seed + 11);
+    int opt = vc::oracle_mvc_size(g);
+    int lp_times_2 = double_cover_matching_size(g);
+    // LP bound: ceil(matching/2) <= opt <= matching (LP is half-integral,
+    // opt <= 2*LP).
+    EXPECT_LE((lp_times_2 + 1) / 2, opt);
+    EXPECT_LE(opt, lp_times_2);
+  }
+}
+
+TEST(DoubleCoverMatching, AtLeastMaximalMatchingBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CsrGraph g = gnp(30, 0.15, seed + 31);
+    EXPECT_GE((double_cover_matching_size(g) + 1) / 2,
+              vc::matching_lower_bound(g) > 0 ? 1 : 0);
+    EXPECT_GE(double_cover_matching_size(g) / 2, 0);
+  }
+}
+
+TEST(DoubleCoverMatching, KnownValues) {
+  // C4: LP optimum 2 -> double cover matching 4.
+  EXPECT_EQ(double_cover_matching_size(cycle(4)), 4);
+  // K3: LP optimum 1.5 -> double cover matching 3.
+  EXPECT_EQ(double_cover_matching_size(complete(3)), 3);
+  // Edgeless: 0.
+  EXPECT_EQ(double_cover_matching_size(empty_graph(5)), 0);
+}
+
+}  // namespace
+}  // namespace gvc::graph

@@ -1,0 +1,132 @@
+#include "graph/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace gvc::graph {
+namespace {
+
+TEST(Complement, OfCompleteIsEmpty) {
+  CsrGraph g = complement(complete(6));
+  EXPECT_EQ(g.num_edges(), 0);
+  g.validate();
+}
+
+TEST(Complement, OfEmptyIsComplete) {
+  CsrGraph g = complement(empty_graph(5));
+  EXPECT_EQ(g.num_edges(), 10);
+  g.validate();
+}
+
+TEST(Complement, IsInvolution) {
+  CsrGraph g = gnp(40, 0.3, 7);
+  EXPECT_EQ(complement(complement(g)), g);
+}
+
+TEST(Complement, EdgeCountsSumToChoose2) {
+  CsrGraph g = gnp(30, 0.5, 3);
+  CsrGraph c = complement(g);
+  EXPECT_EQ(g.num_edges() + c.num_edges(), 30 * 29 / 2);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // Path 0-1-2-3; keep {0,1,3}: only edge 0-1 survives.
+  CsrGraph g = path(4);
+  CsrGraph sub = induced_subgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, RelabelsInGivenOrder) {
+  CsrGraph g = path(4);  // edges 0-1,1-2,2-3
+  CsrGraph sub = induced_subgraph(g, {2, 1});
+  EXPECT_EQ(sub.num_vertices(), 2);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // 2-1 edge survives under new labels
+}
+
+TEST(ConnectedComponents, CountsIslands) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  CsrGraph g = b.build();
+  EXPECT_EQ(num_connected_components(g), 4);  // {0,1},{2,3},{4},{5}
+  auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+}
+
+TEST(ConnectedComponents, ConnectedGraphIsOne) {
+  EXPECT_EQ(num_connected_components(cycle(10)), 1);
+  EXPECT_EQ(num_connected_components(complete(5)), 1);
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy(empty_graph(5)), 0);
+  EXPECT_EQ(degeneracy(path(10)), 1);      // trees are 1-degenerate
+  EXPECT_EQ(degeneracy(cycle(10)), 2);
+  EXPECT_EQ(degeneracy(complete(7)), 6);
+  EXPECT_EQ(degeneracy(complete_bipartite(3, 9)), 3);
+  EXPECT_EQ(degeneracy(petersen()), 3);
+}
+
+TEST(TriangleCount, KnownValues) {
+  EXPECT_EQ(triangle_count(complete(4)), 4);
+  EXPECT_EQ(triangle_count(complete(6)), 20);
+  EXPECT_EQ(triangle_count(cycle(5)), 0);
+  EXPECT_EQ(triangle_count(petersen()), 0);  // girth 5
+  EXPECT_EQ(triangle_count(from_edges(3, {{0, 1}, {1, 2}, {0, 2}})), 1);
+}
+
+TEST(IsVertexCover, AcceptsAndRejects) {
+  CsrGraph g = path(4);  // edges 0-1,1-2,2-3
+  EXPECT_TRUE(is_vertex_cover(g, {1, 2}));
+  EXPECT_TRUE(is_vertex_cover(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_vertex_cover(g, {1}));     // misses 2-3
+  EXPECT_FALSE(is_vertex_cover(g, {0, 3}));  // misses 1-2
+  EXPECT_TRUE(is_vertex_cover(empty_graph(3), {}));
+}
+
+TEST(IsIndependentSet, AcceptsAndRejects) {
+  CsrGraph g = cycle(5);
+  EXPECT_TRUE(is_independent_set(g, {0, 2}));
+  EXPECT_FALSE(is_independent_set(g, {0, 1}));
+  EXPECT_TRUE(is_independent_set(g, {}));
+}
+
+TEST(CoverComplementIsIndependentSet, OnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    CsrGraph g = gnp(25, 0.2, seed);
+    // V \ cover must be independent for any cover.
+    std::vector<Vertex> cover;
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      if (v % 2 == 0) cover.push_back(v);
+    if (!is_vertex_cover(g, cover)) continue;
+    std::vector<Vertex> rest;
+    for (Vertex v = 1; v < g.num_vertices(); v += 2) rest.push_back(v);
+    EXPECT_TRUE(is_independent_set(g, rest));
+  }
+}
+
+TEST(ShuffleLabels, PreservesStructure) {
+  CsrGraph g = gnp(30, 0.25, 5);
+  std::vector<Vertex> perm;
+  CsrGraph h = shuffle_labels(g, 99, &perm);
+  ASSERT_EQ(perm.size(), 30u);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (Vertex u : g.neighbors(v))
+      EXPECT_TRUE(h.has_edge(perm[static_cast<std::size_t>(v)],
+                             perm[static_cast<std::size_t>(u)]));
+  h.validate();
+}
+
+}  // namespace
+}  // namespace gvc::graph

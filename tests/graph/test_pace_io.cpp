@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace gvc::graph {
+namespace {
+
+TEST(PaceIo, ParsesBasicFile) {
+  std::istringstream in(
+      "c PACE 2019 vc-exact style instance\n"
+      "p td 5 4\n"
+      "1 2\n"
+      "2 3\n"
+      "3 4\n"
+      "4 5\n");
+  CsrGraph g = read_pace(in);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  g.validate();
+}
+
+TEST(PaceIo, AcceptsVcAndEdgeDescriptors) {
+  for (const char* desc : {"vc", "edge"}) {
+    std::istringstream in(std::string("p ") + desc + " 3 2\n1 2\n2 3\n");
+    CsrGraph g = read_pace(in);
+    EXPECT_EQ(g.num_vertices(), 3);
+    EXPECT_EQ(g.num_edges(), 2);
+  }
+}
+
+TEST(PaceIo, DeduplicatesAndDropsSelfLoops) {
+  std::istringstream in(
+      "p td 3 4\n"
+      "1 2\n"
+      "2 1\n"
+      "2 2\n"
+      "2 3\n");
+  CsrGraph g = read_pace(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(PaceIo, IsolatedVerticesSurvive) {
+  std::istringstream in("p td 10 1\n1 2\n");
+  CsrGraph g = read_pace(in);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.degree(9), 0);
+}
+
+TEST(PaceIo, RoundTrip) {
+  CsrGraph g = gnp(40, 0.15, 11);
+  std::ostringstream out;
+  write_pace(out, g, "roundtrip");
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_pace(in), g);
+}
+
+TEST(PaceIo, WriterEmitsHeaderAndOneBasedEdges) {
+  CsrGraph g = path(3);  // edges {0,1},{1,2}
+  std::ostringstream out;
+  write_pace(out, g);
+  EXPECT_EQ(out.str(), "p td 3 2\n1 2\n2 3\n");
+}
+
+TEST(PaceIoDeathTest, EdgeBeforeHeader) {
+  std::istringstream in("1 2\n");
+  EXPECT_DEATH(read_pace(in), "edge before p line");
+}
+
+TEST(PaceIoDeathTest, MissingHeader) {
+  std::istringstream in("c nothing else\n");
+  EXPECT_DEATH(read_pace(in), "missing p line");
+}
+
+TEST(PaceIoDeathTest, DuplicateHeader) {
+  std::istringstream in("p td 2 0\np td 2 0\n");
+  EXPECT_DEATH(read_pace(in), "duplicate p line");
+}
+
+TEST(PaceIoDeathTest, UnknownDescriptor) {
+  std::istringstream in("p tw 2 0\n");
+  EXPECT_DEATH(read_pace(in), "unknown PACE problem descriptor");
+}
+
+TEST(PaceIoDeathTest, OutOfRangeEndpoint) {
+  std::istringstream in("p td 2 1\n1 7\n");
+  EXPECT_DEATH(read_pace(in), "out of range");
+}
+
+TEST(PaceSolution, RoundTrip) {
+  std::vector<Vertex> cover = {0, 3, 7};
+  std::ostringstream out;
+  write_pace_solution(out, 10, cover);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_pace_solution(in), cover);
+}
+
+TEST(PaceSolution, WriterFormat) {
+  std::ostringstream out;
+  write_pace_solution(out, 4, {1, 2});
+  EXPECT_EQ(out.str(), "s vc 4 2\n2\n3\n");
+}
+
+TEST(PaceSolution, EmptyCover) {
+  std::ostringstream out;
+  write_pace_solution(out, 3, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_pace_solution(in).empty());
+}
+
+TEST(PaceSolutionDeathTest, SizeMismatch) {
+  std::istringstream in("s vc 5 2\n1\n");
+  EXPECT_DEATH(read_pace_solution(in), "disagrees");
+}
+
+TEST(PaceSolutionDeathTest, VertexBeforeHeader) {
+  std::istringstream in("3\n");
+  EXPECT_DEATH(read_pace_solution(in), "vertex before s line");
+}
+
+}  // namespace
+}  // namespace gvc::graph

@@ -1,0 +1,52 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gvc::graph {
+namespace {
+
+TEST(GraphStats, CompleteGraph) {
+  GraphStats s = compute_stats(complete(10));
+  EXPECT_EQ(s.num_vertices, 10);
+  EXPECT_EQ(s.num_edges, 45);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 9.0);
+  EXPECT_DOUBLE_EQ(s.edge_vertex_ratio, 4.5);
+  EXPECT_EQ(s.max_degree, 9);
+  EXPECT_EQ(s.min_degree, 9);
+  EXPECT_EQ(s.degeneracy, 9);
+  EXPECT_EQ(s.components, 1);
+  EXPECT_EQ(s.triangles, 120);
+}
+
+TEST(GraphStats, EmptyGraph) {
+  GraphStats s = compute_stats(empty_graph(0));
+  EXPECT_EQ(s.num_vertices, 0);
+  EXPECT_EQ(s.num_edges, 0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+TEST(GraphStats, StarDegreeExtremes) {
+  GraphStats s = compute_stats(star(8));
+  EXPECT_EQ(s.max_degree, 7);
+  EXPECT_EQ(s.min_degree, 1);
+  EXPECT_EQ(s.triangles, 0);
+}
+
+TEST(GraphStats, HighVsLowDegreeSplit) {
+  // Paper's high-degree rows have |E|/|V| ≥ 22, low-degree ≤ 4.9.
+  GraphStats dense = compute_stats(p_hat(120, 0.4, 0.8, 1));
+  GraphStats sparse = compute_stats(power_grid(500, 0.33, 1));
+  EXPECT_TRUE(is_high_degree(dense));
+  EXPECT_FALSE(is_high_degree(sparse));
+}
+
+TEST(GraphStats, ToStringMentionsKeyFields) {
+  std::string s = compute_stats(cycle(5)).to_string();
+  EXPECT_NE(s.find("|V|=5"), std::string::npos);
+  EXPECT_NE(s.find("|E|=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gvc::graph

@@ -1,0 +1,104 @@
+#include "harness/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/stats.hpp"
+
+namespace gvc::harness {
+namespace {
+
+TEST(Catalog, HasAll18TableIRows) {
+  auto cat = paper_catalog(Scale::kSmoke);
+  EXPECT_EQ(cat.size(), 18u);
+  std::set<std::string> names;
+  for (const auto& inst : cat) names.insert(inst.name());
+  EXPECT_EQ(names.size(), 18u);  // unique
+  EXPECT_TRUE(names.count("p_hat_300_1"));
+  EXPECT_TRUE(names.count("p_hat_1000_2"));
+  EXPECT_TRUE(names.count("movielens-100k"));
+  EXPECT_TRUE(names.count("US_power_grid"));
+  EXPECT_TRUE(names.count("vc-exact_009"));
+}
+
+TEST(Catalog, HighLowDegreeSplitMatchesTableI) {
+  auto cat = paper_catalog(Scale::kSmoke);
+  int high = 0, low = 0;
+  for (const auto& inst : cat) (inst.high_degree() ? high : low)++;
+  EXPECT_EQ(high, 13);
+  EXPECT_EQ(low, 5);
+}
+
+TEST(Catalog, GraphsAreValidAndCached) {
+  auto cat = paper_catalog(Scale::kSmoke);
+  for (const auto& inst : cat) {
+    const auto& g = inst.graph();
+    g.validate();
+    EXPECT_GT(g.num_vertices(), 0);
+    EXPECT_GT(g.num_edges(), 0);
+    // Cached: same object on second access.
+    EXPECT_EQ(&inst.graph(), &g);
+  }
+}
+
+TEST(Catalog, DegreeClassesMatchGeneratedGraphs) {
+  // The |E|/|V| split of the generated stand-ins must reproduce the paper's
+  // grouping: every high-degree row denser than every low-degree row.
+  auto cat = paper_catalog(Scale::kSmoke);
+  double min_high = 1e18, max_low = 0;
+  for (const auto& inst : cat) {
+    double ratio = static_cast<double>(inst.graph().num_edges()) /
+                   static_cast<double>(inst.graph().num_vertices());
+    if (inst.high_degree())
+      min_high = std::min(min_high, ratio);
+    else
+      max_low = std::max(max_low, ratio);
+  }
+  EXPECT_GT(min_high, max_low);
+}
+
+TEST(Catalog, PHatComplementDensityOrdering) {
+  // Complements of denser clique graphs are sparser: *_1 > *_2 > *_3.
+  auto cat = paper_catalog(Scale::kSmoke);
+  auto edges = [&](const char* name) {
+    return find_instance(cat, name).graph().num_edges();
+  };
+  EXPECT_GT(edges("p_hat_300_1"), edges("p_hat_300_2"));
+  EXPECT_GT(edges("p_hat_300_2"), edges("p_hat_300_3"));
+}
+
+TEST(Catalog, ScalesAreOrdered) {
+  auto smoke = paper_catalog(Scale::kSmoke);
+  auto def = paper_catalog(Scale::kDefault);
+  auto large = paper_catalog(Scale::kLarge);
+  for (std::size_t i = 0; i < smoke.size(); ++i) {
+    EXPECT_LE(smoke[i].graph().num_vertices(), def[i].graph().num_vertices());
+    EXPECT_LE(def[i].graph().num_vertices(), large[i].graph().num_vertices());
+  }
+}
+
+TEST(Catalog, SubstitutionNotesPresent) {
+  for (const auto& inst : paper_catalog(Scale::kSmoke)) {
+    EXPECT_FALSE(inst.substitution().empty()) << inst.name();
+    EXPECT_FALSE(inst.family().empty()) << inst.name();
+  }
+}
+
+TEST(Catalog, ParseScale) {
+  EXPECT_EQ(parse_scale("smoke"), Scale::kSmoke);
+  EXPECT_EQ(parse_scale("DEFAULT"), Scale::kDefault);
+  EXPECT_EQ(parse_scale("large"), Scale::kLarge);
+}
+
+TEST(CatalogDeathTest, UnknownInstanceAborts) {
+  auto cat = paper_catalog(Scale::kSmoke);
+  EXPECT_DEATH(find_instance(cat, "nope"), "not found");
+}
+
+TEST(CatalogDeathTest, UnknownScaleAborts) {
+  EXPECT_DEATH(parse_scale("huge"), "unknown scale");
+}
+
+}  // namespace
+}  // namespace gvc::harness

@@ -1,0 +1,84 @@
+#include "harness/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/ops.hpp"
+#include "graph/stats.hpp"
+
+namespace gvc::harness {
+namespace {
+
+TEST(Families, CatalogNamesAreRegistered) {
+  for (const FamilyInfo& info : family_catalog())
+    EXPECT_TRUE(is_family(info.name)) << info.name;
+  EXPECT_FALSE(is_family("nonexistent"));
+}
+
+TEST(Families, EveryFamilyGeneratesAValidGraph) {
+  FamilyParams params;
+  params.n = 24;
+  params.n2 = 6;
+  params.p = 0.2;
+  params.m = 2;
+  params.seed = 5;
+  for (const FamilyInfo& info : family_catalog()) {
+    graph::CsrGraph g = make_family(info.name, params);
+    g.validate();
+    EXPECT_GT(g.num_vertices(), 0) << info.name;
+  }
+}
+
+TEST(Families, DeterministicPerSeed) {
+  FamilyParams params;
+  params.n = 30;
+  params.p = 0.15;
+  params.seed = 7;
+  for (const char* name : {"gnp", "p_hat", "ba", "ws", "tree"}) {
+    graph::CsrGraph a = make_family(name, params);
+    graph::CsrGraph b = make_family(name, params);
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Families, SeedsProduceDifferentRandomGraphs) {
+  FamilyParams a, b;
+  a.n = b.n = 40;
+  a.p = b.p = 0.2;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(make_family("gnp", a), make_family("gnp", b));
+}
+
+TEST(Families, ComplementFlagComplements) {
+  FamilyParams params;
+  params.n = 20;
+  params.p = 0.3;
+  graph::CsrGraph plain = make_family("gnp", params);
+  params.take_complement = true;
+  graph::CsrGraph comp = make_family("gnp", params);
+  EXPECT_EQ(comp, graph::complement(plain));
+}
+
+TEST(Families, NamesAreCaseInsensitive) {
+  FamilyParams params;
+  params.n = 10;
+  EXPECT_EQ(make_family("CYCLE", params), make_family("cycle", params));
+}
+
+TEST(Families, BipartiteUsesBothSidesAndEdgeCount) {
+  FamilyParams params;
+  params.n = 8;
+  params.n2 = 12;
+  params.edges = 30;
+  params.seed = 3;
+  graph::CsrGraph g = make_family("bipartite", params);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 30);
+}
+
+TEST(FamiliesDeathTest, UnknownFamilyAborts) {
+  EXPECT_DEATH(make_family("hypercube", {}), "unknown graph family");
+}
+
+}  // namespace
+}  // namespace gvc::harness

@@ -1,0 +1,143 @@
+#include "parallel/global_only.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::parallel {
+namespace {
+
+ParallelConfig base_config(int grid = 8, std::size_t capacity = 256) {
+  ParallelConfig c;
+  c.device = device::DeviceSpec::host_scaled();
+  c.grid_override = grid;
+  c.worklist_capacity = capacity;
+  return c;
+}
+
+TEST(GlobalOnly, MatchesOracleOnFixtures) {
+  for (const auto& g :
+       {graph::cycle(9), graph::petersen(), graph::complete(7),
+        graph::complete_bipartite(3, 8), graph::star(12),
+        graph::grid2d(3, 4)}) {
+    ParallelResult r = solve_global_only(g, base_config());
+    EXPECT_EQ(r.best_size, vc::oracle_mvc_size(g));
+    EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+  }
+}
+
+TEST(GlobalOnly, EdgelessGraphSolvesToZero) {
+  ParallelResult r = solve_global_only(graph::empty_graph(20), base_config());
+  EXPECT_EQ(r.best_size, 0);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(GlobalOnly, MatchesSequentialOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto g = graph::gnp(40, 0.2, seed * 11 + 3);
+    vc::SequentialConfig sc;
+    int expect = vc::solve_sequential(g, sc).best_size;
+    EXPECT_EQ(solve_global_only(g, base_config()).best_size, expect) << seed;
+  }
+}
+
+class GlobalOnlyGridTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Grids, GlobalOnlyGridTest,
+                         ::testing::Values(1, 2, 4, 12));
+
+TEST_P(GlobalOnlyGridTest, OptimumInvariantUnderGridSize) {
+  auto g = graph::complement(graph::p_hat(28, 0.35, 0.85, 13));
+  int opt = vc::oracle_mvc_size(g);
+  ParallelResult r = solve_global_only(g, base_config(GetParam()));
+  EXPECT_EQ(r.best_size, opt) << "grid=" << GetParam();
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+}
+
+TEST(GlobalOnly, TinyWorklistForcesSpillsButStaysExact) {
+  // The strawman's failure mode: a frontier bigger than the queue. Sparse
+  // graphs have large search trees (the edge-count prune is weak), so with
+  // a 4-entry queue the spill path must fire and the answer must not
+  // change. grid=1 makes the queue dynamics deterministic.
+  auto g = graph::gnp(60, 0.08, 7);
+  vc::SequentialConfig sc;
+  int expect = vc::solve_sequential(g, sc).best_size;
+  ParallelResult r = solve_global_only(g, base_config(1, /*capacity=*/4));
+  EXPECT_EQ(r.best_size, expect);
+  EXPECT_GT(r.overflow_spills, 0u);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+}
+
+TEST(GlobalOnly, SpillsStayExactUnderConcurrency) {
+  auto g = graph::gnp(60, 0.08, 7);
+  vc::SequentialConfig sc;
+  int expect = vc::solve_sequential(g, sc).best_size;
+  ParallelResult r = solve_global_only(g, base_config(4, /*capacity=*/4));
+  EXPECT_EQ(r.best_size, expect);
+}
+
+TEST(GlobalOnly, AmpleWorklistHasNoSpills) {
+  auto g = graph::gnp(30, 0.2, 23);
+  ParallelResult r = solve_global_only(g, base_config(4, 1 << 16));
+  EXPECT_EQ(r.overflow_spills, 0u);
+}
+
+TEST(GlobalOnly, QueueTrafficExceedsHybridStyleDonation) {
+  // Every branch adds ~2 nodes to the queue, so adds ≈ tree_nodes; the
+  // hybrid's threshold keeps its adds far below that. Here we just check
+  // the strawman's signature: queue removes track tree nodes closely.
+  auto g = graph::complement(graph::p_hat(26, 0.3, 0.8, 29));
+  ParallelResult r = solve_global_only(g, base_config(4, 1 << 16));
+  EXPECT_EQ(r.worklist.adds, r.worklist.removes);
+  // Every processed node except spill-processed ones came from the queue.
+  EXPECT_GE(r.worklist.removes + r.overflow_spills, r.tree_nodes / 2);
+}
+
+TEST(GlobalOnly, PvcThreshold) {
+  auto g = graph::complement(graph::p_hat(24, 0.3, 0.8, 17));
+  vc::SequentialConfig sc;
+  int min = vc::solve_sequential(g, sc).best_size;
+
+  ParallelConfig c = base_config();
+  c.problem = vc::Problem::kPvc;
+
+  c.k = min;
+  ParallelResult at = solve_global_only(g, c);
+  EXPECT_TRUE(at.found);
+  EXPECT_LE(at.best_size, min);
+  EXPECT_TRUE(graph::is_vertex_cover(g, at.cover));
+
+  c.k = min - 1;
+  EXPECT_FALSE(solve_global_only(g, c).found);
+
+  c.k = min + 1;
+  EXPECT_TRUE(solve_global_only(g, c).found);
+}
+
+TEST(GlobalOnly, NodeLimitAborts) {
+  auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 31));
+  ParallelConfig c = base_config(4);
+  c.limits.max_tree_nodes = 5;
+  ParallelResult r = solve_global_only(g, c);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+}
+
+TEST(GlobalOnly, RepeatedRunsAgree) {
+  auto g = graph::complement(graph::p_hat(32, 0.3, 0.8, 43));
+  int first = solve_global_only(g, base_config()).best_size;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(solve_global_only(g, base_config()).best_size, first);
+}
+
+TEST(GlobalOnlyDeathTest, PvcRequiresK) {
+  ParallelConfig c = base_config();
+  c.problem = vc::Problem::kPvc;
+  c.k = 0;
+  EXPECT_DEATH(solve_global_only(graph::path(4), c), "k > 0");
+}
+
+}  // namespace
+}  // namespace gvc::parallel

@@ -1,0 +1,177 @@
+#include "parallel/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::parallel {
+namespace {
+
+ParallelConfig base_config(int grid = 8) {
+  ParallelConfig c;
+  c.device = device::DeviceSpec::host_scaled();
+  c.grid_override = grid;
+  c.worklist_capacity = 256;
+  c.worklist_threshold_frac = 0.5;
+  return c;
+}
+
+TEST(Hybrid, MatchesOracleOnFixtures) {
+  for (const auto& g :
+       {graph::cycle(9), graph::petersen(), graph::complete(7),
+        graph::complete_bipartite(3, 8), graph::star(12),
+        graph::grid2d(3, 4)}) {
+    ParallelResult r = solve_hybrid(g, base_config());
+    EXPECT_EQ(r.best_size, vc::oracle_mvc_size(g));
+    EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+  }
+}
+
+TEST(Hybrid, EdgelessGraphSolvesToZero) {
+  ParallelResult r = solve_hybrid(graph::empty_graph(20), base_config());
+  EXPECT_EQ(r.best_size, 0);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+class HybridGridTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Grids, HybridGridTest, ::testing::Values(1, 2, 4, 12));
+
+TEST_P(HybridGridTest, OptimumInvariantUnderGridSize) {
+  auto g = graph::complement(graph::p_hat(28, 0.35, 0.85, 13));
+  int opt = vc::oracle_mvc_size(g);
+  ParallelResult r = solve_hybrid(g, base_config(GetParam()));
+  EXPECT_EQ(r.best_size, opt) << "grid=" << GetParam();
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+}
+
+class HybridThresholdTest : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Thresholds, HybridThresholdTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST_P(HybridThresholdTest, OptimumInvariantUnderDonationThreshold) {
+  auto g = graph::gnp(36, 0.25, 21);
+  vc::SequentialConfig sc;
+  int expect = vc::solve_sequential(g, sc).best_size;
+  ParallelConfig c = base_config(6);
+  c.worklist_threshold_frac = GetParam();
+  ParallelResult r = solve_hybrid(g, c);
+  EXPECT_EQ(r.best_size, expect) << "threshold=" << GetParam();
+}
+
+TEST(Hybrid, MatchesSequentialOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto g = graph::gnp(40, 0.2, seed * 11 + 3);
+    vc::SequentialConfig sc;
+    int expect = vc::solve_sequential(g, sc).best_size;
+    EXPECT_EQ(solve_hybrid(g, base_config()).best_size, expect) << seed;
+  }
+}
+
+TEST(Hybrid, PvcThreshold) {
+  auto g = graph::complement(graph::p_hat(24, 0.3, 0.8, 17));
+  vc::SequentialConfig sc;
+  int min = vc::solve_sequential(g, sc).best_size;
+
+  ParallelConfig c = base_config();
+  c.problem = vc::Problem::kPvc;
+
+  c.k = min;
+  ParallelResult at = solve_hybrid(g, c);
+  EXPECT_TRUE(at.found);
+  EXPECT_LE(at.best_size, min);
+  EXPECT_TRUE(graph::is_vertex_cover(g, at.cover));
+
+  c.k = min - 1;
+  ParallelResult below = solve_hybrid(g, c);
+  EXPECT_FALSE(below.found);
+
+  c.k = min + 1;
+  ParallelResult above = solve_hybrid(g, c);
+  EXPECT_TRUE(above.found);
+  EXPECT_LE(above.best_size, min + 1);
+}
+
+TEST(Hybrid, PvcMinMinusOneExploresMoreThanMinPlusOne) {
+  // k=min-1 exhausts its tree; k=min+1 stops at the first cover.
+  auto g = graph::complement(graph::p_hat(30, 0.3, 0.8, 19));
+  vc::SequentialConfig sc;
+  int min = vc::solve_sequential(g, sc).best_size;
+  ParallelConfig c = base_config(4);
+  c.problem = vc::Problem::kPvc;
+  c.k = min - 1;
+  auto hard = solve_hybrid(g, c);
+  c.k = min + 1;
+  auto easy = solve_hybrid(g, c);
+  EXPECT_FALSE(hard.found);
+  EXPECT_TRUE(easy.found);
+  EXPECT_LT(easy.tree_nodes, hard.tree_nodes);
+}
+
+TEST(Hybrid, WorklistStatsAreConsistent) {
+  auto g = graph::complement(graph::p_hat(30, 0.3, 0.8, 23));
+  ParallelResult r = solve_hybrid(g, base_config(4));
+  // Every add (the seeded root plus all donations) is eventually removed:
+  // MVC runs the worklist to exhaustion.
+  EXPECT_EQ(r.worklist.adds, r.worklist.removes);
+  EXPECT_GT(r.worklist.removes, 0u);
+}
+
+TEST(Hybrid, ZeroThresholdDegeneratesToIndependentStacks) {
+  // threshold 0: no donations ever succeed; the worklist only serves the
+  // root. The solver must still be exact.
+  auto g = graph::gnp(34, 0.25, 29);
+  vc::SequentialConfig sc;
+  int expect = vc::solve_sequential(g, sc).best_size;
+  ParallelConfig c = base_config(4);
+  c.worklist_threshold_frac = 0.0;
+  ParallelResult r = solve_hybrid(g, c);
+  EXPECT_EQ(r.best_size, expect);
+  EXPECT_EQ(r.worklist.removes, 1u);  // only the seeded root
+  EXPECT_GT(r.worklist.donations_rejected_threshold, 0u);
+}
+
+TEST(Hybrid, NodeLimitAborts) {
+  auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 31));
+  ParallelConfig c = base_config(4);
+  c.limits.max_tree_nodes = 5;
+  ParallelResult r = solve_hybrid(g, c);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // greedy fallback
+}
+
+TEST(Hybrid, NodeCountMatchesLaunchStats) {
+  auto g = graph::complement(graph::p_hat(26, 0.3, 0.8, 37));
+  ParallelResult r = solve_hybrid(g, base_config(4));
+  EXPECT_EQ(r.launch.total_nodes(), r.tree_nodes);
+  EXPECT_EQ(r.launch.blocks.size(), 4u);
+}
+
+TEST(Hybrid, InvariantUnderRelabeling) {
+  auto g = graph::gnp(32, 0.3, 41);
+  int base = solve_hybrid(g, base_config()).best_size;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(solve_hybrid(graph::shuffle_labels(g, seed), base_config())
+                  .best_size,
+              base);
+}
+
+TEST(Hybrid, RepeatedRunsAgree) {
+  // Concurrency may reshape the tree but never the answer.
+  auto g = graph::complement(graph::p_hat(32, 0.3, 0.8, 43));
+  int first = solve_hybrid(g, base_config()).best_size;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(solve_hybrid(g, base_config()).best_size, first);
+}
+
+TEST(HybridDeathTest, PvcRequiresK) {
+  ParallelConfig c = base_config();
+  c.problem = vc::Problem::kPvc;
+  c.k = 0;
+  EXPECT_DEATH(solve_hybrid(graph::path(4), c), "k > 0");
+}
+
+}  // namespace
+}  // namespace gvc::parallel

@@ -1,0 +1,126 @@
+#include "parallel/mvc_via_pvc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::parallel {
+namespace {
+
+ParallelConfig base_config() {
+  ParallelConfig c;
+  c.device = device::DeviceSpec::host_scaled();
+  c.grid_override = 4;
+  c.worklist_capacity = 256;
+  return c;
+}
+
+class PvcSearchModes
+    : public ::testing::TestWithParam<std::tuple<PvcSearch, Method>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesTimesMethods, PvcSearchModes,
+    ::testing::Combine(::testing::Values(PvcSearch::kLinearDown,
+                                         PvcSearch::kBinary),
+                       ::testing::Values(Method::kSequential,
+                                         Method::kHybrid)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == PvcSearch::kLinearDown
+                             ? "Linear"
+                             : "Binary") +
+             method_name(std::get<1>(info.param));
+    });
+
+TEST_P(PvcSearchModes, FindsTheMinimumAcrossFamilies) {
+  auto [search, method] = GetParam();
+  std::vector<graph::CsrGraph> graphs = {
+      graph::complement(graph::p_hat(22, 0.3, 0.8, 1)),
+      graph::gnp(28, 0.2, 2),
+      graph::petersen(),
+      graph::star(9),
+      graph::random_tree(26, 4),
+  };
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto& g = graphs[i];
+    MvcViaPvcResult r = solve_mvc_via_pvc(g, method, base_config(), search);
+    EXPECT_EQ(r.best_size, vc::oracle_mvc_size(g)) << "family " << i;
+    EXPECT_TRUE(graph::is_vertex_cover(g, r.cover)) << "family " << i;
+    EXPECT_EQ(static_cast<int>(r.cover.size()), r.best_size);
+    EXPECT_FALSE(r.timed_out);
+  }
+}
+
+TEST(MvcViaPvc, EdgelessGraphNeedsNoQueries) {
+  MvcViaPvcResult r = solve_mvc_via_pvc(graph::empty_graph(12),
+                                        Method::kSequential, base_config());
+  EXPECT_EQ(r.best_size, 0);
+  EXPECT_EQ(r.queries, 0);
+}
+
+TEST(MvcViaPvc, LinearTraceIsOneNoAfterYeses) {
+  // kLinearDown: the trace must be yes, yes, ..., yes, no — with the final
+  // "no" at exactly min − 1 (unless greedy was already optimal with min=1).
+  auto g = graph::complement(graph::p_hat(24, 0.3, 0.8, 7));
+  int opt = vc::oracle_mvc_size(g);
+  MvcViaPvcResult r = solve_mvc_via_pvc(g, Method::kSequential, base_config(),
+                                        PvcSearch::kLinearDown);
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 0; i + 1 < r.trace.size(); ++i)
+    EXPECT_TRUE(r.trace[i].second) << "query " << i;
+  EXPECT_FALSE(r.trace.back().second);
+  EXPECT_EQ(r.trace.back().first, opt - 1);
+}
+
+TEST(MvcViaPvc, BinaryUsesLogarithmicQueries) {
+  // Small instance: the binary probes below min are full-tree refutations
+  // (the very effect bench/ablation_mvc_via_pvc measures), so this is the
+  // expensive mode even at modest sizes.
+  auto g = graph::gnp(26, 0.25, 9);
+  MvcViaPvcResult r = solve_mvc_via_pvc(g, Method::kSequential, base_config(),
+                                        PvcSearch::kBinary);
+  // Bracket is at most n wide; ~log2(n) + slack.
+  EXPECT_LE(r.queries, 10);
+  EXPECT_EQ(r.best_size, vc::oracle_mvc_size(g));
+}
+
+TEST(MvcViaPvc, TraceAnswersAreMonotoneInK) {
+  // found(k) is monotone; any violation in the trace is a solver bug.
+  auto g = graph::gnp(30, 0.25, 13);
+  for (PvcSearch search : {PvcSearch::kLinearDown, PvcSearch::kBinary}) {
+    MvcViaPvcResult r =
+        solve_mvc_via_pvc(g, Method::kHybrid, base_config(), search);
+    int max_no = -1, min_yes = 1 << 30;
+    for (auto [k, found] : r.trace) {
+      if (found)
+        min_yes = std::min(min_yes, k);
+      else
+        max_no = std::max(max_no, k);
+    }
+    EXPECT_LT(max_no, min_yes);
+  }
+}
+
+TEST(MvcViaPvc, GreedyOptimalStarCostsZeroQueries) {
+  // Star: greedy finds the center (optimal, size 1); one refutation at
+  // k = 0 is never needed, so the linear search issues no queries... except
+  // the proof at min − 1 = 0 is skipped by construction, giving 0 probes
+  // only when greedy.size == 1.
+  MvcViaPvcResult r = solve_mvc_via_pvc(graph::star(8), Method::kSequential,
+                                        base_config());
+  EXPECT_EQ(r.best_size, 1);
+  EXPECT_EQ(r.queries, 0);
+}
+
+TEST(MvcViaPvc, NodeTotalsAccumulateAcrossQueries) {
+  auto g = graph::complement(graph::p_hat(26, 0.3, 0.8, 17));
+  MvcViaPvcResult r = solve_mvc_via_pvc(g, Method::kSequential, base_config(),
+                                        PvcSearch::kLinearDown);
+  EXPECT_GT(r.queries, 0);
+  EXPECT_GT(r.total_tree_nodes, 0u);
+  EXPECT_EQ(r.trace.size(), static_cast<std::size_t>(r.queries));
+}
+
+}  // namespace
+}  // namespace gvc::parallel

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace gvc::util {
+namespace {
+
+TEST(Csv, PlainRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"graph", "time"});
+  w.row({"p_hat", "1.5"});
+  w.row({"grid", "0.2"});
+  EXPECT_EQ(os.str(), "graph,time\np_hat,1.5\ngrid,0.2\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  w.row({"x,y", "he said \"hi\""});
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a"});
+  w.row({"line1\nline2"});
+  EXPECT_EQ(os.str(), "a\n\"line1\nline2\"\n");
+}
+
+TEST(CsvDeathTest, RowBeforeHeader) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  EXPECT_DEATH(w.row({"x"}), "header");
+}
+
+TEST(CsvDeathTest, ArityMismatch) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  EXPECT_DEATH(w.row({"only-one"}), "arity");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "n"}, {Align::kLeft, Align::kRight});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "100"});
+  std::string out = t.render();
+  // Header present, separator line present, right-aligned numbers.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha    1"), std::string::npos);
+  EXPECT_NE(out.find("b      100"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::string out = t.render();
+  // Header rule + one explicit separator = at least two dashed lines.
+  int dashes = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+      ++dashes;
+  EXPECT_EQ(dashes, 2);
+}
+
+TEST(TableDeathTest, ArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"1"}), "arity");
+}
+
+}  // namespace
+}  // namespace gvc::util

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace gvc::util {
+namespace {
+
+TEST(CheckDeathTest, FailureMentionsExpressionAndMessage) {
+  EXPECT_DEATH(GVC_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(GVC_CHECK_MSG(false, "the context"), "the context");
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  GVC_CHECK(true);
+  GVC_CHECK_MSG(2 + 2 == 4, "arithmetic");
+  SUCCEED();
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto f = [&] { ++calls; return true; };
+  GVC_CHECK(f());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, LevelFilteringRoundTrip) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+TEST(Log, MacrosCompileAndFormat) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // silence output below error
+  GVC_LOG_DEBUG("debug %d", 1);
+  GVC_LOG_INFO("info %s", "x");
+  GVC_LOG_WARN("warn %.1f", 2.0);
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gvc::util

@@ -1,0 +1,163 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gvc::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+  Pcg32 a(7, 1), b(7, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Pcg32, BelowStaysInRange) {
+  Pcg32 rng(3);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 0x80000000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Pcg32, BelowOneIsAlwaysZero) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, BelowIsRoughlyUniform) {
+  Pcg32 rng(11);
+  constexpr int kBuckets = 8, kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Pcg32, RangeInclusiveBounds) {
+  Pcg32 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, RangeSingleton) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.range(17, 17), 17);
+}
+
+TEST(Pcg32, RealInHalfOpenUnitInterval) {
+  Pcg32 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Pcg32, ChanceMatchesProbability) {
+  Pcg32 rng(10);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Pcg32, GeometricSkipMeanMatches) {
+  Pcg32 rng(12);
+  double p = 0.1;
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.geometric_skip(p));
+  // Mean of failures-before-success is (1-p)/p = 9.
+  EXPECT_NEAR(sum / kDraws, 9.0, 0.5);
+}
+
+TEST(Pcg32, GeometricSkipWithPOneIsZero) {
+  Pcg32 rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_skip(1.0), 0u);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Pcg32 rng(21);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  shuffle(v, rng);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Shuffle, EmptyAndSingleton) {
+  Pcg32 rng(1);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Pcg32 rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = sample_without_replacement(20, 7, rng);
+    EXPECT_EQ(s.size(), 7u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (int x : s) {
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, 20);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, FullAndEmptyDraws) {
+  Pcg32 rng(34);
+  auto all = sample_without_replacement(5, 5, rng);
+  std::set<int> uniq(all.begin(), all.end());
+  EXPECT_EQ(uniq, (std::set<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(sample_without_replacement(5, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace gvc::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gvc::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevBasics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Stats, GeomeanIsScaleInvariant) {
+  std::vector<double> xs{1.5, 2.5, 9.0, 0.25};
+  double g = geomean(xs);
+  for (auto& x : xs) x *= 7.0;
+  EXPECT_NEAR(geomean(xs), 7.0 * g, 1e-9);
+}
+
+TEST(StatsDeathTest, GeomeanRejectsNonPositive) {
+  EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+  EXPECT_DEATH(geomean({-2.0}), "positive");
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3.0, -1.0, 7.5, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.5);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, SummarizeFiveNumbers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  Distribution d = summarize(xs);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.p25, 26.0);
+  EXPECT_DOUBLE_EQ(d.median, 51.0);
+  EXPECT_DOUBLE_EQ(d.p75, 76.0);
+  EXPECT_DOUBLE_EQ(d.max, 101.0);
+  EXPECT_DOUBLE_EQ(d.mean, 51.0);
+}
+
+TEST(Stats, SummarizeEmptyIsZeros) {
+  Distribution d = summarize({});
+  EXPECT_DOUBLE_EQ(d.min, 0.0);
+  EXPECT_DOUBLE_EQ(d.max, 0.0);
+  EXPECT_DOUBLE_EQ(d.mean, 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coeff_of_variation({2.0, 2.0, 2.0}), 0.0);
+  // Perfectly balanced load has CV 0; imbalance raises it.
+  EXPECT_GT(coeff_of_variation({0.1, 0.1, 0.1, 10.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace gvc::util

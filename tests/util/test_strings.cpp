@@ -1,0 +1,83 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gvc::util {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("\t\n x \r "), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitWsDropsEmpties) {
+  EXPECT_EQ(split_ws("  a\t b  c \n"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("p edge 5 4", "p "));
+  EXPECT_FALSE(starts_with("x", "xy"));
+  EXPECT_TRUE(ends_with("graph.mtx", ".mtx"));
+  EXPECT_FALSE(ends_with("mtx", "graph.mtx"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(Strings, ParseIntAcceptsValid) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int(" -17 ", v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parse_int("0", v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  long long v = 99;
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("x12", v));
+  EXPECT_FALSE(parse_int("1.5", v));
+  EXPECT_FALSE(parse_int("99999999999999999999999", v));
+  EXPECT_EQ(v, 99);  // untouched
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double("-1e3", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strings, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.2345), "1.234");
+  EXPECT_EQ(format_seconds(0.0005), "0.001");
+  EXPECT_EQ(format_seconds(7200.0), ">2 hrs");
+  EXPECT_EQ(format_seconds(-1.0), ">limit");
+}
+
+}  // namespace
+}  // namespace gvc::util

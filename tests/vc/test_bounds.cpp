@@ -1,0 +1,53 @@
+#include "vc/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "vc/greedy.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(Bounds, CliqueCoverKnownValues) {
+  // K_n is one clique: bound n-1 (exact).
+  EXPECT_EQ(lower_bound_clique_cover(graph::complete(6)), 5);
+  // Edgeless: zero.
+  EXPECT_EQ(lower_bound_clique_cover(graph::empty_graph(4)), 0);
+}
+
+TEST(Bounds, CliqueCoverNeverExceedsOptimum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CsrGraph g = graph::gnp(14, 0.4, seed);
+    EXPECT_LE(lower_bound_clique_cover(g), oracle_mvc_size(g)) << seed;
+  }
+}
+
+TEST(Bounds, MatchingNeverExceedsOptimum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CsrGraph g = graph::gnp(14, 0.25, seed + 50);
+    EXPECT_LE(lower_bound_matching(g), oracle_mvc_size(g)) << seed;
+  }
+}
+
+TEST(Bounds, CombinedBoundSandwich) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CsrGraph g = graph::p_hat(14, 0.3, 0.8, seed);
+    int lb = lower_bound(g);
+    int opt = oracle_mvc_size(g);
+    int ub = greedy_mvc(g).size;
+    EXPECT_LE(lb, opt);
+    EXPECT_LE(opt, ub);
+  }
+}
+
+TEST(Bounds, CliqueCoverStrongerOnDenseGraphs) {
+  // On the complement-style dense instances the clique-cover bound should
+  // dominate the matching bound (which tops out at n/2).
+  CsrGraph g = graph::complete(12);
+  EXPECT_GT(lower_bound_clique_cover(g), lower_bound_matching(g));
+  EXPECT_EQ(lower_bound(g), 11);
+}
+
+}  // namespace
+}  // namespace gvc::vc

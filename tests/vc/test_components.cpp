@@ -1,0 +1,105 @@
+#include "vc/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+SolveResult seq(const graph::CsrGraph& g) {
+  SequentialConfig c;
+  return solve_sequential(g, c);
+}
+
+graph::CsrGraph disjoint_union() {
+  // Triangle {0,1,2} + path {3,4,5,6} + isolated {7,8} + K2 {9,10}.
+  graph::GraphBuilder b(11);
+  b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+  b.add_edge(3, 4); b.add_edge(4, 5); b.add_edge(5, 6);
+  b.add_edge(9, 10);
+  return b.build();
+}
+
+TEST(Components, SplitFindsNonTrivialPieces) {
+  auto pieces = split_components(disjoint_union());
+  EXPECT_EQ(pieces.size(), 3u);  // isolated vertices dropped
+  std::multiset<int> sizes;
+  for (const auto& p : pieces) sizes.insert(p.subgraph.num_vertices());
+  EXPECT_EQ(sizes, (std::multiset<int>{2, 3, 4}));
+}
+
+TEST(Components, ToOriginalMapsBack) {
+  auto g = disjoint_union();
+  for (const auto& piece : split_components(g)) {
+    for (graph::Vertex kv = 0; kv < piece.subgraph.num_vertices(); ++kv) {
+      for (graph::Vertex ku : piece.subgraph.neighbors(kv)) {
+        EXPECT_TRUE(g.has_edge(
+            piece.to_original[static_cast<std::size_t>(kv)],
+            piece.to_original[static_cast<std::size_t>(ku)]));
+      }
+    }
+  }
+}
+
+TEST(Components, ConnectedGraphIsOnePiece) {
+  auto pieces = split_components(graph::cycle(8));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].subgraph.num_vertices(), 8);
+}
+
+TEST(Components, EdgelessGraphHasNoPieces) {
+  EXPECT_TRUE(split_components(graph::empty_graph(5)).empty());
+}
+
+TEST(Components, SolveSumsPerComponentOptima) {
+  auto g = disjoint_union();
+  SolveResult r = solve_mvc_by_components(g, seq);
+  EXPECT_EQ(r.best_size, 2 + 2 + 1);  // triangle + P4 + K2
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+  EXPECT_EQ(static_cast<int>(r.cover.size()), r.best_size);
+}
+
+TEST(Components, MatchesWholeGraphSolveOnRandomForests) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    // A forest: several disjoint random trees.
+    graph::GraphBuilder b(60);
+    int offset = 0;
+    for (int t = 0; t < 3; ++t) {
+      auto tree = graph::random_tree(20, seed * 3 + t);
+      for (graph::Vertex v = 0; v < 20; ++v)
+        for (graph::Vertex u : tree.neighbors(v))
+          if (u > v)
+            b.add_edge(static_cast<graph::Vertex>(offset + v),
+                       static_cast<graph::Vertex>(offset + u));
+      offset += 20;
+    }
+    auto g = b.build();
+    EXPECT_EQ(solve_mvc_by_components(g, seq).best_size, seq(g).best_size);
+  }
+}
+
+TEST(Components, MatchesOracleOnSmallDisjointUnions) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    graph::GraphBuilder b(18);
+    auto a = graph::gnp(9, 0.3, seed);
+    auto c = graph::gnp(9, 0.3, seed + 100);
+    for (graph::Vertex v = 0; v < 9; ++v) {
+      for (graph::Vertex u : a.neighbors(v))
+        if (u > v) b.add_edge(v, u);
+      for (graph::Vertex u : c.neighbors(v))
+        if (u > v)
+          b.add_edge(static_cast<graph::Vertex>(9 + v),
+                     static_cast<graph::Vertex>(9 + u));
+    }
+    auto g = b.build();
+    EXPECT_EQ(solve_mvc_by_components(g, seq).best_size, oracle_mvc_size(g));
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

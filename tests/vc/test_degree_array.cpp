@@ -1,0 +1,141 @@
+#include "vc/degree_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gvc::vc {
+namespace {
+
+using graph::from_edges;
+
+TEST(DegreeArray, RootStateMatchesGraph) {
+  CsrGraph g = graph::petersen();
+  DegreeArray da(g);
+  EXPECT_EQ(da.num_vertices(), 10);
+  EXPECT_EQ(da.solution_size(), 0);
+  EXPECT_EQ(da.num_edges(), 15);
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_TRUE(da.present(v));
+    EXPECT_EQ(da.degree(v), 3);
+  }
+  da.check_consistency(g);
+}
+
+TEST(DegreeArray, RemoveVertexUpdatesNeighborsAndCounters) {
+  CsrGraph g = from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  DegreeArray da(g);
+  da.remove_into_solution(g, 0);
+  EXPECT_FALSE(da.present(0));
+  EXPECT_EQ(da.solution_size(), 1);
+  EXPECT_EQ(da.num_edges(), 1);  // only 1-2 remains
+  EXPECT_EQ(da.degree(1), 1);
+  EXPECT_EQ(da.degree(2), 1);
+  EXPECT_EQ(da.degree(3), 0);
+  da.check_consistency(g);
+}
+
+TEST(DegreeArray, RemoveNeighborsBranch) {
+  CsrGraph g = graph::star(5);
+  DegreeArray da(g);
+  int removed = da.remove_neighbors_into_solution(g, 0);
+  EXPECT_EQ(removed, 4);
+  EXPECT_TRUE(da.present(0));
+  EXPECT_EQ(da.degree(0), 0);
+  EXPECT_EQ(da.solution_size(), 4);
+  EXPECT_EQ(da.num_edges(), 0);
+  da.check_consistency(g);
+}
+
+TEST(DegreeArray, RemoveNeighborsSkipsAlreadyRemoved) {
+  CsrGraph g = from_edges(3, {{0, 1}, {0, 2}});
+  DegreeArray da(g);
+  da.remove_into_solution(g, 1);
+  int removed = da.remove_neighbors_into_solution(g, 0);
+  EXPECT_EQ(removed, 1);  // only vertex 2
+  EXPECT_EQ(da.solution_size(), 2);
+  da.check_consistency(g);
+}
+
+TEST(DegreeArray, MaxDegreeVertexSmallestIdTieBreak) {
+  // Path 0-1-2-3: vertices 1 and 2 both have degree 2.
+  CsrGraph g = graph::path(4);
+  DegreeArray da(g);
+  EXPECT_EQ(da.max_degree_vertex(), 1);
+  EXPECT_EQ(da.max_degree(), 2);
+}
+
+TEST(DegreeArray, MaxDegreeVertexAfterRemovals) {
+  CsrGraph g = graph::star(4);
+  DegreeArray da(g);
+  da.remove_into_solution(g, 0);
+  // Remaining vertices all have degree 0; smallest id wins.
+  EXPECT_EQ(da.max_degree_vertex(), 1);
+  EXPECT_EQ(da.max_degree(), 0);
+}
+
+TEST(DegreeArray, MaxDegreeVertexEmpty) {
+  CsrGraph g = graph::complete(2);
+  DegreeArray da(g);
+  da.remove_into_solution(g, 0);
+  da.remove_into_solution(g, 1);
+  EXPECT_EQ(da.max_degree_vertex(), -1);
+  EXPECT_EQ(da.max_degree(), 0);
+}
+
+TEST(DegreeArray, SolutionAndPresentPartitionVertices) {
+  CsrGraph g = graph::cycle(6);
+  DegreeArray da(g);
+  da.remove_into_solution(g, 1);
+  da.remove_into_solution(g, 4);
+  EXPECT_EQ(da.solution(), (std::vector<Vertex>{1, 4}));
+  EXPECT_EQ(da.present_vertices(), (std::vector<Vertex>{0, 2, 3, 5}));
+}
+
+TEST(DegreeArray, CopyIsIndependent) {
+  CsrGraph g = graph::complete(4);
+  DegreeArray a(g);
+  DegreeArray b = a;
+  b.remove_into_solution(g, 0);
+  EXPECT_TRUE(a.present(0));
+  EXPECT_FALSE(b.present(0));
+  EXPECT_NE(a, b);
+  a.check_consistency(g);
+  b.check_consistency(g);
+}
+
+TEST(DegreeArray, RandomRemovalSequenceStaysConsistent) {
+  util::Pcg32 rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    CsrGraph g = graph::gnp(40, 0.2, trial);
+    DegreeArray da(g);
+    std::int64_t edges_before = da.num_edges();
+    while (da.num_edges() > 0) {
+      // Remove a random present vertex with nonzero degree.
+      Vertex v = da.max_degree_vertex();
+      if (rng.chance(0.5)) {
+        da.remove_into_solution(g, v);
+        // Every removal of degree-d vertex removes exactly d edges.
+      } else {
+        da.remove_neighbors_into_solution(g, v);
+      }
+      EXPECT_LT(da.num_edges(), edges_before);
+      edges_before = da.num_edges();
+      da.check_consistency(g);
+    }
+  }
+}
+
+TEST(DegreeArrayDeathTest, ConsistencyCheckCatchesTampering) {
+  CsrGraph g = graph::complete(3);
+  DegreeArray da(g);
+  DegreeArray other(graph::path(3));
+  // A degree array built for one graph checked against a structurally
+  // different graph with equal |V| must trip the consistency check.
+  EXPECT_DEATH(other.check_consistency(g), "out of sync");
+}
+
+}  // namespace
+}  // namespace gvc::vc

@@ -1,0 +1,167 @@
+#include "vc/folding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+TEST(FoldReduce, EmptyGraphYieldsEmptyKernel) {
+  FoldedKernel k = fold_reduce(graph::empty_graph(5));
+  EXPECT_EQ(k.kernel.num_vertices(), 0);
+  EXPECT_EQ(k.cover_offset, 0);
+  EXPECT_TRUE(k.lift({}).empty());
+}
+
+TEST(FoldReduce, PathReducesToNothing) {
+  // Paths are chains of degree ≤ 2 vertices: folding dissolves them fully.
+  for (int n : {2, 3, 4, 5, 8, 13}) {
+    FoldedKernel k = fold_reduce(graph::path(n));
+    EXPECT_EQ(k.kernel.num_edges(), 0) << "path(" << n << ")";
+    EXPECT_EQ(k.cover_offset, n / 2) << "path(" << n << ")";
+  }
+}
+
+TEST(FoldReduce, CycleReducesToNothing) {
+  // cycle(n) has mvc = ceil(n/2); folding alone must solve it.
+  for (int n : {3, 4, 5, 6, 9, 12}) {
+    FoldedKernel k = fold_reduce(graph::cycle(n));
+    EXPECT_EQ(k.kernel.num_edges(), 0) << "cycle(" << n << ")";
+    EXPECT_EQ(k.cover_offset, (n + 1) / 2) << "cycle(" << n << ")";
+  }
+}
+
+TEST(FoldReduce, TreeReducesToNothing) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    CsrGraph g = graph::random_tree(40, seed);
+    FoldedKernel k = fold_reduce(g);
+    EXPECT_EQ(k.kernel.num_edges(), 0) << "seed " << seed;
+    EXPECT_EQ(k.cover_offset, oracle_mvc_size(g)) << "seed " << seed;
+  }
+}
+
+TEST(FoldReduce, StarForcesCenter) {
+  FoldedKernel k = fold_reduce(graph::star(7));
+  EXPECT_EQ(k.kernel.num_edges(), 0);
+  auto cover = k.lift({});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 0);  // the center
+}
+
+TEST(FoldReduce, KernelHasMinDegreeThree) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    CsrGraph g = graph::gnp(50, 0.08, seed * 3 + 1);
+    FoldedKernel k = fold_reduce(g);
+    for (Vertex v = 0; v < k.kernel.num_vertices(); ++v)
+      EXPECT_GE(k.kernel.degree(v), 3) << "seed " << seed << " v " << v;
+  }
+}
+
+TEST(FoldReduce, CompleteGraphIsIrreducible) {
+  CsrGraph g = graph::complete(6);
+  FoldedKernel k = fold_reduce(g);
+  EXPECT_EQ(k.kernel.num_vertices(), 6);
+  EXPECT_EQ(k.kernel.num_edges(), g.num_edges());
+  EXPECT_EQ(k.cover_offset, 0);
+  EXPECT_TRUE(k.steps.empty());
+}
+
+TEST(FoldReduce, PureFoldExample) {
+  // cycle(5): every vertex has degree 2 and no triangles, so the first step
+  // is necessarily a fold (vertex 0 folds with neighbors 1 and 4).
+  CsrGraph g = graph::cycle(5);
+  FoldedKernel k = fold_reduce(g);
+  EXPECT_EQ(k.kernel.num_vertices(), 0);
+  ASSERT_FALSE(k.steps.empty());
+  EXPECT_EQ(k.steps[0].kind, FoldStep::Kind::kFold);
+  auto cover = k.lift({});
+  EXPECT_EQ(static_cast<int>(cover.size()), 3);  // mvc(C5) = 3
+  EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+}
+
+TEST(FoldReduce, PathOfThreeTakesMiddleVertex) {
+  // P3 (0 - 1 - 2): whichever rule fires first (degree-1 from an endpoint
+  // or a fold from the middle), the lifted cover is the middle vertex.
+  CsrGraph g = graph::path(3);
+  FoldedKernel k = fold_reduce(g);
+  EXPECT_EQ(k.kernel.num_vertices(), 0);
+  auto cover = k.lift({});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 1);
+}
+
+TEST(FoldReduce, FoldProductInKernelLiftsToBothNeighbors) {
+  // Gadget where the fold product keeps degree ≥ 3 and must enter the
+  // kernel cover: u and w each see a triangle-rich blob.
+  // v(0) - u(1), v(0) - w(2); u,w each adjacent to the K4 {3,4,5,6}.
+  graph::GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  for (Vertex x : {3, 4, 5, 6}) {
+    b.add_edge(1, x);
+    b.add_edge(2, x);
+  }
+  for (Vertex x = 3; x <= 6; ++x)
+    for (Vertex y = static_cast<Vertex>(x + 1); y <= 6; ++y) b.add_edge(x, y);
+  CsrGraph g = b.build();
+
+  auto cover = solve_mvc_with_folding(g);
+  EXPECT_EQ(static_cast<int>(cover.size()), oracle_mvc_size(g));
+  EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+}
+
+class FoldingPropertyTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldingPropertyTest, ::testing::Range(0, 12));
+
+TEST_P(FoldingPropertyTest, LiftedCoverIsOptimalAcrossFamilies) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  std::vector<CsrGraph> graphs = {
+      graph::gnp(26, 0.10, seed + 1),
+      graph::gnp(22, 0.25, seed + 100),
+      graph::watts_strogatz(24, 2, 0.3, seed),
+      graph::barabasi_albert(24, 2, seed),
+      graph::power_grid(26, 0.3, seed),
+      graph::complement(graph::p_hat(18, 0.3, 0.8, seed)),
+  };
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const CsrGraph& g = graphs[i];
+    auto cover = solve_mvc_with_folding(g);
+    EXPECT_EQ(static_cast<int>(cover.size()), oracle_mvc_size(g))
+        << "family " << i << " seed " << seed;
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover))
+        << "family " << i << " seed " << seed;
+  }
+}
+
+TEST_P(FoldingPropertyTest, OffsetAccountsExactly) {
+  // mvc(G) == mvc(kernel) + cover_offset.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  CsrGraph g = graph::gnp(28, 0.12, seed * 7 + 5);
+  FoldedKernel k = fold_reduce(g);
+  int kernel_opt = 0;
+  if (k.kernel.num_edges() > 0) kernel_opt = oracle_mvc_size(k.kernel);
+  EXPECT_EQ(oracle_mvc_size(g), kernel_opt + k.cover_offset);
+}
+
+TEST(Folding, KernelNeverLargerThanNtKernelOnSparse) {
+  // Folding subsumes degree-1/2 structures that NT's LP view keeps at
+  // half-integrality only when they sit in the half-graph; on very sparse
+  // graphs folding usually wins. We only assert it never blows up: the
+  // kernel is at most the input size.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = graph::gnp(40, 0.07, seed + 2);
+    FoldedKernel k = fold_reduce(g);
+    EXPECT_LE(k.kernel.num_vertices(), g.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

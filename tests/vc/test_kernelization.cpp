@@ -1,0 +1,133 @@
+#include "vc/kernelization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(NemhauserTrotter, StarForcesTheHub) {
+  // Star: LP puts 1 on the hub, 0 on the leaves; kernel is empty.
+  NtKernel nt = nemhauser_trotter(graph::star(8));
+  EXPECT_EQ(nt.in_cover, (std::vector<graph::Vertex>{0}));
+  EXPECT_EQ(nt.excluded.size(), 7u);
+  EXPECT_EQ(nt.kernel.num_vertices(), 0);
+  EXPECT_EQ(nt.lp_lower_bound, 1);
+}
+
+TEST(NemhauserTrotter, OddCycleIsAllHalf) {
+  // C5 LP optimum is all-1/2: nothing is forced, kernel is the whole graph.
+  NtKernel nt = nemhauser_trotter(graph::cycle(5));
+  EXPECT_TRUE(nt.in_cover.empty());
+  EXPECT_TRUE(nt.excluded.empty());
+  EXPECT_EQ(nt.kernel.num_vertices(), 5);
+  EXPECT_EQ(nt.lp_lower_bound, 3);  // ceil(5/2)
+}
+
+TEST(NemhauserTrotter, EdgelessGraphIsAllExcluded) {
+  NtKernel nt = nemhauser_trotter(graph::empty_graph(6));
+  EXPECT_TRUE(nt.in_cover.empty());
+  EXPECT_EQ(nt.kernel.num_vertices(), 0);
+  EXPECT_EQ(nt.lp_lower_bound, 0);
+}
+
+TEST(NemhauserTrotter, KernelAtMostTwiceOptimum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto g = graph::gnp(18, 0.25, seed + 7);
+    NtKernel nt = nemhauser_trotter(g);
+    int opt = oracle_mvc_size(g);
+    EXPECT_LE(nt.kernel.num_vertices(), 2 * opt) << seed;  // NT kernel bound
+    EXPECT_LE(nt.lp_lower_bound, opt) << seed;
+  }
+}
+
+TEST(NemhauserTrotter, ExcludedVerticesHaveAllNeighborsForced) {
+  auto g = graph::barabasi_albert(40, 2, 9);
+  NtKernel nt = nemhauser_trotter(g);
+  std::vector<bool> forced(40, false);
+  for (auto v : nt.in_cover) forced[static_cast<std::size_t>(v)] = true;
+  for (auto v : nt.excluded)
+    for (auto u : g.neighbors(v))
+      EXPECT_TRUE(forced[static_cast<std::size_t>(u)]);
+}
+
+TEST(NemhauserTrotter, PartitionIsComplete) {
+  auto g = graph::gnp(30, 0.2, 13);
+  NtKernel nt = nemhauser_trotter(g);
+  EXPECT_EQ(nt.in_cover.size() + nt.excluded.size() +
+                nt.kernel_to_original.size(),
+            30u);
+}
+
+TEST(Kernelization, SolveWithKernelizationIsExact) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto g = graph::gnp(17, 0.3, seed + 23);
+    auto cover = solve_mvc_with_kernelization(g);
+    EXPECT_EQ(static_cast<int>(cover.size()), oracle_mvc_size(g)) << seed;
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+  }
+}
+
+TEST(Kernelization, ExactOnStructuredFamilies) {
+  for (const auto& g :
+       {graph::petersen(), graph::complete(9), graph::grid2d(4, 4),
+        graph::complete_bipartite(3, 7), graph::random_tree(40, 3)}) {
+    auto cover = solve_mvc_with_kernelization(g);
+    SequentialConfig sc;
+    EXPECT_EQ(static_cast<int>(cover.size()),
+              solve_sequential(g, sc).best_size);
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+  }
+}
+
+TEST(Kernelization, KernelShrinksSparseInstances) {
+  // On a tree the LP optimum is integral in value, but the König-derived
+  // half-integral solution may still assign 1/2s; NT only promises a kernel
+  // of ≤ 2·opt vertices. A star-of-stars forces real shrinkage: every leaf
+  // is LP-0 and every hub LP-1.
+  graph::GraphBuilder b(36);
+  for (graph::Vertex hub = 0; hub < 6; ++hub)
+    for (int leaf = 0; leaf < 5; ++leaf)
+      b.add_edge(hub, static_cast<graph::Vertex>(6 + hub * 5 + leaf));
+  NtKernel nt_stars = nemhauser_trotter(b.build());
+  EXPECT_EQ(nt_stars.kernel.num_vertices(), 0);
+  EXPECT_EQ(nt_stars.in_cover.size(), 6u);
+
+  // Power-grid-like graphs: the kernel never grows, and across seeds the
+  // LP resolves at least some vertices on average (a spanning tree with
+  // pendant vertices always forces some). An individual seed may be
+  // all-half-integral, so assert over a small ensemble.
+  int shrunk = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto grid = graph::power_grid(200, 0.35, seed);
+    NtKernel nt2 = nemhauser_trotter(grid);
+    EXPECT_LE(nt2.kernel.num_vertices(), grid.num_vertices());
+    if (nt2.kernel.num_vertices() < grid.num_vertices()) ++shrunk;
+  }
+  EXPECT_GT(shrunk, 0);
+}
+
+TEST(Kernelization, LiftCoverComposesCorrectly) {
+  auto g = graph::gnp(24, 0.25, 31);
+  NtKernel nt = nemhauser_trotter(g);
+  SequentialConfig sc;
+  auto kernel_result = solve_sequential(nt.kernel, sc);
+  auto lifted = lift_cover(nt, kernel_result.cover);
+  EXPECT_TRUE(graph::is_vertex_cover(g, lifted));
+  EXPECT_EQ(lifted.size(),
+            nt.in_cover.size() + kernel_result.cover.size());
+}
+
+TEST(KernelizationDeathTest, LiftRejectsOutOfRangeKernelVertex) {
+  auto g = graph::cycle(5);
+  NtKernel nt = nemhauser_trotter(g);
+  EXPECT_DEATH(lift_cover(nt, {99}), "GVC_CHECK");
+}
+
+}  // namespace
+}  // namespace gvc::vc

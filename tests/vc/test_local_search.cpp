@@ -1,0 +1,121 @@
+#include "vc/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/greedy.hpp"
+#include "vc/oracle.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(LocalSearch, NeverEnlargesAndStaysValid) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto g = graph::gnp(40, 0.15, seed + 3);
+    auto start = two_approx_cover(g);  // deliberately slack start
+    auto improved = improve_cover(g, start, {50, seed});
+    EXPECT_LE(improved.size(), start.size());
+    EXPECT_TRUE(graph::is_vertex_cover(g, improved));
+  }
+}
+
+TEST(LocalSearch, PrunesRedundantVertices) {
+  // Start from the full vertex set: everything redundant collapses away.
+  auto g = graph::star(10);
+  std::vector<graph::Vertex> all;
+  for (graph::Vertex v = 0; v < 10; ++v) all.push_back(v);
+  auto improved = improve_cover(g, all);
+  EXPECT_EQ(improved.size(), 1u);  // the hub
+  EXPECT_EQ(improved[0], 0);
+}
+
+TEST(LocalSearch, NeverBeatsOptimum) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto g = graph::gnp(15, 0.3, seed + 41);
+    auto cover = local_search_cover(g, {80, seed});
+    EXPECT_GE(static_cast<int>(cover.size()), oracle_mvc_size(g));
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+  }
+}
+
+TEST(LocalSearch, AtLeastAsGoodAsGreedyAlone) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto g = graph::barabasi_albert(60, 3, seed + 5);
+    auto ls = local_search_cover(g, {60, seed});
+    EXPECT_LE(static_cast<int>(ls.size()), greedy_mvc(g).size);
+  }
+}
+
+TEST(LocalSearch, FindsOptimumOnEasyStructures) {
+  EXPECT_EQ(local_search_cover(graph::cycle(10)).size(), 5u);
+  EXPECT_EQ(local_search_cover(graph::star(12)).size(), 1u);
+  EXPECT_EQ(local_search_cover(graph::complete(6)).size(), 5u);
+  EXPECT_TRUE(local_search_cover(graph::empty_graph(4)).empty());
+}
+
+TEST(LocalSearch, DeterministicPerSeed) {
+  auto g = graph::gnp(35, 0.2, 71);
+  auto a = local_search_cover(g, {50, 9});
+  auto b = local_search_cover(g, {50, 9});
+  EXPECT_EQ(a, b);
+}
+
+TEST(LocalSearchDeathTest, RejectsInvalidStartingCover) {
+  auto g = graph::path(4);
+  EXPECT_DEATH(improve_cover(g, {0}), "valid cover");
+}
+
+TEST(Domination, ForcesDominatorIntoCover) {
+  // Triangle with a pendant on vertex 0: 0 dominates the pendant's edge...
+  // in K3 + pendant, N[3]={0,3} ⊆ N[0]={0,1,2,3}: 0 enters S.
+  auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  DegreeArray da(g);
+  auto removed = apply_domination(g, da);
+  EXPECT_GE(removed, 1);
+  EXPECT_FALSE(da.present(0));
+  da.check_consistency(g);
+}
+
+TEST(Domination, TriangleCollapsesToOptimal) {
+  // In K3 every vertex dominates its neighbors; the rule fires twice and
+  // leaves an edgeless graph with |S| = 2 = optimum.
+  auto g = graph::complete(3);
+  DegreeArray da(g);
+  apply_domination(g, da);
+  EXPECT_EQ(da.num_edges(), 0);
+  EXPECT_EQ(da.solution_size(), 2);
+}
+
+TEST(Domination, InertOnC5) {
+  // C5 has no dominated edge: N[u] and N[v] always differ by the far
+  // neighbors.
+  auto g = graph::cycle(5);
+  DegreeArray da(g);
+  EXPECT_EQ(apply_domination(g, da), 0);
+}
+
+TEST(Domination, PreservesOptimumOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto g = graph::gnp(15, 0.35, seed * 13 + 5);
+    int opt = oracle_mvc_size(g);
+    DegreeArray da(g);
+    apply_domination(g, da);
+    auto rest = graph::induced_subgraph(g, da.present_vertices());
+    EXPECT_EQ(da.solution_size() + oracle_mvc_size(rest), opt) << seed;
+  }
+}
+
+TEST(Domination, SubsumesDegreeOne) {
+  // On trees the domination rule alone reaches an edgeless graph (every
+  // leaf's support dominates it).
+  auto g = graph::random_tree(30, 17);
+  DegreeArray da(g);
+  apply_domination(g, da);
+  EXPECT_EQ(da.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace gvc::vc

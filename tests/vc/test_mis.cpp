@@ -1,0 +1,59 @@
+#include "vc/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(Mis, KnownValues) {
+  EXPECT_EQ(maximum_independent_set(graph::empty_graph(6)).size, 6);
+  EXPECT_EQ(maximum_independent_set(graph::complete(6)).size, 1);
+  EXPECT_EQ(maximum_independent_set(graph::cycle(8)).size, 4);
+  EXPECT_EQ(maximum_independent_set(graph::star(9)).size, 8);
+  EXPECT_EQ(maximum_independent_set(graph::petersen()).size, 4);
+}
+
+TEST(Mis, ComplementRelationHolds) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    CsrGraph g = graph::gnp(15, 0.3, seed);
+    MisResult r = maximum_independent_set(g);
+    EXPECT_EQ(r.size, 15 - oracle_mvc_size(g));
+    EXPECT_TRUE(graph::is_independent_set(g, r.independent_set));
+  }
+}
+
+TEST(Mis, SetAndSizeAgree) {
+  CsrGraph g = graph::gnp(25, 0.25, 17);
+  MisResult r = maximum_independent_set(g);
+  EXPECT_EQ(static_cast<int>(r.independent_set.size()), r.size);
+  EXPECT_EQ(r.size + r.mvc.best_size, 25);
+}
+
+TEST(MaxClique, KnownValues) {
+  EXPECT_EQ(maximum_clique(graph::complete(7)).size, 7);
+  EXPECT_EQ(maximum_clique(graph::cycle(5)).size, 2);
+  EXPECT_EQ(maximum_clique(graph::empty_graph(4)).size, 1);
+}
+
+TEST(MaxClique, FoundSetIsAClique) {
+  CsrGraph g = graph::p_hat(18, 0.4, 0.9, 7);
+  MisResult r = maximum_clique(g);
+  for (std::size_t i = 0; i < r.independent_set.size(); ++i)
+    for (std::size_t j = i + 1; j < r.independent_set.size(); ++j)
+      EXPECT_TRUE(g.has_edge(r.independent_set[i], r.independent_set[j]));
+}
+
+TEST(MaxClique, MatchesOracleOnComplement) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    CsrGraph g = graph::gnp(14, 0.5, seed + 300);
+    CsrGraph comp = graph::complement(g);
+    EXPECT_EQ(maximum_clique(g).size, 14 - oracle_mvc_size(comp));
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

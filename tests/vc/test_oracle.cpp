@@ -1,0 +1,89 @@
+#include "vc/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(Oracle, KnownOptima) {
+  EXPECT_EQ(oracle_mvc_size(graph::empty_graph(5)), 0);
+  EXPECT_EQ(oracle_mvc_size(graph::path(2)), 1);
+  EXPECT_EQ(oracle_mvc_size(graph::path(4)), 2);       // middle two
+  EXPECT_EQ(oracle_mvc_size(graph::path(5)), 2);
+  EXPECT_EQ(oracle_mvc_size(graph::cycle(5)), 3);      // ⌈5/2⌉
+  EXPECT_EQ(oracle_mvc_size(graph::cycle(6)), 3);
+  EXPECT_EQ(oracle_mvc_size(graph::star(8)), 1);       // the center
+  EXPECT_EQ(oracle_mvc_size(graph::complete(7)), 6);   // n-1
+  EXPECT_EQ(oracle_mvc_size(graph::complete_bipartite(3, 9)), 3);  // König
+  EXPECT_EQ(oracle_mvc_size(graph::petersen()), 6);
+}
+
+TEST(Oracle, CoverIsValidAndOptimal) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto g = graph::gnp(14, 0.3, seed);
+    int opt = oracle_mvc_size(g);
+    auto cover = oracle_mvc(g);
+    EXPECT_EQ(static_cast<int>(cover.size()), opt);
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+  }
+}
+
+TEST(Oracle, PvcThresholdBehaviour) {
+  auto g = graph::cycle(7);  // MVC = 4
+  EXPECT_FALSE(oracle_pvc(g, 3));
+  EXPECT_TRUE(oracle_pvc(g, 4));
+  EXPECT_TRUE(oracle_pvc(g, 5));
+  EXPECT_TRUE(oracle_pvc(g, 7));
+}
+
+TEST(Oracle, PvcZeroOnlyForEdgeless) {
+  EXPECT_TRUE(oracle_pvc(graph::empty_graph(4), 0));
+  EXPECT_FALSE(oracle_pvc(graph::path(2), 0));
+}
+
+TEST(Oracle, ComplementOfCoverIsIndependentSet) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto g = graph::gnp(13, 0.4, seed);
+    auto cover = oracle_mvc(g);
+    std::vector<bool> in(13, false);
+    for (auto v : cover) in[static_cast<std::size_t>(v)] = true;
+    std::vector<graph::Vertex> rest;
+    for (graph::Vertex v = 0; v < 13; ++v)
+      if (!in[static_cast<std::size_t>(v)]) rest.push_back(v);
+    EXPECT_TRUE(graph::is_independent_set(g, rest));
+  }
+}
+
+TEST(Oracle, MonotoneUnderEdgeAddition) {
+  // Adding edges can only grow the cover number.
+  auto sparse = graph::gnp(12, 0.2, 3);
+  auto dense = graph::gnp(12, 0.2, 3);
+  // Rebuild dense with extra edges.
+  graph::GraphBuilder b(12);
+  for (graph::Vertex v = 0; v < 12; ++v)
+    for (auto u : sparse.neighbors(v))
+      if (u > v) b.add_edge(v, u);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  dense = b.build();
+  EXPECT_GE(oracle_mvc_size(dense), oracle_mvc_size(sparse));
+}
+
+TEST(Oracle, SixtyFourVertexBoundary) {
+  // Exercise the full-width bitmask path (bit 63 in use). A star keeps the
+  // naive edge-branching cheap; long cycles/paths are exponential for it.
+  EXPECT_EQ(oracle_mvc_size(graph::star(64)), 1);
+  EXPECT_EQ(oracle_mvc_size(graph::complete_bipartite(2, 62)), 2);
+}
+
+TEST(OracleDeathTest, RejectsOversizedGraphs) {
+  EXPECT_DEATH(oracle_mvc_size(graph::empty_graph(65)), "at most 64");
+}
+
+}  // namespace
+}  // namespace gvc::vc

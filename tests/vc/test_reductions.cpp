@@ -1,0 +1,274 @@
+#include "vc/reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::vc {
+namespace {
+
+using graph::from_edges;
+
+class ReductionSemanticsTest
+    : public ::testing::TestWithParam<ReduceSemantics> {};
+
+INSTANTIATE_TEST_SUITE_P(BothSemantics, ReductionSemanticsTest,
+                         ::testing::Values(ReduceSemantics::kSerial,
+                                           ReduceSemantics::kParallelSweep),
+                         [](const auto& info) {
+                           return info.param == ReduceSemantics::kSerial
+                                      ? "Serial"
+                                      : "ParallelSweep";
+                         });
+
+TEST_P(ReductionSemanticsTest, DegreeOneRemovesNeighborOfLeaf) {
+  // Path 0-1-2: both leaves trigger; their shared-structure neighbors enter S.
+  CsrGraph g = graph::path(3);
+  DegreeArray da(g);
+  auto removed = apply_degree_one(g, da, GetParam());
+  EXPECT_EQ(removed, 1);  // vertex 1 covers both edges
+  EXPECT_FALSE(da.present(1));
+  EXPECT_EQ(da.num_edges(), 0);
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, DegreeOneCascades) {
+  // Path 0-1-2-3-4: repeated degree-one elimination solves it completely.
+  CsrGraph g = graph::path(5);
+  DegreeArray da(g);
+  apply_degree_one(g, da, GetParam());
+  EXPECT_EQ(da.num_edges(), 0);
+  EXPECT_TRUE(graph::is_vertex_cover(g, da.solution()));
+  EXPECT_EQ(da.solution_size(), 2);  // optimal for P5
+}
+
+TEST_P(ReductionSemanticsTest, DegreeOneIsolatedEdgeRemovesExactlyOne) {
+  CsrGraph g = from_edges(2, {{0, 1}});
+  DegreeArray da(g);
+  auto removed = apply_degree_one(g, da, GetParam());
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(da.solution_size(), 1);
+  EXPECT_EQ(da.num_edges(), 0);
+}
+
+TEST(ReductionSweep, IsolatedEdgeRemovesSmallerId) {
+  // §IV-D: of two adjacent degree-one vertices, the smaller id is removed.
+  CsrGraph g = from_edges(2, {{0, 1}});
+  DegreeArray da(g);
+  apply_degree_one(g, da, ReduceSemantics::kParallelSweep);
+  EXPECT_FALSE(da.present(0));
+  EXPECT_TRUE(da.present(1));
+}
+
+TEST_P(ReductionSemanticsTest, DegreeOneManyLeavesSharedHub) {
+  CsrGraph g = graph::star(6);
+  DegreeArray da(g);
+  auto removed = apply_degree_one(g, da, GetParam());
+  EXPECT_EQ(removed, 1);  // only the hub, despite 5 leaves triggering
+  EXPECT_FALSE(da.present(0));
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, TriangleRuleTakesTwoOfThree) {
+  CsrGraph g = from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  DegreeArray da(g);
+  auto removed = apply_degree_two_triangle(g, da, GetParam());
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(da.num_edges(), 0);
+  EXPECT_EQ(da.solution_size(), 2);
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, TriangleRuleWithPendantTriangle) {
+  // Triangle 0-1-2 where 1,2 also attach to hub 3: vertex 0 has degree 2 and
+  // its neighbors 1,2 are adjacent → remove {1,2}.
+  CsrGraph g = from_edges(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  DegreeArray da(g);
+  auto removed = apply_degree_two_triangle(g, da, GetParam());
+  EXPECT_EQ(removed, 2);
+  EXPECT_FALSE(da.present(1));
+  EXPECT_FALSE(da.present(2));
+  EXPECT_EQ(da.num_edges(), 0);
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, TriangleRuleIgnoresNonTriangleDegreeTwo) {
+  // Path 0-1-2: vertex 1 has degree 2 but 0-2 is no edge.
+  CsrGraph g = graph::path(3);
+  DegreeArray da(g);
+  EXPECT_EQ(apply_degree_two_triangle(g, da, GetParam()), 0);
+  EXPECT_EQ(da.solution_size(), 0);
+}
+
+TEST_P(ReductionSemanticsTest, HighDegreeRemovesAboveBudget) {
+  CsrGraph g = graph::star(6);  // hub degree 5
+  DegreeArray da(g);
+  // MVC budget with best=3, |S|=0 → budget 2; only the hub exceeds it.
+  auto removed =
+      apply_high_degree(g, da, BudgetPolicy::mvc(3), GetParam());
+  EXPECT_EQ(removed, 1);
+  EXPECT_FALSE(da.present(0));
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, HighDegreeTighteningCascade) {
+  // Two hubs of degree 4 sharing no edge; removing the first tightens the
+  // budget, which must still remove the second (soundness argument §IV-D).
+  graph::GraphBuilder b(10);
+  for (Vertex leaf = 2; leaf < 6; ++leaf) b.add_edge(0, leaf);
+  for (Vertex leaf = 6; leaf < 10; ++leaf) b.add_edge(1, leaf);
+  CsrGraph g = b.build();
+  DegreeArray da(g);
+  auto removed = apply_high_degree(g, da, BudgetPolicy::mvc(4), GetParam());
+  EXPECT_EQ(removed, 2);
+  EXPECT_FALSE(da.present(0));
+  EXPECT_FALSE(da.present(1));
+}
+
+TEST_P(ReductionSemanticsTest, HighDegreeInertWithInfinitePolicy) {
+  CsrGraph g = graph::complete(6);
+  DegreeArray da(g);
+  EXPECT_EQ(apply_high_degree(g, da, BudgetPolicy::none(), GetParam()), 0);
+  EXPECT_EQ(da.solution_size(), 0);
+}
+
+TEST_P(ReductionSemanticsTest, HighDegreeSkipsWhenBudgetNegative) {
+  CsrGraph g = graph::complete(4);
+  DegreeArray da(g);
+  da.remove_into_solution(g, 0);
+  da.remove_into_solution(g, 1);
+  // best=2, |S|=2 → budget -1: node is prunable; rule must not fire.
+  EXPECT_EQ(apply_high_degree(g, da, BudgetPolicy::mvc(2), GetParam()), 0);
+}
+
+TEST_P(ReductionSemanticsTest, PvcBudgetOffByOneFromMvc) {
+  // PVC budget is k-|S| (not k-|S|-1): a degree-3 hub survives k=3 PVC but
+  // is removed under best=3 MVC... wait: PVC budget 3 ≥ 3, MVC budget 2 < 3.
+  CsrGraph g = graph::star(4);  // hub degree 3
+  {
+    DegreeArray da(g);
+    EXPECT_EQ(apply_high_degree(g, da, BudgetPolicy::pvc(3), GetParam()), 0);
+  }
+  {
+    DegreeArray da(g);
+    EXPECT_EQ(apply_high_degree(g, da, BudgetPolicy::mvc(3), GetParam()), 1);
+  }
+}
+
+TEST_P(ReductionSemanticsTest, FullReduceReachesFixpoint) {
+  CsrGraph g = graph::gnp(50, 0.15, 11);
+  DegreeArray da(g);
+  ReduceStats stats =
+      reduce(g, da, BudgetPolicy::none(), GetParam());
+  EXPECT_GE(stats.rounds, 1);
+  // After reduce, no degree-one vertices and no degree-two triangles remain.
+  for (Vertex v = 0; v < da.num_vertices(); ++v) {
+    if (!da.present(v)) continue;
+    EXPECT_NE(da.degree(v), 1);
+  }
+  da.check_consistency(g);
+}
+
+TEST_P(ReductionSemanticsTest, RuleSetTogglesRespected) {
+  CsrGraph g = graph::path(6);
+  DegreeArray da(g);
+  RuleSet no_rules{false, false, false};
+  ReduceStats stats = reduce(g, da, BudgetPolicy::none(), GetParam(), no_rules);
+  EXPECT_EQ(stats.total_removed(), 0);
+  EXPECT_EQ(da.solution_size(), 0);
+}
+
+TEST_P(ReductionSemanticsTest, StatsCountsMatchSolutionSize) {
+  CsrGraph g = graph::gnp(60, 0.1, 21);
+  DegreeArray da(g);
+  ReduceStats stats = reduce(g, da, BudgetPolicy::none(), GetParam());
+  EXPECT_EQ(stats.total_removed(), da.solution_size());
+}
+
+TEST_P(ReductionSemanticsTest, ActivityTimingRecorded) {
+  CsrGraph g = graph::gnp(60, 0.2, 22);
+  DegreeArray da(g);
+  util::ActivityAccumulator acc;
+  reduce(g, da, BudgetPolicy::none(), GetParam(), RuleSet{}, &acc);
+  EXPECT_GT(acc.ns(util::Activity::kDegreeOneRule) +
+                acc.ns(util::Activity::kDegreeTwoTriangleRule) +
+                acc.ns(util::Activity::kHighDegreeRule),
+            0u);
+}
+
+// Soundness property: reducing the root preserves the optimal cover size —
+// opt(G) == |S_reduced| + opt(remaining graph), verified against the oracle.
+TEST_P(ReductionSemanticsTest, PreservesOptimumOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    CsrGraph g = graph::gnp(16, 0.25, seed * 31 + 1);
+    int opt = oracle_mvc_size(g);
+
+    DegreeArray da(g);
+    reduce(g, da, BudgetPolicy::none(), GetParam());
+    CsrGraph rest = graph::induced_subgraph(g, da.present_vertices());
+    int opt_rest = oracle_mvc_size(rest);
+    EXPECT_EQ(da.solution_size() + opt_rest, opt)
+        << "semantics=" << static_cast<int>(GetParam()) << " seed=" << seed;
+  }
+}
+
+// Same property across every instance family the catalog draws from —
+// dense complements, power-law, small world, quasi-trees, bipartite.
+TEST_P(ReductionSemanticsTest, PreservesOptimumAcrossFamilies) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    std::vector<CsrGraph> graphs = {
+        graph::complement(graph::p_hat(15, 0.3, 0.8, seed + 1)),
+        graph::barabasi_albert(16, 2, seed + 1),
+        graph::watts_strogatz(16, 2, 0.3, seed + 1),
+        graph::power_grid(16, 0.4, seed + 1),
+        graph::bipartite(7, 9, 25, seed + 1),
+        graph::random_tree(16, seed + 1),
+    };
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const CsrGraph& g = graphs[i];
+      int opt = oracle_mvc_size(g);
+      DegreeArray da(g);
+      reduce(g, da, BudgetPolicy::none(), GetParam());
+      CsrGraph rest = graph::induced_subgraph(g, da.present_vertices());
+      EXPECT_EQ(da.solution_size() + oracle_mvc_size(rest), opt)
+          << "family " << i << " seed " << seed;
+      da.check_consistency(g);
+    }
+  }
+}
+
+// The two semantics may pick different vertices but must agree on how much
+// of the optimum the reduced instance retains.
+TEST(ReductionSemanticsEquivalence, SameResidualOptimum) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    CsrGraph g = graph::gnp(15, 0.3, seed * 7 + 2);
+    int opt = oracle_mvc_size(g);
+    for (auto semantics :
+         {ReduceSemantics::kSerial, ReduceSemantics::kParallelSweep}) {
+      DegreeArray da(g);
+      reduce(g, da, BudgetPolicy::none(), semantics);
+      CsrGraph rest = graph::induced_subgraph(g, da.present_vertices());
+      EXPECT_EQ(da.solution_size() + oracle_mvc_size(rest), opt);
+    }
+  }
+}
+
+// Same soundness property with the high-degree rule active at a bound equal
+// to the true optimum + 1 (tight but valid upper bound).
+TEST_P(ReductionSemanticsTest, HighDegreePreservesOptimumUnderTightBound) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    CsrGraph g = graph::gnp(15, 0.35, seed * 17 + 3);
+    int opt = oracle_mvc_size(g);
+
+    DegreeArray da(g);
+    reduce(g, da, BudgetPolicy::mvc(opt + 1), GetParam());
+    CsrGraph rest = graph::induced_subgraph(g, da.present_vertices());
+    EXPECT_EQ(da.solution_size() + oracle_mvc_size(rest), opt) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

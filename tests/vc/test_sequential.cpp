@@ -1,0 +1,189 @@
+#include "vc/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/oracle.hpp"
+
+namespace gvc::vc {
+namespace {
+
+SolveResult mvc(const CsrGraph& g,
+                ReduceSemantics sem = ReduceSemantics::kSerial) {
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  c.semantics = sem;
+  return solve_sequential(g, c);
+}
+
+SolveResult pvc(const CsrGraph& g, int k) {
+  SequentialConfig c;
+  c.problem = Problem::kPvc;
+  c.k = k;
+  return solve_sequential(g, c);
+}
+
+TEST(SequentialMvc, KnownOptima) {
+  EXPECT_EQ(mvc(graph::empty_graph(5)).best_size, 0);
+  EXPECT_EQ(mvc(graph::path(4)).best_size, 2);
+  EXPECT_EQ(mvc(graph::cycle(9)).best_size, 5);
+  EXPECT_EQ(mvc(graph::star(10)).best_size, 1);
+  EXPECT_EQ(mvc(graph::complete(8)).best_size, 7);
+  EXPECT_EQ(mvc(graph::complete_bipartite(4, 7)).best_size, 4);
+  EXPECT_EQ(mvc(graph::petersen()).best_size, 6);
+  EXPECT_EQ(mvc(graph::grid2d(3, 5)).best_size, 7);  // bipartite, König
+}
+
+TEST(SequentialMvc, ResultInvariants) {
+  CsrGraph g = graph::gnp(40, 0.15, 3);
+  SolveResult r = mvc(g);
+  EXPECT_TRUE(r.found);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_GT(r.tree_nodes, 0u);
+  EXPECT_LE(r.best_size, r.greedy_upper_bound);
+  check_result(g, r);
+}
+
+class SequentialOracleTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SequentialOracleTest, ::testing::Range(0, 15));
+
+TEST_P(SequentialOracleTest, MatchesOracleOnRandomGraphs) {
+  const int seed = GetParam();
+  for (double p : {0.1, 0.25, 0.45}) {
+    CsrGraph g = graph::gnp(15, p, static_cast<std::uint64_t>(seed) * 101 + 7);
+    SolveResult r = mvc(g);
+    EXPECT_EQ(r.best_size, oracle_mvc_size(g)) << "p=" << p;
+    check_result(g, r);
+  }
+}
+
+TEST_P(SequentialOracleTest, MatchesOracleWithSweepSemantics) {
+  const int seed = GetParam();
+  CsrGraph g = graph::gnp(14, 0.3, static_cast<std::uint64_t>(seed) * 13 + 1);
+  EXPECT_EQ(mvc(g, ReduceSemantics::kParallelSweep).best_size,
+            oracle_mvc_size(g));
+}
+
+TEST_P(SequentialOracleTest, MatchesOracleOnPHatComplements) {
+  const int seed = GetParam();
+  // The paper's instance family: complements of p_hat graphs.
+  CsrGraph g = graph::complement(
+      graph::p_hat(14, 0.3, 0.8, static_cast<std::uint64_t>(seed)));
+  SolveResult r = mvc(g);
+  EXPECT_EQ(r.best_size, oracle_mvc_size(g));
+  check_result(g, r);
+}
+
+TEST(SequentialMvc, InvariantUnderRelabeling) {
+  CsrGraph g = graph::gnp(30, 0.2, 77);
+  int base = mvc(g).best_size;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(mvc(graph::shuffle_labels(g, seed)).best_size, base);
+}
+
+TEST(SequentialMvc, DisconnectedComponentsAdd) {
+  // MVC of a disjoint union is the sum of per-component MVCs.
+  graph::GraphBuilder b(12);
+  // Triangle on {0,1,2} (cover 2) + C5 on {3..7} (cover 3) + K2 {8,9}.
+  b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+  for (int i = 3; i < 7; ++i) b.add_edge(i, i + 1);
+  b.add_edge(7, 3);
+  b.add_edge(8, 9);
+  EXPECT_EQ(mvc(b.build()).best_size, 2 + 3 + 1);
+}
+
+TEST(SequentialPvc, ThresholdAroundOptimum) {
+  CsrGraph g = graph::gnp(15, 0.3, 5);
+  int opt = oracle_mvc_size(g);
+  SolveResult below = pvc(g, opt - 1);
+  EXPECT_FALSE(below.found);
+  EXPECT_TRUE(below.cover.empty());
+
+  SolveResult at = pvc(g, opt);
+  EXPECT_TRUE(at.found);
+  EXPECT_LE(at.best_size, opt);
+  check_result(g, at);
+
+  SolveResult above = pvc(g, opt + 1);
+  EXPECT_TRUE(above.found);
+  EXPECT_LE(above.best_size, opt + 1);
+  check_result(g, above);
+}
+
+TEST(SequentialPvc, EasierInstancesVisitFewerNodes) {
+  // PVC at k=min stops at the first solution; k=min-1 must exhaust the tree.
+  CsrGraph g = graph::complement(graph::p_hat(30, 0.3, 0.8, 9));
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  int opt = solve_sequential(g, c).best_size;
+  SolveResult hard = pvc(g, opt - 1);
+  SolveResult easy = pvc(g, opt + 1);
+  EXPECT_FALSE(hard.found);
+  EXPECT_TRUE(easy.found);
+  EXPECT_LE(easy.tree_nodes, hard.tree_nodes);
+}
+
+TEST(SequentialPvc, LargeKFindsQuickly) {
+  CsrGraph g = graph::gnp(30, 0.2, 12);
+  SolveResult r = pvc(g, 30);
+  EXPECT_TRUE(r.found);
+  check_result(g, r);
+}
+
+TEST(SequentialLimits, NodeLimitTriggersTimeout) {
+  CsrGraph g = graph::complement(graph::p_hat(40, 0.4, 0.9, 2));
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  c.limits.max_tree_nodes = 3;
+  SolveResult r = solve_sequential(g, c);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LE(r.tree_nodes, 3u);
+  // The greedy cover is still reported and still valid.
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+}
+
+TEST(SequentialLimits, TimeLimitTriggersTimeout) {
+  CsrGraph g = graph::complement(graph::p_hat(60, 0.2, 0.9, 3));
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  c.limits.time_limit_s = 1e-9;
+  SolveResult r = solve_sequential(g, c);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(SequentialRules, DisablingRulesKeepsAnswer) {
+  // Reduction rules accelerate but must not change the optimum.
+  CsrGraph g = graph::gnp(14, 0.3, 8);
+  int opt = oracle_mvc_size(g);
+  for (int mask = 0; mask < 8; ++mask) {
+    SequentialConfig c;
+    c.problem = Problem::kMvc;
+    c.rules.degree_one = mask & 1;
+    c.rules.degree_two_triangle = mask & 2;
+    c.rules.high_degree = mask & 4;
+    EXPECT_EQ(solve_sequential(g, c).best_size, opt) << "mask=" << mask;
+  }
+}
+
+TEST(SequentialRules, RulesReduceTreeSize) {
+  CsrGraph g = graph::complement(graph::p_hat(26, 0.3, 0.8, 4));
+  SequentialConfig with;
+  with.problem = Problem::kMvc;
+  SequentialConfig without = with;
+  without.rules = RuleSet{false, false, false};
+  EXPECT_LE(solve_sequential(g, with).tree_nodes,
+            solve_sequential(g, without).tree_nodes);
+}
+
+TEST(SequentialPvcDeathTest, RequiresPositiveK) {
+  CsrGraph g = graph::path(3);
+  SequentialConfig c;
+  c.problem = Problem::kPvc;
+  c.k = 0;
+  EXPECT_DEATH(solve_sequential(g, c), "k > 0");
+}
+
+}  // namespace
+}  // namespace gvc::vc

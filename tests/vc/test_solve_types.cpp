@@ -1,0 +1,65 @@
+#include "vc/solve_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+TEST(CheckResult, AcceptsConsistentResult) {
+  auto g = graph::cycle(6);
+  SolveResult r;
+  r.found = true;
+  r.best_size = 3;
+  r.cover = {0, 2, 4};
+  check_result(g, r);  // no abort
+  SUCCEED();
+}
+
+TEST(CheckResult, IgnoresNotFoundResults) {
+  auto g = graph::cycle(6);
+  SolveResult r;  // found = false, empty cover
+  check_result(g, r);
+  SUCCEED();
+}
+
+TEST(CheckResultDeathTest, RejectsSizeMismatch) {
+  auto g = graph::cycle(6);
+  SolveResult r;
+  r.found = true;
+  r.best_size = 2;
+  r.cover = {0, 2, 4};
+  EXPECT_DEATH(check_result(g, r), "disagrees");
+}
+
+TEST(CheckResultDeathTest, RejectsNonCover) {
+  auto g = graph::cycle(6);
+  SolveResult r;
+  r.found = true;
+  r.best_size = 2;
+  r.cover = {0, 3};  // misses edges 1-2 and 4-5
+  EXPECT_DEATH(check_result(g, r), "cover");
+}
+
+TEST(SolveResultDefaults, AreInert) {
+  SolveResult r;
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.best_size, -1);
+  EXPECT_TRUE(r.cover.empty());
+  EXPECT_EQ(r.tree_nodes, 0u);
+}
+
+TEST(Limits, ZeroMeansUnlimited) {
+  auto g = graph::complete(8);
+  SequentialConfig c;
+  c.limits = Limits{};  // both zero
+  auto r = solve_sequential(g, c);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.best_size, 7);
+}
+
+}  // namespace
+}  // namespace gvc::vc

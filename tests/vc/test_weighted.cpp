@@ -1,0 +1,138 @@
+#include "vc/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+std::vector<Weight> unit_weights(const graph::CsrGraph& g) {
+  return std::vector<Weight>(static_cast<std::size_t>(g.num_vertices()), 1);
+}
+
+std::vector<Weight> random_weights(const graph::CsrGraph& g,
+                                   std::uint64_t seed, Weight hi = 20) {
+  util::Pcg32 rng(seed);
+  std::vector<Weight> w(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& x : w) x = 1 + rng.below(static_cast<std::uint32_t>(hi));
+  return w;
+}
+
+TEST(WeightedVc, UnitWeightsReduceToUnweightedMvc) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto g = graph::gnp(16, 0.3, seed + 1);
+    auto r = solve_weighted(g, unit_weights(g));
+    EXPECT_EQ(r.best_weight, oracle_mvc_size(g)) << seed;
+    EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+  }
+}
+
+TEST(WeightedVc, MatchesWeightedOracleOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto g = graph::gnp(13, 0.3, seed + 31);
+    auto w = random_weights(g, seed + 100);
+    auto r = solve_weighted(g, w);
+    EXPECT_EQ(r.best_weight, weighted_oracle(g, w)) << seed;
+    EXPECT_EQ(weight_of(w, r.cover), r.best_weight);
+    EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+  }
+}
+
+TEST(WeightedVc, PrefersCheapHub) {
+  // Star where the hub is cheap: cover = {hub}, weight 1.
+  auto g = graph::star(6);
+  std::vector<Weight> w{1, 10, 10, 10, 10, 10};
+  auto r = solve_weighted(g, w);
+  EXPECT_EQ(r.best_weight, 1);
+  EXPECT_EQ(r.cover, (std::vector<graph::Vertex>{0}));
+}
+
+TEST(WeightedVc, AvoidsExpensiveHub) {
+  // Star where the hub is prohibitively heavy: take all 5 leaves (weight 5).
+  auto g = graph::star(6);
+  std::vector<Weight> w{100, 1, 1, 1, 1, 1};
+  auto r = solve_weighted(g, w);
+  EXPECT_EQ(r.best_weight, 5);
+  EXPECT_EQ(r.cover.size(), 5u);
+}
+
+TEST(WeightedVc, EdgelessGraphCostsNothing) {
+  auto g = graph::empty_graph(4);
+  auto r = solve_weighted(g, unit_weights(g));
+  EXPECT_EQ(r.best_weight, 0);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(WeightedTwoApprox, ValidAndWithinFactorTwo) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto g = graph::gnp(14, 0.3, seed + 61);
+    auto w = random_weights(g, seed + 200);
+    auto cover = weighted_two_approx(g, w);
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+    EXPECT_LE(weight_of(w, cover), 2 * weighted_oracle(g, w)) << seed;
+  }
+}
+
+TEST(WeightedLowerBound, BracketsOptimum) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto g = graph::gnp(14, 0.25, seed + 91);
+    auto w = random_weights(g, seed + 300);
+    Weight lb = weighted_lower_bound(g, w);
+    Weight opt = weighted_oracle(g, w);
+    EXPECT_LE(lb, opt) << seed;
+    EXPECT_GE(2 * lb, weight_of(w, weighted_two_approx(g, w))) << seed;
+  }
+}
+
+TEST(WeightedGreedy, ProducesValidCover) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto g = graph::barabasi_albert(40, 2, seed);
+    auto w = random_weights(g, seed + 400);
+    auto cover = weighted_greedy(g, w);
+    EXPECT_TRUE(graph::is_vertex_cover(g, cover));
+    EXPECT_GE(weight_of(w, cover), weighted_lower_bound(g, w));
+  }
+}
+
+TEST(WeightedVc, ScalingWeightsScalesOptimum) {
+  auto g = graph::gnp(13, 0.3, 7);
+  auto w = random_weights(g, 7);
+  Weight base = solve_weighted(g, w).best_weight;
+  auto w3 = w;
+  for (auto& x : w3) x *= 3;
+  EXPECT_EQ(solve_weighted(g, w3).best_weight, 3 * base);
+}
+
+TEST(WeightedVc, NodeLimitReportsTimeout) {
+  auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 5));
+  Limits limits;
+  limits.max_tree_nodes = 2;
+  auto r = solve_weighted(g, random_weights(g, 9), limits);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // heuristic incumbent
+}
+
+TEST(WeightedVc, DegreeOneRuleRespectsWeights) {
+  // Path 0-1: degree-one rule may only take the lighter endpoint.
+  auto g = graph::path(2);
+  EXPECT_EQ(solve_weighted(g, {5, 2}).best_weight, 2);
+  EXPECT_EQ(solve_weighted(g, {2, 5}).best_weight, 2);
+}
+
+TEST(WeightedDeathTest, RejectsBadWeights) {
+  auto g = graph::path(3);
+  EXPECT_DEATH(solve_weighted(g, {1, 1}), "one weight per vertex");
+  EXPECT_DEATH(solve_weighted(g, {1, 0, 1}), "positive");
+  EXPECT_DEATH(weighted_oracle(graph::empty_graph(25),
+                               std::vector<Weight>(25, 1)),
+               "24");
+}
+
+}  // namespace
+}  // namespace gvc::vc

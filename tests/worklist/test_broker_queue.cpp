@@ -1,0 +1,113 @@
+#include "worklist/broker_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace gvc::worklist {
+namespace {
+
+TEST(BrokerQueue, FifoOrder) {
+  BrokerQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  int v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(BrokerQueue, CapacityRoundsUpToPow2) {
+  EXPECT_EQ(BrokerQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(BrokerQueue<int>(8).capacity(), 8u);
+  EXPECT_EQ(BrokerQueue<int>(9).capacity(), 16u);
+  EXPECT_EQ(BrokerQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(BrokerQueue, FullRejectsAndPreservesValue) {
+  BrokerQueue<std::vector<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::vector<int>{1}));
+  EXPECT_TRUE(q.try_push(std::vector<int>{2}));
+  std::vector<int> keep{3, 4, 5};
+  EXPECT_FALSE(q.try_push(std::move(keep)));
+  // The failed push must leave the value intact for the caller's fallback.
+  EXPECT_EQ(keep, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(BrokerQueue, SizeApproxTracksQuiescentState) {
+  BrokerQueue<int> q(16);
+  EXPECT_EQ(q.size_approx(), 0u);
+  EXPECT_TRUE(q.empty_approx());
+  for (int i = 0; i < 10; ++i) q.try_push(int{i});
+  EXPECT_EQ(q.size_approx(), 10u);
+  int v;
+  for (int i = 0; i < 4; ++i) q.try_pop(v);
+  EXPECT_EQ(q.size_approx(), 6u);
+}
+
+TEST(BrokerQueue, WrapAroundManyTimes) {
+  BrokerQueue<int> q(4);
+  int v;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.try_push(int{round}));
+    EXPECT_TRUE(q.try_push(int{round + 1000}));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, round + 1000);
+  }
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(BrokerQueue, ConcurrentProducersConsumersConserveSum) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2000;
+  BrokerQueue<int> q(256);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        while (!q.try_push(int{value})) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (consumed_count.load() < kTotal) {
+        if (q.try_pop(v)) {
+          consumed_sum.fetch_add(v);
+          consumed_count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  long long expect = static_cast<long long>(kTotal) * (kTotal - 1) / 2;
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), expect);
+  EXPECT_TRUE(q.empty_approx());
+}
+
+TEST(BrokerQueue, MoveOnlyPayload) {
+  BrokerQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace gvc::worklist

@@ -1,0 +1,87 @@
+#include "worklist/local_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gvc::worklist {
+namespace {
+
+vc::DegreeArray make_state(const graph::CsrGraph& g, int removals) {
+  vc::DegreeArray da(g);
+  for (int i = 0; i < removals; ++i)
+    da.remove_into_solution(g, da.max_degree_vertex());
+  return da;
+}
+
+TEST(LocalStack, LifoOrder) {
+  auto g = graph::complete(6);
+  LocalStack stack(6, 4);
+  stack.push(make_state(g, 0));
+  stack.push(make_state(g, 1));
+  stack.push(make_state(g, 2));
+  EXPECT_EQ(stack.size(), 3);
+
+  vc::DegreeArray out;
+  ASSERT_TRUE(stack.try_pop(out));
+  EXPECT_EQ(out.solution_size(), 2);
+  ASSERT_TRUE(stack.try_pop(out));
+  EXPECT_EQ(out.solution_size(), 1);
+  ASSERT_TRUE(stack.try_pop(out));
+  EXPECT_EQ(out.solution_size(), 0);
+  EXPECT_FALSE(stack.try_pop(out));
+}
+
+TEST(LocalStack, EmptyBehaviour) {
+  LocalStack stack(10, 3);
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.size(), 0);
+  vc::DegreeArray out;
+  EXPECT_FALSE(stack.try_pop(out));
+}
+
+TEST(LocalStack, HighWaterTracksDeepestUse) {
+  auto g = graph::cycle(5);
+  LocalStack stack(5, 8);
+  vc::DegreeArray out;
+  stack.push(make_state(g, 0));
+  stack.push(make_state(g, 0));
+  stack.try_pop(out);
+  stack.push(make_state(g, 0));
+  EXPECT_EQ(stack.high_water(), 2);
+  stack.push(make_state(g, 0));
+  stack.push(make_state(g, 0));
+  EXPECT_EQ(stack.high_water(), 4);
+}
+
+TEST(LocalStack, PushPopRoundTripsContent) {
+  auto g = graph::petersen();
+  LocalStack stack(10, 2);
+  auto original = make_state(g, 3);
+  stack.push(original);
+  vc::DegreeArray out;
+  ASSERT_TRUE(stack.try_pop(out));
+  EXPECT_EQ(out, original);
+  out.check_consistency(g);
+}
+
+TEST(LocalStack, FootprintMatchesModel) {
+  LocalStack stack(100, 7);
+  EXPECT_EQ(stack.footprint_bytes(), 7 * (100 * 4 + 16));
+}
+
+TEST(LocalStackDeathTest, OverflowAborts) {
+  auto g = graph::path(4);
+  LocalStack stack(4, 1);
+  stack.push(make_state(g, 0));
+  EXPECT_DEATH(stack.push(make_state(g, 0)), "overflow");
+}
+
+TEST(LocalStackDeathTest, SizeMismatchAborts) {
+  auto g5 = graph::path(5);
+  LocalStack stack(4, 2);
+  EXPECT_DEATH(stack.push(vc::DegreeArray(g5)), "mismatch");
+}
+
+}  // namespace
+}  // namespace gvc::worklist

@@ -1,0 +1,166 @@
+#include "worklist/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace gvc::worklist {
+namespace {
+
+using graph::CsrGraph;
+using vc::DegreeArray;
+
+/// A degree array whose |S| encodes a payload id (remove the first `id`
+/// vertices of a path so states are distinguishable).
+DegreeArray tagged(const CsrGraph& g, int id) {
+  DegreeArray da(g);
+  for (int i = 0; i < id; ++i) da.remove_into_solution(g, i);
+  return da;
+}
+
+TEST(StealDeque, StartsEmpty) {
+  StealDeque d(10, 4);
+  EXPECT_TRUE(d.empty_approx());
+  EXPECT_EQ(d.size_approx(), 0);
+  EXPECT_EQ(d.capacity(), 4);
+  DegreeArray out;
+  EXPECT_FALSE(d.try_pop_bottom(out));
+  EXPECT_FALSE(d.try_steal_top(out));
+}
+
+TEST(StealDeque, OwnerPopIsLifo) {
+  CsrGraph g = graph::path(10);
+  StealDeque d(g.num_vertices(), 8);
+  for (int i = 0; i < 3; ++i) d.push_bottom(tagged(g, i));
+  DegreeArray out;
+  for (int i = 2; i >= 0; --i) {
+    ASSERT_TRUE(d.try_pop_bottom(out));
+    EXPECT_EQ(out.solution_size(), i);
+  }
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(StealDeque, StealIsFifo) {
+  CsrGraph g = graph::path(10);
+  StealDeque d(g.num_vertices(), 8);
+  for (int i = 0; i < 3; ++i) d.push_bottom(tagged(g, i));
+  DegreeArray out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(d.try_steal_top(out));
+    EXPECT_EQ(out.solution_size(), i);
+  }
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(StealDeque, MixedPopAndStealTakeOppositeEnds) {
+  CsrGraph g = graph::path(10);
+  StealDeque d(g.num_vertices(), 8);
+  for (int i = 0; i < 4; ++i) d.push_bottom(tagged(g, i));
+  DegreeArray out;
+  ASSERT_TRUE(d.try_steal_top(out));
+  EXPECT_EQ(out.solution_size(), 0);  // oldest
+  ASSERT_TRUE(d.try_pop_bottom(out));
+  EXPECT_EQ(out.solution_size(), 3);  // newest
+  EXPECT_EQ(d.size_approx(), 2);
+}
+
+TEST(StealDeque, RingWrapsAroundAfterInterleavedTraffic) {
+  CsrGraph g = graph::path(6);
+  StealDeque d(g.num_vertices(), 2);
+  DegreeArray out;
+  // Repeatedly fill and drain a tiny deque so indices pass the capacity.
+  for (int round = 0; round < 10; ++round) {
+    d.push_bottom(tagged(g, round % 3));
+    d.push_bottom(tagged(g, (round + 1) % 3));
+    ASSERT_TRUE(d.try_steal_top(out));
+    EXPECT_EQ(out.solution_size(), round % 3);
+    ASSERT_TRUE(d.try_pop_bottom(out));
+    EXPECT_EQ(out.solution_size(), (round + 1) % 3);
+  }
+  EXPECT_TRUE(d.empty_approx());
+  EXPECT_EQ(d.pushes(), 20u);
+  EXPECT_EQ(d.pops(), 10u);
+  EXPECT_EQ(d.steals_suffered(), 10u);
+}
+
+TEST(StealDeque, HighWaterTracksDeepestFill) {
+  CsrGraph g = graph::path(4);
+  StealDeque d(g.num_vertices(), 8);
+  DegreeArray out;
+  d.push_bottom(tagged(g, 0));
+  d.push_bottom(tagged(g, 1));
+  d.push_bottom(tagged(g, 2));
+  d.try_pop_bottom(out);
+  d.try_pop_bottom(out);
+  EXPECT_EQ(d.high_water(), 3);
+}
+
+TEST(StealDeque, FootprintMatchesPreallocation) {
+  StealDeque d(100, 7);
+  EXPECT_EQ(d.footprint_bytes(), 7ll * 100 * 4);
+}
+
+TEST(StealDequeDeathTest, OverflowAborts) {
+  CsrGraph g = graph::path(4);
+  StealDeque d(g.num_vertices(), 2);
+  d.push_bottom(tagged(g, 0));
+  d.push_bottom(tagged(g, 1));
+  EXPECT_DEATH(d.push_bottom(tagged(g, 2)), "overflow");
+}
+
+TEST(StealDeque, ConcurrentThievesDrainExactlyOnce) {
+  // One owner fills; 4 thieves steal concurrently. Every payload must be
+  // observed exactly once across all thieves.
+  CsrGraph g = graph::path(64);
+  constexpr int kItems = 48;
+  StealDeque d(g.num_vertices(), kItems);
+  for (int i = 0; i < kItems; ++i) d.push_bottom(tagged(g, i));
+
+  std::vector<std::atomic<int>> seen(kItems);
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 4; ++t) {
+    thieves.emplace_back([&] {
+      DegreeArray out;
+      while (d.try_steal_top(out))
+        seen[static_cast<std::size_t>(out.solution_size())].fetch_add(1);
+    });
+  }
+  for (auto& t : thieves) t.join();
+  for (int i = 0; i < kItems; ++i)
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(StealDeque, ConcurrentOwnerAndThiefNeverDuplicate) {
+  // Owner alternates push/pop while a thief steals; the multiset of items
+  // consumed (by either side) must equal the multiset pushed.
+  CsrGraph g = graph::path(64);
+  constexpr int kRounds = 200;
+  // Capacity covers the worst case where neither consumer keeps up.
+  StealDeque d(g.num_vertices(), kRounds);
+
+  std::atomic<int> consumed{0};
+  std::thread thief([&] {
+    DegreeArray out;
+    while (consumed.load() < kRounds) {
+      if (d.try_steal_top(out)) consumed.fetch_add(1);
+    }
+  });
+  DegreeArray out;
+  for (int i = 0; i < kRounds; ++i) {
+    d.push_bottom(tagged(g, i % 60));
+    if (i % 3 == 0 && d.try_pop_bottom(out)) consumed.fetch_add(1);
+  }
+  thief.join();
+  EXPECT_EQ(consumed.load(), kRounds);
+  EXPECT_EQ(d.pushes(), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(d.pops() + d.steals_suffered(),
+            static_cast<std::uint64_t>(kRounds));
+}
+
+}  // namespace
+}  // namespace gvc::worklist

@@ -1,0 +1,133 @@
+// gvc_solve — command-line exact vertex cover solver.
+//
+//   gvc_solve GRAPH [options]
+//
+// GRAPH is any supported format (DIMACS .col/.clq, METIS .graph, PACE .gr,
+// MatrixMarket .mtx, or a plain edge list). Options:
+//
+//   --method M           sequential|stackonly|hybrid|globalonly|workstealing
+//                        (default hybrid — the paper's contribution)
+//   --problem mvc|pvc    formulation (default mvc)
+//   --k N                PVC bound (required for --problem pvc)
+//   --branch S           maxdegree|mindegree|random|first (default maxdegree)
+//   --grid N             force the grid size (default: occupancy plan)
+//   --block-size N       force the block size in the §IV-E plan
+//   --worklist-capacity N   Hybrid/GlobalOnly queue entries (default 4096)
+//   --worklist-threshold F  Hybrid donation threshold fraction (default 0.5)
+//   --start-depth D      StackOnly sub-tree starting depth (default 6)
+//   --time-limit S       abort after S seconds (0 = none)
+//   --node-limit N       abort after N tree nodes (0 = none)
+//   --kernelize          fold degree ≤ 2 structures first (host-side
+//                        preprocessing; see src/vc/folding.hpp)
+//   --solution PATH      write the cover in PACE "s vc" format
+//   --quiet              print only the cover size
+//
+// Exit code: 0 on success (PVC: cover found), 1 for PVC "no cover ≤ k",
+// 2 when a limit fired before the search finished.
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/io.hpp"
+#include "graph/ops.hpp"
+#include "graph/stats.hpp"
+#include "parallel/solver.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "vc/folding.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+  util::Args args(argc, argv);
+
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: %s GRAPH [--method hybrid] [--problem mvc] "
+                         "...  (see the header of tools/gvc_solve.cpp)\n",
+                 args.program().c_str());
+    return 64;
+  }
+  const std::string path = args.positional()[0];
+  const bool quiet = args.get_bool("quiet", false);
+
+  graph::CsrGraph g = graph::load_graph(path);
+  if (!quiet) {
+    graph::GraphStats stats = graph::compute_stats(g);
+    std::printf("%s: %s\n", path.c_str(), stats.to_string().c_str());
+  }
+
+  const parallel::Method method =
+      parallel::parse_method(args.get("method", "hybrid"));
+
+  parallel::ParallelConfig config;
+  config.problem = util::to_lower(args.get("problem", "mvc")) == "pvc"
+                       ? vc::Problem::kPvc
+                       : vc::Problem::kMvc;
+  config.k = static_cast<int>(args.get_int("k", 0));
+  config.branch = vc::parse_branch_strategy(args.get("branch", "maxdegree"));
+  config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  config.grid_override = static_cast<int>(args.get_int("grid", 0));
+  config.block_size_override =
+      static_cast<int>(args.get_int("block-size", 0));
+  config.worklist_capacity =
+      static_cast<std::size_t>(args.get_int("worklist-capacity", 4096));
+  config.worklist_threshold_frac =
+      args.get_double("worklist-threshold", 0.5);
+  config.start_depth = static_cast<int>(args.get_int("start-depth", 6));
+  config.limits.time_limit_s = args.get_double("time-limit", 0.0);
+  config.limits.max_tree_nodes =
+      static_cast<std::uint64_t>(args.get_int("node-limit", 0));
+
+  // Optional folding preprocessing: fold to a min-degree-3 kernel, solve
+  // the kernel with the selected method, lift back.
+  vc::FoldedKernel folded;
+  const bool kernelize = args.get_bool("kernelize", false);
+  const graph::CsrGraph* work = &g;
+  if (kernelize) {
+    folded = vc::fold_reduce(g);
+    work = &folded.kernel;
+    if (!quiet)
+      std::printf("folded kernel: %d vertices, %lld edges "
+                  "(%d cover vertices resolved by folding)\n",
+                  folded.kernel.num_vertices(),
+                  static_cast<long long>(folded.kernel.num_edges()),
+                  folded.cover_offset);
+  }
+
+  parallel::ParallelResult r = parallel::solve(*work, method, config);
+
+  std::vector<graph::Vertex> cover =
+      kernelize ? folded.lift(r.cover) : r.cover;
+
+  if (config.problem == vc::Problem::kPvc && !r.found) {
+    if (quiet)
+      std::printf("no\n");
+    else
+      std::printf("no vertex cover of size <= %d exists%s\n", config.k,
+                  r.timed_out ? " (unproven: limit hit)" : "");
+    return r.timed_out ? 2 : 1;
+  }
+
+  GVC_CHECK_MSG(graph::is_vertex_cover(g, cover),
+                "internal error: produced set is not a cover");
+
+  if (quiet) {
+    std::printf("%zu\n", cover.size());
+  } else {
+    std::printf("%s cover of size %zu found by %s in %.3f s "
+                "(simulated parallel %.4f s, %llu tree nodes)%s\n",
+                config.problem == vc::Problem::kMvc ? "minimum" : "valid",
+                cover.size(), parallel::method_name(method), r.seconds,
+                r.sim_seconds,
+                static_cast<unsigned long long>(r.tree_nodes),
+                r.timed_out ? " [limit hit: optimality unproven]" : "");
+  }
+
+  if (args.has("solution")) {
+    std::ofstream out(args.get("solution"));
+    GVC_CHECK_MSG(out.good(), "cannot open solution file");
+    graph::write_pace_solution(out, g.num_vertices(), cover);
+    if (!quiet)
+      std::printf("solution written to %s\n", args.get("solution").c_str());
+  }
+  return r.timed_out ? 2 : 0;
+}
