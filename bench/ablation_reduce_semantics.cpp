@@ -1,0 +1,91 @@
+// Ablation A6 (ours): what the incremental reduction engine buys.
+//
+// The paper's Fig. 6 shows reduction-rule application dominating per-node
+// time; the classic fix is to drive the rules from a candidate queue of
+// vertices whose degree just changed instead of rescanning all |V| per
+// round. This bench runs the Sequential solver under the three semantics —
+// kSerial (Fig. 1 verbatim), kParallelSweep (the GPU sweep), kIncremental
+// (the candidate-driven fast path) — across the catalog's generator
+// families and reports wall time and tree size. kIncremental and kSerial
+// produce identical trees (same covers, same branching decisions), so the
+// node column doubles as a correctness cross-check: any divergence between
+// their tree sizes is a bug.
+//
+//   ./ablation_reduce_semantics [--scale smoke|default|large]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vc/sequential.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf(
+      "Ablation: reduction semantics (serial vs sweep vs incremental), "
+      "Sequential MVC (scale=%s)\n\n",
+      bench::scale_name(env.scale));
+
+  struct Variant {
+    const char* name;
+    vc::ReduceSemantics semantics;
+  };
+  const Variant kVariants[] = {
+      {"serial", vc::ReduceSemantics::kSerial},
+      {"sweep", vc::ReduceSemantics::kParallelSweep},
+      {"incremental", vc::ReduceSemantics::kIncremental},
+  };
+  const char* kInstances[] = {"p_hat_300_3", "p_hat_500_1", "US_power_grid",
+                              "LastFM_Asia", "Sister_Cities"};
+
+  util::Table table({"Instance", "Semantics", "time (s)", "tree nodes",
+                     "speedup vs serial"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "semantics", "seconds", "nodes", "speedup"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    double serial_seconds = 0.0;
+    std::uint64_t serial_nodes = 0;
+    for (const auto& variant : kVariants) {
+      vc::SequentialConfig config;
+      config.semantics = variant.semantics;
+      config.limits = env.runner_options.limits;
+      auto r = vc::solve_sequential(inst.graph(), config);
+      if (variant.semantics == vc::ReduceSemantics::kSerial) {
+        serial_seconds = r.seconds;
+        serial_nodes = r.tree_nodes;
+      }
+      if (variant.semantics == vc::ReduceSemantics::kIncremental &&
+          !r.timed_out && serial_nodes != 0 && r.tree_nodes != serial_nodes) {
+        std::printf("WARNING: %s: incremental tree (%llu nodes) diverged "
+                    "from serial (%llu) — semantics bug!\n",
+                    name, static_cast<unsigned long long>(r.tree_nodes),
+                    static_cast<unsigned long long>(serial_nodes));
+      }
+      std::vector<std::string> row = {
+          name, variant.name,
+          r.timed_out ? ">limit" : util::format("%.3f", r.seconds),
+          util::format("%llu", static_cast<unsigned long long>(r.tree_nodes)),
+          r.timed_out || serial_seconds <= 0.0
+              ? "-"
+              : util::format("%.2fx", serial_seconds / std::max(r.seconds, 1e-9))};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: incremental wins biggest on sparse families (US_power_grid, "
+      "Sister_Cities) where per-node degree changes are tiny relative to "
+      "|V|; identical node counts for serial and incremental are the "
+      "differential guarantee at work.\n");
+  return 0;
+}

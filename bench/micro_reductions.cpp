@@ -22,22 +22,73 @@ graph::CsrGraph bench_graph(int kind, graph::Vertex n) {
   }
 }
 
+vc::ReduceSemantics semantics_arg(std::int64_t i) {
+  switch (i) {
+    case 0: return vc::ReduceSemantics::kSerial;
+    case 1: return vc::ReduceSemantics::kParallelSweep;
+    default: return vc::ReduceSemantics::kIncremental;
+  }
+}
+
+const char* semantics_label(std::int64_t i) {
+  switch (i) {
+    case 0: return "serial";
+    case 1: return "sweep";
+    default: return "incremental";
+  }
+}
+
 void BM_Reduce_FullFixpoint(benchmark::State& state) {
   auto g = bench_graph(static_cast<int>(state.range(0)),
                        static_cast<graph::Vertex>(state.range(1)));
-  bool sweep = state.range(2) != 0;
+  auto semantics = semantics_arg(state.range(2));
   int bound = vc::greedy_mvc(g).size;
+  vc::ReduceWorkspace ws;
   for (auto _ : state) {
     vc::DegreeArray da(g);
-    auto stats = vc::reduce(g, da, vc::BudgetPolicy::mvc(bound),
-                            sweep ? vc::ReduceSemantics::kParallelSweep
-                                  : vc::ReduceSemantics::kSerial);
+    auto stats = vc::reduce(g, da, vc::BudgetPolicy::mvc(bound), semantics,
+                            {}, nullptr, &ws);
     benchmark::DoNotOptimize(stats);
   }
-  state.SetLabel(sweep ? "sweep" : "serial");
+  state.SetLabel(semantics_label(state.range(2)));
 }
 BENCHMARK(BM_Reduce_FullFixpoint)
-    ->ArgsProduct({{0, 1, 2}, {200, 800}, {0, 1}});
+    ->ArgsProduct({{0, 1, 2}, {200, 800}, {0, 1, 2}});
+
+// The solver hot path the incremental engine targets: a node that already
+// reached its reduction fixpoint branches, and the CHILD is reduced. The
+// serial variant rescans all |V| per round; the incremental variant seeds
+// from the handful of vertices the branch mutation dirtied.
+void BM_Reduce_ChildAfterBranch(benchmark::State& state) {
+  auto g = bench_graph(static_cast<int>(state.range(0)),
+                       static_cast<graph::Vertex>(state.range(1)));
+  auto semantics = semantics_arg(state.range(2));
+  int bound = vc::greedy_mvc(g).size;
+  vc::ReduceWorkspace ws;
+  // Parent at fixpoint under the measured semantics (for the incremental
+  // arm this also arms the dirty log), then the vmax branch applied — the
+  // child state to reduce.
+  vc::DegreeArray parent(g);
+  vc::reduce(g, parent, vc::BudgetPolicy::mvc(bound), semantics, {}, nullptr,
+             &ws);
+  graph::Vertex vmax = parent.max_degree_vertex();
+  if (vmax < 0 || parent.degree(vmax) < 1) {
+    state.SkipWithError("instance fully reduced before branching");
+    return;
+  }
+  vc::DegreeArray child_template = parent;
+  child_template.remove_into_solution(g, vmax);
+  vc::DegreeArray child;
+  for (auto _ : state) {
+    child = child_template;  // same copy cost in every arm
+    auto stats = vc::reduce(g, child, vc::BudgetPolicy::mvc(bound), semantics,
+                            {}, nullptr, &ws);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetLabel(semantics_label(state.range(2)));
+}
+BENCHMARK(BM_Reduce_ChildAfterBranch)
+    ->ArgsProduct({{0, 1, 2}, {800, 3200}, {0, 1, 2}});
 
 void BM_Rule_DegreeOne(benchmark::State& state) {
   auto g = graph::power_grid(static_cast<graph::Vertex>(state.range(0)), 0.3, 7);

@@ -26,6 +26,11 @@ ParallelConfig Runner::make_config(ProblemInstance problem, int k) const {
   ParallelConfig c;
   c.problem = problem == ProblemInstance::kMvc ? vc::Problem::kMvc
                                                : vc::Problem::kPvc;
+  // The reproduction harness measures the paper's semantics, not the
+  // incremental fast path the library defaults to: sweep rules for the
+  // GPU-style methods (§IV-D). run() overrides this to the textbook serial
+  // rules for the Sequential baseline (§V-A).
+  c.semantics = vc::ReduceSemantics::kParallelSweep;
   c.k = k;
   c.device = options_.device;
   c.limits = options_.limits;
@@ -69,7 +74,10 @@ ParallelResult Runner::run(const Instance& inst, Method method,
     }
     GVC_CHECK_MSG(k > 0, "PVC row requires k > 0 (instance min too small)");
   }
-  return parallel::solve(inst.graph(), method, make_config(problem, k));
+  ParallelConfig c = make_config(problem, k);
+  if (method == Method::kSequential)
+    c.semantics = vc::ReduceSemantics::kSerial;
+  return parallel::solve(inst.graph(), method, c);
 }
 
 std::string Runner::time_cell(const ParallelResult& r) {

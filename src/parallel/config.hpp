@@ -21,8 +21,12 @@ struct ParallelConfig {
   /// a scaled device (see DeviceSpec presets) so the grid fits host threads.
   device::DeviceSpec device = device::DeviceSpec::host_scaled();
 
-  /// Reduction-rule semantics; GPU kernels use the sweep semantics (§IV-D).
-  vc::ReduceSemantics semantics = vc::ReduceSemantics::kParallelSweep;
+  /// Reduction-rule semantics. kIncremental (the default) is the
+  /// candidate-driven fast path shared by every solver; the paper's GPU
+  /// kernels use the sweep semantics (§IV-D), which the reproduction
+  /// harness requests explicitly (harness::Runner pins kParallelSweep for
+  /// the parallel methods and kSerial for the Sequential baseline).
+  vc::ReduceSemantics semantics = vc::ReduceSemantics::kIncremental;
   vc::RuleSet rules = {};
   vc::Limits limits = {};
 

@@ -61,6 +61,8 @@ ParallelResult solve_global_only(const CsrGraph& g,
     std::vector<vc::DegreeArray> spill;
     vc::DegreeArray da;
     vc::DegreeArray child;
+    vc::ReduceWorkspace workspace;  // per-block reduce scratch
+    NodeBatch nodes(shared);        // batched node accounting
     bool have_node = false;
 
     for (;;) {
@@ -88,7 +90,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
       }
       have_node = false;
 
-      if (!shared.register_node()) {
+      if (!nodes.register_node()) {
         worklist.signal_stop();
         return;
       }
@@ -98,7 +100,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities());
+                 &ctx.activities(), &workspace);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

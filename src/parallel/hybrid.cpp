@@ -62,6 +62,8 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
     worklist::LocalStack stack(n, depth_bound);
     vc::DegreeArray da;
     vc::DegreeArray child;
+    vc::ReduceWorkspace workspace;  // per-block reduce scratch
+    NodeBatch nodes(shared);        // batched node accounting
     bool get_new_node = true;
 
     for (;;) {
@@ -95,7 +97,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
         }
       }
 
-      if (!shared.register_node()) {
+      if (!nodes.register_node()) {
         worklist.signal_stop();
         return;
       }
@@ -105,7 +107,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities());
+                 &ctx.activities(), &workspace);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

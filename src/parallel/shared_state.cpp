@@ -57,6 +57,29 @@ bool SharedSearch::register_node() {
   return !aborted_.load(std::memory_order_acquire);
 }
 
+bool SharedSearch::check_time_limit() {
+  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s) {
+    aborted_.store(true, std::memory_order_release);
+    return false;
+  }
+  return !aborted_.load(std::memory_order_acquire);
+}
+
+bool SharedSearch::register_nodes(std::uint64_t count) {
+  if (count == 0) return !aborted_.load(std::memory_order_acquire);
+  std::uint64_t n = nodes_.fetch_add(count, std::memory_order_relaxed) + count;
+  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes) {
+    aborted_.store(true, std::memory_order_release);
+    return false;
+  }
+  // Every bulk flush checks the clock — flushes are already amortized.
+  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s) {
+    aborted_.store(true, std::memory_order_release);
+    return false;
+  }
+  return !aborted_.load(std::memory_order_acquire);
+}
+
 vc::SolveResult SharedSearch::harvest() const {
   vc::SolveResult r;
   r.tree_nodes = nodes();

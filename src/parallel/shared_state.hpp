@@ -40,6 +40,21 @@ class SharedSearch {
   /// the node or time budget is exhausted (and latches aborted()).
   bool register_node();
 
+  /// Bulk form: accounts `count` nodes with one atomic add, applying the
+  /// same limit checks. Used by NodeBatch flushes.
+  bool register_nodes(std::uint64_t count);
+
+  /// Reads the clock and latches abort if the time budget is exhausted.
+  /// Read-mostly — touches no shared counter unless the limit fires — so
+  /// NodeBatch can call it between flushes without reintroducing the
+  /// contended increment.
+  bool check_time_limit();
+
+  /// Whether an exact node budget is active. NodeBatch falls back to
+  /// per-node accounting in that case so the limit fires at the same tree
+  /// node it always did.
+  bool node_limited() const { return limits_.max_tree_nodes != 0; }
+
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   std::uint64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
@@ -61,6 +76,59 @@ class SharedSearch {
   mutable std::mutex mutex_;
   std::vector<graph::Vertex> best_cover_;  // guarded by mutex_
   std::vector<graph::Vertex> pvc_cover_;   // guarded by mutex_
+};
+
+/// Per-block node accounting that batches the shared atomic increment: each
+/// block counts locally and flushes to SharedSearch every `flush_every`
+/// nodes (and on destruction), so the per-tree-node cost in the hot loop is
+/// a local increment plus one uncontended atomic load of the abort latch —
+/// not a contended fetch_add across the whole grid. When an exact node
+/// budget is set the batch degrades to per-node accounting so limits fire
+/// at the same node they always did. The time limit is consulted every
+/// kTimeCheckEvery local nodes (a clock read, no shared write) as well as
+/// at every flush, so slow nodes cannot starve the deadline the way
+/// flush-only checking would.
+class NodeBatch {
+ public:
+  static constexpr std::uint32_t kDefaultFlushEvery = 32;
+  static constexpr std::uint32_t kTimeCheckEvery = 8;
+
+  explicit NodeBatch(SharedSearch& shared,
+                     std::uint32_t flush_every = kDefaultFlushEvery)
+      : shared_(&shared),
+        flush_every_(flush_every == 0 ? 1 : flush_every),
+        exact_(shared.node_limited()) {}
+
+  NodeBatch(const NodeBatch&) = delete;
+  NodeBatch& operator=(const NodeBatch&) = delete;
+
+  ~NodeBatch() { flush(); }
+
+  /// Accounts one tree node. Returns false once a limit latched abort.
+  bool register_node() {
+    if (exact_) return shared_->register_node();
+    if (++pending_ >= flush_every_) {
+      pending_ = 0;
+      return shared_->register_nodes(flush_every_);
+    }
+    if (pending_ % kTimeCheckEvery == 0) return shared_->check_time_limit();
+    return !shared_->aborted();
+  }
+
+  /// Pushes any locally counted nodes to the shared counter. Called from
+  /// the destructor so SharedSearch::nodes() is exact once a block exits.
+  void flush() {
+    if (pending_ > 0) {
+      shared_->register_nodes(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  SharedSearch* shared_;
+  std::uint32_t pending_ = 0;
+  std::uint32_t flush_every_;
+  bool exact_;
 };
 
 }  // namespace gvc::parallel

@@ -44,8 +44,9 @@ ParallelResult solve(const graph::CsrGraph& g, Method method,
       vc::SequentialConfig sc;
       sc.problem = config.problem;
       sc.k = config.k;
-      // The Sequential baseline of §V-A runs the textbook serial rules.
-      sc.semantics = vc::ReduceSemantics::kSerial;
+      sc.semantics = config.semantics;
+      sc.branch = config.branch;
+      sc.branch_seed = config.branch_seed;
       sc.rules = config.rules;
       sc.limits = config.limits;
       ParallelResult r;

@@ -24,15 +24,17 @@ enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
 /// One visit of Fig. 1: reduce, stopping condition, cover check. On kBranch,
 /// vmax_out holds the branching vertex.
 NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
-                         SharedSearch& shared, device::BlockContext& ctx,
-                         vc::DegreeArray& da, Vertex& vmax_out) {
-  if (!shared.register_node()) return NodeOutcome::kAbort;
+                         SharedSearch& shared, NodeBatch& nodes,
+                         device::BlockContext& ctx, vc::DegreeArray& da,
+                         vc::ReduceWorkspace& workspace, Vertex& vmax_out) {
+  if (!nodes.register_node()) return NodeOutcome::kAbort;
   ctx.count_node();
 
   const bool mvc = config.problem == vc::Problem::kMvc;
   const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
                                       : vc::BudgetPolicy::pvc(config.k);
-  vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities());
+  vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities(),
+             &workspace);
 
   const std::int64_t s = da.solution_size();
   const std::int64_t e = da.num_edges();
@@ -97,9 +99,12 @@ ParallelResult solve_stack_only(const CsrGraph& g,
     // the branch decisions encoded in the block id (redundant across blocks
     // with a shared prefix; that redundancy is the point of the baseline).
     vc::DegreeArray da(g);
+    vc::ReduceWorkspace workspace;  // per-block reduce scratch
+    NodeBatch nodes(shared);        // batched node accounting
     Vertex vmax = -1;
     for (int level = 0; level < config.start_depth; ++level) {
-      NodeOutcome out = process_node(g, config, shared, ctx, da, vmax);
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, ctx, da, workspace, vmax);
       if (out != NodeOutcome::kBranch) return;  // sub-tree is empty
       if ((ctx.block_id() >> level) & 1) {
         ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
@@ -122,7 +127,8 @@ ParallelResult solve_stack_only(const CsrGraph& g,
       }
       if (!mvc && shared.pvc_found()) return;
 
-      NodeOutcome out = process_node(g, config, shared, ctx, da, vmax);
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, ctx, da, workspace, vmax);
       if (out == NodeOutcome::kAbort) return;
       if (out != NodeOutcome::kBranch) {
         have_node = false;

@@ -153,6 +153,8 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
     StealDeque& own = group.deque(id);
     vc::DegreeArray da;
     vc::DegreeArray child;
+    vc::ReduceWorkspace workspace;  // per-block reduce scratch
+    NodeBatch nodes(shared);        // batched node accounting
     bool get_new_node = true;
     std::uint64_t attempts = 0;
 
@@ -185,7 +187,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
         }
       }
 
-      if (!shared.register_node()) {
+      if (!nodes.register_node()) {
         group.signal_stop();
         break;
       }
@@ -195,7 +197,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities());
+                 &ctx.activities(), &workspace);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

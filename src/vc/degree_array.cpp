@@ -10,8 +10,16 @@ DegreeArray::DegreeArray(const CsrGraph& g)
     : deg_(static_cast<std::size_t>(g.num_vertices())),
       solution_size_(0),
       num_edges_(g.num_edges()) {
-  for (Vertex v = 0; v < g.num_vertices(); ++v)
-    deg_[static_cast<std::size_t>(v)] = g.degree(v);
+  std::int32_t best = -1;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::int32_t d = g.degree(v);
+    deg_[static_cast<std::size_t>(v)] = d;
+    if (d > best) {
+      best = d;
+      max_hint_ = v;
+    }
+  }
+  max_bound_ = best < 0 ? 0 : best;
 }
 
 void DegreeArray::remove_into_solution(const CsrGraph& g, Vertex v) {
@@ -19,9 +27,22 @@ void DegreeArray::remove_into_solution(const CsrGraph& g, Vertex v) {
   num_edges_ -= deg_[static_cast<std::size_t>(v)];
   deg_[static_cast<std::size_t>(v)] = kInSolution;
   ++solution_size_;
-  for (Vertex u : g.neighbors(v)) {
-    auto& d = deg_[static_cast<std::size_t>(u)];
-    if (d != kInSolution) --d;
+  if (tracking_ && !dirty_overflow_) {
+    for (Vertex u : g.neighbors(v)) {
+      auto& d = deg_[static_cast<std::size_t>(u)];
+      if (d != kInSolution) {
+        --d;
+        if (dirty_.size() >= dirty_cap_)
+          dirty_overflow_ = true;
+        else
+          dirty_.push_back(u);
+      }
+    }
+  } else {
+    for (Vertex u : g.neighbors(v)) {
+      auto& d = deg_[static_cast<std::size_t>(u)];
+      if (d != kInSolution) --d;
+    }
   }
 }
 
@@ -38,19 +59,34 @@ int DegreeArray::remove_neighbors_into_solution(const CsrGraph& g, Vertex v) {
 }
 
 Vertex DegreeArray::max_degree_vertex() const {
+  // Fast path: the hint still holds the cached maximum. Degrees never
+  // increase, so no vertex can exceed max_bound_, and every vertex with a
+  // smaller id than the hint had a smaller degree at the last scan and can
+  // only have dropped since — the hint is still the smallest-id maximum.
+  if (max_hint_ >= 0) {
+    const std::int32_t d = deg_[static_cast<std::size_t>(max_hint_)];
+    if (d != kInSolution && d == max_bound_) return max_hint_;
+  }
+  // Rescan, early-exiting as soon as the (still valid) upper bound is
+  // reached; then tighten the bound and re-arm the hint.
   Vertex arg = -1;
   std::int32_t best = -1;
-  for (Vertex v = 0; v < num_vertices(); ++v) {
-    std::int32_t d = deg_[static_cast<std::size_t>(v)];
+  const Vertex n = num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    const std::int32_t d = deg_[static_cast<std::size_t>(v)];
     if (d != kInSolution && d > best) {
       best = d;
       arg = v;
+      if (best == max_bound_) break;
     }
   }
+  max_bound_ = best < 0 ? 0 : best;
+  max_hint_ = arg;
   return arg;
 }
 
 std::int32_t DegreeArray::max_degree() const {
+  if (num_edges_ == 0) return 0;
   Vertex v = max_degree_vertex();
   return v < 0 ? 0 : degree(v);
 }
@@ -74,6 +110,7 @@ void DegreeArray::check_consistency(const CsrGraph& g) const {
   GVC_CHECK(g.num_vertices() == num_vertices());
   std::int64_t edges = 0;
   std::int32_t removed = 0;
+  std::int32_t true_max = 0;
   for (Vertex v = 0; v < num_vertices(); ++v) {
     if (!present(v)) {
       ++removed;
@@ -84,9 +121,15 @@ void DegreeArray::check_consistency(const CsrGraph& g) const {
       if (present(u)) ++expect;
     GVC_CHECK_MSG(degree(v) == expect, "degree array out of sync");
     edges += expect;
+    true_max = std::max(true_max, expect);
   }
   GVC_CHECK_MSG(removed == solution_size_, "solution counter out of sync");
   GVC_CHECK_MSG(edges / 2 == num_edges_, "edge counter out of sync");
+  GVC_CHECK_MSG(max_bound_ >= true_max, "max-degree bound out of sync");
+  if (max_hint_ >= 0)
+    GVC_CHECK_MSG(max_hint_ < num_vertices(), "max-degree hint out of range");
+  for (Vertex v : dirty_)
+    GVC_CHECK_MSG(v >= 0 && v < num_vertices(), "dirty log entry out of range");
 }
 
 }  // namespace gvc::vc

@@ -1,5 +1,7 @@
 #include "vc/reductions.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "util/check.hpp"
@@ -66,10 +68,11 @@ std::int64_t degree_one_serial(const CsrGraph& g, DegreeArray& da) {
   return removed;
 }
 
-std::int64_t degree_one_sweep(const CsrGraph& g, DegreeArray& da) {
+std::int64_t degree_one_sweep(const CsrGraph& g, DegreeArray& da,
+                              std::vector<std::int32_t>& snap) {
   std::int64_t removed = 0;
   for (;;) {
-    const std::vector<std::int32_t> snap = da.raw();
+    snap.assign(da.raw().begin(), da.raw().end());
     std::int64_t this_sweep = 0;
     for (Vertex v = 0; v < da.num_vertices(); ++v) {
       if (snap[static_cast<std::size_t>(v)] != 1) continue;
@@ -108,10 +111,11 @@ std::int64_t degree_two_serial(const CsrGraph& g, DegreeArray& da) {
   return removed;
 }
 
-std::int64_t degree_two_sweep(const CsrGraph& g, DegreeArray& da) {
+std::int64_t degree_two_sweep(const CsrGraph& g, DegreeArray& da,
+                              std::vector<std::int32_t>& snap) {
   std::int64_t removed = 0;
   for (;;) {
-    const std::vector<std::int32_t> snap = da.raw();
+    snap.assign(da.raw().begin(), da.raw().end());
     std::int64_t this_sweep = 0;
     for (Vertex v = 0; v < da.num_vertices(); ++v) {
       if (!sweep_triangle_qualifies(g, da, snap, v)) continue;
@@ -151,13 +155,14 @@ std::int64_t high_degree_serial(const CsrGraph& g, DegreeArray& da,
 }
 
 std::int64_t high_degree_sweep(const CsrGraph& g, DegreeArray& da,
-                               const BudgetPolicy& policy) {
+                               const BudgetPolicy& policy,
+                               std::vector<std::int32_t>& snap) {
   std::int64_t removed = 0;
   for (;;) {
     std::int64_t budget = policy.budget(da.solution_size());
     if (budget == std::numeric_limits<std::int64_t>::max()) break;
     if (budget < 0) break;
-    const std::vector<std::int32_t> snap = da.raw();
+    snap.assign(da.raw().begin(), da.raw().end());
     std::int64_t this_sweep = 0;
     for (Vertex v = 0; v < da.num_vertices(); ++v) {
       std::int32_t d = snap[static_cast<std::size_t>(v)];
@@ -174,11 +179,241 @@ std::int64_t high_degree_sweep(const CsrGraph& g, DegreeArray& da,
   return removed;
 }
 
+// --- incremental engine -----------------------------------------------------
+
+/// Runs one rule to its fixpoint over the candidate worklist, reproducing
+/// kSerial's repeated ascending-id scans without touching unchanged
+/// vertices. `cursor` is this rule's consumption point in the degree
+/// array's dirty log: entries at or past it have not yet been considered by
+/// this rule. `try_apply(v)` checks live qualification and applies the rule
+/// at v, returning the number of removals (0 if v does not qualify); every
+/// removal appends the decremented vertices to the dirty log, which this
+/// loop drains — ids greater than the current position join the current
+/// pass (kSerial's scan would still reach them), the rest wait for the next
+/// pass.
+///
+/// Two filters keep the worklist tiny without breaking the serial
+/// equivalence:
+///   * Trigger-degree filter: both candidate-driven rules fire only at an
+///     exact degree (1, or 2), degrees only ever decrease, and every
+///     decrement logs a fresh entry — so an entry whose CURRENT degree is
+///     not the trigger can never qualify before some later entry
+///     re-enqueues it, and is dropped.
+///   * Pending stamp: within-pass processing is globally ascending (heap
+///     pops ascend and same-pass insertions are greater than the current
+///     position), so a vertex already pending in the heap or the next-pass
+///     list gains nothing from a duplicate entry — qualification is checked
+///     live at pop.
+/// When `seed_scan` is set the worklist is instead seeded with one linear
+/// scan for vertices at the trigger degree (the one full scan the first
+/// reduction of a node lineage pays), and the cursor skips the log.
+template <typename TryApply>
+std::int64_t run_incremental_rule(DegreeArray& da, ReduceWorkspace& ws,
+                                  std::size_t& cursor, bool seed_scan,
+                                  std::int32_t trigger_degree,
+                                  TryApply&& try_apply) {
+  const std::vector<Vertex>& log = da.dirty();  // stable object; may regrow
+  const std::vector<std::int32_t>& deg = da.raw();
+  auto& heap = ws.heap;
+  auto& next = ws.next;
+  auto& pending = ws.pending;
+  heap.clear();
+  next.clear();
+  if (pending.size() < deg.size()) pending.assign(deg.size(), 0);
+  const auto by_min = std::greater<Vertex>();
+  auto push = [&](Vertex v) {
+    heap.push_back(v);
+    std::push_heap(heap.begin(), heap.end(), by_min);
+  };
+  // pos == -1 routes everything into the current (first) pass: entries that
+  // predate the rule invocation are all visible to its first serial scan.
+  auto enqueue = [&](Vertex w, Vertex pos) {
+    if (deg[static_cast<std::size_t>(w)] != trigger_degree) return;
+    auto& mark = pending[static_cast<std::size_t>(w)];
+    if (mark) return;
+    mark = 1;
+    if (w > pos)
+      push(w);  // the serial scan of this pass would still reach w
+    else
+      next.push_back(w);
+  };
+
+  if (seed_scan) {
+    cursor = log.size();
+    const Vertex n = da.num_vertices();
+    for (Vertex v = 0; v < n; ++v) {
+      if (deg[static_cast<std::size_t>(v)] == trigger_degree) {
+        pending[static_cast<std::size_t>(v)] = 1;
+        heap.push_back(v);  // ascending ids: already a valid min-heap
+      }
+    }
+  } else {
+    for (; cursor < log.size(); ++cursor) enqueue(log[cursor], -1);
+  }
+
+  std::int64_t removed = 0;
+  for (;;) {
+    if (heap.empty()) {
+      if (next.empty()) break;
+      for (Vertex v : next) push(v);  // start the next pass
+      next.clear();
+    }
+    std::pop_heap(heap.begin(), heap.end(), by_min);
+    const Vertex v = heap.back();
+    heap.pop_back();
+    pending[static_cast<std::size_t>(v)] = 0;
+    const std::int64_t n = try_apply(v);
+    if (n == 0) continue;
+    removed += n;
+    for (; cursor < log.size(); ++cursor) enqueue(log[cursor], v);
+  }
+  return removed;
+}
+
+std::int64_t degree_one_incremental(const CsrGraph& g, DegreeArray& da,
+                                    ReduceWorkspace& ws, std::size_t& cursor,
+                                    bool seed_scan) {
+  return run_incremental_rule(
+      da, ws, cursor, seed_scan, 1, [&](Vertex v) -> std::int64_t {
+        if (!da.present(v) || da.degree(v) != 1) return 0;
+        Vertex u = unique_present_neighbor(g, da, nullptr, v);
+        da.remove_into_solution(g, u);
+        return 1;
+      });
+}
+
+std::int64_t degree_two_incremental(const CsrGraph& g, DegreeArray& da,
+                                    ReduceWorkspace& ws, std::size_t& cursor,
+                                    bool seed_scan) {
+  return run_incremental_rule(
+      da, ws, cursor, seed_scan, 2, [&](Vertex v) -> std::int64_t {
+        if (!da.present(v) || da.degree(v) != 2) return 0;
+        Vertex a = -1, b = -1;
+        if (!two_present_neighbors(g, da, nullptr, v, a, b)) return 0;
+        if (!g.has_edge(a, b)) return 0;
+        da.remove_into_solution(g, a);
+        da.remove_into_solution(g, b);
+        return 2;
+      });
+}
+
+/// The high-degree rule is budget-driven, not degree-change-driven (every
+/// removal anywhere tightens the budget), so instead of candidates it uses
+/// the degree array's cached max-degree bound as an O(1) "cannot fire" gate
+/// and falls back to the exact serial pass only when some vertex actually
+/// exceeds the budget. The serial pass removes at least one vertex whenever
+/// it runs, so its scan cost is always matched by real work.
+std::int64_t high_degree_incremental(const CsrGraph& g, DegreeArray& da,
+                                     const BudgetPolicy& policy) {
+  const std::int64_t budget = policy.budget(da.solution_size());
+  if (budget == std::numeric_limits<std::int64_t>::max()) return 0;
+  if (budget < 0) return 0;  // node is prunable; stop reducing
+  if (da.max_degree_bound() <= budget) return 0;   // O(1): no vertex can exceed
+  if (da.max_degree() <= budget) return 0;         // one scan, tightens the bound
+  return high_degree_serial(g, da, policy);
+}
+
 template <typename Fn>
 auto timed(util::ActivityAccumulator* acc, util::Activity a, Fn&& fn) {
   if (!acc) return fn();
   util::ActivityScope scope(*acc, a);
   return fn();
+}
+
+ReduceStats reduce_incremental(const CsrGraph& g, DegreeArray& da,
+                               const BudgetPolicy& policy, const RuleSet& rules,
+                               util::ActivityAccumulator* acc,
+                               ReduceWorkspace& ws) {
+  constexpr std::uint8_t kDegreeOneBit = 1;
+  constexpr std::uint8_t kDegreeTwoBit = 2;
+
+  ReduceStats stats;
+  // A rule may trust the dirty log only if its own fixpoint was part of the
+  // lineage's previous reduction (its fixpoint-mask bit is set) AND the log
+  // has captured every change since (no overflow). Otherwise — first
+  // reduction of the lineage, the rule was disabled last time, or a branch
+  // dirtied more than the log carries — it pays one linear seed scan, which
+  // is a superset of any log seeding and therefore just as exact.
+  if (!da.tracking()) da.enable_tracking();
+  if (da.dirty_overflowed()) {
+    da.clear_dirty();
+    da.set_reduce_fixpoint_mask(0);
+  }
+  const std::uint8_t mask = da.reduce_fixpoint_mask();
+  // The engine consumes the log promptly; only inter-reduction mutations
+  // (branch decisions) are subject to the cap.
+  da.suspend_dirty_cap();
+  std::size_t cursor_deg1 = 0;
+  std::size_t cursor_deg2 = 0;
+  bool seeded_deg1 = (mask & kDegreeOneBit) != 0;
+  bool seeded_deg2 = (mask & kDegreeTwoBit) != 0;
+  std::int64_t round_removed;
+  do {
+    round_removed = 0;
+    if (rules.degree_one) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeOneRule, [&] {
+        return degree_one_incremental(g, da, ws, cursor_deg1, !seeded_deg1);
+      });
+      seeded_deg1 = true;
+      stats.degree_one_removed += n;
+      round_removed += n;
+    }
+    if (rules.degree_two_triangle) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeTwoTriangleRule, [&] {
+        return degree_two_incremental(g, da, ws, cursor_deg2, !seeded_deg2);
+      });
+      seeded_deg2 = true;
+      stats.degree_two_removed += n;
+      round_removed += n;
+    }
+    if (rules.high_degree) {
+      std::int64_t n = timed(acc, util::Activity::kHighDegreeRule, [&] {
+        return high_degree_incremental(g, da, policy);
+      });
+      stats.high_degree_removed += n;
+      round_removed += n;
+    }
+    ++stats.rounds;
+  } while (round_removed > 0);
+  // Fixpoint reached: nothing the enabled rules recognize qualifies
+  // anywhere. Reset the log so the caller's branch mutations accumulate the
+  // children's candidate seeds (bounded again by the cap), and record which
+  // rules this fixpoint covers — a rule enabled later must re-seed.
+  da.clear_dirty();
+  da.restore_dirty_cap();
+  da.set_reduce_fixpoint_mask(
+      static_cast<std::uint8_t>((rules.degree_one ? kDegreeOneBit : 0) |
+                                (rules.degree_two_triangle ? kDegreeTwoBit : 0)));
+  return stats;
+}
+
+/// Standalone incremental rule call: no prior fixpoint to lean on, so seed
+/// with a full scan, run to fixpoint, and restore the array's tracking
+/// state (a previously untracked array stays untracked; a tracked one keeps
+/// the entries our removals appended — the owning engine treats them as
+/// candidates, which is merely conservative).
+template <typename RunRule>
+std::int64_t standalone_incremental(DegreeArray& da, ReduceWorkspace* ws,
+                                    RunRule&& run) {
+  ReduceWorkspace local;
+  ReduceWorkspace& w = ws ? *ws : local;
+  const bool was_tracking = da.tracking();
+  da.enable_tracking();
+  // A latched overflow would silence the logging this rule's own cascade
+  // feed depends on. Discard the (already incomplete) log and the fixpoint
+  // mask, exactly as reduce_incremental does — the owning engine re-seeds.
+  if (da.dirty_overflowed()) {
+    da.clear_dirty();
+    da.set_reduce_fixpoint_mask(0);
+  }
+  da.suspend_dirty_cap();
+  std::size_t cursor = da.dirty().size();
+  std::int64_t removed = run(w, cursor);
+  if (!was_tracking)
+    da.disable_tracking();
+  else
+    da.restore_dirty_cap();
+  return removed;
 }
 
 }  // namespace
@@ -191,23 +426,59 @@ void ReduceStats::merge(const ReduceStats& o) {
 }
 
 std::int64_t apply_degree_one(const CsrGraph& g, DegreeArray& da,
-                              ReduceSemantics semantics) {
-  return semantics == ReduceSemantics::kSerial ? degree_one_serial(g, da)
-                                               : degree_one_sweep(g, da);
+                              ReduceSemantics semantics, ReduceWorkspace* ws) {
+  switch (semantics) {
+    case ReduceSemantics::kSerial:
+      return degree_one_serial(g, da);
+    case ReduceSemantics::kParallelSweep: {
+      ReduceWorkspace local;
+      return degree_one_sweep(g, da, ws ? ws->snapshot : local.snapshot);
+    }
+    case ReduceSemantics::kIncremental:
+      return standalone_incremental(da, ws, [&](ReduceWorkspace& w,
+                                                std::size_t& cursor) {
+        return degree_one_incremental(g, da, w, cursor, /*seed_scan=*/true);
+      });
+  }
+  GVC_CHECK(false);
+  return 0;
 }
 
 std::int64_t apply_degree_two_triangle(const CsrGraph& g, DegreeArray& da,
-                                       ReduceSemantics semantics) {
-  return semantics == ReduceSemantics::kSerial ? degree_two_serial(g, da)
-                                               : degree_two_sweep(g, da);
+                                       ReduceSemantics semantics,
+                                       ReduceWorkspace* ws) {
+  switch (semantics) {
+    case ReduceSemantics::kSerial:
+      return degree_two_serial(g, da);
+    case ReduceSemantics::kParallelSweep: {
+      ReduceWorkspace local;
+      return degree_two_sweep(g, da, ws ? ws->snapshot : local.snapshot);
+    }
+    case ReduceSemantics::kIncremental:
+      return standalone_incremental(da, ws, [&](ReduceWorkspace& w,
+                                                std::size_t& cursor) {
+        return degree_two_incremental(g, da, w, cursor, /*seed_scan=*/true);
+      });
+  }
+  GVC_CHECK(false);
+  return 0;
 }
 
 std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
                                const BudgetPolicy& policy,
-                               ReduceSemantics semantics) {
-  return semantics == ReduceSemantics::kSerial
-             ? high_degree_serial(g, da, policy)
-             : high_degree_sweep(g, da, policy);
+                               ReduceSemantics semantics, ReduceWorkspace* ws) {
+  switch (semantics) {
+    case ReduceSemantics::kSerial:
+      return high_degree_serial(g, da, policy);
+    case ReduceSemantics::kParallelSweep: {
+      ReduceWorkspace local;
+      return high_degree_sweep(g, da, policy, ws ? ws->snapshot : local.snapshot);
+    }
+    case ReduceSemantics::kIncremental:
+      return high_degree_incremental(g, da, policy);
+  }
+  GVC_CHECK(false);
+  return 0;
 }
 
 std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da) {
@@ -248,28 +519,35 @@ std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da) {
 
 ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
                    const BudgetPolicy& policy, ReduceSemantics semantics,
-                   const RuleSet& rules, util::ActivityAccumulator* acc) {
+                   const RuleSet& rules, util::ActivityAccumulator* acc,
+                   ReduceWorkspace* ws) {
+  ReduceWorkspace local;
+  ReduceWorkspace& w = ws ? *ws : local;
+
+  if (semantics == ReduceSemantics::kIncremental)
+    return reduce_incremental(g, da, policy, rules, acc, w);
+
   ReduceStats stats;
   std::int64_t round_removed;
   do {
     round_removed = 0;
     if (rules.degree_one) {
       std::int64_t n = timed(acc, util::Activity::kDegreeOneRule, [&] {
-        return apply_degree_one(g, da, semantics);
+        return apply_degree_one(g, da, semantics, &w);
       });
       stats.degree_one_removed += n;
       round_removed += n;
     }
     if (rules.degree_two_triangle) {
       std::int64_t n = timed(acc, util::Activity::kDegreeTwoTriangleRule, [&] {
-        return apply_degree_two_triangle(g, da, semantics);
+        return apply_degree_two_triangle(g, da, semantics, &w);
       });
       stats.degree_two_removed += n;
       round_removed += n;
     }
     if (rules.high_degree) {
       std::int64_t n = timed(acc, util::Activity::kHighDegreeRule, [&] {
-        return apply_high_degree(g, da, policy, semantics);
+        return apply_high_degree(g, da, policy, semantics, &w);
       });
       stats.high_degree_removed += n;
       round_removed += n;

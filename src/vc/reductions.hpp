@@ -1,9 +1,10 @@
 #pragma once
 
-// The three reduction rules of §II-B / §IV-D, in two semantic variants:
+// The three reduction rules of §II-B / §IV-D, in three semantic variants:
 //
 //  * kSerial        — the textbook rules of Fig. 1: find one applicable
-//                     vertex, apply, repeat. Used by the Sequential solver.
+//                     vertex, apply, repeat. The paper-faithful Sequential
+//                     baseline.
 //  * kParallelSweep — the GPU semantics of §IV-D: every rule is applied as
 //                     a sweep over a degree snapshot, with all applicable
 //                     vertices handled "simultaneously" and the paper's
@@ -11,15 +12,41 @@
 //                     (adjacent degree-one pairs; shared triangles). A CUDA
 //                     block executing the rule with one thread per vertex
 //                     produces the same state transitions.
+//  * kIncremental   — the candidate-driven fast path (not in the paper):
+//                     rules pop vertices from worklists seeded once from the
+//                     node's initial state and thereafter fed only by the
+//                     degree-array dirty log, so per-node rule work is
+//                     O(vertices whose degree changed) instead of
+//                     O(|V| · rounds). Candidates are processed in the same
+//                     ascending-id pass order as kSerial, which makes the
+//                     variant produce BIT-IDENTICAL covers and removal
+//                     counts to kSerial — differential tests rely on this.
+//                     The high-degree rule is gated by the degree array's
+//                     O(1) max-degree bound and falls back to the serial
+//                     pass only when it can actually fire.
 //
-// Both variants preserve at least one optimal solution in the subtree
+// All variants preserve at least one optimal solution in the subtree
 // (soundness is property-tested against the brute-force oracle). The
 // high-degree sweep is sound because the budget tightens by exactly the
 // number of vertices removed while any vertex's degree drops by at most
 // that number, so snapshot-qualifying vertices still qualify at removal.
+//
+// Incremental-equivalence argument (why kIncremental == kSerial): kSerial
+// applies each rule as repeated ascending-id scans until a full scan changes
+// nothing. A vertex's qualification for the degree-one and degree-two rules
+// changes only when its own degree changes, so after a rule reaches fixpoint
+// the only vertices that can qualify again are those whose degree dropped
+// since — exactly the dirty log. Within a pass, an application at position v
+// makes the change visible to later positions of the same scan; the engine
+// reproduces this by routing freshly dirtied vertices with id > v into the
+// current pass (a min-id heap) and the rest into the next pass. Search-tree
+// children inherit the parent's fixpoint plus the branch mutations, whose
+// dirtied vertices travel inside the copied degree array — so a child's
+// reduction seeds from O(changed) candidates, not a fresh |V| scan.
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "util/timer.hpp"
 #include "vc/degree_array.hpp"
@@ -52,7 +79,24 @@ class BudgetPolicy {
   std::int64_t offset_;  // -1 for MVC, 0 for PVC
 };
 
-enum class ReduceSemantics { kSerial, kParallelSweep };
+enum class ReduceSemantics { kSerial, kParallelSweep, kIncremental };
+
+/// Reusable per-thread scratch space for reduce(). Solvers allocate one per
+/// thread block and pass it to every reduce() call so the hot path performs
+/// no heap allocation once the buffers are warm:
+///   * `snapshot` replaces the per-sweep copy of the whole degree array that
+///     kParallelSweep used to allocate fresh each sweep;
+///   * `heap` / `next` / `pending` are the incremental engine's current-pass
+///     min-id heap, next-pass candidate list, and per-vertex
+///     already-enqueued stamps.
+/// Passing nullptr everywhere still works (a function-local workspace is
+/// used), it just re-pays the allocations.
+struct ReduceWorkspace {
+  std::vector<std::int32_t> snapshot;
+  std::vector<Vertex> heap;
+  std::vector<Vertex> next;
+  std::vector<std::uint8_t> pending;
+};
 
 /// Counters for analysis benches (how much work each rule does).
 struct ReduceStats {
@@ -76,22 +120,36 @@ struct RuleSet {
 
 /// Applies the enabled rules to (g, da) until a full round changes nothing
 /// (the do-while of Fig. 1 lines 14-30). If `acc` is non-null, time spent in
-/// each rule is charged to the matching Fig. 6 activity.
+/// each rule is charged to the matching Fig. 6 activity. If `ws` is non-null
+/// its buffers are reused instead of allocating scratch per call.
+///
+/// kIncremental contract: the first kIncremental reduction of a node lineage
+/// enables dirty tracking on `da` and seeds the rule worklists with one full
+/// scan; it leaves tracking on with an empty log, so the branch mutations
+/// the caller performs next accumulate the (small) candidate seed for the
+/// children's reductions. Callers need not do anything special — the state
+/// travels inside the DegreeArray copies.
 ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
                    const BudgetPolicy& policy, ReduceSemantics semantics,
                    const RuleSet& rules = {},
-                   util::ActivityAccumulator* acc = nullptr);
+                   util::ActivityAccumulator* acc = nullptr,
+                   ReduceWorkspace* ws = nullptr);
 
 // Individual rules, each applied to its own fixpoint; exposed for unit
-// testing. Each returns the number of vertices moved into S.
+// testing. Each returns the number of vertices moved into S. Under
+// kIncremental a standalone call seeds from every present vertex (there is
+// no prior fixpoint to lean on) and restores the array's tracking state.
 
 std::int64_t apply_degree_one(const CsrGraph& g, DegreeArray& da,
-                              ReduceSemantics semantics);
+                              ReduceSemantics semantics,
+                              ReduceWorkspace* ws = nullptr);
 std::int64_t apply_degree_two_triangle(const CsrGraph& g, DegreeArray& da,
-                                       ReduceSemantics semantics);
+                                       ReduceSemantics semantics,
+                                       ReduceWorkspace* ws = nullptr);
 std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
                                const BudgetPolicy& policy,
-                               ReduceSemantics semantics);
+                               ReduceSemantics semantics,
+                               ReduceWorkspace* ws = nullptr);
 
 /// Extension (not part of the paper's kernels, kept out of RuleSet so the
 /// reproduction stays faithful): the domination rule. If an edge {u,v} has

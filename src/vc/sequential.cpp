@@ -42,6 +42,10 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) 
   std::vector<DegreeArray> stack;
   stack.emplace_back(g);
 
+  // One workspace for the whole search: reduce() reuses its buffers instead
+  // of allocating scratch per tree node.
+  ReduceWorkspace workspace;
+
   while (!stack.empty()) {
     if ((config.limits.max_tree_nodes != 0 &&
          result.tree_nodes >= config.limits.max_tree_nodes) ||
@@ -56,7 +60,7 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) 
 
     const BudgetPolicy policy =
         mvc ? BudgetPolicy::mvc(best) : BudgetPolicy::pvc(k);
-    reduce(g, da, policy, config.semantics, config.rules);
+    reduce(g, da, policy, config.semantics, config.rules, nullptr, &workspace);
 
     const std::int64_t s = da.solution_size();
     // Stopping condition (Fig. 1 line 5; §II-B PVC variant).

@@ -117,6 +117,84 @@ TEST(SharedSearch, NodeCountAccumulatesAcrossThreads) {
   EXPECT_FALSE(s.aborted());
 }
 
+TEST(NodeBatch, FlushesEveryNAndOnDestruction) {
+  auto g = graph::complete(4);
+  SharedSearch s = make_mvc(g);
+  {
+    NodeBatch batch(s, /*flush_every=*/8);
+    for (int i = 0; i < 20; ++i) EXPECT_TRUE(batch.register_node());
+    EXPECT_EQ(s.nodes(), 16u);  // two full flushes; 4 still local
+  }
+  EXPECT_EQ(s.nodes(), 20u);  // destructor flushed the remainder
+}
+
+TEST(NodeBatch, ExactWhenNodeBudgetSet) {
+  auto g = graph::complete(4);
+  vc::Limits limits;
+  limits.max_tree_nodes = 3;
+  SharedSearch s = make_mvc(g, limits);
+  NodeBatch batch(s);
+  EXPECT_TRUE(batch.register_node());
+  EXPECT_TRUE(batch.register_node());
+  EXPECT_TRUE(batch.register_node());
+  EXPECT_FALSE(batch.register_node());  // 4th exceeds, same node as unbatched
+  EXPECT_TRUE(s.aborted());
+  EXPECT_EQ(s.nodes(), 4u);
+}
+
+TEST(NodeBatch, TimeLimitFiresBetweenFlushes) {
+  auto g = graph::complete(4);
+  vc::Limits limits;
+  limits.time_limit_s = 1e-9;  // already expired; no node budget set
+  SharedSearch s = make_mvc(g, limits);
+  NodeBatch batch(s, /*flush_every=*/1u << 20);  // flushes effectively never
+  // The periodic clock check must latch abort well before a flush.
+  bool aborted = false;
+  for (std::uint32_t i = 0; i < 2 * NodeBatch::kTimeCheckEvery; ++i)
+    if (!batch.register_node()) {
+      aborted = true;
+      break;
+    }
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(s.aborted());
+}
+
+TEST(NodeBatch, SeesAbortLatchedElsewhere) {
+  auto g = graph::complete(4);
+  vc::Limits limits;
+  limits.max_tree_nodes = 5;
+  SharedSearch s = make_mvc(g, limits);
+  for (int i = 0; i < 6; ++i) s.register_node();  // latches abort
+  ASSERT_TRUE(s.aborted());
+  SharedSearch s2 = make_mvc(g);  // unlimited: batch path
+  NodeBatch batch(s2, 64);
+  EXPECT_TRUE(batch.register_node());  // local count, not aborted
+}
+
+TEST(NodeBatch, CountsExactlyAcrossThreads) {
+  auto g = graph::complete(4);
+  SharedSearch s = make_mvc(g);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      NodeBatch batch(s);  // per-thread, like per-block in the solvers
+      for (int i = 0; i < 997; ++i) batch.register_node();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(s.nodes(), 4u * 997u);  // destructor flushes make totals exact
+  EXPECT_FALSE(s.aborted());
+}
+
+TEST(SharedSearch, RegisterNodesBulkRespectsNodeLimit) {
+  auto g = graph::complete(4);
+  vc::Limits limits;
+  limits.max_tree_nodes = 10;
+  SharedSearch s = make_mvc(g, limits);
+  EXPECT_TRUE(s.register_nodes(10));
+  EXPECT_FALSE(s.register_nodes(1));
+  EXPECT_TRUE(s.aborted());
+}
+
 TEST(SharedSearchDeathTest, RejectsInconsistentInitialCover) {
   EXPECT_DEATH(SharedSearch(vc::Problem::kMvc, 0, 3, {0, 1}, {}),
                "GVC_CHECK");

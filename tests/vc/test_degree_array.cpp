@@ -128,6 +128,98 @@ TEST(DegreeArray, RandomRemovalSequenceStaysConsistent) {
   }
 }
 
+TEST(DegreeArrayMaxCache, MatchesBruteForceUnderRandomRemovals) {
+  util::Pcg32 rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    CsrGraph g = graph::gnp(35, 0.15, trial + 1);
+    DegreeArray da(g);
+    while (true) {
+      // Brute-force reference: smallest-id present vertex of max degree.
+      Vertex ref = -1;
+      std::int32_t ref_deg = -1;
+      for (Vertex v = 0; v < da.num_vertices(); ++v) {
+        if (!da.present(v)) continue;
+        if (da.degree(v) > ref_deg) {
+          ref_deg = da.degree(v);
+          ref = v;
+        }
+      }
+      EXPECT_EQ(da.max_degree_vertex(), ref);
+      EXPECT_EQ(da.max_degree(), da.num_edges() == 0 ? 0 : ref_deg);
+      EXPECT_GE(da.max_degree_bound(), ref < 0 ? 0 : ref_deg);
+      da.check_consistency(g);
+      if (ref < 0 || ref_deg == 0) break;
+      if (rng.chance(0.5))
+        da.remove_into_solution(g, ref);
+      else
+        da.remove_neighbors_into_solution(g, ref);
+    }
+  }
+}
+
+TEST(DegreeArrayMaxCache, BoundSurvivesCopies) {
+  CsrGraph g = graph::star(8);
+  DegreeArray a(g);
+  EXPECT_EQ(a.max_degree(), 7);
+  DegreeArray b = a;
+  b.remove_into_solution(g, 0);  // hub gone: leaves drop to degree 0
+  EXPECT_EQ(b.max_degree(), 0);
+  EXPECT_EQ(a.max_degree(), 7);  // the original's cache is untouched
+  a.check_consistency(g);
+  b.check_consistency(g);
+}
+
+TEST(DegreeArrayTracking, LogsEveryDecrementedVertex) {
+  CsrGraph g = from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  DegreeArray da(g);
+  da.enable_tracking();
+  da.remove_into_solution(g, 0);
+  // All three neighbors of 0 were present and lost a degree.
+  EXPECT_EQ(da.dirty(), (std::vector<Vertex>{1, 2, 3}));
+  da.clear_dirty();
+  da.remove_into_solution(g, 1);
+  EXPECT_EQ(da.dirty(), (std::vector<Vertex>{2}));  // 0 is already gone
+  da.check_consistency(g);
+}
+
+TEST(DegreeArrayTracking, OffByDefaultAndDisableClears) {
+  CsrGraph g = graph::cycle(5);
+  DegreeArray da(g);
+  EXPECT_FALSE(da.tracking());
+  da.remove_into_solution(g, 0);
+  EXPECT_TRUE(da.dirty().empty());
+  da.enable_tracking();
+  da.remove_into_solution(g, 2);
+  EXPECT_FALSE(da.dirty().empty());
+  da.disable_tracking();
+  EXPECT_TRUE(da.dirty().empty());
+  da.mark_dirty(3);  // no-op while tracking is off
+  EXPECT_TRUE(da.dirty().empty());
+}
+
+TEST(DegreeArrayTracking, LogTravelsWithCopies) {
+  CsrGraph g = graph::path(4);
+  DegreeArray da(g);
+  da.enable_tracking();
+  da.remove_into_solution(g, 1);
+  DegreeArray child = da;
+  EXPECT_TRUE(child.tracking());
+  EXPECT_EQ(child.dirty(), da.dirty());
+  child.remove_into_solution(g, 2);
+  EXPECT_GT(child.dirty().size(), da.dirty().size());
+}
+
+TEST(DegreeArrayTracking, EqualityIgnoresLogAndCaches) {
+  CsrGraph g = graph::cycle(6);
+  DegreeArray a(g);
+  DegreeArray b(g);
+  b.enable_tracking();
+  a.remove_into_solution(g, 3);
+  b.remove_into_solution(g, 3);
+  b.max_degree_vertex();  // tighten b's cache
+  EXPECT_EQ(a, b);  // same logical state despite dirty log / cache deltas
+}
+
 TEST(DegreeArrayDeathTest, ConsistencyCheckCatchesTampering) {
   CsrGraph g = graph::complete(3);
   DegreeArray da(g);

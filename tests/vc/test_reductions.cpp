@@ -15,13 +15,19 @@ using graph::from_edges;
 class ReductionSemanticsTest
     : public ::testing::TestWithParam<ReduceSemantics> {};
 
-INSTANTIATE_TEST_SUITE_P(BothSemantics, ReductionSemanticsTest,
+INSTANTIATE_TEST_SUITE_P(AllSemantics, ReductionSemanticsTest,
                          ::testing::Values(ReduceSemantics::kSerial,
-                                           ReduceSemantics::kParallelSweep),
+                                           ReduceSemantics::kParallelSweep,
+                                           ReduceSemantics::kIncremental),
                          [](const auto& info) {
-                           return info.param == ReduceSemantics::kSerial
-                                      ? "Serial"
-                                      : "ParallelSweep";
+                           switch (info.param) {
+                             case ReduceSemantics::kSerial: return "Serial";
+                             case ReduceSemantics::kParallelSweep:
+                               return "ParallelSweep";
+                             case ReduceSemantics::kIncremental:
+                               return "Incremental";
+                           }
+                           return "?";
                          });
 
 TEST_P(ReductionSemanticsTest, DegreeOneRemovesNeighborOfLeaf) {
