@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include "graph/ops.hpp"
+#include "service/graph_hash.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -20,7 +21,12 @@ const char* problem_instance_name(ProblemInstance p) {
   return "?";
 }
 
-Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
+  // One entry per catalog instance is plenty; a shared cache keeps its own
+  // (typically larger) capacity.
+  cache_ = options_.cache ? options_.cache
+                          : std::make_shared<service::ResultCache>(64);
+}
 
 ParallelConfig Runner::make_config(ProblemInstance problem, int k) const {
   ParallelConfig c;
@@ -41,8 +47,8 @@ ParallelConfig Runner::make_config(ProblemInstance problem, int k) const {
 }
 
 int Runner::min_cover(const Instance& inst) {
-  auto it = min_cache_.find(inst.name());
-  if (it != min_cache_.end()) return it->second;
+  if (auto memo = min_memo_.find(inst.name()); memo != min_memo_.end())
+    return memo->second;
 
   // Hybrid is the fastest implementation on hard instances; run it without
   // the cell budget (min must be exact) but with a generous safety net —
@@ -53,11 +59,24 @@ int Runner::min_cover(const Instance& inst) {
   c.limits = {};
   if (options_.limits.time_limit_s > 0)
     c.limits.time_limit_s = options_.limits.time_limit_s * 20;
-  ParallelResult r = parallel::solve(inst.graph(), Method::kHybrid, c);
-  GVC_CHECK_MSG(!r.timed_out, "min-cover solve hit the safety net");
+
+  // Memoized through the canonical-hash cache: a SolveService sharing this
+  // cache serves the identical submission without re-solving, and an
+  // earlier service/harness solve of this instance is reused here. A
+  // timed-out record is never trusted as a minimum — the cache refuses
+  // them at admission, but guard here too in case an entry predates that
+  // policy.
+  const service::CacheKey key =
+      service::make_cache_key(inst.graph(), Method::kHybrid, c);
+  ParallelResult r;
+  if (!cache_->lookup(key, &r) || r.timed_out) {
+    r = parallel::solve(inst.graph(), Method::kHybrid, c);
+    GVC_CHECK_MSG(!r.timed_out, "min-cover solve hit the safety net");
+    cache_->insert(key, r);
+  }
   GVC_CHECK_MSG(graph::is_vertex_cover(inst.graph(), r.cover),
                 "min-cover solve produced an invalid cover");
-  min_cache_[inst.name()] = r.best_size;
+  min_memo_[inst.name()] = r.best_size;
   return r.best_size;
 }
 

@@ -3,15 +3,59 @@
 // Configuration and result types shared by the two GPU-style solvers.
 
 #include <cstdint>
+#include <vector>
 
 #include "device/device_spec.hpp"
 #include "device/occupancy.hpp"
 #include "device/virtual_device.hpp"
 #include "vc/branching.hpp"
+#include "vc/reductions.hpp"
 #include "vc/solve_types.hpp"
 #include "worklist/global_worklist.hpp"
 
 namespace gvc::parallel {
+
+/// Reusable cross-job solver scratch. A solve() call allocates per-block
+/// reduce workspaces (degree-array-sized vectors) on every invocation; a
+/// caller that solves many instances back to back — a SolveService worker,
+/// a harness sweep — holds one SolveWorkspace and passes it to every call
+/// so those buffers are paid for once and stay warm across jobs. The
+/// workspace is NOT thread-safe: one workspace per calling thread. Within
+/// one solve() the blocks of the launch index disjoint entries, which is
+/// safe because the pool is sized before the grid starts.
+class SolveWorkspace {
+ public:
+  /// Scratch for block `block_id` of the current launch. Valid only between
+  /// prepare(grid) and the next prepare().
+  vc::ReduceWorkspace& block(int block_id) {
+    return blocks_[static_cast<std::size_t>(block_id)];
+  }
+
+  /// Grows the per-block pool to `grid` entries. Called by each solver
+  /// before its launch; buffers of previous jobs are kept (that reuse is
+  /// the point).
+  void prepare(int grid) {
+    if (blocks_.size() < static_cast<std::size_t>(grid))
+      blocks_.resize(static_cast<std::size_t>(grid));
+  }
+
+  /// Releases per-block scratch beyond `max_blocks`. Long-lived owners
+  /// (service workers) call this between jobs so one huge-grid job — e.g.
+  /// StackOnly at start_depth 16 = 65536 blocks, each holding |V|-sized
+  /// buffers — doesn't pin its pool for the owner's lifetime. The first
+  /// `max_blocks` entries stay warm for the common resident-grid sizes.
+  void trim(int max_blocks) {
+    if (blocks_.size() > static_cast<std::size_t>(max_blocks)) {
+      blocks_.resize(static_cast<std::size_t>(max_blocks));
+      blocks_.shrink_to_fit();
+    }
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  std::vector<vc::ReduceWorkspace> blocks_;
+};
 
 struct ParallelConfig {
   vc::Problem problem = vc::Problem::kMvc;

@@ -26,7 +26,8 @@ using worklist::GlobalWorklist;
 }  // namespace
 
 ParallelResult solve_global_only(const CsrGraph& g,
-                                 const ParallelConfig& config) {
+                                 const ParallelConfig& config,
+                                 SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -54,6 +55,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
   worklist.add(vc::DegreeArray(g));
 
   std::atomic<std::uint64_t> spills{0};
+  if (workspace) workspace->prepare(grid);
 
   auto body = [&](device::BlockContext& ctx) {
     // Host-side escape hatch for a full queue; see the header comment. The
@@ -61,8 +63,11 @@ ParallelResult solve_global_only(const CsrGraph& g,
     std::vector<vc::DegreeArray> spill;
     vc::DegreeArray da;
     vc::DegreeArray child;
-    vc::ReduceWorkspace workspace;  // per-block reduce scratch
-    NodeBatch nodes(shared);        // batched node accounting
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws =
+        workspace ? workspace->block(ctx.block_id()) : local_ws;
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     bool have_node = false;
 
     for (;;) {
@@ -94,13 +99,13 @@ ParallelResult solve_global_only(const CsrGraph& g,
         worklist.signal_stop();
         return;
       }
-      ctx.count_node();
+      visited.tick();
 
       const vc::BudgetPolicy policy =
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &workspace);
+                 &ctx.activities(), &ws);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

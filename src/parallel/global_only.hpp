@@ -26,6 +26,7 @@
 namespace gvc::parallel {
 
 ParallelResult solve_global_only(const graph::CsrGraph& g,
-                                 const ParallelConfig& config);
+                                 const ParallelConfig& config,
+                                 SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

@@ -24,7 +24,8 @@ using worklist::GlobalWorklist;
 
 }  // namespace
 
-ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
+ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
+                            SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -57,13 +58,17 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
   worklist.add(vc::DegreeArray(g));
 
   const Vertex n = g.num_vertices();
+  if (workspace) workspace->prepare(grid);
 
   auto body = [&](device::BlockContext& ctx) {
     worklist::LocalStack stack(n, depth_bound);
     vc::DegreeArray da;
     vc::DegreeArray child;
-    vc::ReduceWorkspace workspace;  // per-block reduce scratch
-    NodeBatch nodes(shared);        // batched node accounting
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws =
+        workspace ? workspace->block(ctx.block_id()) : local_ws;
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     bool get_new_node = true;
 
     for (;;) {
@@ -101,13 +106,13 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config) {
         worklist.signal_stop();
         return;
       }
-      ctx.count_node();
+      visited.tick();
 
       const vc::BudgetPolicy policy =
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &workspace);
+                 &ctx.activities(), &ws);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

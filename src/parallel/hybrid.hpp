@@ -13,6 +13,7 @@
 namespace gvc::parallel {
 
 ParallelResult solve_hybrid(const graph::CsrGraph& g,
-                            const ParallelConfig& config);
+                            const ParallelConfig& config,
+                            SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

@@ -38,7 +38,7 @@ Method parse_method(const std::string& name) {
 }
 
 ParallelResult solve(const graph::CsrGraph& g, Method method,
-                     const ParallelConfig& config) {
+                     const ParallelConfig& config, SolveWorkspace* workspace) {
   switch (method) {
     case Method::kSequential: {
       vc::SequentialConfig sc;
@@ -49,19 +49,24 @@ ParallelResult solve(const graph::CsrGraph& g, Method method,
       sc.branch_seed = config.branch_seed;
       sc.rules = config.rules;
       sc.limits = config.limits;
+      vc::ReduceWorkspace* ws = nullptr;
+      if (workspace) {
+        workspace->prepare(1);
+        ws = &workspace->block(0);
+      }
       ParallelResult r;
-      static_cast<vc::SolveResult&>(r) = solve_sequential(g, sc);
+      static_cast<vc::SolveResult&>(r) = solve_sequential(g, sc, ws);
       r.sim_seconds = r.seconds;  // one CPU thread: makespan == wall time
       return r;
     }
     case Method::kStackOnly:
-      return solve_stack_only(g, config);
+      return solve_stack_only(g, config, workspace);
     case Method::kHybrid:
-      return solve_hybrid(g, config);
+      return solve_hybrid(g, config, workspace);
     case Method::kGlobalOnly:
-      return solve_global_only(g, config);
+      return solve_global_only(g, config, workspace);
     case Method::kWorkStealing:
-      return solve_work_stealing(g, config);
+      return solve_work_stealing(g, config, workspace);
   }
   GVC_CHECK(false);
   return {};

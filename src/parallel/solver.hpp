@@ -39,7 +39,12 @@ Method parse_method(const std::string& name);
 
 /// Runs the selected implementation. Sequential ignores the device/worklist
 /// fields of the config; its result has empty launch/worklist stats.
+///
+/// Re-entrant: concurrent calls (with distinct workspaces, or none) are
+/// safe — all solver state lives on the call's stack. Passing `workspace`
+/// reuses its buffers instead of allocating scratch per call.
 ParallelResult solve(const graph::CsrGraph& g, Method method,
-                     const ParallelConfig& config);
+                     const ParallelConfig& config,
+                     SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

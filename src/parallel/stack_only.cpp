@@ -25,10 +25,11 @@ enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
 /// vmax_out holds the branching vertex.
 NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
                          SharedSearch& shared, NodeBatch& nodes,
+                         device::NodeCounter& visited,
                          device::BlockContext& ctx, vc::DegreeArray& da,
                          vc::ReduceWorkspace& workspace, Vertex& vmax_out) {
   if (!nodes.register_node()) return NodeOutcome::kAbort;
-  ctx.count_node();
+  visited.tick();
 
   const bool mvc = config.problem == vc::Problem::kMvc;
   const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
@@ -66,7 +67,8 @@ NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
 }  // namespace
 
 ParallelResult solve_stack_only(const CsrGraph& g,
-                                const ParallelConfig& config) {
+                                const ParallelConfig& config,
+                                SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -90,6 +92,7 @@ ParallelResult solve_stack_only(const CsrGraph& g,
   // here: the grid is structurally 2^start_depth.
   const int grid = 1 << config.start_depth;
   const Vertex n = g.num_vertices();
+  if (workspace) workspace->prepare(grid);
 
   auto body = [&](device::BlockContext& ctx) {
     if (shared.aborted()) return;
@@ -99,12 +102,15 @@ ParallelResult solve_stack_only(const CsrGraph& g,
     // the branch decisions encoded in the block id (redundant across blocks
     // with a shared prefix; that redundancy is the point of the baseline).
     vc::DegreeArray da(g);
-    vc::ReduceWorkspace workspace;  // per-block reduce scratch
-    NodeBatch nodes(shared);        // batched node accounting
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws =
+        workspace ? workspace->block(ctx.block_id()) : local_ws;
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     Vertex vmax = -1;
     for (int level = 0; level < config.start_depth; ++level) {
       NodeOutcome out =
-          process_node(g, config, shared, nodes, ctx, da, workspace, vmax);
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
       if (out != NodeOutcome::kBranch) return;  // sub-tree is empty
       if ((ctx.block_id() >> level) & 1) {
         ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
@@ -128,7 +134,7 @@ ParallelResult solve_stack_only(const CsrGraph& g,
       if (!mvc && shared.pvc_found()) return;
 
       NodeOutcome out =
-          process_node(g, config, shared, nodes, ctx, da, workspace, vmax);
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
       if (out == NodeOutcome::kAbort) return;
       if (out != NodeOutcome::kBranch) {
         have_node = false;

@@ -14,6 +14,7 @@
 namespace gvc::parallel {
 
 ParallelResult solve_stack_only(const graph::CsrGraph& g,
-                                const ParallelConfig& config);
+                                const ParallelConfig& config,
+                                SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

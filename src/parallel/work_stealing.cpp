@@ -119,7 +119,8 @@ class StealGroup {
 }  // namespace
 
 ParallelResult solve_work_stealing(const CsrGraph& g,
-                                   const ParallelConfig& config) {
+                                   const ParallelConfig& config,
+                                   SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -147,14 +148,17 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
 
   std::atomic<std::uint64_t> steal_attempts_total{0};
   std::atomic<std::uint64_t> steals_total{0};
+  if (workspace) workspace->prepare(grid);
 
   auto body = [&](device::BlockContext& ctx) {
     const int id = ctx.block_id();
     StealDeque& own = group.deque(id);
     vc::DegreeArray da;
     vc::DegreeArray child;
-    vc::ReduceWorkspace workspace;  // per-block reduce scratch
-    NodeBatch nodes(shared);        // batched node accounting
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws = workspace ? workspace->block(id) : local_ws;
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     bool get_new_node = true;
     std::uint64_t attempts = 0;
 
@@ -191,13 +195,13 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
         group.signal_stop();
         break;
       }
-      ctx.count_node();
+      visited.tick();
 
       const vc::BudgetPolicy policy =
           mvc ? vc::BudgetPolicy::mvc(shared.best())
               : vc::BudgetPolicy::pvc(config.k);
       vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &workspace);
+                 &ctx.activities(), &ws);
 
       const std::int64_t s = da.solution_size();
       const std::int64_t e = da.num_edges();

@@ -28,6 +28,7 @@
 namespace gvc::parallel {
 
 ParallelResult solve_work_stealing(const graph::CsrGraph& g,
-                                   const ParallelConfig& config);
+                                   const ParallelConfig& config,
+                                   SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

@@ -1,0 +1,94 @@
+#include "service/graph_hash.hpp"
+
+#include <bit>
+
+namespace gvc::service {
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ull;
+
+/// Running fingerprint: order-sensitive fold of 64-bit words. Order
+/// sensitivity is wanted — the adjacency of a CSR graph is canonically
+/// sorted, so position carries structure.
+class Fold {
+ public:
+  void add(std::uint64_t word) {
+    h_ = mix64(h_ ^ word) + std::rotl(h_, 23);
+  }
+  void add_double(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+  std::uint64_t get() const { return mix64(h_); }
+
+ private:
+  std::uint64_t h_ = kSeed;
+};
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += kSeed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t canonical_graph_hash(const graph::CsrGraph& g) {
+  Fold fold;
+  fold.add(static_cast<std::uint64_t>(g.num_vertices()));
+  fold.add(static_cast<std::uint64_t>(g.num_edges()));
+
+  // Degree sequence, then the neighborhood fingerprint. The degree pass is
+  // technically implied by the offsets consumed below, but folding it
+  // separately keeps the hash sensitive to degree-layer structure even if a
+  // future representation drops explicit offsets.
+  const graph::Vertex n = g.num_vertices();
+  for (graph::Vertex v = 0; v < n; ++v)
+    fold.add(static_cast<std::uint64_t>(g.degree(v)));
+  for (graph::Vertex v = 0; v < n; ++v)
+    for (graph::Vertex u : g.neighbors(v))
+      fold.add(static_cast<std::uint64_t>(u));
+  return fold.get();
+}
+
+std::uint64_t solve_config_hash(parallel::Method method,
+                                const parallel::ParallelConfig& config) {
+  Fold fold;
+  fold.add(static_cast<std::uint64_t>(method));
+  fold.add(static_cast<std::uint64_t>(config.problem));
+  fold.add(static_cast<std::uint64_t>(config.k));
+  fold.add(static_cast<std::uint64_t>(config.semantics));
+  fold.add((config.rules.degree_one ? 1u : 0u) |
+           (config.rules.degree_two_triangle ? 2u : 0u) |
+           (config.rules.high_degree ? 4u : 0u));
+  fold.add(static_cast<std::uint64_t>(config.branch));
+  fold.add(config.branch_seed);
+  fold.add(config.limits.max_tree_nodes);
+  fold.add_double(config.limits.time_limit_s);
+  fold.add(static_cast<std::uint64_t>(config.block_size_override));
+  fold.add(static_cast<std::uint64_t>(config.grid_override));
+  fold.add(static_cast<std::uint64_t>(config.start_depth));
+  fold.add(static_cast<std::uint64_t>(config.worklist_capacity));
+  fold.add_double(config.worklist_threshold_frac);
+
+  const device::DeviceSpec& d = config.device;
+  fold.add(static_cast<std::uint64_t>(d.num_sms));
+  fold.add(static_cast<std::uint64_t>(d.max_threads_per_block));
+  fold.add(static_cast<std::uint64_t>(d.max_threads_per_sm));
+  fold.add(static_cast<std::uint64_t>(d.max_blocks_per_sm));
+  fold.add(static_cast<std::uint64_t>(d.shared_mem_per_sm_bytes));
+  fold.add(static_cast<std::uint64_t>(d.shared_mem_per_block_bytes));
+  fold.add(static_cast<std::uint64_t>(d.global_mem_bytes));
+  return fold.get();
+}
+
+CacheKey make_cache_key(const graph::CsrGraph& g, parallel::Method method,
+                        const parallel::ParallelConfig& config) {
+  CacheKey key;
+  key.graph_hash = canonical_graph_hash(g);
+  key.config_hash = solve_config_hash(method, config);
+  key.num_vertices = g.num_vertices();
+  key.num_edges = g.num_edges();
+  return key;
+}
+
+}  // namespace gvc::service

@@ -1,0 +1,64 @@
+#pragma once
+
+// Canonical fingerprints for the result cache.
+//
+// A cache key must identify "the same solve request" across submissions that
+// constructed their graphs independently. Structural CsrGraph equality would
+// be exact but costs O(|E|) per probe and a full graph copy per entry; the
+// cache instead keys on a 64-bit canonical hash mixing |V|, |E|, the degree
+// sequence, and a per-vertex neighborhood fingerprint (every adjacency id
+// folded through an avalanche mixer), together with a hash of every
+// result-shaping solver knob. |V| and |E| ride along in the key verbatim as
+// cheap collision guards; a residual 2^-64-scale fingerprint collision maps
+// distinct requests to one entry, the standard trade of content-hash caches.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+#include "parallel/solver.hpp"
+
+namespace gvc::service {
+
+/// 64-bit avalanche mix (splitmix64 finalizer); the building block of the
+/// fingerprints below. Exposed for tests.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Canonical content hash of a labeled CsrGraph. Deterministic across
+/// processes and platforms; two structurally equal graphs always hash
+/// equal, and any edge/vertex difference changes the hash with
+/// overwhelming probability.
+std::uint64_t canonical_graph_hash(const graph::CsrGraph& g);
+
+/// Hash of every ParallelConfig field (plus the method) that shapes the
+/// result record: problem/k/rules/semantics/branch as well as the schedule
+/// knobs (device, grid, worklist, limits) — two requests differing in any
+/// of them may legitimately produce different stats, so they never alias.
+std::uint64_t solve_config_hash(parallel::Method method,
+                                const parallel::ParallelConfig& config);
+
+/// The ResultCache key: graph fingerprint + config fingerprint + the two
+/// verbatim size guards.
+struct CacheKey {
+  std::uint64_t graph_hash = 0;
+  std::uint64_t config_hash = 0;
+  graph::Vertex num_vertices = 0;
+  std::int64_t num_edges = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    std::uint64_t h = k.graph_hash;
+    h = mix64(h ^ k.config_hash);
+    h = mix64(h ^ static_cast<std::uint64_t>(k.num_vertices));
+    h = mix64(h ^ static_cast<std::uint64_t>(k.num_edges));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+CacheKey make_cache_key(const graph::CsrGraph& g, parallel::Method method,
+                        const parallel::ParallelConfig& config);
+
+}  // namespace gvc::service

@@ -1,0 +1,175 @@
+#pragma once
+
+// Job types of the SolveService front-end: what a caller submits (JobSpec),
+// the shared completion record a worker fills in (JobState), and the handle
+// the caller polls or waits on (JobTicket).
+//
+// A JobState is shared — by the submitting caller's ticket, by the worker
+// that solves it, by the ResultCache entry that in-flight-deduplicates
+// identical submissions, and by every coalesced ticket. Its mutable fields
+// are guarded by its mutex; the immutable ones (spec, key, id) are set
+// before the job becomes visible to any other thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+#include "parallel/solver.hpp"
+#include "service/graph_hash.hpp"
+#include "util/timer.hpp"
+
+namespace gvc::service {
+
+using JobId = std::uint64_t;
+
+/// The service's monotonic clock, in seconds. Deadlines and latency
+/// accounting all live on this one clock.
+inline double service_now_s() {
+  return static_cast<double>(util::now_ns()) * 1e-9;
+}
+
+/// One solve request. The graph is shared, not copied: batch submitters
+/// typically submit many jobs over few graphs, and the cache key pins the
+/// content anyway. Use util-free aliasing (std::shared_ptr with a no-op
+/// deleter) for graphs whose lifetime is managed elsewhere.
+struct JobSpec {
+  std::shared_ptr<const graph::CsrGraph> graph;
+  parallel::Method method = parallel::Method::kHybrid;
+  parallel::ParallelConfig config;
+
+  /// Higher runs first within a worker's queue shard.
+  int priority = 0;
+
+  /// Seconds from submission after which the job is dropped instead of
+  /// solved (admission rejects already-expired jobs; workers drop expired
+  /// jobs at dequeue). 0 = no deadline.
+  double deadline_s = 0.0;
+};
+
+enum class JobStatus {
+  kQueued,    ///< admitted, waiting in a worker shard
+  kRunning,   ///< a worker is solving it
+  kDone,      ///< result is valid (solved, or served from cache)
+  kExpired,   ///< deadline passed before a worker got to it
+  kRejected,  ///< refused at admission (queue full / service shut down)
+};
+
+const char* job_status_name(JobStatus s);
+
+inline bool is_terminal(JobStatus s) {
+  return s == JobStatus::kDone || s == JobStatus::kExpired ||
+         s == JobStatus::kRejected;
+}
+
+/// Shared mutable completion record of one admitted job.
+class JobState {
+ public:
+  JobState(JobId id, JobSpec spec, CacheKey key)
+      : id_(id), spec_(std::move(spec)), key_(key),
+        submit_time_s_(service_now_s()) {}
+
+  JobId id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+  const CacheKey& key() const { return key_; }
+
+  /// Submission timestamp on the service clock; with spec().deadline_s it
+  /// fixes the job's absolute expiry.
+  double submit_time_s() const { return submit_time_s_; }
+
+  JobStatus status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+  }
+
+  /// Transition kQueued -> kRunning. Returns false if the job is already
+  /// terminal (e.g. rejected during shutdown).
+  bool start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_ != JobStatus::kQueued) return false;
+    status_ = JobStatus::kRunning;
+    return true;
+  }
+
+  /// Terminal transition; wakes every waiter. `queue_seconds` /
+  /// `solve_seconds` feed the service's latency accounting.
+  void finish(JobStatus status, parallel::ParallelResult result,
+              double queue_seconds, double solve_seconds) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      status_ = status;
+      result_ = std::move(result);
+      queue_seconds_ = queue_seconds;
+      solve_seconds_ = solve_seconds;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the job is terminal; returns the final status.
+  JobStatus wait() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return is_terminal(status_); });
+    return status_;
+  }
+
+  /// Non-blocking: the result if terminal, nullptr otherwise. The pointer
+  /// stays valid for the life of the JobState (results are written once).
+  const parallel::ParallelResult* try_poll() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return is_terminal(status_) ? &result_ : nullptr;
+  }
+
+  /// Valid once terminal.
+  const parallel::ParallelResult& result() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return result_;
+  }
+
+  double queue_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_seconds_;
+  }
+  double solve_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return solve_seconds_;
+  }
+
+ private:
+  const JobId id_;
+  const JobSpec spec_;
+  const CacheKey key_;
+  const double submit_time_s_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobStatus status_ = JobStatus::kQueued;
+  parallel::ParallelResult result_;
+  double queue_seconds_ = 0.0;
+  double solve_seconds_ = 0.0;
+};
+
+/// The caller's handle on a submission. Tickets are value types; copies
+/// share the underlying JobState.
+struct JobTicket {
+  std::shared_ptr<JobState> state;
+
+  /// Served straight from a completed cache entry — no solve ran.
+  bool cache_hit = false;
+
+  /// Coalesced onto an identical in-flight job: `state` belongs to the
+  /// earlier submission, and completes when its solve does. A coalesced
+  /// ticket shares that owner's fate end to end — including admission
+  /// failure, if the owner was still waiting on a full shard when the
+  /// coalescing happened (the request-collapsing trade-off). Treat
+  /// kRejected/kExpired as retryable: a resubmission re-solves, because
+  /// the owner's registration is dropped from the cache on failure.
+  bool coalesced = false;
+
+  bool valid() const { return state != nullptr; }
+  JobId id() const { return state ? state->id() : 0; }
+};
+
+}  // namespace gvc::service

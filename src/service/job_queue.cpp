@@ -1,0 +1,119 @@
+#include "service/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace gvc::service {
+
+JobQueue::JobQueue(std::size_t capacity, FullPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  GVC_CHECK_MSG(capacity_ > 0, "JobQueue capacity must be positive");
+}
+
+double JobQueue::now_s() { return service_now_s(); }
+
+bool JobQueue::Entry::before(const Entry& o) const {
+  if (priority != o.priority) return priority > o.priority;
+  const bool a = deadline_abs > 0.0, b = o.deadline_abs > 0.0;
+  if (a != b) return a;  // deadlined jobs ahead of open-ended ones
+  if (a && deadline_abs != o.deadline_abs) return deadline_abs < o.deadline_abs;
+  return seq < o.seq;
+}
+
+bool JobQueue::runs_later(const Entry& a, const Entry& b) {
+  return b.before(a);
+}
+
+void JobQueue::heap_push(Entry e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), runs_later);
+}
+
+JobQueue::Entry JobQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), runs_later);
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
+  return top;
+}
+
+JobQueue::PushOutcome JobQueue::push(std::shared_ptr<JobState> job,
+                                     double deadline_abs) {
+  GVC_CHECK(job != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return PushOutcome::kRejectedClosed;
+  }
+  if (deadline_abs > 0.0 && now_s() >= deadline_abs) {
+    ++stats_.rejected_expired;
+    return PushOutcome::kRejectedExpired;
+  }
+  if (heap_.size() >= capacity_) {
+    if (policy_ == FullPolicy::kReject) {
+      ++stats_.rejected_full;
+      return PushOutcome::kRejectedFull;
+    }
+    ++stats_.blocked_pushes;
+    not_full_.wait(lock, [&] { return closed_ || heap_.size() < capacity_; });
+    if (closed_) {
+      ++stats_.rejected_closed;
+      return PushOutcome::kRejectedClosed;
+    }
+    // Re-check the deadline: it may have lapsed while we were blocked. We
+    // consumed a pop's not_full_ signal to get here, so pass it on — the
+    // slot we are declining may be another blocked pusher's only wakeup.
+    if (deadline_abs > 0.0 && now_s() >= deadline_abs) {
+      ++stats_.rejected_expired;
+      lock.unlock();
+      not_full_.notify_one();
+      return PushOutcome::kRejectedExpired;
+    }
+  }
+
+  Entry e;
+  e.priority = job->spec().priority;
+  e.deadline_abs = deadline_abs;
+  e.seq = next_seq_++;
+  e.job = std::move(job);
+  heap_push(std::move(e));
+  ++stats_.pushed;
+  stats_.max_size_seen = std::max(stats_.max_size_seen, heap_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushOutcome::kAccepted;
+}
+
+std::shared_ptr<JobState> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return nullptr;  // closed and drained
+  Entry e = heap_pop();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return std::move(e.job);
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gvc::service

@@ -1,0 +1,101 @@
+#pragma once
+
+// Bounded admission queue for one SolveService worker shard.
+//
+// Ordering: highest priority first; within a priority, earliest absolute
+// deadline first (no deadline sorts last); within that, FIFO by submission
+// sequence, so equal-priority traffic is served fairly.
+//
+// Admission: a job whose deadline has already passed is refused outright
+// (kRejectedExpired) — queueing it would only waste a worker dequeue.
+//
+// Backpressure: the queue holds at most `capacity` jobs. A push against a
+// full queue either blocks the submitting thread until a worker drains an
+// entry (FullPolicy::kBlock — the service's default, load sheds onto the
+// callers) or fails immediately (FullPolicy::kReject — for callers that
+// prefer an error to latency).
+//
+// Shutdown: close() stops admission; pop() keeps draining what was admitted
+// and returns nullptr once the queue is empty and closed.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace gvc::service {
+
+class JobQueue {
+ public:
+  enum class FullPolicy { kBlock, kReject };
+
+  enum class PushOutcome {
+    kAccepted,
+    kRejectedFull,     ///< kReject policy and the queue was full
+    kRejectedExpired,  ///< deadline already passed at admission
+    kRejectedClosed,   ///< close() was called
+  };
+
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t rejected_expired = 0;
+    std::uint64_t rejected_closed = 0;
+    std::uint64_t blocked_pushes = 0;  ///< pushes that had to wait (kBlock)
+    std::size_t max_size_seen = 0;
+  };
+
+  JobQueue(std::size_t capacity, FullPolicy policy);
+
+  /// `deadline_abs` is the job's absolute expiry on the queue's monotonic
+  /// clock (now_s() domain); <= 0 means no deadline.
+  PushOutcome push(std::shared_ptr<JobState> job, double deadline_abs);
+
+  /// Blocks until a job is available; nullptr once closed and drained.
+  std::shared_ptr<JobState> pop();
+
+  /// Stops admission and wakes all blocked pushers/poppers.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  FullPolicy policy() const { return policy_; }
+  Stats stats() const;
+
+  /// Seconds on the queue's monotonic clock; submitters use it to derive
+  /// deadline_abs = now_s() + deadline_s.
+  static double now_s();
+
+ private:
+  struct Entry {
+    std::shared_ptr<JobState> job;
+    int priority = 0;
+    double deadline_abs = 0.0;  ///< <= 0: none
+    std::uint64_t seq = 0;
+
+    /// True if this entry should run before `o`.
+    bool before(const Entry& o) const;
+  };
+
+  const std::size_t capacity_;
+  const FullPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<Entry> heap_;  // std binary heap; front = next to run
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+  Stats stats_;
+
+  /// std heap comparator: "less" = runs later, so the front runs next.
+  static bool runs_later(const Entry& a, const Entry& b);
+  void heap_push(Entry e);
+  Entry heap_pop();
+};
+
+}  // namespace gvc::service

@@ -1,0 +1,103 @@
+#include "service/result_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace gvc::service {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  GVC_CHECK_MSG(capacity_ > 0, "ResultCache capacity must be positive");
+}
+
+void ResultCache::touch(Node& node) {
+  lru_.splice(lru_.begin(), lru_, node.lru_it);
+}
+
+void ResultCache::evict_down_to_capacity() {
+  while (lru_.size() > capacity_) {
+    const CacheKey& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Outcome ResultCache::acquire(
+    const CacheKey& key, const std::shared_ptr<JobState>& fresh,
+    parallel::ParallelResult* result_out,
+    std::shared_ptr<JobState>* owner_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Node& node = it->second;
+    if (node.ready) {
+      ++stats_.hits;
+      touch(node);
+      if (result_out) *result_out = node.result;
+      return Outcome::kHit;
+    }
+    ++stats_.inflight_hits;
+    if (owner_out) *owner_out = node.inflight_owner;
+    return Outcome::kInflight;
+  }
+  ++stats_.misses;
+  Node node;
+  node.ready = false;
+  node.inflight_owner = fresh;
+  map_.emplace(key, std::move(node));
+  return Outcome::kMiss;
+}
+
+void ResultCache::complete(const CacheKey& key,
+                           const parallel::ParallelResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end() && it->second.ready) {
+    // Refreshed store (two memoizers raced): keep the first result — the
+    // coalescing contract promises one canonical record per key — but
+    // refresh recency. Exception: a completed record replaces a stale
+    // limit-hit one (limit hits are load-dependent, not canonical).
+    if (it->second.result.timed_out && !result.timed_out)
+      it->second.result = result;
+    touch(it->second);
+    return;
+  }
+  if (it == map_.end())
+    it = map_.emplace(key, Node{}).first;
+  Node& node = it->second;
+  node.inflight_owner.reset();
+  node.result = result;
+  node.ready = true;
+  lru_.push_front(key);
+  node.lru_it = lru_.begin();
+  ++stats_.inserts;
+  evict_down_to_capacity();
+}
+
+void ResultCache::abandon(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end() && !it->second.ready) map_.erase(it);
+}
+
+bool ResultCache::lookup(const CacheKey& key, parallel::ParallelResult* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.ready) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  if (out) *out = it->second.result;
+  return true;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.completed_entries = lru_.size();
+  s.inflight_entries = map_.size() - lru_.size();
+  return s;
+}
+
+}  // namespace gvc::service

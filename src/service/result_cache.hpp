@@ -1,0 +1,102 @@
+#pragma once
+
+// Canonical-hash result cache with LRU eviction and in-flight deduplication.
+//
+// Two client styles share one instance:
+//
+//  * The SolveService submit path calls acquire(): in one critical section
+//    it either serves a completed entry (kHit), attaches the caller to an
+//    identical job that is already queued/running (kInflight — the
+//    submissions coalesce and every ticket completes when that one solve
+//    does), or registers the caller's fresh job as the in-flight owner of
+//    the key (kMiss — the caller must later complete() or abandon() it).
+//
+//  * Synchronous memoizers (harness::Runner::min_cover) use lookup()/
+//    insert() like a plain map, and thereby warm the same entries the
+//    service serves.
+//
+// Eviction is LRU over *completed* entries only; in-flight registrations
+// are pinned (evicting one would break the coalescing contract) and do not
+// count toward capacity.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "parallel/config.hpp"
+#include "service/graph_hash.hpp"
+#include "service/job.hpp"
+
+namespace gvc::service {
+
+class ResultCache {
+ public:
+  enum class Outcome { kHit, kInflight, kMiss };
+
+  struct Stats {
+    std::uint64_t hits = 0;           ///< served from a completed entry
+    std::uint64_t misses = 0;         ///< acquire/lookup found nothing
+    std::uint64_t inflight_hits = 0;  ///< coalesced onto a running job
+    std::uint64_t inserts = 0;        ///< completed entries stored
+    std::uint64_t evictions = 0;      ///< completed entries LRU-evicted
+    std::size_t completed_entries = 0;
+    std::size_t inflight_entries = 0;
+
+    double hit_ratio() const {
+      const std::uint64_t probes = hits + inflight_hits + misses;
+      return probes == 0
+                 ? 0.0
+                 : static_cast<double>(hits + inflight_hits) /
+                       static_cast<double>(probes);
+    }
+  };
+
+  explicit ResultCache(std::size_t capacity);
+
+  /// Service path; see the header comment. On kHit `*result_out` is filled;
+  /// on kInflight `*owner_out` is the job every coalesced ticket shares; on
+  /// kMiss `fresh` is registered as the key's in-flight owner.
+  Outcome acquire(const CacheKey& key, const std::shared_ptr<JobState>& fresh,
+                  parallel::ParallelResult* result_out,
+                  std::shared_ptr<JobState>* owner_out);
+
+  /// Completes an in-flight registration (or directly stores/refreshes a
+  /// completed entry — insert() is this without a prior acquire()).
+  void complete(const CacheKey& key, const parallel::ParallelResult& result);
+
+  /// Drops an in-flight registration without a result (the owner job was
+  /// rejected or expired). No-op if the key is not in-flight.
+  void abandon(const CacheKey& key);
+
+  /// Memo path: completed entries only. lookup() refreshes LRU recency.
+  bool lookup(const CacheKey& key, parallel::ParallelResult* out);
+  void insert(const CacheKey& key, const parallel::ParallelResult& result) {
+    complete(key, result);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Node {
+    bool ready = false;
+    parallel::ParallelResult result;          // valid when ready
+    std::shared_ptr<JobState> inflight_owner;  // valid when !ready
+    std::list<CacheKey>::iterator lru_it;      // valid when ready
+  };
+
+  using Map = std::unordered_map<CacheKey, Node, CacheKeyHash>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  Map map_;
+  std::list<CacheKey> lru_;  // front = most recently used completed key
+  Stats stats_;
+
+  void touch(Node& node);                    // move to LRU front
+  void evict_down_to_capacity();
+};
+
+}  // namespace gvc::service

@@ -1,0 +1,253 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace gvc::service {
+
+std::vector<device::DeviceSpec> SolveService::partition_device(
+    const device::DeviceSpec& device, int workers) {
+  GVC_CHECK(workers >= 1);
+  std::vector<device::DeviceSpec> slices;
+  slices.reserve(static_cast<std::size_t>(workers));
+  const int base_sms = std::max(1, device.num_sms / workers);
+  int remainder =
+      device.num_sms > workers ? device.num_sms - base_sms * workers : 0;
+  for (int w = 0; w < workers; ++w) {
+    device::DeviceSpec s = device;
+    s.num_sms = base_sms + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    // Global memory is space-shared like the SMs; shared memory is per-SM
+    // and per-block, so those limits carry over unchanged.
+    s.global_mem_bytes =
+        std::max<std::int64_t>(device.global_mem_bytes / workers, 1 << 20);
+    s.shared_mem_per_sm_bytes = device.shared_mem_per_sm_bytes;
+    s.name = util::format("%s/slice%d", device.name.c_str(), w);
+    s.validate();
+    slices.push_back(std::move(s));
+  }
+  return slices;
+}
+
+parallel::ParallelResult SolveService::dropped_result() {
+  parallel::ParallelResult r;
+  r.found = false;
+  r.timed_out = true;
+  r.best_size = -1;
+  return r;
+}
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)) {
+  options_.num_workers = std::max(1, options_.num_workers);
+  cache_ = options_.cache
+               ? options_.cache
+               : std::make_shared<ResultCache>(options_.cache_capacity);
+  worker_devices_ = partition_device(options_.device, options_.num_workers);
+
+  queues_.reserve(static_cast<std::size_t>(options_.num_workers));
+  jobs_per_worker_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    queues_.push_back(std::make_unique<JobQueue>(options_.queue_capacity,
+                                                 options_.full_policy));
+    jobs_per_worker_.push_back(
+        std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+void SolveService::shutdown() {
+  // Serialized: concurrent shutdown() calls (or shutdown() racing the
+  // destructor) must not both reach join() on the same thread object.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (!shutdown_.exchange(true))
+    for (auto& q : queues_) q->close();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+int SolveService::shard_of(const CacheKey& key) const {
+  return static_cast<int>(CacheKeyHash{}(key) %
+                          static_cast<std::size_t>(queues_.size()));
+}
+
+JobTicket SolveService::submit(JobSpec spec) {
+  GVC_CHECK_MSG(spec.graph != nullptr, "JobSpec.graph must be set");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Route on the submitted request, then pin the executed device: the
+  // shard choice is deterministic in the submitted config, so identical
+  // submissions land on the same worker and get the same slice. The cache
+  // key is computed AFTER the device pin — entries must describe the
+  // config that actually ran, or a cache sharer with a different worker
+  // layout would be served records produced under a device its key never
+  // encoded.
+  CacheKey key;
+  key.graph_hash = canonical_graph_hash(*spec.graph);
+  key.num_vertices = spec.graph->num_vertices();
+  key.num_edges = spec.graph->num_edges();
+  key.config_hash = solve_config_hash(spec.method, spec.config);
+  const int shard = shard_of(key);
+  if (options_.partition_device) {
+    spec.config.device = worker_devices_[static_cast<std::size_t>(shard)];
+    key.config_hash = solve_config_hash(spec.method, spec.config);
+  }
+  auto state = std::make_shared<JobState>(
+      next_job_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec),
+      key);
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    state->finish(JobStatus::kRejected, dropped_result(), 0.0, 0.0);
+    return JobTicket{std::move(state)};
+  }
+
+  parallel::ParallelResult cached;
+  std::shared_ptr<JobState> owner;
+  switch (cache_->acquire(key, state, &cached, &owner)) {
+    case ResultCache::Outcome::kHit: {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      state->finish(JobStatus::kDone, std::move(cached), 0.0, 0.0);
+      JobTicket t{std::move(state)};
+      t.cache_hit = true;
+      return t;
+    }
+    case ResultCache::Outcome::kInflight: {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      JobTicket t{std::move(owner)};
+      t.coalesced = true;
+      return t;
+    }
+    case ResultCache::Outcome::kMiss:
+      break;
+  }
+
+  const double deadline_abs =
+      state->spec().deadline_s > 0.0
+          ? state->submit_time_s() + state->spec().deadline_s
+          : 0.0;
+  const JobQueue::PushOutcome outcome =
+      queues_[static_cast<std::size_t>(shard)]->push(state, deadline_abs);
+  if (outcome != JobQueue::PushOutcome::kAccepted) {
+    cache_->abandon(key);
+    if (outcome == JobQueue::PushOutcome::kRejectedExpired) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      state->finish(JobStatus::kExpired, dropped_result(), 0.0, 0.0);
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      state->finish(JobStatus::kRejected, dropped_result(), 0.0, 0.0);
+    }
+  }
+  return JobTicket{std::move(state)};
+}
+
+std::vector<JobTicket> SolveService::submit_all(std::vector<JobSpec> specs) {
+  std::vector<JobTicket> tickets;
+  tickets.reserve(specs.size());
+  for (auto& spec : specs) tickets.push_back(submit(std::move(spec)));
+  return tickets;
+}
+
+const parallel::ParallelResult& SolveService::wait(
+    const JobTicket& ticket) const {
+  GVC_CHECK_MSG(ticket.valid(), "wait() on an invalid ticket");
+  ticket.state->wait();
+  return ticket.state->result();
+}
+
+const parallel::ParallelResult* SolveService::try_poll(
+    const JobTicket& ticket) const {
+  GVC_CHECK_MSG(ticket.valid(), "try_poll() on an invalid ticket");
+  return ticket.state->try_poll();
+}
+
+void SolveService::worker_loop(int w) {
+  // The worker's cross-job solver scratch: reduce workspaces stay warm
+  // from one job to the next, trimmed after each job to a pool bound that
+  // covers every resident-grid size this substrate plans (so a one-off
+  // huge StackOnly grid doesn't pin 2^start_depth |V|-sized buffers).
+  constexpr int kRetainedWorkspaceBlocks = 64;
+  parallel::SolveWorkspace workspace;
+  JobQueue& queue = *queues_[static_cast<std::size_t>(w)];
+
+  for (;;) {
+    std::shared_ptr<JobState> job = queue.pop();
+    if (!job) return;  // closed and drained
+
+    const double dequeued_s = service_now_s();
+    const double queue_seconds = dequeued_s - job->submit_time_s();
+    const JobSpec& spec = job->spec();
+
+    if (spec.deadline_s > 0.0 &&
+        dequeued_s >= job->submit_time_s() + spec.deadline_s) {
+      cache_->abandon(job->key());
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      job->finish(JobStatus::kExpired, dropped_result(), queue_seconds, 0.0);
+      continue;
+    }
+    if (!job->start()) {
+      cache_->abandon(job->key());
+      continue;
+    }
+
+    // The executed device was already pinned into spec.config at submit
+    // (so the cache key describes exactly this run).
+    parallel::ParallelResult result =
+        parallel::solve(*spec.graph, spec.method, spec.config, &workspace);
+    const double solve_seconds = service_now_s() - dequeued_s;
+
+    // Cache admission: a limit-hit record is not canonical (wall-clock
+    // limits are load-dependent), so serving it to future identical
+    // submissions would pin a transient failure. Drop the in-flight
+    // registration instead; already-coalesced tickets still get this
+    // result through the shared JobState, and the next submission
+    // re-solves.
+    if (result.timed_out)
+      cache_->abandon(job->key());
+    else
+      cache_->complete(job->key(), result);
+    workspace.trim(kRetainedWorkspaceBlocks);
+    jobs_per_worker_[static_cast<std::size_t>(w)]->fetch_add(
+        1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job->finish(JobStatus::kDone, std::move(result), queue_seconds,
+                solve_seconds);
+  }
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.cache = cache_->stats();
+  s.queues.reserve(queues_.size());
+  for (const auto& q : queues_) s.queues.push_back(q->stats());
+  s.jobs_per_worker.reserve(jobs_per_worker_.size());
+  for (const auto& c : jobs_per_worker_)
+    s.jobs_per_worker.push_back(c->load(std::memory_order_relaxed));
+  return s;
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued:   return "queued";
+    case JobStatus::kRunning:  return "running";
+    case JobStatus::kDone:     return "done";
+    case JobStatus::kExpired:  return "expired";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace gvc::service

@@ -1,0 +1,164 @@
+#pragma once
+
+// SolveService — the concurrent multi-instance front-end over the five
+// solvers. Where the Hybrid kernel keeps one search tree's blocks saturated
+// on one device, the service keeps one machine saturated across many solve
+// requests:
+//
+//  * submit() hashes the request into a canonical CacheKey and consults the
+//    ResultCache: a completed identical request is served instantly, an
+//    identical request already in flight coalesces (one solve, many
+//    tickets), and a genuinely new request is admitted to a worker shard.
+//
+//  * Jobs are pinned to workers by key hash, so a request always lands on
+//    the same shard and each shard's JobQueue provides priority/deadline
+//    ordering plus bounded backpressure independently.
+//
+//  * Each worker thread owns a DeviceSpec slice — the machine's virtual
+//    device is partitioned SM-wise across workers, mirroring how a
+//    multi-tenant GPU is space-shared — and a SolveWorkspace reused across
+//    jobs, so steady-state job execution performs no cold-start scratch
+//    allocation.
+//
+//  * wait()/try_poll() deliver the exact ParallelResult record a direct
+//    parallel::solve() call would produce (the solve IS a direct call, made
+//    re-entrant by the workspace refactor); cached and coalesced tickets
+//    return the record of the first completed identical submission.
+//
+// Thread safety: every public method may be called from any thread.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "device/device_spec.hpp"
+#include "parallel/solver.hpp"
+#include "service/job.hpp"
+#include "service/job_queue.hpp"
+#include "service/result_cache.hpp"
+
+namespace gvc::service {
+
+struct ServiceOptions {
+  /// Worker threads (= queue shards = device slices). Clamped to >= 1.
+  int num_workers = 4;
+
+  /// Per-shard JobQueue capacity.
+  std::size_t queue_capacity = 256;
+
+  /// What a submit against a full shard does: block the submitter
+  /// (backpressure) or reject the job.
+  JobQueue::FullPolicy full_policy = JobQueue::FullPolicy::kBlock;
+
+  /// Completed-entry capacity of the ResultCache (ignored when `cache` is
+  /// provided).
+  std::size_t cache_capacity = 1024;
+
+  /// Share an external cache (e.g. one a harness::Runner already warmed).
+  /// Null: the service creates its own.
+  std::shared_ptr<ResultCache> cache;
+
+  /// The machine's virtual device, partitioned across workers when
+  /// `partition_device` is set.
+  device::DeviceSpec device = device::DeviceSpec::host_scaled();
+
+  /// true: the submitted config's device is replaced at admission by the
+  /// target worker's SM slice of `device` (space-sharing; jobs on
+  /// different workers don't oversubscribe the host). The cache key is
+  /// computed from the config as executed, slice included, so cached
+  /// records always describe the device they ran on. false: every job
+  /// runs with the device spec it was submitted with — required when
+  /// results must be bit-identical to direct solve() calls of that
+  /// config, or when sharing the cache with a direct-call memoizer
+  /// (harness::Runner) whose entries are keyed on unsliced devices.
+  bool partition_device = true;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< solved by a worker
+  std::uint64_t cache_hits = 0;  ///< served instantly from the cache
+  std::uint64_t coalesced = 0;   ///< attached to an in-flight identical job
+  std::uint64_t rejected = 0;    ///< refused at admission
+  std::uint64_t expired = 0;     ///< dropped at dequeue past their deadline
+  ResultCache::Stats cache;
+  std::vector<JobQueue::Stats> queues;           ///< one per shard
+  std::vector<std::uint64_t> jobs_per_worker;    ///< solves executed
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options);
+
+  /// Drains admitted jobs, then joins the workers (shutdown()).
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admits one job. Never blocks on the solve itself; blocks on a full
+  /// shard only under FullPolicy::kBlock. The returned ticket is always
+  /// valid — rejected submissions carry a terminal kRejected state.
+  JobTicket submit(JobSpec spec);
+
+  /// Admits a batch in order; returns one ticket per spec.
+  std::vector<JobTicket> submit_all(std::vector<JobSpec> specs);
+
+  /// Blocks until the ticket's job is terminal; returns its result record.
+  /// For kExpired/kRejected tickets the record is a timed_out=true,
+  /// found=false placeholder.
+  const parallel::ParallelResult& wait(const JobTicket& ticket) const;
+
+  /// Non-blocking: the result if terminal, nullptr otherwise.
+  const parallel::ParallelResult* try_poll(const JobTicket& ticket) const;
+
+  /// Stops admission, drains every shard, joins the workers. Idempotent;
+  /// called by the destructor.
+  void shutdown();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// The DeviceSpec slice worker `w` solves on.
+  const device::DeviceSpec& worker_device(int w) const {
+    return worker_devices_[static_cast<std::size_t>(w)];
+  }
+
+  const std::shared_ptr<ResultCache>& cache() const { return cache_; }
+
+  ServiceStats stats() const;
+
+  /// SM-wise partition of `device` into `workers` slices (exposed for
+  /// tests): each slice keeps the per-SM ratios and splits num_sms and
+  /// global memory as evenly as integer division allows, every slice
+  /// getting at least one SM.
+  static std::vector<device::DeviceSpec> partition_device(
+      const device::DeviceSpec& device, int workers);
+
+ private:
+  ServiceOptions options_;
+  std::shared_ptr<ResultCache> cache_;
+  std::vector<device::DeviceSpec> worker_devices_;
+  std::vector<std::unique_ptr<JobQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<JobId> next_job_id_{1};
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;  ///< serializes shutdown()/destructor joins
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_per_worker_;
+
+  int shard_of(const CacheKey& key) const;
+  void worker_loop(int w);
+  static parallel::ParallelResult dropped_result();
+};
+
+}  // namespace gvc::service

@@ -21,7 +21,8 @@ const SolveResult& check_result(const CsrGraph& g, const SolveResult& r) {
   return r;
 }
 
-SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) {
+SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
+                             ReduceWorkspace* workspace) {
   util::WallTimer timer;
   SolveResult result;
 
@@ -43,8 +44,10 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) 
   stack.emplace_back(g);
 
   // One workspace for the whole search: reduce() reuses its buffers instead
-  // of allocating scratch per tree node.
-  ReduceWorkspace workspace;
+  // of allocating scratch per tree node. A caller-provided workspace extends
+  // the reuse across searches.
+  ReduceWorkspace local_ws;
+  ReduceWorkspace& ws = workspace ? *workspace : local_ws;
 
   while (!stack.empty()) {
     if ((config.limits.max_tree_nodes != 0 &&
@@ -60,7 +63,7 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config) 
 
     const BudgetPolicy policy =
         mvc ? BudgetPolicy::mvc(best) : BudgetPolicy::pvc(k);
-    reduce(g, da, policy, config.semantics, config.rules, nullptr, &workspace);
+    reduce(g, da, policy, config.semantics, config.rules, nullptr, &ws);
 
     const std::int64_t s = da.solution_size();
     // Stopping condition (Fig. 1 line 5; §II-B PVC variant).

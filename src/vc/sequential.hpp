@@ -35,6 +35,12 @@ struct SequentialConfig {
 /// Runs branch-and-reduce to completion (or a limit). For MVC the result
 /// carries the proven-optimal cover; for PVC it reports whether a cover of
 /// size ≤ k exists and, if so, one such cover.
-SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config);
+///
+/// Re-entrant: all state is local to the call. If `workspace` is non-null
+/// its buffers are reused instead of allocating fresh scratch — callers
+/// solving many instances on one thread (service workers) pass the same
+/// workspace to every call.
+SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
+                             ReduceWorkspace* workspace = nullptr);
 
 }  // namespace gvc::vc

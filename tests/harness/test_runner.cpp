@@ -25,6 +25,33 @@ TEST(Runner, MinCoverIsCachedAndValid) {
   EXPECT_EQ(min1, min2);
   EXPECT_GT(min1, 0);
   EXPECT_LT(min1, inst.graph().num_vertices());
+  // The solve went through the canonical-hash ResultCache exactly once;
+  // the repeat call was served by the name-keyed front memo without
+  // touching the cache again.
+  auto stats = runner.cache()->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.completed_entries, 1u);
+}
+
+TEST(Runner, MinCoverMemoIsSharedThroughAnInjectedCache) {
+  auto cat = paper_catalog(Scale::kSmoke);
+  auto cache = std::make_shared<service::ResultCache>(32);
+
+  RunnerOptions o1 = smoke_options();
+  o1.cache = cache;
+  Runner first(o1);
+  const Instance& inst = find_instance(cat, "US_power_grid");
+  int min = first.min_cover(inst);
+
+  // A second Runner with the same options sees the warm entry: no second
+  // solve (the cache records a hit, and its entry count stays 1).
+  RunnerOptions o2 = smoke_options();
+  o2.cache = cache;
+  Runner second(o2);
+  EXPECT_EQ(second.min_cover(inst), min);
+  EXPECT_EQ(cache->stats().completed_entries, 1u);
+  EXPECT_GE(cache->stats().hits, 1u);
 }
 
 TEST(Runner, AllMethodsAgreeOnASmokeInstance) {

@@ -1,0 +1,86 @@
+#include "service/graph_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace gvc::service {
+namespace {
+
+TEST(GraphHash, DeterministicAndEqualForEqualGraphs) {
+  auto a = graph::gnp(64, 0.2, 7);
+  auto b = graph::gnp(64, 0.2, 7);  // regenerated, structurally equal
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(canonical_graph_hash(a), canonical_graph_hash(a));
+  EXPECT_EQ(canonical_graph_hash(a), canonical_graph_hash(b));
+}
+
+TEST(GraphHash, SensitiveToAnyStructuralChange) {
+  const std::uint64_t base = canonical_graph_hash(graph::path(6));
+  EXPECT_NE(base, canonical_graph_hash(graph::path(7)));   // extra vertex
+  EXPECT_NE(base, canonical_graph_hash(graph::cycle(6)));  // extra edge
+  // Same degree sequence, different adjacency: a 6-cycle vs two triangles.
+  graph::GraphBuilder two_triangles(6);
+  two_triangles.add_edge(0, 1);
+  two_triangles.add_edge(1, 2);
+  two_triangles.add_edge(2, 0);
+  two_triangles.add_edge(3, 4);
+  two_triangles.add_edge(4, 5);
+  two_triangles.add_edge(5, 3);
+  EXPECT_NE(canonical_graph_hash(graph::cycle(6)),
+            canonical_graph_hash(two_triangles.build()));
+}
+
+TEST(GraphHash, SpreadsAcrossAFamily) {
+  // 200 related graphs (same family, consecutive seeds) must not collide —
+  // a weak mixer would alias some of these.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 200; ++seed)
+    seen.insert(canonical_graph_hash(graph::gnp(32, 0.25, seed)));
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(ConfigHash, CoversResultShapingKnobs) {
+  parallel::ParallelConfig base;
+  const std::uint64_t h = solve_config_hash(parallel::Method::kHybrid, base);
+
+  EXPECT_EQ(h, solve_config_hash(parallel::Method::kHybrid, base));
+  EXPECT_NE(h, solve_config_hash(parallel::Method::kSequential, base));
+
+  auto tweaked = [&](auto mutate) {
+    parallel::ParallelConfig c = base;
+    mutate(c);
+    return solve_config_hash(parallel::Method::kHybrid, c);
+  };
+  EXPECT_NE(h, tweaked([](auto& c) { c.problem = vc::Problem::kPvc; }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.k = 5; }));
+  EXPECT_NE(h, tweaked([](auto& c) {
+    c.semantics = vc::ReduceSemantics::kSerial;
+  }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.rules.degree_one = false; }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.branch_seed = 1; }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.grid_override = 2; }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.limits.max_tree_nodes = 10; }));
+  EXPECT_NE(h, tweaked([](auto& c) { c.device.num_sms /= 2; }));
+}
+
+TEST(CacheKey, EqualityAndHashAgree) {
+  auto g = graph::gnp(40, 0.3, 3);
+  parallel::ParallelConfig config;
+  CacheKey a = make_cache_key(g, parallel::Method::kHybrid, config);
+  CacheKey b = make_cache_key(g, parallel::Method::kHybrid, config);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(CacheKeyHash{}(a), CacheKeyHash{}(b));
+
+  CacheKey c = make_cache_key(g, parallel::Method::kSequential, config);
+  EXPECT_NE(a, c);
+
+  EXPECT_EQ(a.num_vertices, 40);
+  EXPECT_EQ(a.num_edges, g.num_edges());
+}
+
+}  // namespace
+}  // namespace gvc::service

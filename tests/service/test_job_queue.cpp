@@ -1,0 +1,152 @@
+#include "service/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace gvc::service {
+namespace {
+
+std::shared_ptr<const graph::CsrGraph> tiny_graph() {
+  static const auto g =
+      std::make_shared<graph::CsrGraph>(graph::path(4));
+  return g;
+}
+
+std::shared_ptr<JobState> make_job(JobId id, int priority = 0,
+                                   double deadline_s = 0.0) {
+  JobSpec spec;
+  spec.graph = tiny_graph();
+  spec.priority = priority;
+  spec.deadline_s = deadline_s;
+  CacheKey key;  // synthetic: queue tests never touch the cache
+  key.graph_hash = id;
+  return std::make_shared<JobState>(id, std::move(spec), key);
+}
+
+TEST(JobQueue, FifoWithinEqualPriority) {
+  JobQueue q(8, JobQueue::FullPolicy::kReject);
+  for (JobId id = 1; id <= 4; ++id)
+    EXPECT_EQ(q.push(make_job(id), 0.0), JobQueue::PushOutcome::kAccepted);
+  for (JobId id = 1; id <= 4; ++id) EXPECT_EQ(q.pop()->id(), id);
+}
+
+TEST(JobQueue, HigherPriorityFirst) {
+  JobQueue q(8, JobQueue::FullPolicy::kReject);
+  q.push(make_job(1, /*priority=*/0), 0.0);
+  q.push(make_job(2, /*priority=*/5), 0.0);
+  q.push(make_job(3, /*priority=*/1), 0.0);
+  q.push(make_job(4, /*priority=*/5), 0.0);
+  EXPECT_EQ(q.pop()->id(), 2u);  // priority 5, earlier than 4
+  EXPECT_EQ(q.pop()->id(), 4u);
+  EXPECT_EQ(q.pop()->id(), 3u);
+  EXPECT_EQ(q.pop()->id(), 1u);
+}
+
+TEST(JobQueue, EarlierDeadlineFirstWithinPriority) {
+  JobQueue q(8, JobQueue::FullPolicy::kReject);
+  const double now = JobQueue::now_s();
+  q.push(make_job(1), 0.0);             // no deadline: sorts last
+  q.push(make_job(2), now + 100.0);
+  q.push(make_job(3), now + 50.0);
+  EXPECT_EQ(q.pop()->id(), 3u);
+  EXPECT_EQ(q.pop()->id(), 2u);
+  EXPECT_EQ(q.pop()->id(), 1u);
+}
+
+TEST(JobQueue, AdmissionRejectsExpiredDeadline) {
+  JobQueue q(8, JobQueue::FullPolicy::kReject);
+  EXPECT_EQ(q.push(make_job(1), JobQueue::now_s() - 0.001),
+            JobQueue::PushOutcome::kRejectedExpired);
+  EXPECT_EQ(q.stats().rejected_expired, 1u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, RejectPolicyFailsFastWhenFull) {
+  JobQueue q(2, JobQueue::FullPolicy::kReject);
+  EXPECT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+  EXPECT_EQ(q.push(make_job(2), 0.0), JobQueue::PushOutcome::kAccepted);
+  EXPECT_EQ(q.push(make_job(3), 0.0), JobQueue::PushOutcome::kRejectedFull);
+  EXPECT_EQ(q.stats().rejected_full, 1u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.stats().max_size_seen, 2u);
+}
+
+TEST(JobQueue, BlockPolicyAppliesBackpressureUntilPop) {
+  JobQueue q(1, JobQueue::FullPolicy::kBlock);
+  ASSERT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+
+  std::atomic<bool> second_accepted{false};
+  std::thread pusher([&] {
+    EXPECT_EQ(q.push(make_job(2), 0.0), JobQueue::PushOutcome::kAccepted);
+    second_accepted.store(true);
+  });
+
+  // The pusher must be blocked: the queue is full and nothing popped yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_accepted.load());
+  EXPECT_EQ(q.size(), 1u);
+
+  EXPECT_EQ(q.pop()->id(), 1u);  // frees the slot; pusher proceeds
+  pusher.join();
+  EXPECT_TRUE(second_accepted.load());
+  EXPECT_EQ(q.pop()->id(), 2u);
+  EXPECT_GE(q.stats().blocked_pushes, 1u);
+}
+
+TEST(JobQueue, CloseDrainsThenReturnsNull) {
+  JobQueue q(8, JobQueue::FullPolicy::kReject);
+  q.push(make_job(1), 0.0);
+  q.push(make_job(2), 0.0);
+  q.close();
+  EXPECT_EQ(q.push(make_job(3), 0.0), JobQueue::PushOutcome::kRejectedClosed);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(JobQueue, CloseWakesBlockedPusher) {
+  JobQueue q(1, JobQueue::FullPolicy::kBlock);
+  ASSERT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+  std::thread pusher([&] {
+    EXPECT_EQ(q.push(make_job(2), 0.0),
+              JobQueue::PushOutcome::kRejectedClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  pusher.join();
+}
+
+TEST(JobQueue, ConcurrentProducersConsumersDeliverEverything) {
+  JobQueue q(16, JobQueue::FullPolicy::kBlock);
+  constexpr int kProducers = 4, kPerProducer = 50;
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        q.push(make_job(static_cast<JobId>(p * kPerProducer + i + 1)), 0.0);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (q.pop() != nullptr) popped.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.stats().pushed, static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(q.stats().popped, q.stats().pushed);
+}
+
+}  // namespace
+}  // namespace gvc::service

@@ -1,0 +1,148 @@
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+
+namespace gvc::service {
+namespace {
+
+CacheKey key_of(std::uint64_t id) {
+  CacheKey k;
+  k.graph_hash = id;
+  k.config_hash = ~id;
+  k.num_vertices = static_cast<graph::Vertex>(id);
+  k.num_edges = static_cast<std::int64_t>(id) * 2;
+  return k;
+}
+
+parallel::ParallelResult result_of(int best) {
+  parallel::ParallelResult r;
+  r.found = true;
+  r.best_size = best;
+  r.tree_nodes = static_cast<std::uint64_t>(best) * 10;
+  return r;
+}
+
+std::shared_ptr<JobState> job_for(const CacheKey& k, JobId id = 1) {
+  JobSpec spec;
+  static const auto g = std::make_shared<graph::CsrGraph>(graph::path(3));
+  spec.graph = g;
+  return std::make_shared<JobState>(id, std::move(spec), k);
+}
+
+TEST(ResultCache, LookupMissThenInsertThenHit) {
+  ResultCache cache(4);
+  parallel::ParallelResult out;
+  EXPECT_FALSE(cache.lookup(key_of(1), &out));
+  cache.insert(key_of(1), result_of(7));
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out.best_size, 7);
+  EXPECT_EQ(out.tree_nodes, 70u);
+
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.completed_entries, 1u);
+}
+
+TEST(ResultCache, LruEvictsOldestCompletedEntry) {
+  ResultCache cache(2);
+  cache.insert(key_of(1), result_of(1));
+  cache.insert(key_of(2), result_of(2));
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup(key_of(1), nullptr));
+  cache.insert(key_of(3), result_of(3));
+
+  EXPECT_TRUE(cache.lookup(key_of(1), nullptr));
+  EXPECT_FALSE(cache.lookup(key_of(2), nullptr));
+  EXPECT_TRUE(cache.lookup(key_of(3), nullptr));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().completed_entries, 2u);
+}
+
+TEST(ResultCache, AcquireMissRegistersInflightOwner) {
+  ResultCache cache(4);
+  const CacheKey k = key_of(9);
+  auto owner = job_for(k, 1);
+
+  EXPECT_EQ(cache.acquire(k, owner, nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stats().inflight_entries, 1u);
+
+  // A second identical submission coalesces onto the registered owner.
+  auto dup = job_for(k, 2);
+  std::shared_ptr<JobState> out_owner;
+  EXPECT_EQ(cache.acquire(k, dup, nullptr, &out_owner),
+            ResultCache::Outcome::kInflight);
+  EXPECT_EQ(out_owner.get(), owner.get());
+  EXPECT_EQ(cache.stats().inflight_hits, 1u);
+
+  // Completion flips the entry to a served hit.
+  cache.complete(k, result_of(5));
+  parallel::ParallelResult got;
+  EXPECT_EQ(cache.acquire(k, job_for(k, 3), &got, nullptr),
+            ResultCache::Outcome::kHit);
+  EXPECT_EQ(got.best_size, 5);
+  EXPECT_EQ(cache.stats().inflight_entries, 0u);
+  EXPECT_EQ(cache.stats().completed_entries, 1u);
+}
+
+TEST(ResultCache, AbandonDropsInflightRegistration) {
+  ResultCache cache(4);
+  const CacheKey k = key_of(11);
+  ASSERT_EQ(cache.acquire(k, job_for(k), nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+  cache.abandon(k);
+  EXPECT_EQ(cache.stats().inflight_entries, 0u);
+  // The key is claimable again.
+  EXPECT_EQ(cache.acquire(k, job_for(k, 2), nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCache, AbandonNeverDropsCompletedEntries) {
+  ResultCache cache(4);
+  cache.insert(key_of(1), result_of(1));
+  cache.abandon(key_of(1));
+  EXPECT_TRUE(cache.lookup(key_of(1), nullptr));
+}
+
+TEST(ResultCache, InflightEntriesArePinnedAcrossEviction) {
+  ResultCache cache(1);
+  const CacheKey pinned = key_of(50);
+  ASSERT_EQ(cache.acquire(pinned, job_for(pinned), nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+  // Churn completed entries through the 1-slot LRU.
+  cache.insert(key_of(1), result_of(1));
+  cache.insert(key_of(2), result_of(2));
+  cache.insert(key_of(3), result_of(3));
+  // The in-flight registration survived; completing it serves hits.
+  cache.complete(pinned, result_of(50));
+  parallel::ParallelResult out;
+  ASSERT_TRUE(cache.lookup(pinned, &out));
+  EXPECT_EQ(out.best_size, 50);
+}
+
+TEST(ResultCache, FirstResultWinsOnDoubleComplete) {
+  ResultCache cache(4);
+  cache.insert(key_of(1), result_of(1));
+  cache.insert(key_of(1), result_of(2));  // racing memoizer: ignored
+  parallel::ParallelResult out;
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out.best_size, 1);
+  EXPECT_EQ(cache.stats().completed_entries, 1u);
+}
+
+TEST(ResultCache, HitRatioCountsServedOverProbes) {
+  ResultCache cache(4);
+  cache.insert(key_of(1), result_of(1));
+  cache.lookup(key_of(1), nullptr);  // hit
+  cache.lookup(key_of(2), nullptr);  // miss
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace gvc::service

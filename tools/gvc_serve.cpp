@@ -1,0 +1,200 @@
+// gvc_serve — drives a SolveService with a stream of solve requests and
+// reports throughput and per-job latency percentiles.
+//
+//   gvc_serve [SPECFILE] [options]
+//
+// SPECFILE holds one request per line (use "-" for stdin):
+//
+//   INSTANCE [method] [pvc K] [priority=P] [deadline=S] [xN]
+//
+// where INSTANCE is a paper_catalog() instance name at --scale, `method`
+// is sequential|stackonly|hybrid|globalonly|workstealing (default hybrid),
+// `pvc K` switches to the parameterized problem, `priority=P` orders the
+// queue, `deadline=S` drops the job if not started within S seconds, and
+// `xN` repeats the line N times (repeats are exact duplicates — they
+// exercise the cache/coalescing path).
+//
+// Without a SPECFILE a synthetic workload is generated from the catalog:
+//   --jobs N        total jobs (default 64)
+//   --distinct D    distinct instances drawn round-robin (default 8)
+// so a (N, D) choice fixes the offered cache-hit ratio at 1 - D/N.
+//
+// Service knobs:
+//   --workers N            worker threads / device slices (default 4)
+//   --queue-capacity N     per-shard admission queue (default 256)
+//   --reject               reject on a full shard instead of blocking
+//   --cache-capacity N     completed-entry LRU capacity (default 1024)
+//   --no-partition         workers use the submitted device spec verbatim
+//   --scale S              smoke|default|large catalog scale (default smoke)
+//   --time-limit S         per-job solve budget (default 0 = none)
+//
+// Output: one line per terminal state class, then throughput (jobs/sec of
+// wall time over the whole batch), latency percentiles (submit → terminal),
+// cache statistics, and the per-worker job distribution.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/catalog.hpp"
+#include "service/solve_service.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gvc;
+
+/// Non-owning shared_ptr onto a catalog instance's cached graph. The
+/// catalog vector outlives the service, so aliasing is safe.
+std::shared_ptr<const graph::CsrGraph> borrow(const harness::Instance& inst) {
+  return {std::shared_ptr<const graph::CsrGraph>(), &inst.graph()};
+}
+
+struct ParsedLine {
+  service::JobSpec spec;
+  int repeat = 1;
+};
+
+ParsedLine parse_line(const std::string& line,
+                      const std::vector<harness::Instance>& catalog,
+                      const parallel::ParallelConfig& base) {
+  std::istringstream in(line);
+  std::string name;
+  in >> name;
+  ParsedLine out;
+  out.spec.graph = borrow(harness::find_instance(catalog, name));
+  out.spec.config = base;
+
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "pvc") {
+      long long k = 0;
+      GVC_CHECK_MSG(static_cast<bool>(in >> k) && k > 0,
+                    "spec line: 'pvc' needs a positive K");
+      out.spec.config.problem = vc::Problem::kPvc;
+      out.spec.config.k = static_cast<int>(k);
+    } else if (tok.rfind("priority=", 0) == 0) {
+      out.spec.priority = std::stoi(tok.substr(9));
+    } else if (tok.rfind("deadline=", 0) == 0) {
+      out.spec.deadline_s = std::stod(tok.substr(9));
+    } else if (tok.size() > 1 && tok[0] == 'x') {
+      out.repeat = std::stoi(tok.substr(1));
+      GVC_CHECK_MSG(out.repeat >= 1, "spec line: xN needs N >= 1");
+    } else {
+      out.spec.method = parallel::parse_method(tok);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+
+  const harness::Scale scale =
+      harness::parse_scale(args.get("scale", "smoke"));
+  std::vector<harness::Instance> catalog = harness::paper_catalog(scale);
+
+  parallel::ParallelConfig base;
+  base.limits.time_limit_s = args.get_double("time-limit", 0.0);
+
+  service::ServiceOptions opts;
+  opts.num_workers = static_cast<int>(args.get_int("workers", 4));
+  opts.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 256));
+  opts.full_policy = args.get_bool("reject", false)
+                         ? service::JobQueue::FullPolicy::kReject
+                         : service::JobQueue::FullPolicy::kBlock;
+  opts.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache-capacity", 1024));
+  opts.partition_device = !args.get_bool("no-partition", false);
+
+  // Assemble the workload before starting the clock.
+  std::vector<service::JobSpec> specs;
+  if (!args.positional().empty()) {
+    const std::string path = args.positional()[0];
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (path != "-") {
+      file.open(path);
+      GVC_CHECK_MSG(file.good(), "cannot open spec file");
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      ParsedLine p = parse_line(line, catalog, base);
+      for (int i = 0; i < p.repeat; ++i) specs.push_back(p.spec);
+    }
+  } else {
+    const int jobs = static_cast<int>(args.get_int("jobs", 64));
+    const int distinct = std::max(
+        1, std::min(static_cast<int>(args.get_int("distinct", 8)),
+                    static_cast<int>(catalog.size())));
+    for (int i = 0; i < jobs; ++i) {
+      service::JobSpec spec;
+      spec.graph = borrow(catalog[static_cast<std::size_t>(i % distinct)]);
+      spec.method = parallel::Method::kHybrid;
+      spec.config = base;
+      specs.push_back(std::move(spec));
+    }
+  }
+  GVC_CHECK_MSG(!specs.empty(), "no jobs to run");
+
+  std::printf("gvc_serve: %zu jobs, %d workers, queue %zu (%s), cache %zu%s\n",
+              specs.size(), opts.num_workers, opts.queue_capacity,
+              opts.full_policy == service::JobQueue::FullPolicy::kBlock
+                  ? "block"
+                  : "reject",
+              opts.cache_capacity,
+              opts.partition_device ? ", partitioned device" : "");
+
+  service::SolveService svc(opts);
+  util::WallTimer timer;
+  std::vector<service::JobTicket> tickets = svc.submit_all(std::move(specs));
+
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  std::size_t done = 0, expired = 0, rejected = 0;
+  for (const auto& t : tickets) {
+    switch (t.state->wait()) {
+      case service::JobStatus::kDone: ++done; break;
+      case service::JobStatus::kExpired: ++expired; break;
+      default: ++rejected; break;
+    }
+    latencies.push_back(t.state->queue_seconds() + t.state->solve_seconds());
+  }
+  const double wall = timer.seconds();
+
+  service::ServiceStats stats = svc.stats();
+  std::printf("\n  done %zu, expired %zu, rejected %zu in %.3f s "
+              "-> %.1f jobs/sec\n",
+              done, expired, rejected, wall,
+              static_cast<double>(tickets.size()) / wall);
+  std::printf("  latency  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs\n",
+              util::quantile(latencies, 0.50), util::quantile(latencies, 0.90),
+              util::quantile(latencies, 0.99), util::max_of(latencies));
+  std::printf("  cache    %llu hits, %llu coalesced, %llu misses "
+              "(hit ratio %.2f), %llu evictions, %zu entries\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.inflight_hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              stats.cache.hit_ratio(),
+              static_cast<unsigned long long>(stats.cache.evictions),
+              stats.cache.completed_entries);
+  std::printf("  workers ");
+  for (std::size_t w = 0; w < stats.jobs_per_worker.size(); ++w)
+    std::printf(" [%zu] %llu", w,
+                static_cast<unsigned long long>(stats.jobs_per_worker[w]));
+  std::printf("\n");
+  return done == tickets.size() ? 0 : 1;
+}
