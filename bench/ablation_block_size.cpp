@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
       for (int b : kBlockSizes) {
         auto config = env.r().make_config(ProblemInstance::kMvc, 0);
         config.block_size_override = b;
-        auto r = parallel::solve(inst.graph(), method, config);
+        vc::SolveControl budget(env.runner_options.limits);
+        auto r = parallel::solve(inst.graph(), method, config, &budget);
         double t = bench::sim_or_budget(r, env.runner_options.limits.time_limit_s);
         best_t = std::min(best_t, t);
         worst_t = std::max(worst_t, t);

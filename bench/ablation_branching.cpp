@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
       vc::SequentialConfig config;
       config.branch = strat;
       config.branch_seed = 1;
-      config.limits = env.runner_options.limits;
-      auto seq = vc::solve_sequential(inst.graph(), config);
+      vc::SolveControl budget(env.runner_options.limits);
+      auto seq = vc::solve_sequential(inst.graph(), config, &budget);
       if (base_nodes == 0)
         base_nodes = std::max<std::uint64_t>(seq.tree_nodes, 1);
 
@@ -52,12 +52,12 @@ int main(int argc, char** argv) {
           env.r().make_config(harness::ProblemInstance::kMvc, 0);
       pc.branch = strat;
       pc.branch_seed = 1;
-      auto hyb =
-          parallel::solve(inst.graph(), parallel::Method::kHybrid, pc);
+      auto hyb = parallel::solve(inst.graph(), parallel::Method::kHybrid, pc,
+                                 &budget);
 
       std::vector<std::string> row = {
           name, vc::branch_strategy_name(strat),
-          seq.timed_out ? ">limit" : util::format("%.3f", seq.seconds),
+          seq.limit_hit() ? ">limit" : util::format("%.3f", seq.seconds),
           util::format("%llu",
                        static_cast<unsigned long long>(seq.tree_nodes)),
           util::format("%.1fx", static_cast<double>(seq.tree_nodes) /

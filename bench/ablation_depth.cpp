@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
     for (int d : kDepths) {
       auto config = env.r().make_config(ProblemInstance::kMvc, 0);
       config.start_depth = d;
-      auto r = parallel::solve(inst.graph(), Method::kStackOnly, config);
+      vc::SolveControl budget(env.runner_options.limits);
+      auto r =
+          parallel::solve(inst.graph(), Method::kStackOnly, config, &budget);
       double t = bench::sim_or_budget(r, env.runner_options.limits.time_limit_s);
       cells.push_back({d, t, r.tree_nodes});
       std::fflush(stdout);

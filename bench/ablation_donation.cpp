@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     for (bool donation : {true, false}) {
       auto config = env.r().make_config(ProblemInstance::kMvc, 0);
       if (!donation) config.worklist_threshold_frac = 0.0;
-      auto r = parallel::solve(inst.graph(), Method::kHybrid, config);
+      vc::SolveControl budget(env.runner_options.limits);
+      auto r = parallel::solve(inst.graph(), Method::kHybrid, config, &budget);
       auto load = r.launch.load_per_sm_normalized();
       table.add_row(
           {name, donation ? "on" : "off", bench::cell(r),

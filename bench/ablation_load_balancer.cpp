@@ -55,8 +55,9 @@ int main(int argc, char** argv) {
     for (parallel::Method method : kMethods) {
       parallel::ParallelConfig config =
           env.r().make_config(harness::ProblemInstance::kMvc, 0);
+      vc::SolveControl budget(env.runner_options.limits);
       parallel::ParallelResult r =
-          parallel::solve(inst.graph(), method, config);
+          parallel::solve(inst.graph(), method, config, &budget);
       const double cv =
           util::coeff_of_variation(r.launch.load_per_sm_normalized());
       std::vector<std::string> row = {

@@ -42,14 +42,16 @@ int main(int argc, char** argv) {
     parallel::ParallelConfig config =
         env.r().make_config(harness::ProblemInstance::kMvc, 0);
 
+    vc::SolveControl budget(env.runner_options.limits);
+
     // Direct MVC.
-    parallel::ParallelResult direct =
-        parallel::solve(inst.graph(), parallel::Method::kHybrid, config);
+    parallel::ParallelResult direct = parallel::solve(
+        inst.graph(), parallel::Method::kHybrid, config, &budget);
     std::vector<std::string> row = {
         name, "direct MVC", "1",
         util::format("%llu",
                      static_cast<unsigned long long>(direct.tree_nodes)),
-        direct.timed_out ? ">limit" : util::format("%.3f", direct.seconds)};
+        direct.limit_hit() ? ">limit" : util::format("%.3f", direct.seconds)};
     table.add_row(row);
     if (env.csv) env.csv->row(row);
 
@@ -57,13 +59,13 @@ int main(int argc, char** argv) {
          {std::pair{parallel::PvcSearch::kLinearDown, "PVC linear down"},
           std::pair{parallel::PvcSearch::kBinary, "PVC binary"}}) {
       parallel::MvcViaPvcResult r = parallel::solve_mvc_via_pvc(
-          inst.graph(), parallel::Method::kHybrid, config, mode);
-      GVC_CHECK(r.timed_out || r.best_size == direct.best_size ||
-                direct.timed_out);
+          inst.graph(), parallel::Method::kHybrid, config, mode, &budget);
+      GVC_CHECK(r.limit_hit() || r.best_size == direct.best_size ||
+                direct.limit_hit());
       row = {name, label, util::format("%d", r.queries),
              util::format("%llu",
                           static_cast<unsigned long long>(r.total_tree_nodes)),
-             r.timed_out ? ">limit" : util::format("%.3f", r.seconds)};
+             r.limit_hit() ? ">limit" : util::format("%.3f", r.seconds)};
       table.add_row(row);
       if (env.csv) env.csv->row(row);
       std::fflush(stdout);

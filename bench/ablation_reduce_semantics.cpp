@@ -54,14 +54,14 @@ int main(int argc, char** argv) {
     for (const auto& variant : kVariants) {
       vc::SequentialConfig config;
       config.semantics = variant.semantics;
-      config.limits = env.runner_options.limits;
-      auto r = vc::solve_sequential(inst.graph(), config);
+      vc::SolveControl budget(env.runner_options.limits);
+      auto r = vc::solve_sequential(inst.graph(), config, &budget);
       if (variant.semantics == vc::ReduceSemantics::kSerial) {
         serial_seconds = r.seconds;
         serial_nodes = r.tree_nodes;
       }
       if (variant.semantics == vc::ReduceSemantics::kIncremental &&
-          !r.timed_out && serial_nodes != 0 && r.tree_nodes != serial_nodes) {
+          r.complete() && serial_nodes != 0 && r.tree_nodes != serial_nodes) {
         std::printf("WARNING: %s: incremental tree (%llu nodes) diverged "
                     "from serial (%llu) — semantics bug!\n",
                     name, static_cast<unsigned long long>(r.tree_nodes),
@@ -69,9 +69,9 @@ int main(int argc, char** argv) {
       }
       std::vector<std::string> row = {
           name, variant.name,
-          r.timed_out ? ">limit" : util::format("%.3f", r.seconds),
+          r.limit_hit() ? ">limit" : util::format("%.3f", r.seconds),
           util::format("%llu", static_cast<unsigned long long>(r.tree_nodes)),
-          r.timed_out || serial_seconds <= 0.0
+          r.limit_hit() || serial_seconds <= 0.0
               ? "-"
               : util::format("%.2fx", serial_seconds / std::max(r.seconds, 1e-9))};
       table.add_row(row);

@@ -47,12 +47,12 @@ int main(int argc, char** argv) {
     for (const auto& variant : kVariants) {
       vc::SequentialConfig config;
       config.rules = variant.rules;
-      config.limits = env.runner_options.limits;
-      auto r = vc::solve_sequential(inst.graph(), config);
+      vc::SolveControl budget(env.runner_options.limits);
+      auto r = vc::solve_sequential(inst.graph(), config, &budget);
       if (base_nodes == 0) base_nodes = std::max<std::uint64_t>(r.tree_nodes, 1);
       std::vector<std::string> row = {
           name, variant.name,
-          r.timed_out ? ">limit" : util::format("%.3f", r.seconds),
+          r.limit_hit() ? ">limit" : util::format("%.3f", r.seconds),
           util::format("%llu", static_cast<unsigned long long>(r.tree_nodes)),
           util::format("%.1fx", static_cast<double>(r.tree_nodes) /
                                     static_cast<double>(base_nodes))};

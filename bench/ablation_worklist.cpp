@@ -48,7 +48,9 @@ int main(int argc, char** argv) {
         auto config = env.r().make_config(ProblemInstance::kMvc, 0);
         config.worklist_capacity = cap;
         config.worklist_threshold_frac = frac;
-        auto r = parallel::solve(inst.graph(), Method::kHybrid, config);
+        vc::SolveControl budget(env.runner_options.limits);
+        auto r =
+            parallel::solve(inst.graph(), Method::kHybrid, config, &budget);
         double t = bench::sim_or_budget(r, env.runner_options.limits.time_limit_s);
         cells.push_back({cap, frac, t, r.worklist});
         std::fflush(stdout);

@@ -79,7 +79,7 @@ inline std::string cell(const parallel::ParallelResult& r) {
 /// The run's simulated seconds, with budget-exceeded runs clamped to the
 /// budget (a conservative lower bound used by the speedup aggregations).
 inline double sim_or_budget(const parallel::ParallelResult& r, double budget) {
-  if (r.timed_out) return budget;
+  if (r.limit_hit()) return budget;
   return std::max(r.sim_seconds, 1e-6);
 }
 

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   for (const auto& inst : env.catalog) {
     if (inst.high_degree()) continue;
     auto probe = env.r().run(inst, Method::kHybrid, ProblemInstance::kMvc);
-    if (probe.timed_out || probe.tree_nodes < 1000) continue;
+    if (probe.limit_hit() || probe.tree_nodes < 1000) continue;
     if (!sparsest || ratio(inst) < ratio(*sparsest)) sparsest = &inst;
   }
   GVC_CHECK_MSG(sparsest != nullptr,

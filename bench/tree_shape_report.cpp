@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const auto& inst = harness::find_instance(env.catalog, name);
     harness::TreeShapeOptions opt;
     opt.record_max_depth = 10;
-    opt.solver.limits = env.runner_options.limits;
+    opt.limits = env.runner_options.limits;
     harness::TreeShape shape = harness::analyze_tree_shape(inst.graph(), opt);
 
     std::printf("%s: %llu tree nodes, depth %d%s\n", name,

@@ -66,7 +66,6 @@ int main(int argc, char** argv) {
   };
   vc::SolveResult kernel_solution;
   if (nt.kernel.num_edges() == 0) {
-    kernel_solution.found = true;
     kernel_solution.best_size = 0;
   } else {
     kernel_solution = vc::solve_mvc_by_components(nt.kernel, solver);

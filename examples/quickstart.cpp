@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     pvc.k = k;
     auto r = parallel::solve(g, parallel::Method::kHybrid, pvc);
     std::printf("  k = %3d -> %s\n", k,
-                r.found ? "cover found" : "no cover of that size");
+                r.has_cover() ? "cover found" : "no cover of that size");
   }
   return 0;
 }

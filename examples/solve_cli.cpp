@@ -58,11 +58,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --problem (want mvc|pvc)\n");
     return 2;
   }
-  config.limits.max_tree_nodes =
+  vc::SolveControl control;
+  control.limits.max_tree_nodes =
       static_cast<std::uint64_t>(args.get_int("max-nodes", 0));
-  config.limits.time_limit_s = args.get_double("max-seconds", 0.0);
+  control.limits.time_limit_s = args.get_double("max-seconds", 0.0);
 
-  auto r = parallel::solve(g, method, config);
+  auto r = parallel::solve(g, method, config, &control);
 
   if (args.get_bool("verbose", false) &&
       method != parallel::Method::kSequential) {
@@ -73,9 +74,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (r.timed_out) {
-    std::printf("result: budget exhausted after %llu tree nodes (%.3fs); "
+  if (r.limit_hit()) {
+    std::printf("result: %s after %llu tree nodes (%.3fs); "
                 "best cover so far: %d\n",
+                vc::to_string(r.outcome),
                 static_cast<unsigned long long>(r.tree_nodes), r.seconds,
                 r.best_size);
     return 3;
@@ -87,10 +89,10 @@ int main(int argc, char** argv) {
                 r.seconds, r.greedy_upper_bound);
   } else {
     std::printf("PVC(k=%d): %s (%llu tree nodes, %.3fs)\n", config.k,
-                r.found ? "cover exists" : "no cover of that size",
+                r.has_cover() ? "cover exists" : "no cover of that size",
                 static_cast<unsigned long long>(r.tree_nodes), r.seconds);
   }
-  if (r.found && !graph::is_vertex_cover(g, r.cover)) {
+  if (r.has_cover() && !graph::is_vertex_cover(g, r.cover)) {
     std::fprintf(stderr, "BUG: invalid cover\n");
     return 1;
   }

@@ -28,7 +28,7 @@ bool feasible(const gvc::graph::CsrGraph& g, int k,
   config.k = k;
   auto r = gvc::parallel::solve(g, gvc::parallel::Method::kHybrid, config);
   if (out) *out = r;
-  return r.found;
+  return r.has_cover();
 }
 
 }  // namespace

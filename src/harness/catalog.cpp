@@ -10,13 +10,18 @@ namespace gvc::harness {
 using graph::CsrGraph;
 using graph::Vertex;
 
-Scale parse_scale(const std::string& name) {
+std::optional<Scale> try_parse_scale(const std::string& name) {
   std::string n = util::to_lower(name);
   if (n == "smoke") return Scale::kSmoke;
   if (n == "default") return Scale::kDefault;
   if (n == "large") return Scale::kLarge;
-  GVC_CHECK_MSG(false, "unknown scale (want smoke|default|large)");
-  return Scale::kDefault;
+  return std::nullopt;
+}
+
+Scale parse_scale(const std::string& name) {
+  std::optional<Scale> s = try_parse_scale(name);
+  GVC_CHECK_MSG(s.has_value(), "unknown scale (want smoke|default|large)");
+  return *s;
 }
 
 Instance::Instance(std::string name, std::string family, bool high_degree,

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ enum class Scale {
   kLarge,    ///< stress run
 };
 
+/// std::nullopt on unknown names — for tools that print usage instead of
+/// aborting.
+std::optional<Scale> try_parse_scale(const std::string& name);
+
+/// Aborts (GVC_CHECK) on unknown names.
 Scale parse_scale(const std::string& name);
 
 class Instance {

@@ -39,7 +39,6 @@ ParallelConfig Runner::make_config(ProblemInstance problem, int k) const {
   c.semantics = vc::ReduceSemantics::kParallelSweep;
   c.k = k;
   c.device = options_.device;
-  c.limits = options_.limits;
   c.worklist_capacity = options_.worklist_capacity;
   c.worklist_threshold_frac = options_.worklist_threshold_frac;
   c.start_depth = options_.start_depth;
@@ -56,22 +55,22 @@ int Runner::min_cover(const Instance& inst) {
   // MVC well inside this on a laptop-class host; hitting the net means the
   // scale/host combination is wrong, so fail loudly.
   ParallelConfig c = make_config(ProblemInstance::kMvc, 0);
-  c.limits = {};
+  vc::SolveControl net;  // 20x safety net; min must be exact
   if (options_.limits.time_limit_s > 0)
-    c.limits.time_limit_s = options_.limits.time_limit_s * 20;
+    net.limits.time_limit_s = options_.limits.time_limit_s * 20;
 
   // Memoized through the canonical-hash cache: a SolveService sharing this
   // cache serves the identical submission without re-solving, and an
-  // earlier service/harness solve of this instance is reused here. A
-  // timed-out record is never trusted as a minimum — the cache refuses
-  // them at admission, but guard here too in case an entry predates that
-  // policy.
+  // earlier service/harness solve of this instance is reused here. The
+  // memo is status-aware: only a complete (kOptimal) record is trusted as
+  // a minimum — the cache refuses incomplete outcomes at admission, but
+  // guard here too in case an entry predates that policy.
   const service::CacheKey key =
       service::make_cache_key(inst.graph(), Method::kHybrid, c);
   ParallelResult r;
-  if (!cache_->lookup(key, &r) || r.timed_out) {
-    r = parallel::solve(inst.graph(), Method::kHybrid, c);
-    GVC_CHECK_MSG(!r.timed_out, "min-cover solve hit the safety net");
+  if (!cache_->lookup(key, &r) || !r.complete()) {
+    r = parallel::solve(inst.graph(), Method::kHybrid, c, &net);
+    GVC_CHECK_MSG(r.complete(), "min-cover solve hit the safety net");
     cache_->insert(key, r);
   }
   GVC_CHECK_MSG(graph::is_vertex_cover(inst.graph(), r.cover),
@@ -96,16 +95,17 @@ ParallelResult Runner::run(const Instance& inst, Method method,
   ParallelConfig c = make_config(problem, k);
   if (method == Method::kSequential)
     c.semantics = vc::ReduceSemantics::kSerial;
-  return parallel::solve(inst.graph(), method, c);
+  vc::SolveControl budget(options_.limits);
+  return parallel::solve(inst.graph(), method, c, &budget);
 }
 
 std::string Runner::time_cell(const ParallelResult& r) {
-  if (r.timed_out) return ">limit";
+  if (r.limit_hit()) return ">" + std::string(vc::to_string(r.outcome));
   return util::format("%.3f", r.seconds);
 }
 
 std::string Runner::sim_time_cell(const ParallelResult& r) {
-  if (r.timed_out) return ">limit";
+  if (r.limit_hit()) return ">" + std::string(vc::to_string(r.outcome));
   return util::format("%.4f", r.sim_seconds);
 }
 

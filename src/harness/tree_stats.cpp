@@ -51,10 +51,10 @@ class ShapeTraversal {
  private:
   std::uint64_t visit(vc::DegreeArray da, int depth) {
     if (timed_out_ || pvc_found_) return 0;
-    if ((opt_.solver.limits.max_tree_nodes != 0 &&
-         nodes_ >= opt_.solver.limits.max_tree_nodes) ||
-        (opt_.solver.limits.time_limit_s != 0.0 &&
-         timer_.seconds() > opt_.solver.limits.time_limit_s)) {
+    if ((opt_.limits.max_tree_nodes != 0 &&
+         nodes_ >= opt_.limits.max_tree_nodes) ||
+        (opt_.limits.time_limit_s != 0.0 &&
+         timer_.seconds() > opt_.limits.time_limit_s)) {
       timed_out_ = true;
       return 0;
     }

@@ -27,6 +27,10 @@ namespace gvc::harness {
 struct TreeShapeOptions {
   vc::SequentialConfig solver;  ///< problem/k/rules/branch, as in Fig. 1
 
+  /// Traversal budget (SequentialConfig no longer carries limits — solves
+  /// take a vc::SolveControl; the analyzer only needs the plain budgets).
+  vc::Limits limits;
+
   /// Record sub-tree sizes for roots at depths 0..record_max_depth. The
   /// paper's StackOnly depths of interest are 8/12/16 (scaled: 4-10).
   int record_max_depth = 12;

@@ -72,7 +72,12 @@ struct ParallelConfig {
   /// the parallel methods and kSerial for the Sequential baseline).
   vc::ReduceSemantics semantics = vc::ReduceSemantics::kIncremental;
   vc::RuleSet rules = {};
-  vc::Limits limits = {};
+
+  // Node/time budgets no longer live here: pass a vc::SolveControl (which
+  // bundles Limits with the cancel latch and deadline) to solve(). Keeping
+  // execution policy out of the config also keeps it out of the cache key —
+  // a complete record is limit-independent, so requests differing only in
+  // budgets now share one cache entry.
 
   /// Branching-vertex selection; kMaxDegree is the paper's rule (§II-B).
   vc::BranchStrategy branch = vc::BranchStrategy::kMaxDegree;

@@ -27,6 +27,7 @@ using worklist::GlobalWorklist;
 
 ParallelResult solve_global_only(const CsrGraph& g,
                                  const ParallelConfig& config,
+                                 vc::SolveControl* control,
                                  SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
@@ -45,7 +46,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
   GVC_CHECK(grid > 0);
 
   SharedSearch shared(config.problem, config.k, greedy.size,
-                      std::move(greedy.cover), config.limits);
+                      std::move(greedy.cover), control);
 
   // Threshold == capacity: the donation gate never rejects below fullness,
   // so try_donate degenerates to "add unless full" — the per-node policy of

@@ -27,6 +27,7 @@ namespace gvc::parallel {
 
 ParallelResult solve_global_only(const graph::CsrGraph& g,
                                  const ParallelConfig& config,
+                                 vc::SolveControl* control = nullptr,
                                  SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

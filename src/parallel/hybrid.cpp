@@ -25,6 +25,7 @@ using worklist::GlobalWorklist;
 }  // namespace
 
 ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
+                            vc::SolveControl* control,
                             SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
@@ -46,7 +47,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
   GVC_CHECK(grid > 0);
 
   SharedSearch shared(config.problem, config.k, greedy.size,
-                      std::move(greedy.cover), config.limits);
+                      std::move(greedy.cover), control);
 
   const auto threshold = static_cast<std::size_t>(
       config.worklist_threshold_frac *

@@ -14,6 +14,7 @@ namespace gvc::parallel {
 
 ParallelResult solve_hybrid(const graph::CsrGraph& g,
                             const ParallelConfig& config,
+                            vc::SolveControl* control = nullptr,
                             SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

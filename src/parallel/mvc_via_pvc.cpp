@@ -17,24 +17,27 @@ using graph::Vertex;
 /// One PVC probe at the given k, recorded into the result.
 bool probe(const CsrGraph& g, Method method, const ParallelConfig& base,
            int k, MvcViaPvcResult& result,
-           std::vector<Vertex>* cover_if_found) {
+           std::vector<Vertex>* cover_if_found, vc::SolveControl* control) {
   ParallelConfig config = base;
   config.problem = vc::Problem::kPvc;
   config.k = k;
-  ParallelResult r = solve(g, method, config);
+  ParallelResult r = solve(g, method, config, control);
   ++result.queries;
-  result.trace.emplace_back(k, r.found);
+  result.trace.emplace_back(k, r.has_cover());
   result.total_tree_nodes += r.tree_nodes;
-  if (r.timed_out) result.timed_out = true;
-  if (r.found && cover_if_found != nullptr) *cover_if_found = r.cover;
-  return r.found;
+  // The first interrupted query taints the ladder: a "no" that was really
+  // "ran out of budget" makes the final answer an upper bound only.
+  if (r.limit_hit() && result.complete()) result.outcome = r.outcome;
+  if (r.has_cover() && cover_if_found != nullptr) *cover_if_found = r.cover;
+  return r.has_cover();
 }
 
 }  // namespace
 
 MvcViaPvcResult solve_mvc_via_pvc(const CsrGraph& g, Method method,
                                   const ParallelConfig& config,
-                                  PvcSearch search) {
+                                  PvcSearch search,
+                                  vc::SolveControl* control) {
   util::WallTimer timer;
   MvcViaPvcResult result;
 
@@ -53,8 +56,13 @@ MvcViaPvcResult solve_mvc_via_pvc(const CsrGraph& g, Method method,
     // Every "yes" lowers the witness; the single "no" proves minimality.
     // k = 0 is never probed: the graph has an edge, so min ≥ 1.
     for (int k = greedy.size - 1; k >= 1; --k) {
+      // An external stop ends the whole ladder: further probes would each
+      // pay full solve setup only to abort at their first node check.
+      if (control != nullptr &&
+          control->external_stop() != vc::StopCause::kNone)
+        break;
       std::vector<Vertex> cover;
-      if (!probe(g, method, config, k, result, &cover)) break;
+      if (!probe(g, method, config, k, result, &cover, control)) break;
       // The solver may find a cover smaller than k; skip the gap.
       result.cover = std::move(cover);
       result.best_size = static_cast<int>(result.cover.size());
@@ -64,9 +72,15 @@ MvcViaPvcResult solve_mvc_via_pvc(const CsrGraph& g, Method method,
     int lo = vc::lower_bound(g);  // max(matching, clique cover) ≤ min
     int hi = greedy.size;         // witness in hand
     while (lo < hi) {
+      // Stop the ladder on cancel/deadline: an interrupted probe reports
+      // "no witness", and bisecting on that answer would both launch
+      // doomed probes and tighten lo on evidence that never existed.
+      if (control != nullptr &&
+          control->external_stop() != vc::StopCause::kNone)
+        break;
       const int mid = lo + (hi - lo) / 2;
       std::vector<Vertex> cover;
-      if (probe(g, method, config, mid, result, &cover)) {
+      if (probe(g, method, config, mid, result, &cover, control)) {
         result.cover = std::move(cover);
         result.best_size = static_cast<int>(result.cover.size());
         hi = std::min(mid, result.best_size);

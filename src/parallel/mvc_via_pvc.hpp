@@ -36,16 +36,24 @@ struct MvcViaPvcResult {
   std::vector<std::pair<int, bool>> trace;  ///< (k, found) per query
   std::uint64_t total_tree_nodes = 0;       ///< summed over all queries
   double seconds = 0.0;                     ///< wall clock, all queries
-  bool timed_out = false;  ///< a query hit its limit; result is then only an
-                           ///< upper bound on the minimum
+
+  /// kOptimal once the minimum is pinned. When a query is interrupted its
+  /// cause is recorded here and the result is only an upper bound on the
+  /// minimum (the best witness seen).
+  vc::Outcome outcome = vc::Outcome::kOptimal;
+
+  bool complete() const { return vc::is_complete(outcome); }
+  bool limit_hit() const { return vc::is_limit(outcome); }
 };
 
 /// Computes the minimum vertex cover of g by PVC queries through `method`.
-/// `config`'s problem/k fields are overridden per query; limits apply to
-/// each query individually. The greedy bound caps the search from above;
-/// vc::lower_bound caps it from below (kBinary).
+/// `config`'s problem/k fields are overridden per query. `control` is
+/// shared by every query: its node/time budgets apply to each query
+/// individually (they restart per solve), while a cancel() or deadline
+/// stops the whole ladder at the current query.
 MvcViaPvcResult solve_mvc_via_pvc(const graph::CsrGraph& g, Method method,
                                   const ParallelConfig& config,
-                                  PvcSearch search = PvcSearch::kLinearDown);
+                                  PvcSearch search = PvcSearch::kLinearDown,
+                                  vc::SolveControl* control = nullptr);
 
 }  // namespace gvc::parallel

@@ -6,15 +6,30 @@ namespace gvc::parallel {
 
 SharedSearch::SharedSearch(vc::Problem problem, int k, int initial_best,
                            std::vector<graph::Vertex> initial_cover,
-                           const vc::Limits& limits)
+                           vc::SolveControl* control)
     : problem_(problem),
       k_(k),
-      limits_(limits),
+      control_(control),
+      limits_(control ? control->limits : vc::Limits{}),
       best_(initial_best),
       best_cover_(std::move(initial_cover)) {
   GVC_CHECK(problem_ == vc::Problem::kMvc || k_ > 0);
   GVC_CHECK(initial_best >= 0);
   GVC_CHECK(static_cast<int>(best_cover_.size()) == initial_best);
+}
+
+bool SharedSearch::latch_stop(vc::StopCause cause) {
+  std::uint8_t expected = static_cast<std::uint8_t>(vc::StopCause::kNone);
+  stop_.compare_exchange_strong(expected, static_cast<std::uint8_t>(cause),
+                                std::memory_order_acq_rel);
+  return false;
+}
+
+bool SharedSearch::check_external() {
+  if (control_ == nullptr) return true;
+  const vc::StopCause cause = control_->external_stop();
+  if (cause != vc::StopCause::kNone) return latch_stop(cause);
+  return true;
 }
 
 bool SharedSearch::offer_cover(const vc::DegreeArray& da) {
@@ -27,6 +42,8 @@ bool SharedSearch::offer_cover(const vc::DegreeArray& da) {
       // only materialize ours if it still matches the atomic.
       if (best_.load(std::memory_order_acquire) == size)
         best_cover_ = da.solution();
+      if (control_ != nullptr && control_->progress_enabled())
+        control_->publish_progress(size, nodes());
       return true;
     }
   }
@@ -43,58 +60,76 @@ void SharedSearch::set_pvc_found(const vc::DegreeArray& da) {
 }
 
 bool SharedSearch::register_node() {
+  // The cancel latch is one uncontended atomic load; observe it every node
+  // so JobTicket::cancel() stops the solve promptly.
+  if (control_ != nullptr && control_->cancelled())
+    return latch_stop(vc::StopCause::kCancelled);
   std::uint64_t n = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes) {
-    aborted_.store(true, std::memory_order_release);
-    return false;
+  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes)
+    return latch_stop(vc::StopCause::kNodeLimit);
+  // Clock reads are cheap (vDSO) but still amortized across nodes; the
+  // deadline shares the cadence of the relative time budget.
+  if ((n & 63) == 0) {
+    if (limits_.time_limit_s != 0.0 &&
+        timer_.seconds() > limits_.time_limit_s)
+      return latch_stop(vc::StopCause::kTimeLimit);
+    if (control_ != nullptr && control_->deadline_passed())
+      return latch_stop(vc::StopCause::kDeadline);
+    if (control_ != nullptr && control_->progress_enabled())
+      control_->publish_progress(
+          problem_ == vc::Problem::kMvc ? best() : -1, n);
   }
-  // Clock reads are cheap (vDSO) but still amortized across nodes.
-  if (limits_.time_limit_s != 0.0 && (n & 63) == 0 &&
-      timer_.seconds() > limits_.time_limit_s) {
-    aborted_.store(true, std::memory_order_release);
-    return false;
-  }
-  return !aborted_.load(std::memory_order_acquire);
+  return !aborted();
 }
 
 bool SharedSearch::check_time_limit() {
-  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s) {
-    aborted_.store(true, std::memory_order_release);
-    return false;
-  }
-  return !aborted_.load(std::memory_order_acquire);
+  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s)
+    return latch_stop(vc::StopCause::kTimeLimit);
+  if (!check_external()) return false;
+  return !aborted();
 }
 
 bool SharedSearch::register_nodes(std::uint64_t count) {
-  if (count == 0) return !aborted_.load(std::memory_order_acquire);
+  if (count == 0) return !aborted();
+  if (control_ != nullptr && control_->cancelled())
+    return latch_stop(vc::StopCause::kCancelled);
   std::uint64_t n = nodes_.fetch_add(count, std::memory_order_relaxed) + count;
-  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes) {
-    aborted_.store(true, std::memory_order_release);
-    return false;
-  }
+  if (limits_.max_tree_nodes != 0 && n > limits_.max_tree_nodes)
+    return latch_stop(vc::StopCause::kNodeLimit);
   // Every bulk flush checks the clock — flushes are already amortized.
-  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s) {
-    aborted_.store(true, std::memory_order_release);
-    return false;
+  if (limits_.time_limit_s != 0.0 && timer_.seconds() > limits_.time_limit_s)
+    return latch_stop(vc::StopCause::kTimeLimit);
+  if (control_ != nullptr) {
+    if (control_->deadline_passed())
+      return latch_stop(vc::StopCause::kDeadline);
+    if (control_->progress_enabled())
+      control_->publish_progress(
+          problem_ == vc::Problem::kMvc ? best() : -1, n);
   }
-  return !aborted_.load(std::memory_order_acquire);
+  return !aborted();
 }
 
 vc::SolveResult SharedSearch::harvest() const {
   vc::SolveResult r;
   r.tree_nodes = nodes();
-  r.timed_out = aborted();
+  const vc::StopCause stop = stop_cause();
   std::lock_guard<std::mutex> lock(mutex_);
   if (problem_ == vc::Problem::kMvc) {
-    r.found = true;
     r.best_size = best_.load(std::memory_order_acquire);
     r.cover = best_cover_;
+    r.outcome = stop == vc::StopCause::kNone
+                    ? vc::Outcome::kOptimal
+                    : vc::interrupted_outcome(stop, /*have_cover=*/true);
+  } else if (pvc_found()) {
+    // A witness answers the PVC question definitively even if a limit
+    // latched while other blocks were still winding down.
+    r.best_size = static_cast<int>(pvc_cover_.size());
+    r.cover = pvc_cover_;
+    r.outcome = vc::Outcome::kOptimal;
   } else {
-    r.found = pvc_found();
-    if (r.found) {
-      r.best_size = static_cast<int>(pvc_cover_.size());
-      r.cover = pvc_cover_;
-    }
+    r.outcome = stop == vc::StopCause::kNone
+                    ? vc::Outcome::kInfeasible
+                    : vc::interrupted_outcome(stop, /*have_cover=*/false);
   }
   return r;
 }

@@ -2,8 +2,10 @@
 
 // State shared by all thread blocks of one kernel launch: the atomic `best`
 // (Fig. 4 line 18's atomic minimum update), the PVC found-flag (§IV-A), and
-// the limit/abort latch used by the harness to emulate the paper's ">2 hrs"
-// cut-offs.
+// the stop latch that consumes a vc::SolveControl — node/time budgets (the
+// harness's analogue of the paper's ">2 hrs" cut-offs) plus the control's
+// external deadline and cancellation latch. The first cause to fire wins
+// and is reported through harvest()'s Outcome.
 
 #include <atomic>
 #include <cstdint>
@@ -18,9 +20,13 @@ namespace gvc::parallel {
 
 class SharedSearch {
  public:
+  /// `control` may be null (unlimited, uncancellable). It is observed by
+  /// register_node()/register_nodes()/check_time_limit() at the same
+  /// amortized cadence as the internal budgets, so a cancel() or a passed
+  /// deadline stops every block within a few tree nodes.
   SharedSearch(vc::Problem problem, int k, int initial_best,
                std::vector<graph::Vertex> initial_cover,
-               const vc::Limits& limits);
+               vc::SolveControl* control);
 
   vc::Problem problem() const { return problem_; }
   int k() const { return k_; }
@@ -44,10 +50,10 @@ class SharedSearch {
   /// same limit checks. Used by NodeBatch flushes.
   bool register_nodes(std::uint64_t count);
 
-  /// Reads the clock and latches abort if the time budget is exhausted.
-  /// Read-mostly — touches no shared counter unless the limit fires — so
-  /// NodeBatch can call it between flushes without reintroducing the
-  /// contended increment.
+  /// Reads the clock and latches abort if the time budget, the control's
+  /// deadline, or its cancel latch fired. Read-mostly — touches no shared
+  /// counter unless something fires — so NodeBatch can call it between
+  /// flushes without reintroducing the contended increment.
   bool check_time_limit();
 
   /// Whether an exact node budget is active. NodeBatch falls back to
@@ -55,27 +61,47 @@ class SharedSearch {
   /// node it always did.
   bool node_limited() const { return limits_.max_tree_nodes != 0; }
 
-  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  bool aborted() const {
+    return stop_.load(std::memory_order_acquire) !=
+           static_cast<std::uint8_t>(vc::StopCause::kNone);
+  }
+
+  /// The first cause that latched abort (kNone while running clean).
+  vc::StopCause stop_cause() const {
+    return static_cast<vc::StopCause>(stop_.load(std::memory_order_acquire));
+  }
 
   std::uint64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
 
-  /// Snapshot of the answer after the launch has completed.
+  /// Snapshot of the answer after the launch has completed; outcome is
+  /// derived from the stop cause, the problem, and whether a witness is in
+  /// hand (see vc::Outcome).
   vc::SolveResult harvest() const;
 
  private:
   vc::Problem problem_;
   int k_;
-  vc::Limits limits_;
+  vc::SolveControl* control_;  // may be null; not owned
+  vc::Limits limits_;         // copied from control_ (or unlimited)
   util::WallTimer timer_;
 
   std::atomic<int> best_;
   std::atomic<bool> pvc_found_{false};
-  std::atomic<bool> aborted_{false};
+  /// First StopCause to fire, as its uint8_t value; kNone while running.
+  std::atomic<std::uint8_t> stop_{
+      static_cast<std::uint8_t>(vc::StopCause::kNone)};
   std::atomic<std::uint64_t> nodes_{0};
 
   mutable std::mutex mutex_;
   std::vector<graph::Vertex> best_cover_;  // guarded by mutex_
   std::vector<graph::Vertex> pvc_cover_;   // guarded by mutex_
+
+  /// Latches `cause` if nothing latched yet; returns false (abort).
+  bool latch_stop(vc::StopCause cause);
+
+  /// Observes the control's cancel latch + deadline; latches on fire.
+  /// Returns true when the search may continue.
+  bool check_external();
 };
 
 /// Per-block node accounting that batches the shared atomic increment: each

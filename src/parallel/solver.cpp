@@ -23,7 +23,7 @@ const std::vector<Method>& all_methods() {
   return kAll;
 }
 
-Method parse_method(const std::string& name) {
+std::optional<Method> try_parse_method(const std::string& name) {
   std::string n = util::to_lower(name);
   if (n == "sequential" || n == "seq") return Method::kSequential;
   if (n == "stackonly" || n == "stack-only") return Method::kStackOnly;
@@ -31,14 +31,20 @@ Method parse_method(const std::string& name) {
   if (n == "globalonly" || n == "global-only") return Method::kGlobalOnly;
   if (n == "workstealing" || n == "work-stealing")
     return Method::kWorkStealing;
-  GVC_CHECK_MSG(false,
+  return std::nullopt;
+}
+
+Method parse_method(const std::string& name) {
+  std::optional<Method> m = try_parse_method(name);
+  GVC_CHECK_MSG(m.has_value(),
                 "unknown method (want "
                 "sequential|stackonly|hybrid|globalonly|workstealing)");
-  return Method::kSequential;
+  return *m;
 }
 
 ParallelResult solve(const graph::CsrGraph& g, Method method,
-                     const ParallelConfig& config, SolveWorkspace* workspace) {
+                     const ParallelConfig& config, vc::SolveControl* control,
+                     SolveWorkspace* workspace) {
   switch (method) {
     case Method::kSequential: {
       vc::SequentialConfig sc;
@@ -48,25 +54,24 @@ ParallelResult solve(const graph::CsrGraph& g, Method method,
       sc.branch = config.branch;
       sc.branch_seed = config.branch_seed;
       sc.rules = config.rules;
-      sc.limits = config.limits;
       vc::ReduceWorkspace* ws = nullptr;
       if (workspace) {
         workspace->prepare(1);
         ws = &workspace->block(0);
       }
       ParallelResult r;
-      static_cast<vc::SolveResult&>(r) = solve_sequential(g, sc, ws);
+      static_cast<vc::SolveResult&>(r) = solve_sequential(g, sc, control, ws);
       r.sim_seconds = r.seconds;  // one CPU thread: makespan == wall time
       return r;
     }
     case Method::kStackOnly:
-      return solve_stack_only(g, config, workspace);
+      return solve_stack_only(g, config, control, workspace);
     case Method::kHybrid:
-      return solve_hybrid(g, config, workspace);
+      return solve_hybrid(g, config, control, workspace);
     case Method::kGlobalOnly:
-      return solve_global_only(g, config, workspace);
+      return solve_global_only(g, config, control, workspace);
     case Method::kWorkStealing:
-      return solve_work_stealing(g, config, workspace);
+      return solve_work_stealing(g, config, control, workspace);
   }
   GVC_CHECK(false);
   return {};

@@ -7,6 +7,7 @@
 // motivates Hybrid against) and WorkStealing (per-block deques with steals,
 // the classic alternative load balancer).
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,17 +35,29 @@ const char* method_name(Method m);
 const std::vector<Method>& all_methods();
 
 /// Parses "sequential" / "stackonly" / "hybrid" / "globalonly" /
-/// "workstealing" (case-insensitive). Aborts on anything else.
+/// "workstealing" (case-insensitive). std::nullopt on anything else — for
+/// tools that want to print usage instead of aborting.
+std::optional<Method> try_parse_method(const std::string& name);
+
+/// Like try_parse_method, but aborts (GVC_CHECK) on unknown names — for
+/// callers where a bad name is a programming error.
 Method parse_method(const std::string& name);
 
 /// Runs the selected implementation. Sequential ignores the device/worklist
 /// fields of the config; its result has empty launch/worklist stats.
+///
+/// `control` (optional) is the externally-owned stop handle: its node/time
+/// budgets bound the solve, its deadline/cancel latch stop it mid-flight
+/// from any thread, and its progress snapshot is published while the solve
+/// runs. With no control the solve is unlimited and uncancellable, and
+/// behaves bit-identically to a control that never fires.
 ///
 /// Re-entrant: concurrent calls (with distinct workspaces, or none) are
 /// safe — all solver state lives on the call's stack. Passing `workspace`
 /// reuses its buffers instead of allocating scratch per call.
 ParallelResult solve(const graph::CsrGraph& g, Method method,
                      const ParallelConfig& config,
+                     vc::SolveControl* control = nullptr,
                      SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

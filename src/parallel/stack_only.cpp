@@ -68,6 +68,7 @@ NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
 
 ParallelResult solve_stack_only(const CsrGraph& g,
                                 const ParallelConfig& config,
+                                vc::SolveControl* control,
                                 SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
@@ -86,7 +87,7 @@ ParallelResult solve_stack_only(const CsrGraph& g,
                                     depth_bound, config.block_size_override);
 
   SharedSearch shared(config.problem, config.k, greedy.size,
-                      std::move(greedy.cover), config.limits);
+                      std::move(greedy.cover), control);
 
   // One block per depth-D branch pattern. grid_override is not meaningful
   // here: the grid is structurally 2^start_depth.

@@ -15,6 +15,7 @@ namespace gvc::parallel {
 
 ParallelResult solve_stack_only(const graph::CsrGraph& g,
                                 const ParallelConfig& config,
+                                vc::SolveControl* control = nullptr,
                                 SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

@@ -120,6 +120,7 @@ class StealGroup {
 
 ParallelResult solve_work_stealing(const CsrGraph& g,
                                    const ParallelConfig& config,
+                                   vc::SolveControl* control,
                                    SolveWorkspace* workspace) {
   util::WallTimer timer;
   ParallelResult result;
@@ -138,7 +139,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
   GVC_CHECK(grid > 0);
 
   SharedSearch shared(config.problem, config.k, greedy.size,
-                      std::move(greedy.cover), config.limits);
+                      std::move(greedy.cover), control);
 
   const Vertex n = g.num_vertices();
   StealGroup group(n, depth_bound, grid);

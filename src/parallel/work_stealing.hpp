@@ -29,6 +29,7 @@ namespace gvc::parallel {
 
 ParallelResult solve_work_stealing(const graph::CsrGraph& g,
                                    const ParallelConfig& config,
+                                   vc::SolveControl* control = nullptr,
                                    SolveWorkspace* workspace = nullptr);
 
 }  // namespace gvc::parallel

@@ -62,8 +62,10 @@ std::uint64_t solve_config_hash(parallel::Method method,
            (config.rules.high_degree ? 4u : 0u));
   fold.add(static_cast<std::uint64_t>(config.branch));
   fold.add(config.branch_seed);
-  fold.add(config.limits.max_tree_nodes);
-  fold.add_double(config.limits.time_limit_s);
+  // Limits are deliberately NOT hashed: they moved out of ParallelConfig
+  // into the caller-owned SolveControl, and a cache only admits complete
+  // records — which are limit-independent — so requests differing only in
+  // budgets should share one entry.
   fold.add(static_cast<std::uint64_t>(config.block_size_override));
   fold.add(static_cast<std::uint64_t>(config.grid_override));
   fold.add(static_cast<std::uint64_t>(config.start_depth));

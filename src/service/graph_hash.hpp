@@ -32,8 +32,11 @@ std::uint64_t canonical_graph_hash(const graph::CsrGraph& g);
 
 /// Hash of every ParallelConfig field (plus the method) that shapes the
 /// result record: problem/k/rules/semantics/branch as well as the schedule
-/// knobs (device, grid, worklist, limits) — two requests differing in any
-/// of them may legitimately produce different stats, so they never alias.
+/// knobs (device, grid, worklist) — two requests differing in any of them
+/// may legitimately produce different stats, so they never alias. Budgets
+/// (vc::Limits) live on the caller's SolveControl, not in the config, and
+/// are excluded on purpose: only complete (limit-independent) records are
+/// ever cached.
 std::uint64_t solve_config_hash(parallel::Method method,
                                 const parallel::ParallelConfig& config);
 

@@ -27,10 +27,10 @@ namespace gvc::service {
 using JobId = std::uint64_t;
 
 /// The service's monotonic clock, in seconds. Deadlines and latency
-/// accounting all live on this one clock.
-inline double service_now_s() {
-  return static_cast<double>(util::now_ns()) * 1e-9;
-}
+/// accounting all live on this one clock — the same clock SolveControl
+/// deadlines use, so a queue deadline propagates into a running solve
+/// without translation.
+inline double service_now_s() { return vc::SolveControl::now_s(); }
 
 /// One solve request. The graph is shared, not copied: batch submitters
 /// typically submit many jobs over few graphs, and the cache key pins the
@@ -41,28 +41,56 @@ struct JobSpec {
   parallel::Method method = parallel::Method::kHybrid;
   parallel::ParallelConfig config;
 
+  /// Per-solve node/time budgets, loaded into the job's SolveControl (they
+  /// are execution policy, not part of the cached request identity — see
+  /// solve_config_hash). Zero = unlimited.
+  vc::Limits limits;
+
   /// Higher runs first within a worker's queue shard.
   int priority = 0;
 
   /// Seconds from submission after which the job is dropped instead of
-  /// solved (admission rejects already-expired jobs; workers drop expired
-  /// jobs at dequeue). 0 = no deadline.
+  /// solved. Enforced end to end: admission rejects already-expired jobs,
+  /// workers drop expired jobs at dequeue, and the absolute deadline is
+  /// loaded into the job's SolveControl so a solve that dequeues in time
+  /// but runs past it stops with Outcome::kDeadline. 0 = no deadline.
   double deadline_s = 0.0;
 };
 
 enum class JobStatus {
-  kQueued,    ///< admitted, waiting in a worker shard
-  kRunning,   ///< a worker is solving it
-  kDone,      ///< result is valid (solved, or served from cache)
-  kExpired,   ///< deadline passed before a worker got to it
-  kRejected,  ///< refused at admission (queue full / service shut down)
+  kQueued,     ///< admitted, waiting in a worker shard
+  kRunning,    ///< a worker is solving it
+  kDone,       ///< result is valid (solved, or served from cache)
+  kExpired,    ///< deadline fired — before a worker got to it, or mid-solve
+  kCancelled,  ///< JobTicket::cancel() — while queued, or mid-solve
+  kRejected,   ///< refused at admission (queue full / service shut down)
 };
 
 const char* job_status_name(JobStatus s);
 
+/// Coverless placeholder record for jobs dropped without a solve; `cause`
+/// names why (kDeadline for expiries, kCancelled for cancellations and
+/// admission rejections).
+parallel::ParallelResult dropped_result(vc::Outcome cause);
+
+/// Whether two requests may share one solve (in-flight coalescing). The
+/// cache key identifies the *result* — and complete records are
+/// budget-independent — but an in-flight solve runs under ONE control, so
+/// a waiter must have asked for the same budgets: coalescing an unbounded
+/// request onto a node-limited (or tightly deadlined) solve would hand it
+/// a truncated answer. Relative deadlines compare as specified; two jobs
+/// with the same deadline_s submitted moments apart share the earlier
+/// job's absolute expiry, like every coalesced ticket shares its owner's
+/// fate.
+inline bool same_solve_budget(const JobSpec& a, const JobSpec& b) {
+  return a.limits.max_tree_nodes == b.limits.max_tree_nodes &&
+         a.limits.time_limit_s == b.limits.time_limit_s &&
+         a.deadline_s == b.deadline_s;
+}
+
 inline bool is_terminal(JobStatus s) {
   return s == JobStatus::kDone || s == JobStatus::kExpired ||
-         s == JobStatus::kRejected;
+         s == JobStatus::kCancelled || s == JobStatus::kRejected;
 }
 
 /// Shared mutable completion record of one admitted job.
@@ -70,11 +98,20 @@ class JobState {
  public:
   JobState(JobId id, JobSpec spec, CacheKey key)
       : id_(id), spec_(std::move(spec)), key_(key),
+        control_(std::make_shared<vc::SolveControl>(spec_.limits)),
         submit_time_s_(service_now_s()) {}
 
   JobId id() const { return id_; }
   const JobSpec& spec() const { return spec_; }
   const CacheKey& key() const { return key_; }
+
+  /// The job's stop handle: carries the spec's budgets, receives the
+  /// absolute queue deadline at dequeue, and is the conduit through which
+  /// cancel() reaches an in-flight solve. Created with the job so a
+  /// cancellation can never race its existence.
+  const std::shared_ptr<vc::SolveControl>& control() const {
+    return control_;
+  }
 
   /// Submission timestamp on the service clock; with spec().deadline_s it
   /// fixes the job's absolute expiry.
@@ -86,7 +123,7 @@ class JobState {
   }
 
   /// Transition kQueued -> kRunning. Returns false if the job is already
-  /// terminal (e.g. rejected during shutdown).
+  /// terminal (e.g. rejected during shutdown, or cancelled while queued).
   bool start() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (status_ != JobStatus::kQueued) return false;
@@ -94,12 +131,37 @@ class JobState {
     return true;
   }
 
+  /// Requests cancellation. A queued job turns terminal (kCancelled) right
+  /// here — the worker that later dequeues it sees a terminal state and
+  /// skips it; waiters wake immediately. A running job is stopped through
+  /// its SolveControl and reaches kCancelled when the solve returns with
+  /// Outcome::kCancelled. Returns false when the job was already terminal
+  /// (nothing to cancel). `placeholder` is the result record installed for
+  /// the queued-cancel case.
+  bool cancel(parallel::ParallelResult placeholder) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (is_terminal(status_)) return false;
+    // Latch first: a job that transitions kQueued -> kRunning concurrently
+    // still observes the cancel within a few tree nodes.
+    control_->cancel();
+    if (status_ == JobStatus::kQueued) {
+      status_ = JobStatus::kCancelled;
+      result_ = std::move(placeholder);
+      queue_seconds_ = service_now_s() - submit_time_s_;
+      lock.unlock();
+      cv_.notify_all();
+    }
+    return true;
+  }
+
   /// Terminal transition; wakes every waiter. `queue_seconds` /
-  /// `solve_seconds` feed the service's latency accounting.
+  /// `solve_seconds` feed the service's latency accounting. No-op if a
+  /// concurrent cancel() already made the job terminal.
   void finish(JobStatus status, parallel::ParallelResult result,
               double queue_seconds, double solve_seconds) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (is_terminal(status_)) return;
       status_ = status;
       result_ = std::move(result);
       queue_seconds_ = queue_seconds;
@@ -141,6 +203,7 @@ class JobState {
   const JobId id_;
   const JobSpec spec_;
   const CacheKey key_;
+  const std::shared_ptr<vc::SolveControl> control_;
   const double submit_time_s_;
 
   mutable std::mutex mutex_;
@@ -170,6 +233,14 @@ struct JobTicket {
 
   bool valid() const { return state != nullptr; }
   JobId id() const { return state ? state->id() : 0; }
+
+  /// Aborts the job: queued jobs turn terminal (kCancelled) immediately;
+  /// an in-flight solve is stopped through the job's SolveControl and
+  /// completes with Outcome::kCancelled shortly after. Returns true if the
+  /// request landed before the job was terminal. Note for coalesced
+  /// tickets: the ticket shares the owner job's state, so cancelling it
+  /// cancels the one solve every coalesced ticket is waiting on.
+  bool cancel() const;
 };
 
 }  // namespace gvc::service

@@ -4,8 +4,11 @@
 
 namespace gvc::service {
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity, double min_cache_seconds)
+    : capacity_(capacity), min_cache_seconds_(min_cache_seconds) {
   GVC_CHECK_MSG(capacity_ > 0, "ResultCache capacity must be positive");
+  GVC_CHECK_MSG(min_cache_seconds_ >= 0.0,
+                "min_cache_seconds must be non-negative");
 }
 
 void ResultCache::touch(Node& node) {
@@ -35,6 +38,22 @@ ResultCache::Outcome ResultCache::acquire(
       if (result_out) *result_out = node.result;
       return Outcome::kHit;
     }
+    if (node.inflight_owner != nullptr &&
+        is_terminal(node.inflight_owner->status())) {
+      // The owner died while queued (cancelled/expired) and has not been
+      // swept yet: adopt the key so this submission re-solves.
+      node.inflight_owner = fresh;
+      ++stats_.misses;
+      return Outcome::kMiss;
+    }
+    if (node.inflight_owner != nullptr && fresh != nullptr &&
+        !same_solve_budget(fresh->spec(), node.inflight_owner->spec())) {
+      // Same result identity, different budgets: the in-flight solve runs
+      // under the owner's control, so its answer may be truncated in ways
+      // this caller did not ask for. Run independently.
+      ++stats_.bypasses;
+      return Outcome::kBypass;
+    }
     ++stats_.inflight_hits;
     if (owner_out) *owner_out = node.inflight_owner;
     return Outcome::kInflight;
@@ -48,17 +67,34 @@ ResultCache::Outcome ResultCache::acquire(
 }
 
 void ResultCache::complete(const CacheKey& key,
-                           const parallel::ParallelResult& result) {
+                           const parallel::ParallelResult& result,
+                           const JobState* owner) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = map_.find(key);
   if (it != map_.end() && it->second.ready) {
     // Refreshed store (two memoizers raced): keep the first result — the
     // coalescing contract promises one canonical record per key — but
-    // refresh recency. Exception: a completed record replaces a stale
-    // limit-hit one (limit hits are load-dependent, not canonical).
-    if (it->second.result.timed_out && !result.timed_out)
+    // refresh recency. Exception (staleness upgrade): a complete record
+    // replaces an incomplete one a pre-policy writer left behind.
+    if (!vc::is_complete(it->second.result.outcome) &&
+        vc::is_complete(result.outcome))
       it->second.result = result;
     touch(it->second);
+    return;
+  }
+  // Admission: limit/deadline/cancel outcomes are load-dependent, not
+  // canonical, and sub-threshold solves are cheaper to redo than the
+  // eviction they'd cause. Refusal == abandon for the refusing job's OWN
+  // registration (so the next identical submission re-solves); a refusal
+  // must not tear down a live registration belonging to a different job
+  // (memoizers and bypass jobs never held one).
+  if (!vc::is_complete(result.outcome) ||
+      result.seconds < min_cache_seconds_) {
+    ++stats_.refused;
+    if (it != map_.end() &&
+        (owner == nullptr ? it->second.inflight_owner == nullptr
+                          : it->second.inflight_owner.get() == owner))
+      map_.erase(it);
     return;
   }
   if (it == map_.end())
@@ -73,10 +109,12 @@ void ResultCache::complete(const CacheKey& key,
   evict_down_to_capacity();
 }
 
-void ResultCache::abandon(const CacheKey& key) {
+void ResultCache::abandon(const CacheKey& key, const JobState* owner) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = map_.find(key);
-  if (it != map_.end() && !it->second.ready) map_.erase(it);
+  if (it == map_.end() || it->second.ready) return;
+  if (owner != nullptr && it->second.inflight_owner.get() != owner) return;
+  map_.erase(it);
 }
 
 bool ResultCache::lookup(const CacheKey& key, parallel::ParallelResult* out) {

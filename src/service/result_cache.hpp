@@ -18,6 +18,23 @@
 // Eviction is LRU over *completed* entries only; in-flight registrations
 // are pinned (evicting one would break the coalescing contract) and do not
 // count toward capacity.
+//
+// Admission policy (complete()/insert()):
+//
+//  * Only complete outcomes (vc::is_complete — kOptimal/kInfeasible) are
+//    stored. Limit hits, kDeadline and kCancelled records are refused with
+//    one shared staleness rule: they are load-dependent, not canonical, so
+//    serving them to future identical submissions would pin a transient
+//    failure. A refusal also releases the key's in-flight registration, so
+//    the next identical submission re-solves.
+//
+//  * Cost-aware admission: solves cheaper than `min_cache_seconds` are
+//    refused the same way, so floods of tiny instances cannot evict
+//    expensive records (default 0 = store everything).
+//
+//  * A stored entry is immutable except for the staleness upgrade: a
+//    complete record replaces an incomplete one left by a pre-policy
+//    writer; it is never downgraded.
 
 #include <cstdint>
 #include <list>
@@ -33,13 +50,22 @@ namespace gvc::service {
 
 class ResultCache {
  public:
-  enum class Outcome { kHit, kInflight, kMiss };
+  /// kBypass: an identical-key job is in flight but was submitted with
+  /// different budgets (limits/deadline), so the caller must run its own
+  /// solve instead of coalescing — without registering (the key already
+  /// has an owner). Its completion may still store the record.
+  enum class Outcome { kHit, kInflight, kMiss, kBypass };
 
   struct Stats {
     std::uint64_t hits = 0;           ///< served from a completed entry
     std::uint64_t misses = 0;         ///< acquire/lookup found nothing
     std::uint64_t inflight_hits = 0;  ///< coalesced onto a running job
+    std::uint64_t bypasses = 0;       ///< in-flight key, incompatible
+                                      ///< budgets: solved independently
     std::uint64_t inserts = 0;        ///< completed entries stored
+    std::uint64_t refused = 0;        ///< records refused at admission
+                                      ///< (incomplete outcome or cheaper
+                                      ///< than min_cache_seconds)
     std::uint64_t evictions = 0;      ///< completed entries LRU-evicted
     std::size_t completed_entries = 0;
     std::size_t inflight_entries = 0;
@@ -53,22 +79,41 @@ class ResultCache {
     }
   };
 
-  explicit ResultCache(std::size_t capacity);
+  /// `min_cache_seconds`: cost-aware admission floor (see header comment);
+  /// 0 stores every complete record.
+  explicit ResultCache(std::size_t capacity, double min_cache_seconds = 0.0);
 
   /// Service path; see the header comment. On kHit `*result_out` is filled;
   /// on kInflight `*owner_out` is the job every coalesced ticket shares; on
   /// kMiss `fresh` is registered as the key's in-flight owner.
+  ///
+  /// Dead-owner adoption: if the registered owner is already terminal (it
+  /// was cancelled or expired while queued and no worker has swept the
+  /// registration yet), the key is handed to `fresh` and the call reports
+  /// kMiss — coalescing onto a job that will never produce a result would
+  /// condemn the new submission to the old one's fate.
   Outcome acquire(const CacheKey& key, const std::shared_ptr<JobState>& fresh,
                   parallel::ParallelResult* result_out,
                   std::shared_ptr<JobState>* owner_out);
 
   /// Completes an in-flight registration (or directly stores/refreshes a
-  /// completed entry — insert() is this without a prior acquire()).
-  void complete(const CacheKey& key, const parallel::ParallelResult& result);
+  /// completed entry — insert() is this without a prior acquire()). The
+  /// admission policy applies: a refused record (incomplete outcome, or
+  /// cheaper than min_cache_seconds) drops the caller's in-flight
+  /// registration instead of storing, exactly like abandon() — and like
+  /// abandon(), the drop is owner-guarded: a refusal only erases the
+  /// registration when `owner` matches it (or when no registration
+  /// exists). Memoizers (owner == nullptr) never tear down a service
+  /// job's live registration.
+  void complete(const CacheKey& key, const parallel::ParallelResult& result,
+                const JobState* owner = nullptr);
 
   /// Drops an in-flight registration without a result (the owner job was
-  /// rejected or expired). No-op if the key is not in-flight.
-  void abandon(const CacheKey& key);
+  /// rejected, expired, or cancelled). No-op if the key is not in-flight,
+  /// or — when `owner` is given — if the registration has since been
+  /// adopted by a different job (see acquire): a worker sweeping a dead
+  /// job must not tear down the adopter's live registration.
+  void abandon(const CacheKey& key, const JobState* owner = nullptr);
 
   /// Memo path: completed entries only. lookup() refreshes LRU recency.
   bool lookup(const CacheKey& key, parallel::ParallelResult* out);
@@ -77,6 +122,7 @@ class ResultCache {
   }
 
   std::size_t capacity() const { return capacity_; }
+  double min_cache_seconds() const { return min_cache_seconds_; }
   Stats stats() const;
 
  private:
@@ -90,6 +136,7 @@ class ResultCache {
   using Map = std::unordered_map<CacheKey, Node, CacheKeyHash>;
 
   const std::size_t capacity_;
+  const double min_cache_seconds_;
   mutable std::mutex mutex_;
   Map map_;
   std::list<CacheKey> lru_;  // front = most recently used completed key

@@ -32,12 +32,16 @@ std::vector<device::DeviceSpec> SolveService::partition_device(
   return slices;
 }
 
-parallel::ParallelResult SolveService::dropped_result() {
+parallel::ParallelResult dropped_result(vc::Outcome cause) {
   parallel::ParallelResult r;
-  r.found = false;
-  r.timed_out = true;
+  r.outcome = cause;
   r.best_size = -1;
   return r;
+}
+
+bool JobTicket::cancel() const {
+  return state != nullptr &&
+         state->cancel(dropped_result(vc::Outcome::kCancelled));
 }
 
 SolveService::SolveService(ServiceOptions options)
@@ -45,7 +49,8 @@ SolveService::SolveService(ServiceOptions options)
   options_.num_workers = std::max(1, options_.num_workers);
   cache_ = options_.cache
                ? options_.cache
-               : std::make_shared<ResultCache>(options_.cache_capacity);
+               : std::make_shared<ResultCache>(options_.cache_capacity,
+                                               options_.min_cache_seconds);
   worker_devices_ = partition_device(options_.device, options_.num_workers);
 
   queues_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -105,7 +110,8 @@ JobTicket SolveService::submit(JobSpec spec) {
 
   if (shutdown_.load(std::memory_order_acquire)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    state->finish(JobStatus::kRejected, dropped_result(), 0.0, 0.0);
+    state->finish(JobStatus::kRejected,
+                  dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
     return JobTicket{std::move(state)};
   }
 
@@ -126,6 +132,10 @@ JobTicket SolveService::submit(JobSpec spec) {
       return t;
     }
     case ResultCache::Outcome::kMiss:
+    case ResultCache::Outcome::kBypass:
+      // kBypass: an identical key is in flight under different budgets —
+      // this job runs its own solve. It holds no registration; the
+      // owner-guarded abandon/complete calls below are no-ops for it.
       break;
   }
 
@@ -136,13 +146,15 @@ JobTicket SolveService::submit(JobSpec spec) {
   const JobQueue::PushOutcome outcome =
       queues_[static_cast<std::size_t>(shard)]->push(state, deadline_abs);
   if (outcome != JobQueue::PushOutcome::kAccepted) {
-    cache_->abandon(key);
+    cache_->abandon(key, state.get());
     if (outcome == JobQueue::PushOutcome::kRejectedExpired) {
       expired_.fetch_add(1, std::memory_order_relaxed);
-      state->finish(JobStatus::kExpired, dropped_result(), 0.0, 0.0);
+      state->finish(JobStatus::kExpired,
+                    dropped_result(vc::Outcome::kDeadline), 0.0, 0.0);
     } else {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      state->finish(JobStatus::kRejected, dropped_result(), 0.0, 0.0);
+      state->finish(JobStatus::kRejected,
+                    dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
     }
   }
   return JobTicket{std::move(state)};
@@ -185,40 +197,63 @@ void SolveService::worker_loop(int w) {
     const double queue_seconds = dequeued_s - job->submit_time_s();
     const JobSpec& spec = job->spec();
 
-    if (spec.deadline_s > 0.0 &&
-        dequeued_s >= job->submit_time_s() + spec.deadline_s) {
-      cache_->abandon(job->key());
+    const double deadline_abs =
+        spec.deadline_s > 0.0 ? job->submit_time_s() + spec.deadline_s : 0.0;
+    if (deadline_abs > 0.0 && dequeued_s >= deadline_abs) {
+      cache_->abandon(job->key(), job.get());
       expired_.fetch_add(1, std::memory_order_relaxed);
-      job->finish(JobStatus::kExpired, dropped_result(), queue_seconds, 0.0);
+      job->finish(JobStatus::kExpired, dropped_result(vc::Outcome::kDeadline),
+                  queue_seconds, 0.0);
       continue;
     }
+    // Propagate the queue deadline into the solve BEFORE start(): a job
+    // that dequeues in time may no longer run arbitrarily past its
+    // deadline — the control stops it mid-flight with Outcome::kDeadline.
+    vc::SolveControl& control = *job->control();
+    control.set_deadline(deadline_abs);
     if (!job->start()) {
-      cache_->abandon(job->key());
+      // Terminal before it ran — cancelled while queued, or rejected
+      // during shutdown. Release the in-flight cache registration (unless
+      // an identical later submission already adopted it) so the next
+      // identical submission re-solves, and account the cancellation here:
+      // the canceller flipped the status but cannot reach the counters.
+      cache_->abandon(job->key(), job.get());
+      if (job->status() == JobStatus::kCancelled)
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
     // The executed device was already pinned into spec.config at submit
     // (so the cache key describes exactly this run).
-    parallel::ParallelResult result =
-        parallel::solve(*spec.graph, spec.method, spec.config, &workspace);
+    parallel::ParallelResult result = parallel::solve(
+        *spec.graph, spec.method, spec.config, &control, &workspace);
     const double solve_seconds = service_now_s() - dequeued_s;
 
-    // Cache admission: a limit-hit record is not canonical (wall-clock
-    // limits are load-dependent), so serving it to future identical
-    // submissions would pin a transient failure. Drop the in-flight
-    // registration instead; already-coalesced tickets still get this
-    // result through the shared JobState, and the next submission
-    // re-solves.
-    if (result.timed_out)
-      cache_->abandon(job->key());
-    else
-      cache_->complete(job->key(), result);
+    // Cache admission is the ResultCache's policy now (see complete()):
+    // incomplete records — limit hits, kDeadline, kCancelled — are refused
+    // (load-dependent, not canonical), as are sub-min_cache_seconds
+    // solves; a refusal drops this job's in-flight registration so the
+    // next identical submission re-solves. Already-coalesced tickets
+    // still get this result through the shared JobState.
+    cache_->complete(job->key(), result, job.get());
     workspace.trim(kRetainedWorkspaceBlocks);
     jobs_per_worker_[static_cast<std::size_t>(w)]->fetch_add(
         1, std::memory_order_relaxed);
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    job->finish(JobStatus::kDone, std::move(result), queue_seconds,
-                solve_seconds);
+
+    // Status taxonomy: external stops keep their own terminal status (and
+    // their own counters — cancellations are not expiries); everything
+    // else, complete or limit-hit, is a normally-delivered result.
+    JobStatus status = JobStatus::kDone;
+    if (result.outcome == vc::Outcome::kCancelled) {
+      status = JobStatus::kCancelled;
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.outcome == vc::Outcome::kDeadline) {
+      status = JobStatus::kExpired;
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->finish(status, std::move(result), queue_seconds, solve_seconds);
   }
 }
 
@@ -230,6 +265,7 @@ ServiceStats SolveService::stats() const {
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.cache = cache_->stats();
   s.queues.reserve(queues_.size());
   for (const auto& q : queues_) s.queues.push_back(q->stats());
@@ -243,9 +279,10 @@ const char* job_status_name(JobStatus s) {
   switch (s) {
     case JobStatus::kQueued:   return "queued";
     case JobStatus::kRunning:  return "running";
-    case JobStatus::kDone:     return "done";
-    case JobStatus::kExpired:  return "expired";
-    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kDone:      return "done";
+    case JobStatus::kExpired:   return "expired";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kRejected:  return "rejected";
   }
   return "?";
 }

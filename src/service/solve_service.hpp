@@ -57,6 +57,12 @@ struct ServiceOptions {
   /// provided).
   std::size_t cache_capacity = 1024;
 
+  /// Cost-aware cache admission (ignored when `cache` is provided): solves
+  /// cheaper than this many seconds are not stored, so floods of tiny
+  /// instances cannot evict expensive records. 0 keeps the old
+  /// store-everything behavior.
+  double min_cache_seconds = 0.0;
+
   /// Share an external cache (e.g. one a harness::Runner already warmed).
   /// Null: the service creates its own.
   std::shared_ptr<ResultCache> cache;
@@ -83,7 +89,11 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;  ///< served instantly from the cache
   std::uint64_t coalesced = 0;   ///< attached to an in-flight identical job
   std::uint64_t rejected = 0;    ///< refused at admission
-  std::uint64_t expired = 0;     ///< dropped at dequeue past their deadline
+  std::uint64_t expired = 0;     ///< deadline fired: at admission, at
+                                 ///< dequeue, or mid-solve (kDeadline)
+  std::uint64_t cancelled = 0;   ///< JobTicket::cancel(): queued or
+                                 ///< mid-solve (kCancelled) — counted
+                                 ///< separately from expiries
   ResultCache::Stats cache;
   std::vector<JobQueue::Stats> queues;           ///< one per shard
   std::vector<std::uint64_t> jobs_per_worker;    ///< solves executed
@@ -108,8 +118,11 @@ class SolveService {
   std::vector<JobTicket> submit_all(std::vector<JobSpec> specs);
 
   /// Blocks until the ticket's job is terminal; returns its result record.
-  /// For kExpired/kRejected tickets the record is a timed_out=true,
-  /// found=false placeholder.
+  /// For jobs dropped without a solve (kExpired at admission/dequeue,
+  /// kCancelled while queued, kRejected) the record is a coverless
+  /// placeholder whose outcome names the cause (kDeadline / kCancelled).
+  /// A job stopped mid-solve carries the real partial record — for MVC a
+  /// valid best-so-far cover with Outcome::kDeadline or kCancelled.
   const parallel::ParallelResult& wait(const JobTicket& ticket) const;
 
   /// Non-blocking: the result if terminal, nullptr otherwise.
@@ -154,11 +167,11 @@ class SolveService {
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_per_worker_;
 
   int shard_of(const CacheKey& key) const;
   void worker_loop(int w);
-  static parallel::ParallelResult dropped_result();
 };
 
 }  // namespace gvc::service

@@ -20,16 +20,22 @@ const char* branch_strategy_name(BranchStrategy s) {
   return "?";
 }
 
-BranchStrategy parse_branch_strategy(const std::string& name) {
+std::optional<BranchStrategy> try_parse_branch_strategy(
+    const std::string& name) {
   std::string n = util::to_lower(name);
   n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
   if (n == "maxdegree" || n == "max") return BranchStrategy::kMaxDegree;
   if (n == "mindegree" || n == "min") return BranchStrategy::kMinDegree;
   if (n == "random") return BranchStrategy::kRandom;
   if (n == "first") return BranchStrategy::kFirst;
-  GVC_CHECK_MSG(false,
+  return std::nullopt;
+}
+
+BranchStrategy parse_branch_strategy(const std::string& name) {
+  std::optional<BranchStrategy> s = try_parse_branch_strategy(name);
+  GVC_CHECK_MSG(s.has_value(),
                 "unknown branch strategy (want maxdegree|mindegree|random|first)");
-  return BranchStrategy::kMaxDegree;
+  return *s;
 }
 
 const std::vector<BranchStrategy>& all_branch_strategies() {

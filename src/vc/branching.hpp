@@ -16,6 +16,7 @@
 // which thread block happens to visit a node.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ const char* branch_strategy_name(BranchStrategy s);
 
 /// Parses "maxdegree" / "mindegree" / "random" / "first" (case-insensitive,
 /// hyphens tolerated). Aborts on anything else.
+/// std::nullopt on unknown names — for tools that print usage instead of
+/// aborting.
+std::optional<BranchStrategy> try_parse_branch_strategy(
+    const std::string& name);
+
+/// Aborts (GVC_CHECK) on unknown names.
 BranchStrategy parse_branch_strategy(const std::string& name);
 
 /// All strategies, kMaxDegree first (handy for sweeps).

@@ -37,13 +37,12 @@ SolveResult solve_mvc_by_components(
     const std::function<SolveResult(const CsrGraph&)>& component_solver) {
   util::WallTimer timer;
   SolveResult total;
-  total.found = true;
   total.best_size = 0;
 
   for (const ComponentPiece& piece : split_components(g)) {
     SolveResult r = component_solver(piece.subgraph);
-    GVC_CHECK_MSG(!r.timed_out, "component solve exceeded its budget");
-    GVC_CHECK(r.found);
+    GVC_CHECK_MSG(r.complete(), "component solve exceeded its budget");
+    GVC_CHECK(r.has_cover());
     total.best_size += r.best_size;
     total.tree_nodes += r.tree_nodes;
     total.greedy_upper_bound += r.greedy_upper_bound;

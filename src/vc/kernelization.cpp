@@ -73,7 +73,7 @@ std::vector<Vertex> solve_mvc_with_kernelization(const CsrGraph& g) {
   NtKernel nt = nemhauser_trotter(g);
   SequentialConfig config;
   SolveResult kernel_result = solve_sequential(nt.kernel, config);
-  GVC_CHECK(!kernel_result.timed_out);
+  GVC_CHECK(kernel_result.complete());
   auto cover = lift_cover(nt, kernel_result.cover);
   GVC_DCHECK(graph::is_vertex_cover(g, cover));
   return cover;

@@ -10,9 +10,9 @@ namespace gvc::vc {
 MisResult maximum_independent_set(const CsrGraph& g, const Limits& limits) {
   SequentialConfig config;
   config.problem = Problem::kMvc;
-  config.limits = limits;
+  SolveControl control(limits);
   MisResult out;
-  out.mvc = solve_sequential(g, config);
+  out.mvc = solve_sequential(g, config, &control);
 
   std::vector<bool> in_cover(static_cast<std::size_t>(g.num_vertices()), false);
   for (Vertex v : out.mvc.cover) in_cover[static_cast<std::size_t>(v)] = true;
@@ -20,7 +20,7 @@ MisResult maximum_independent_set(const CsrGraph& g, const Limits& limits) {
     if (!in_cover[static_cast<std::size_t>(v)]) out.independent_set.push_back(v);
   out.size = static_cast<int>(out.independent_set.size());
 
-  if (!out.mvc.timed_out)
+  if (out.mvc.complete())
     GVC_DCHECK(graph::is_independent_set(g, out.independent_set));
   return out;
 }

@@ -12,7 +12,7 @@
 namespace gvc::vc {
 
 const SolveResult& check_result(const CsrGraph& g, const SolveResult& r) {
-  if (r.found) {
+  if (r.has_cover()) {
     GVC_CHECK_MSG(static_cast<int>(r.cover.size()) == r.best_size,
                   "cover size disagrees with best_size");
     GVC_CHECK_MSG(graph::is_vertex_cover(g, r.cover),
@@ -22,9 +22,11 @@ const SolveResult& check_result(const CsrGraph& g, const SolveResult& r) {
 }
 
 SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
+                             SolveControl* control,
                              ReduceWorkspace* workspace) {
   util::WallTimer timer;
   SolveResult result;
+  const Limits limits = control ? control->limits : Limits{};
 
   GreedyResult greedy = greedy_mvc(g);
   result.greedy_upper_bound = greedy.size;
@@ -49,13 +51,37 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
   ReduceWorkspace local_ws;
   ReduceWorkspace& ws = workspace ? *workspace : local_ws;
 
+  StopCause stop = StopCause::kNone;
   while (!stack.empty()) {
-    if ((config.limits.max_tree_nodes != 0 &&
-         result.tree_nodes >= config.limits.max_tree_nodes) ||
-        (config.limits.time_limit_s != 0.0 &&
-         timer.seconds() > config.limits.time_limit_s)) {
-      result.timed_out = true;
+    // Stop checks, cheapest first; none of them alters the traversal, so
+    // a run where nothing fires is bit-identical to a control-free run.
+    if (limits.max_tree_nodes != 0 &&
+        result.tree_nodes >= limits.max_tree_nodes) {
+      stop = StopCause::kNodeLimit;
       break;
+    }
+    if (limits.time_limit_s != 0.0 &&
+        timer.seconds() > limits.time_limit_s) {
+      stop = StopCause::kTimeLimit;
+      break;
+    }
+    if (control != nullptr) {
+      // Cancel is one atomic load — check it every node for promptness.
+      // The deadline needs a clock read, so it shares the same amortized
+      // cadence SharedSearch uses.
+      if (control->cancelled()) {
+        stop = StopCause::kCancelled;
+        break;
+      }
+      if ((result.tree_nodes & 63) == 0) {
+        if (control->deadline_passed()) {
+          stop = StopCause::kDeadline;
+          break;
+        }
+        if (control->progress_enabled() && (result.tree_nodes & 255) == 0)
+          control->publish_progress(mvc ? static_cast<int>(best) : -1,
+                                    result.tree_nodes);
+      }
     }
     DegreeArray da = std::move(stack.back());
     stack.pop_back();
@@ -101,16 +127,23 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
 
   result.seconds = timer.seconds();
   if (mvc) {
-    result.found = true;
     result.best_size = static_cast<int>(best);
     result.cover = std::move(best_cover);
+    result.outcome = stop == StopCause::kNone
+                         ? Outcome::kOptimal
+                         : interrupted_outcome(stop, /*have_cover=*/true);
+  } else if (pvc_found) {
+    // The witness decides the PVC question definitively, limit or not.
+    result.best_size = static_cast<int>(pvc_cover.size());
+    result.cover = std::move(pvc_cover);
+    result.outcome = Outcome::kOptimal;
   } else {
-    result.found = pvc_found;
-    if (pvc_found) {
-      result.best_size = static_cast<int>(pvc_cover.size());
-      result.cover = std::move(pvc_cover);
-    }
+    result.outcome = stop == StopCause::kNone
+                         ? Outcome::kInfeasible
+                         : interrupted_outcome(stop, /*have_cover=*/false);
   }
+  if (control != nullptr && control->progress_enabled())
+    control->publish_progress(result.best_size, result.tree_nodes);
   return result;
 }
 

@@ -28,19 +28,22 @@ struct SequentialConfig {
   /// bench/ablation_branching.
   BranchStrategy branch = BranchStrategy::kMaxDegree;
   std::uint64_t branch_seed = 0;  ///< used by BranchStrategy::kRandom
-
-  Limits limits = {};
 };
 
-/// Runs branch-and-reduce to completion (or a limit). For MVC the result
-/// carries the proven-optimal cover; for PVC it reports whether a cover of
-/// size ≤ k exists and, if so, one such cover.
+/// Runs branch-and-reduce to completion (or until `control` stops it — its
+/// node/time budgets, absolute deadline, or a cancel()). For MVC the result
+/// carries the proven-optimal cover (Outcome::kOptimal) or, when
+/// interrupted, the best cover seen; for PVC it reports whether a cover of
+/// size ≤ k exists and, if so, one such cover. See Outcome for the full
+/// status taxonomy. `control == nullptr` runs unlimited and uncancellable,
+/// bit-identically to a control that never fires.
 ///
 /// Re-entrant: all state is local to the call. If `workspace` is non-null
 /// its buffers are reused instead of allocating fresh scratch — callers
 /// solving many instances on one thread (service workers) pass the same
 /// workspace to every call.
 SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
+                             SolveControl* control = nullptr,
                              ReduceWorkspace* workspace = nullptr);
 
 }  // namespace gvc::vc

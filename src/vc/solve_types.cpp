@@ -1,0 +1,18 @@
+#include "vc/solve_types.hpp"
+
+namespace gvc::vc {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kOptimal:    return "optimal";
+    case Outcome::kFeasible:   return "feasible";
+    case Outcome::kInfeasible: return "infeasible";
+    case Outcome::kNodeLimit:  return "node-limit";
+    case Outcome::kTimeLimit:  return "time-limit";
+    case Outcome::kDeadline:   return "deadline";
+    case Outcome::kCancelled:  return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace gvc::vc

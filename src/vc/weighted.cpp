@@ -101,10 +101,11 @@ std::vector<Vertex> weighted_greedy(const CsrGraph& g,
 }
 
 WeightedResult solve_weighted(const CsrGraph& g, const std::vector<Weight>& w,
-                              const Limits& limits) {
+                              SolveControl* control) {
   check_weights(g, w);
   util::WallTimer timer;
   WeightedResult result;
+  const Limits limits = control ? control->limits : Limits{};
 
   // Seed the incumbent with the better of the two heuristics.
   std::vector<Vertex> greedy = weighted_greedy(g, w);
@@ -123,14 +124,21 @@ WeightedResult solve_weighted(const CsrGraph& g, const std::vector<Weight>& w,
   std::vector<Node> stack;
   stack.push_back(Node{DegreeArray(g), 0});
 
+  StopCause stop = StopCause::kNone;
   while (!stack.empty()) {
-    if ((limits.max_tree_nodes != 0 &&
-         result.tree_nodes >= limits.max_tree_nodes) ||
-        (limits.time_limit_s != 0.0 &&
-         timer.seconds() > limits.time_limit_s)) {
-      result.timed_out = true;
+    if (limits.max_tree_nodes != 0 &&
+        result.tree_nodes >= limits.max_tree_nodes) {
+      stop = StopCause::kNodeLimit;
       break;
     }
+    if (limits.time_limit_s != 0.0 &&
+        timer.seconds() > limits.time_limit_s) {
+      stop = StopCause::kTimeLimit;
+      break;
+    }
+    if (control != nullptr &&
+        (stop = control->external_stop()) != StopCause::kNone)
+      break;
     Node node = std::move(stack.back());
     stack.pop_back();
     ++result.tree_nodes;
@@ -194,6 +202,9 @@ WeightedResult solve_weighted(const CsrGraph& g, const std::vector<Weight>& w,
   result.seconds = timer.seconds();
   result.best_weight = best;
   result.cover = std::move(best_cover);
+  result.outcome = stop == StopCause::kNone
+                       ? Outcome::kOptimal
+                       : interrupted_outcome(stop, /*have_cover=*/true);
   GVC_DCHECK(graph::is_vertex_cover(g, result.cover));
   return result;
 }

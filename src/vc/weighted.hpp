@@ -44,20 +44,27 @@ std::vector<graph::Vertex> weighted_greedy(const graph::CsrGraph& g,
                                            const std::vector<Weight>& w);
 
 struct WeightedResult {
-  bool timed_out = false;
+  /// kOptimal: proven-minimum weight. Limit outcomes: the incumbent is a
+  /// valid cover (heuristics seed it), just not proven minimum.
+  Outcome outcome = Outcome::kOptimal;
   Weight best_weight = 0;
   std::vector<graph::Vertex> cover;
   std::uint64_t tree_nodes = 0;
   double seconds = 0.0;
+
+  bool complete() const { return is_complete(outcome); }
+  bool limit_hit() const { return is_limit(outcome); }
 };
 
 /// Exact MWVC by branch-and-bound: branch on a max-degree vertex (take it,
 /// or take its whole neighborhood), prune with accumulated weight +
 /// local-ratio pricing bound against the incumbent, and apply the weighted
-/// degree-one rule (take the neighbor when it is no heavier).
+/// degree-one rule (take the neighbor when it is no heavier). `control`
+/// carries the budgets and the cancel/deadline latch, like every other
+/// solve path.
 WeightedResult solve_weighted(const graph::CsrGraph& g,
                               const std::vector<Weight>& w,
-                              const Limits& limits = {});
+                              SolveControl* control = nullptr);
 
 /// Exhaustive oracle for tests; requires |V| ≤ 24.
 Weight weighted_oracle(const graph::CsrGraph& g, const std::vector<Weight>& w);

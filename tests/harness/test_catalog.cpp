@@ -68,6 +68,12 @@ TEST(Catalog, PHatComplementDensityOrdering) {
   EXPECT_GT(edges("p_hat_300_2"), edges("p_hat_300_3"));
 }
 
+TEST(Catalog, TryParseScaleReturnsNulloptOnUnknown) {
+  EXPECT_EQ(try_parse_scale("smoke"), Scale::kSmoke);
+  EXPECT_EQ(try_parse_scale("LARGE"), Scale::kLarge);
+  EXPECT_EQ(try_parse_scale("bogus"), std::nullopt);
+}
+
 TEST(Catalog, ScalesAreOrdered) {
   auto smoke = paper_catalog(Scale::kSmoke);
   auto def = paper_catalog(Scale::kDefault);

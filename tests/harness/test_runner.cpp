@@ -63,7 +63,7 @@ TEST(Runner, AllMethodsAgreeOnASmokeInstance) {
   for (auto method : {parallel::Method::kSequential,
                       parallel::Method::kStackOnly, parallel::Method::kHybrid}) {
     auto r = runner.run(inst, method, ProblemInstance::kMvc);
-    ASSERT_FALSE(r.timed_out) << parallel::method_name(method);
+    ASSERT_TRUE(r.complete()) << parallel::method_name(method);
     EXPECT_EQ(r.best_size, min) << parallel::method_name(method);
     EXPECT_TRUE(graph::is_vertex_cover(inst.graph(), r.cover));
   }
@@ -76,15 +76,17 @@ TEST(Runner, PvcRowsBehaveAsInTableI) {
 
   auto below =
       runner.run(inst, parallel::Method::kHybrid, ProblemInstance::kPvcMinMinus1);
-  EXPECT_FALSE(below.found);
+  EXPECT_FALSE(below.has_cover());
+  EXPECT_EQ(below.outcome, vc::Outcome::kInfeasible);
 
   auto at = runner.run(inst, parallel::Method::kHybrid, ProblemInstance::kPvcMin);
-  EXPECT_TRUE(at.found);
+  EXPECT_TRUE(at.has_cover());
+  EXPECT_EQ(at.outcome, vc::Outcome::kOptimal);
   EXPECT_LE(at.best_size, runner.min_cover(inst));
 
   auto above =
       runner.run(inst, parallel::Method::kHybrid, ProblemInstance::kPvcMinPlus1);
-  EXPECT_TRUE(above.found);
+  EXPECT_TRUE(above.has_cover());
 }
 
 TEST(Runner, TimeCellFormats) {
@@ -92,8 +94,10 @@ TEST(Runner, TimeCellFormats) {
   done.seconds = 1.5;
   EXPECT_EQ(Runner::time_cell(done), "1.500");
   parallel::ParallelResult out;
-  out.timed_out = true;
-  EXPECT_EQ(Runner::time_cell(out), ">limit");
+  out.outcome = vc::Outcome::kFeasible;
+  EXPECT_EQ(Runner::time_cell(out), ">feasible");
+  out.outcome = vc::Outcome::kCancelled;
+  EXPECT_EQ(Runner::time_cell(out), ">cancelled");
 }
 
 TEST(Runner, ProblemInstanceNames) {
@@ -111,7 +115,6 @@ TEST(Runner, MakeConfigCarriesOptions) {
   EXPECT_EQ(c.k, 5);
   EXPECT_EQ(c.start_depth, 7);
   EXPECT_DOUBLE_EQ(c.worklist_threshold_frac, 0.75);
-  EXPECT_EQ(c.limits.max_tree_nodes, o.limits.max_tree_nodes);
 }
 
 }  // namespace

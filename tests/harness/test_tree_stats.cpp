@@ -145,7 +145,7 @@ TEST(TreeShape, PvcStopsAtFirstCover) {
 TEST(TreeShape, NodeLimitSetsTimedOut) {
   auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 29));
   TreeShapeOptions opt;
-  opt.solver.limits.max_tree_nodes = 10;
+  opt.limits.max_tree_nodes = 10;
   TreeShape shape = analyze_tree_shape(g, opt);
   EXPECT_TRUE(shape.timed_out);
   EXPECT_LE(shape.total_nodes, 10u);

@@ -106,7 +106,7 @@ TEST_P(DifferentialSweep, PvcIndicatorMatchesAcrossEngines) {
       c.problem = vc::Problem::kPvc;
       c.k = k;
       parallel::ParallelResult r = parallel::solve(g, method, c);
-      EXPECT_EQ(r.found, k >= min)
+      EXPECT_EQ(r.has_cover(), k >= min)
           << parallel::method_name(method) << " k=" << k << " min=" << min;
     }
   }

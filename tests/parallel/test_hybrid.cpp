@@ -80,17 +80,18 @@ TEST(Hybrid, PvcThreshold) {
 
   c.k = min;
   ParallelResult at = solve_hybrid(g, c);
-  EXPECT_TRUE(at.found);
+  EXPECT_TRUE(at.has_cover());
   EXPECT_LE(at.best_size, min);
   EXPECT_TRUE(graph::is_vertex_cover(g, at.cover));
 
   c.k = min - 1;
   ParallelResult below = solve_hybrid(g, c);
-  EXPECT_FALSE(below.found);
+  EXPECT_FALSE(below.has_cover());
+  EXPECT_EQ(below.outcome, vc::Outcome::kInfeasible);
 
   c.k = min + 1;
   ParallelResult above = solve_hybrid(g, c);
-  EXPECT_TRUE(above.found);
+  EXPECT_TRUE(above.has_cover());
   EXPECT_LE(above.best_size, min + 1);
 }
 
@@ -105,8 +106,8 @@ TEST(Hybrid, PvcMinMinusOneExploresMoreThanMinPlusOne) {
   auto hard = solve_hybrid(g, c);
   c.k = min + 1;
   auto easy = solve_hybrid(g, c);
-  EXPECT_FALSE(hard.found);
-  EXPECT_TRUE(easy.found);
+  EXPECT_FALSE(hard.has_cover());
+  EXPECT_TRUE(easy.has_cover());
   EXPECT_LT(easy.tree_nodes, hard.tree_nodes);
 }
 
@@ -136,9 +137,11 @@ TEST(Hybrid, ZeroThresholdDegeneratesToIndependentStacks) {
 TEST(Hybrid, NodeLimitAborts) {
   auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 31));
   ParallelConfig c = base_config(4);
-  c.limits.max_tree_nodes = 5;
-  ParallelResult r = solve_hybrid(g, c);
-  EXPECT_TRUE(r.timed_out);
+  vc::SolveControl control;
+  control.limits.max_tree_nodes = 5;
+  ParallelResult r = solve_hybrid(g, c, &control);
+  EXPECT_EQ(r.outcome, vc::Outcome::kFeasible);
+  EXPECT_TRUE(r.limit_hit());
   EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // greedy fallback
 }
 

@@ -17,9 +17,17 @@ vc::DegreeArray state_with_cover(const graph::CsrGraph& g, int removals) {
   return da;
 }
 
-SharedSearch make_mvc(const graph::CsrGraph& g, vc::Limits limits = {}) {
+SharedSearch make_mvc(const graph::CsrGraph& g,
+                      vc::SolveControl* control = nullptr) {
   auto greedy = vc::greedy_mvc(g);
-  return SharedSearch(vc::Problem::kMvc, 0, greedy.size, greedy.cover, limits);
+  return SharedSearch(vc::Problem::kMvc, 0, greedy.size, greedy.cover,
+                      control);
+}
+
+vc::SolveControl node_budget(std::uint64_t n) {
+  vc::Limits limits;
+  limits.max_tree_nodes = n;
+  return vc::SolveControl(limits);
 }
 
 TEST(SharedSearch, InitialBestIsGreedy) {
@@ -49,7 +57,8 @@ TEST(SharedSearch, HarvestReturnsCoverMatchingBest) {
   auto r = s.harvest();
   EXPECT_EQ(r.best_size, 4);
   EXPECT_EQ(r.cover.size(), 4u);
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.has_cover());
+  EXPECT_EQ(r.outcome, vc::Outcome::kOptimal);
 }
 
 TEST(SharedSearch, ConcurrentOffersKeepMinimum) {
@@ -70,38 +79,41 @@ TEST(SharedSearch, ConcurrentOffersKeepMinimum) {
 TEST(SharedSearch, PvcFoundLatchesFirstCover) {
   auto g = graph::complete(10);
   SharedSearch s(vc::Problem::kPvc, 9, vc::greedy_mvc(g).size,
-                 vc::greedy_mvc(g).cover, {});
+                 vc::greedy_mvc(g).cover, nullptr);
   EXPECT_FALSE(s.pvc_found());
   s.set_pvc_found(state_with_cover(g, 7));
   EXPECT_TRUE(s.pvc_found());
   s.set_pvc_found(state_with_cover(g, 5));  // later call loses
   auto r = s.harvest();
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.has_cover());
+  EXPECT_EQ(r.outcome, vc::Outcome::kOptimal);
   EXPECT_EQ(r.best_size, 7);
 }
 
 TEST(SharedSearch, PvcHarvestWithoutCoverIsNotFound) {
   auto g = graph::complete(5);
   SharedSearch s(vc::Problem::kPvc, 3, vc::greedy_mvc(g).size,
-                 vc::greedy_mvc(g).cover, {});
+                 vc::greedy_mvc(g).cover, nullptr);
   auto r = s.harvest();
-  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.has_cover());
+  EXPECT_EQ(r.outcome, vc::Outcome::kInfeasible);
   EXPECT_EQ(r.best_size, -1);
   EXPECT_TRUE(r.cover.empty());
 }
 
 TEST(SharedSearch, NodeLimitLatchesAbort) {
   auto g = graph::complete(4);
-  vc::Limits limits;
-  limits.max_tree_nodes = 3;
-  SharedSearch s = make_mvc(g, limits);
+  vc::SolveControl control = node_budget(3);
+  SharedSearch s = make_mvc(g, &control);
   EXPECT_TRUE(s.register_node());
   EXPECT_TRUE(s.register_node());
   EXPECT_TRUE(s.register_node());
   EXPECT_FALSE(s.register_node());  // 4th exceeds
   EXPECT_TRUE(s.aborted());
   EXPECT_FALSE(s.register_node());  // stays aborted
-  EXPECT_TRUE(s.harvest().timed_out);
+  EXPECT_EQ(s.stop_cause(), vc::StopCause::kNodeLimit);
+  EXPECT_TRUE(s.harvest().limit_hit());
+  EXPECT_EQ(s.harvest().outcome, vc::Outcome::kFeasible);  // MVC has cover
 }
 
 TEST(SharedSearch, NodeCountAccumulatesAcrossThreads) {
@@ -130,9 +142,8 @@ TEST(NodeBatch, FlushesEveryNAndOnDestruction) {
 
 TEST(NodeBatch, ExactWhenNodeBudgetSet) {
   auto g = graph::complete(4);
-  vc::Limits limits;
-  limits.max_tree_nodes = 3;
-  SharedSearch s = make_mvc(g, limits);
+  vc::SolveControl control = node_budget(3);
+  SharedSearch s = make_mvc(g, &control);
   NodeBatch batch(s);
   EXPECT_TRUE(batch.register_node());
   EXPECT_TRUE(batch.register_node());
@@ -146,7 +157,8 @@ TEST(NodeBatch, TimeLimitFiresBetweenFlushes) {
   auto g = graph::complete(4);
   vc::Limits limits;
   limits.time_limit_s = 1e-9;  // already expired; no node budget set
-  SharedSearch s = make_mvc(g, limits);
+  vc::SolveControl control{limits};
+  SharedSearch s = make_mvc(g, &control);
   NodeBatch batch(s, /*flush_every=*/1u << 20);  // flushes effectively never
   // The periodic clock check must latch abort well before a flush.
   bool aborted = false;
@@ -161,9 +173,8 @@ TEST(NodeBatch, TimeLimitFiresBetweenFlushes) {
 
 TEST(NodeBatch, SeesAbortLatchedElsewhere) {
   auto g = graph::complete(4);
-  vc::Limits limits;
-  limits.max_tree_nodes = 5;
-  SharedSearch s = make_mvc(g, limits);
+  vc::SolveControl control = node_budget(5);
+  SharedSearch s = make_mvc(g, &control);
   for (int i = 0; i < 6; ++i) s.register_node();  // latches abort
   ASSERT_TRUE(s.aborted());
   SharedSearch s2 = make_mvc(g);  // unlimited: batch path
@@ -187,21 +198,80 @@ TEST(NodeBatch, CountsExactlyAcrossThreads) {
 
 TEST(SharedSearch, RegisterNodesBulkRespectsNodeLimit) {
   auto g = graph::complete(4);
-  vc::Limits limits;
-  limits.max_tree_nodes = 10;
-  SharedSearch s = make_mvc(g, limits);
+  vc::SolveControl control = node_budget(10);
+  SharedSearch s = make_mvc(g, &control);
   EXPECT_TRUE(s.register_nodes(10));
   EXPECT_FALSE(s.register_nodes(1));
   EXPECT_TRUE(s.aborted());
 }
 
 TEST(SharedSearchDeathTest, RejectsInconsistentInitialCover) {
-  EXPECT_DEATH(SharedSearch(vc::Problem::kMvc, 0, 3, {0, 1}, {}),
+  EXPECT_DEATH(SharedSearch(vc::Problem::kMvc, 0, 3, {0, 1}, nullptr),
                "GVC_CHECK");
 }
 
 TEST(SharedSearchDeathTest, PvcRequiresPositiveK) {
-  EXPECT_DEATH(SharedSearch(vc::Problem::kPvc, 0, 0, {}, {}), "GVC_CHECK");
+  EXPECT_DEATH(SharedSearch(vc::Problem::kPvc, 0, 0, {}, nullptr),
+               "GVC_CHECK");
+}
+
+TEST(SharedSearch, CancelLatchesThroughRegisterNode) {
+  auto g = graph::complete(4);
+  vc::SolveControl control;
+  SharedSearch s = make_mvc(g, &control);
+  EXPECT_TRUE(s.register_node());
+  control.cancel();
+  EXPECT_FALSE(s.register_node());
+  EXPECT_TRUE(s.aborted());
+  EXPECT_EQ(s.stop_cause(), vc::StopCause::kCancelled);
+  EXPECT_EQ(s.harvest().outcome, vc::Outcome::kCancelled);
+}
+
+TEST(SharedSearch, DeadlineLatchesThroughCheckTimeLimit) {
+  auto g = graph::complete(4);
+  vc::SolveControl control;
+  SharedSearch s = make_mvc(g, &control);
+  EXPECT_TRUE(s.check_time_limit());
+  control.set_deadline(vc::SolveControl::now_s() - 1.0);
+  EXPECT_FALSE(s.check_time_limit());
+  EXPECT_EQ(s.stop_cause(), vc::StopCause::kDeadline);
+  EXPECT_EQ(s.harvest().outcome, vc::Outcome::kDeadline);
+}
+
+TEST(SharedSearch, DeadlineLatchesThroughBulkRegister) {
+  auto g = graph::complete(4);
+  vc::SolveControl control;
+  SharedSearch s = make_mvc(g, &control);
+  EXPECT_TRUE(s.register_nodes(8));
+  control.set_deadline(vc::SolveControl::now_s() - 1.0);
+  EXPECT_FALSE(s.register_nodes(8));
+  EXPECT_EQ(s.stop_cause(), vc::StopCause::kDeadline);
+}
+
+TEST(SharedSearch, PvcWitnessBeatsLaterAbort) {
+  // A PVC witness found before (or while) a limit latches still makes the
+  // outcome kOptimal: the decision question is answered.
+  auto g = graph::complete(10);
+  vc::SolveControl control = node_budget(1);
+  SharedSearch s(vc::Problem::kPvc, 9, vc::greedy_mvc(g).size,
+                 vc::greedy_mvc(g).cover, &control);
+  s.set_pvc_found(state_with_cover(g, 7));
+  s.register_node();
+  EXPECT_FALSE(s.register_node());  // budget exceeded, abort latched
+  auto r = s.harvest();
+  EXPECT_EQ(r.outcome, vc::Outcome::kOptimal);
+  EXPECT_EQ(r.best_size, 7);
+}
+
+TEST(SharedSearch, FirstStopCauseWins) {
+  auto g = graph::complete(4);
+  vc::SolveControl control = node_budget(1);
+  SharedSearch s = make_mvc(g, &control);
+  s.register_node();
+  EXPECT_FALSE(s.register_node());  // node limit latches first
+  control.cancel();                 // later cancel cannot overwrite
+  EXPECT_FALSE(s.register_node());
+  EXPECT_EQ(s.stop_cause(), vc::StopCause::kNodeLimit);
 }
 
 }  // namespace

@@ -22,6 +22,13 @@ TEST(Solver, AllMethodsListsEveryMethodOnce) {
   EXPECT_EQ(all_methods().front(), Method::kSequential);
 }
 
+TEST(Solver, TryParseMethodReturnsNulloptOnUnknown) {
+  EXPECT_EQ(try_parse_method("hybrid"), Method::kHybrid);
+  EXPECT_EQ(try_parse_method("WORK-STEALING"), Method::kWorkStealing);
+  EXPECT_EQ(try_parse_method("bogus"), std::nullopt);
+  EXPECT_EQ(try_parse_method(""), std::nullopt);
+}
+
 TEST(Solver, ParseMethodSpellings) {
   EXPECT_EQ(parse_method("sequential"), Method::kSequential);
   EXPECT_EQ(parse_method("SEQ"), Method::kSequential);
@@ -89,8 +96,8 @@ TEST_P(AllMethodsTest, PvcAgreesWithOracleAroundMin) {
     c.problem = vc::Problem::kPvc;
     c.k = k;
     ParallelResult r = solve(g, method, c);
-    EXPECT_EQ(r.found, vc::oracle_pvc(g, k)) << "k=" << k;
-    if (r.found) {
+    EXPECT_EQ(r.has_cover(), vc::oracle_pvc(g, k)) << "k=" << k;
+    if (r.has_cover()) {
       EXPECT_LE(r.best_size, k);
       EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
     }
@@ -108,7 +115,7 @@ TEST_P(AllMethodsTest, PvcSweepOverAllK) {
     c.problem = vc::Problem::kPvc;
     c.k = k;
     ParallelResult r = solve(g, method, c);
-    EXPECT_EQ(r.found, k >= opt) << "k=" << k << " opt=" << opt;
+    EXPECT_EQ(r.has_cover(), k >= opt) << "k=" << k << " opt=" << opt;
   }
 }
 

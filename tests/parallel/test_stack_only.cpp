@@ -61,17 +61,18 @@ TEST(StackOnly, PvcThreshold) {
 
   c.k = min;
   ParallelResult at = solve_stack_only(g, c);
-  EXPECT_TRUE(at.found);
+  EXPECT_TRUE(at.has_cover());
   EXPECT_LE(at.best_size, min);
   EXPECT_TRUE(graph::is_vertex_cover(g, at.cover));
 
   c.k = min - 1;
   ParallelResult below = solve_stack_only(g, c);
-  EXPECT_FALSE(below.found);
+  EXPECT_FALSE(below.has_cover());
+  EXPECT_EQ(below.outcome, vc::Outcome::kInfeasible);
 
   c.k = min + 1;
   ParallelResult above = solve_stack_only(g, c);
-  EXPECT_TRUE(above.found);
+  EXPECT_TRUE(above.has_cover());
   EXPECT_LE(above.best_size, min + 1);
 }
 
@@ -93,9 +94,11 @@ TEST(StackOnly, DeeperStartsCauseMoreDescentWork) {
 TEST(StackOnly, NodeLimitAborts) {
   auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 6));
   ParallelConfig c = base_config();
-  c.limits.max_tree_nodes = 5;
-  ParallelResult r = solve_stack_only(g, c);
-  EXPECT_TRUE(r.timed_out);
+  vc::SolveControl control;
+  control.limits.max_tree_nodes = 5;
+  ParallelResult r = solve_stack_only(g, c, &control);
+  EXPECT_EQ(r.outcome, vc::Outcome::kFeasible);  // MVC: cover in hand
+  EXPECT_TRUE(r.limit_hit());
   EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // greedy fallback
 }
 

@@ -98,23 +98,25 @@ TEST(WorkStealing, PvcThreshold) {
 
   c.k = min;
   ParallelResult at = solve_work_stealing(g, c);
-  EXPECT_TRUE(at.found);
+  EXPECT_TRUE(at.has_cover());
   EXPECT_LE(at.best_size, min);
   EXPECT_TRUE(graph::is_vertex_cover(g, at.cover));
 
   c.k = min - 1;
-  EXPECT_FALSE(solve_work_stealing(g, c).found);
+  EXPECT_FALSE(solve_work_stealing(g, c).has_cover());
 
   c.k = min + 1;
-  EXPECT_TRUE(solve_work_stealing(g, c).found);
+  EXPECT_TRUE(solve_work_stealing(g, c).has_cover());
 }
 
 TEST(WorkStealing, NodeLimitAborts) {
   auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 31));
   ParallelConfig c = base_config(4);
-  c.limits.max_tree_nodes = 5;
-  ParallelResult r = solve_work_stealing(g, c);
-  EXPECT_TRUE(r.timed_out);
+  vc::SolveControl control;
+  control.limits.max_tree_nodes = 5;
+  ParallelResult r = solve_work_stealing(g, c, &control);
+  EXPECT_EQ(r.outcome, vc::Outcome::kFeasible);
+  EXPECT_TRUE(r.limit_hit());
   EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
 }
 

@@ -63,8 +63,10 @@ TEST(ConfigHash, CoversResultShapingKnobs) {
   EXPECT_NE(h, tweaked([](auto& c) { c.rules.degree_one = false; }));
   EXPECT_NE(h, tweaked([](auto& c) { c.branch_seed = 1; }));
   EXPECT_NE(h, tweaked([](auto& c) { c.grid_override = 2; }));
-  EXPECT_NE(h, tweaked([](auto& c) { c.limits.max_tree_nodes = 10; }));
   EXPECT_NE(h, tweaked([](auto& c) { c.device.num_sms /= 2; }));
+  // Budgets live on SolveControl, outside the config, precisely so they do
+  // NOT shape the key: only complete (limit-independent) records are
+  // cached, and requests differing only in budgets should share an entry.
 }
 
 TEST(CacheKey, EqualityAndHashAgree) {

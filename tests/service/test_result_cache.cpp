@@ -18,18 +18,25 @@ CacheKey key_of(std::uint64_t id) {
   return k;
 }
 
-parallel::ParallelResult result_of(int best) {
+parallel::ParallelResult result_of(int best,
+                                   vc::Outcome outcome = vc::Outcome::kOptimal,
+                                   double seconds = 1.0) {
   parallel::ParallelResult r;
-  r.found = true;
+  r.outcome = outcome;
   r.best_size = best;
   r.tree_nodes = static_cast<std::uint64_t>(best) * 10;
+  r.seconds = seconds;
   return r;
 }
 
-std::shared_ptr<JobState> job_for(const CacheKey& k, JobId id = 1) {
+std::shared_ptr<JobState> job_for(const CacheKey& k, JobId id = 1,
+                                  vc::Limits limits = {},
+                                  double deadline_s = 0.0) {
   JobSpec spec;
   static const auto g = std::make_shared<graph::CsrGraph>(graph::path(3));
   spec.graph = g;
+  spec.limits = limits;
+  spec.deadline_s = deadline_s;
   return std::make_shared<JobState>(id, std::move(spec), k);
 }
 
@@ -142,6 +149,130 @@ TEST(ResultCache, HitRatioCountsServedOverProbes) {
   cache.lookup(key_of(1), nullptr);  // hit
   cache.lookup(key_of(2), nullptr);  // miss
   EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.5);
+}
+
+TEST(ResultCache, RefusesIncompleteOutcomes) {
+  // Limit hits, deadline and cancellation records are load-dependent, not
+  // canonical: admission refuses all of them with one rule.
+  ResultCache cache(4);
+  for (vc::Outcome o : {vc::Outcome::kFeasible, vc::Outcome::kNodeLimit,
+                        vc::Outcome::kTimeLimit, vc::Outcome::kDeadline,
+                        vc::Outcome::kCancelled}) {
+    cache.insert(key_of(1), result_of(1, o));
+    EXPECT_FALSE(cache.lookup(key_of(1), nullptr)) << vc::to_string(o);
+  }
+  EXPECT_EQ(cache.stats().refused, 5u);
+  EXPECT_EQ(cache.stats().completed_entries, 0u);
+  // Complete outcomes are admitted.
+  cache.insert(key_of(1), result_of(1, vc::Outcome::kInfeasible));
+  EXPECT_TRUE(cache.lookup(key_of(1), nullptr));
+}
+
+TEST(ResultCache, RefusalReleasesInflightRegistration) {
+  // A worker whose solve was cancelled completes with an incomplete
+  // outcome; the key must become claimable again so the next identical
+  // submission re-solves instead of coalescing onto a dead entry.
+  ResultCache cache(4);
+  const CacheKey k = key_of(21);
+  auto owner = job_for(k);
+  ASSERT_EQ(cache.acquire(k, owner, nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+  cache.complete(k, result_of(3, vc::Outcome::kCancelled), owner.get());
+  EXPECT_EQ(cache.stats().inflight_entries, 0u);
+  EXPECT_EQ(cache.acquire(k, job_for(k, 2), nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCache, StalenessUpgradeReplacesIncompleteEntry) {
+  // An incomplete record stored by a pre-policy writer is upgraded by the
+  // first complete record, never the other way around.
+  ResultCache cache(4);
+  cache.insert(key_of(1), result_of(9, vc::Outcome::kOptimal));
+  cache.insert(key_of(1), result_of(5, vc::Outcome::kFeasible));  // ignored
+  parallel::ParallelResult out;
+  ASSERT_TRUE(cache.lookup(key_of(1), &out));
+  EXPECT_EQ(out.best_size, 9);
+}
+
+TEST(ResultCache, MinCacheSecondsSkipsCheapSolves) {
+  ResultCache cache(4, /*min_cache_seconds=*/0.5);
+  EXPECT_DOUBLE_EQ(cache.min_cache_seconds(), 0.5);
+  cache.insert(key_of(1), result_of(1, vc::Outcome::kOptimal, 0.001));
+  EXPECT_FALSE(cache.lookup(key_of(1), nullptr));
+  EXPECT_EQ(cache.stats().refused, 1u);
+  cache.insert(key_of(2), result_of(2, vc::Outcome::kOptimal, 0.75));
+  EXPECT_TRUE(cache.lookup(key_of(2), nullptr));
+  EXPECT_EQ(cache.stats().completed_entries, 1u);
+}
+
+TEST(ResultCache, MinCacheSecondsReleasesInflightRegistration) {
+  ResultCache cache(4, /*min_cache_seconds=*/0.5);
+  const CacheKey k = key_of(31);
+  auto owner = job_for(k);
+  ASSERT_EQ(cache.acquire(k, owner, nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+  cache.complete(k, result_of(3, vc::Outcome::kOptimal, 0.001), owner.get());
+  EXPECT_EQ(cache.stats().inflight_entries, 0u);
+  EXPECT_EQ(cache.stats().completed_entries, 0u);
+  EXPECT_EQ(cache.acquire(k, job_for(k, 2), nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCache, ZeroMinCacheSecondsStoresEverythingComplete) {
+  ResultCache cache(4);  // default 0
+  cache.insert(key_of(1), result_of(1, vc::Outcome::kOptimal, 0.0));
+  EXPECT_TRUE(cache.lookup(key_of(1), nullptr));
+}
+
+TEST(ResultCache, DifferentBudgetsBypassInsteadOfCoalescing) {
+  // An in-flight solve runs under ONE control; a request with different
+  // budgets must not be handed its possibly-truncated result.
+  ResultCache cache(4);
+  const CacheKey k = key_of(41);
+  auto owner = job_for(k, 1);
+  ASSERT_EQ(cache.acquire(k, owner, nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+
+  vc::Limits tight;
+  tight.max_tree_nodes = 3;
+  auto budgeted = job_for(k, 2, tight);
+  EXPECT_EQ(cache.acquire(k, budgeted, nullptr, nullptr),
+            ResultCache::Outcome::kBypass);
+  auto deadlined = job_for(k, 3, {}, 5.0);
+  EXPECT_EQ(cache.acquire(k, deadlined, nullptr, nullptr),
+            ResultCache::Outcome::kBypass);
+  EXPECT_EQ(cache.stats().bypasses, 2u);
+  // The owner's registration is untouched; same-budget submissions still
+  // coalesce.
+  auto twin = job_for(k, 4);
+  std::shared_ptr<JobState> out_owner;
+  EXPECT_EQ(cache.acquire(k, twin, nullptr, &out_owner),
+            ResultCache::Outcome::kInflight);
+  EXPECT_EQ(out_owner.get(), owner.get());
+}
+
+TEST(ResultCache, RefusalIsOwnerGuarded) {
+  // A memoizing insert() whose record is refused (cheap solve under
+  // min_cache_seconds, or an incomplete outcome) must not tear down a
+  // different job's live in-flight registration.
+  ResultCache cache(4, /*min_cache_seconds=*/0.5);
+  const CacheKey k = key_of(51);
+  auto owner = job_for(k, 1);
+  ASSERT_EQ(cache.acquire(k, owner, nullptr, nullptr),
+            ResultCache::Outcome::kMiss);
+
+  cache.insert(k, result_of(3, vc::Outcome::kOptimal, 0.001));  // refused
+  EXPECT_EQ(cache.stats().inflight_entries, 1u);  // registration survives
+  cache.complete(k, result_of(3, vc::Outcome::kCancelled), nullptr);
+  EXPECT_EQ(cache.stats().inflight_entries, 1u);
+
+  // A refusal from a non-owner job is equally a no-op...
+  auto stranger = job_for(k, 2);
+  cache.complete(k, result_of(3, vc::Outcome::kCancelled), stranger.get());
+  EXPECT_EQ(cache.stats().inflight_entries, 1u);
+  // ...while the owner's own refusal releases the key.
+  cache.complete(k, result_of(3, vc::Outcome::kCancelled), owner.get());
+  EXPECT_EQ(cache.stats().inflight_entries, 0u);
 }
 
 }  // namespace

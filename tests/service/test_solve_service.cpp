@@ -36,8 +36,7 @@ ParallelConfig deterministic_config() {
 }
 
 void expect_bit_identical(const ParallelResult& a, const ParallelResult& b) {
-  EXPECT_EQ(a.found, b.found);
-  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.outcome, b.outcome);
   EXPECT_EQ(a.best_size, b.best_size);
   EXPECT_EQ(a.cover, b.cover);
   EXPECT_EQ(a.tree_nodes, b.tree_nodes);
@@ -164,8 +163,8 @@ TEST(SolveService, ExpiredDeadlineJobsAreDroppedNotSolved) {
 
   EXPECT_EQ(td.state->wait(), JobStatus::kExpired);
   const ParallelResult& dropped = svc.wait(td);
-  EXPECT_FALSE(dropped.found);
-  EXPECT_TRUE(dropped.timed_out);
+  EXPECT_FALSE(dropped.has_cover());
+  EXPECT_EQ(dropped.outcome, vc::Outcome::kDeadline);
 
   svc.wait(tb);
   EXPECT_GE(svc.stats().expired, 1u);
@@ -177,7 +176,7 @@ TEST(SolveService, ExpiredDeadlineJobsAreDroppedNotSolved) {
   retry.method = Method::kSequential;
   JobTicket tr = svc.submit(std::move(retry));
   EXPECT_EQ(tr.state->wait(), JobStatus::kDone);
-  EXPECT_TRUE(svc.wait(tr).found);
+  EXPECT_TRUE(svc.wait(tr).has_cover());
 }
 
 TEST(SolveService, LimitHitResultsAreNotCached) {
@@ -188,10 +187,11 @@ TEST(SolveService, LimitHitResultsAreNotCached) {
   JobSpec spec;
   spec.graph = share(graph::complement(graph::p_hat(48, 0.35, 0.85, 41)));
   spec.method = Method::kSequential;
-  spec.config.limits.max_tree_nodes = 3;  // guaranteed limit hit
+  spec.limits.max_tree_nodes = 3;  // guaranteed limit hit
 
   JobTicket first = svc.submit(spec);
-  EXPECT_TRUE(svc.wait(first).timed_out);
+  EXPECT_TRUE(svc.wait(first).limit_hit());
+  EXPECT_EQ(first.state->result().outcome, vc::Outcome::kFeasible);
 
   // The failure must not be served to the identical resubmission: it
   // solves again (and times out again — but by running, not via cache).
@@ -353,11 +353,9 @@ TEST(SolveService, SharesWarmEntriesWithHarnessRunner) {
   opts.partition_device = false;
   SolveService svc(opts);
 
-  // Reconstruct the exact request min_cover() memoized.
+  // Reconstruct the exact request min_cover() memoized (limits are not
+  // part of the key, so only the config knobs matter).
   ParallelConfig c = runner.make_config(harness::ProblemInstance::kMvc, 0);
-  c.limits = {};
-  if (ropts.limits.time_limit_s > 0)
-    c.limits.time_limit_s = ropts.limits.time_limit_s * 20;
 
   JobSpec spec;
   spec.graph = share(inst.graph());

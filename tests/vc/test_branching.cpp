@@ -28,6 +28,11 @@ TEST(BranchStrategy, Parse) {
   EXPECT_EQ(parse_branch_strategy("first"), BranchStrategy::kFirst);
 }
 
+TEST(BranchStrategy, TryParseReturnsNulloptOnUnknown) {
+  EXPECT_EQ(try_parse_branch_strategy("max"), BranchStrategy::kMaxDegree);
+  EXPECT_EQ(try_parse_branch_strategy("bogus"), std::nullopt);
+}
+
 TEST(BranchStrategyDeathTest, ParseRejectsUnknown) {
   EXPECT_DEATH(parse_branch_strategy("clever"), "unknown branch strategy");
 }

@@ -39,8 +39,8 @@ TEST(SequentialMvc, KnownOptima) {
 TEST(SequentialMvc, ResultInvariants) {
   CsrGraph g = graph::gnp(40, 0.15, 3);
   SolveResult r = mvc(g);
-  EXPECT_TRUE(r.found);
-  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.has_cover());
+  EXPECT_EQ(r.outcome, Outcome::kOptimal);
   EXPECT_GT(r.tree_nodes, 0u);
   EXPECT_LE(r.best_size, r.greedy_upper_bound);
   check_result(g, r);
@@ -98,16 +98,18 @@ TEST(SequentialPvc, ThresholdAroundOptimum) {
   CsrGraph g = graph::gnp(15, 0.3, 5);
   int opt = oracle_mvc_size(g);
   SolveResult below = pvc(g, opt - 1);
-  EXPECT_FALSE(below.found);
+  EXPECT_FALSE(below.has_cover());
+  EXPECT_EQ(below.outcome, Outcome::kInfeasible);
   EXPECT_TRUE(below.cover.empty());
 
   SolveResult at = pvc(g, opt);
-  EXPECT_TRUE(at.found);
+  EXPECT_TRUE(at.has_cover());
+  EXPECT_EQ(at.outcome, Outcome::kOptimal);
   EXPECT_LE(at.best_size, opt);
   check_result(g, at);
 
   SolveResult above = pvc(g, opt + 1);
-  EXPECT_TRUE(above.found);
+  EXPECT_TRUE(above.has_cover());
   EXPECT_LE(above.best_size, opt + 1);
   check_result(g, above);
 }
@@ -120,37 +122,80 @@ TEST(SequentialPvc, EasierInstancesVisitFewerNodes) {
   int opt = solve_sequential(g, c).best_size;
   SolveResult hard = pvc(g, opt - 1);
   SolveResult easy = pvc(g, opt + 1);
-  EXPECT_FALSE(hard.found);
-  EXPECT_TRUE(easy.found);
+  EXPECT_FALSE(hard.has_cover());
+  EXPECT_TRUE(easy.has_cover());
   EXPECT_LE(easy.tree_nodes, hard.tree_nodes);
 }
 
 TEST(SequentialPvc, LargeKFindsQuickly) {
   CsrGraph g = graph::gnp(30, 0.2, 12);
   SolveResult r = pvc(g, 30);
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.has_cover());
   check_result(g, r);
 }
 
-TEST(SequentialLimits, NodeLimitTriggersTimeout) {
+TEST(SequentialLimits, NodeLimitYieldsFeasible) {
   CsrGraph g = graph::complement(graph::p_hat(40, 0.4, 0.9, 2));
   SequentialConfig c;
   c.problem = Problem::kMvc;
-  c.limits.max_tree_nodes = 3;
-  SolveResult r = solve_sequential(g, c);
-  EXPECT_TRUE(r.timed_out);
+  SolveControl control;
+  control.limits.max_tree_nodes = 3;
+  SolveResult r = solve_sequential(g, c, &control);
+  EXPECT_EQ(r.outcome, Outcome::kFeasible);  // MVC holds a valid cover
+  EXPECT_TRUE(r.limit_hit());
   EXPECT_LE(r.tree_nodes, 3u);
   // The greedy cover is still reported and still valid.
   EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
 }
 
-TEST(SequentialLimits, TimeLimitTriggersTimeout) {
+TEST(SequentialLimits, TimeLimitYieldsFeasible) {
   CsrGraph g = graph::complement(graph::p_hat(60, 0.2, 0.9, 3));
   SequentialConfig c;
   c.problem = Problem::kMvc;
-  c.limits.time_limit_s = 1e-9;
-  SolveResult r = solve_sequential(g, c);
-  EXPECT_TRUE(r.timed_out);
+  SolveControl control;
+  control.limits.time_limit_s = 1e-9;
+  SolveResult r = solve_sequential(g, c, &control);
+  EXPECT_EQ(r.outcome, Outcome::kFeasible);
+}
+
+TEST(SequentialLimits, PvcNodeLimitReportsCause) {
+  // Interrupted PVC with no witness: the node budget is the cause. k=min-1
+  // forces a full-tree refutation, so a tiny budget must fire mid-proof.
+  CsrGraph g = graph::complement(graph::p_hat(40, 0.4, 0.9, 2));
+  SequentialConfig mc;
+  mc.problem = Problem::kMvc;
+  const int opt = solve_sequential(g, mc).best_size;
+  SequentialConfig c;
+  c.problem = Problem::kPvc;
+  c.k = opt - 1;
+  SolveControl control;
+  control.limits.max_tree_nodes = 2;
+  SolveResult r = solve_sequential(g, c, &control);
+  EXPECT_EQ(r.outcome, Outcome::kNodeLimit);
+  EXPECT_FALSE(r.has_cover());
+}
+
+TEST(SequentialControl, CancelStopsTheSearch) {
+  CsrGraph g = graph::complement(graph::p_hat(40, 0.4, 0.9, 2));
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  SolveControl control;
+  control.cancel();  // pre-cancelled: stops at the first check
+  SolveResult r = solve_sequential(g, c, &control);
+  EXPECT_EQ(r.outcome, Outcome::kCancelled);
+  EXPECT_LE(r.tree_nodes, 1u);
+  EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // greedy incumbent
+}
+
+TEST(SequentialControl, PassedDeadlineStopsTheSearch) {
+  CsrGraph g = graph::complement(graph::p_hat(40, 0.4, 0.9, 2));
+  SequentialConfig c;
+  c.problem = Problem::kMvc;
+  SolveControl control;
+  control.set_deadline(SolveControl::now_s() - 1.0);
+  SolveResult r = solve_sequential(g, c, &control);
+  EXPECT_EQ(r.outcome, Outcome::kDeadline);
+  EXPECT_LE(r.tree_nodes, 1u);
 }
 
 TEST(SequentialRules, DisablingRulesKeepsAnswer) {

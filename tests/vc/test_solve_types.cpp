@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "graph/generators.hpp"
+#include "graph/ops.hpp"
 #include "vc/sequential.hpp"
 
 namespace gvc::vc {
@@ -11,16 +14,16 @@ namespace {
 TEST(CheckResult, AcceptsConsistentResult) {
   auto g = graph::cycle(6);
   SolveResult r;
-  r.found = true;
   r.best_size = 3;
   r.cover = {0, 2, 4};
   check_result(g, r);  // no abort
   SUCCEED();
 }
 
-TEST(CheckResult, IgnoresNotFoundResults) {
+TEST(CheckResult, IgnoresCoverlessResults) {
   auto g = graph::cycle(6);
-  SolveResult r;  // found = false, empty cover
+  SolveResult r;  // best_size = -1: no witness, nothing to verify
+  r.outcome = Outcome::kInfeasible;
   check_result(g, r);
   SUCCEED();
 }
@@ -28,7 +31,6 @@ TEST(CheckResult, IgnoresNotFoundResults) {
 TEST(CheckResultDeathTest, RejectsSizeMismatch) {
   auto g = graph::cycle(6);
   SolveResult r;
-  r.found = true;
   r.best_size = 2;
   r.cover = {0, 2, 4};
   EXPECT_DEATH(check_result(g, r), "disagrees");
@@ -37,7 +39,6 @@ TEST(CheckResultDeathTest, RejectsSizeMismatch) {
 TEST(CheckResultDeathTest, RejectsNonCover) {
   auto g = graph::cycle(6);
   SolveResult r;
-  r.found = true;
   r.best_size = 2;
   r.cover = {0, 3};  // misses edges 1-2 and 4-5
   EXPECT_DEATH(check_result(g, r), "cover");
@@ -45,20 +46,144 @@ TEST(CheckResultDeathTest, RejectsNonCover) {
 
 TEST(SolveResultDefaults, AreInert) {
   SolveResult r;
-  EXPECT_FALSE(r.found);
-  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.outcome, Outcome::kOptimal);
+  EXPECT_FALSE(r.has_cover());
   EXPECT_EQ(r.best_size, -1);
   EXPECT_TRUE(r.cover.empty());
   EXPECT_EQ(r.tree_nodes, 0u);
 }
 
+TEST(Outcome, TaxonomyPartition) {
+  // Every outcome is either complete or a limit, never both.
+  for (Outcome o : {Outcome::kOptimal, Outcome::kFeasible,
+                    Outcome::kInfeasible, Outcome::kNodeLimit,
+                    Outcome::kTimeLimit, Outcome::kDeadline,
+                    Outcome::kCancelled})
+    EXPECT_NE(is_complete(o), is_limit(o)) << to_string(o);
+
+  EXPECT_TRUE(is_complete(Outcome::kOptimal));
+  EXPECT_TRUE(is_complete(Outcome::kInfeasible));
+  EXPECT_TRUE(is_limit(Outcome::kFeasible));
+  EXPECT_TRUE(is_limit(Outcome::kNodeLimit));
+  EXPECT_TRUE(is_limit(Outcome::kTimeLimit));
+  EXPECT_TRUE(is_limit(Outcome::kDeadline));
+  EXPECT_TRUE(is_limit(Outcome::kCancelled));
+}
+
+TEST(Outcome, ToStringIsStable) {
+  EXPECT_STREQ(to_string(Outcome::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(Outcome::kFeasible), "feasible");
+  EXPECT_STREQ(to_string(Outcome::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(Outcome::kNodeLimit), "node-limit");
+  EXPECT_STREQ(to_string(Outcome::kTimeLimit), "time-limit");
+  EXPECT_STREQ(to_string(Outcome::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(Outcome::kCancelled), "cancelled");
+}
+
+TEST(Outcome, InterruptedMapping) {
+  // Internal budgets collapse to kFeasible when a cover is in hand (MVC);
+  // external controls keep their own cause either way.
+  EXPECT_EQ(interrupted_outcome(StopCause::kNodeLimit, true),
+            Outcome::kFeasible);
+  EXPECT_EQ(interrupted_outcome(StopCause::kTimeLimit, true),
+            Outcome::kFeasible);
+  EXPECT_EQ(interrupted_outcome(StopCause::kNodeLimit, false),
+            Outcome::kNodeLimit);
+  EXPECT_EQ(interrupted_outcome(StopCause::kTimeLimit, false),
+            Outcome::kTimeLimit);
+  for (bool cover : {false, true}) {
+    EXPECT_EQ(interrupted_outcome(StopCause::kDeadline, cover),
+              Outcome::kDeadline);
+    EXPECT_EQ(interrupted_outcome(StopCause::kCancelled, cover),
+              Outcome::kCancelled);
+  }
+}
+
+TEST(SolveControl, DefaultsNeverFire) {
+  SolveControl c;
+  EXPECT_FALSE(c.cancelled());
+  EXPECT_FALSE(c.deadline_passed());
+  EXPECT_EQ(c.external_stop(), StopCause::kNone);
+  EXPECT_EQ(c.limits.max_tree_nodes, 0u);
+  EXPECT_EQ(c.limits.time_limit_s, 0.0);
+}
+
+TEST(SolveControl, CancelLatches) {
+  SolveControl c;
+  c.cancel();
+  EXPECT_TRUE(c.cancelled());
+  EXPECT_EQ(c.external_stop(), StopCause::kCancelled);
+  c.cancel();  // idempotent
+  EXPECT_TRUE(c.cancelled());
+}
+
+TEST(SolveControl, DeadlineOnTheSharedClock) {
+  SolveControl c;
+  c.set_deadline(SolveControl::now_s() + 3600.0);
+  EXPECT_FALSE(c.deadline_passed());
+  c.set_deadline(SolveControl::now_s() - 1.0);
+  EXPECT_TRUE(c.deadline_passed());
+  EXPECT_EQ(c.external_stop(), StopCause::kDeadline);
+  c.set_deadline(0.0);  // cleared
+  EXPECT_FALSE(c.deadline_passed());
+}
+
+TEST(SolveControl, CancelBeatsDeadlineInPrecedence) {
+  SolveControl c;
+  c.set_deadline(SolveControl::now_s() - 1.0);
+  c.cancel();
+  EXPECT_EQ(c.external_stop(), StopCause::kCancelled);
+}
+
+TEST(SolveControl, CancelIsVisibleAcrossThreads) {
+  SolveControl c;
+  std::thread t([&c] { c.cancel(); });
+  t.join();
+  EXPECT_TRUE(c.cancelled());
+}
+
+TEST(SolveControl, ProgressPublication) {
+  SolveControl c;
+  EXPECT_FALSE(c.progress_enabled());
+  c.enable_progress();
+  EXPECT_TRUE(c.progress_enabled());
+  c.publish_progress(42, 1000);
+  SolveControl::Progress p = c.progress();
+  EXPECT_EQ(p.best_size, 42);
+  EXPECT_EQ(p.tree_nodes, 1000u);
+}
+
+TEST(SolveControl, SolverPublishesProgress) {
+  auto g = graph::complement(graph::p_hat(30, 0.3, 0.8, 4));
+  SequentialConfig c;
+  SolveControl control;
+  control.enable_progress();
+  SolveResult r = solve_sequential(g, c, &control);
+  SolveControl::Progress p = control.progress();
+  EXPECT_EQ(p.best_size, r.best_size);
+  EXPECT_EQ(p.tree_nodes, r.tree_nodes);
+}
+
 TEST(Limits, ZeroMeansUnlimited) {
   auto g = graph::complete(8);
   SequentialConfig c;
-  c.limits = Limits{};  // both zero
-  auto r = solve_sequential(g, c);
-  EXPECT_FALSE(r.timed_out);
+  SolveControl control{Limits{}};  // both zero
+  auto r = solve_sequential(g, c, &control);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.outcome, Outcome::kOptimal);
   EXPECT_EQ(r.best_size, 7);
+}
+
+TEST(Limits, NullControlEqualsNeverFiringControl) {
+  auto g = graph::gnp(30, 0.2, 11);
+  SequentialConfig c;
+  SolveControl control;
+  SolveResult with = solve_sequential(g, c, &control);
+  SolveResult without = solve_sequential(g, c, nullptr);
+  EXPECT_EQ(with.best_size, without.best_size);
+  EXPECT_EQ(with.tree_nodes, without.tree_nodes);
+  EXPECT_EQ(with.cover, without.cover);
+  EXPECT_EQ(with.outcome, without.outcome);
 }
 
 }  // namespace

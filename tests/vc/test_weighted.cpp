@@ -111,10 +111,11 @@ TEST(WeightedVc, ScalingWeightsScalesOptimum) {
 
 TEST(WeightedVc, NodeLimitReportsTimeout) {
   auto g = graph::complement(graph::p_hat(40, 0.3, 0.9, 5));
-  Limits limits;
-  limits.max_tree_nodes = 2;
-  auto r = solve_weighted(g, random_weights(g, 9), limits);
-  EXPECT_TRUE(r.timed_out);
+  SolveControl control;
+  control.limits.max_tree_nodes = 2;
+  auto r = solve_weighted(g, random_weights(g, 9), &control);
+  EXPECT_EQ(r.outcome, Outcome::kFeasible);
+  EXPECT_TRUE(r.limit_hit());
   EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));  // heuristic incumbent
 }
 

@@ -27,17 +27,31 @@
 //   --no-partition         workers use the submitted device spec verbatim
 //   --scale S              smoke|default|large catalog scale (default smoke)
 //   --time-limit S         per-job solve budget (default 0 = none)
+//   --min-cache-seconds S  cost-aware cache admission: skip storing solves
+//                          cheaper than S seconds (default 0 = store all)
 //
-// Output: one line per terminal state class, then throughput (jobs/sec of
-// wall time over the whole batch), latency percentiles (submit → terminal),
-// cache statistics, and the per-worker job distribution.
+// Workload stress knobs:
+//   --deadline-ms M        per-job deadline M ms from submission, enforced
+//                          end to end (admission, dequeue, and mid-solve
+//                          via each job's SolveControl; default 0 = none)
+//   --cancel-after-ms M    cancel every still-outstanding ticket M ms after
+//                          the batch is submitted (exercises
+//                          JobTicket::cancel; default 0 = never)
+//
+// Output: one line per terminal state class plus the Outcome breakdown of
+// delivered results (optimal/feasible/deadline/cancelled/...), throughput
+// (jobs/sec of wall time over the whole batch), latency percentiles
+// (submit → terminal), cache statistics, and the per-worker job
+// distribution.
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/catalog.hpp"
@@ -65,13 +79,13 @@ struct ParsedLine {
 
 ParsedLine parse_line(const std::string& line,
                       const std::vector<harness::Instance>& catalog,
-                      const parallel::ParallelConfig& base) {
+                      const service::JobSpec& base) {
   std::istringstream in(line);
   std::string name;
   in >> name;
   ParsedLine out;
+  out.spec = base;
   out.spec.graph = borrow(harness::find_instance(catalog, name));
-  out.spec.config = base;
 
   std::string tok;
   while (in >> tok) {
@@ -89,7 +103,12 @@ ParsedLine parse_line(const std::string& line,
       out.repeat = std::stoi(tok.substr(1));
       GVC_CHECK_MSG(out.repeat >= 1, "spec line: xN needs N >= 1");
     } else {
-      out.spec.method = parallel::parse_method(tok);
+      std::optional<parallel::Method> m = parallel::try_parse_method(tok);
+      GVC_CHECK_MSG(m.has_value(),
+                    "spec line: unknown token (want a method name "
+                    "sequential|stackonly|hybrid|globalonly|workstealing, "
+                    "'pvc K', 'priority=P', 'deadline=S', or 'xN')");
+      out.spec.method = *m;
     }
   }
   return out;
@@ -100,12 +119,19 @@ ParsedLine parse_line(const std::string& line,
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
 
-  const harness::Scale scale =
-      harness::parse_scale(args.get("scale", "smoke"));
-  std::vector<harness::Instance> catalog = harness::paper_catalog(scale);
+  const std::optional<harness::Scale> scale =
+      harness::try_parse_scale(args.get("scale", "smoke"));
+  if (!scale.has_value()) {
+    std::fprintf(stderr, "unknown --scale '%s' (want smoke|default|large)\n",
+                 args.get("scale", "smoke").c_str());
+    return 64;
+  }
+  std::vector<harness::Instance> catalog = harness::paper_catalog(*scale);
 
-  parallel::ParallelConfig base;
+  service::JobSpec base;
   base.limits.time_limit_s = args.get_double("time-limit", 0.0);
+  base.deadline_s = args.get_double("deadline-ms", 0.0) * 1e-3;
+  const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
 
   service::ServiceOptions opts;
   opts.num_workers = static_cast<int>(args.get_int("workers", 4));
@@ -117,6 +143,7 @@ int main(int argc, char** argv) {
   opts.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache-capacity", 1024));
   opts.partition_device = !args.get_bool("no-partition", false);
+  opts.min_cache_seconds = args.get_double("min-cache-seconds", 0.0);
 
   // Assemble the workload before starting the clock.
   std::vector<service::JobSpec> specs;
@@ -141,10 +168,9 @@ int main(int argc, char** argv) {
         1, std::min(static_cast<int>(args.get_int("distinct", 8)),
                     static_cast<int>(catalog.size())));
     for (int i = 0; i < jobs; ++i) {
-      service::JobSpec spec;
+      service::JobSpec spec = base;
       spec.graph = borrow(catalog[static_cast<std::size_t>(i % distinct)]);
       spec.method = parallel::Method::kHybrid;
-      spec.config = base;
       specs.push_back(std::move(spec));
     }
   }
@@ -162,24 +188,49 @@ int main(int argc, char** argv) {
   util::WallTimer timer;
   std::vector<service::JobTicket> tickets = svc.submit_all(std::move(specs));
 
+  // The --cancel-after-ms stressor: one watchdog thread sweeps the batch
+  // and cancels whatever is not yet terminal — queued jobs turn terminal
+  // on the spot, running solves stop through their SolveControl.
+  std::thread canceller;
+  if (cancel_after_ms > 0.0) {
+    canceller = std::thread([&tickets, cancel_after_ms] {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          cancel_after_ms));
+      std::size_t hit = 0;
+      for (const auto& t : tickets)
+        if (t.cancel()) ++hit;
+      std::printf("  [canceller] cancelled %zu outstanding tickets\n", hit);
+    });
+  }
+
   std::vector<double> latencies;
   latencies.reserve(tickets.size());
-  std::size_t done = 0, expired = 0, rejected = 0;
+  std::size_t done = 0, expired = 0, cancelled = 0, rejected = 0;
+  std::array<std::size_t, 7> by_outcome{};  // indexed by vc::Outcome
   for (const auto& t : tickets) {
     switch (t.state->wait()) {
       case service::JobStatus::kDone: ++done; break;
       case service::JobStatus::kExpired: ++expired; break;
+      case service::JobStatus::kCancelled: ++cancelled; break;
       default: ++rejected; break;
     }
+    ++by_outcome[static_cast<std::size_t>(t.state->result().outcome)];
     latencies.push_back(t.state->queue_seconds() + t.state->solve_seconds());
   }
   const double wall = timer.seconds();
+  if (canceller.joinable()) canceller.join();
 
   service::ServiceStats stats = svc.stats();
-  std::printf("\n  done %zu, expired %zu, rejected %zu in %.3f s "
-              "-> %.1f jobs/sec\n",
-              done, expired, rejected, wall,
+  std::printf("\n  done %zu, expired %zu, cancelled %zu, rejected %zu "
+              "in %.3f s -> %.1f jobs/sec\n",
+              done, expired, cancelled, rejected, wall,
               static_cast<double>(tickets.size()) / wall);
+  std::printf("  outcomes ");
+  for (std::size_t o = 0; o < by_outcome.size(); ++o)
+    if (by_outcome[o] != 0)
+      std::printf(" %s %zu", vc::to_string(static_cast<vc::Outcome>(o)),
+                  by_outcome[o]);
+  std::printf("\n");
   std::printf("  latency  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs\n",
               util::quantile(latencies, 0.50), util::quantile(latencies, 0.90),
               util::quantile(latencies, 0.99), util::max_of(latencies));
@@ -196,5 +247,6 @@ int main(int argc, char** argv) {
     std::printf(" [%zu] %llu", w,
                 static_cast<unsigned long long>(stats.jobs_per_worker[w]));
   std::printf("\n");
-  return done == tickets.size() ? 0 : 1;
+  const bool drops_expected = cancel_after_ms > 0.0 || base.deadline_s > 0.0;
+  return done == tickets.size() || drops_expected ? 0 : 1;
 }

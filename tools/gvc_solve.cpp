@@ -17,13 +17,17 @@
 //   --start-depth D      StackOnly sub-tree starting depth (default 6)
 //   --time-limit S       abort after S seconds (0 = none)
 //   --node-limit N       abort after N tree nodes (0 = none)
+//   --deadline-ms M      absolute deadline M milliseconds from launch —
+//                        unlike --time-limit it also burns load/setup time
+//                        (0 = none)
 //   --kernelize          fold degree ≤ 2 structures first (host-side
 //                        preprocessing; see src/vc/folding.hpp)
 //   --solution PATH      write the cover in PACE "s vc" format
 //   --quiet              print only the cover size
 //
 // Exit code: 0 on success (PVC: cover found), 1 for PVC "no cover ≤ k",
-// 2 when a limit fired before the search finished.
+// 2 when a limit/deadline fired before the search finished, 64 for usage
+// errors (unknown method names print the usage line instead of aborting).
 
 #include <cstdio>
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "graph/stats.hpp"
 #include "parallel/solver.hpp"
 #include "util/cli.hpp"
+#include "util/strings.hpp"
 #include "util/log.hpp"
 #include "vc/folding.hpp"
 
@@ -55,15 +60,31 @@ int main(int argc, char** argv) {
     std::printf("%s: %s\n", path.c_str(), stats.to_string().c_str());
   }
 
-  const parallel::Method method =
-      parallel::parse_method(args.get("method", "hybrid"));
+  const std::optional<parallel::Method> method =
+      parallel::try_parse_method(args.get("method", "hybrid"));
+  if (!method.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --method '%s' (want sequential|stackonly|hybrid|"
+                 "globalonly|workstealing)\n",
+                 args.get("method", "hybrid").c_str());
+    return 64;
+  }
 
   parallel::ParallelConfig config;
   config.problem = util::to_lower(args.get("problem", "mvc")) == "pvc"
                        ? vc::Problem::kPvc
                        : vc::Problem::kMvc;
   config.k = static_cast<int>(args.get_int("k", 0));
-  config.branch = vc::parse_branch_strategy(args.get("branch", "maxdegree"));
+  const std::optional<vc::BranchStrategy> branch =
+      vc::try_parse_branch_strategy(args.get("branch", "maxdegree"));
+  if (!branch.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --branch '%s' (want maxdegree|mindegree|random|"
+                 "first)\n",
+                 args.get("branch", "maxdegree").c_str());
+    return 64;
+  }
+  config.branch = *branch;
   config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   config.grid_override = static_cast<int>(args.get_int("grid", 0));
   config.block_size_override =
@@ -73,9 +94,13 @@ int main(int argc, char** argv) {
   config.worklist_threshold_frac =
       args.get_double("worklist-threshold", 0.5);
   config.start_depth = static_cast<int>(args.get_int("start-depth", 6));
-  config.limits.time_limit_s = args.get_double("time-limit", 0.0);
-  config.limits.max_tree_nodes =
+  vc::SolveControl control;
+  control.limits.time_limit_s = args.get_double("time-limit", 0.0);
+  control.limits.max_tree_nodes =
       static_cast<std::uint64_t>(args.get_int("node-limit", 0));
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  if (deadline_ms > 0.0)
+    control.set_deadline(vc::SolveControl::now_s() + deadline_ms * 1e-3);
 
   // Optional folding preprocessing: fold to a min-degree-3 kernel, solve
   // the kernel with the selected method, lift back.
@@ -93,18 +118,22 @@ int main(int argc, char** argv) {
                   folded.cover_offset);
   }
 
-  parallel::ParallelResult r = parallel::solve(*work, method, config);
+  parallel::ParallelResult r =
+      parallel::solve(*work, *method, config, &control);
 
   std::vector<graph::Vertex> cover =
       kernelize ? folded.lift(r.cover) : r.cover;
 
-  if (config.problem == vc::Problem::kPvc && !r.found) {
+  if (config.problem == vc::Problem::kPvc && !r.has_cover()) {
     if (quiet)
       std::printf("no\n");
     else
       std::printf("no vertex cover of size <= %d exists%s\n", config.k,
-                  r.timed_out ? " (unproven: limit hit)" : "");
-    return r.timed_out ? 2 : 1;
+                  r.complete()
+                      ? ""
+                      : util::format(" (unproven: %s)",
+                                     vc::to_string(r.outcome)).c_str());
+    return r.complete() ? 1 : 2;
   }
 
   GVC_CHECK_MSG(graph::is_vertex_cover(g, cover),
@@ -116,10 +145,13 @@ int main(int argc, char** argv) {
     std::printf("%s cover of size %zu found by %s in %.3f s "
                 "(simulated parallel %.4f s, %llu tree nodes)%s\n",
                 config.problem == vc::Problem::kMvc ? "minimum" : "valid",
-                cover.size(), parallel::method_name(method), r.seconds,
+                cover.size(), parallel::method_name(*method), r.seconds,
                 r.sim_seconds,
                 static_cast<unsigned long long>(r.tree_nodes),
-                r.timed_out ? " [limit hit: optimality unproven]" : "");
+                r.complete() ? ""
+                             : util::format(" [%s: optimality unproven]",
+                                            vc::to_string(r.outcome))
+                                   .c_str());
   }
 
   if (args.has("solution")) {
@@ -129,5 +161,5 @@ int main(int argc, char** argv) {
     if (!quiet)
       std::printf("solution written to %s\n", args.get("solution").c_str());
   }
-  return r.timed_out ? 2 : 0;
+  return r.complete() ? 0 : 2;
 }
