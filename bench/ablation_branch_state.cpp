@@ -1,0 +1,170 @@
+// Ablation A7 (ours): what undo-trail branching buys.
+//
+// The paper's §IV-B representation makes every tree node self-contained by
+// copying the whole degree array per branch — O(|V|) memory traffic per
+// node, and a (depth_bound × 4|V|)-byte local stack budgeted against global
+// memory by the §IV-E occupancy planner. BranchStateMode::kUndoTrail keeps
+// ONE array per block and backtracks by rolling a (vertex, old-degree)
+// trail, cutting per-node state traffic to O(changed).
+//
+// This bench runs both modes and reports, per instance:
+//   * wall time and tree nodes (identical node counts are the differential
+//     guarantee at work — any divergence is a bug, and is flagged);
+//   * measured per-node state bytes: 4|V| for kCopy (the copy each branch
+//     writes) vs trail bytes actually recorded per node; and
+//   * the resident per-block state budget: the preallocated local stack
+//     (depth_bound × 4|V|) vs the trail's peak footprint plus the one live
+//     array — the quantity §IV-E must budget against global memory.
+// A second table compares wall time across the depth-first parallel
+// methods (StackOnly / Hybrid / WorkStealing) under both modes.
+//
+//   ./ablation_branch_state [--scale smoke|default|large]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vc/sequential.hpp"
+#include "vc/undo_trail.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gvc;
+
+  bench::BenchEnv env = bench::make_env(argc, argv);
+  std::printf(
+      "Ablation: branch state (copy-on-branch vs undo trail), MVC "
+      "(scale=%s)\n\n",
+      bench::scale_name(env.scale));
+
+  const char* kInstances[] = {"p_hat_300_3", "p_hat_500_1", "US_power_grid",
+                              "LastFM_Asia", "Sister_Cities"};
+
+  util::Table table({"Instance", "Mode", "time (s)", "tree nodes",
+                     "state B/node", "resident state B", "speedup vs copy"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight});
+  if (env.csv)
+    env.csv->header({"instance", "mode", "seconds", "nodes", "bytes_per_node",
+                     "resident_bytes", "speedup"});
+
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    const auto n = static_cast<std::int64_t>(inst.graph().num_vertices());
+    const std::int64_t array_bytes = n * 4;
+
+    double copy_seconds = 0.0;
+    std::uint64_t copy_nodes = 0;
+    bool copy_complete = false;
+    for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+      vc::SequentialConfig config;
+      config.branch_state = mode;
+      vc::SolveControl budget(env.runner_options.limits);
+      vc::ReduceWorkspace ws;  // fresh per run: trail counters start at 0
+      auto r = vc::solve_sequential(inst.graph(), config, &budget, &ws);
+
+      const bool copy = mode == vc::BranchStateMode::kCopy;
+      if (copy) {
+        copy_seconds = r.seconds;
+        copy_nodes = r.tree_nodes;
+        copy_complete = r.complete();
+      } else if (r.complete() && copy_complete &&
+                 r.tree_nodes != copy_nodes) {
+        // Node counts are comparable only when BOTH runs exhausted the
+        // tree; a limit truncates at a wall-clock position, not a node.
+        std::printf("WARNING: %s: undo-trail tree (%llu nodes) diverged from "
+                    "copy (%llu) — branch-state bug!\n",
+                    name, static_cast<unsigned long long>(r.tree_nodes),
+                    static_cast<unsigned long long>(copy_nodes));
+      }
+
+      // Per-node state traffic: what carrying the tree costs per visited
+      // node. kCopy writes one whole degree array per branch; the trail
+      // writes only the entries the node's mutations recorded.
+      const std::uint64_t nodes = std::max<std::uint64_t>(r.tree_nodes, 1);
+      const std::int64_t bytes_per_node =
+          copy ? array_bytes
+               : static_cast<std::int64_t>(
+                     (ws.undo_trail.lifetime_entries() *
+                      vc::UndoTrail::kEntryBytes) /
+                     nodes);
+      // Resident budget: preallocated stack of depth_bound arrays vs peak
+      // trail + the single live array.
+      const std::int64_t depth_bound = r.greedy_upper_bound + 2;
+      const std::int64_t resident_bytes =
+          copy ? depth_bound * array_bytes
+               : static_cast<std::int64_t>(ws.undo_trail.peak_entries() *
+                                           vc::UndoTrail::kEntryBytes) +
+                     array_bytes;
+
+      std::vector<std::string> row = {
+          name, vc::branch_state_mode_name(mode),
+          r.limit_hit() ? ">limit" : util::format("%.3f", r.seconds),
+          util::format("%llu", static_cast<unsigned long long>(r.tree_nodes)),
+          util::format("%lld", static_cast<long long>(bytes_per_node)),
+          util::format("%lld", static_cast<long long>(resident_bytes)),
+          copy || r.limit_hit() || !copy_complete || copy_seconds <= 0.0
+              ? "-"
+              : util::format("%.2fx",
+                             copy_seconds / std::max(r.seconds, 1e-9))};
+      table.add_row(row);
+      if (env.csv) env.csv->row(row);
+      std::fflush(stdout);
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Depth-first parallel methods under both modes (same device model the
+  // other ablations use). Donations and steal advertisements still
+  // materialize snapshots, so the win here is the local descent only.
+  const parallel::Method kMethods[] = {parallel::Method::kStackOnly,
+                                       parallel::Method::kHybrid,
+                                       parallel::Method::kWorkStealing};
+  util::Table ptable({"Instance", "Method", "Mode", "sim time (s)",
+                      "wall (s)", "speedup vs copy"},
+                     {util::Align::kLeft, util::Align::kLeft,
+                      util::Align::kLeft, util::Align::kRight,
+                      util::Align::kRight, util::Align::kRight});
+  for (const char* name : kInstances) {
+    const auto& inst = harness::find_instance(env.catalog, name);
+    for (parallel::Method method : kMethods) {
+      double copy_wall = 0.0;
+      bool copy_done = false;
+      for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+        parallel::ParallelConfig c =
+            env.r().make_config(harness::ProblemInstance::kMvc, 0);
+        c.semantics = vc::ReduceSemantics::kIncremental;
+        c.branch_state = mode;
+        vc::SolveControl budget(env.runner_options.limits);
+        parallel::ParallelResult r =
+            parallel::solve(inst.graph(), method, c, &budget);
+        const bool copy = mode == vc::BranchStateMode::kCopy;
+        if (copy) {
+          copy_wall = r.seconds;
+          copy_done = r.complete();
+        }
+        ptable.add_row(
+            {name, parallel::method_name(method),
+             vc::branch_state_mode_name(mode), bench::cell(r),
+             r.limit_hit() ? ">limit" : util::format("%.3f", r.seconds),
+             copy || r.limit_hit() || !copy_done || copy_wall <= 0.0
+                 ? "-"
+                 : util::format("%.2fx",
+                                copy_wall / std::max(r.seconds, 1e-9))});
+        std::fflush(stdout);
+      }
+    }
+    ptable.add_separator();
+  }
+  std::printf("%s\n", ptable.render().c_str());
+
+  std::printf(
+      "Expected: state B/node drops from 4|V| to a small constant (the "
+      "trail records only what the branch and its reductions touched), "
+      "resident state shrinks by the depth bound, and identical node counts "
+      "certify the traversal is unchanged. Time wins track instance "
+      "sparsity — the copy was the dominant per-node memory traffic.\n");
+  return 0;
+}

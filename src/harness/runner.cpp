@@ -35,8 +35,11 @@ ParallelConfig Runner::make_config(ProblemInstance problem, int k) const {
   // The reproduction harness measures the paper's semantics, not the
   // incremental fast path the library defaults to: sweep rules for the
   // GPU-style methods (§IV-D). run() overrides this to the textbook serial
-  // rules for the Sequential baseline (§V-A).
+  // rules for the Sequential baseline (§V-A). Branch state is pinned to the
+  // paper's copy-on-branch self-contained nodes (§IV-B) for the same
+  // reason; bench/ablation_branch_state measures what the undo trail buys.
   c.semantics = vc::ReduceSemantics::kParallelSweep;
+  c.branch_state = vc::BranchStateMode::kCopy;
   c.k = k;
   c.device = options_.device;
   c.worklist_capacity = options_.worklist_capacity;

@@ -83,6 +83,15 @@ struct ParallelConfig {
   vc::BranchStrategy branch = vc::BranchStrategy::kMaxDegree;
   std::uint64_t branch_seed = 0;  ///< used by BranchStrategy::kRandom
 
+  /// How the depth-first descent carries state across a branch (see
+  /// vc::BranchStateMode). kUndoTrail (the default) backtracks by rolling
+  /// an undo trail instead of restoring an O(|V|) copy and is bit-identical
+  /// to kCopy; the paper-faithful harness pins kCopy (§IV-B's
+  /// self-contained nodes). GlobalOnly has no local descent and ignores
+  /// this. Execution policy only — results are identical by contract — so
+  /// like Limits it stays OUT of the result-cache key.
+  vc::BranchStateMode branch_state = vc::BranchStateMode::kUndoTrail;
+
   /// Force a block size in the occupancy plan (0 = let §IV-E choose).
   int block_size_override = 0;
 

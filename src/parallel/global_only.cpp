@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -48,6 +49,11 @@ ParallelResult solve_global_only(const CsrGraph& g,
   SharedSearch shared(config.problem, config.k, greedy.size,
                       std::move(greedy.cover), control);
 
+  // Note: config.branch_state is ignored here. The strawman hands BOTH
+  // children to the worklist at every branch — there is no local
+  // depth-first descent, so there is nothing an undo trail could roll
+  // back; every child must be a self-contained snapshot regardless.
+  //
   // Threshold == capacity: the donation gate never rejects below fullness,
   // so try_donate degenerates to "add unless full" — the per-node policy of
   // the strawman. rejected_full then counts exactly the explosion events.
@@ -96,44 +102,18 @@ ParallelResult solve_global_only(const CsrGraph& g,
       }
       have_node = false;
 
-      if (!nodes.register_node()) {
+      Vertex vmax = -1;
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+      if (out == NodeOutcome::kAbort) {
         worklist.signal_stop();
         return;
       }
-      visited.tick();
-
-      const vc::BudgetPolicy policy =
-          mvc ? vc::BudgetPolicy::mvc(shared.best())
-              : vc::BudgetPolicy::pvc(config.k);
-      vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &ws);
-
-      const std::int64_t s = da.solution_size();
-      const std::int64_t e = da.num_edges();
-      bool pruned;
-      if (mvc) {
-        const std::int64_t best = shared.best();
-        pruned = s >= best || e > (best - s - 1) * (best - s - 1);
-      } else {
-        const std::int64_t k = config.k;
-        pruned = s > k || e > (k - s) * (k - s);
-      }
-      if (pruned) continue;
-
-      Vertex vmax;
-      {
-        ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
-        vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
-      }
-      if (vmax < 0) {  // edgeless: new cover found
-        if (mvc) {
-          shared.offer_cover(da);
-          continue;
-        }
-        shared.set_pvc_found(da);
+      if (out == NodeOutcome::kFound && !mvc) {
         worklist.signal_stop();
         return;
       }
+      if (out != NodeOutcome::kBranch) continue;
 
       // Branch: the strawman hands BOTH children to the worklist rather
       // than keeping one. The vmax child goes second so that under spill

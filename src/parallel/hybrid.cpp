@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <utility>
 
+#include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "vc/branching.hpp"
 #include "vc/greedy.hpp"
 #include "vc/reductions.hpp"
+#include "vc/undo_trail.hpp"
 #include "worklist/global_worklist.hpp"
 #include "worklist/local_stack.hpp"
 
@@ -61,7 +63,93 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
   const Vertex n = g.num_vertices();
   if (workspace) workspace->prepare(grid);
 
-  auto body = [&](device::BlockContext& ctx) {
+  // Apply/undo variant of the block loop: the local stack of self-contained
+  // nodes is replaced by the workspace's trail + frame stack. A deferred
+  // neighbors child is a frame (re-applied on backtrack); only a DONATED
+  // child is materialized, as a standalone snapshot, because it leaves the
+  // block. The donation gate is consulted before paying for that snapshot —
+  // with one block the pre-check matches try_donate()'s own gate exactly,
+  // which is what keeps single-block traversals bit-identical to kCopy.
+  auto body_undo_trail = [&](device::BlockContext& ctx) {
+    vc::DegreeArray da;
+    vc::DegreeArray snapshot;  // reusable donation buffer
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws =
+        workspace ? workspace->block(ctx.block_id()) : local_ws;
+    vc::UndoTrail& trail = ws.undo_trail;
+    std::vector<vc::BranchFrame>& frames = ws.frames;
+    trail.reset();
+    frames.clear();
+    da.attach_trail(&trail);
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
+    bool enter = false;  // true while da holds an unprocessed node
+
+    for (;;) {
+      if (!mvc && shared.pvc_found()) return;
+      if (shared.aborted()) {
+        worklist.signal_stop();
+        return;
+      }
+
+      if (!enter) {
+        // Backtrack to the next deferred branch; when this root's sub-tree
+        // is exhausted, adopt a new root from the worklist (the incoming
+        // node replaces da's value wholesale, so the trail restarts empty).
+        if (!vc::retreat_to_next_branch(trail, frames, g, da,
+                                        &ctx.activities())) {
+          trail.reset();
+          std::uint64_t t0 = util::thread_cpu_ns();
+          GlobalWorklist::RemoveOutcome out = worklist.remove(da);
+          std::uint64_t elapsed = util::thread_cpu_ns() - t0;
+          if (out == GlobalWorklist::RemoveOutcome::kDone) {
+            ctx.activities().add(Activity::kTerminate, elapsed);
+            return;
+          }
+          ctx.activities().add(Activity::kWorklistRemove, elapsed);
+        }
+      }
+      enter = false;
+
+      Vertex vmax = -1;
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+      if (out == NodeOutcome::kAbort) {
+        worklist.signal_stop();
+        return;
+      }
+      if (out == NodeOutcome::kFound && !mvc) {
+        worklist.signal_stop();
+        return;
+      }
+      if (out != NodeOutcome::kBranch) continue;  // enter stays false: backtrack
+
+      // Branch: donate the neighbors child if the worklist wants it
+      // (materialized as a snapshot — it leaves the block), otherwise defer
+      // it as a frame; then continue immediately with the vmax child.
+      bool donated = false;
+      if (worklist.poll_donate_gate()) {
+        {
+          ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+          snapshot = da;
+          snapshot.remove_neighbors_into_solution(g, vmax);
+        }
+        ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
+        donated = worklist.try_donate(std::move(snapshot));
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kStackPush);
+        frames.push_back({trail.watermark(da), vmax, !donated});
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+      enter = true;
+    }
+  };
+
+  auto body_copy = [&](device::BlockContext& ctx) {
     worklist::LocalStack stack(n, depth_bound);
     vc::DegreeArray da;
     vc::DegreeArray child;
@@ -103,47 +191,20 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
         }
       }
 
-      if (!nodes.register_node()) {
+      Vertex vmax = -1;
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+      if (out == NodeOutcome::kAbort) {
         worklist.signal_stop();
         return;
       }
-      visited.tick();
-
-      const vc::BudgetPolicy policy =
-          mvc ? vc::BudgetPolicy::mvc(shared.best())
-              : vc::BudgetPolicy::pvc(config.k);
-      vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &ws);
-
-      const std::int64_t s = da.solution_size();
-      const std::int64_t e = da.num_edges();
-      bool pruned;
-      if (mvc) {
-        const std::int64_t best = shared.best();
-        pruned = s >= best || e > (best - s - 1) * (best - s - 1);
-      } else {
-        const std::int64_t k = config.k;
-        pruned = s > k || e > (k - s) * (k - s);
+      if (out == NodeOutcome::kFound && !mvc) {
+        worklist.signal_stop();
+        return;
       }
-      if (pruned) {
+      if (out != NodeOutcome::kBranch) {
         get_new_node = true;
         continue;
-      }
-
-      Vertex vmax;
-      {
-        ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
-        vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
-      }
-      if (vmax < 0) {  // edgeless: new cover found
-        if (mvc) {
-          shared.offer_cover(da);
-          get_new_node = true;
-          continue;
-        }
-        shared.set_pvc_found(da);
-        worklist.signal_stop();
-        return;
       }
 
       // Branch (Fig. 4 lines 20-29): build the neighbors child, donate it
@@ -169,6 +230,13 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
       }
       get_new_node = false;
     }
+  };
+
+  auto body = [&](device::BlockContext& ctx) {
+    if (config.branch_state == vc::BranchStateMode::kUndoTrail)
+      body_undo_trail(ctx);
+    else
+      body_copy(ctx);
   };
 
   device::VirtualDevice dev(config.device);

@@ -1,0 +1,69 @@
+#pragma once
+
+// One branch-and-reduce node visit (Fig. 1 lines 3-19, Fig. 4 lines 7-19),
+// shared by the block loops of StackOnly, Hybrid and WorkStealing — and by
+// BOTH branch-state engines of each. Keeping the visit in one place is what
+// guarantees a future change to the accounting, the prune bound, or the
+// cover harvest cannot split the kCopy/kUndoTrail bit-identity contract:
+// the engines may differ ONLY in how they carry state between visits.
+
+#include "device/virtual_device.hpp"
+#include "parallel/config.hpp"
+#include "parallel/shared_state.hpp"
+#include "util/timer.hpp"
+#include "vc/branching.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::parallel {
+
+enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
+
+/// One visit: account the node against the shared limits, reduce, stopping
+/// condition (§II-B), cover check, branch selection. On kBranch, vmax_out
+/// holds the branching vertex. On kFound the cover has already been offered
+/// to (MVC) or latched in (PVC) `shared`; the caller only decides whether
+/// its loop continues.
+inline NodeOutcome process_node(const graph::CsrGraph& g,
+                                const ParallelConfig& config,
+                                SharedSearch& shared, NodeBatch& nodes,
+                                device::NodeCounter& visited,
+                                device::BlockContext& ctx, vc::DegreeArray& da,
+                                vc::ReduceWorkspace& workspace,
+                                graph::Vertex& vmax_out) {
+  if (!nodes.register_node()) return NodeOutcome::kAbort;
+  visited.tick();
+
+  const bool mvc = config.problem == vc::Problem::kMvc;
+  const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
+                                      : vc::BudgetPolicy::pvc(config.k);
+  vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities(),
+             &workspace);
+
+  const std::int64_t s = da.solution_size();
+  const std::int64_t e = da.num_edges();
+  if (mvc) {
+    const std::int64_t best = shared.best();
+    if (s >= best || e > (best - s - 1) * (best - s - 1))
+      return NodeOutcome::kPruned;
+  } else {
+    const std::int64_t k = config.k;
+    if (s > k || e > (k - s) * (k - s)) return NodeOutcome::kPruned;
+  }
+
+  graph::Vertex vmax;
+  {
+    util::ActivityScope scope(ctx.activities(), util::Activity::kFindMaxDegree);
+    vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
+  }
+  if (vmax < 0) {  // edgeless: cover found
+    if (mvc)
+      shared.offer_cover(da);
+    else
+      shared.set_pvc_found(da);
+    return NodeOutcome::kFound;
+  }
+  vmax_out = vmax;
+  return NodeOutcome::kBranch;
+}
+
+}  // namespace gvc::parallel

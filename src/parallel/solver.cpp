@@ -54,6 +54,7 @@ ParallelResult solve(const graph::CsrGraph& g, Method method,
       sc.branch = config.branch;
       sc.branch_seed = config.branch_seed;
       sc.rules = config.rules;
+      sc.branch_state = config.branch_state;
       vc::ReduceWorkspace* ws = nullptr;
       if (workspace) {
         workspace->prepare(1);

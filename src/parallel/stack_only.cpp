@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "vc/branching.hpp"
 #include "vc/greedy.hpp"
 #include "vc/reductions.hpp"
+#include "vc/undo_trail.hpp"
 #include "worklist/local_stack.hpp"
 
 namespace gvc::parallel {
@@ -18,51 +20,6 @@ using graph::CsrGraph;
 using graph::Vertex;
 using util::Activity;
 using util::ActivityScope;
-
-enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
-
-/// One visit of Fig. 1: reduce, stopping condition, cover check. On kBranch,
-/// vmax_out holds the branching vertex.
-NodeOutcome process_node(const CsrGraph& g, const ParallelConfig& config,
-                         SharedSearch& shared, NodeBatch& nodes,
-                         device::NodeCounter& visited,
-                         device::BlockContext& ctx, vc::DegreeArray& da,
-                         vc::ReduceWorkspace& workspace, Vertex& vmax_out) {
-  if (!nodes.register_node()) return NodeOutcome::kAbort;
-  visited.tick();
-
-  const bool mvc = config.problem == vc::Problem::kMvc;
-  const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
-                                      : vc::BudgetPolicy::pvc(config.k);
-  vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities(),
-             &workspace);
-
-  const std::int64_t s = da.solution_size();
-  const std::int64_t e = da.num_edges();
-  if (mvc) {
-    const std::int64_t best = shared.best();
-    if (s >= best || e > (best - s - 1) * (best - s - 1))
-      return NodeOutcome::kPruned;
-  } else {
-    const std::int64_t k = config.k;
-    if (s > k || e > (k - s) * (k - s)) return NodeOutcome::kPruned;
-  }
-
-  Vertex vmax;
-  {
-    ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
-    vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
-  }
-  if (vmax < 0) {  // edgeless: cover found
-    if (mvc)
-      shared.offer_cover(da);
-    else
-      shared.set_pvc_found(da);
-    return NodeOutcome::kFound;
-  }
-  vmax_out = vmax;
-  return NodeOutcome::kBranch;
-}
 
 }  // namespace
 
@@ -122,8 +79,39 @@ ParallelResult solve_stack_only(const CsrGraph& g,
       }
     }
 
-    // Phase 2 — depth-first traversal of the sub-tree with the pre-allocated
-    // local stack.
+    // Phase 2 — depth-first traversal of the sub-tree. Nothing in this
+    // sub-tree ever leaves the block, so the apply/undo engine needs no
+    // snapshot path at all: a branch is a watermark + an in-place mutation,
+    // a backtrack is a trail rollback. kCopy keeps the paper's
+    // pre-allocated local stack of self-contained nodes.
+    if (config.branch_state == vc::BranchStateMode::kUndoTrail) {
+      vc::UndoTrail& trail = ws.undo_trail;
+      std::vector<vc::BranchFrame>& frames = ws.frames;
+      trail.reset();
+      frames.clear();
+      da.attach_trail(&trail);
+      bool have_node = true;
+      while (have_node) {
+        if (!mvc && shared.pvc_found()) break;
+        NodeOutcome out =
+            process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+        if (out == NodeOutcome::kAbort) break;
+        if (out == NodeOutcome::kBranch) {
+          {
+            ActivityScope scope(ctx.activities(), Activity::kStackPush);
+            frames.push_back({trail.watermark(da), vmax, true});
+          }
+          ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+          da.remove_into_solution(g, vmax);
+          continue;
+        }
+        have_node =
+            vc::retreat_to_next_branch(trail, frames, g, da, &ctx.activities());
+      }
+      da.attach_trail(nullptr);
+      return;
+    }
+
     worklist::LocalStack stack(n, depth_bound);
     bool have_node = true;
     vc::DegreeArray child;

@@ -9,12 +9,14 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "vc/branching.hpp"
 #include "vc/greedy.hpp"
 #include "vc/reductions.hpp"
+#include "vc/undo_trail.hpp"
 #include "worklist/steal_deque.hpp"
 
 namespace gvc::parallel {
@@ -151,7 +153,110 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
   std::atomic<std::uint64_t> steals_total{0};
   if (workspace) workspace->prepare(grid);
 
-  auto body = [&](device::BlockContext& ctx) {
+  // Apply/undo variant: the owner's depth-first descent runs on the trail,
+  // so deferred children are frames a thief cannot see. To keep the
+  // ensemble steal-able the owner ADVERTISES work lazily: whenever its own
+  // deque is empty at a branch, the neighbors child is materialized as a
+  // standalone snapshot and pushed — that child is the shallowest deferred
+  // node of the descent, exactly the one steal-the-oldest would take first
+  // under kCopy. Everything else stays O(changed) frames. With a single
+  // block the advertised node is always older than every frame, so the
+  // pop order (frames LIFO, then the deque) reproduces kCopy's traversal
+  // bit for bit; across blocks, steals are timing-dependent in both modes.
+  auto body_undo_trail = [&](device::BlockContext& ctx) {
+    const int id = ctx.block_id();
+    StealDeque& own = group.deque(id);
+    vc::DegreeArray da;
+    vc::DegreeArray snapshot;  // reusable advertisement buffer
+    vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
+    vc::ReduceWorkspace& ws = workspace ? workspace->block(id) : local_ws;
+    vc::UndoTrail& trail = ws.undo_trail;
+    std::vector<vc::BranchFrame>& frames = ws.frames;
+    trail.reset();
+    frames.clear();
+    da.attach_trail(&trail);
+    NodeBatch nodes(shared);           // batched node accounting (limits)
+    device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
+    bool enter = false;  // true while da holds an unprocessed node
+    std::uint64_t attempts = 0;
+
+    for (;;) {
+      if (!mvc && shared.pvc_found()) break;
+      if (shared.aborted()) {
+        group.signal_stop();
+        break;
+      }
+
+      if (!enter) {
+        // Backtrack through the frames; once the descent is exhausted, take
+        // back the advertised node (if no thief got it first), else steal.
+        if (!vc::retreat_to_next_branch(trail, frames, g, da,
+                                        &ctx.activities())) {
+          trail.reset();
+          bool popped;
+          {
+            ActivityScope scope(ctx.activities(), Activity::kStackPop);
+            popped = own.try_pop_bottom(da);
+          }
+          if (!popped) {
+            std::uint64_t t0 = util::thread_cpu_ns();
+            StealGroup::StealOutcome out = group.steal(id, da, &attempts);
+            std::uint64_t elapsed = util::thread_cpu_ns() - t0;
+            if (out == StealGroup::StealOutcome::kDone) {
+              ctx.activities().add(Activity::kTerminate, elapsed);
+              break;
+            }
+            ctx.activities().add(Activity::kWorklistRemove, elapsed);
+            steals_total.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      enter = false;
+
+      Vertex vmax = -1;
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+      if (out == NodeOutcome::kAbort) {
+        group.signal_stop();
+        break;
+      }
+      if (out == NodeOutcome::kFound && !mvc) {
+        group.signal_stop();
+        break;
+      }
+      if (out != NodeOutcome::kBranch) continue;  // enter stays false: backtrack
+
+      // Branch: advertise the neighbors child when nothing of ours is
+      // visible to thieves, otherwise defer it as a frame; then continue
+      // immediately with the vmax child.
+      bool advertised = false;
+      if (own.empty_approx()) {
+        {
+          ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
+          snapshot = da;
+          snapshot.remove_neighbors_into_solution(g, vmax);
+        }
+        {
+          ActivityScope scope(ctx.activities(), Activity::kStackPush);
+          own.push_bottom(std::move(snapshot));
+        }
+        group.notify();
+        advertised = true;
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kStackPush);
+        frames.push_back({trail.watermark(da), vmax, !advertised});
+      }
+      {
+        ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
+        da.remove_into_solution(g, vmax);
+      }
+      enter = true;
+    }
+    steal_attempts_total.fetch_add(attempts, std::memory_order_relaxed);
+  };
+
+  auto body_copy = [&](device::BlockContext& ctx) {
     const int id = ctx.block_id();
     StealDeque& own = group.deque(id);
     vc::DegreeArray da;
@@ -192,47 +297,20 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
         }
       }
 
-      if (!nodes.register_node()) {
+      Vertex vmax = -1;
+      NodeOutcome out =
+          process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+      if (out == NodeOutcome::kAbort) {
         group.signal_stop();
         break;
       }
-      visited.tick();
-
-      const vc::BudgetPolicy policy =
-          mvc ? vc::BudgetPolicy::mvc(shared.best())
-              : vc::BudgetPolicy::pvc(config.k);
-      vc::reduce(g, da, policy, config.semantics, config.rules,
-                 &ctx.activities(), &ws);
-
-      const std::int64_t s = da.solution_size();
-      const std::int64_t e = da.num_edges();
-      bool pruned;
-      if (mvc) {
-        const std::int64_t best = shared.best();
-        pruned = s >= best || e > (best - s - 1) * (best - s - 1);
-      } else {
-        const std::int64_t k = config.k;
-        pruned = s > k || e > (k - s) * (k - s);
+      if (out == NodeOutcome::kFound && !mvc) {
+        group.signal_stop();
+        break;
       }
-      if (pruned) {
+      if (out != NodeOutcome::kBranch) {
         get_new_node = true;
         continue;
-      }
-
-      Vertex vmax;
-      {
-        ActivityScope scope(ctx.activities(), Activity::kFindMaxDegree);
-        vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
-      }
-      if (vmax < 0) {  // edgeless: new cover found
-        if (mvc) {
-          shared.offer_cover(da);
-          get_new_node = true;
-          continue;
-        }
-        shared.set_pvc_found(da);
-        group.signal_stop();
-        break;
       }
 
       // Branch exactly like Hybrid, except the neighbors child always goes
@@ -254,6 +332,13 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
       get_new_node = false;
     }
     steal_attempts_total.fetch_add(attempts, std::memory_order_relaxed);
+  };
+
+  auto body = [&](device::BlockContext& ctx) {
+    if (config.branch_state == vc::BranchStateMode::kUndoTrail)
+      body_undo_trail(ctx);
+    else
+      body_copy(ctx);
   };
 
   device::VirtualDevice dev(config.device);

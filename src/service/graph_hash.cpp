@@ -65,7 +65,10 @@ std::uint64_t solve_config_hash(parallel::Method method,
   // Limits are deliberately NOT hashed: they moved out of ParallelConfig
   // into the caller-owned SolveControl, and a cache only admits complete
   // records — which are limit-independent — so requests differing only in
-  // budgets should share one entry.
+  // budgets should share one entry. config.branch_state is skipped for the
+  // same reason: kCopy and kUndoTrail are bit-identical by contract (the
+  // differential suite enforces it), so the mode is execution policy, not
+  // part of the answer's identity.
   fold.add(static_cast<std::uint64_t>(config.block_size_override));
   fold.add(static_cast<std::uint64_t>(config.grid_override));
   fold.add(static_cast<std::uint64_t>(config.start_depth));

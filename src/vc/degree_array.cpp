@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "vc/undo_trail.hpp"
 
 namespace gvc::vc {
 
@@ -22,27 +23,44 @@ DegreeArray::DegreeArray(const CsrGraph& g)
   max_bound_ = best < 0 ? 0 : best;
 }
 
+// The 2x2 specialization keeps the hot loop free of per-neighbor branches:
+// the tracking and trail tests are hoisted to one dispatch per call, so the
+// paper-faithful configuration (no tracking, no trail) runs the exact loop
+// it always did.
+template <bool kTrack, bool kTrail>
+void DegreeArray::decrement_neighbors(const CsrGraph& g, Vertex v) {
+  for (Vertex u : g.neighbors(v)) {
+    auto& d = deg_[static_cast<std::size_t>(u)];
+    if (d == kInSolution) continue;
+    if constexpr (kTrail) trail_.get()->record(u, d);
+    --d;
+    if constexpr (kTrack) {
+      if (dirty_.size() >= dirty_cap_)
+        dirty_overflow_ = true;
+      else
+        dirty_.push_back(u);
+    }
+  }
+}
+
 void DegreeArray::remove_into_solution(const CsrGraph& g, Vertex v) {
   GVC_DCHECK(present(v));
+  UndoTrail* trail = trail_.get();
+  if (trail) trail->record(v, deg_[static_cast<std::size_t>(v)]);
   num_edges_ -= deg_[static_cast<std::size_t>(v)];
   deg_[static_cast<std::size_t>(v)] = kInSolution;
   ++solution_size_;
-  if (tracking_ && !dirty_overflow_) {
-    for (Vertex u : g.neighbors(v)) {
-      auto& d = deg_[static_cast<std::size_t>(u)];
-      if (d != kInSolution) {
-        --d;
-        if (dirty_.size() >= dirty_cap_)
-          dirty_overflow_ = true;
-        else
-          dirty_.push_back(u);
-      }
-    }
+  const bool track = tracking_ && !dirty_overflow_;
+  if (trail) {
+    if (track)
+      decrement_neighbors<true, true>(g, v);
+    else
+      decrement_neighbors<false, true>(g, v);
   } else {
-    for (Vertex u : g.neighbors(v)) {
-      auto& d = deg_[static_cast<std::size_t>(u)];
-      if (d != kInSolution) --d;
-    }
+    if (track)
+      decrement_neighbors<true, false>(g, v);
+    else
+      decrement_neighbors<false, false>(g, v);
   }
 }
 

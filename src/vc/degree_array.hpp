@@ -49,6 +49,8 @@ namespace gvc::vc {
 using graph::CsrGraph;
 using graph::Vertex;
 
+class UndoTrail;
+
 class DegreeArray {
  public:
   /// Sentinel degree marking "removed from G and added to S".
@@ -58,6 +60,17 @@ class DegreeArray {
 
   /// Root state: every vertex present with its original degree, S = ∅.
   explicit DegreeArray(const CsrGraph& g);
+
+  // Value semantics, with one deliberate exception: the undo-trail
+  // attachment never travels with a copy or a move. A trail is private to
+  // the block that owns the attached array; a node leaving that block — a
+  // worklist donation, a steal, a stack slot — is a standalone snapshot.
+  // Construction therefore starts detached, and assignment replaces the
+  // VALUE while the destination keeps its own attachment (so a block's
+  // working array can adopt a popped node without re-attaching). The
+  // non-propagating TrailRef member below implements exactly that, which
+  // lets every special member stay defaulted — a future field cannot be
+  // forgotten in a hand-written copy.
 
   Vertex num_vertices() const { return static_cast<Vertex>(deg_.size()); }
 
@@ -155,6 +168,16 @@ class DegreeArray {
   }
   void restore_dirty_cap() { dirty_cap_ = dirty_capacity(num_vertices()); }
 
+  // --- undo trail (apply/undo branching, BranchStateMode::kUndoTrail) ----
+
+  /// Attaches an undo trail: every subsequent degree mutation records the
+  /// (vertex, old value) entry needed to reverse it. Pass nullptr to
+  /// detach. The attachment is NOT value state: copies and moves of this
+  /// array start detached (see the copy-semantics note above), and
+  /// operator== ignores it.
+  void attach_trail(UndoTrail* trail) { trail_.set(trail); }
+  UndoTrail* trail() const { return trail_.get(); }
+
   /// Bitmask of candidate-driven rules whose fixpoint the last incremental
   /// reduction established on this lineage (and whose candidates the log
   /// has captured since). A rule whose bit is unset — never run, or
@@ -185,6 +208,31 @@ class DegreeArray {
   const std::vector<std::int32_t>& raw() const { return deg_; }
 
  private:
+  /// The trail reads and restores every private field on rollback.
+  friend class UndoTrail;
+
+  /// Non-propagating pointer to the attached trail: copy/move CONSTRUCTION
+  /// yields a detached member, copy/move ASSIGNMENT keeps the destination's
+  /// attachment — the trail-sharing rule in type form, so DegreeArray's
+  /// special members can all be `= default`.
+  class TrailRef {
+   public:
+    TrailRef() = default;
+    TrailRef(const TrailRef&) {}
+    TrailRef(TrailRef&&) noexcept {}
+    TrailRef& operator=(const TrailRef&) { return *this; }
+    TrailRef& operator=(TrailRef&&) noexcept { return *this; }
+
+    void set(UndoTrail* trail) { ptr_ = trail; }
+    UndoTrail* get() const { return ptr_; }
+
+   private:
+    UndoTrail* ptr_ = nullptr;
+  };
+
+  template <bool kTrack, bool kTrail>
+  void decrement_neighbors(const CsrGraph& g, Vertex v);
+
   std::vector<std::int32_t> deg_;
   std::int32_t solution_size_ = 0;
   std::int64_t num_edges_ = 0;
@@ -205,6 +253,9 @@ class DegreeArray {
   std::uint8_t fixpoint_mask_ = 0;
   std::size_t dirty_cap_ = 0;
   std::vector<Vertex> dirty_;
+
+  /// Not owned; never copied or moved with the value (see TrailRef).
+  TrailRef trail_;
 };
 
 }  // namespace gvc::vc

@@ -69,10 +69,12 @@ std::vector<Vertex> lift_cover(const NtKernel& kernel,
   return cover;
 }
 
-std::vector<Vertex> solve_mvc_with_kernelization(const CsrGraph& g) {
+std::vector<Vertex> solve_mvc_with_kernelization(const CsrGraph& g,
+                                                 ReduceWorkspace* workspace) {
   NtKernel nt = nemhauser_trotter(g);
   SequentialConfig config;
-  SolveResult kernel_result = solve_sequential(nt.kernel, config);
+  SolveResult kernel_result =
+      solve_sequential(nt.kernel, config, /*control=*/nullptr, workspace);
   GVC_CHECK(kernel_result.complete());
   auto cover = lift_cover(nt, kernel_result.cover);
   GVC_DCHECK(graph::is_vertex_cover(g, cover));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "vc/reductions.hpp"
 
 namespace gvc::vc {
 
@@ -44,7 +45,10 @@ std::vector<graph::Vertex> lift_cover(const NtKernel& kernel,
 
 /// Convenience: MVC via NT preprocessing + the sequential solver on the
 /// kernel. Exact; often far faster than solving g directly on sparse
-/// instances.
-std::vector<graph::Vertex> solve_mvc_with_kernelization(const graph::CsrGraph& g);
+/// instances. The kernel solve runs with the library defaults (incremental
+/// reductions, undo-trail branching); a non-null `workspace` lets callers
+/// kernelizing many instances reuse one set of reduce/trail buffers.
+std::vector<graph::Vertex> solve_mvc_with_kernelization(
+    const graph::CsrGraph& g, ReduceWorkspace* workspace = nullptr);
 
 }  // namespace gvc::vc

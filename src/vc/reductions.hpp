@@ -50,6 +50,7 @@
 
 #include "util/timer.hpp"
 #include "vc/degree_array.hpp"
+#include "vc/undo_trail.hpp"
 
 namespace gvc::vc {
 
@@ -96,6 +97,15 @@ struct ReduceWorkspace {
   std::vector<Vertex> heap;
   std::vector<Vertex> next;
   std::vector<std::uint8_t> pending;
+
+  /// Apply/undo branching scratch (BranchStateMode::kUndoTrail): the
+  /// per-block mutation trail and the deferred-branch frame stack of the
+  /// depth-first descent. Living here means every solver that already
+  /// carries a per-block ReduceWorkspace — Sequential, the four local-stack
+  /// backends, kernelized solves — shares one trail implementation and one
+  /// warm buffer across tree nodes and across jobs.
+  UndoTrail undo_trail;
+  std::vector<BranchFrame> frames;
 };
 
 /// Counters for analysis benches (how much work each rule does).

@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "vc/greedy.hpp"
+#include "vc/undo_trail.hpp"
 
 namespace gvc::vc {
 
@@ -42,28 +43,34 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
   bool pvc_found = false;
   std::vector<Vertex> pvc_cover;
 
-  std::vector<DegreeArray> stack;
-  stack.emplace_back(g);
-
-  // One workspace for the whole search: reduce() reuses its buffers instead
-  // of allocating scratch per tree node. A caller-provided workspace extends
-  // the reuse across searches.
+  // One workspace for the whole search: reduce() reuses its buffers (and in
+  // kUndoTrail mode the trail and frame stack) instead of allocating scratch
+  // per tree node. A caller-provided workspace extends the reuse across
+  // searches.
   ReduceWorkspace local_ws;
   ReduceWorkspace& ws = workspace ? *workspace : local_ws;
 
   StopCause stop = StopCause::kNone;
-  while (!stack.empty()) {
+
+  // One visit of Fig. 1, shared by both traversal engines: stop checks,
+  // reduce, stopping condition, cover harvest, branch selection. The two
+  // engines below differ ONLY in how they carry state to the next node —
+  // copies on an explicit stack vs apply/undo on one array — so they visit
+  // the same nodes in the same order and the results are bit-identical.
+  enum class Visit { kStop, kPruned, kCover, kBranch };
+  Vertex vmax = -1;
+  auto process_node = [&](DegreeArray& da) -> Visit {
     // Stop checks, cheapest first; none of them alters the traversal, so
     // a run where nothing fires is bit-identical to a control-free run.
     if (limits.max_tree_nodes != 0 &&
         result.tree_nodes >= limits.max_tree_nodes) {
       stop = StopCause::kNodeLimit;
-      break;
+      return Visit::kStop;
     }
     if (limits.time_limit_s != 0.0 &&
         timer.seconds() > limits.time_limit_s) {
       stop = StopCause::kTimeLimit;
-      break;
+      return Visit::kStop;
     }
     if (control != nullptr) {
       // Cancel is one atomic load — check it every node for promptness.
@@ -71,20 +78,18 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
       // cadence SharedSearch uses.
       if (control->cancelled()) {
         stop = StopCause::kCancelled;
-        break;
+        return Visit::kStop;
       }
       if ((result.tree_nodes & 63) == 0) {
         if (control->deadline_passed()) {
           stop = StopCause::kDeadline;
-          break;
+          return Visit::kStop;
         }
         if (control->progress_enabled() && (result.tree_nodes & 255) == 0)
           control->publish_progress(mvc ? static_cast<int>(best) : -1,
                                     result.tree_nodes);
       }
     }
-    DegreeArray da = std::move(stack.back());
-    stack.pop_back();
     ++result.tree_nodes;
 
     const BudgetPolicy policy =
@@ -95,9 +100,9 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
     // Stopping condition (Fig. 1 line 5; §II-B PVC variant).
     if (mvc) {
       if (s >= best || da.num_edges() > (best - s - 1) * (best - s - 1))
-        continue;
+        return Visit::kPruned;
     } else {
-      if (s > k || da.num_edges() > (k - s) * (k - s)) continue;
+      if (s > k || da.num_edges() > (k - s) * (k - s)) return Visit::kPruned;
     }
 
     if (da.num_edges() == 0) {  // found a cover
@@ -108,21 +113,66 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
       } else {
         pvc_found = true;
         pvc_cover = da.solution();
-        break;  // PVC ends the search at the first cover of size ≤ k
       }
-      continue;
+      return Visit::kCover;
     }
 
-    Vertex vmax = select_branch_vertex(da, config.branch, config.branch_seed);
+    vmax = select_branch_vertex(da, config.branch, config.branch_seed);
     GVC_DCHECK(vmax >= 0 && da.degree(vmax) >= 1);
+    return Visit::kBranch;
+  };
 
-    // Fig. 1 recurses on (G − vmax) first, then (G − N(vmax)); with a LIFO
-    // stack the vmax child must be pushed last.
-    DegreeArray neighbors_child = da;
-    neighbors_child.remove_neighbors_into_solution(g, vmax);
-    da.remove_into_solution(g, vmax);
-    stack.push_back(std::move(neighbors_child));
-    stack.push_back(std::move(da));
+  if (config.branch_state == BranchStateMode::kUndoTrail) {
+    // Apply/undo engine: one array for the whole search. A branch pushes a
+    // watermark and applies the vmax decision in place; backtracking rolls
+    // the trail back to the innermost watermark and re-applies the deferred
+    // neighbors decision (Fig. 1's recursion order: G − vmax first, then
+    // G − N(vmax)). Per-node state cost is the trail entries the node's
+    // mutations recorded — O(changed), not O(|V|).
+    UndoTrail& trail = ws.undo_trail;
+    std::vector<BranchFrame>& frames = ws.frames;
+    trail.reset();
+    frames.clear();
+
+    DegreeArray da(g);
+    da.attach_trail(&trail);
+    bool have_node = true;
+    while (have_node) {
+      const Visit visit = process_node(da);
+      if (visit == Visit::kStop) break;
+      if (visit == Visit::kBranch) {
+        frames.push_back({trail.watermark(da), vmax, true});
+        da.remove_into_solution(g, vmax);
+        continue;
+      }
+      if (visit == Visit::kCover && !mvc)
+        break;  // PVC ends the search at the first cover of size ≤ k
+      have_node = retreat_to_next_branch(trail, frames, g, da);
+    }
+    da.attach_trail(nullptr);
+  } else {
+    std::vector<DegreeArray> stack;
+    stack.emplace_back(g);
+    while (!stack.empty()) {
+      DegreeArray da = std::move(stack.back());
+      stack.pop_back();
+
+      const Visit visit = process_node(da);
+      if (visit == Visit::kStop) break;
+      if (visit == Visit::kPruned) continue;
+      if (visit == Visit::kCover) {
+        if (!mvc) break;  // PVC ends the search at the first cover of size ≤ k
+        continue;
+      }
+
+      // Fig. 1 recurses on (G − vmax) first, then (G − N(vmax)); with a LIFO
+      // stack the vmax child must be pushed last.
+      DegreeArray neighbors_child = da;
+      neighbors_child.remove_neighbors_into_solution(g, vmax);
+      da.remove_into_solution(g, vmax);
+      stack.push_back(std::move(neighbors_child));
+      stack.push_back(std::move(da));
+    }
   }
 
   result.seconds = timer.seconds();

@@ -28,6 +28,12 @@ struct SequentialConfig {
   /// bench/ablation_branching.
   BranchStrategy branch = BranchStrategy::kMaxDegree;
   std::uint64_t branch_seed = 0;  ///< used by BranchStrategy::kRandom
+
+  /// How child states are carried across a branch. kUndoTrail (the default)
+  /// is the apply/undo fast path — O(changed) per node instead of O(|V|) —
+  /// and produces exactly the tree kCopy does; kCopy is the paper's
+  /// copy-on-branch design, which the paper-faithful harness requests.
+  BranchStateMode branch_state = BranchStateMode::kUndoTrail;
 };
 
 /// Runs branch-and-reduce to completion (or until `control` stops it — its

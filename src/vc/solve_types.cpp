@@ -1,6 +1,33 @@
 #include "vc/solve_types.hpp"
 
+#include <algorithm>
+
+#include "util/strings.hpp"
+
 namespace gvc::vc {
+
+const char* branch_state_mode_name(BranchStateMode m) {
+  switch (m) {
+    case BranchStateMode::kCopy:      return "Copy";
+    case BranchStateMode::kUndoTrail: return "UndoTrail";
+  }
+  return "?";
+}
+
+std::optional<BranchStateMode> try_parse_branch_state_mode(
+    const std::string& name) {
+  std::string n = util::to_lower(name);
+  n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+  if (n == "copy") return BranchStateMode::kCopy;
+  if (n == "undotrail" || n == "trail") return BranchStateMode::kUndoTrail;
+  return std::nullopt;
+}
+
+const std::vector<BranchStateMode>& all_branch_state_modes() {
+  static const std::vector<BranchStateMode> kAll = {
+      BranchStateMode::kCopy, BranchStateMode::kUndoTrail};
+  return kAll;
+}
 
 const char* to_string(Outcome o) {
   switch (o) {

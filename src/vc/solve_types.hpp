@@ -18,6 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -31,6 +33,37 @@ enum class Problem {
   kMvc,  ///< minimum vertex cover
   kPvc,  ///< cover of size ≤ k, or report none exists
 };
+
+/// How the depth-first solvers carry search-tree state across a branch —
+/// the ablation axis of bench/ablation_branch_state:
+///
+///   kCopy      — copy the whole degree array into each child (the paper's
+///                self-contained-node design, §IV-B): O(|V|) memory traffic
+///                per tree node, independent of how little the branch
+///                changed.
+///   kUndoTrail — keep ONE array per block, record every mutation on an
+///                UndoTrail (vc/undo_trail.hpp), and roll back to the
+///                branch watermark instead of restoring a copy: O(changed)
+///                per node. Traversal order, covers and node counts are
+///                BIT-IDENTICAL to kCopy — the randomized differential
+///                suite enforces this — and nodes that leave the owning
+///                block (worklist donations, steal advertisements) are
+///                materialized as standalone snapshots.
+///
+/// GlobalOnly ignores the mode: the strawman hands both children to the
+/// global worklist immediately, so there is no local descent to undo.
+enum class BranchStateMode : std::uint8_t { kCopy, kUndoTrail };
+
+const char* branch_state_mode_name(BranchStateMode m);
+
+/// Parses "copy" / "undotrail" (case-insensitive, hyphens tolerated);
+/// std::nullopt on unknown names — for tools that print usage instead of
+/// aborting.
+std::optional<BranchStateMode> try_parse_branch_state_mode(
+    const std::string& name);
+
+/// All modes, kCopy first (handy for sweeps).
+const std::vector<BranchStateMode>& all_branch_state_modes();
 
 /// Per-solve budgets, relative to the start of the search. A zero value
 /// means "unlimited". Carried by SolveControl; solvers without a control

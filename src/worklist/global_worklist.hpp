@@ -60,6 +60,22 @@ class GlobalWorklist {
   /// donated; on false the caller pushes to its local stack instead.
   bool try_donate(vc::DegreeArray&& node);
 
+  /// The threshold gate of try_donate() without the push: returns whether a
+  /// donation issued now would pass, counting a threshold rejection exactly
+  /// like try_donate() does. The apply/undo solvers consult this BEFORE
+  /// paying for the donation snapshot — a copying solver has the child in
+  /// hand anyway, but a trail solver only materializes one to give it away.
+  /// Approximate under concurrency (try_donate re-checks); exact when a
+  /// single block runs, which keeps single-block donation patterns and
+  /// stats bit-identical across the two branch-state modes.
+  bool poll_donate_gate() {
+    if (queue_.size_approx() >= threshold_) {
+      rejected_threshold_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
   /// Blocking removal implementing the retry/termination loop of §IV-C.
   RemoveOutcome remove(vc::DegreeArray& out);
 

@@ -25,6 +25,18 @@ void StealDeque::push_bottom(const vc::DegreeArray& node) {
   ++pushes_;
 }
 
+void StealDeque::push_bottom(vc::DegreeArray&& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto cap = entries_.size();
+  GVC_CHECK_MSG(bottom_ - top_ < cap, "steal deque overflow");
+  entries_[bottom_ % cap] = std::move(node);
+  ++bottom_;
+  const int sz = static_cast<int>(bottom_ - top_);
+  size_.store(sz, std::memory_order_relaxed);
+  high_water_ = std::max(high_water_, sz);
+  ++pushes_;
+}
+
 bool StealDeque::try_pop_bottom(vc::DegreeArray& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (bottom_ == top_) return false;

@@ -43,8 +43,11 @@ class StealDeque {
   bool empty_approx() const { return size_approx() == 0; }
 
   /// Owner: push a node at the bottom (deepest end). Aborts on overflow —
-  /// the §IV-E depth bound guarantees correct callers never overflow.
+  /// the §IV-E depth bound guarantees correct callers never overflow. The
+  /// rvalue overload moves into the slot; the trail engines use it so an
+  /// advertisement costs one array copy, not two.
   void push_bottom(const vc::DegreeArray& node);
+  void push_bottom(vc::DegreeArray&& node);
 
   /// Owner: pop the most recently pushed node (depth-first order).
   bool try_pop_bottom(vc::DegreeArray& out);

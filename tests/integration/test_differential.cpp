@@ -53,21 +53,30 @@ TEST_P(DifferentialSweep, EveryEngineEveryConfigAgreesOnMvc) {
   vc::SequentialConfig ref;
   const int expected = vc::solve_sequential(g, ref).best_size;
 
+  // Full cross of engine × rule semantics × branch-state mode × branching
+  // strategy: no single axis choice may move the optimum. The branch-state
+  // axis rides on every semantics (the trail interacts with the dirty log
+  // only under kIncremental, but must stay exact under all three).
   for (parallel::Method method : parallel::all_methods()) {
     for (vc::ReduceSemantics semantics :
-         {vc::ReduceSemantics::kSerial, vc::ReduceSemantics::kParallelSweep}) {
-      for (vc::BranchStrategy branch :
-           {vc::BranchStrategy::kMaxDegree, vc::BranchStrategy::kRandom}) {
-        parallel::ParallelConfig c = tiny_config();
-        c.semantics = semantics;
-        c.branch = branch;
-        c.branch_seed = static_cast<std::uint64_t>(seed);
-        parallel::ParallelResult r = parallel::solve(g, method, c);
-        EXPECT_EQ(r.best_size, expected)
-            << parallel::method_name(method) << " semantics "
-            << static_cast<int>(semantics) << " branch "
-            << vc::branch_strategy_name(branch);
-        EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+         {vc::ReduceSemantics::kSerial, vc::ReduceSemantics::kParallelSweep,
+          vc::ReduceSemantics::kIncremental}) {
+      for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+        for (vc::BranchStrategy branch :
+             {vc::BranchStrategy::kMaxDegree, vc::BranchStrategy::kRandom}) {
+          parallel::ParallelConfig c = tiny_config();
+          c.semantics = semantics;
+          c.branch_state = mode;
+          c.branch = branch;
+          c.branch_seed = static_cast<std::uint64_t>(seed);
+          parallel::ParallelResult r = parallel::solve(g, method, c);
+          EXPECT_EQ(r.best_size, expected)
+              << parallel::method_name(method) << " semantics "
+              << static_cast<int>(semantics) << " mode "
+              << vc::branch_state_mode_name(mode) << " branch "
+              << vc::branch_strategy_name(branch);
+          EXPECT_TRUE(graph::is_vertex_cover(g, r.cover));
+        }
       }
     }
   }
@@ -102,12 +111,16 @@ TEST_P(DifferentialSweep, PvcIndicatorMatchesAcrossEngines) {
 
   for (parallel::Method method : parallel::all_methods()) {
     for (int k : {min - 1, min}) {
-      parallel::ParallelConfig c = tiny_config();
-      c.problem = vc::Problem::kPvc;
-      c.k = k;
-      parallel::ParallelResult r = parallel::solve(g, method, c);
-      EXPECT_EQ(r.has_cover(), k >= min)
-          << parallel::method_name(method) << " k=" << k << " min=" << min;
+      for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+        parallel::ParallelConfig c = tiny_config();
+        c.problem = vc::Problem::kPvc;
+        c.k = k;
+        c.branch_state = mode;
+        parallel::ParallelResult r = parallel::solve(g, method, c);
+        EXPECT_EQ(r.has_cover(), k >= min)
+            << parallel::method_name(method) << " k=" << k << " min=" << min
+            << " mode " << vc::branch_state_mode_name(mode);
+      }
     }
   }
 }

@@ -1,0 +1,232 @@
+// Randomized differential harness for undo-trail branching: across a seeded
+// sweep of generated graphs (Erdős–Rényi, power-law, grid-like families ×
+// sizes), BranchStateMode::kUndoTrail must be BIT-IDENTICAL to kCopy —
+// same cover size, same node count, valid cover — for the Sequential solver
+// and all five parallel methods.
+//
+// Determinism discipline: node-count equality is only meaningful when a
+// traversal is reproducible, so the per-method comparisons run on a
+// serialized virtual device (one SM, one resident block, grid 1) where
+// every engine — including the donation and steal paths, whose gates the
+// trail consults before materializing snapshots — executes its exact
+// single-block schedule. A separate multi-block sweep then checks the
+// optimum and cover validity under real concurrency.
+//
+// Reproduction: every assertion is wrapped in a SCOPED_TRACE carrying the
+// family/size/seed triple, so a failure names the exact generator call.
+// Sweep breadth scales with the GVC_DIFF_SEEDS environment knob (seeds per
+// family × size cell; CI caps it to stay inside the job budget, local runs
+// can raise it for thousands of graphs).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_support.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "parallel/solver.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc {
+namespace {
+
+using graph::CsrGraph;
+using test_support::env_knob;
+
+struct Family {
+  const char* name;
+  CsrGraph (*make)(graph::Vertex n, std::uint64_t seed);
+};
+
+// Per-seed parameter cycling keeps every family producing a spread of tree
+// shapes: sparse instances die in the reductions (the trail's dirty-log
+// interaction), dense ones branch for real (the rollback hot path).
+const Family kFamilies[] = {
+    {"erdos-renyi",
+     [](graph::Vertex n, std::uint64_t seed) {
+       return graph::gnp(n, 0.16 + 0.1 * static_cast<double>(seed % 4), seed);
+     }},
+    {"power-law",
+     [](graph::Vertex n, std::uint64_t seed) {
+       return graph::barabasi_albert(n, 2 + static_cast<int>(seed % 3), seed);
+     }},
+    {"grid",
+     [](graph::Vertex n, std::uint64_t seed) {
+       // Alternate the quasi-planar random grid with the exact 2D lattice
+       // plus rewired shortcuts (small world), both |E|/|V| ≈ grid regime.
+       if (seed % 2 == 0) return graph::power_grid(n, 0.35, seed);
+       return graph::watts_strogatz(n, 2, 0.3, seed);
+     }},
+    {"dense",
+     [](graph::Vertex n, std::uint64_t seed) {
+       // Complemented p_hat: the paper's hard, degree-spread family.
+       return graph::complement(graph::p_hat(n, 0.3, 0.8, seed));
+     }},
+};
+
+const int kSizes[] = {18, 26, 34};
+
+std::string trace(const Family& family, int size, int seed) {
+  return std::string("family=") + family.name + " size=" +
+         std::to_string(size) + " seed=" + std::to_string(seed);
+}
+
+/// One-SM, one-resident-block device: every launch degenerates to blocks
+/// executed in id order on a single thread, making node counts exact and
+/// reproducible for all five methods.
+device::DeviceSpec serialized_device() {
+  device::DeviceSpec d = device::DeviceSpec::host_scaled();
+  d.num_sms = 1;
+  d.max_blocks_per_sm = 1;
+  return d;
+}
+
+parallel::ParallelConfig serialized_config(vc::BranchStateMode mode) {
+  parallel::ParallelConfig c;
+  c.device = serialized_device();
+  c.grid_override = 1;
+  c.start_depth = 2;
+  c.worklist_capacity = 64;
+  c.branch_state = mode;
+  return c;
+}
+
+TEST(RandomDifferential, SequentialTrailBitIdenticalAcrossGeneratedGraphs) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60);
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        CsrGraph g = family.make(size, static_cast<std::uint64_t>(seed));
+
+        // Both rule semantics that promise serial-equivalent trees, so a
+        // trail bug that only shows under one candidate feed is caught.
+        for (vc::ReduceSemantics semantics :
+             {vc::ReduceSemantics::kIncremental, vc::ReduceSemantics::kSerial}) {
+          vc::SequentialConfig copy_cfg;
+          copy_cfg.semantics = semantics;
+          copy_cfg.branch_state = vc::BranchStateMode::kCopy;
+          vc::SequentialConfig trail_cfg = copy_cfg;
+          trail_cfg.branch_state = vc::BranchStateMode::kUndoTrail;
+
+          vc::SolveResult a = vc::solve_sequential(g, copy_cfg);
+          vc::SolveResult b = vc::solve_sequential(g, trail_cfg);
+          ASSERT_EQ(a.best_size, b.best_size)
+              << "semantics " << static_cast<int>(semantics);
+          ASSERT_EQ(a.tree_nodes, b.tree_nodes)
+              << "tree shape diverged, semantics "
+              << static_cast<int>(semantics);
+          ASSERT_TRUE(graph::is_vertex_cover(g, b.cover));
+          ASSERT_EQ(static_cast<int>(b.cover.size()), b.best_size);
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomDifferential, EveryMethodBitIdenticalOnSerializedDevice) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 10 + 2;
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        CsrGraph g = family.make(size, static_cast<std::uint64_t>(seed) * 61 + 5);
+
+        vc::SequentialConfig ref;
+        const int expected = vc::solve_sequential(g, ref).best_size;
+
+        for (parallel::Method method : parallel::all_methods()) {
+          parallel::ParallelResult copy = parallel::solve(
+              g, method, serialized_config(vc::BranchStateMode::kCopy));
+          parallel::ParallelResult trail = parallel::solve(
+              g, method, serialized_config(vc::BranchStateMode::kUndoTrail));
+          ASSERT_EQ(copy.best_size, expected) << parallel::method_name(method);
+          ASSERT_EQ(trail.best_size, expected) << parallel::method_name(method);
+          ASSERT_EQ(copy.tree_nodes, trail.tree_nodes)
+              << parallel::method_name(method)
+              << ": tree shape diverged between kCopy and kUndoTrail";
+          ASSERT_TRUE(graph::is_vertex_cover(g, trail.cover))
+              << parallel::method_name(method);
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomDifferential, MultiBlockModesAgreeOnTheOptimum) {
+  // Real concurrency: node counts are timing-dependent, so this sweep only
+  // pins the answer — both modes must reach the same optimum with a valid
+  // cover while donations, steals and advertisements actually race.
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 20 + 2;
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        CsrGraph g = family.make(size, static_cast<std::uint64_t>(seed) * 97 + 11);
+
+        vc::SequentialConfig ref;
+        const int expected = vc::solve_sequential(g, ref).best_size;
+
+        for (parallel::Method method : parallel::all_methods()) {
+          for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+            parallel::ParallelConfig c;
+            c.device = device::DeviceSpec::host_scaled();
+            c.grid_override = 3;
+            c.start_depth = 3;
+            c.worklist_capacity = 64;
+            c.branch_state = mode;
+            parallel::ParallelResult r = parallel::solve(g, method, c);
+            ASSERT_EQ(r.best_size, expected)
+                << parallel::method_name(method) << " mode "
+                << vc::branch_state_mode_name(mode);
+            ASSERT_TRUE(graph::is_vertex_cover(g, r.cover));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomDifferential, PvcIndicatorAgreesAcrossModes) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 10 + 2;
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        CsrGraph g = family.make(size, static_cast<std::uint64_t>(seed) * 43 + 7);
+
+        vc::SequentialConfig ref;
+        const int min = vc::solve_sequential(g, ref).best_size;
+        if (min < 2) continue;
+
+        for (int k : {min - 1, min}) {
+          for (vc::BranchStateMode mode : vc::all_branch_state_modes()) {
+            // Sequential (exact node parity checked above) plus Hybrid,
+            // the method whose donation path PVC exercises hardest.
+            vc::SequentialConfig sc;
+            sc.problem = vc::Problem::kPvc;
+            sc.k = k;
+            sc.branch_state = mode;
+            vc::SolveResult s = vc::solve_sequential(g, sc);
+            ASSERT_EQ(s.has_cover(), k >= min)
+                << "sequential k=" << k << " mode "
+                << vc::branch_state_mode_name(mode);
+
+            parallel::ParallelConfig c = serialized_config(mode);
+            c.problem = vc::Problem::kPvc;
+            c.k = k;
+            parallel::ParallelResult r =
+                parallel::solve(g, parallel::Method::kHybrid, c);
+            ASSERT_EQ(r.has_cover(), k >= min)
+                << "hybrid k=" << k << " mode "
+                << vc::branch_state_mode_name(mode);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gvc

@@ -1,0 +1,22 @@
+#pragma once
+
+// Shared helpers for the test suites (headers here are not globbed into
+// test binaries; include them relatively, e.g. "../test_support.hpp").
+
+#include <cstdlib>
+
+namespace gvc::test_support {
+
+/// Positive-integer environment knob with a fallback — the mechanism CI
+/// uses to cap the generator sweeps (GVC_DIFF_SEEDS, GVC_EXHAUSTIVE_N) and
+/// local runs use to expand them. Unset, empty, zero or negative values all
+/// fall back.
+inline int env_knob(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace gvc::test_support

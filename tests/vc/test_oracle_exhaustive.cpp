@@ -1,0 +1,138 @@
+// Exhaustive small-graph oracle sweep: solve_sequential (both branch-state
+// modes) cross-checked against the independent brute-force oracle on EVERY
+// graph up to GVC_EXHAUSTIVE_N vertices (default 6 — 33k graphs; the knob
+// caps the 2^C(n,2) enumeration in sanitizer CI jobs), plus a dense
+// randomized sweep of edge-subset graphs at 7..16 vertices. The point is
+// adversarial completeness: the randomized differential harness samples
+// realistic families, while this sweep hits every tiny pathological shape —
+// exactly where an off-by-one in trail rollback or pruning would hide.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "graph/builder.hpp"
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+#include "vc/oracle.hpp"
+#include "vc/sequential.hpp"
+
+namespace gvc::vc {
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+using gvc::test_support::env_knob;
+
+/// Builds the graph on n vertices whose edge set is the bit pattern `mask`
+/// over the C(n,2) pairs in lexicographic order.
+CsrGraph graph_from_mask(Vertex n, std::uint64_t mask) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  int bit = 0;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v, ++bit)
+      if (mask & (1ull << bit)) edges.emplace_back(u, v);
+  return graph::from_edges(n, edges);
+}
+
+/// Both modes against the oracle; node-count parity between the modes is
+/// asserted here too, so a trail-induced tree-shape change on ANY tiny
+/// graph fails even when the optimum happens to survive it.
+void check_against_oracle(const CsrGraph& g, const std::string& where) {
+  SCOPED_TRACE(where);
+  const int want = oracle_mvc_size(g);
+
+  SolveResult results[2];
+  int i = 0;
+  for (BranchStateMode mode : all_branch_state_modes()) {
+    SequentialConfig config;
+    config.branch_state = mode;
+    SolveResult r = solve_sequential(g, config);
+    ASSERT_EQ(r.best_size, want)
+        << "mode " << branch_state_mode_name(mode);
+    ASSERT_TRUE(graph::is_vertex_cover(g, r.cover))
+        << "mode " << branch_state_mode_name(mode);
+    ASSERT_EQ(static_cast<int>(r.cover.size()), want);
+    results[i++] = std::move(r);
+  }
+  ASSERT_EQ(results[0].tree_nodes, results[1].tree_nodes)
+      << "tree shape diverged between kCopy and kUndoTrail";
+}
+
+TEST(OracleExhaustive, EveryGraphUpToNVertices) {
+  const Vertex max_n = static_cast<Vertex>(env_knob("GVC_EXHAUSTIVE_N", 6));
+  ASSERT_LE(max_n, 8) << "2^C(n,2) enumeration is infeasible past n=8";
+  for (Vertex n = 1; n <= max_n; ++n) {
+    const int pairs = static_cast<int>(n) * (static_cast<int>(n) - 1) / 2;
+    const std::uint64_t masks = 1ull << pairs;
+    for (std::uint64_t mask = 0; mask < masks; ++mask) {
+      check_against_oracle(graph_from_mask(n, mask),
+                           "n=" + std::to_string(n) +
+                               " mask=" + std::to_string(mask));
+    }
+  }
+}
+
+/// Uniform random edge subset of K_n: each pair kept with keep_percent%.
+/// Deterministic given (n, trial) — the per-n generator is reseeded and
+/// fast-forwarded trial by trial — so a failure's trace reproduces exactly.
+CsrGraph random_edge_subset(Vertex n, int trial, int keep_percent) {
+  util::Pcg32 rng(0x5eedull * static_cast<std::uint64_t>(n),
+                  static_cast<std::uint64_t>(trial) * 2 + 17);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.range(0, 99) < keep_percent) edges.emplace_back(u, v);
+  return graph::from_edges(n, edges);
+}
+
+TEST(OracleExhaustive, RandomEdgeSubsetsUpTo16Vertices) {
+  // 7..16 vertices: uniformly random edge subsets at mixed densities (the
+  // density cycles sparse / medium / dense, so trees of very different
+  // shapes are all exercised).
+  const int per_n = env_knob("GVC_DIFF_SEEDS", 60);
+  for (Vertex n = 7; n <= 16; ++n) {
+    for (int trial = 0; trial < per_n; ++trial) {
+      const int keep_percent = 15 + 35 * (trial % 3);
+      check_against_oracle(random_edge_subset(n, trial, keep_percent),
+                           "n=" + std::to_string(n) + " trial=" +
+                               std::to_string(trial) + " keep%=" +
+                               std::to_string(keep_percent));
+    }
+  }
+}
+
+TEST(OracleExhaustive, PvcDecisionMatchesOracleOnSmallGraphs) {
+  const int per_n = env_knob("GVC_DIFF_SEEDS", 60) / 4 + 3;
+  for (Vertex n = 5; n <= 12; ++n) {
+    for (int trial = 0; trial < per_n; ++trial) {
+      CsrGraph g = random_edge_subset(n, trial + 1000, 40);
+      const int min = oracle_mvc_size(g);
+      if (min < 1) continue;
+      SCOPED_TRACE("n=" + std::to_string(n) + " trial=" + std::to_string(trial));
+      for (int k : {min - 1, min}) {
+        if (k < 1) continue;
+        const bool want = oracle_pvc(g, k);
+        for (BranchStateMode mode : all_branch_state_modes()) {
+          SequentialConfig config;
+          config.problem = Problem::kPvc;
+          config.k = k;
+          config.branch_state = mode;
+          SolveResult r = solve_sequential(g, config);
+          ASSERT_EQ(r.has_cover(), want)
+              << "k=" << k << " mode " << branch_state_mode_name(mode);
+          if (r.has_cover()) {
+            ASSERT_LE(r.best_size, k);
+            ASSERT_TRUE(graph::is_vertex_cover(g, r.cover));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

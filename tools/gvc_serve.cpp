@@ -26,6 +26,8 @@
 //   --cache-capacity N     completed-entry LRU capacity (default 1024)
 //   --no-partition         workers use the submitted device spec verbatim
 //   --scale S              smoke|default|large catalog scale (default smoke)
+//   --branch-state S       undotrail|copy backtracking for every job's
+//                          solve (default undotrail; identical results)
 //   --time-limit S         per-job solve budget (default 0 = none)
 //   --min-cache-seconds S  cost-aware cache admission: skip storing solves
 //                          cheaper than S seconds (default 0 = store all)
@@ -131,6 +133,14 @@ int main(int argc, char** argv) {
   service::JobSpec base;
   base.limits.time_limit_s = args.get_double("time-limit", 0.0);
   base.deadline_s = args.get_double("deadline-ms", 0.0) * 1e-3;
+  const std::optional<vc::BranchStateMode> branch_state =
+      vc::try_parse_branch_state_mode(args.get("branch-state", "undotrail"));
+  if (!branch_state.has_value()) {
+    std::fprintf(stderr, "unknown --branch-state '%s' (want undotrail|copy)\n",
+                 args.get("branch-state", "undotrail").c_str());
+    return 64;
+  }
+  base.config.branch_state = *branch_state;
   const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
 
   service::ServiceOptions opts;

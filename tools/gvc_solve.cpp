@@ -10,6 +10,9 @@
 //   --problem mvc|pvc    formulation (default mvc)
 //   --k N                PVC bound (required for --problem pvc)
 //   --branch S           maxdegree|mindegree|random|first (default maxdegree)
+//   --branch-state S     undotrail|copy (default undotrail — O(changed)
+//                        apply/undo backtracking; copy is the paper's
+//                        copy-on-branch design; both produce the same tree)
 //   --grid N             force the grid size (default: occupancy plan)
 //   --block-size N       force the block size in the §IV-E plan
 //   --worklist-capacity N   Hybrid/GlobalOnly queue entries (default 4096)
@@ -85,6 +88,14 @@ int main(int argc, char** argv) {
     return 64;
   }
   config.branch = *branch;
+  const std::optional<vc::BranchStateMode> branch_state =
+      vc::try_parse_branch_state_mode(args.get("branch-state", "undotrail"));
+  if (!branch_state.has_value()) {
+    std::fprintf(stderr, "unknown --branch-state '%s' (want undotrail|copy)\n",
+                 args.get("branch-state", "undotrail").c_str());
+    return 64;
+  }
+  config.branch_state = *branch_state;
   config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   config.grid_override = static_cast<int>(args.get_int("grid", 0));
   config.block_size_override =
