@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the Chase–Lev StealDeque against
+// the mutex-guarded ring it replaced (kept in-file as the baseline). The
+// owner path is the WorkStealing solver's hot loop — one push + pop per
+// branch — so the lock-free win there is what the tentpole bought; the
+// steal path and the thief-churn variants show what the remaining CAS
+// costs and how the owner path holds up while a thief hammers the deque.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "device/occupancy.hpp"  // degree_array_bytes
+#include "graph/generators.hpp"
+#include "vc/degree_array.hpp"
+#include "worklist/steal_deque.hpp"
+
+namespace {
+
+using gvc::vc::DegreeArray;
+using gvc::worklist::StealDeque;
+
+/// The pre-lock-free implementation, verbatim: a ring guarded by one mutex.
+class MutexDeque {
+ public:
+  MutexDeque(gvc::graph::Vertex num_vertices, int capacity)
+      : num_vertices_(num_vertices) {
+    entries_.resize(static_cast<std::size_t>(capacity));
+  }
+
+  void push_bottom(const DegreeArray& node) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[bottom_ % entries_.size()] = node;
+    ++bottom_;
+  }
+
+  bool try_pop_bottom(DegreeArray& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bottom_ == top_) return false;
+    --bottom_;
+    out = std::move(entries_[bottom_ % entries_.size()]);
+    return true;
+  }
+
+  bool try_steal_top(DegreeArray& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bottom_ == top_) return false;
+    out = std::move(entries_[top_ % entries_.size()]);
+    ++top_;
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DegreeArray> entries_;
+  std::size_t top_ = 0;
+  std::size_t bottom_ = 0;
+  gvc::graph::Vertex num_vertices_;
+};
+
+template <typename Deque>
+void owner_push_pop(benchmark::State& state) {
+  const auto n = static_cast<gvc::graph::Vertex>(state.range(0));
+  auto g = gvc::graph::gnp(n, 0.1, 11);
+  Deque deque(n, 64);
+  DegreeArray node(g);
+  DegreeArray out;
+  for (auto _ : state) {
+    deque.push_bottom(node);
+    benchmark::DoNotOptimize(deque.try_pop_bottom(out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          gvc::device::degree_array_bytes(n));
+}
+
+void BM_ChaseLev_OwnerPushPop(benchmark::State& state) {
+  owner_push_pop<StealDeque>(state);
+}
+BENCHMARK(BM_ChaseLev_OwnerPushPop)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Mutex_OwnerPushPop(benchmark::State& state) {
+  owner_push_pop<MutexDeque>(state);
+}
+BENCHMARK(BM_Mutex_OwnerPushPop)->Arg(64)->Arg(512)->Arg(4096);
+
+template <typename Deque>
+void steal_path(benchmark::State& state) {
+  const auto n = static_cast<gvc::graph::Vertex>(state.range(0));
+  auto g = gvc::graph::gnp(n, 0.1, 11);
+  Deque deque(n, 64);
+  DegreeArray node(g);
+  DegreeArray out;
+  for (auto _ : state) {
+    deque.push_bottom(node);
+    benchmark::DoNotOptimize(deque.try_steal_top(out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          gvc::device::degree_array_bytes(n));
+}
+
+void BM_ChaseLev_StealPath(benchmark::State& state) {
+  steal_path<StealDeque>(state);
+}
+BENCHMARK(BM_ChaseLev_StealPath)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Mutex_StealPath(benchmark::State& state) { steal_path<MutexDeque>(state); }
+BENCHMARK(BM_Mutex_StealPath)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Owner push/pop while one thief thread steals whenever it can — the
+/// contention profile of a steal-heavy WorkStealing run. The owner's
+/// throughput is the number; under the mutex every thief probe serializes
+/// against the owner, under Chase–Lev only the one-element race does.
+template <typename Deque>
+void owner_with_thief_churn(benchmark::State& state) {
+  const auto n = static_cast<gvc::graph::Vertex>(state.range(0));
+  auto g = gvc::graph::gnp(n, 0.1, 13);
+  Deque deque(n, 64);
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    DegreeArray loot;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!deque.try_steal_top(loot)) std::this_thread::yield();
+    }
+  });
+  DegreeArray node(g);
+  DegreeArray out;
+  for (auto _ : state) {
+    deque.push_bottom(node);
+    benchmark::DoNotOptimize(deque.try_pop_bottom(out));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  thief.join();
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ChaseLev_OwnerUnderChurn(benchmark::State& state) {
+  owner_with_thief_churn<StealDeque>(state);
+}
+BENCHMARK(BM_ChaseLev_OwnerUnderChurn)->Arg(64)->Arg(512);
+
+void BM_Mutex_OwnerUnderChurn(benchmark::State& state) {
+  owner_with_thief_churn<MutexDeque>(state);
+}
+BENCHMARK(BM_Mutex_OwnerUnderChurn)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -105,6 +105,17 @@ struct ParallelConfig {
   /// ablation sweeps 4/6/8/10).
   int start_depth = 6;
 
+  // --- WorkStealing ---
+  /// Advertisement rate policy for the kUndoTrail engine: in addition to
+  /// the lazy rule (snapshot the neighbors child onto the own deque only
+  /// when the deque is empty), advertise every K-th branch so thieves see
+  /// more than one stealable node per block on steal-heavy instances.
+  /// 0 = ∞ (lazy only) — node-for-node identical to any K large enough
+  /// never to fire, and the default. The optimum is unchanged, but finite
+  /// K reorders the traversal (different node counts and worklist stats),
+  /// so unlike branch_state it IS part of the result-cache key.
+  int advertise_interval = 0;
+
   // --- Hybrid ---
   /// Global worklist capacity in entries (the paper uses 128K-512K on a
   /// 32 GiB card; scaled defaults keep the same threshold/capacity ratios).

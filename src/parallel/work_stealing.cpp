@@ -39,8 +39,12 @@ class StealGroup {
  public:
   StealGroup(Vertex n, int depth_bound, int grid) : deques_() {
     deques_.reserve(static_cast<std::size_t>(grid));
+    // Pool headroom = grid: at most every other block can hold an in-flight
+    // extraction against one deque (plus the owner's own), so the Chase–Lev
+    // payload pool can never exhaust mid-steal.
     for (int i = 0; i < grid; ++i)
-      deques_.push_back(std::make_unique<StealDeque>(n, depth_bound));
+      deques_.push_back(
+          std::make_unique<StealDeque>(n, depth_bound, /*steal_headroom=*/grid));
   }
 
   int grid() const { return static_cast<int>(deques_.size()); }
@@ -163,6 +167,12 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
   // block the advertised node is always older than every frame, so the
   // pop order (frames LIFO, then the deque) reproduces kCopy's traversal
   // bit for bit; across blocks, steals are timing-dependent in both modes.
+  //
+  // The rate policy (config.advertise_interval = K > 0) additionally
+  // advertises every K-th branch even when the deque is non-empty, trading
+  // a few extra snapshots for steal availability on steal-heavy instances;
+  // K = 0 means ∞, i.e. the pure lazy rule above, and the interval counter
+  // then never fires — the two settings are node-for-node identical.
   auto body_undo_trail = [&](device::BlockContext& ctx) {
     const int id = ctx.block_id();
     StealDeque& own = group.deque(id);
@@ -179,6 +189,8 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
     device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     bool enter = false;  // true while da holds an unprocessed node
     std::uint64_t attempts = 0;
+    const int advertise_interval = config.advertise_interval;
+    std::int64_t branches_since_advert = 0;  // only counted when K > 0
 
     for (;;) {
       if (!mvc && shared.pvc_found()) break;
@@ -227,10 +239,19 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
       if (out != NodeOutcome::kBranch) continue;  // enter stays false: backtrack
 
       // Branch: advertise the neighbors child when nothing of ours is
-      // visible to thieves, otherwise defer it as a frame; then continue
-      // immediately with the vmax child.
+      // visible to thieves (or the rate policy fires), otherwise defer it
+      // as a frame; then continue immediately with the vmax child.
       bool advertised = false;
-      if (own.empty_approx()) {
+      if (advertise_interval > 0) ++branches_since_advert;
+      // The rate-fired advertisement is opportunistic: when the deque is
+      // already at capacity (the §IV-E bound covers the lazy rule, not an
+      // arbitrary advertisement backlog), keep the child as a frame instead.
+      // The size gate reads a stale top_, which only UNDER-reports free
+      // space, so a push it admits can never overflow.
+      if (own.empty_approx() ||
+          (advertise_interval > 0 &&
+           branches_since_advert >= advertise_interval &&
+           own.size_approx() < own.capacity())) {
         {
           ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
           snapshot = da;
@@ -242,6 +263,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
         }
         group.notify();
         advertised = true;
+        branches_since_advert = 0;
       }
       {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);

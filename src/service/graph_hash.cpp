@@ -68,7 +68,11 @@ std::uint64_t solve_config_hash(parallel::Method method,
   // budgets should share one entry. config.branch_state is skipped for the
   // same reason: kCopy and kUndoTrail are bit-identical by contract (the
   // differential suite enforces it), so the mode is execution policy, not
-  // part of the answer's identity.
+  // part of the answer's identity. config.advertise_interval does NOT get
+  // that exemption: finite K deterministically changes tree_nodes, the
+  // worklist counters, and possibly which optimal cover is returned, so
+  // records from different K values are distinct answers.
+  fold.add(static_cast<std::uint64_t>(config.advertise_interval));
   fold.add(static_cast<std::uint64_t>(config.block_size_override));
   fold.add(static_cast<std::uint64_t>(config.grid_override));
   fold.add(static_cast<std::uint64_t>(config.start_depth));

@@ -1,64 +1,180 @@
 #include "worklist/steal_deque.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace gvc::worklist {
 
-StealDeque::StealDeque(graph::Vertex num_vertices, int capacity)
-    : num_vertices_(num_vertices) {
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StealDeque::StealDeque(graph::Vertex num_vertices, int capacity,
+                       int steal_headroom)
+    : capacity_(capacity), num_vertices_(num_vertices) {
   GVC_CHECK(capacity > 0);
-  entries_.resize(static_cast<std::size_t>(capacity));
+  GVC_CHECK(steal_headroom >= 0);
+  const std::size_t ring_size = next_pow2(static_cast<std::size_t>(capacity));
+  mask_ = ring_size - 1;
+  ring_ = std::vector<std::atomic<std::int32_t>>(ring_size);
+
+  const std::size_t pool_size =
+      static_cast<std::size_t>(capacity) +
+      static_cast<std::size_t>(steal_headroom);
+  pool_.resize(pool_size);
+  free_next_ = std::vector<std::atomic<std::int32_t>>(pool_size);
+  local_free_.reserve(pool_size);
+  for (std::size_t i = pool_size; i > 0; --i)
+    local_free_.push_back(static_cast<std::int32_t>(i - 1));
+}
+
+std::int32_t StealDeque::acquire_slot() {
+  if (local_free_.empty()) {
+    // Batch-claim everything thieves have released: one exchange detaches
+    // the whole Treiber stack. The acquire pairs with the thieves' release
+    // CASes (RMWs extend the release sequence, so claiming the head
+    // synchronizes with every releaser in the chain), ordering their
+    // payload move-outs before our overwrites.
+    std::int32_t h = shared_free_.exchange(-1, std::memory_order_acquire);
+    // The pool covers capacity + one in-flight extraction per concurrent
+    // thief, so finding BOTH lists empty means the deque was built with
+    // less steal_headroom than it has thieves — a configuration error, not
+    // a transient state.
+    GVC_CHECK_MSG(h >= 0, "steal deque pool exhausted: steal_headroom below "
+                          "the number of concurrent consumers");
+    while (h >= 0) {
+      local_free_.push_back(h);
+      h = free_next_[static_cast<std::size_t>(h)].load(
+          std::memory_order_relaxed);
+    }
+  }
+  const std::int32_t slot = local_free_.back();
+  local_free_.pop_back();
+  return slot;
+}
+
+void StealDeque::release_slot_shared(std::int32_t slot) {
+  std::int32_t h = shared_free_.load(std::memory_order_relaxed);
+  do {
+    free_next_[static_cast<std::size_t>(slot)].store(
+        h, std::memory_order_relaxed);
+    // Release publishes our payload move-out to the owner's batch claim.
+  } while (!shared_free_.compare_exchange_weak(h, slot,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+}
+
+void StealDeque::publish_bottom(std::int64_t b, std::int32_t slot) {
+  // The payload happens-before edge rides on the ring slot itself (release
+  // here, acquire in try_steal_top), NOT on bottom_: a thief's bottom read
+  // may hit one of the owner's relaxed restore stores, which since C++20
+  // heads no release sequence — and ThreadSanitizer does not model
+  // atomic_thread_fence, so the Lê et al. fence-to-store publication would
+  // read as a race on the pool payload. Per-slot release/acquire is free on
+  // x86 and keeps every edge visible to TSan.
+  ring_[static_cast<std::size_t>(b) & mask_].store(slot,
+                                                   std::memory_order_release);
+  // Release also orders the ring-slot store before the publication, so a
+  // thief that observes bottom > t is guaranteed the live generation's slot.
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+template <typename Node>
+void StealDeque::push_bottom_impl(Node&& node) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  // `t` may be stale (top_ is monotone), so b - t only overestimates the
+  // size: the check is conservative and can never let the ring wrap onto a
+  // live entry. The §IV-E depth bound keeps correct callers under it even
+  // with no steals at all.
+  GVC_CHECK_MSG(b - t < capacity_, "steal deque overflow");
+  const std::int32_t slot = acquire_slot();
+  pool_[static_cast<std::size_t>(slot)] = std::forward<Node>(node);
+  publish_bottom(b, slot);
+
+  pushes_.store(pushes_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  const int sz = static_cast<int>(b + 1 - t);
+  if (sz > high_water_.load(std::memory_order_relaxed))
+    high_water_.store(sz, std::memory_order_relaxed);
 }
 
 void StealDeque::push_bottom(const vc::DegreeArray& node) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto cap = entries_.size();
-  GVC_CHECK_MSG(bottom_ - top_ < cap, "steal deque overflow");
-  entries_[bottom_ % cap] = node;
-  ++bottom_;
-  const int sz = static_cast<int>(bottom_ - top_);
-  size_.store(sz, std::memory_order_relaxed);
-  high_water_ = std::max(high_water_, sz);
-  ++pushes_;
+  push_bottom_impl(node);
 }
 
 void StealDeque::push_bottom(vc::DegreeArray&& node) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto cap = entries_.size();
-  GVC_CHECK_MSG(bottom_ - top_ < cap, "steal deque overflow");
-  entries_[bottom_ % cap] = std::move(node);
-  ++bottom_;
-  const int sz = static_cast<int>(bottom_ - top_);
-  size_.store(sz, std::memory_order_relaxed);
-  high_water_ = std::max(high_water_, sz);
-  ++pushes_;
+  push_bottom_impl(std::move(node));
 }
 
 bool StealDeque::try_pop_bottom(vc::DegreeArray& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (bottom_ == top_) return false;
-  --bottom_;
-  out = std::move(entries_[bottom_ % entries_.size()]);
-  size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
-  ++pops_;
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  // The owner's speculative claim of entry b must be globally ordered
+  // against thieves' top reads — the seq_cst fence pairs with the one in
+  // try_steal_top so at most one side can believe it owns the last entry
+  // without going through the top_ CAS.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+
+  if (t > b) {  // already empty: undo the claim
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  const std::int32_t slot =
+      ring_[static_cast<std::size_t>(b) & mask_].load(std::memory_order_relaxed);
+  if (t == b) {
+    // One element left: settle the race with thieves on top_ itself.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    if (!won) return false;  // a thief got it
+  }
+
+  // Swap rather than move so the caller's old buffers land in the pool slot
+  // and get reused by a later push — the steady state allocates nothing.
+  // The owner recycles through its private stack: no atomics.
+  std::swap(out, pool_[static_cast<std::size_t>(slot)]);
+  local_free_.push_back(slot);
+  pops_.store(pops_.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
   return true;
 }
 
 bool StealDeque::try_steal_top(vc::DegreeArray& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (bottom_ == top_) return false;
-  out = std::move(entries_[top_ % entries_.size()]);
-  ++top_;
-  size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
-  ++steals_;
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return false;  // empty (or the owner is claiming the last one)
+
+  // Read the pool index BEFORE the CAS: on success the read was of the live
+  // generation (the owner cannot have lapped a live entry — see the
+  // overflow check); on failure the value is discarded unread-from. Either
+  // way only a 32-bit atomic was touched inside the race, never a payload.
+  // The acquire pairs with publish_bottom's release store of this slot, so
+  // the payload written before publication is visible after the CAS.
+  const std::int32_t slot =
+      ring_[static_cast<std::size_t>(t) & mask_].load(std::memory_order_acquire);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return false;  // lost to another thief or to the owner's last-entry pop
+
+  std::swap(out, pool_[static_cast<std::size_t>(slot)]);
+  release_slot_shared(slot);
+  steals_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 std::int64_t StealDeque::footprint_bytes() const {
-  return static_cast<std::int64_t>(entries_.size()) *
+  return static_cast<std::int64_t>(pool_.size()) *
          static_cast<std::int64_t>(num_vertices_) *
          static_cast<std::int64_t>(sizeof(std::int32_t));
 }

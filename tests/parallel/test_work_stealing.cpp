@@ -134,6 +134,87 @@ TEST(WorkStealing, NodeCountMatchesLaunchStats) {
   EXPECT_EQ(r.launch.blocks.size(), 4u);
 }
 
+/// One-SM, one-resident-block device: the launch degenerates to a single
+/// thread executing block 0, making node counts exact and reproducible.
+ParallelConfig serialized_config() {
+  ParallelConfig c;
+  c.device = device::DeviceSpec::host_scaled();
+  c.device.num_sms = 1;
+  c.device.max_blocks_per_sm = 1;
+  c.grid_override = 1;
+  return c;
+}
+
+TEST(WorkStealing, AdvertiseEveryKYieldsOptimalCovers) {
+  // The rate policy only changes WHICH nodes thieves can see, never the
+  // answer: every interval must reach the optimum with a valid cover, on a
+  // dense (steal-heavy) and a sparse (reduction-heavy) instance.
+  for (const auto& g :
+       {graph::complement(graph::p_hat(26, 0.3, 0.8, 51)),
+        graph::watts_strogatz(60, 4, 0.2, 9)}) {
+    vc::SequentialConfig sc;
+    const int opt = vc::solve_sequential(g, sc).best_size;
+    for (int k : {1, 2, 8}) {
+      ParallelConfig c = base_config(4);
+      c.advertise_interval = k;
+      ParallelResult r = solve_work_stealing(g, c);
+      EXPECT_EQ(r.best_size, opt) << "advertise_interval=" << k;
+      EXPECT_TRUE(graph::is_vertex_cover(g, r.cover))
+          << "advertise_interval=" << k;
+    }
+  }
+}
+
+TEST(WorkStealing, AdvertiseIntervalInfinityMatchesLazyNodeForNode) {
+  // advertise_interval = 0 means ∞: by contract it is node-for-node
+  // identical to an interval too large ever to fire (the PR 4 lazy
+  // behavior). Exact comparison needs a deterministic schedule, hence the
+  // serialized single-block device.
+  auto g = graph::complement(graph::p_hat(28, 0.35, 0.85, 13));
+  ParallelConfig lazy = serialized_config();
+  ParallelConfig huge = serialized_config();
+  huge.advertise_interval = 1 << 29;
+
+  ParallelResult a = solve_work_stealing(g, lazy);
+  ParallelResult b = solve_work_stealing(g, huge);
+  EXPECT_EQ(a.best_size, b.best_size);
+  EXPECT_EQ(a.tree_nodes, b.tree_nodes) << "tree shape diverged";
+  EXPECT_EQ(a.worklist.adds, b.worklist.adds);
+  EXPECT_EQ(a.worklist.removes, b.worklist.removes);
+}
+
+TEST(WorkStealing, AdvertiseEveryBranchSnapshotsMoreAndStaysExact) {
+  // On the serialized device K=1 advertises at every branch, so the deque
+  // sees at least as many pushes as the lazy rule — and the traversal,
+  // though reordered, still visits an exhaustive tree: same optimum, and
+  // every push is consumed at drain.
+  auto g = graph::complement(graph::p_hat(26, 0.3, 0.8, 29));
+  ParallelConfig lazy = serialized_config();
+  ParallelConfig eager = serialized_config();
+  eager.advertise_interval = 1;
+
+  ParallelResult a = solve_work_stealing(g, lazy);
+  ParallelResult b = solve_work_stealing(g, eager);
+  EXPECT_EQ(a.best_size, b.best_size);
+  EXPECT_GE(b.worklist.adds, a.worklist.adds);
+  EXPECT_EQ(b.worklist.adds, b.worklist.removes);
+}
+
+TEST(WorkStealing, AdvertiseIntervalIgnoredInCopyMode) {
+  // kCopy pushes every child already; the knob must not disturb it.
+  auto g = graph::complement(graph::p_hat(26, 0.3, 0.8, 29));
+  ParallelConfig plain = serialized_config();
+  plain.branch_state = vc::BranchStateMode::kCopy;
+  ParallelConfig knobbed = plain;
+  knobbed.advertise_interval = 2;
+
+  ParallelResult a = solve_work_stealing(g, plain);
+  ParallelResult b = solve_work_stealing(g, knobbed);
+  EXPECT_EQ(a.best_size, b.best_size);
+  EXPECT_EQ(a.tree_nodes, b.tree_nodes);
+  EXPECT_EQ(a.worklist.adds, b.worklist.adds);
+}
+
 TEST(WorkStealingDeathTest, PvcRequiresK) {
   ParallelConfig c = base_config();
   c.problem = vc::Problem::kPvc;

@@ -1,0 +1,33 @@
+#pragma once
+
+// Tagged DegreeArray payloads shared by the steal-deque differential and
+// torture suites: the removed-vertex set of an edgeless graph encodes the
+// tag in binary, so payloads are distinguishable, cheap to build (popcount
+// removals) and cheap to decode. Headers here are not globbed into test
+// binaries; include relatively ("deque_test_tags.hpp").
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "vc/degree_array.hpp"
+
+namespace gvc::worklist::deque_test {
+
+/// Tag width — build the carrier with graph::empty_graph(kTagBits).
+constexpr graph::Vertex kTagBits = 24;
+
+inline vc::DegreeArray make_tagged(const graph::CsrGraph& g,
+                                   std::uint32_t tag) {
+  vc::DegreeArray da(g);
+  for (graph::Vertex bit = 0; bit < kTagBits; ++bit)
+    if (tag & (1u << bit)) da.remove_into_solution(g, bit);
+  return da;
+}
+
+inline std::uint32_t decode_tag(const vc::DegreeArray& da) {
+  std::uint32_t tag = 0;
+  for (graph::Vertex v : da.solution()) tag |= 1u << v;
+  return tag;
+}
+
+}  // namespace gvc::worklist::deque_test

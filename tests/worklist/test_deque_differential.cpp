@@ -1,0 +1,201 @@
+// Differential property test for the Chase–Lev StealDeque: a reference
+// deque — the pre-lock-free implementation, a mutex-guarded ring — is driven
+// through the exact same randomized single-threaded op sequences
+// (push_bottom / try_pop_bottom / try_steal_top, seeded), and every
+// observable must agree at every step: op results, returned payloads,
+// size_approx, and the lifetime counters. Single-threaded equivalence is
+// what pins the SEQUENTIAL semantics of the lock-free structure (LIFO owner
+// end, FIFO steal end, ring wrap, one-element behavior); the torture suite
+// next door covers the concurrent races.
+//
+// Sweep breadth scales with the GVC_DIFF_SEEDS environment knob, the same
+// mechanism the randomized branch-state harness uses (CI caps it; local
+// runs can raise it for thousands of sequences).
+
+#include "worklist/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "deque_test_tags.hpp"
+#include "graph/generators.hpp"
+
+namespace gvc::worklist {
+namespace {
+
+using deque_test::decode_tag;
+using deque_test::kTagBits;
+using deque_test::make_tagged;
+using graph::CsrGraph;
+using test_support::env_knob;
+using vc::DegreeArray;
+
+// --- reference implementation ----------------------------------------------
+
+/// The mutex-guarded ring the Chase–Lev deque replaced, kept verbatim as the
+/// differential oracle: obviously correct, same API, same counters.
+class LockedDeque {
+ public:
+  LockedDeque(graph::Vertex num_vertices, int capacity)
+      : num_vertices_(num_vertices) {
+    entries_.resize(static_cast<std::size_t>(capacity));
+  }
+
+  int size_approx() const { return size_.load(std::memory_order_relaxed); }
+
+  void push_bottom(const DegreeArray& node) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto cap = entries_.size();
+    ASSERT_TRUE(bottom_ - top_ < cap) << "reference deque overflow";
+    entries_[bottom_ % cap] = node;
+    ++bottom_;
+    const int sz = static_cast<int>(bottom_ - top_);
+    size_.store(sz, std::memory_order_relaxed);
+    high_water_ = std::max(high_water_, sz);
+    ++pushes_;
+  }
+
+  bool try_pop_bottom(DegreeArray& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bottom_ == top_) return false;
+    --bottom_;
+    out = std::move(entries_[bottom_ % entries_.size()]);
+    size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
+    ++pops_;
+    return true;
+  }
+
+  bool try_steal_top(DegreeArray& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bottom_ == top_) return false;
+    out = std::move(entries_[top_ % entries_.size()]);
+    ++top_;
+    size_.store(static_cast<int>(bottom_ - top_), std::memory_order_relaxed);
+    ++steals_;
+    return true;
+  }
+
+  int high_water() const { return high_water_; }
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t pops() const { return pops_; }
+  std::uint64_t steals_suffered() const { return steals_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DegreeArray> entries_;
+  std::size_t top_ = 0;
+  std::size_t bottom_ = 0;
+  std::atomic<int> size_{0};
+  int high_water_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t steals_ = 0;
+  graph::Vertex num_vertices_;
+};
+
+// --- the differential driver ------------------------------------------------
+
+struct SequenceParams {
+  int capacity;
+  int ops;
+  int push_weight;   // out of 100; remainder split pop/steal
+  int pop_weight;
+};
+
+void run_sequence(const CsrGraph& g, const SequenceParams& p,
+                  std::uint64_t seed) {
+  StealDeque lockfree(g.num_vertices(), p.capacity, /*steal_headroom=*/2);
+  LockedDeque locked(g.num_vertices(), p.capacity);
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  std::uint32_t next_tag = 1;
+  DegreeArray a, b;
+  for (int i = 0; i < p.ops; ++i) {
+    SCOPED_TRACE("op " + std::to_string(i));
+    const int r = op_dist(rng);
+    if (r < p.push_weight) {
+      if (lockfree.size_approx() >= p.capacity) continue;  // both full
+      const std::uint32_t tag = next_tag++ & ((1u << kTagBits) - 1);
+      lockfree.push_bottom(make_tagged(g, tag));
+      locked.push_bottom(make_tagged(g, tag));
+    } else if (r < p.push_weight + p.pop_weight) {
+      const bool got_a = lockfree.try_pop_bottom(a);
+      const bool got_b = locked.try_pop_bottom(b);
+      ASSERT_EQ(got_a, got_b) << "pop divergence";
+      if (got_a) ASSERT_EQ(decode_tag(a), decode_tag(b)) << "pop payload";
+    } else {
+      const bool got_a = lockfree.try_steal_top(a);
+      const bool got_b = locked.try_steal_top(b);
+      ASSERT_EQ(got_a, got_b) << "steal divergence";
+      if (got_a) ASSERT_EQ(decode_tag(a), decode_tag(b)) << "steal payload";
+    }
+    ASSERT_EQ(lockfree.size_approx(), locked.size_approx());
+    ASSERT_EQ(lockfree.pushes(), locked.pushes());
+    ASSERT_EQ(lockfree.pops(), locked.pops());
+    ASSERT_EQ(lockfree.steals_suffered(), locked.steals_suffered());
+    ASSERT_EQ(lockfree.high_water(), locked.high_water());
+  }
+
+  // Drain both from the owner end and compare the residual contents in
+  // order; then confirm both report empty from both ends.
+  for (;;) {
+    const bool got_a = lockfree.try_pop_bottom(a);
+    const bool got_b = locked.try_pop_bottom(b);
+    ASSERT_EQ(got_a, got_b) << "drain divergence";
+    if (!got_a) break;
+    ASSERT_EQ(decode_tag(a), decode_tag(b)) << "drain payload";
+  }
+  ASSERT_FALSE(lockfree.try_steal_top(a));
+  ASSERT_EQ(lockfree.size_approx(), 0);
+  ASSERT_EQ(lockfree.pushes(), locked.pushes());
+  ASSERT_EQ(lockfree.pops(), locked.pops());
+  ASSERT_EQ(lockfree.steals_suffered(), locked.steals_suffered());
+}
+
+TEST(DequeDifferential, BalancedTraffic) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60);
+  CsrGraph g = graph::empty_graph(kTagBits);
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_sequence(g, {/*capacity=*/16, /*ops=*/400, /*push=*/45, /*pop=*/30},
+                 seed);
+  }
+}
+
+TEST(DequeDifferential, StealHeavyTinyRing) {
+  // Capacity 3 (ring rounds to 4) with steal-dominated consumption: indices
+  // lap the ring many times, and pop keeps landing on the one-element case.
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60);
+  CsrGraph g = graph::empty_graph(kTagBits);
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_sequence(g, {/*capacity=*/3, /*ops=*/600, /*push=*/50, /*pop=*/10},
+                 seed * 31 + 7);
+  }
+}
+
+TEST(DequeDifferential, PushPopChurnDepthOne) {
+  // Push/pop churn that keeps the deque at depth 0-1: every pop is the
+  // one-element race path, every push re-publishes ring slot 0.
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60);
+  CsrGraph g = graph::empty_graph(kTagBits);
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_sequence(g, {/*capacity=*/1, /*ops=*/400, /*push=*/50, /*pop=*/25},
+                 seed * 101 + 13);
+  }
+}
+
+}  // namespace
+}  // namespace gvc::worklist

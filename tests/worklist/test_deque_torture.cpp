@@ -1,0 +1,222 @@
+// Concurrency torture test for the Chase–Lev StealDeque — the designated
+// ThreadSanitizer target for the worklist substrate. One owner thread
+// hammers push_bottom/try_pop_bottom while N thief threads hammer
+// try_steal_top, all over uniquely tagged payloads; the invariant is
+// CONSERVATION: every pushed node is popped-or-stolen exactly once, none
+// lost, none duplicated. The tiny-capacity round keeps the deque at depth
+// 0-1 so nearly every consumption goes through the one-element CAS race
+// (owner's bottom claim vs. thieves' top CAS); the stats-reader round
+// additionally polls every counter mid-run, pinning the "safely readable
+// anytime" contract of the relaxed-atomic counters.
+//
+// Scale knobs (the CI tsan job caps them to stay inside its budget):
+//   GVC_TORTURE_ITEMS    items per round        (default 20000)
+//   GVC_TORTURE_THREADS  max thief threads      (default 4)
+
+#include "worklist/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "deque_test_tags.hpp"
+#include "graph/generators.hpp"
+
+namespace gvc::worklist {
+namespace {
+
+using deque_test::decode_tag;
+using deque_test::kTagBits;
+using deque_test::make_tagged;
+using graph::CsrGraph;
+using test_support::env_knob;
+using vc::DegreeArray;
+
+/// One torture round: the owner pushes `items` tagged nodes (gated on
+/// size_approx so the depth bound is honored), popping a pseudo-random
+/// fraction itself; `thieves` threads steal until everything is consumed.
+/// Returns per-tag consumption counts.
+std::vector<int> torture_round(const CsrGraph& g, int capacity, int headroom,
+                               int thieves, int items, std::uint64_t seed) {
+  StealDeque deque(g.num_vertices(), capacity, headroom);
+  std::atomic<int> consumed{0};
+
+  std::vector<std::vector<std::uint32_t>> taken(
+      static_cast<std::size_t>(thieves) + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&, t] {
+      std::vector<std::uint32_t>& mine = taken[static_cast<std::size_t>(t) + 1];
+      DegreeArray out;
+      while (consumed.load(std::memory_order_relaxed) < items) {
+        if (deque.try_steal_top(out)) {
+          mine.push_back(decode_tag(out));
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Keep the race hot without starving the owner on small hosts.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: produce every tag, interleaving pops; then help drain.
+  std::vector<std::uint32_t>& own = taken[0];
+  std::mt19937_64 rng(seed);
+  DegreeArray out;
+  for (int i = 0; i < items; ++i) {
+    while (deque.size_approx() >= capacity) std::this_thread::yield();
+    deque.push_bottom(make_tagged(g, static_cast<std::uint32_t>(i)));
+    if ((rng() & 3u) == 0 && deque.try_pop_bottom(out)) {
+      own.push_back(decode_tag(out));
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (consumed.load(std::memory_order_relaxed) < items) {
+    if (deque.try_pop_bottom(out)) {
+      own.push_back(decode_tag(out));
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : pool) t.join();
+
+  // Quiescent: the deque is empty from both ends and the counters balance.
+  EXPECT_EQ(deque.size_approx(), 0);
+  EXPECT_FALSE(deque.try_pop_bottom(out));
+  EXPECT_FALSE(deque.try_steal_top(out));
+  EXPECT_EQ(deque.pushes(), static_cast<std::uint64_t>(items));
+  EXPECT_EQ(deque.pops() + deque.steals_suffered(),
+            static_cast<std::uint64_t>(items));
+  EXPECT_EQ(deque.pops(), static_cast<std::uint64_t>(own.size()));
+  EXPECT_LE(deque.high_water(), capacity);
+
+  std::vector<int> counts(static_cast<std::size_t>(items), 0);
+  for (const auto& v : taken)
+    for (std::uint32_t tag : v) {
+      if (tag >= static_cast<std::uint32_t>(items)) {
+        ADD_FAILURE() << "corrupt payload: tag " << tag;
+        continue;
+      }
+      ++counts[tag];
+    }
+  return counts;
+}
+
+void expect_conservation(const std::vector<int>& counts) {
+  for (std::size_t tag = 0; tag < counts.size(); ++tag)
+    ASSERT_EQ(counts[tag], 1)
+        << "tag " << tag
+        << (counts[tag] == 0 ? " lost" : " consumed more than once");
+}
+
+int max_thieves() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::min(env_knob("GVC_TORTURE_THREADS", 4), std::max(1, hw - 1));
+}
+
+TEST(DequeTorture, OneOwnerManyThievesConserveEveryNode) {
+  const CsrGraph g = graph::empty_graph(kTagBits);
+  const int items = env_knob("GVC_TORTURE_ITEMS", 20000);
+  for (int thieves = 1; thieves <= max_thieves(); thieves *= 2) {
+    SCOPED_TRACE("thieves=" + std::to_string(thieves));
+    expect_conservation(torture_round(g, /*capacity=*/64,
+                                      /*headroom=*/thieves + 1, thieves,
+                                      items, 0xabcd1234u + thieves));
+  }
+}
+
+TEST(DequeTorture, OneElementRaceTinyCapacity) {
+  // Capacity 2: the deque oscillates around a single live entry, so the
+  // owner's bottom claim and the thieves' top CAS collide on the same node
+  // almost every time — the torture profile for the one-element race.
+  const CsrGraph g = graph::empty_graph(kTagBits);
+  const int items = env_knob("GVC_TORTURE_ITEMS", 20000) / 2;
+  const int thieves = max_thieves();
+  expect_conservation(torture_round(g, /*capacity=*/2,
+                                    /*headroom=*/thieves + 1, thieves, items,
+                                    0x5eed5eedu));
+}
+
+TEST(DequeTorture, CountersReadableMidRun) {
+  // A stats-reader thread polls every counter while the torture traffic is
+  // in flight: the counters are relaxed atomics, so the reads must be safe
+  // (TSan enforces that here) and each counter monotone non-decreasing with
+  // high_water never above capacity.
+  const CsrGraph g = graph::empty_graph(kTagBits);
+  const int items = env_knob("GVC_TORTURE_ITEMS", 20000) / 2;
+  const int capacity = 32;
+  const int thieves = std::max(1, max_thieves() - 1);
+
+  StealDeque deque(g.num_vertices(), capacity, thieves + 2);
+  std::atomic<int> consumed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    std::uint64_t last_pushes = 0, last_pops = 0, last_steals = 0;
+    int last_high = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t pushes = deque.pushes();
+      const std::uint64_t pops = deque.pops();
+      const std::uint64_t steals = deque.steals_suffered();
+      const int high = deque.high_water();
+      EXPECT_GE(pushes, last_pushes);
+      EXPECT_GE(pops, last_pops);
+      EXPECT_GE(steals, last_steals);
+      EXPECT_GE(high, last_high);
+      EXPECT_LE(high, capacity);
+      EXPECT_LE(pushes, static_cast<std::uint64_t>(items));
+      EXPECT_GE(deque.size_approx(), 0);
+      last_pushes = pushes;
+      last_pops = pops;
+      last_steals = steals;
+      last_high = high;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      DegreeArray out;
+      while (consumed.load(std::memory_order_relaxed) < items) {
+        if (deque.try_steal_top(out))
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        else
+          std::this_thread::yield();
+      }
+    });
+  }
+  DegreeArray out;
+  for (int i = 0; i < items; ++i) {
+    while (deque.size_approx() >= capacity) std::this_thread::yield();
+    deque.push_bottom(make_tagged(g, static_cast<std::uint32_t>(i)));
+    if ((i & 7) == 0 && deque.try_pop_bottom(out))
+      consumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (consumed.load(std::memory_order_relaxed) < items) {
+    if (deque.try_pop_bottom(out))
+      consumed.fetch_add(1, std::memory_order_relaxed);
+    else
+      std::this_thread::yield();
+  }
+  for (auto& t : pool) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(deque.pushes(), static_cast<std::uint64_t>(items));
+  EXPECT_EQ(deque.pops() + deque.steals_suffered(),
+            static_cast<std::uint64_t>(items));
+}
+
+}  // namespace
+}  // namespace gvc::worklist

@@ -100,8 +100,11 @@ TEST(StealDeque, HighWaterTracksDeepestFill) {
 }
 
 TEST(StealDeque, FootprintMatchesPreallocation) {
+  // The pool carries capacity + steal_headroom slots (default headroom 8).
   StealDeque d(100, 7);
-  EXPECT_EQ(d.footprint_bytes(), 7ll * 100 * 4);
+  EXPECT_EQ(d.footprint_bytes(), (7ll + 8) * 100 * 4);
+  StealDeque tight(100, 7, /*steal_headroom=*/2);
+  EXPECT_EQ(tight.footprint_bytes(), (7ll + 2) * 100 * 4);
 }
 
 TEST(StealDequeDeathTest, OverflowAborts) {

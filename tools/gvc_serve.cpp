@@ -28,6 +28,10 @@
 //   --scale S              smoke|default|large catalog scale (default smoke)
 //   --branch-state S       undotrail|copy backtracking for every job's
 //                          solve (default undotrail; identical results)
+//   --advertise-interval K WorkStealing jobs in undotrail mode: also
+//                          advertise the neighbors child every K-th branch
+//                          (default 0 = only when the own deque is empty;
+//                          part of the cache key — K reorders traversals)
 //   --time-limit S         per-job solve budget (default 0 = none)
 //   --min-cache-seconds S  cost-aware cache admission: skip storing solves
 //                          cheaper than S seconds (default 0 = store all)
@@ -141,6 +145,8 @@ int main(int argc, char** argv) {
     return 64;
   }
   base.config.branch_state = *branch_state;
+  base.config.advertise_interval =
+      static_cast<int>(args.get_int("advertise-interval", 0));
   const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
 
   service::ServiceOptions opts;

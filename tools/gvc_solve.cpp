@@ -13,6 +13,10 @@
 //   --branch-state S     undotrail|copy (default undotrail — O(changed)
 //                        apply/undo backtracking; copy is the paper's
 //                        copy-on-branch design; both produce the same tree)
+//   --advertise-interval K  WorkStealing + undotrail only: also advertise
+//                        the neighbors child every K-th branch so thieves
+//                        see more than the lazily-advertised node
+//                        (default 0 = only when the own deque is empty)
 //   --grid N             force the grid size (default: occupancy plan)
 //   --block-size N       force the block size in the §IV-E plan
 //   --worklist-capacity N   Hybrid/GlobalOnly queue entries (default 4096)
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
     return 64;
   }
   config.branch_state = *branch_state;
+  config.advertise_interval =
+      static_cast<int>(args.get_int("advertise-interval", 0));
   config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   config.grid_override = static_cast<int>(args.get_int("grid", 0));
   config.block_size_override =
