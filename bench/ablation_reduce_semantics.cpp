@@ -30,11 +30,19 @@ int main(int argc, char** argv) {
   struct Variant {
     const char* name;
     vc::ReduceSemantics semantics;
+    vc::KernelDispatch dispatch;
   };
   const Variant kVariants[] = {
-      {"serial", vc::ReduceSemantics::kSerial},
-      {"sweep", vc::ReduceSemantics::kParallelSweep},
-      {"incremental", vc::ReduceSemantics::kIncremental},
+      {"serial", vc::ReduceSemantics::kSerial, vc::KernelDispatch::kGeneric},
+      {"sweep", vc::ReduceSemantics::kParallelSweep,
+       vc::KernelDispatch::kGeneric},
+      {"incremental", vc::ReduceSemantics::kIncremental,
+       vc::KernelDispatch::kGeneric},
+      // The full fast path: candidate-driven rules THROUGH the
+      // shape-specialized kernels picked at adoption time. Same tree as
+      // serial by contract — the node column cross-checks it.
+      {"inc+dispatch", vc::ReduceSemantics::kIncremental,
+       vc::KernelDispatch::kAuto},
   };
   const char* kInstances[] = {"p_hat_300_3", "p_hat_500_1", "US_power_grid",
                               "LastFM_Asia", "Sister_Cities"};
@@ -54,6 +62,7 @@ int main(int argc, char** argv) {
     for (const auto& variant : kVariants) {
       vc::SequentialConfig config;
       config.semantics = variant.semantics;
+      config.kernel_dispatch = variant.dispatch;
       vc::SolveControl budget(env.runner_options.limits);
       auto r = vc::solve_sequential(inst.graph(), config, &budget);
       if (variant.semantics == vc::ReduceSemantics::kSerial) {

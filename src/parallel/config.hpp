@@ -92,6 +92,18 @@ struct ParallelConfig {
   /// like Limits it stays OUT of the result-cache key.
   vc::BranchStateMode branch_state = vc::BranchStateMode::kUndoTrail;
 
+  /// Shape-specialized reduce kernels (see vc/reductions.hpp): each block
+  /// classifies the node it adopts and reduces through kernels compiled for
+  /// exactly that shape. Execution policy — bit-identical trees to kGeneric
+  /// by contract — so like branch_state it stays OUT of the result-cache
+  /// key.
+  vc::KernelDispatch kernel_dispatch = vc::KernelDispatch::kAuto;
+
+  /// max_degree_vertex() backend (see vc/degree_buckets.hpp). Both backends
+  /// return the same smallest-id argmax, so this too is execution policy
+  /// and stays out of the cache key.
+  vc::MaxDegreeBackend max_degree_backend = vc::MaxDegreeBackend::kCachedHint;
+
   /// Force a block size in the occupancy plan (0 = let §IV-E choose).
   int block_size_override = 0;
 

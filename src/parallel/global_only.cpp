@@ -99,6 +99,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
           }
           ctx.activities().add(Activity::kWorklistRemove, elapsed);
         }
+        adopt_node(config, da, ws);  // fresh standalone node (spill or global)
       }
       have_node = false;
 

@@ -107,6 +107,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
             return;
           }
           ctx.activities().add(Activity::kWorklistRemove, elapsed);
+          adopt_node(config, da, ws);  // adopted a donated node
         }
       }
       enter = false;
@@ -175,7 +176,9 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
           ActivityScope scope(ctx.activities(), Activity::kStackPop);
           popped = stack.try_pop(da);
         }
-        if (!popped) {
+        if (popped) {
+          adopt_node(config, da, ws);  // fresh standalone node
+        } else {
           // CPU time, like every activity: contention/polling cost is
           // charged, sleep-waiting is free (an idle SM). See EXPERIMENTS.md
           // for how this maps onto the paper's Fig. 6 waiting share.
@@ -188,6 +191,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
             return;
           }
           ctx.activities().add(Activity::kWorklistRemove, elapsed);
+          adopt_node(config, da, ws);  // adopted a donated node
         }
       }
 

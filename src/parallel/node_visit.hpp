@@ -18,6 +18,17 @@ namespace gvc::parallel {
 
 enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
 
+/// A block picked up a root or donated node (worklist removal, steal, stack
+/// pop): invalidate the workspace's cached KernelTag so the next reduce()
+/// re-classifies for the adopted lineage, and rebuild/re-attach the degree
+/// buckets when that max-degree backend is selected. Every pickup site of
+/// the four block solvers calls this — it is the "connection time" of the
+/// dispatch design (see vc/kernel_dispatch.hpp).
+inline void adopt_node(const ParallelConfig& config, vc::DegreeArray& da,
+                       vc::ReduceWorkspace& workspace) {
+  vc::adopt_node(da, workspace, config.max_degree_backend);
+}
+
 /// One visit: account the node against the shared limits, reduce, stopping
 /// condition (§II-B), cover check, branch selection. On kBranch, vmax_out
 /// holds the branching vertex. On kFound the cover has already been offered
@@ -37,7 +48,7 @@ inline NodeOutcome process_node(const graph::CsrGraph& g,
   const vc::BudgetPolicy policy = mvc ? vc::BudgetPolicy::mvc(shared.best())
                                       : vc::BudgetPolicy::pvc(config.k);
   vc::reduce(g, da, policy, config.semantics, config.rules, &ctx.activities(),
-             &workspace);
+             &workspace, config.kernel_dispatch);
 
   const std::int64_t s = da.solution_size();
   const std::int64_t e = da.num_edges();

@@ -63,6 +63,7 @@ ParallelResult solve_stack_only(const CsrGraph& g,
     vc::ReduceWorkspace local_ws;  // per-block reduce scratch (cold path)
     vc::ReduceWorkspace& ws =
         workspace ? workspace->block(ctx.block_id()) : local_ws;
+    adopt_node(config, da, ws);        // root pickup
     NodeBatch nodes(shared);           // batched node accounting (limits)
     device::NodeCounter visited(ctx);  // batched Fig. 5 node counting
     Vertex vmax = -1;
@@ -117,8 +118,11 @@ ParallelResult solve_stack_only(const CsrGraph& g,
     vc::DegreeArray child;
     for (;;) {
       if (!have_node) {
-        ActivityScope scope(ctx.activities(), Activity::kStackPop);
-        if (!stack.try_pop(da)) break;  // sub-tree exhausted
+        {
+          ActivityScope scope(ctx.activities(), Activity::kStackPop);
+          if (!stack.try_pop(da)) break;  // sub-tree exhausted
+        }
+        adopt_node(config, da, ws);  // fresh standalone node
       }
       if (!mvc && shared.pvc_found()) return;
 

@@ -221,6 +221,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
             ctx.activities().add(Activity::kWorklistRemove, elapsed);
             steals_total.fetch_add(1, std::memory_order_relaxed);
           }
+          adopt_node(config, da, ws);  // fresh standalone node (pop or steal)
         }
       }
       enter = false;
@@ -317,6 +318,7 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
           ctx.activities().add(Activity::kWorklistRemove, elapsed);
           steals_total.fetch_add(1, std::memory_order_relaxed);
         }
+        adopt_node(config, da, ws);  // fresh standalone node (pop or steal)
       }
 
       Vertex vmax = -1;

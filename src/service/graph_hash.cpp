@@ -68,7 +68,11 @@ std::uint64_t solve_config_hash(parallel::Method method,
   // budgets should share one entry. config.branch_state is skipped for the
   // same reason: kCopy and kUndoTrail are bit-identical by contract (the
   // differential suite enforces it), so the mode is execution policy, not
-  // part of the answer's identity. config.advertise_interval does NOT get
+  // part of the answer's identity. config.kernel_dispatch and
+  // config.max_degree_backend are skipped under the same contract: every
+  // specialized reduce kernel and both max-degree backends produce
+  // bit-identical trees (the dispatch differential suite enforces it), so
+  // neither knob changes the answer. config.advertise_interval does NOT get
   // that exemption: finite K deterministically changes tree_nodes, the
   // worklist counters, and possibly which optimal cover is returned, so
   // records from different K values are distinct answers.

@@ -50,6 +50,7 @@ using graph::CsrGraph;
 using graph::Vertex;
 
 class UndoTrail;
+class DegreeBuckets;
 
 class DegreeArray {
  public:
@@ -178,6 +179,16 @@ class DegreeArray {
   void attach_trail(UndoTrail* trail) { trail_.set(trail); }
   UndoTrail* trail() const { return trail_.get(); }
 
+  /// Attaches a degree-buckets structure (MaxDegreeBackend::kBuckets):
+  /// every subsequent degree mutation — including undo-trail rollbacks —
+  /// keeps it in sync, and max_degree_vertex() answers from it. The caller
+  /// must have build()-ed the buckets against this array's CURRENT state
+  /// first. Pass nullptr to detach. Like the trail, the attachment is an
+  /// acceleration, never value state: copies and moves start detached, and
+  /// operator== ignores it.
+  void attach_buckets(DegreeBuckets* buckets) { buckets_.set(buckets); }
+  DegreeBuckets* buckets() const { return buckets_.get(); }
+
   /// Bitmask of candidate-driven rules whose fixpoint the last incremental
   /// reduction established on this lineage (and whose candidates the log
   /// has captured since). A rule whose bit is unset — never run, or
@@ -211,26 +222,30 @@ class DegreeArray {
   /// The trail reads and restores every private field on rollback.
   friend class UndoTrail;
 
-  /// Non-propagating pointer to the attached trail: copy/move CONSTRUCTION
-  /// yields a detached member, copy/move ASSIGNMENT keeps the destination's
-  /// attachment — the trail-sharing rule in type form, so DegreeArray's
-  /// special members can all be `= default`.
-  class TrailRef {
+  /// Non-propagating pointer to an attached acceleration (the undo trail,
+  /// the optional degree buckets): copy/move CONSTRUCTION yields a detached
+  /// member, copy/move ASSIGNMENT keeps the destination's attachment — the
+  /// sharing rule in type form, so DegreeArray's special members can all be
+  /// `= default`. (Historically named TrailRef; the buckets attachment
+  /// follows the identical rule, hence the shared template.)
+  template <typename T>
+  class AccelRef {
    public:
-    TrailRef() = default;
-    TrailRef(const TrailRef&) {}
-    TrailRef(TrailRef&&) noexcept {}
-    TrailRef& operator=(const TrailRef&) { return *this; }
-    TrailRef& operator=(TrailRef&&) noexcept { return *this; }
+    AccelRef() = default;
+    AccelRef(const AccelRef&) {}
+    AccelRef(AccelRef&&) noexcept {}
+    AccelRef& operator=(const AccelRef&) { return *this; }
+    AccelRef& operator=(AccelRef&&) noexcept { return *this; }
 
-    void set(UndoTrail* trail) { ptr_ = trail; }
-    UndoTrail* get() const { return ptr_; }
+    void set(T* ptr) { ptr_ = ptr; }
+    T* get() const { return ptr_; }
 
    private:
-    UndoTrail* ptr_ = nullptr;
+    T* ptr_ = nullptr;
   };
+  using TrailRef = AccelRef<UndoTrail>;
 
-  template <bool kTrack, bool kTrail>
+  template <bool kTrack, bool kTrail, bool kBuckets>
   void decrement_neighbors(const CsrGraph& g, Vertex v);
 
   std::vector<std::int32_t> deg_;
@@ -254,8 +269,9 @@ class DegreeArray {
   std::size_t dirty_cap_ = 0;
   std::vector<Vertex> dirty_;
 
-  /// Not owned; never copied or moved with the value (see TrailRef).
+  /// Not owned; never copied or moved with the value (see AccelRef).
   TrailRef trail_;
+  AccelRef<DegreeBuckets> buckets_;
 };
 
 }  // namespace gvc::vc

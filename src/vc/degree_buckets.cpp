@@ -1,0 +1,73 @@
+#include "vc/degree_buckets.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gvc::vc {
+
+void DegreeBuckets::build(const DegreeArray& da) {
+  const std::size_t n = static_cast<std::size_t>(da.num_vertices());
+  std::int32_t maxd = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    maxd = std::max(maxd, da.raw()[v]);
+  buckets_.assign(static_cast<std::size_t>(maxd) + 1, {});
+  pos_.assign(n, 0);
+  cur_.assign(da.raw().begin(), da.raw().end());
+  top_ = -1;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t d = cur_[v];
+    if (d == DegreeArray::kInSolution) continue;
+    pos_[v] = static_cast<std::uint32_t>(bucket(d).size());
+    bucket(d).push_back(static_cast<Vertex>(v));
+    top_ = std::max(top_, d);
+  }
+  built_ = true;
+}
+
+void DegreeBuckets::clear() {
+  buckets_.clear();
+  pos_.clear();
+  cur_.clear();
+  top_ = -1;
+  built_ = false;
+}
+
+void DegreeBuckets::bucket_erase(Vertex v, std::int32_t d) {
+  std::vector<Vertex>& b = bucket(d);
+  const std::uint32_t i = pos_[static_cast<std::size_t>(v)];
+  const Vertex last = b.back();
+  b[i] = last;
+  pos_[static_cast<std::size_t>(last)] = i;
+  b.pop_back();
+}
+
+void DegreeBuckets::bucket_insert(Vertex v, std::int32_t d) {
+  if (static_cast<std::size_t>(d) >= buckets_.size())
+    buckets_.resize(static_cast<std::size_t>(d) + 1);
+  pos_[static_cast<std::size_t>(v)] = static_cast<std::uint32_t>(bucket(d).size());
+  bucket(d).push_back(v);
+  if (d > top_) top_ = d;
+}
+
+void DegreeBuckets::set_degree(Vertex v, std::int32_t d) {
+  const std::int32_t old = cur_[static_cast<std::size_t>(v)];
+  if (old == d) return;
+  if (old != DegreeArray::kInSolution) bucket_erase(v, old);
+  if (d != DegreeArray::kInSolution) bucket_insert(v, d);
+  cur_[static_cast<std::size_t>(v)] = d;
+}
+
+Vertex DegreeBuckets::max_degree_vertex() const {
+  while (top_ >= 0 && buckets_[static_cast<std::size_t>(top_)].empty()) --top_;
+  if (top_ < 0) return -1;
+  const std::vector<Vertex>& b = buckets_[static_cast<std::size_t>(top_)];
+  return *std::min_element(b.begin(), b.end());
+}
+
+std::int32_t DegreeBuckets::max_degree() const {
+  while (top_ >= 0 && buckets_[static_cast<std::size_t>(top_)].empty()) --top_;
+  return top_ < 0 ? 0 : top_;
+}
+
+}  // namespace gvc::vc

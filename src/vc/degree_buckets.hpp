@@ -1,0 +1,70 @@
+#pragma once
+
+// Bucketed max-degree structure — the alternative max_degree_vertex()
+// backend behind MaxDegreeBackend::kBuckets.
+//
+// One bucket (an unordered swap-remove vector) per degree value, plus each
+// vertex's position inside its bucket, maintained on EVERY degree change:
+// a decrement moves the vertex down one bucket in O(1), a removal takes it
+// out, an undo-trail rollback re-inserts it at the restored degree. The
+// max query walks a lazily-lowered top cursor to the highest non-empty
+// bucket and scans it for the smallest id — the scan is what buys the
+// paper's smallest-id-on-ties determinism, so the structure answers
+// max_degree_vertex() EXACTLY like the lazily-tightened cache does and the
+// two backends produce bit-identical search trees.
+//
+// The trade measured in bench/micro_reductions (BM_MaxDegreeBackend): the
+// buckets pay O(1) bookkeeping on every one of the O(|E|)-per-node degree
+// decrements to make the (one-per-node) max query cheap, while the cached
+// hint pays nothing on the hot decrement path and amortizes its occasional
+// rescans. Attach via DegreeArray::attach_buckets — the attachment is an
+// acceleration, never value state, and follows the trail's sharing rule
+// (copies start detached; see DegreeArray's copy-semantics note).
+
+#include <cstdint>
+#include <vector>
+
+#include "vc/degree_array.hpp"
+
+namespace gvc::vc {
+
+class DegreeBuckets {
+ public:
+  /// Rebuilds the structure for `da`'s current state: O(|V| + max degree).
+  /// Solvers call this when a block adopts a node (the incoming value
+  /// replaced the array wholesale, like UndoTrail::reset on adoption).
+  void build(const DegreeArray& da);
+
+  bool built() const { return built_; }
+  void clear();
+
+  /// Tracks one degree change: moves v to bucket `d`, removing it when
+  /// d == DegreeArray::kInSolution and re-inserting (the rollback path)
+  /// when it was removed. O(1). Called by DegreeArray mutations and
+  /// UndoTrail::rollback while attached.
+  void set_degree(Vertex v, std::int32_t d);
+
+  /// Present vertex of maximum degree, smallest id on ties; -1 if none.
+  /// Matches DegreeArray's scan answer exactly.
+  Vertex max_degree_vertex() const;
+
+  /// Maximum current degree (0 when no vertex is present).
+  std::int32_t max_degree() const;
+
+ private:
+  std::vector<Vertex>& bucket(std::int32_t d) {
+    return buckets_[static_cast<std::size_t>(d)];
+  }
+  void bucket_erase(Vertex v, std::int32_t d);
+  void bucket_insert(Vertex v, std::int32_t d);
+
+  std::vector<std::vector<Vertex>> buckets_;  ///< buckets_[d] = vertices, unordered
+  std::vector<std::uint32_t> pos_;            ///< index of v inside its bucket
+  std::vector<std::int32_t> cur_;             ///< v's degree, or kInSolution
+  /// Every bucket above top_ is empty; lowered lazily by queries, raised
+  /// eagerly by inserts (rollback can re-raise degrees).
+  mutable std::int32_t top_ = -1;
+  bool built_ = false;
+};
+
+}  // namespace gvc::vc

@@ -179,6 +179,206 @@ std::int64_t high_degree_sweep(const CsrGraph& g, DegreeArray& da,
   return removed;
 }
 
+template <typename Fn>
+auto timed(util::ActivityAccumulator* acc, util::Activity a, Fn&& fn) {
+  if (!acc) return fn();
+  util::ActivityScope scope(*acc, a);
+  return fn();
+}
+
+// --- shape-specialized sweep kernels (KernelDispatch::kAuto) ----------------
+//
+// The u8/u16 sweep kernels mirror the generic int32 functions above line for
+// line; the only change is the snapshot encoding. A removed vertex is
+// encoded as 0 instead of kInSolution, which collides with "present at
+// degree 0" — but everywhere the sweeps test presence it is for a NEIGHBOR
+// of a vertex that was present in the same snapshot, and a present vertex
+// with a present neighbor has snapshot degree >= 1. So `snap[u] != 0` is an
+// exact presence test in every context below, and the high-degree skip
+// `d == 0 || d <= budget` matches the generic `d == kInSolution ||
+// d <= budget` because the loop only runs with budget >= 0.
+
+std::vector<std::uint8_t>& narrow_snapshot(ReduceWorkspace& ws, std::uint8_t) {
+  return ws.snapshot8;
+}
+std::vector<std::uint16_t>& narrow_snapshot(ReduceWorkspace& ws,
+                                            std::uint16_t) {
+  return ws.snapshot16;
+}
+
+template <typename SnapT>
+void take_narrow_snapshot(const DegreeArray& da, std::vector<SnapT>& snap) {
+  const std::vector<std::int32_t>& raw = da.raw();
+  snap.resize(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::int32_t d = raw[i];
+    snap[i] = d == DegreeArray::kInSolution ? SnapT{0} : static_cast<SnapT>(d);
+  }
+}
+
+template <typename SnapT>
+Vertex unique_present_neighbor_narrow(const CsrGraph& g,
+                                      const std::vector<SnapT>& snap,
+                                      Vertex v) {
+  for (Vertex u : g.neighbors(v))
+    if (snap[static_cast<std::size_t>(u)] != 0) return u;
+  GVC_CHECK_MSG(false, "degree-one vertex with no present neighbor");
+  return -1;
+}
+
+template <typename SnapT>
+bool two_present_neighbors_narrow(const CsrGraph& g,
+                                  const std::vector<SnapT>& snap, Vertex v,
+                                  Vertex& a, Vertex& b) {
+  int found = 0;
+  for (Vertex u : g.neighbors(v)) {
+    if (snap[static_cast<std::size_t>(u)] == 0) continue;
+    if (found == 0) a = u;
+    else if (found == 1) b = u;
+    else return false;
+    ++found;
+  }
+  return found == 2;
+}
+
+template <typename SnapT>
+bool sweep_triangle_qualifies_narrow(const CsrGraph& g,
+                                     const std::vector<SnapT>& snap,
+                                     Vertex x) {
+  if (snap[static_cast<std::size_t>(x)] != 2) return false;
+  Vertex a = -1, b = -1;
+  if (!two_present_neighbors_narrow(g, snap, x, a, b)) return false;
+  return g.has_edge(a, b);
+}
+
+template <typename SnapT>
+std::int64_t degree_one_sweep_narrow(const CsrGraph& g, DegreeArray& da,
+                                     std::vector<SnapT>& snap) {
+  std::int64_t removed = 0;
+  for (;;) {
+    take_narrow_snapshot(da, snap);
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (snap[static_cast<std::size_t>(v)] != 1) continue;
+      Vertex u = unique_present_neighbor_narrow(g, snap, v);
+      if (snap[static_cast<std::size_t>(u)] == 1 && u > v) continue;
+      if (da.present(u)) {
+        da.remove_into_solution(g, u);
+        ++this_sweep;
+      }
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+template <typename SnapT>
+std::int64_t degree_two_sweep_narrow(const CsrGraph& g, DegreeArray& da,
+                                     std::vector<SnapT>& snap) {
+  std::int64_t removed = 0;
+  for (;;) {
+    take_narrow_snapshot(da, snap);
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      if (!sweep_triangle_qualifies_narrow(g, snap, v)) continue;
+      Vertex a = -1, b = -1;
+      GVC_CHECK(two_present_neighbors_narrow(g, snap, v, a, b));
+      if ((sweep_triangle_qualifies_narrow(g, snap, a) && a < v) ||
+          (sweep_triangle_qualifies_narrow(g, snap, b) && b < v))
+        continue;
+      if (da.present(a)) { da.remove_into_solution(g, a); ++this_sweep; }
+      if (da.present(b)) { da.remove_into_solution(g, b); ++this_sweep; }
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+template <typename SnapT>
+std::int64_t high_degree_sweep_narrow(const CsrGraph& g, DegreeArray& da,
+                                      const BudgetPolicy& policy,
+                                      std::vector<SnapT>& snap) {
+  std::int64_t removed = 0;
+  for (;;) {
+    std::int64_t budget = policy.budget(da.solution_size());
+    if (budget == std::numeric_limits<std::int64_t>::max()) break;
+    if (budget < 0) break;
+    take_narrow_snapshot(da, snap);
+    std::int64_t this_sweep = 0;
+    for (Vertex v = 0; v < da.num_vertices(); ++v) {
+      const std::int64_t d = snap[static_cast<std::size_t>(v)];
+      if (d == 0 || d <= budget) continue;
+      da.remove_into_solution(g, v);
+      ++this_sweep;
+    }
+    removed += this_sweep;
+    if (this_sweep == 0) break;
+  }
+  return removed;
+}
+
+/// One sweep-semantics fixpoint round loop, specialized on snapshot width
+/// and the enabled-rule mask — the inner loops carry no dead rule branches
+/// and no per-entry width conversions beyond the snapshot take itself.
+template <typename SnapT, bool D1, bool D2, bool HD>
+ReduceStats reduce_sweep_pass(const CsrGraph& g, DegreeArray& da,
+                              const BudgetPolicy& policy,
+                              util::ActivityAccumulator* acc,
+                              ReduceWorkspace& ws) {
+  std::vector<SnapT>& snap = narrow_snapshot(ws, SnapT{});
+  ReduceStats stats;
+  std::int64_t round_removed;
+  do {
+    round_removed = 0;
+    if constexpr (D1) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeOneRule, [&] {
+        return degree_one_sweep_narrow<SnapT>(g, da, snap);
+      });
+      stats.degree_one_removed += n;
+      round_removed += n;
+    }
+    if constexpr (D2) {
+      std::int64_t n = timed(acc, util::Activity::kDegreeTwoTriangleRule, [&] {
+        return degree_two_sweep_narrow<SnapT>(g, da, snap);
+      });
+      stats.degree_two_removed += n;
+      round_removed += n;
+    }
+    if constexpr (HD) {
+      std::int64_t n = timed(acc, util::Activity::kHighDegreeRule, [&] {
+        return high_degree_sweep_narrow<SnapT>(g, da, policy, snap);
+      });
+      stats.high_degree_removed += n;
+      round_removed += n;
+    }
+    ++stats.rounds;
+  } while (round_removed > 0);
+  return stats;
+}
+
+/// Dispatch-table row for one snapshot width. Mask bits here index the
+/// RuleSet (1 = degree-one, 2 = degree-two-triangle, 4 = high-degree) — not
+/// to be confused with the kRuleBit* fixpoint bits, where bit 4 is the
+/// domination rule.
+template <typename SnapT>
+ReduceStats sweep_pass_for_mask(std::uint8_t m, const CsrGraph& g,
+                                DegreeArray& da, const BudgetPolicy& policy,
+                                util::ActivityAccumulator* acc,
+                                ReduceWorkspace& ws) {
+  switch (m & 7u) {
+    case 0: return reduce_sweep_pass<SnapT, false, false, false>(g, da, policy, acc, ws);
+    case 1: return reduce_sweep_pass<SnapT, true, false, false>(g, da, policy, acc, ws);
+    case 2: return reduce_sweep_pass<SnapT, false, true, false>(g, da, policy, acc, ws);
+    case 3: return reduce_sweep_pass<SnapT, true, true, false>(g, da, policy, acc, ws);
+    case 4: return reduce_sweep_pass<SnapT, false, false, true>(g, da, policy, acc, ws);
+    case 5: return reduce_sweep_pass<SnapT, true, false, true>(g, da, policy, acc, ws);
+    case 6: return reduce_sweep_pass<SnapT, false, true, true>(g, da, policy, acc, ws);
+    default: return reduce_sweep_pass<SnapT, true, true, true>(g, da, policy, acc, ws);
+  }
+}
+
 // --- incremental engine -----------------------------------------------------
 
 /// Runs one rule to its fixpoint over the candidate worklist, reproducing
@@ -313,19 +513,12 @@ std::int64_t high_degree_incremental(const CsrGraph& g, DegreeArray& da,
   return high_degree_serial(g, da, policy);
 }
 
-template <typename Fn>
-auto timed(util::ActivityAccumulator* acc, util::Activity a, Fn&& fn) {
-  if (!acc) return fn();
-  util::ActivityScope scope(*acc, a);
-  return fn();
-}
-
 ReduceStats reduce_incremental(const CsrGraph& g, DegreeArray& da,
                                const BudgetPolicy& policy, const RuleSet& rules,
                                util::ActivityAccumulator* acc,
                                ReduceWorkspace& ws) {
-  constexpr std::uint8_t kDegreeOneBit = 1;
-  constexpr std::uint8_t kDegreeTwoBit = 2;
+  constexpr std::uint8_t kDegreeOneBit = kRuleBitDegreeOne;
+  constexpr std::uint8_t kDegreeTwoBit = kRuleBitDegreeTwo;
 
   ReduceStats stats;
   // A rule may trust the dirty log only if its own fixpoint was part of the
@@ -385,6 +578,265 @@ ReduceStats reduce_incremental(const CsrGraph& g, DegreeArray& da,
       static_cast<std::uint8_t>((rules.degree_one ? kDegreeOneBit : 0) |
                                 (rules.degree_two_triangle ? kDegreeTwoBit : 0)));
   return stats;
+}
+
+// --- shape-specialized incremental pass (KernelDispatch::kAuto) -------------
+
+enum class SeedMode {
+  kScan,  ///< one full linear scan for the trigger degree (first reduction)
+  kList,  ///< seed from a fused-scan list, then drain the log from `cursor`
+  kLog,   ///< drain the log from `cursor` only (fixpoint inherited)
+};
+
+/// run_incremental_rule with two extensions, equivalence preserved:
+///
+///   * Per-rule pending bits instead of the 0/1 stamp — stamps are set at
+///     run time only and every one is cleared again by loop exit, so the
+///     schemes interoperate on a shared buffer; the bits merely keep rules
+///     from ever aliasing each other's marks.
+///   * SeedMode::kList — the caller collected this rule's trigger list with
+///     a fused scan BEFORE earlier rules of the same reduce call ran, and
+///     set `cursor` to the log size as of that scan. Seeding re-filters the
+///     list against CURRENT degrees and then drains the log from `cursor`
+///     into the current pass (pos = -1): any vertex at the trigger degree
+///     now either already was at the scan (in the list) or changed degree
+///     since (in the drained log suffix), so the heap holds exactly the set
+///     a fresh kScan would collect — and a min-heap pops it in the same
+///     ascending order regardless of insertion order.
+template <typename TryApply>
+std::int64_t run_rule_pass(DegreeArray& da, ReduceWorkspace& ws,
+                           std::size_t& cursor, SeedMode mode,
+                           const std::vector<Vertex>* seed_list,
+                           std::int32_t trigger_degree, std::uint8_t pend_bit,
+                           TryApply&& try_apply) {
+  const std::vector<Vertex>& log = da.dirty();  // stable object; may regrow
+  const std::vector<std::int32_t>& deg = da.raw();
+  auto& heap = ws.heap;
+  auto& next = ws.next;
+  auto& pending = ws.pending;
+  heap.clear();
+  next.clear();
+  if (pending.size() < deg.size()) pending.assign(deg.size(), 0);
+  const auto by_min = std::greater<Vertex>();
+  auto push = [&](Vertex v) {
+    heap.push_back(v);
+    std::push_heap(heap.begin(), heap.end(), by_min);
+  };
+  auto enqueue = [&](Vertex w, Vertex pos) {
+    if (deg[static_cast<std::size_t>(w)] != trigger_degree) return;
+    auto& mark = pending[static_cast<std::size_t>(w)];
+    if (mark & pend_bit) return;
+    mark |= pend_bit;
+    if (w > pos)
+      push(w);  // the serial scan of this pass would still reach w
+    else
+      next.push_back(w);
+  };
+
+  switch (mode) {
+    case SeedMode::kScan: {
+      cursor = log.size();
+      const Vertex n = da.num_vertices();
+      for (Vertex v = 0; v < n; ++v) {
+        if (deg[static_cast<std::size_t>(v)] == trigger_degree) {
+          pending[static_cast<std::size_t>(v)] |= pend_bit;
+          heap.push_back(v);  // ascending ids: already a valid min-heap
+        }
+      }
+      break;
+    }
+    case SeedMode::kList:
+      for (Vertex v : *seed_list) {
+        if (deg[static_cast<std::size_t>(v)] != trigger_degree) continue;
+        auto& mark = pending[static_cast<std::size_t>(v)];
+        if (mark & pend_bit) continue;
+        mark |= pend_bit;
+        heap.push_back(v);  // seed lists ascend: still a valid min-heap
+      }
+      [[fallthrough]];
+    case SeedMode::kLog:
+      for (; cursor < log.size(); ++cursor) enqueue(log[cursor], -1);
+      break;
+  }
+
+  std::int64_t removed = 0;
+  for (;;) {
+    if (heap.empty()) {
+      if (next.empty()) break;
+      for (Vertex v : next) push(v);  // start the next pass
+      next.clear();
+    }
+    std::pop_heap(heap.begin(), heap.end(), by_min);
+    const Vertex v = heap.back();
+    heap.pop_back();
+    pending[static_cast<std::size_t>(v)] &= static_cast<std::uint8_t>(~pend_bit);
+    const std::int64_t n = try_apply(v);
+    if (n == 0) continue;
+    removed += n;
+    for (; cursor < log.size(); ++cursor) enqueue(log[cursor], v);
+  }
+  return removed;
+}
+
+/// reduce_incremental specialized on the enabled-rule mask, with two
+/// shape-level savings on top:
+///
+///   * Whole-call dead fast path — when every enabled candidate rule is at
+///     its lineage fixpoint with no log candidate at its trigger and the
+///     O(1) budget gate proves high-degree cannot fire, the generic
+///     engine's first round would remove nothing and exit; reproduce its
+///     exit bookkeeping without seeding a single worklist. This is the
+///     classifier's live-rule skip evaluated against the CURRENT log (the
+///     adoption-time tag would be stale here — earlier branch mutations may
+///     have re-dirtied a trigger).
+///   * Fused seeding — the first reduction of a lineage collects both
+///     trigger lists in one linear scan (SeedMode::kList above).
+///
+/// Per-round, a rule at its fixpoint whose cursor has nothing left to drain
+/// is skipped as a provable no-op (its heap would seed empty).
+template <bool D1, bool D2, bool HD>
+ReduceStats reduce_incremental_pass(const CsrGraph& g, DegreeArray& da,
+                                    const BudgetPolicy& policy,
+                                    util::ActivityAccumulator* acc,
+                                    ReduceWorkspace& ws) {
+  constexpr std::uint8_t kFixpointMask =
+      static_cast<std::uint8_t>((D1 ? kRuleBitDegreeOne : 0) |
+                                (D2 ? kRuleBitDegreeTwo : 0));
+  ReduceStats stats;
+  if (!da.tracking()) da.enable_tracking();
+  if (da.dirty_overflowed()) {
+    da.clear_dirty();
+    da.set_reduce_fixpoint_mask(0);
+  }
+  const std::uint8_t mask = da.reduce_fixpoint_mask();
+  bool seeded1 = (mask & kRuleBitDegreeOne) != 0;
+  bool seeded2 = (mask & kRuleBitDegreeTwo) != 0;
+
+  if ((!D1 || seeded1) && (!D2 || seeded2)) {
+    bool cand1 = false, cand2 = false;
+    if constexpr (D1 || D2) {
+      const std::vector<std::int32_t>& deg = da.raw();
+      for (Vertex v : da.dirty()) {
+        const std::int32_t d = deg[static_cast<std::size_t>(v)];
+        cand1 |= d == 1;
+        cand2 |= d == 2;
+      }
+    }
+    bool hd_dead = true;
+    if constexpr (HD) {
+      const std::int64_t budget = policy.budget(da.solution_size());
+      hd_dead = budget == std::numeric_limits<std::int64_t>::max() ||
+                budget < 0 || da.max_degree_bound() <= budget;
+    }
+    if ((!D1 || !cand1) && (!D2 || !cand2) && hd_dead) {
+      stats.rounds = 1;
+      da.clear_dirty();
+      da.set_reduce_fixpoint_mask(kFixpointMask);
+      return stats;
+    }
+  }
+
+  da.suspend_dirty_cap();
+  std::size_t cursor1 = 0, cursor2 = 0;
+  bool list1 = false, list2 = false;
+  if constexpr (D1 && D2) {
+    if (!seeded1 && !seeded2) {
+      const std::vector<std::int32_t>& deg = da.raw();
+      ws.seed1.clear();
+      ws.seed2.clear();
+      const Vertex n = da.num_vertices();
+      for (Vertex v = 0; v < n; ++v) {
+        const std::int32_t d = deg[static_cast<std::size_t>(v)];
+        if (d == 1) ws.seed1.push_back(v);
+        else if (d == 2) ws.seed2.push_back(v);
+      }
+      cursor1 = cursor2 = da.dirty().size();
+      list1 = list2 = true;
+    }
+  }
+
+  const std::vector<Vertex>& log = da.dirty();
+  std::int64_t round_removed;
+  do {
+    round_removed = 0;
+    if constexpr (D1) {
+      const SeedMode mode = list1 ? SeedMode::kList
+                           : seeded1 ? SeedMode::kLog
+                                     : SeedMode::kScan;
+      if (mode != SeedMode::kLog || cursor1 < log.size()) {
+        std::int64_t n = timed(acc, util::Activity::kDegreeOneRule, [&] {
+          return run_rule_pass(
+              da, ws, cursor1, mode, &ws.seed1, 1, kRuleBitDegreeOne,
+              [&](Vertex v) -> std::int64_t {
+                if (!da.present(v) || da.degree(v) != 1) return 0;
+                Vertex u = unique_present_neighbor(g, da, nullptr, v);
+                da.remove_into_solution(g, u);
+                return 1;
+              });
+        });
+        stats.degree_one_removed += n;
+        round_removed += n;
+      }
+      seeded1 = true;
+      list1 = false;
+    }
+    if constexpr (D2) {
+      const SeedMode mode = list2 ? SeedMode::kList
+                           : seeded2 ? SeedMode::kLog
+                                     : SeedMode::kScan;
+      if (mode != SeedMode::kLog || cursor2 < log.size()) {
+        std::int64_t n = timed(acc, util::Activity::kDegreeTwoTriangleRule, [&] {
+          return run_rule_pass(
+              da, ws, cursor2, mode, &ws.seed2, 2, kRuleBitDegreeTwo,
+              [&](Vertex v) -> std::int64_t {
+                if (!da.present(v) || da.degree(v) != 2) return 0;
+                Vertex a = -1, b = -1;
+                if (!two_present_neighbors(g, da, nullptr, v, a, b)) return 0;
+                if (!g.has_edge(a, b)) return 0;
+                da.remove_into_solution(g, a);
+                da.remove_into_solution(g, b);
+                return 2;
+              });
+        });
+        stats.degree_two_removed += n;
+        round_removed += n;
+      }
+      seeded2 = true;
+      list2 = false;
+    }
+    if constexpr (HD) {
+      std::int64_t n = timed(acc, util::Activity::kHighDegreeRule, [&] {
+        return high_degree_incremental(g, da, policy);
+      });
+      stats.high_degree_removed += n;
+      round_removed += n;
+    }
+    ++stats.rounds;
+  } while (round_removed > 0);
+
+  da.clear_dirty();
+  da.restore_dirty_cap();
+  da.set_reduce_fixpoint_mask(kFixpointMask);
+  return stats;
+}
+
+/// Mask bits as in sweep_pass_for_mask: 1 = degree-one, 2 = degree-two,
+/// 4 = high-degree.
+ReduceStats incremental_pass_for_mask(std::uint8_t m, const CsrGraph& g,
+                                      DegreeArray& da,
+                                      const BudgetPolicy& policy,
+                                      util::ActivityAccumulator* acc,
+                                      ReduceWorkspace& ws) {
+  switch (m & 7u) {
+    case 0: return reduce_incremental_pass<false, false, false>(g, da, policy, acc, ws);
+    case 1: return reduce_incremental_pass<true, false, false>(g, da, policy, acc, ws);
+    case 2: return reduce_incremental_pass<false, true, false>(g, da, policy, acc, ws);
+    case 3: return reduce_incremental_pass<true, true, false>(g, da, policy, acc, ws);
+    case 4: return reduce_incremental_pass<false, false, true>(g, da, policy, acc, ws);
+    case 5: return reduce_incremental_pass<true, false, true>(g, da, policy, acc, ws);
+    case 6: return reduce_incremental_pass<false, true, true>(g, da, policy, acc, ws);
+    default: return reduce_incremental_pass<true, true, true>(g, da, policy, acc, ws);
+  }
 }
 
 /// Standalone incremental rule call: no prior fixpoint to lean on, so seed
@@ -481,48 +933,286 @@ std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
   return 0;
 }
 
-std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da) {
+namespace {
+
+// --- domination rule kernels ------------------------------------------------
+//
+// Three subset-check arms, one predicate: u dominates a present neighbor v
+// iff every present w ∈ N(v), w ≠ u, is adjacent to u (graph-level
+// adjacency — exactly what has_edge answers). The cheap deg(v) <= deg(u)
+// filter is implied by the predicate among present vertices, so applying it
+// in every arm changes nothing.
+
+/// Generic arm: one O(log deg) binary search per member probe.
+bool subset_binary(const CsrGraph& g, const DegreeArray& da, Vertex v,
+                   Vertex u) {
+  for (Vertex w : g.neighbors(v)) {
+    if (w == u || !da.present(w)) continue;
+    if (!g.has_edge(u, w)) return false;
+  }
+  return true;
+}
+
+/// Sparse arm: both adjacency lists are sorted ascending (a CSR invariant),
+/// so one two-pointer merge answers every probe of the pair.
+bool subset_merge(const CsrGraph& g, const DegreeArray& da, Vertex v,
+                  Vertex u) {
+  auto nu = g.neighbors(u);
+  auto it = nu.begin();
+  for (Vertex w : g.neighbors(v)) {
+    if (w == u || !da.present(w)) continue;
+    while (it != nu.end() && *it < w) ++it;
+    if (it == nu.end() || *it != w) return false;
+    ++it;
+  }
+  return true;
+}
+
+template <typename SubsetFn>
+bool dominates_some_neighbor(const CsrGraph& g, const DegreeArray& da,
+                             Vertex u, SubsetFn&& subset) {
+  const std::int32_t du = da.degree(u);
+  for (Vertex v : g.neighbors(u)) {
+    if (!da.present(v)) continue;
+    if (da.degree(v) > du) continue;  // cheap filter (implied by N[v] ⊆ N[u])
+    if (subset(v, u)) return true;
+  }
+  return false;
+}
+
+bool dominates_binary(const CsrGraph& g, const DegreeArray& da, Vertex u) {
+  return dominates_some_neighbor(g, da, u, [&](Vertex v, Vertex uu) {
+    return subset_binary(g, da, v, uu);
+  });
+}
+
+bool dominates_merge(const CsrGraph& g, const DegreeArray& da, Vertex u) {
+  return dominates_some_neighbor(g, da, u, [&](Vertex v, Vertex uu) {
+    return subset_merge(g, da, v, uu);
+  });
+}
+
+/// Dense arm: scatter N(u) into a bitset row once, answer every probe of
+/// every candidate pair with one branchless bit test, re-walk N(u) to
+/// clear. The row holds graph-level adjacency (presence-independent), so a
+/// probe matches has_edge exactly.
+bool dominates_bitset(const CsrGraph& g, const DegreeArray& da, Vertex u,
+                      std::vector<std::uint64_t>& bits) {
+  const std::size_t words =
+      (static_cast<std::size_t>(da.num_vertices()) + 63) / 64;
+  if (bits.size() < words) bits.assign(words, 0);
+  for (Vertex w : g.neighbors(u))
+    bits[static_cast<std::size_t>(w) >> 6] |= std::uint64_t{1} << (w & 63);
+  const bool hit = dominates_some_neighbor(g, da, u, [&](Vertex v, Vertex uu) {
+    for (Vertex w : g.neighbors(v)) {
+      if (w == uu || !da.present(w)) continue;
+      if (!(bits[static_cast<std::size_t>(w) >> 6] >> (w & 63) & 1))
+        return false;
+    }
+    return true;
+  });
+  for (Vertex w : g.neighbors(u))
+    bits[static_cast<std::size_t>(w) >> 6] &= ~(std::uint64_t{1} << (w & 63));
+  return hit;
+}
+
+/// The textbook engine: repeated ascending full scans until a scan changes
+/// nothing (same body as the pre-dispatch apply_domination).
+template <typename Dominates>
+std::int64_t domination_serial_engine(const CsrGraph& g, DegreeArray& da,
+                                      Dominates&& dominates) {
   std::int64_t removed = 0;
   bool changed = true;
   while (changed) {
     changed = false;
     for (Vertex u = 0; u < da.num_vertices(); ++u) {
       if (!da.present(u) || da.degree(u) == 0) continue;
-      // Does u dominate some present neighbor v? N[v] ⊆ N[u] iff every
-      // present neighbor of v other than u is also a neighbor of u.
-      bool dominates = false;
-      for (Vertex v : g.neighbors(u)) {
-        if (!da.present(v)) continue;
-        if (da.degree(v) > da.degree(u)) continue;  // cheap filter
-        bool subset = true;
-        for (Vertex w : g.neighbors(v)) {
-          if (w == u || !da.present(w)) continue;
-          if (!g.has_edge(u, w)) {
-            subset = false;
-            break;
-          }
-        }
-        if (subset) {
-          dominates = true;
-          break;
-        }
-      }
-      if (dominates) {
-        da.remove_into_solution(g, u);
-        ++removed;
-        changed = true;
-      }
+      if (!dominates(u)) continue;
+      da.remove_into_solution(g, u);
+      ++removed;
+      changed = true;
     }
   }
   return removed;
 }
 
+/// Candidate-driven engine, bit-identical to the serial one by the same
+/// pass-ordering construction as run_incremental_rule. The rule has no
+/// exact trigger degree; instead, candidate completeness comes from the
+/// predicate's locality: removing r changes "u dominates someone" only for
+/// u with r ∈ N(u) (u is dirty — it lost a neighbor) or with some
+/// v ∈ N(u) that lost r (that v is dirty, and u ∈ N(v)). So the feed per
+/// dirty vertex x is {x} ∪ N(x), filtered to present vertices of degree
+/// >= 1 (a degree-0 vertex has no neighbor to dominate — the serial scan
+/// skips it too).
+///
+/// Happy path: the lineage's previous domination fixpoint is recorded in
+/// the fixpoint mask (kRuleBitDomination) and the log captured every change
+/// since — seed from the log alone, NO full scan. The bit is deliberately
+/// revoked by the degree-1/2 engine (it overwrites the mask) because that
+/// engine also clears the log the bit's promise depends on; conversely this
+/// engine leaves the log intact (the degree rules' cursors still need it)
+/// and ORs its bit in.
+template <typename Dominates>
+std::int64_t domination_incremental_engine(const CsrGraph& g, DegreeArray& da,
+                                           ReduceWorkspace& ws,
+                                           Dominates&& dominates) {
+  const bool was_tracking = da.tracking();
+  if (!was_tracking) da.enable_tracking();
+  bool seed_from_log = was_tracking && !da.dirty_overflowed() &&
+                       (da.reduce_fixpoint_mask() & kRuleBitDomination) != 0;
+  if (da.dirty_overflowed()) {
+    da.clear_dirty();
+    da.set_reduce_fixpoint_mask(0);
+    seed_from_log = false;
+  }
+  da.suspend_dirty_cap();
+
+  const std::vector<Vertex>& log = da.dirty();
+  const std::vector<std::int32_t>& deg = da.raw();
+  auto& heap = ws.heap;
+  auto& next = ws.next;
+  auto& pending = ws.pending;
+  heap.clear();
+  next.clear();
+  if (pending.size() < deg.size()) pending.assign(deg.size(), 0);
+  const auto by_min = std::greater<Vertex>();
+  auto push = [&](Vertex v) {
+    heap.push_back(v);
+    std::push_heap(heap.begin(), heap.end(), by_min);
+  };
+  auto enqueue_one = [&](Vertex w, Vertex pos) {
+    const std::int32_t d = deg[static_cast<std::size_t>(w)];
+    if (d == DegreeArray::kInSolution || d == 0) return;
+    auto& mark = pending[static_cast<std::size_t>(w)];
+    if (mark & kRuleBitDomination) return;
+    mark |= kRuleBitDomination;
+    if (w > pos)
+      push(w);
+    else
+      next.push_back(w);
+  };
+  // One log entry x = "x's present neighborhood changed": feed x and every
+  // vertex x neighbors. (If x has since been removed its neighbors were
+  // re-dirtied by that removal, but feeding them from this entry too is
+  // merely conservative.)
+  auto enqueue_dirty = [&](Vertex x, Vertex pos) {
+    enqueue_one(x, pos);
+    for (Vertex y : g.neighbors(x)) enqueue_one(y, pos);
+  };
+
+  std::size_t cursor = 0;
+  if (seed_from_log) {
+    for (; cursor < log.size(); ++cursor) enqueue_dirty(log[cursor], -1);
+  } else {
+    cursor = log.size();
+    const Vertex n = da.num_vertices();
+    for (Vertex v = 0; v < n; ++v) {
+      const std::int32_t d = deg[static_cast<std::size_t>(v)];
+      if (d == DegreeArray::kInSolution || d == 0) continue;
+      pending[static_cast<std::size_t>(v)] |= kRuleBitDomination;
+      heap.push_back(v);  // ascending ids: already a valid min-heap
+    }
+  }
+
+  std::int64_t removed = 0;
+  for (;;) {
+    if (heap.empty()) {
+      if (next.empty()) break;
+      for (Vertex v : next) push(v);
+      next.clear();
+    }
+    std::pop_heap(heap.begin(), heap.end(), by_min);
+    const Vertex v = heap.back();
+    heap.pop_back();
+    pending[static_cast<std::size_t>(v)] &=
+        static_cast<std::uint8_t>(~kRuleBitDomination);
+    if (!da.present(v) || da.degree(v) == 0 || !dominates(v)) continue;
+    da.remove_into_solution(g, v);
+    ++removed;
+    for (; cursor < log.size(); ++cursor) enqueue_dirty(log[cursor], v);
+  }
+
+  if (!was_tracking) {
+    da.disable_tracking();
+  } else {
+    da.restore_dirty_cap();
+    da.set_reduce_fixpoint_mask(
+        static_cast<std::uint8_t>(da.reduce_fixpoint_mask() |
+                                  kRuleBitDomination));
+  }
+  return removed;
+}
+
+template <typename Dominates>
+std::int64_t run_domination(const CsrGraph& g, DegreeArray& da,
+                            ReduceWorkspace& ws, ReduceSemantics semantics,
+                            Dominates&& dominates) {
+  if (semantics == ReduceSemantics::kIncremental)
+    return domination_incremental_engine(g, da, ws, dominates);
+  // The rule has no sweep formulation; kParallelSweep maps to the serial
+  // engine (documented in the header).
+  return domination_serial_engine(g, da, dominates);
+}
+
+}  // namespace
+
+std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da,
+                              ReduceSemantics semantics, ReduceWorkspace* ws,
+                              KernelDispatch dispatch) {
+  ReduceWorkspace local;
+  ReduceWorkspace& w = ws ? *ws : local;
+  if (dispatch == KernelDispatch::kAuto) {
+    // Density class picks the subset-check kernel; all arms evaluate the
+    // same predicate, so the choice is pure execution policy.
+    const KernelTag tag = classify(g, da);
+    if (tag.density == DensityClass::kDense)
+      return run_domination(g, da, w, semantics, [&](Vertex u) {
+        return dominates_bitset(g, da, u, w.adjacency_bits);
+      });
+    return run_domination(g, da, w, semantics, [&](Vertex u) {
+      return dominates_merge(g, da, u);
+    });
+  }
+  return run_domination(g, da, w, semantics, [&](Vertex u) {
+    return dominates_binary(g, da, u);
+  });
+}
+
 ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
                    const BudgetPolicy& policy, ReduceSemantics semantics,
                    const RuleSet& rules, util::ActivityAccumulator* acc,
-                   ReduceWorkspace* ws) {
+                   ReduceWorkspace* ws, KernelDispatch dispatch) {
   ReduceWorkspace local;
   ReduceWorkspace& w = ws ? *ws : local;
+
+  if (dispatch == KernelDispatch::kAuto &&
+      semantics != ReduceSemantics::kSerial) {
+    // Classify at adoption, re-classify on the cheap invalidation signals:
+    // adopt_node() cleared the flag when the block picked this lineage up,
+    // and a dirty-log overflow invalidates the log-derived refinement. The
+    // width class is monotone within a descent (kernel_dispatch.hpp), so
+    // the cached tag stays sound everywhere else.
+    if (!w.kernel_tag_valid || da.dirty_overflowed()) {
+      w.kernel_tag = classify(g, da);
+      w.kernel_tag_valid = true;
+    }
+    const std::uint8_t rule_mask = static_cast<std::uint8_t>(
+        (rules.degree_one ? 1u : 0u) | (rules.degree_two_triangle ? 2u : 0u) |
+        (rules.high_degree ? 4u : 0u));
+    if (semantics == ReduceSemantics::kIncremental)
+      return incremental_pass_for_mask(rule_mask, g, da, policy, acc, w);
+    switch (w.kernel_tag.width) {
+      case DegreeWidth::kU8:
+        return sweep_pass_for_mask<std::uint8_t>(rule_mask, g, da, policy,
+                                                 acc, w);
+      case DegreeWidth::kU16:
+        return sweep_pass_for_mask<std::uint16_t>(rule_mask, g, da, policy,
+                                                  acc, w);
+      case DegreeWidth::kU32:
+        break;  // the generic loop below IS the u32 kernel
+    }
+  }
 
   if (semantics == ReduceSemantics::kIncremental)
     return reduce_incremental(g, da, policy, rules, acc, w);

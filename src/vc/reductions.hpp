@@ -43,6 +43,36 @@
 // children inherit the parent's fixpoint plus the branch mutations, whose
 // dirtied vertices travel inside the copied degree array — so a child's
 // reduction seeds from O(changed) candidates, not a fresh |V| scan.
+//
+// KERNEL DISPATCH (vc/kernel_dispatch.hpp). Under KernelDispatch::kAuto,
+// reduce() routes through template specializations selected by the block's
+// cached KernelTag instead of the one-size-fits-all path:
+//
+//   * degree width  — kParallelSweep runs on u8/u16 degree snapshots when
+//     the (monotone) max-degree bound proves every degree fits, quartering
+//     or halving snapshot traffic; u32 shapes run the generic loop, which
+//     IS the u32 kernel;
+//   * rule mask     — the enabled-rule set is a template parameter, so an
+//     ablation configuration carries no dead rule branches, and the
+//     incremental pass skips a rule that is at its lineage fixpoint with no
+//     dirty-log candidate at its trigger without re-probing (a provable
+//     no-op: the cursor has nothing left to drain);
+//   * fused seeding — the first incremental reduction of a lineage collects
+//     the degree-1 and degree-2 seed lists in ONE linear scan instead of
+//     two.
+//
+// The tag is classified when a block ADOPTS a node (adopt_node in
+// parallel/node_visit.hpp) and re-validated only on cheap signals — a
+// dirty-log overflow, or adoption itself; see kernel_dispatch.hpp for why
+// that is sound across a descent.
+//
+// CONTRACT: the dispatch knob is execution policy, exactly like
+// BranchStateMode. Every specialization produces BIT-IDENTICAL state
+// transitions — same covers, same removal counts, same search trees — as
+// the generic path (the randomized differential and exhaustive oracle
+// suites compare them directly), so the knob stays OUT of the result-cache
+// key (service/graph_hash.cpp). kSerial has nothing to specialize (it
+// takes no snapshots and keeps no worklists) and always runs generic.
 
 #include <cstdint>
 #include <limits>
@@ -50,6 +80,8 @@
 
 #include "util/timer.hpp"
 #include "vc/degree_array.hpp"
+#include "vc/degree_buckets.hpp"
+#include "vc/kernel_dispatch.hpp"
 #include "vc/undo_trail.hpp"
 
 namespace gvc::vc {
@@ -96,7 +128,33 @@ struct ReduceWorkspace {
   std::vector<std::int32_t> snapshot;
   std::vector<Vertex> heap;
   std::vector<Vertex> next;
+  /// Per-vertex already-enqueued stamps. The generic engine uses 0/1; the
+  /// dispatched kernels stamp per-rule bits (kRuleBit*) so rule worklists
+  /// could coexist — either way every stamp is cleared again by the time a
+  /// rule run returns, so the buffer is all-zero between runs and the two
+  /// schemes share it safely.
   std::vector<std::uint8_t> pending;
+
+  /// Shape-specialized scratch (KernelDispatch::kAuto): narrow degree
+  /// snapshots for the u8/u16 sweep kernels, one adjacency-bitset row for
+  /// the dense domination check, and the fused seed lists of the
+  /// incremental pass.
+  std::vector<std::uint8_t> snapshot8;
+  std::vector<std::uint16_t> snapshot16;
+  std::vector<std::uint64_t> adjacency_bits;
+  std::vector<Vertex> seed1;
+  std::vector<Vertex> seed2;
+
+  /// The block's cached KernelTag. adopt_node() invalidates it whenever the
+  /// block picks up a root or donated node; reduce() re-classifies then (or
+  /// after a dirty-log overflow) and trusts it for the rest of the descent.
+  KernelTag kernel_tag;
+  bool kernel_tag_valid = false;
+
+  /// Bucketed max-degree backend (MaxDegreeBackend::kBuckets): rebuilt and
+  /// re-attached by adopt_node() on every pickup, kept in sync by the
+  /// degree array and the undo trail from then on.
+  DegreeBuckets buckets;
 
   /// Apply/undo branching scratch (BranchStateMode::kUndoTrail): the
   /// per-block mutation trail and the deferred-branch frame stack of the
@@ -139,11 +197,30 @@ struct RuleSet {
 /// the caller performs next accumulate the (small) candidate seed for the
 /// children's reductions. Callers need not do anything special — the state
 /// travels inside the DegreeArray copies.
+/// `dispatch` selects between the generic kernels (the baseline, and the
+/// default so standalone callers need no workspace discipline) and the
+/// shape-specialized ones (kAuto; see the header comment — bit-identical by
+/// contract, so the choice never changes results).
 ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
                    const BudgetPolicy& policy, ReduceSemantics semantics,
                    const RuleSet& rules = {},
                    util::ActivityAccumulator* acc = nullptr,
-                   ReduceWorkspace* ws = nullptr);
+                   ReduceWorkspace* ws = nullptr,
+                   KernelDispatch dispatch = KernelDispatch::kGeneric);
+
+/// An engine has picked up a root or donated node into `da`: invalidate the
+/// workspace's cached KernelTag so the next reduce() re-classifies for the
+/// adopted lineage, and rebuild/re-attach the degree buckets when that
+/// backend is selected. Called by solve_sequential at its root / stack pops
+/// and wrapped by parallel::adopt_node for the block solvers.
+inline void adopt_node(DegreeArray& da, ReduceWorkspace& ws,
+                       MaxDegreeBackend backend) {
+  ws.kernel_tag_valid = false;
+  if (backend == MaxDegreeBackend::kBuckets) {
+    ws.buckets.build(da);
+    da.attach_buckets(&ws.buckets);
+  }
+}
 
 // Individual rules, each applied to its own fixpoint; exposed for unit
 // testing. Each returns the number of vertices moved into S. Under
@@ -166,6 +243,21 @@ std::int64_t apply_high_degree(const CsrGraph& g, DegreeArray& da,
 /// N[v] ⊆ N[u] (closed neighborhoods among present vertices), then u
 /// dominates v and some minimum cover contains u, so u moves into S.
 /// Subsumes the degree-one rule. Applied to fixpoint; returns removals.
-std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da);
+///
+/// Semantics: kSerial is the textbook repeated full scan; kIncremental is
+/// candidate-driven — a vertex's domination status can flip only when its
+/// own closed neighborhood or a neighbor's changes, so the candidate feed
+/// per dirty vertex x is {x} ∪ N(x), seeded from the dirty log alone on the
+/// happy path (fixpoint-mask bit kRuleBitDomination set, no overflow) and
+/// bit-identical to kSerial by the same pass-ordering argument as the
+/// engine above. The rule has no sweep formulation; kParallelSweep maps to
+/// the serial engine. `dispatch` = kAuto additionally picks the
+/// subset-check kernel by density class (bitset-adjacency row for dense
+/// working graphs, merge-scan of the sorted adjacencies for sparse) — all
+/// arms evaluate the identical predicate.
+std::int64_t apply_domination(const CsrGraph& g, DegreeArray& da,
+                              ReduceSemantics semantics = ReduceSemantics::kSerial,
+                              ReduceWorkspace* ws = nullptr,
+                              KernelDispatch dispatch = KernelDispatch::kGeneric);
 
 }  // namespace gvc::vc

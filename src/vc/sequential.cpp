@@ -94,7 +94,8 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
 
     const BudgetPolicy policy =
         mvc ? BudgetPolicy::mvc(best) : BudgetPolicy::pvc(k);
-    reduce(g, da, policy, config.semantics, config.rules, nullptr, &ws);
+    reduce(g, da, policy, config.semantics, config.rules, nullptr, &ws,
+           config.kernel_dispatch);
 
     const std::int64_t s = da.solution_size();
     // Stopping condition (Fig. 1 line 5; §II-B PVC variant).
@@ -136,6 +137,7 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
 
     DegreeArray da(g);
     da.attach_trail(&trail);
+    adopt_node(da, ws, config.max_degree_backend);  // root pickup
     bool have_node = true;
     while (have_node) {
       const Visit visit = process_node(da);
@@ -156,6 +158,7 @@ SolveResult solve_sequential(const CsrGraph& g, const SequentialConfig& config,
     while (!stack.empty()) {
       DegreeArray da = std::move(stack.back());
       stack.pop_back();
+      adopt_node(da, ws, config.max_degree_backend);  // fresh standalone node
 
       const Visit visit = process_node(da);
       if (visit == Visit::kStop) break;

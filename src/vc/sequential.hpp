@@ -34,6 +34,15 @@ struct SequentialConfig {
   /// and produces exactly the tree kCopy does; kCopy is the paper's
   /// copy-on-branch design, which the paper-faithful harness requests.
   BranchStateMode branch_state = BranchStateMode::kUndoTrail;
+
+  /// Shape-specialized reduce kernels (see reductions.hpp). Execution
+  /// policy: kAuto produces bit-identical trees to kGeneric, so like
+  /// branch_state this stays out of the result-cache key.
+  KernelDispatch kernel_dispatch = KernelDispatch::kAuto;
+
+  /// max_degree_vertex() backend (see vc/degree_buckets.hpp). Also pure
+  /// execution policy — both backends return the same smallest-id argmax.
+  MaxDegreeBackend max_degree_backend = MaxDegreeBackend::kCachedHint;
 };
 
 /// Runs branch-and-reduce to completion (or until `control` stops it — its

@@ -154,6 +154,53 @@ TEST(RandomDifferential, EveryMethodBitIdenticalOnSerializedDevice) {
   }
 }
 
+TEST(RandomDifferential, DispatchBitIdenticalOnSerializedDevice) {
+  // The kernel-dispatch acceptance proof: the shape-specialized reduce
+  // kernels and the bucketed max-degree backend must reproduce the generic
+  // configuration's tree EXACTLY — same optimum, same node count — for the
+  // Sequential method and all four parallel methods on the serialized
+  // device, where counts are deterministic.
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 10 + 2;
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        CsrGraph g = family.make(size, static_cast<std::uint64_t>(seed) * 29 + 3);
+
+        for (parallel::Method method : parallel::all_methods()) {
+          parallel::ParallelConfig generic =
+              serialized_config(vc::BranchStateMode::kUndoTrail);
+          generic.kernel_dispatch = vc::KernelDispatch::kGeneric;
+          generic.max_degree_backend = vc::MaxDegreeBackend::kCachedHint;
+          parallel::ParallelResult want = parallel::solve(g, method, generic);
+
+          for (vc::KernelDispatch dispatch :
+               {vc::KernelDispatch::kGeneric, vc::KernelDispatch::kAuto}) {
+            for (vc::MaxDegreeBackend backend :
+                 {vc::MaxDegreeBackend::kCachedHint,
+                  vc::MaxDegreeBackend::kBuckets}) {
+              parallel::ParallelConfig c = generic;
+              c.kernel_dispatch = dispatch;
+              c.max_degree_backend = backend;
+              parallel::ParallelResult got = parallel::solve(g, method, c);
+              ASSERT_EQ(got.best_size, want.best_size)
+                  << parallel::method_name(method) << " dispatch "
+                  << vc::kernel_dispatch_name(dispatch) << " backend "
+                  << vc::max_degree_backend_name(backend);
+              ASSERT_EQ(got.tree_nodes, want.tree_nodes)
+                  << parallel::method_name(method) << " dispatch "
+                  << vc::kernel_dispatch_name(dispatch) << " backend "
+                  << vc::max_degree_backend_name(backend)
+                  << ": tree shape diverged from the generic kernels";
+              ASSERT_TRUE(graph::is_vertex_cover(g, got.cover));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(RandomDifferential, MultiBlockModesAgreeOnTheOptimum) {
   // Real concurrency: node counts are timing-dependent, so this sweep only
   // pins the answer — both modes must reach the same optimum with a valid

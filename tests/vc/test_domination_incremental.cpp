@@ -1,0 +1,177 @@
+// Differential properties of the domination rule's incremental engine and
+// its density-dispatched subset-check kernels: kIncremental must be
+// observationally IDENTICAL to kSerial — same resulting degree array, same
+// removal count — on every generator family, both standalone and along
+// branch lineages where the candidate feed comes from the dirty log alone
+// (the happy path the incremental design exists for). All three subset
+// arms (binary probe, merge-scan, bitset row) evaluate one predicate and
+// must agree verbatim.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "vc/kernel_dispatch.hpp"
+#include "vc/oracle.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::vc {
+namespace {
+
+using graph::CsrGraph;
+using graph::Vertex;
+
+std::vector<CsrGraph> family_instances(std::uint64_t seed) {
+  return {
+      graph::gnp(40, 0.12, seed + 1),
+      graph::gnp(30, 0.3, seed + 2),
+      graph::complement(graph::p_hat(22, 0.3, 0.8, seed + 1)),
+      graph::barabasi_albert(36, 2, seed + 1),
+      graph::power_grid(40, 0.4, seed + 1),
+      graph::bipartite(12, 14, 40, seed + 1),
+      graph::random_tree(36, seed + 1),
+      graph::cycle(5),
+      graph::grid2d(5, 6),
+  };
+}
+
+void expect_same_state(const DegreeArray& a, const DegreeArray& b,
+                       const char* where) {
+  ASSERT_EQ(a.raw(), b.raw()) << where;
+  EXPECT_EQ(a.solution_size(), b.solution_size()) << where;
+  EXPECT_EQ(a.num_edges(), b.num_edges()) << where;
+  EXPECT_EQ(a.solution(), b.solution()) << where;
+}
+
+TEST(DominationIncremental, StandaloneIdenticalToSerialAcrossFamilies) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (const CsrGraph& g : family_instances(seed * 101)) {
+      DegreeArray serial(g);
+      DegreeArray inc(g);
+      ReduceWorkspace ws;
+      const std::int64_t removed_serial =
+          apply_domination(g, serial, ReduceSemantics::kSerial);
+      const std::int64_t removed_inc =
+          apply_domination(g, inc, ReduceSemantics::kIncremental, &ws);
+      EXPECT_EQ(removed_serial, removed_inc);
+      expect_same_state(serial, inc, "standalone domination");
+      // A standalone call on an untracked array must leave it untracked.
+      EXPECT_FALSE(inc.tracking());
+      inc.check_consistency(g);
+    }
+  }
+}
+
+TEST(DominationIncremental, LineageSeedsFromTheDirtyLog) {
+  // Drive a branch-and-bound-like lineage on a TRACKED array: domination
+  // fixpoint, branch mutation, domination again — repeatedly. Whenever the
+  // happy-path preconditions hold before a re-reduction (fixpoint bit set,
+  // tracking on, no overflow) the engine provably seeded from the log alone
+  // — count those cycles and require they dominate. The log is deliberately
+  // NOT cleared by the engine (the degree rules' cursors depend on it), so
+  // a long domination-only lineage eventually overflows the cap and falls
+  // back to a full seed; the serial twin must agree either way.
+  int happy = 0, fallback = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (const CsrGraph& g : family_instances(seed * 77 + 5)) {
+      DegreeArray inc(g);
+      DegreeArray serial(g);
+      ReduceWorkspace ws;
+      inc.enable_tracking();
+
+      apply_domination(g, inc, ReduceSemantics::kIncremental, &ws);
+      apply_domination(g, serial, ReduceSemantics::kSerial);
+      expect_same_state(serial, inc, "lineage root");
+
+      for (int cycle = 0; cycle < 6; ++cycle) {
+        ASSERT_TRUE(inc.tracking());
+        ASSERT_NE(inc.reduce_fixpoint_mask() & kRuleBitDomination, 0);
+
+        const Vertex vmax = inc.max_degree_vertex();
+        if (vmax < 0) break;
+        inc.remove_into_solution(g, vmax);
+        serial.remove_into_solution(g, vmax);
+        (inc.dirty_overflowed() ? fallback : happy) += 1;
+
+        apply_domination(g, inc, ReduceSemantics::kIncremental, &ws);
+        apply_domination(g, serial, ReduceSemantics::kSerial);
+        expect_same_state(serial, inc, "lineage cycle");
+        inc.check_consistency(g);
+      }
+    }
+  }
+  // The candidate-driven path must be the common case across the sweep, not
+  // an untested corner.
+  EXPECT_GT(happy, fallback);
+  EXPECT_GT(happy, 50);
+}
+
+TEST(DominationIncremental, OverflowFallsBackToAFullSeed) {
+  // Overflow the capped log between reductions: the engine must detect the
+  // incomplete log, reseed from a full scan, and still match serial.
+  CsrGraph g = graph::gnp(60, 0.15, 9);
+  DegreeArray inc(g);
+  DegreeArray serial(g);
+  ReduceWorkspace ws;
+  inc.enable_tracking();
+  apply_domination(g, inc, ReduceSemantics::kIncremental, &ws);
+  apply_domination(g, serial, ReduceSemantics::kSerial);
+
+  const Vertex vmax = inc.max_degree_vertex();
+  ASSERT_GE(vmax, 0);
+  inc.remove_into_solution(g, vmax);
+  serial.remove_into_solution(g, vmax);
+  for (int i = 0; i < 3; ++i)
+    for (Vertex v = 0; v < inc.num_vertices(); ++v) inc.mark_dirty(v);
+  ASSERT_TRUE(inc.dirty_overflowed());
+
+  apply_domination(g, inc, ReduceSemantics::kIncremental, &ws);
+  apply_domination(g, serial, ReduceSemantics::kSerial);
+  expect_same_state(serial, inc, "post-overflow");
+  EXPECT_FALSE(inc.dirty_overflowed());  // the engine reset the log
+}
+
+TEST(DominationDispatch, AllSubsetArmsAgree) {
+  // kGeneric pins the binary-probe arm; kAuto picks merge-scan on sparse
+  // graphs and the bitset row on dense ones. Cover both classified arms
+  // against the binary baseline on graphs straddling the density threshold.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (const CsrGraph& g : family_instances(seed * 31 + 2)) {
+      for (ReduceSemantics semantics :
+           {ReduceSemantics::kSerial, ReduceSemantics::kParallelSweep,
+            ReduceSemantics::kIncremental}) {
+        DegreeArray binary(g);
+        DegreeArray dispatched(g);
+        ReduceWorkspace ws_b, ws_d;
+        const std::int64_t removed_binary = apply_domination(
+            g, binary, semantics, &ws_b, KernelDispatch::kGeneric);
+        const std::int64_t removed_auto = apply_domination(
+            g, dispatched, semantics, &ws_d, KernelDispatch::kAuto);
+        EXPECT_EQ(removed_binary, removed_auto)
+            << "density "
+            << (classify(g, DegreeArray(g)).density == DensityClass::kDense
+                    ? "dense"
+                    : "sparse");
+        expect_same_state(binary, dispatched, "subset arm");
+      }
+    }
+  }
+}
+
+TEST(DominationIncremental, PreservesOptimumOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    CsrGraph g = graph::gnp(15, 0.35, seed * 13 + 5);
+    const int opt = oracle_mvc_size(g);
+    DegreeArray da(g);
+    ReduceWorkspace ws;
+    apply_domination(g, da, ReduceSemantics::kIncremental, &ws,
+                     KernelDispatch::kAuto);
+    auto rest = graph::induced_subgraph(g, da.present_vertices());
+    EXPECT_EQ(da.solution_size() + oracle_mvc_size(rest), opt) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gvc::vc

@@ -32,6 +32,11 @@
 //                          advertise the neighbors child every K-th branch
 //                          (default 0 = only when the own deque is empty;
 //                          part of the cache key — K reorders traversals)
+//   --kernel-dispatch S    auto|generic reduce-kernel selection for every
+//                          job's solve (default auto; NOT part of the cache
+//                          key — all kernels produce identical results)
+//   --max-degree S         cachedhint|buckets max-degree backend (default
+//                          cachedhint; also excluded from the cache key)
 //   --time-limit S         per-job solve budget (default 0 = none)
 //   --min-cache-seconds S  cost-aware cache admission: skip storing solves
 //                          cheaper than S seconds (default 0 = store all)
@@ -43,6 +48,11 @@
 //   --cancel-after-ms M    cancel every still-outstanding ticket M ms after
 //                          the batch is submitted (exercises
 //                          JobTicket::cancel; default 0 = never)
+//   --progress-every S     enable SolveControl progress publication on every
+//                          job and print a periodic [progress] line — jobs
+//                          terminal, jobs running, in-flight tree nodes and
+//                          best incumbent — every S seconds (default 0 =
+//                          off)
 //
 // Output: one line per terminal state class plus the Outcome breakdown of
 // delivered results (optimal/feasible/deadline/cancelled/...), throughput
@@ -51,6 +61,8 @@
 // distribution.
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -145,9 +157,27 @@ int main(int argc, char** argv) {
     return 64;
   }
   base.config.branch_state = *branch_state;
+  const std::optional<vc::KernelDispatch> dispatch =
+      vc::try_parse_kernel_dispatch(args.get("kernel-dispatch", "auto"));
+  if (!dispatch.has_value()) {
+    std::fprintf(stderr, "unknown --kernel-dispatch '%s' (want auto|generic)\n",
+                 args.get("kernel-dispatch", "auto").c_str());
+    return 64;
+  }
+  base.config.kernel_dispatch = *dispatch;
+  const std::optional<vc::MaxDegreeBackend> max_degree =
+      vc::try_parse_max_degree_backend(args.get("max-degree", "cachedhint"));
+  if (!max_degree.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --max-degree '%s' (want cachedhint|buckets)\n",
+                 args.get("max-degree", "cachedhint").c_str());
+    return 64;
+  }
+  base.config.max_degree_backend = *max_degree;
   base.config.advertise_interval =
       static_cast<int>(args.get_int("advertise-interval", 0));
   const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
+  const double progress_every_s = args.get_double("progress-every", 0.0);
 
   service::ServiceOptions opts;
   opts.num_workers = static_cast<int>(args.get_int("workers", 4));
@@ -204,6 +234,48 @@ int main(int argc, char** argv) {
   util::WallTimer timer;
   std::vector<service::JobTicket> tickets = svc.submit_all(std::move(specs));
 
+  // The --progress-every monitor: each job's SolveControl already exists at
+  // submission, so publication can be switched on for all of them and one
+  // thread can poll best-so-far/node snapshots while the batch runs. A late
+  // enable (a worker may already be solving) is benign — solvers re-check
+  // progress_enabled() at their amortized cadence.
+  std::thread monitor;
+  std::atomic<bool> monitor_stop{false};
+  if (progress_every_s > 0.0) {
+    for (const auto& t : tickets)
+      if (t.state) t.state->control()->enable_progress();
+    monitor = std::thread([&tickets, &monitor_stop, progress_every_s] {
+      for (;;) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(progress_every_s));
+        if (monitor_stop.load(std::memory_order_acquire)) return;
+        std::size_t terminal = 0, running = 0;
+        std::uint64_t nodes = 0;
+        int best = -1;
+        for (const auto& t : tickets) {
+          if (!t.state) continue;
+          const service::JobStatus s = t.state->status();
+          if (service::is_terminal(s)) {
+            ++terminal;
+            continue;
+          }
+          if (s != service::JobStatus::kRunning) continue;
+          ++running;
+          const vc::SolveControl::Progress p = t.state->control()->progress();
+          nodes += p.tree_nodes;
+          if (p.best_size >= 0 && (best < 0 || p.best_size < best))
+            best = p.best_size;
+        }
+        if (terminal == tickets.size()) return;
+        std::printf("  [progress] %zu/%zu terminal, %zu running, "
+                    "%llu nodes in flight, best so far %d\n",
+                    terminal, tickets.size(), running,
+                    static_cast<unsigned long long>(nodes), best);
+        std::fflush(stdout);
+      }
+    });
+  }
+
   // The --cancel-after-ms stressor: one watchdog thread sweeps the batch
   // and cancels whatever is not yet terminal — queued jobs turn terminal
   // on the spot, running solves stop through their SolveControl.
@@ -235,6 +307,8 @@ int main(int argc, char** argv) {
   }
   const double wall = timer.seconds();
   if (canceller.joinable()) canceller.join();
+  monitor_stop.store(true, std::memory_order_release);
+  if (monitor.joinable()) monitor.join();
 
   service::ServiceStats stats = svc.stats();
   std::printf("\n  done %zu, expired %zu, cancelled %zu, rejected %zu "

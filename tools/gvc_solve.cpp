@@ -13,6 +13,13 @@
 //   --branch-state S     undotrail|copy (default undotrail — O(changed)
 //                        apply/undo backtracking; copy is the paper's
 //                        copy-on-branch design; both produce the same tree)
+//   --kernel-dispatch S  auto|generic (default auto — pick a reduce kernel
+//                        specialized for the block's degree width / density /
+//                        live-rule shape; generic forces the one-size
+//                        kernel; both produce the same tree)
+//   --max-degree S       cachedhint|buckets (default cachedhint — PR 1's
+//                        lazily-tightened bound cache; buckets maintains
+//                        exact degree buckets; both return the same vertex)
 //   --advertise-interval K  WorkStealing + undotrail only: also advertise
 //                        the neighbors child every K-th branch so thieves
 //                        see more than the lazily-advertised node
@@ -100,6 +107,23 @@ int main(int argc, char** argv) {
     return 64;
   }
   config.branch_state = *branch_state;
+  const std::optional<vc::KernelDispatch> dispatch =
+      vc::try_parse_kernel_dispatch(args.get("kernel-dispatch", "auto"));
+  if (!dispatch.has_value()) {
+    std::fprintf(stderr, "unknown --kernel-dispatch '%s' (want auto|generic)\n",
+                 args.get("kernel-dispatch", "auto").c_str());
+    return 64;
+  }
+  config.kernel_dispatch = *dispatch;
+  const std::optional<vc::MaxDegreeBackend> max_degree =
+      vc::try_parse_max_degree_backend(args.get("max-degree", "cachedhint"));
+  if (!max_degree.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --max-degree '%s' (want cachedhint|buckets)\n",
+                 args.get("max-degree", "cachedhint").c_str());
+    return 64;
+  }
+  config.max_degree_backend = *max_degree;
   config.advertise_interval =
       static_cast<int>(args.get_int("advertise-interval", 0));
   config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
