@@ -1,0 +1,384 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace gvc::obs {
+
+const char* trace_cat_name(TraceCat c) {
+  switch (c) {
+    case TraceCat::kService: return "service";
+    case TraceCat::kSolve: return "solve";
+    case TraceCat::kReduce: return "reduce";
+    case TraceCat::kBranch: return "branch";
+    case TraceCat::kWork: return "work";
+    case TraceCat::kCache: return "cache";
+  }
+  return "?";
+}
+
+namespace detail {
+
+#ifdef GVC_OBS_DISABLED
+namespace {
+std::atomic<bool> g_trace_on{false};
+}
+#else
+std::atomic<bool> g_trace_on{false};
+#endif
+
+namespace {
+
+struct Event {
+  std::uint64_t ts_ns;
+  const char* name;
+  const char* arg_name;  // nullptr => no args
+  std::int64_t arg;
+  TraceCat cat;
+  char phase;  // 'B', 'E', 'i'
+};
+
+struct Buffer {
+  std::vector<Event> events;  // pre-sized to capacity; indexed via count
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::size_t capacity = 0;
+  int open_spans = 0;  // owner thread only; reserves E slots
+  int tid = 0;
+  std::string label;  // guarded by the session mutex
+};
+
+struct Session {
+  TraceOptions opts;
+  std::uint64_t t0_ns = 0;
+  bool ever_started = false;
+  std::vector<std::unique_ptr<Buffer>> buffers;
+  // Buffers from earlier sessions: kept alive forever so a thread caught
+  // between its enabled-check and its write can never touch freed memory.
+  std::vector<std::unique_ptr<Buffer>> retired;
+  std::vector<int> free_ids;  // buffers released by exited threads
+};
+
+// Immortal globals: thread_local destructors and atexit exporters must be
+// able to touch them in any order.
+std::mutex& session_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+Session& session() {
+  static Session* s = new Session();
+  return *s;
+}
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+struct ThreadSlot {
+  Buffer* buf = nullptr;  // nullptr with matching epoch => traced out (cap)
+  std::uint64_t epoch = 0;
+  std::uint64_t t0_ns = 0;
+  std::uint32_t sample_every = 64;
+  std::uint32_t sample_ctr = 0;
+  std::string pending_label;
+
+  ~ThreadSlot() {
+    if (buf == nullptr) return;
+    std::lock_guard<std::mutex> lock(session_mutex());
+    // Only release into the session the buffer belongs to.
+    if (epoch == g_epoch.load(std::memory_order_relaxed))
+      session().free_ids.push_back(buf->tid);
+  }
+};
+
+thread_local ThreadSlot tl;
+
+Buffer* register_thread() {
+  if (!g_trace_on.load(std::memory_order_relaxed)) return nullptr;
+  std::lock_guard<std::mutex> lock(session_mutex());
+  if (!g_trace_on.load(std::memory_order_relaxed)) return nullptr;
+  Session& s = session();
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+
+  Buffer* b = nullptr;
+  if (!s.free_ids.empty()) {
+    // Reuse a buffer released by an exited thread: its final writes
+    // happened before the release (mutex in ~ThreadSlot), so appending is
+    // race-free, and its tid stays monotone in ts.
+    b = s.buffers[static_cast<std::size_t>(s.free_ids.back())].get();
+    s.free_ids.pop_back();
+  } else if (s.buffers.size() < s.opts.max_threads) {
+    auto nb = std::make_unique<Buffer>();
+    nb->capacity = s.opts.capacity_per_thread;
+    nb->events.resize(nb->capacity);
+    nb->tid = static_cast<int>(s.buffers.size());
+    b = nb.get();
+    s.buffers.push_back(std::move(nb));
+  }
+  if (b != nullptr && b->label.empty() && !tl.pending_label.empty())
+    b->label = tl.pending_label;
+
+  // Cache the refusal too (b == nullptr at the thread cap): subsequent
+  // hooks on this thread then skip without taking the mutex.
+  tl.buf = b;
+  tl.epoch = epoch;
+  tl.t0_ns = s.t0_ns;
+  tl.sample_every = s.opts.sample_every;
+  return b;
+}
+
+inline Buffer* current_buffer() {
+  if (tl.epoch == g_epoch.load(std::memory_order_relaxed)) return tl.buf;
+  return register_thread();
+}
+
+inline std::uint64_t rel_now_ns() { return util::now_ns() - tl.t0_ns; }
+
+}  // namespace
+
+std::uint64_t current_epoch() noexcept {
+  return g_epoch.load(std::memory_order_relaxed);
+}
+
+void instant_slow(TraceCat cat, const char* name, const char* arg_name,
+                  std::int64_t arg) {
+  Buffer* b = current_buffer();
+  if (b == nullptr) return;
+  const std::size_t n = b->count.load(std::memory_order_relaxed);
+  // Keep one slot reserved per open span for its pending E.
+  if (n + static_cast<std::size_t>(b->open_spans) + 1 > b->capacity) {
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b->events[n] = Event{rel_now_ns(), name, arg_name, arg, cat, 'i'};
+  b->count.store(n + 1, std::memory_order_release);
+}
+
+bool begin_slow(TraceCat cat, const char* name, const char* arg_name,
+                std::int64_t arg) {
+  Buffer* b = current_buffer();
+  if (b == nullptr) return false;
+  const std::size_t n = b->count.load(std::memory_order_relaxed);
+  // Room for this B, its own E, and the E of every already-open span.
+  if (n + static_cast<std::size_t>(b->open_spans) + 2 > b->capacity) {
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  b->events[n] = Event{rel_now_ns(), name, arg_name, arg, cat, 'B'};
+  b->count.store(n + 1, std::memory_order_release);
+  ++b->open_spans;
+  return true;
+}
+
+void end_slow(const char* name, std::uint64_t epoch) {
+  // The session the B went into is gone: its buffer is retired and the
+  // exporter already (or will) synthesize the close.
+  if (epoch != g_epoch.load(std::memory_order_relaxed)) return;
+  Buffer* b = tl.buf;
+  if (b == nullptr) return;
+  const std::size_t n = b->count.load(std::memory_order_relaxed);
+  // A slot is guaranteed: begin_slow reserved it. Recorded even when
+  // tracing has stopped, to keep the buffer's B/E pairing balanced.
+  b->events[n] = Event{rel_now_ns(), name, nullptr, 0, TraceCat::kService,
+                       'E'};
+  b->count.store(n + 1, std::memory_order_release);
+  --b->open_spans;
+}
+
+bool sample_slow() noexcept {
+  if (tl.epoch != g_epoch.load(std::memory_order_relaxed)) {
+    if (register_thread() == nullptr) return false;
+  }
+  return tl.sample_ctr++ % tl.sample_every == 0;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Session control
+// ---------------------------------------------------------------------------
+
+bool trace_start(const TraceOptions& opts) {
+#ifdef GVC_OBS_DISABLED
+  (void)opts;
+  return false;
+#else
+  std::lock_guard<std::mutex> lock(detail::session_mutex());
+  if (detail::g_trace_on.load(std::memory_order_relaxed)) return false;
+  detail::Session& s = detail::session();
+  for (auto& b : s.buffers) s.retired.push_back(std::move(b));
+  s.buffers.clear();
+  s.free_ids.clear();
+  s.opts = opts;
+  s.opts.capacity_per_thread = std::max<std::size_t>(64, opts.capacity_per_thread);
+  s.opts.sample_every = std::max<std::uint32_t>(1, opts.sample_every);
+  s.opts.max_threads = std::max<std::size_t>(1, opts.max_threads);
+  s.t0_ns = util::now_ns();
+  s.ever_started = true;
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_trace_on.store(true, std::memory_order_release);
+  return true;
+#endif
+}
+
+bool trace_stop() {
+#ifdef GVC_OBS_DISABLED
+  return false;
+#else
+  std::lock_guard<std::mutex> lock(detail::session_mutex());
+  if (!detail::g_trace_on.load(std::memory_order_relaxed)) return false;
+  detail::g_trace_on.store(false, std::memory_order_release);
+  return true;
+#endif
+}
+
+TraceSummary trace_summary() {
+  TraceSummary out;
+  std::lock_guard<std::mutex> lock(detail::session_mutex());
+  const detail::Session& s = detail::session();
+  out.threads = s.buffers.size();
+  for (const auto& b : s.buffers) {
+    out.events += b->count.load(std::memory_order_acquire);
+    out.dropped += b->dropped.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+struct FlatEvent {
+  detail::Event ev;
+  int tid;
+};
+
+void append_event_json(std::string& out, const FlatEvent& f, bool& first) {
+  char buf[160];
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "{\"name\":\"";
+  append_json_escaped(out, f.ev.name);
+  out += "\",\"cat\":\"";
+  out += trace_cat_name(f.ev.cat);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d",
+                f.ev.phase, static_cast<double>(f.ev.ts_ns) / 1000.0, f.tid);
+  out += buf;
+  if (f.ev.arg_name != nullptr) {
+    out += ",\"args\":{\"";
+    append_json_escaped(out, f.ev.arg_name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRId64 "}",
+                  static_cast<std::int64_t>(f.ev.arg));
+    out += buf;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+bool trace_write_chrome_json(std::ostream& os) {
+  std::lock_guard<std::mutex> lock(detail::session_mutex());
+  detail::Session& s = detail::session();
+  if (!s.ever_started) return false;
+
+  std::vector<FlatEvent> all;
+  std::vector<std::pair<int, std::string>> labels;
+  for (const auto& b : s.buffers) {
+    const std::size_t n = b->count.load(std::memory_order_acquire);
+    all.reserve(all.size() + n);
+    for (std::size_t i = 0; i < n; ++i)
+      all.push_back(FlatEvent{b->events[i], b->tid});
+    if (!b->label.empty()) labels.emplace_back(b->tid, b->label);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) {
+                     return a.ev.ts_ns < b.ev.ts_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& [tid, label] : labels) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  tid);
+    out += buf;
+    append_json_escaped(out, label.c_str());
+    out += "\"}}";
+  }
+
+  // Per-tid open-span stacks, to synthesize closes for spans still open at
+  // export (so trace_check's balance invariant holds on every file).
+  std::vector<std::vector<const char*>> open;
+  std::uint64_t last_ts = 0;
+  for (const auto& f : all) {
+    append_event_json(out, f, first);
+    last_ts = f.ev.ts_ns;
+    auto id = static_cast<std::size_t>(f.tid);
+    if (id >= open.size()) open.resize(id + 1);
+    if (f.ev.phase == 'B') open[id].push_back(f.ev.name);
+    else if (f.ev.phase == 'E' && !open[id].empty()) open[id].pop_back();
+  }
+  for (std::size_t tid = 0; tid < open.size(); ++tid) {
+    while (!open[tid].empty()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      append_json_escaped(out, open[tid].back());
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"service\",\"ph\":\"E\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%zu}",
+                    static_cast<double>(last_ts) / 1000.0, tid);
+      out += buf;
+      open[tid].pop_back();
+    }
+  }
+  out += "\n]}\n";
+  os << out;
+  return static_cast<bool>(os);
+}
+
+bool trace_write_chrome_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  return trace_write_chrome_json(f);
+}
+
+void set_thread_label(const std::string& label) {
+  detail::tl.pending_label = label;
+  std::lock_guard<std::mutex> lock(detail::session_mutex());
+  if (detail::tl.buf != nullptr &&
+      detail::tl.epoch == detail::g_epoch.load(std::memory_order_relaxed) &&
+      detail::tl.buf->label.empty())
+    detail::tl.buf->label = label;
+}
+
+}  // namespace gvc::obs

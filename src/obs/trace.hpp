@@ -1,0 +1,179 @@
+#pragma once
+
+// obs/trace — lock-free event tracing with Chrome trace-event JSON export.
+//
+// The contract that shapes everything here:
+//
+//   * DISABLED is the normal state and must cost one relaxed atomic load
+//     plus a predictable branch per hook — hooks sit inside the per-node
+//     solver loop (reduce fixpoint, branch, undo), so anything heavier
+//     would show up in solve throughput. bench/micro_obs_overhead proves
+//     the budget. Building with -DGVC_OBS_DISABLED compiles every hook
+//     down to nothing (the "build without obs" baseline).
+//
+//   * ENABLED must be TSan-clean. Each thread records into its own
+//     fixed-capacity buffer (registered on first event, reused across
+//     thread exits) and publishes its write position with a release store;
+//     the exporter reads positions with acquire and only touches the
+//     published prefix. Buffers never wrap: when full, NEW events are
+//     dropped (drop-newest) — wrapping would race writer overwrites
+//     against the exporter and break span pairing.
+//
+//   * Spans must stay balanced. A 'B' (begin) is only recorded when the
+//     buffer can also guarantee a slot for its 'E' (end): every open span
+//     reserves one slot, so an E never drops after its B was recorded.
+//     Unmatched trailing B's (spans still open at export) are closed with
+//     synthetic E's by the exporter. tools/trace_check validates all of
+//     this on the emitted file.
+//
+// Sampling: the per-node hooks use the *_sampled variants, which record
+// 1-in-N per thread (N = TraceOptions::sample_every); the coarse hooks
+// (job lifecycle, adoption, steals, cache) record every hit.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gvc::obs {
+
+/// Event category, mapped to the Chrome "cat" field (filterable in
+/// Perfetto).
+enum class TraceCat : std::uint8_t {
+  kService,  // job lifecycle: submit/dequeue/solve/terminal
+  kSolve,    // one parallel::solve() call
+  kReduce,   // reduce-fixpoint passes (sampled)
+  kBranch,   // branch / undo / prune (sampled)
+  kWork,     // adoption, steals, donations, spills
+  kCache,    // result-cache hits/misses/stores
+};
+const char* trace_cat_name(TraceCat c);
+
+struct TraceOptions {
+  /// Events retained per thread buffer (drop-newest past this).
+  std::size_t capacity_per_thread = std::size_t{1} << 15;
+  /// The *_sampled hooks record one event per `sample_every` hits (per
+  /// thread). 1 = record everything.
+  std::uint32_t sample_every = 64;
+  /// Hard cap on distinct concurrent buffers; threads beyond it trace
+  /// nothing. Buffers of exited threads are reused.
+  std::size_t max_threads = 512;
+};
+
+/// Start a recording session. Returns false if one is already active.
+/// Restarting retires the previous session's buffers (kept alive so
+/// stragglers mid-hook never touch freed memory).
+bool trace_start(const TraceOptions& opts = {});
+
+/// Stop recording. Returns false if no session was active. The captured
+/// events stay available for export.
+bool trace_stop();
+
+struct TraceSummary {
+  std::size_t threads = 0;  // buffers registered this session
+  std::size_t events = 0;   // events recorded
+  std::uint64_t dropped = 0;
+};
+TraceSummary trace_summary();
+
+/// Write the captured session as Chrome trace-event JSON ("traceEvents"
+/// array, ts in microseconds, sorted). Safe while recording (exports the
+/// published prefix). Returns false if no session was ever started, or on
+/// I/O failure for the path overload.
+bool trace_write_chrome_json(std::ostream& os);
+bool trace_write_chrome_json(const std::string& path);
+
+/// Label the calling thread in exported traces (Perfetto thread_name).
+/// Sticky: applies to the buffer the thread registers, current or future.
+void set_thread_label(const std::string& label);
+
+namespace detail {
+
+#ifndef GVC_OBS_DISABLED
+extern std::atomic<bool> g_trace_on;
+#endif
+
+std::uint64_t current_epoch() noexcept;
+void instant_slow(TraceCat cat, const char* name, const char* arg_name,
+                  std::int64_t arg);
+bool begin_slow(TraceCat cat, const char* name, const char* arg_name,
+                std::int64_t arg);
+void end_slow(const char* name, std::uint64_t epoch);
+bool sample_slow() noexcept;
+
+}  // namespace detail
+
+/// The one-relaxed-load disabled check every hook starts with.
+inline bool tracing() noexcept {
+#ifdef GVC_OBS_DISABLED
+  return false;
+#else
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Point event. `name` / `arg_name` must be string literals (or otherwise
+/// outlive the session): only the pointer is recorded.
+inline void trace_instant(TraceCat cat, const char* name,
+                          const char* arg_name = nullptr,
+                          std::int64_t arg = 0) {
+  if (!tracing()) return;
+  detail::instant_slow(cat, name, arg_name, arg);
+}
+
+/// Sampled point event for per-node hot paths (1-in-sample_every).
+inline void trace_instant_sampled(TraceCat cat, const char* name,
+                                  const char* arg_name = nullptr,
+                                  std::int64_t arg = 0) {
+  if (!tracing()) return;
+  if (!detail::sample_slow()) return;
+  detail::instant_slow(cat, name, arg_name, arg);
+}
+
+/// RAII B/E span. The destructor records the E iff the B was recorded and
+/// the session epoch is unchanged (so a stop/start between B and E never
+/// writes an orphan E into a fresh session).
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceCat cat, const char* name,
+                     const char* arg_name = nullptr, std::int64_t arg = 0) {
+    if (!tracing()) return;
+    open(cat, name, arg_name, arg);
+  }
+  ~TraceSpan() {
+    if (recorded_) detail::end_slow(name_, epoch_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool recorded() const noexcept { return recorded_; }
+
+ protected:
+  TraceSpan() = default;
+  void open(TraceCat cat, const char* name, const char* arg_name,
+            std::int64_t arg) {
+    epoch_ = detail::current_epoch();
+    recorded_ = detail::begin_slow(cat, name, arg_name, arg);
+    name_ = name;
+  }
+
+ private:
+  bool recorded_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Span variant for per-node hot paths: records 1-in-sample_every spans.
+class TraceSpanSampled : public TraceSpan {
+ public:
+  explicit TraceSpanSampled(TraceCat cat, const char* name,
+                            const char* arg_name = nullptr,
+                            std::int64_t arg = 0) {
+    if (!tracing()) return;
+    if (!detail::sample_slow()) return;
+    open(cat, name, arg_name, arg);
+  }
+};
+
+}  // namespace gvc::obs

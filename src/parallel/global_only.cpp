@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
@@ -136,6 +137,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
       }
       if (!donated_child) {
         spills.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_instant(obs::TraceCat::kWork, "spill");
         ActivityScope scope(ctx.activities(), Activity::kStackPush);
         spill.push_back(child);
       }
@@ -148,6 +150,7 @@ ParallelResult solve_global_only(const CsrGraph& g,
         // Keep it in hand: processing it directly is cheaper than a spill
         // round-trip and keeps the loop structure of Fig. 4.
         spills.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_instant(obs::TraceCat::kWork, "spill");
         have_node = true;
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
@@ -137,6 +138,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
         }
         ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
         donated = worklist.try_donate(std::move(snapshot));
+        if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
       }
       {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);
@@ -223,6 +225,7 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
       {
         ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
         donated = worklist.try_donate(std::move(child));
+        if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
       }
       if (!donated) {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);

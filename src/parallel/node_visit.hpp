@@ -8,6 +8,7 @@
 // the engines may differ ONLY in how they carry state between visits.
 
 #include "device/virtual_device.hpp"
+#include "obs/trace.hpp"
 #include "parallel/config.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/timer.hpp"
@@ -26,6 +27,7 @@ enum class NodeOutcome { kAbort, kPruned, kFound, kBranch };
 /// dispatch design (see vc/kernel_dispatch.hpp).
 inline void adopt_node(const ParallelConfig& config, vc::DegreeArray& da,
                        vc::ReduceWorkspace& workspace) {
+  obs::trace_instant(obs::TraceCat::kWork, "adopt", "edges", da.num_edges());
   vc::adopt_node(da, workspace, config.max_degree_backend);
 }
 
@@ -54,11 +56,16 @@ inline NodeOutcome process_node(const graph::CsrGraph& g,
   const std::int64_t e = da.num_edges();
   if (mvc) {
     const std::int64_t best = shared.best();
-    if (s >= best || e > (best - s - 1) * (best - s - 1))
+    if (s >= best || e > (best - s - 1) * (best - s - 1)) {
+      obs::trace_instant_sampled(obs::TraceCat::kBranch, "prune", "size", s);
       return NodeOutcome::kPruned;
+    }
   } else {
     const std::int64_t k = config.k;
-    if (s > k || e > (k - s) * (k - s)) return NodeOutcome::kPruned;
+    if (s > k || e > (k - s) * (k - s)) {
+      obs::trace_instant_sampled(obs::TraceCat::kBranch, "prune", "size", s);
+      return NodeOutcome::kPruned;
+    }
   }
 
   graph::Vertex vmax;
@@ -67,12 +74,14 @@ inline NodeOutcome process_node(const graph::CsrGraph& g,
     vmax = vc::select_branch_vertex(da, config.branch, config.branch_seed);
   }
   if (vmax < 0) {  // edgeless: cover found
+    obs::trace_instant(obs::TraceCat::kBranch, "cover", "size", s);
     if (mvc)
       shared.offer_cover(da);
     else
       shared.set_pvc_found(da);
     return NodeOutcome::kFound;
   }
+  obs::trace_instant_sampled(obs::TraceCat::kBranch, "branch", "v", vmax);
   vmax_out = vmax;
   return NodeOutcome::kBranch;
 }

@@ -1,9 +1,45 @@
 #include "parallel/solver.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
 namespace gvc::parallel {
+
+namespace {
+
+// Process-wide solver-layer counters: the worklist substrate's per-solve
+// stats (already merged by each solver) and the solve/tree-node totals are
+// folded into the registry once per solve() — never on the node hot path.
+struct SolverMetrics {
+  std::shared_ptr<obs::Counter> solves;
+  std::shared_ptr<obs::Counter> tree_nodes;
+  std::shared_ptr<obs::Counter> worklist_adds;
+  std::shared_ptr<obs::Counter> worklist_removes;
+  std::shared_ptr<obs::Counter> worklist_steals;
+  std::shared_ptr<obs::Counter> worklist_steal_attempts;
+
+  static const SolverMetrics& get() {
+    static const SolverMetrics* m = new SolverMetrics{
+        obs::Registry::global().counter("gvc_solves_total",
+                                        "parallel::solve() calls"),
+        obs::Registry::global().counter("gvc_solve_tree_nodes_total",
+                                        "search-tree nodes visited"),
+        obs::Registry::global().counter("gvc_worklist_adds_total",
+                                        "worklist adds + donations"),
+        obs::Registry::global().counter("gvc_worklist_removes_total",
+                                        "worklist removals"),
+        obs::Registry::global().counter("gvc_worklist_steals_total",
+                                        "successful cross-block steals"),
+        obs::Registry::global().counter("gvc_worklist_steal_attempts_total",
+                                        "steal probes of non-empty victims"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 const char* method_name(Method m) {
   switch (m) {
@@ -42,9 +78,12 @@ Method parse_method(const std::string& name) {
   return *m;
 }
 
-ParallelResult solve(const graph::CsrGraph& g, Method method,
-                     const ParallelConfig& config, vc::SolveControl* control,
-                     SolveWorkspace* workspace) {
+namespace {
+
+ParallelResult dispatch_solve(const graph::CsrGraph& g, Method method,
+                              const ParallelConfig& config,
+                              vc::SolveControl* control,
+                              SolveWorkspace* workspace) {
   switch (method) {
     case Method::kSequential: {
       vc::SequentialConfig sc;
@@ -76,6 +115,30 @@ ParallelResult solve(const graph::CsrGraph& g, Method method,
   }
   GVC_CHECK(false);
   return {};
+}
+
+}  // namespace
+
+ParallelResult solve(const graph::CsrGraph& g, Method method,
+                     const ParallelConfig& config, vc::SolveControl* control,
+                     SolveWorkspace* workspace) {
+  ParallelResult result;
+  {
+    obs::TraceSpan span(obs::TraceCat::kSolve, method_name(method), "vertices",
+                        g.num_vertices());
+    result = dispatch_solve(g, method, config, control, workspace);
+  }
+  const SolverMetrics& m = SolverMetrics::get();
+  m.solves->add(1);
+  m.tree_nodes->add(result.tree_nodes);
+  if (result.worklist.adds != 0) m.worklist_adds->add(result.worklist.adds);
+  if (result.worklist.removes != 0)
+    m.worklist_removes->add(result.worklist.removes);
+  if (result.worklist.steals != 0)
+    m.worklist_steals->add(result.worklist.steals);
+  if (result.worklist.steal_attempts != 0)
+    m.worklist_steal_attempts->add(result.worklist.steal_attempts);
+  return result;
 }
 
 }  // namespace gvc::parallel

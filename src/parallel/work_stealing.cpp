@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "parallel/node_visit.hpp"
 #include "parallel/shared_state.hpp"
 #include "util/check.hpp"
@@ -220,6 +221,8 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
             }
             ctx.activities().add(Activity::kWorklistRemove, elapsed);
             steals_total.fetch_add(1, std::memory_order_relaxed);
+            obs::trace_instant(obs::TraceCat::kWork, "steal", "attempts",
+                               static_cast<std::int64_t>(attempts));
           }
           adopt_node(config, da, ws);  // fresh standalone node (pop or steal)
         }
@@ -317,6 +320,8 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
           }
           ctx.activities().add(Activity::kWorklistRemove, elapsed);
           steals_total.fetch_add(1, std::memory_order_relaxed);
+          obs::trace_instant(obs::TraceCat::kWork, "steal", "attempts",
+                             static_cast<std::int64_t>(attempts));
         }
         adopt_node(config, da, ws);  // fresh standalone node (pop or steal)
       }

@@ -148,6 +148,7 @@ class JobState {
       status_ = JobStatus::kCancelled;
       result_ = std::move(placeholder);
       queue_seconds_ = service_now_s() - submit_time_s_;
+      e2e_seconds_ = queue_seconds_;
       lock.unlock();
       cv_.notify_all();
     }
@@ -155,8 +156,10 @@ class JobState {
   }
 
   /// Terminal transition; wakes every waiter. `queue_seconds` /
-  /// `solve_seconds` feed the service's latency accounting. No-op if a
-  /// concurrent cancel() already made the job terminal.
+  /// `solve_seconds` feed the service's latency split; the true
+  /// submit→terminal wall time is stamped here (it covers admission and
+  /// result-delivery overhead the split does not). No-op if a concurrent
+  /// cancel() already made the job terminal.
   void finish(JobStatus status, parallel::ParallelResult result,
               double queue_seconds, double solve_seconds) {
     {
@@ -166,6 +169,7 @@ class JobState {
       result_ = std::move(result);
       queue_seconds_ = queue_seconds;
       solve_seconds_ = solve_seconds;
+      e2e_seconds_ = service_now_s() - submit_time_s_;
     }
     cv_.notify_all();
   }
@@ -199,6 +203,15 @@ class JobState {
     return solve_seconds_;
   }
 
+  /// True submit→terminal wall time (valid once terminal). Unlike
+  /// queue_seconds + solve_seconds this includes admission, cache-serve
+  /// and hand-off time — for a cache hit it is the full (tiny) request
+  /// latency even though no solve ran.
+  double e2e_seconds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return e2e_seconds_;
+  }
+
  private:
   const JobId id_;
   const JobSpec spec_;
@@ -212,6 +225,7 @@ class JobState {
   parallel::ParallelResult result_;
   double queue_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
+  double e2e_seconds_ = 0.0;
 };
 
 /// The caller's handle on a submission. Tickets are value types; copies

@@ -11,6 +11,32 @@ namespace gvc::service {
 JobQueue::JobQueue(std::size_t capacity, FullPolicy policy)
     : capacity_(capacity), policy_(policy) {
   GVC_CHECK_MSG(capacity_ > 0, "JobQueue capacity must be positive");
+
+  obs::Registry& reg = obs::Registry::global();
+  auto counter = [&](const char* name, const char* help,
+                     std::uint64_t Stats::* field) {
+    metric_handles_.push_back(reg.counter_fn(name, help, [this, field] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return static_cast<double>(stats_.*field);
+    }));
+  };
+  counter("gvc_queue_pushed_total", "jobs admitted", &Stats::pushed);
+  counter("gvc_queue_popped_total", "jobs dequeued by workers",
+          &Stats::popped);
+  counter("gvc_queue_rejected_full_total", "pushes refused by backpressure",
+          &Stats::rejected_full);
+  counter("gvc_queue_rejected_expired_total",
+          "pushes refused with an already-passed deadline",
+          &Stats::rejected_expired);
+  counter("gvc_queue_rejected_closed_total", "pushes refused after close()",
+          &Stats::rejected_closed);
+  counter("gvc_queue_blocked_pushes_total",
+          "pushes that waited on a full queue", &Stats::blocked_pushes);
+  metric_handles_.push_back(
+      reg.gauge("gvc_queue_depth", "jobs currently queued", [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<double>(heap_.size());
+      }));
 }
 
 double JobQueue::now_s() { return service_now_s(); }

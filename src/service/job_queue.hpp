@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/job.hpp"
 
 namespace gvc::service {
@@ -96,6 +97,12 @@ class JobQueue {
   static bool runs_later(const Entry& a, const Entry& b);
   void heap_push(Entry e);
   Entry heap_pop();
+
+  // Registry exposure of the stats above (gvc_queue_*); a sharded service
+  // registers one JobQueue per shard and the scrape sums the family.
+  // Callbacks capture `this` and take mutex_ — declared LAST so they
+  // unregister before any other member dies.
+  std::vector<obs::Registry::CallbackHandle> metric_handles_;
 };
 
 }  // namespace gvc::service

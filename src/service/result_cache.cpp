@@ -1,5 +1,6 @@
 #include "service/result_cache.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace gvc::service {
@@ -9,6 +10,44 @@ ResultCache::ResultCache(std::size_t capacity, double min_cache_seconds)
   GVC_CHECK_MSG(capacity_ > 0, "ResultCache capacity must be positive");
   GVC_CHECK_MSG(min_cache_seconds_ >= 0.0,
                 "min_cache_seconds must be non-negative");
+
+  // Expose the existing (mutex-guarded) stats through the registry; the
+  // scrape sums every live cache in the process. Cumulative counts go out
+  // as counters, the entry populations as gauges.
+  obs::Registry& reg = obs::Registry::global();
+  auto counter = [&](const char* name, const char* help,
+                     std::uint64_t Stats::* field) {
+    metric_handles_.push_back(reg.counter_fn(name, help, [this, field] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return static_cast<double>(stats_.*field);
+    }));
+  };
+  counter("gvc_cache_hits_total", "completed-entry cache hits",
+          &Stats::hits);
+  counter("gvc_cache_misses_total", "cache probes that found nothing",
+          &Stats::misses);
+  counter("gvc_cache_coalesced_total", "submissions coalesced in flight",
+          &Stats::inflight_hits);
+  counter("gvc_cache_bypasses_total", "in-flight keys solved independently",
+          &Stats::bypasses);
+  counter("gvc_cache_inserts_total", "completed records stored",
+          &Stats::inserts);
+  counter("gvc_cache_refused_total", "records refused at admission",
+          &Stats::refused);
+  counter("gvc_cache_evictions_total", "completed entries LRU-evicted",
+          &Stats::evictions);
+  metric_handles_.push_back(
+      reg.gauge("gvc_cache_completed_entries", "completed entries held",
+                [this] {
+                  std::lock_guard<std::mutex> lock(mutex_);
+                  return static_cast<double>(lru_.size());
+                }));
+  metric_handles_.push_back(
+      reg.gauge("gvc_cache_inflight_entries", "pinned in-flight keys",
+                [this] {
+                  std::lock_guard<std::mutex> lock(mutex_);
+                  return static_cast<double>(map_.size() - lru_.size());
+                }));
 }
 
 void ResultCache::touch(Node& node) {
@@ -36,6 +75,7 @@ ResultCache::Outcome ResultCache::acquire(
       ++stats_.hits;
       touch(node);
       if (result_out) *result_out = node.result;
+      obs::trace_instant(obs::TraceCat::kCache, "cache_hit");
       return Outcome::kHit;
     }
     if (node.inflight_owner != nullptr &&
@@ -52,13 +92,16 @@ ResultCache::Outcome ResultCache::acquire(
       // under the owner's control, so its answer may be truncated in ways
       // this caller did not ask for. Run independently.
       ++stats_.bypasses;
+      obs::trace_instant(obs::TraceCat::kCache, "cache_bypass");
       return Outcome::kBypass;
     }
     ++stats_.inflight_hits;
     if (owner_out) *owner_out = node.inflight_owner;
+    obs::trace_instant(obs::TraceCat::kCache, "cache_coalesce");
     return Outcome::kInflight;
   }
   ++stats_.misses;
+  obs::trace_instant(obs::TraceCat::kCache, "cache_miss");
   Node node;
   node.ready = false;
   node.inflight_owner = fresh;
@@ -91,6 +134,7 @@ void ResultCache::complete(const CacheKey& key,
   if (!vc::is_complete(result.outcome) ||
       result.seconds < min_cache_seconds_) {
     ++stats_.refused;
+    obs::trace_instant(obs::TraceCat::kCache, "cache_refuse");
     if (it != map_.end() &&
         (owner == nullptr ? it->second.inflight_owner == nullptr
                           : it->second.inflight_owner.get() == owner))
@@ -106,6 +150,7 @@ void ResultCache::complete(const CacheKey& key,
   lru_.push_front(key);
   node.lru_it = lru_.begin();
   ++stats_.inserts;
+  obs::trace_instant(obs::TraceCat::kCache, "cache_store");
   evict_down_to_capacity();
 }
 

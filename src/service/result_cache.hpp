@@ -41,7 +41,9 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/config.hpp"
 #include "service/graph_hash.hpp"
 #include "service/job.hpp"
@@ -144,6 +146,11 @@ class ResultCache {
 
   void touch(Node& node);                    // move to LRU front
   void evict_down_to_capacity();
+
+  // Registry exposure of the stats above (gvc_cache_*). Callbacks capture
+  // `this` and take mutex_, so the handles are declared LAST: they
+  // unregister (and thereby quiesce scrapes) before any other member dies.
+  std::vector<obs::Registry::CallbackHandle> metric_handles_;
 };
 
 }  // namespace gvc::service

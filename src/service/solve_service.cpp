@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace gvc::service {
 
@@ -45,8 +47,33 @@ bool JobTicket::cancel() const {
 }
 
 SolveService::SolveService(ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      phase_table_(std::max(1, options_.num_workers)) {
   options_.num_workers = std::max(1, options_.num_workers);
+
+  obs::Registry& reg = obs::Registry::global();
+  submitted_ = reg.counter("gvc_service_jobs_submitted_total",
+                           "jobs submitted (incl. hits/coalesced/rejects)");
+  completed_ = reg.counter("gvc_service_jobs_completed_total",
+                           "jobs solved by a worker");
+  cache_hits_ = reg.counter("gvc_service_cache_hits_total",
+                            "submissions served from a completed entry");
+  coalesced_ = reg.counter("gvc_service_jobs_coalesced_total",
+                           "submissions attached to an in-flight job");
+  rejected_ = reg.counter("gvc_service_jobs_rejected_total",
+                          "submissions refused at admission");
+  expired_ = reg.counter("gvc_service_jobs_expired_total",
+                         "jobs whose deadline fired");
+  cancelled_ = reg.counter("gvc_service_jobs_cancelled_total",
+                           "jobs cancelled (queued or mid-solve)");
+  queue_wait_hist_ =
+      reg.histogram("gvc_service_queue_wait_seconds",
+                    "submission -> dequeue (or queued drop) wall time");
+  solve_hist_ = reg.histogram("gvc_service_solve_seconds",
+                              "worker solve wall time");
+  e2e_hist_ = reg.histogram("gvc_service_e2e_seconds",
+                            "true submit -> terminal wall time");
+
   cache_ = options_.cache
                ? options_.cache
                : std::make_shared<ResultCache>(options_.cache_capacity,
@@ -85,7 +112,7 @@ int SolveService::shard_of(const CacheKey& key) const {
 
 JobTicket SolveService::submit(JobSpec spec) {
   GVC_CHECK_MSG(spec.graph != nullptr, "JobSpec.graph must be set");
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_->add();
 
   // Route on the submitted request, then pin the executed device: the
   // shard choice is deterministic in the submitted config, so identical
@@ -107,11 +134,15 @@ JobTicket SolveService::submit(JobSpec spec) {
   auto state = std::make_shared<JobState>(
       next_job_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec),
       key);
+  obs::trace_instant(obs::TraceCat::kService, "job_submit", "job",
+                     static_cast<std::int64_t>(state->id()));
 
   if (shutdown_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->add();
     state->finish(JobStatus::kRejected,
                   dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
+    observe_latency(state->e2e_seconds(), 0.0, 0.0,
+                    /*queued=*/false, /*solved=*/false);
     return JobTicket{std::move(state)};
   }
 
@@ -119,14 +150,16 @@ JobTicket SolveService::submit(JobSpec spec) {
   std::shared_ptr<JobState> owner;
   switch (cache_->acquire(key, state, &cached, &owner)) {
     case ResultCache::Outcome::kHit: {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->add();
       state->finish(JobStatus::kDone, std::move(cached), 0.0, 0.0);
+      observe_latency(state->e2e_seconds(), 0.0, 0.0,
+                      /*queued=*/false, /*solved=*/false);
       JobTicket t{std::move(state)};
       t.cache_hit = true;
       return t;
     }
     case ResultCache::Outcome::kInflight: {
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_->add();
       JobTicket t{std::move(owner)};
       t.coalesced = true;
       return t;
@@ -148,14 +181,16 @@ JobTicket SolveService::submit(JobSpec spec) {
   if (outcome != JobQueue::PushOutcome::kAccepted) {
     cache_->abandon(key, state.get());
     if (outcome == JobQueue::PushOutcome::kRejectedExpired) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      expired_->add();
       state->finish(JobStatus::kExpired,
                     dropped_result(vc::Outcome::kDeadline), 0.0, 0.0);
     } else {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->add();
       state->finish(JobStatus::kRejected,
                     dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
     }
+    observe_latency(state->e2e_seconds(), 0.0, 0.0,
+                    /*queued=*/false, /*solved=*/false);
   }
   return JobTicket{std::move(state)};
 }
@@ -180,7 +215,16 @@ const parallel::ParallelResult* SolveService::try_poll(
   return ticket.state->try_poll();
 }
 
+void SolveService::observe_latency(double e2e_s, double queue_s,
+                                   double solve_s, bool queued, bool solved) {
+  e2e_hist_->observe_seconds(e2e_s);
+  if (queued) queue_wait_hist_->observe_seconds(queue_s);
+  if (solved) solve_hist_->observe_seconds(solve_s);
+}
+
 void SolveService::worker_loop(int w) {
+  obs::set_thread_label(util::format("svc-worker-%d", w));
+
   // The worker's cross-job solver scratch: reduce workspaces stay warm
   // from one job to the next, trimmed after each job to a pool bound that
   // covers every resident-grid size this substrate plans (so a one-off
@@ -190,18 +234,28 @@ void SolveService::worker_loop(int w) {
   JobQueue& queue = *queues_[static_cast<std::size_t>(w)];
 
   for (;;) {
+    const double idle_from_s = service_now_s();
     std::shared_ptr<JobState> job = queue.pop();
+    phase_table_.add(w, obs::Phase::kIdle,
+                     static_cast<std::uint64_t>(
+                         (service_now_s() - idle_from_s) * 1e9));
     if (!job) return;  // closed and drained
 
     const double dequeued_s = service_now_s();
     const double queue_seconds = dequeued_s - job->submit_time_s();
     const JobSpec& spec = job->spec();
+    obs::trace_instant(obs::TraceCat::kService, "job_dequeue", "job",
+                       static_cast<std::int64_t>(job->id()));
 
     const double deadline_abs =
         spec.deadline_s > 0.0 ? job->submit_time_s() + spec.deadline_s : 0.0;
     if (deadline_abs > 0.0 && dequeued_s >= deadline_abs) {
       cache_->abandon(job->key(), job.get());
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      expired_->add();
+      obs::trace_instant(obs::TraceCat::kService, "job_expired", "job",
+                         static_cast<std::int64_t>(job->id()));
+      observe_latency(service_now_s() - job->submit_time_s(), queue_seconds,
+                      0.0, /*queued=*/true, /*solved=*/false);
       job->finish(JobStatus::kExpired, dropped_result(vc::Outcome::kDeadline),
                   queue_seconds, 0.0);
       continue;
@@ -217,17 +271,42 @@ void SolveService::worker_loop(int w) {
       // an identical later submission already adopted it) so the next
       // identical submission re-solves, and account the cancellation here:
       // the canceller flipped the status but cannot reach the counters.
+      // The canceller already stamped the e2e time (cancel() turned the
+      // state terminal before this dequeue), so the latency is observed
+      // here — once, from the stamped values. Like the cancelled_ count,
+      // the samples land when the worker drains the entry; a stats() read
+      // racing the drain may not see them yet (shutdown() makes it final).
       cache_->abandon(job->key(), job.get());
-      if (job->status() == JobStatus::kCancelled)
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      if (job->status() == JobStatus::kCancelled) {
+        cancelled_->add();
+        observe_latency(job->e2e_seconds(), job->queue_seconds(), 0.0,
+                        /*queued=*/true, /*solved=*/false);
+      }
       continue;
     }
 
     // The executed device was already pinned into spec.config at submit
     // (so the cache key describes exactly this run).
-    parallel::ParallelResult result = parallel::solve(
-        *spec.graph, spec.method, spec.config, &control, &workspace);
+    parallel::ParallelResult result;
+    {
+      obs::TraceSpan span(obs::TraceCat::kService, "job_solve", "job",
+                          static_cast<std::int64_t>(job->id()));
+      result = parallel::solve(*spec.graph, spec.method, spec.config,
+                               &control, &workspace);
+    }
     const double solve_seconds = service_now_s() - dequeued_s;
+
+    // Fold the solve's own activity profile into this worker's phase
+    // split. The blocks ran on the launch's simulated-SM threads, so this
+    // is CPU work attributed to the worker that drove the launch; solvers
+    // that report no block activity (Sequential's direct path) book their
+    // wall time as kOther so the table still accounts every solve.
+    if (result.launch.blocks.empty()) {
+      phase_table_.add(w, obs::Phase::kOther,
+                       static_cast<std::uint64_t>(solve_seconds * 1e9));
+    } else {
+      phase_table_.add_activities(w, result.launch.merged_activities());
+    }
 
     // Cache admission is the ResultCache's policy now (see complete()):
     // incomplete records — limit hits, kDeadline, kCancelled — are refused
@@ -235,8 +314,12 @@ void SolveService::worker_loop(int w) {
     // solves; a refusal drops this job's in-flight registration so the
     // next identical submission re-solves. Already-coalesced tickets
     // still get this result through the shared JobState.
+    const double cache_from_s = service_now_s();
     cache_->complete(job->key(), result, job.get());
     workspace.trim(kRetainedWorkspaceBlocks);
+    phase_table_.add(w, obs::Phase::kCache,
+                     static_cast<std::uint64_t>(
+                         (service_now_s() - cache_from_s) * 1e9));
     jobs_per_worker_[static_cast<std::size_t>(w)]->fetch_add(
         1, std::memory_order_relaxed);
 
@@ -246,32 +329,42 @@ void SolveService::worker_loop(int w) {
     JobStatus status = JobStatus::kDone;
     if (result.outcome == vc::Outcome::kCancelled) {
       status = JobStatus::kCancelled;
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cancelled_->add();
     } else if (result.outcome == vc::Outcome::kDeadline) {
       status = JobStatus::kExpired;
-      expired_.fetch_add(1, std::memory_order_relaxed);
+      expired_->add();
     } else {
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_->add();
     }
+    obs::trace_instant(obs::TraceCat::kService, job_status_name(status),
+                       "job", static_cast<std::int64_t>(job->id()));
+    observe_latency(service_now_s() - job->submit_time_s(), queue_seconds,
+                    solve_seconds, /*queued=*/true, /*solved=*/true);
     job->finish(status, std::move(result), queue_seconds, solve_seconds);
   }
 }
 
 ServiceStats SolveService::stats() const {
   ServiceStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.coalesced = coalesced_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.expired = expired_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.submitted = submitted_->value();
+  s.completed = completed_->value();
+  s.cache_hits = cache_hits_->value();
+  s.coalesced = coalesced_->value();
+  s.rejected = rejected_->value();
+  s.expired = expired_->value();
+  s.cancelled = cancelled_->value();
   s.cache = cache_->stats();
   s.queues.reserve(queues_.size());
   for (const auto& q : queues_) s.queues.push_back(q->stats());
   s.jobs_per_worker.reserve(jobs_per_worker_.size());
   for (const auto& c : jobs_per_worker_)
     s.jobs_per_worker.push_back(c->load(std::memory_order_relaxed));
+  s.queue_wait = queue_wait_hist_->snapshot();
+  s.solve_latency = solve_hist_->snapshot();
+  s.e2e_latency = e2e_hist_->snapshot();
+  s.worker_phases.reserve(static_cast<std::size_t>(phase_table_.slots()));
+  for (int w = 0; w < phase_table_.slots(); ++w)
+    s.worker_phases.push_back(phase_table_.snapshot(w));
   return s;
 }
 

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "device/device_spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "parallel/solver.hpp"
 #include "service/job.hpp"
 #include "service/job_queue.hpp"
@@ -83,6 +85,10 @@ struct ServiceOptions {
   bool partition_device = true;
 };
 
+// A point-in-time view over the service's registry collectors. The scalar
+// counters below read the service's OWN obs::Counter handles — two
+// services in one process see only their own numbers here, while
+// obs::Registry::global() scrapes the per-name fleet sums.
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;   ///< solved by a worker
@@ -97,6 +103,18 @@ struct ServiceStats {
   ResultCache::Stats cache;
   std::vector<JobQueue::Stats> queues;           ///< one per shard
   std::vector<std::uint64_t> jobs_per_worker;    ///< solves executed
+
+  /// Latency histograms (log-bucketed, bounded memory — replacing the old
+  /// grow-forever sample vectors). One sample lands in `e2e_latency` per
+  /// non-coalesced submission at its terminal transition; `queue_wait`
+  /// gets one per job that entered a queue; `solve_latency` one per solve
+  /// a worker actually ran.
+  obs::Histogram::Snapshot queue_wait;
+  obs::Histogram::Snapshot solve_latency;
+  obs::Histogram::Snapshot e2e_latency;  ///< true submit→terminal wall time
+
+  /// Per-worker cumulative phase split (the live Fig. 6 breakdown).
+  std::vector<obs::PhaseTable::Snapshot> worker_phases;
 };
 
 class SolveService {
@@ -143,6 +161,10 @@ class SolveService {
 
   ServiceStats stats() const;
 
+  /// Live per-worker phase profile (readable while workers run; relaxed
+  /// monotone counters — the progress monitors poll this).
+  const obs::PhaseTable& phases() const { return phase_table_; }
+
   /// SM-wise partition of `device` into `workers` slices (exposed for
   /// tests): each slice keeps the per-SM ratios and splits num_sms and
   /// global memory as evenly as integer division allows, every slice
@@ -152,6 +174,8 @@ class SolveService {
 
  private:
   ServiceOptions options_;
+  /// Per-worker phase profile; sized from the clamped worker count.
+  obs::PhaseTable phase_table_;
   std::shared_ptr<ResultCache> cache_;
   std::vector<device::DeviceSpec> worker_devices_;
   std::vector<std::unique_ptr<JobQueue>> queues_;
@@ -161,17 +185,31 @@ class SolveService {
   std::atomic<bool> shutdown_{false};
   std::mutex shutdown_mutex_;  ///< serializes shutdown()/destructor joins
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> expired_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
+  // Lifecycle counters, held as this instance's registry collectors
+  // (gvc_service_*): ServiceStats reads these handles, the registry scrape
+  // sums them across services.
+  std::shared_ptr<obs::Counter> submitted_;
+  std::shared_ptr<obs::Counter> completed_;
+  std::shared_ptr<obs::Counter> cache_hits_;
+  std::shared_ptr<obs::Counter> coalesced_;
+  std::shared_ptr<obs::Counter> rejected_;
+  std::shared_ptr<obs::Counter> expired_;
+  std::shared_ptr<obs::Counter> cancelled_;
+  std::shared_ptr<obs::Histogram> queue_wait_hist_;
+  std::shared_ptr<obs::Histogram> solve_hist_;
+  std::shared_ptr<obs::Histogram> e2e_hist_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_per_worker_;
 
   int shard_of(const CacheKey& key) const;
   void worker_loop(int w);
+  /// Stamp one terminal job's latencies into the histograms. `queued`: the
+  /// job entered a shard queue (queue_s is meaningful); `solved`: a worker
+  /// ran a solve for it. Workers call this BEFORE JobState::finish() wakes
+  /// the waiters, so a stats() read that follows a wait() always includes
+  /// the job's samples (the observed e2e is measured immediately before
+  /// the terminal stamp; the difference is the hand-off, ~ns).
+  void observe_latency(double e2e_s, double queue_s, double solve_s,
+                       bool queued, bool solved);
 };
 
 }  // namespace gvc::service

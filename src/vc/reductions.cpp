@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace gvc::vc {
@@ -1185,6 +1186,18 @@ ReduceStats reduce(const CsrGraph& g, DegreeArray& da,
                    ReduceWorkspace* ws, KernelDispatch dispatch) {
   ReduceWorkspace local;
   ReduceWorkspace& w = ws ? *ws : local;
+
+  // Sampled fixpoint span. The tag argument encodes the dispatch shape the
+  // pass runs under (width | density<<2 | live_rules<<3); -1 before the
+  // lineage's first classification (right after adoption).
+  obs::TraceSpanSampled trace_span(
+      obs::TraceCat::kReduce, "reduce", "tag",
+      w.kernel_tag_valid
+          ? static_cast<std::int64_t>(
+                static_cast<unsigned>(w.kernel_tag.width) |
+                (static_cast<unsigned>(w.kernel_tag.density) << 2) |
+                (static_cast<unsigned>(w.kernel_tag.live_rules) << 3))
+          : -1);
 
   if (dispatch == KernelDispatch::kAuto &&
       semantics != ReduceSemantics::kSerial) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "vc/degree_buckets.hpp"
 
@@ -81,6 +82,8 @@ void UndoTrail::reset() {
 bool retreat_to_next_branch(UndoTrail& trail, std::vector<BranchFrame>& frames,
                             const graph::CsrGraph& g, DegreeArray& da,
                             util::ActivityAccumulator* acc) {
+  obs::trace_instant_sampled(obs::TraceCat::kBranch, "undo", "depth",
+                             static_cast<std::int64_t>(frames.size()));
   while (!frames.empty()) {
     BranchFrame& f = frames.back();
     // Undo the child sub-tree just completed (the vmax child on the first

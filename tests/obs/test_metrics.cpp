@@ -1,0 +1,278 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace gvc::obs {
+namespace {
+
+// ---- Counter ---------------------------------------------------------------
+
+TEST(Counter, SumsAcrossShardsAndThreads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddWithWeight) {
+  Counter c;
+  c.add(5);
+  c.add(0);
+  c.add(37);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+// ---- Histogram bucket math -------------------------------------------------
+
+TEST(Histogram, BucketIndexIsExactBelowEight) {
+  for (std::uint64_t ns = 0; ns < 8; ++ns)
+    EXPECT_EQ(Histogram::bucket_index(ns), static_cast<int>(ns));
+}
+
+TEST(Histogram, BucketIndexIsMonotoneNonDecreasing) {
+  std::uint64_t prev_ns = 0;
+  int prev_bucket = Histogram::bucket_index(0);
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int shift = 0; shift < 63; ++shift) {
+    const std::uint64_t base = std::uint64_t{1} << shift;
+    samples.push_back(base);            // octave boundary
+    samples.push_back(base + rng() % base);  // random point inside it
+    samples.push_back(base * 2 - 1);    // last value of the octave
+  }
+  std::sort(samples.begin(), samples.end());
+  for (std::uint64_t ns : samples) {
+    const int b = Histogram::bucket_index(ns);
+    ASSERT_GE(ns, prev_ns);
+    EXPECT_GE(b, prev_bucket) << "ns=" << ns;
+    prev_ns = ns;
+    prev_bucket = b;
+  }
+}
+
+TEST(Histogram, BucketUpperBoundRoundTrips) {
+  // Every sample lands in a bucket whose upper bound is >= the sample and
+  // within 12.5% of it (the quantile error bound), and the upper bound
+  // itself maps back to the same bucket.
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 20'000; ++i) {
+    const int shift = static_cast<int>(rng() % 62);
+    const std::uint64_t ns = (std::uint64_t{1} << shift) | (rng() & ((std::uint64_t{1} << shift) - 1));
+    const int b = Histogram::bucket_index(ns);
+    const std::uint64_t upper = Histogram::bucket_upper_ns(b);
+    ASSERT_GE(upper, ns);
+    EXPECT_EQ(Histogram::bucket_index(upper), b) << "upper=" << upper;
+    if (b + 1 < Histogram::kBucketCount)
+      EXPECT_EQ(Histogram::bucket_index(upper + 1), b + 1);
+    EXPECT_LE(static_cast<double>(upper - ns),
+              0.125 * static_cast<double>(ns) + 1.0)
+        << "ns=" << ns;
+  }
+}
+
+// ---- Histogram observe/snapshot/quantiles ----------------------------------
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.quantile_ns(0.5), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds(), 0.0);
+}
+
+TEST(Histogram, SingleSampleAllQuantilesHitIt) {
+  Histogram h;
+  h.observe_ns(1'000'000);  // 1 ms
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min_ns, 1'000'000u);
+  EXPECT_EQ(s.max_ns, 1'000'000u);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    // Clamped to [min, max] => exact for a single sample.
+    EXPECT_EQ(s.quantile_ns(q), 1'000'000u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesMatchUtilQuantileWithinBucketError) {
+  // The histogram's quantile (bucket upper bound, clamped) must stay
+  // within the documented 12.5% of the exact sample quantile.
+  std::mt19937_64 rng(23);
+  Histogram h;
+  std::vector<double> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    // Log-uniform over ~1us .. ~100ms, the service latency range.
+    const double ns = std::exp(std::uniform_real_distribution<double>(
+        std::log(1e3), std::log(1e8))(rng));
+    h.observe_ns(static_cast<std::uint64_t>(ns));
+    exact.push_back(ns);
+  }
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.count, exact.size());
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.99}) {
+    const double approx = static_cast<double>(s.quantile_ns(q));
+    const double truth = util::quantile(exact, q);
+    EXPECT_GT(approx, truth * 0.875) << "q=" << q;
+    EXPECT_LT(approx, truth * 1.13 + 2.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ObserveSecondsClampsNegativeToZero) {
+  Histogram h;
+  h.observe_seconds(-1.0);
+  h.observe_seconds(0.5);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min_ns, 0u);
+}
+
+TEST(Histogram, SnapshotMergeAddsCountsAndExtremes) {
+  Histogram a, b;
+  a.observe_ns(100);
+  a.observe_ns(200);
+  b.observe_ns(50);
+  b.observe_ns(400);
+  Histogram::Snapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum_ns, 750u);
+  EXPECT_EQ(s.min_ns, 50u);
+  EXPECT_EQ(s.max_ns, 400u);
+}
+
+TEST(Histogram, ConcurrentObserveWithSnapshotReads) {
+  // TSan-relevant: snapshots race observes by design (relaxed monotone
+  // counters). The final quiescent snapshot must be exact.
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const Histogram::Snapshot s = h.snapshot();
+      // A mid-flight snapshot is some consistent-enough prefix: count can
+      // trail the bucket sum but the quantile math must never crash.
+      (void)s.quantile_ns(0.5);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe_ns(static_cast<std::uint64_t>(i));
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(h.snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(Registry, SameNameCountersFormAFamilySummedAtScrape) {
+  Registry reg;
+  auto a = reg.counter("test_family_total", "help");
+  auto b = reg.counter("test_family_total");
+  a->add(3);
+  b->add(4);
+  // Per-instance semantics preserved...
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(b->value(), 4u);
+  // ...while the registry view is the family sum.
+  EXPECT_EQ(reg.counter_value("test_family_total"), 7u);
+}
+
+TEST(Registry, DeadCollectorsDropOutOfTheScrape) {
+  Registry reg;
+  auto a = reg.counter("test_dead_total");
+  a->add(5);
+  {
+    auto b = reg.counter("test_dead_total");
+    b->add(7);
+    EXPECT_EQ(reg.counter_value("test_dead_total"), 12u);
+  }
+  EXPECT_EQ(reg.counter_value("test_dead_total"), 5u);
+}
+
+TEST(Registry, GaugeHandleUnregistersOnDestruction) {
+  Registry reg;
+  {
+    auto h = reg.gauge("test_gauge", "", [] { return 42.0; });
+    EXPECT_NE(reg.prometheus_text().find("test_gauge 42"), std::string::npos);
+  }
+  EXPECT_EQ(reg.prometheus_text().find("test_gauge"), std::string::npos);
+}
+
+TEST(Registry, CallbackHandleMoveTransfersOwnership) {
+  Registry reg;
+  auto h1 = reg.gauge("test_moved_gauge", "", [] { return 1.0; });
+  Registry::CallbackHandle h2 = std::move(h1);
+  h1.reset();  // moved-from: must be a no-op
+  EXPECT_NE(reg.prometheus_text().find("test_moved_gauge"),
+            std::string::npos);
+  h2.reset();
+  EXPECT_EQ(reg.prometheus_text().find("test_moved_gauge"),
+            std::string::npos);
+}
+
+TEST(Registry, CounterFnExposedAsCounterType) {
+  Registry reg;
+  auto h = reg.counter_fn("test_cb_total", "cumulative thing",
+                          [] { return 9.0; });
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE test_cb_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_cb_total 9"), std::string::npos);
+}
+
+TEST(Registry, PrometheusTextShapeForHistograms) {
+  Registry reg;
+  auto h = reg.histogram("test_latency_seconds", "a latency");
+  h->observe_seconds(0.001);
+  h->observe_seconds(0.004);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP test_latency_seconds a latency"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(Registry, JsonTextContainsQuantiles) {
+  Registry reg;
+  auto h = reg.histogram("test_json_seconds");
+  for (int i = 1; i <= 100; ++i)
+    h->observe_ns(static_cast<std::uint64_t>(i) * 1000);
+  const std::string json = reg.json_text();
+  EXPECT_NE(json.find("\"test_json_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace gvc::obs

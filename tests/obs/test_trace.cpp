@@ -1,0 +1,229 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gvc::obs {
+namespace {
+
+/// Counts occurrences of `needle` in `hay`.
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+std::string export_json() {
+  std::ostringstream os;
+  EXPECT_TRUE(trace_write_chrome_json(os));
+  return os.str();
+}
+
+/// Each test runs a fresh session; trace_start retires the previous one.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { trace_stop(); }
+};
+
+TEST_F(TraceTest, DisabledHooksRecordNothing) {
+  trace_stop();  // ensure off
+  EXPECT_FALSE(tracing());
+  trace_instant(TraceCat::kWork, "ignored");
+  { TraceSpan s(TraceCat::kSolve, "ignored_span"); }
+  // No session was started by those calls; a later session starts empty.
+  ASSERT_TRUE(trace_start());
+  const TraceSummary sum = trace_summary();
+  EXPECT_EQ(sum.events, 0u);
+}
+
+TEST_F(TraceTest, StartStopLifecycle) {
+  ASSERT_TRUE(trace_start());
+  EXPECT_TRUE(tracing());
+  EXPECT_FALSE(trace_start()) << "second start while active must fail";
+  ASSERT_TRUE(trace_stop());
+  EXPECT_FALSE(tracing());
+  EXPECT_FALSE(trace_stop()) << "second stop must fail";
+}
+
+TEST_F(TraceTest, InstantAndSpanExport) {
+  TraceOptions opts;
+  opts.sample_every = 1;
+  ASSERT_TRUE(trace_start(opts));
+  set_thread_label("trace-test-main");
+  trace_instant(TraceCat::kCache, "hit", "key", 42);
+  {
+    TraceSpan span(TraceCat::kSolve, "solving", "vertices", 100);
+    EXPECT_TRUE(span.recorded());
+    trace_instant(TraceCat::kBranch, "branch");
+  }
+  trace_stop();
+
+  const std::string json = export_json();
+  EXPECT_NE(json.find("\"name\":\"hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"key\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"solving\",\"cat\":\"solve\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 1u);
+  EXPECT_NE(json.find("trace-test-main"), std::string::npos);
+  EXPECT_EQ(trace_summary().events, 4u);  // i + B + i + E
+}
+
+TEST_F(TraceTest, CapacityDropsNewestButKeepsSpansBalanced) {
+  TraceOptions opts;
+  opts.capacity_per_thread = 16;  // below the floor: clamped up to 64
+  opts.sample_every = 1;
+  ASSERT_TRUE(trace_start(opts));
+  // Overfill with instants, then interleave spans: every B that records
+  // must get its E even at capacity.
+  for (int i = 0; i < 256; ++i) trace_instant(TraceCat::kWork, "flood");
+  for (int i = 0; i < 8; ++i) {
+    TraceSpan span(TraceCat::kReduce, "span_at_capacity");
+    trace_instant(TraceCat::kWork, "inner");
+  }
+  trace_stop();
+
+  const TraceSummary sum = trace_summary();
+  EXPECT_LE(sum.events, 64u);  // trace_start floors capacity at 64
+  EXPECT_GT(sum.dropped, 0u);
+  const std::string json = export_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), count_of(json, "\"ph\":\"E\""));
+}
+
+TEST_F(TraceTest, SamplingRecordsOneInN) {
+  TraceOptions opts;
+  opts.sample_every = 10;
+  ASSERT_TRUE(trace_start(opts));
+  for (int i = 0; i < 1000; ++i)
+    trace_instant_sampled(TraceCat::kReduce, "sampled");
+  trace_stop();
+  EXPECT_EQ(trace_summary().events, 100u);
+}
+
+TEST_F(TraceTest, UnsampledHooksIgnoreSampleEvery) {
+  TraceOptions opts;
+  opts.sample_every = 10;
+  ASSERT_TRUE(trace_start(opts));
+  for (int i = 0; i < 50; ++i) trace_instant(TraceCat::kService, "always");
+  trace_stop();
+  EXPECT_EQ(trace_summary().events, 50u);
+}
+
+TEST_F(TraceTest, OpenSpansAreClosedSyntheticallyAtExport) {
+  ASSERT_TRUE(trace_start());
+  auto* leaked = new TraceSpan(TraceCat::kSolve, "never_closed");
+  ASSERT_TRUE(leaked->recorded());
+  trace_instant(TraceCat::kWork, "marker");
+  trace_stop();
+
+  const std::string json = export_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), count_of(json, "\"ph\":\"E\""))
+      << "exporter must close open spans synthetically";
+  // The span object is still alive; destroying it after the stop must not
+  // write into a dead session (epoch guard).
+  delete leaked;
+  const std::string json2 = export_json();
+  EXPECT_EQ(count_of(json2, "\"ph\":\"E\""), count_of(json, "\"ph\":\"E\""));
+}
+
+TEST_F(TraceTest, SpanAcrossStopStartDoesNotLeakIntoNewSession) {
+  ASSERT_TRUE(trace_start());
+  {
+    TraceSpan span(TraceCat::kSolve, "old_epoch");
+    ASSERT_TRUE(span.recorded());
+    trace_stop();
+    ASSERT_TRUE(trace_start());
+    // span's destructor fires here, in the NEW session: must be dropped.
+  }
+  trace_stop();
+  const std::string json = export_json();
+  EXPECT_EQ(count_of(json, "old_epoch"), 0u);
+}
+
+TEST_F(TraceTest, MultithreadedRecordingKeepsPerThreadOrder) {
+  TraceOptions opts;
+  opts.sample_every = 1;
+  // Big enough that even if every thread recycles into one buffer
+  // (kThreads * kEvents * 3 events), nothing is dropped.
+  opts.capacity_per_thread = std::size_t{1} << 16;
+  ASSERT_TRUE(trace_start(opts));
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      set_thread_label("worker-" + std::to_string(t));
+      for (int i = 0; i < kEvents; ++i) {
+        TraceSpan span(TraceCat::kWork, "unit", "i", i);
+        trace_instant(TraceCat::kWork, "tick", "i", i);
+      }
+    });
+  for (auto& th : threads) th.join();
+  trace_stop();
+
+  const TraceSummary sum = trace_summary();
+  // Fast threads may exit before slow ones register, releasing their
+  // buffer id for reuse — so the live-buffer count is only bounded above.
+  EXPECT_GE(sum.threads, 1u);
+  EXPECT_LE(sum.threads, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(sum.dropped, 0u);
+  EXPECT_EQ(sum.events, static_cast<std::size_t>(kThreads) * kEvents * 3);
+  const std::string json = export_json();
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), count_of(json, "\"ph\":\"E\""));
+}
+
+TEST_F(TraceTest, ExitedThreadBuffersAreReused) {
+  TraceOptions opts;
+  opts.max_threads = 4;
+  ASSERT_TRUE(trace_start(opts));
+  // Far more threads than max_threads, sequentially: each exits before the
+  // next starts, so its buffer id is recycled and nothing is refused.
+  for (int t = 0; t < 16; ++t) {
+    std::thread th([] { trace_instant(TraceCat::kWork, "serial"); });
+    th.join();
+  }
+  trace_stop();
+  const TraceSummary sum = trace_summary();
+  EXPECT_LE(sum.threads, 4u);
+  EXPECT_EQ(sum.events, 16u);
+  EXPECT_EQ(sum.dropped, 0u);
+}
+
+TEST_F(TraceTest, RestartClearsPreviousEvents) {
+  ASSERT_TRUE(trace_start());
+  trace_instant(TraceCat::kWork, "first_session_event");
+  trace_stop();
+  ASSERT_TRUE(trace_start());
+  trace_instant(TraceCat::kWork, "second_session_event");
+  trace_stop();
+  const std::string json = export_json();
+  EXPECT_EQ(count_of(json, "first_session_event"), 0u);
+  EXPECT_EQ(count_of(json, "second_session_event"), 1u);
+}
+
+TEST_F(TraceTest, ExportWhileRecordingSeesAPrefix) {
+  TraceOptions opts;
+  opts.sample_every = 1;
+  ASSERT_TRUE(trace_start(opts));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire))
+      trace_instant(TraceCat::kWork, "live");
+  });
+  for (int i = 0; i < 5; ++i) {
+    std::ostringstream os;
+    EXPECT_TRUE(trace_write_chrome_json(os));  // must not crash or race
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace gvc::obs

@@ -1,0 +1,235 @@
+// Counter-consistency of ServiceStats under a mixed workload (the ISSUE-7
+// observability contract): every submission ends in exactly one terminal
+// class, the per-queue stats sum to the service totals, and the latency
+// histograms account exactly the jobs they claim to.
+//
+// The invariants are checked at quiescent points — after shutdown() — where
+// the relaxed sharded counters are exact (see obs/metrics.hpp).
+
+#include "service/solve_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+
+namespace gvc::service {
+namespace {
+
+std::shared_ptr<const graph::CsrGraph> share(graph::CsrGraph g) {
+  return std::make_shared<graph::CsrGraph>(std::move(g));
+}
+
+/// A solve hard enough to stay in flight for a few ms (so cancels and
+/// coalesces land mid-flight), seeded per index for distinct cache keys.
+std::shared_ptr<const graph::CsrGraph> instance(int i) {
+  return share(graph::gnp(120, 0.25, /*seed=*/1000 + i));
+}
+
+struct TotalsCheck {
+  std::uint64_t queue_pushed = 0;
+  std::uint64_t queue_popped = 0;
+  std::uint64_t queue_rejected = 0;
+};
+
+TotalsCheck sum_queues(const ServiceStats& s) {
+  TotalsCheck t;
+  for (const auto& q : s.queues) {
+    t.queue_pushed += q.pushed;
+    t.queue_popped += q.popped;
+    t.queue_rejected += q.rejected_full + q.rejected_expired +
+                        q.rejected_closed;
+  }
+  return t;
+}
+
+void expect_terminal_identity(const ServiceStats& s) {
+  // Every submission is exactly one of: solved, served from cache,
+  // coalesced onto another ticket, rejected, expired, or cancelled.
+  EXPECT_EQ(s.submitted, s.completed + s.cache_hits + s.coalesced +
+                             s.rejected + s.expired + s.cancelled);
+  // One e2e latency sample per non-coalesced submission (a coalesced
+  // ticket shares its owner's JobState, so it is not separately observed).
+  EXPECT_EQ(s.e2e_latency.count, s.submitted - s.coalesced);
+  // Solve samples are exactly the worker-executed jobs.
+  std::uint64_t worker_jobs = 0;
+  for (std::uint64_t j : s.jobs_per_worker) worker_jobs += j;
+  EXPECT_EQ(s.solve_latency.count, worker_jobs);
+  EXPECT_EQ(s.completed + s.cache_hits, s.submitted - s.coalesced -
+                                            s.rejected - s.expired -
+                                            s.cancelled);
+}
+
+TEST(ServiceStats, CleanBatchAllInvariantsHold) {
+  ServiceOptions opts;
+  opts.num_workers = 3;
+  auto svc = std::make_unique<SolveService>(opts);
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.graph = instance(i % 4);  // 4 distinct -> hits/coalesces
+    tickets.push_back(svc->submit(std::move(spec)));
+  }
+  for (const auto& t : tickets) svc->wait(t);
+  svc->shutdown();
+
+  const ServiceStats s = svc->stats();
+  EXPECT_EQ(s.submitted, 12u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.expired, 0u);
+  EXPECT_EQ(s.cancelled, 0u);
+  EXPECT_EQ(s.completed, 4u);  // one real solve per distinct instance
+  EXPECT_EQ(s.cache_hits + s.coalesced, 8u);
+  expect_terminal_identity(s);
+
+  const TotalsCheck q = sum_queues(s);
+  EXPECT_EQ(q.queue_pushed, s.completed);
+  EXPECT_EQ(q.queue_popped, q.queue_pushed);
+  EXPECT_EQ(s.queue_wait.count, q.queue_popped);
+
+  // The phase table saw every solve: some reduce/branch time must exist.
+  obs::PhaseTable::Snapshot merged;
+  ASSERT_EQ(static_cast<int>(s.worker_phases.size()), 3);
+  for (const auto& w : s.worker_phases) merged.merge(w);
+  EXPECT_GT(merged.total_ns(), 0u);
+  EXPECT_GT(merged.ns[static_cast<int>(obs::Phase::kReduce)] +
+                merged.ns[static_cast<int>(obs::Phase::kBranch)] +
+                merged.ns[static_cast<int>(obs::Phase::kOther)],
+            0u);
+}
+
+TEST(ServiceStats, MixedCancelExpireHitRejectWorkload) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 4;
+  opts.full_policy = JobQueue::FullPolicy::kReject;
+  auto svc = std::make_unique<SolveService>(opts);
+
+  std::vector<JobTicket> tickets;
+
+  // (a) a warm-up solved job + an identical resubmission (cache hit once
+  // the first completes).
+  {
+    JobSpec spec;
+    spec.graph = instance(0);
+    tickets.push_back(svc->submit(std::move(spec)));
+    svc->wait(tickets.back());
+    JobSpec again;
+    again.graph = instance(0);
+    tickets.push_back(svc->submit(std::move(again)));
+  }
+
+  // (b) already-expired deadlines: rejected at admission as expired.
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.graph = instance(1 + i);
+    spec.deadline_s = 1e-9;  // effectively already passed
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tickets.push_back(svc->submit(std::move(spec)));
+  }
+
+  // (c) a burst of distinct slow jobs, some cancelled while queued or
+  // mid-solve, with a tiny queue so overflow rejects fire too.
+  std::vector<JobTicket> burst;
+  for (int i = 0; i < 16; ++i) {
+    JobSpec spec;
+    spec.graph = instance(10 + i);
+    burst.push_back(svc->submit(std::move(spec)));
+  }
+  for (std::size_t i = 0; i < burst.size(); i += 2) burst[i].cancel();
+  for (auto& t : burst) tickets.push_back(std::move(t));
+
+  // (d) identical in-flight pair: the second coalesces onto the first
+  // (same budgets, same graph).
+  {
+    JobSpec a, b;
+    a.graph = instance(40);
+    b.graph = instance(40);
+    tickets.push_back(svc->submit(std::move(a)));
+    tickets.push_back(svc->submit(std::move(b)));
+  }
+
+  for (const auto& t : tickets)
+    if (t.valid()) svc->wait(t);
+  svc->shutdown();  // drains queues: cancelled-while-queued jobs get
+                    // counted by the workers before the join
+
+  const ServiceStats s = svc->stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(tickets.size()));
+  EXPECT_GE(s.cache_hits, 1u);
+  EXPECT_GE(s.expired, 3u);
+  EXPECT_GT(s.cancelled, 0u);
+  expect_terminal_identity(s);
+
+  const TotalsCheck q = sum_queues(s);
+  // Everything the queues admitted was drained; nothing is lost.
+  EXPECT_EQ(q.queue_popped, q.queue_pushed);
+  // Queue-side rejects surface as service rejections/expiries.
+  EXPECT_LE(q.queue_rejected, s.rejected + s.expired);
+}
+
+TEST(ServiceStats, StatsAreAViewOverRegistryFamilies) {
+  // The service's counters are registered under gvc_service_* names; the
+  // process-global scrape must be >= this instance's numbers (other tests'
+  // services contribute to the same families).
+  const std::uint64_t before =
+      obs::Registry::global().counter_value("gvc_service_jobs_submitted_total");
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  auto svc = std::make_unique<SolveService>(opts);
+  JobSpec spec;
+  spec.graph = instance(77);
+  svc->wait(svc->submit(std::move(spec)));
+  const std::uint64_t after =
+      obs::Registry::global().counter_value("gvc_service_jobs_submitted_total");
+  EXPECT_EQ(after, before + 1);
+  svc->shutdown();
+  EXPECT_EQ(svc->stats().submitted, 1u);
+}
+
+TEST(ServiceStats, TwoServicesDoNotShareInstanceCounters) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  SolveService a(opts), b(opts);
+  JobSpec spec;
+  spec.graph = instance(90);
+  a.wait(a.submit(std::move(spec)));
+  EXPECT_EQ(a.stats().submitted, 1u);
+  EXPECT_EQ(b.stats().submitted, 0u) << "per-instance semantics violated";
+}
+
+TEST(ServiceStats, HistogramsReplaceUnboundedVectors) {
+  // The e2e histogram must hold exactly one sample per non-coalesced
+  // submission with plausible values (loose bounds; this is a smoke check
+  // that the split adds up, not a timing assertion).
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  auto svc = std::make_unique<SolveService>(opts);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.graph = instance(50 + i);
+    tickets.push_back(svc->submit(std::move(spec)));
+  }
+  for (const auto& t : tickets) svc->wait(t);
+  svc->shutdown();
+
+  const ServiceStats s = svc->stats();
+  EXPECT_EQ(s.e2e_latency.count, 6u);
+  EXPECT_EQ(s.solve_latency.count, 6u);
+  EXPECT_EQ(s.queue_wait.count, 6u);
+  // e2e covers queueing + solving, so its mean cannot be smaller than the
+  // solve mean (both observed per job; bucket error is upward-only).
+  EXPECT_GE(s.e2e_latency.sum_ns + s.e2e_latency.count,
+            s.solve_latency.sum_ns);
+  EXPECT_GT(s.e2e_latency.max_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace gvc::service

@@ -82,5 +82,71 @@ TEST(Stats, CoefficientOfVariation) {
   EXPECT_GT(coeff_of_variation({0.1, 0.1, 0.1, 10.0}), 1.0);
 }
 
+// ---- edge cases (ISSUE-7: quantile/Distribution hardening) -----------------
+// The obs::Histogram quantiles return 0 on empty input because scrapes must
+// never die; util::quantile keeps the opposite contract — empty input is a
+// caller bug and aborts loudly. These tests pin both halves of that line.
+
+TEST(StatsDeathTest, QuantileRejectsEmptyInput) {
+  EXPECT_DEATH(quantile({}, 0.5), "");
+}
+
+TEST(StatsDeathTest, QuantileRejectsOutOfRangeQ) {
+  EXPECT_DEATH(quantile({1.0}, -0.01), "");
+  EXPECT_DEATH(quantile({1.0}, 1.01), "");
+}
+
+TEST(StatsDeathTest, MinMaxRejectEmptyInput) {
+  EXPECT_DEATH(min_of({}), "");
+  EXPECT_DEATH(max_of({}), "");
+}
+
+TEST(Stats, QuantileSingleSampleIsThatSampleForEveryQ) {
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_DOUBLE_EQ(quantile({42.0}, q), 42.0) << "q=" << q;
+}
+
+TEST(Stats, QuantileTwoSamplesEndpointsAreExact) {
+  EXPECT_DOUBLE_EQ(quantile({7.0, 3.0}, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0, 3.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0, 3.0}, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileIsMonotoneInQ) {
+  std::vector<double> xs{9.0, 1.0, 4.0, 4.0, 2.0, 8.0, 0.5};
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Stats, QuantileHandlesDuplicatesAndNegatives) {
+  std::vector<double> xs{-5.0, -5.0, -5.0, 1.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), -5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 1.0);
+}
+
+TEST(Stats, SummarizeSingleSampleCollapsesAllFields) {
+  Distribution d = summarize({3.5});
+  EXPECT_DOUBLE_EQ(d.min, 3.5);
+  EXPECT_DOUBLE_EQ(d.p25, 3.5);
+  EXPECT_DOUBLE_EQ(d.median, 3.5);
+  EXPECT_DOUBLE_EQ(d.p75, 3.5);
+  EXPECT_DOUBLE_EQ(d.max, 3.5);
+  EXPECT_DOUBLE_EQ(d.mean, 3.5);
+}
+
+TEST(Stats, SummarizeTwoSamples) {
+  Distribution d = summarize({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(d.min, 10.0);
+  EXPECT_DOUBLE_EQ(d.p25, 12.5);
+  EXPECT_DOUBLE_EQ(d.median, 15.0);
+  EXPECT_DOUBLE_EQ(d.p75, 17.5);
+  EXPECT_DOUBLE_EQ(d.max, 20.0);
+}
+
 }  // namespace
 }  // namespace gvc::util

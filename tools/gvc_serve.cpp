@@ -50,15 +50,27 @@
 //                          JobTicket::cancel; default 0 = never)
 //   --progress-every S     enable SolveControl progress publication on every
 //                          job and print a periodic [progress] line — jobs
-//                          terminal, jobs running, in-flight tree nodes and
-//                          best incumbent — every S seconds (default 0 =
-//                          off)
+//                          terminal, jobs running, in-flight tree nodes,
+//                          best incumbent and the live worker phase split —
+//                          every S seconds (default 0 = off)
+//
+// Observability (docs/observability.md):
+//   --trace-out FILE       record an obs event-trace session over the whole
+//                          batch and write Chrome trace-event JSON to FILE
+//                          (open in Perfetto; validate with trace_check)
+//   --trace-capacity N     per-thread trace buffer capacity (default 32768)
+//   --trace-sample N       sample 1-in-N per-node hot-path events
+//                          (default 64; 1 = record everything)
+//   --metrics-out FILE     after the batch, dump the process-global
+//                          obs::Registry as Prometheus text to FILE
+//   --metrics-text         print the same scrape to stdout
 //
 // Output: one line per terminal state class plus the Outcome breakdown of
 // delivered results (optimal/feasible/deadline/cancelled/...), throughput
-// (jobs/sec of wall time over the whole batch), latency percentiles
-// (submit → terminal), cache statistics, and the per-worker job
-// distribution.
+// (jobs/sec of wall time over the whole batch), latency percentiles from
+// the service's histograms — end-to-end submit→terminal, plus the
+// queue-wait and solve-time split — cache statistics, the per-worker job
+// distribution, and the per-worker phase table.
 
 #include <array>
 #include <atomic>
@@ -73,6 +85,9 @@
 #include <vector>
 
 #include "harness/catalog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "service/solve_service.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -178,6 +193,9 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("advertise-interval", 0));
   const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
   const double progress_every_s = args.get_double("progress-every", 0.0);
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool metrics_text = args.get_bool("metrics-text", false);
 
   service::ServiceOptions opts;
   opts.num_workers = static_cast<int>(args.get_int("workers", 4));
@@ -230,6 +248,18 @@ int main(int argc, char** argv) {
               opts.cache_capacity,
               opts.partition_device ? ", partitioned device" : "");
 
+  // Start the trace session BEFORE the service exists so worker threads
+  // register (and label) their buffers from their very first event.
+  if (!trace_out.empty()) {
+    obs::TraceOptions topts;
+    topts.capacity_per_thread = static_cast<std::size_t>(
+        args.get_int("trace-capacity", 1 << 15));
+    topts.sample_every =
+        static_cast<std::uint32_t>(args.get_int("trace-sample", 64));
+    obs::set_thread_label("gvc_serve-main");
+    GVC_CHECK_MSG(obs::trace_start(topts), "a trace session is already on");
+  }
+
   service::SolveService svc(opts);
   util::WallTimer timer;
   std::vector<service::JobTicket> tickets = svc.submit_all(std::move(specs));
@@ -244,7 +274,7 @@ int main(int argc, char** argv) {
   if (progress_every_s > 0.0) {
     for (const auto& t : tickets)
       if (t.state) t.state->control()->enable_progress();
-    monitor = std::thread([&tickets, &monitor_stop, progress_every_s] {
+    monitor = std::thread([&tickets, &svc, &monitor_stop, progress_every_s] {
       for (;;) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(progress_every_s));
@@ -268,9 +298,11 @@ int main(int argc, char** argv) {
         }
         if (terminal == tickets.size()) return;
         std::printf("  [progress] %zu/%zu terminal, %zu running, "
-                    "%llu nodes in flight, best so far %d\n",
+                    "%llu nodes in flight, best so far %d\n"
+                    "  [progress]   phases: %s\n",
                     terminal, tickets.size(), running,
-                    static_cast<unsigned long long>(nodes), best);
+                    static_cast<unsigned long long>(nodes), best,
+                    obs::format_phase_split(svc.phases().merged()).c_str());
         std::fflush(stdout);
       }
     });
@@ -291,8 +323,9 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::vector<double> latencies;
-  latencies.reserve(tickets.size());
+  // Latency aggregation lives in the service's log-bucketed histograms now
+  // (bounded memory, exact counts, <=12.5% relative quantile error) — no
+  // per-ticket sample vector, no O(n log n) sort at the end.
   std::size_t done = 0, expired = 0, cancelled = 0, rejected = 0;
   std::array<std::size_t, 7> by_outcome{};  // indexed by vc::Outcome
   for (const auto& t : tickets) {
@@ -303,7 +336,6 @@ int main(int argc, char** argv) {
       default: ++rejected; break;
     }
     ++by_outcome[static_cast<std::size_t>(t.state->result().outcome)];
-    latencies.push_back(t.state->queue_seconds() + t.state->solve_seconds());
   }
   const double wall = timer.seconds();
   if (canceller.joinable()) canceller.join();
@@ -321,9 +353,17 @@ int main(int argc, char** argv) {
       std::printf(" %s %zu", vc::to_string(static_cast<vc::Outcome>(o)),
                   by_outcome[o]);
   std::printf("\n");
-  std::printf("  latency  p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs\n",
-              util::quantile(latencies, 0.50), util::quantile(latencies, 0.90),
-              util::quantile(latencies, 0.99), util::max_of(latencies));
+  const auto print_latency = [](const char* label,
+                                const obs::Histogram::Snapshot& h) {
+    std::printf("  %-8s p50 %.4fs  p90 %.4fs  p99 %.4fs  max %.4fs  "
+                "(%llu samples)\n",
+                label, h.quantile_seconds(0.50), h.quantile_seconds(0.90),
+                h.quantile_seconds(0.99), h.max_seconds(),
+                static_cast<unsigned long long>(h.count));
+  };
+  print_latency("e2e", stats.e2e_latency);     // true submit -> terminal
+  print_latency("queue", stats.queue_wait);    // submit -> dequeue
+  print_latency("solve", stats.solve_latency); // worker solve wall time
   std::printf("  cache    %llu hits, %llu coalesced, %llu misses "
               "(hit ratio %.2f), %llu evictions, %zu entries\n",
               static_cast<unsigned long long>(stats.cache.hits),
@@ -337,6 +377,35 @@ int main(int argc, char** argv) {
     std::printf(" [%zu] %llu", w,
                 static_cast<unsigned long long>(stats.jobs_per_worker[w]));
   std::printf("\n");
+  std::printf("  phase split (all workers): %s\n%s",
+              obs::format_phase_split(svc.phases().merged()).c_str(),
+              obs::format_phase_table(svc.phases()).c_str());
+
+  if (!trace_out.empty()) {
+    obs::trace_stop();
+    const obs::TraceSummary ts = obs::trace_summary();
+    if (!obs::trace_write_chrome_json(trace_out)) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", trace_out.c_str());
+      return 74;
+    }
+    std::printf("  trace    %zu events from %zu threads (%llu dropped) -> %s\n",
+                ts.events, ts.threads,
+                static_cast<unsigned long long>(ts.dropped),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream mf(metrics_out);
+    if (!mf.good()) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return 74;
+    }
+    mf << obs::Registry::global().prometheus_text();
+    std::printf("  metrics  registry scrape -> %s\n", metrics_out.c_str());
+  }
+  if (metrics_text)
+    std::printf("\n%s", obs::Registry::global().prometheus_text().c_str());
+
   const bool drops_expected = cancel_after_ms > 0.0 || base.deadline_s > 0.0;
   return done == tickets.size() || drops_expected ? 0 : 1;
 }
