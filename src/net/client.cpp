@@ -1,0 +1,315 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gvc::net {
+
+bool Client::connect(const std::string& host, int port, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    return false;
+  };
+  if (fd_ >= 0) {
+    if (error != nullptr) *error = "already connected";
+    return false;
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + host + ")");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return fail("connect");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_ = false;
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  fail_all("client closed");
+}
+
+bool Client::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !dead_;
+}
+
+std::uint64_t Client::register_pending(std::shared_ptr<Pending>* entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_) return 0;
+  const std::uint64_t id = next_id_++;
+  *entry = std::make_shared<Pending>();
+  pending_.emplace(id, *entry);
+  return id;
+}
+
+bool Client::send_frame(Op op, std::uint64_t id,
+                        const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> wire;
+  encode_frame(wire, static_cast<std::uint8_t>(op), id, payload);
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // reader sees the broken stream and fails the pendings
+  }
+  return true;
+}
+
+void Client::reader_loop() {
+  FrameDecoder decoder;
+  std::uint8_t buf[64 * 1024];
+  Frame f;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      fail_all("connection lost");
+      return;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    for (;;) {
+      const FrameDecoder::Next next = decoder.next(&f);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      if (next == FrameDecoder::Next::kError) {
+        fail_all(decoder.error());
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(f.request_id);
+      if (it == pending_.end()) continue;  // consumed or never ours
+      Pending& p = *it->second;
+      if (f.opcode == static_cast<std::uint8_t>(Op::kAccepted)) {
+        AcceptedMsg accepted;
+        if (decode_accepted(f.payload, &accepted)) {
+          p.has_accepted = true;
+          p.accepted = accepted;
+        } else {
+          p.done = p.failed = true;
+          p.error = {ErrorCode::kBadPayload, "undecodable Accepted frame"};
+        }
+      } else if (f.opcode == static_cast<std::uint8_t>(Op::kError)) {
+        p.done = p.failed = true;
+        if (!decode_error(f.payload, &p.error))
+          p.error = {ErrorCode::kBadPayload, "undecodable error frame"};
+      } else {
+        p.done = true;
+        p.reply_op = f.opcode;
+        p.payload = f.payload;
+      }
+      cv_.notify_all();
+    }
+  }
+}
+
+void Client::fail_all(const char* why) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_ && pending_.empty()) return;
+  dead_ = true;
+  for (auto& [id, p] : pending_) {
+    if (p->done) continue;
+    p->done = p->failed = true;
+    p->error = {ErrorCode::kConnectionLost, why};
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Async solve path.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Client::submit(const SolveRequestMsg& req) {
+  std::shared_ptr<Pending> entry;
+  const std::uint64_t id = register_pending(&entry);
+  if (id == 0) return 0;
+  std::vector<std::uint8_t> payload;
+  encode_solve_request(payload, req);
+  send_frame(Op::kSolve, id, payload);
+  return id;
+}
+
+bool Client::wait_accepted(std::uint64_t id, AcceptedMsg* out,
+                           ErrorMsg* err) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    if (err != nullptr) *err = {ErrorCode::kUnknownTicket, "unknown id"};
+    return false;
+  }
+  const std::shared_ptr<Pending> p = it->second;
+  cv_.wait(lock, [&] { return p->has_accepted || p->done; });
+  if (p->has_accepted) {
+    *out = p->accepted;
+    return true;
+  }
+  if (err != nullptr) *err = p->error;
+  pending_.erase(id);  // terminal failure; nothing further will arrive
+  return false;
+}
+
+bool Client::wait_result(std::uint64_t id, ResultMsg* out, ErrorMsg* err) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    if (err != nullptr) *err = {ErrorCode::kUnknownTicket, "unknown id"};
+    return false;
+  }
+  const std::shared_ptr<Pending> p = it->second;
+  cv_.wait(lock, [&] { return p->done; });
+  pending_.erase(id);
+  lock.unlock();
+
+  if (p->failed) {
+    if (err != nullptr) *err = p->error;
+    return false;
+  }
+  if (p->reply_op != static_cast<std::uint8_t>(Op::kResult) ||
+      !decode_result(p->payload, out)) {
+    if (err != nullptr)
+      *err = {ErrorCode::kBadPayload, "unexpected or undecodable reply"};
+    return false;
+  }
+  return true;
+}
+
+bool Client::poll_result(std::uint64_t id, ResultMsg* out, bool* failed,
+                         ErrorMsg* err) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || !it->second->done) return false;
+  const std::shared_ptr<Pending> p = it->second;
+  pending_.erase(it);
+  lock.unlock();
+
+  if (p->failed) {
+    if (failed != nullptr) *failed = true;
+    if (err != nullptr) *err = p->error;
+    return true;
+  }
+  if (failed != nullptr) *failed = false;
+  if (p->reply_op != static_cast<std::uint8_t>(Op::kResult) ||
+      !decode_result(p->payload, out)) {
+    if (failed != nullptr) *failed = true;
+    if (err != nullptr)
+      *err = {ErrorCode::kBadPayload, "unexpected or undecodable reply"};
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous round trips.
+// ---------------------------------------------------------------------------
+
+bool Client::roundtrip(Op op, const std::vector<std::uint8_t>& payload,
+                       Pending* out) {
+  std::shared_ptr<Pending> entry;
+  const std::uint64_t id = register_pending(&entry);
+  if (id == 0) return false;
+  send_frame(op, id, payload);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return entry->done; });
+  pending_.erase(id);
+  *out = *entry;
+  return true;
+}
+
+bool Client::ping() {
+  Pending p;
+  return roundtrip(Op::kPing, {}, &p) && !p.failed &&
+         p.reply_op == static_cast<std::uint8_t>(Op::kPong);
+}
+
+bool Client::upload_graph(std::uint64_t graph_id, const graph::CsrGraph& g,
+                          GraphAckMsg* ack, ErrorMsg* err) {
+  std::vector<std::uint8_t> payload;
+  encode_upload_graph(payload, graph_id, g);
+  Pending p;
+  if (!roundtrip(Op::kUploadGraph, payload, &p)) return false;
+  if (p.failed) {
+    if (err != nullptr) *err = p.error;
+    return false;
+  }
+  GraphAckMsg local;
+  if (p.reply_op != static_cast<std::uint8_t>(Op::kGraphAck) ||
+      !decode_graph_ack(p.payload, &local)) {
+    if (err != nullptr)
+      *err = {ErrorCode::kBadPayload, "unexpected or undecodable reply"};
+    return false;
+  }
+  if (ack != nullptr) *ack = local;
+  return true;
+}
+
+bool Client::cancel(std::uint64_t id, bool* hit) {
+  std::vector<std::uint8_t> payload;
+  encode_cancel(payload, CancelMsg{id});
+  Pending p;
+  if (!roundtrip(Op::kCancel, payload, &p) || p.failed) return false;
+  CancelAckMsg ack;
+  if (p.reply_op != static_cast<std::uint8_t>(Op::kCancelAck) ||
+      !decode_cancel_ack(p.payload, &ack))
+    return false;
+  if (hit != nullptr) *hit = ack.hit;
+  return true;
+}
+
+bool Client::poll_status(std::uint64_t id, StatusReplyMsg* out) {
+  std::vector<std::uint8_t> payload;
+  encode_cancel(payload, CancelMsg{id});  // same one-u64 payload shape
+  Pending p;
+  if (!roundtrip(Op::kPoll, payload, &p) || p.failed) return false;
+  return p.reply_op == static_cast<std::uint8_t>(Op::kStatusReply) &&
+         decode_status_reply(p.payload, out);
+}
+
+bool Client::stats_json(std::string* out) {
+  Pending p;
+  if (!roundtrip(Op::kStats, {}, &p) || p.failed) return false;
+  return p.reply_op == static_cast<std::uint8_t>(Op::kStatsReply) &&
+         decode_stats_reply(p.payload, out);
+}
+
+bool Client::request_shutdown(ErrorMsg* err) {
+  Pending p;
+  if (!roundtrip(Op::kShutdown, {}, &p)) return false;
+  if (p.failed) {
+    if (err != nullptr) *err = p.error;
+    return false;
+  }
+  return p.reply_op == static_cast<std::uint8_t>(Op::kShutdownAck);
+}
+
+}  // namespace gvc::net

@@ -1,0 +1,127 @@
+#pragma once
+
+// net/client — the C++ client of the serving protocol. One TCP connection,
+// one background reader thread, and a request-id-keyed pending table: any
+// number of threads may submit concurrently, and thousands of solves can be
+// in flight on the single connection at once (the multiplexing the wire
+// protocol is built for).
+//
+// Call shapes:
+//
+//  * submit() is fully async: it assigns a request id, ships the Solve
+//    frame, and returns immediately. wait_accepted()/wait_result() block on
+//    that id; poll_result() doesn't. cancel() maps onto the server-side
+//    JobTicket::cancel(), and SolveRequestMsg::deadline_s onto the
+//    service's queue-deadline admission — the same semantics an in-process
+//    submitter gets.
+//
+//  * The small ops (ping, upload_graph, stats, poll_status, shutdown) are
+//    synchronous round trips built on the same machinery.
+//
+// Connection loss fails every pending request with the synthetic
+// ErrorCode::kConnectionLost and makes every later call return false — the
+// client never fabricates results. Thread-safe throughout; wait_* consumes
+// the id's entry, so each id should be waited on by one thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+
+namespace gvc::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (IPv4 dotted quad or "localhost") and starts the reader.
+  bool connect(const std::string& host, int port,
+               std::string* error = nullptr);
+
+  /// Closes the socket, joins the reader, fails all pending requests.
+  void close();
+
+  bool connected() const;
+
+  // --- async solve path ---------------------------------------------------
+
+  /// Ships a Solve frame; returns its request id (0 when disconnected).
+  std::uint64_t submit(const SolveRequestMsg& req);
+
+  /// Blocks until the submission's fate is known (Accepted or error).
+  /// Returns false on error/disconnect, with the reason in *err. The entry
+  /// stays pending — wait_result() still applies.
+  bool wait_accepted(std::uint64_t id, AcceptedMsg* out,
+                     ErrorMsg* err = nullptr);
+
+  /// Blocks until the Result frame (or an error) for `id` arrives, then
+  /// consumes the entry. Returns false with *err filled on error.
+  bool wait_result(std::uint64_t id, ResultMsg* out, ErrorMsg* err = nullptr);
+
+  /// Non-blocking wait_result. Returns false while still in flight.
+  bool poll_result(std::uint64_t id, ResultMsg* out, bool* failed = nullptr,
+                   ErrorMsg* err = nullptr);
+
+  /// Round trip to Op::kCancel for an in-flight submission. *hit reports
+  /// whether a live job received it. The submission's wait_result() then
+  /// completes with the cancelled record.
+  bool cancel(std::uint64_t id, bool* hit = nullptr);
+
+  // --- synchronous ops ----------------------------------------------------
+
+  bool ping();
+  bool upload_graph(std::uint64_t graph_id, const graph::CsrGraph& g,
+                    GraphAckMsg* ack = nullptr, ErrorMsg* err = nullptr);
+  bool poll_status(std::uint64_t id, StatusReplyMsg* out);
+  /// Fetches the daemon's obs::Registry JSON dump.
+  bool stats_json(std::string* out);
+  /// Op::kShutdown (daemon must allow_remote_shutdown).
+  bool request_shutdown(ErrorMsg* err = nullptr);
+
+ private:
+  struct Pending {
+    bool has_accepted = false;
+    AcceptedMsg accepted;
+    bool done = false;    ///< reply_op/payload (or error) final
+    bool failed = false;  ///< `error` describes why
+    std::uint8_t reply_op = 0;
+    std::vector<std::uint8_t> payload;
+    ErrorMsg error;
+  };
+
+  /// Registers a fresh id; waiters hold the returned shared_ptr, so a
+  /// rehash of the map (concurrent submits) never invalidates what a
+  /// blocked wait_* references.
+  std::uint64_t register_pending(std::shared_ptr<Pending>* entry);
+  bool send_frame(Op op, std::uint64_t id,
+                  const std::vector<std::uint8_t>& payload);
+  /// Sends `op` and blocks until the id's entry is done; consumes it.
+  bool roundtrip(Op op, const std::vector<std::uint8_t>& payload,
+                 Pending* out);
+  void reader_loop();
+  void fail_all(const char* why);
+
+  int fd_ = -1;
+  std::thread reader_;
+  bool dead_ = true;  ///< guarded by mutex_
+
+  mutable std::mutex mutex_;  ///< pending_, next_id_, dead_
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  std::uint64_t next_id_ = 1;
+
+  std::mutex write_mutex_;  ///< serializes whole frames onto the socket
+};
+
+}  // namespace gvc::net

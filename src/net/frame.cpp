@@ -1,0 +1,59 @@
+#include "net/frame.hpp"
+
+namespace gvc::net {
+
+void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
+                  std::uint64_t request_id,
+                  const std::vector<std::uint8_t>& payload) {
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(kFrameHeaderRest + payload.size()));
+  w.u8(kProtocolVersion);
+  w.u8(opcode);
+  w.u16(0);  // flags, reserved
+  w.u64(request_id);
+  w.raw(payload.data(), payload.size());
+}
+
+FrameDecoder::Next FrameDecoder::next(Frame* out) {
+  if (error_ != nullptr) return Next::kError;
+
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection doesn't accrete every frame it ever parsed.
+  if (consumed_ > 0 && consumed_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return Next::kNeedMore;
+
+  ByteReader head(buf_.data() + consumed_, avail);
+  const std::uint32_t length = head.u32();
+  if (length < kFrameHeaderRest) {
+    error_ = "short-header";
+    return Next::kError;
+  }
+  if (length > max_frame_bytes_) {
+    error_ = "frame-too-large";
+    return Next::kError;
+  }
+  if (avail < 4 + static_cast<std::size_t>(length)) return Next::kNeedMore;
+
+  const std::uint8_t version = head.u8();
+  if (version != kProtocolVersion) {
+    error_ = "bad-version";
+    return Next::kError;
+  }
+  out->opcode = head.u8();
+  out->flags = head.u16();
+  out->request_id = head.u64();
+  const std::size_t payload_size = length - kFrameHeaderRest;
+  const std::uint8_t* payload_begin = buf_.data() + consumed_ + 4 +
+                                      kFrameHeaderRest;
+  out->payload.assign(payload_begin, payload_begin + payload_size);
+  consumed_ += 4 + length;
+  return Next::kFrame;
+}
+
+}  // namespace gvc::net

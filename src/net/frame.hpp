@@ -1,0 +1,210 @@
+#pragma once
+
+// net/frame — the byte-level substrate of the serving protocol: bounds-
+// checked little-endian primitive codecs (ByteWriter/ByteReader), the frame
+// header, and an incremental stream decoder (FrameDecoder) shared by the
+// server reactor and the client reader thread.
+//
+// Wire frame layout (everything little-endian, see docs/serving.md):
+//
+//   u32  length      bytes that FOLLOW this field (header remainder +
+//                    payload); a receiver never buffers more than
+//                    max_frame_bytes per frame
+//   u8   version     kProtocolVersion; a mismatch is fatal for the stream
+//   u8   opcode      net::Op
+//   u16  flags       reserved, 0 on the wire today (receivers ignore)
+//   u64  request_id  client-assigned correlation id, echoed in replies —
+//                    the multiplexing key that lets one connection carry
+//                    thousands of in-flight tickets
+//   ...  payload     opcode-specific (net/protocol.hpp)
+//
+// The decoder is deliberately paranoid: every length is validated before a
+// single payload byte is interpreted, truncated/garbage input yields a
+// typed error instead of UB, and nothing in this file aborts — malformed
+// bytes from a socket are an expected runtime condition, not API misuse.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gvc::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Bytes of a frame header that follow the u32 length field.
+inline constexpr std::size_t kFrameHeaderRest = 12;  // u8+u8+u16+u64
+
+/// Default per-frame size cap (length-field value). Large enough for a
+/// multi-million-edge CSR upload, small enough that one rogue frame cannot
+/// balloon a connection buffer.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{64} << 20;
+
+// ---------------------------------------------------------------------------
+// ByteWriter — append-only little-endian encoder over a caller-owned vector.
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { append_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// u32 byte count + raw bytes.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// ByteReader — bounds-checked little-endian decoder over a byte span. Any
+// under-run latches the fail flag and every subsequent read returns zero;
+// callers check ok() once at the end instead of after every field.
+// ---------------------------------------------------------------------------
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take<std::uint64_t>()); }
+  double f64() { return std::bit_cast<double>(take<std::uint64_t>()); }
+
+  /// Counterpart of ByteWriter::str. The length is validated against the
+  /// remaining bytes before anything is copied.
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Copies `n` raw bytes into `out`; fails (returns false) on under-run.
+  bool raw(void* out, std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool ok() const { return ok_; }
+
+  /// True when every byte was consumed and no read under-ran — the strict
+  /// "payload exactly matches the schema" acceptance the decoders use.
+  bool done() const { return ok_ && pos_ == size_; }
+
+ private:
+  template <typename T>
+  T take() {
+    if (!ok_ || sizeof(T) > remaining()) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Frame — one decoded frame, and the encoder for outbound ones.
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  std::uint8_t opcode = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends one fully-framed message (length prefix + header + payload) to
+/// `out` — the unit the write queues carry.
+void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
+                  std::uint64_t request_id,
+                  const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// FrameDecoder — incremental stream-to-frames conversion. feed() raw socket
+// bytes in any chunking; next() yields complete frames until the buffer is
+// exhausted. A protocol violation (oversize length, short header, version
+// mismatch) is terminal for the stream: the connection must be dropped.
+// ---------------------------------------------------------------------------
+
+class FrameDecoder {
+ public:
+  enum class Next {
+    kFrame,     ///< *out holds one complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream-fatal violation; see error()/error_detail()
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  Next next(Frame* out);
+
+  /// Stable error name ("frame-too-large", "bad-version", "short-header")
+  /// once next() returned kError; nullptr before.
+  const char* error() const { return error_; }
+
+  /// Bytes currently buffered (tests assert the decoder never hoards).
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  const std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  // compacted lazily in next()
+  const char* error_ = nullptr;
+};
+
+}  // namespace gvc::net

@@ -1,0 +1,225 @@
+#pragma once
+
+// net/server — the serving daemon's engine: a poll()-based single-thread
+// reactor that accepts TCP connections, frames/deframes the wire protocol
+// (net/frame, net/protocol), and bridges requests onto a SolveService.
+//
+// Concurrency shape:
+//
+//  * ONE reactor thread owns every socket, every connection's decoder and
+//    write queue, and the per-connection ticket tables. No socket state is
+//    ever touched from another thread, so the reactor needs no locks for
+//    it.
+//
+//  * Solve completions happen on SolveService worker threads. The bridge is
+//    JobState::add_waiter(): the registered callback posts a tiny
+//    {connection, request} event onto a mutex-guarded completion bus and
+//    writes one byte into the reactor's wake pipe — the worker never
+//    touches a socket and never blocks on one. The reactor drains the bus
+//    on wake-up and serializes the Result frames itself.
+//
+//  * The completion bus is held by shared_ptr from both the server and
+//    every registered waiter, so a callback that fires during (or after)
+//    server teardown posts onto a still-valid, merely disconnected bus
+//    instead of a dangling pointer.
+//
+// Backpressure: each connection's pending-write queue is bounded. When it
+// exceeds ServerOptions::max_write_queue_bytes the reactor stops reading
+// from that connection (its kernel receive buffer then fills, and TCP flow
+// control pushes back on the client) until the queue drains below half the
+// bound. Solve admission itself uses whatever FullPolicy the SolveService
+// was built with — daemons should use FullPolicy::kReject, because a
+// blocking submit would stall the reactor for every connection.
+//
+// Disconnect: dropping a connection cancels every non-coalesced job it
+// still has in flight (JobTicket::cancel()) and releases the tickets; the
+// ResultCache's dead-owner adoption (PR 3) then lets the next identical
+// submission reclaim the key. Coalesced tickets are simply released —
+// cancelling them would kill a solve other connections are waiting on.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "service/solve_service.hpp"
+
+namespace gvc::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+
+  /// 0 = kernel-assigned ephemeral port; read the bound one via port().
+  int port = 0;
+
+  int listen_backlog = 128;
+
+  /// Per-frame size cap fed to each connection's FrameDecoder.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Pending-write bound per connection; reads pause above it and resume
+  /// below half of it (see header comment).
+  std::size_t max_write_queue_bytes = std::size_t{8} << 20;
+
+  /// Uploaded-graph registrations a single connection may hold.
+  std::size_t max_graphs_per_connection = 64;
+
+  /// Resolves a kSolve by-name reference to a graph (e.g. the harness
+  /// catalog). Null, or a null return, yields kUnknownInstance. Called on
+  /// the reactor thread; must be cheap after first use (memoize).
+  std::function<std::shared_ptr<const graph::CsrGraph>(const std::string&)>
+      instance_resolver;
+
+  /// Honor Op::kShutdown from clients (CI smoke uses this; default off).
+  bool allow_remote_shutdown = false;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server. The server registers the
+  /// gvc_net_* metric families on construction.
+  Server(service::SolveService& service, ServerOptions options);
+
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the reactor thread. Returns false (with
+  /// the reason in *error) on bind/listen failure.
+  bool start(std::string* error = nullptr);
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Stops admission of new solves. Async-signal-safe (one atomic store +
+  /// one pipe write) — this IS the SIGINT/SIGTERM hook. In-flight jobs
+  /// keep running and their results keep flowing; new kSolve frames get
+  /// ErrorCode::kShuttingDown.
+  void begin_shutdown();
+
+  /// True once begin_shutdown() ran or a permitted remote kShutdown frame
+  /// arrived. Daemon main loops poll this.
+  bool shutdown_requested() const {
+    return admission_closed_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful stop: closes admission, waits up to `drain_timeout_s` for
+  /// in-flight jobs to turn terminal and their Result frames to flush,
+  /// then tears down every connection (cancelling whatever remains) and
+  /// joins the reactor. Idempotent.
+  void stop(double drain_timeout_s = 10.0);
+
+  /// Live gauges (exact; the reactor maintains them with atomics) — used
+  /// by tests and the daemon's final report.
+  std::uint64_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t jobs_inflight() const {
+    return jobs_inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingJob {
+    service::JobTicket ticket;
+    double accept_s = 0.0;  ///< service clock at admission (turnaround)
+  };
+
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;  ///< pending bytes, [out_pos, end)
+    std::size_t out_pos = 0;
+    bool read_paused = false;
+    bool dead = false;
+    std::unordered_map<std::uint64_t, PendingJob> jobs;  ///< by request id
+    std::unordered_map<std::uint64_t, std::shared_ptr<const graph::CsrGraph>>
+        graphs;
+
+    Connection(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+    std::size_t pending_out() const { return out.size() - out_pos; }
+  };
+
+  /// The worker-thread → reactor bridge (see header comment). Outlives the
+  /// server via shared ownership from registered waiters.
+  struct CompletionBus {
+    std::mutex mutex;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> events;  // conn,req
+    int wake_fd = -1;  ///< -1 once the server detached (events then inert)
+
+    void post(std::uint64_t conn_id, std::uint64_t request_id);
+  };
+
+  void reactor_loop();
+  void wake();
+  void accept_ready();
+  void read_ready(Connection& c);
+  void write_ready(Connection& c);
+  void handle_frame(Connection& c, const Frame& f);
+  void handle_upload(Connection& c, const Frame& f);
+  void handle_solve(Connection& c, const Frame& f);
+  void handle_cancel(Connection& c, const Frame& f);
+  void handle_poll(Connection& c, const Frame& f);
+  void drain_completions();
+  void deliver_result(Connection& c, std::uint64_t request_id);
+  void send_frame(Connection& c, Op op, std::uint64_t request_id,
+                  const std::vector<std::uint8_t>& payload);
+  void send_error(Connection& c, std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+  void update_backpressure(Connection& c);
+  void close_connection(Connection& c);
+
+  service::SolveService& service_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+
+  std::thread reactor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> admission_closed_{false};
+
+  std::shared_ptr<CompletionBus> bus_;
+  std::uint64_t next_conn_id_ = 1;  // reactor-thread only
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> open_connections_{0};
+  std::atomic<std::uint64_t> jobs_inflight_{0};
+  std::atomic<std::uint64_t> pending_out_bytes_{0};
+
+  // gvc_net_* registry handles. Gauges capture `this`; their handles are
+  // declared last so they unregister first (obs/metrics.hpp rule (3)).
+  std::shared_ptr<obs::Counter> connections_total_;
+  std::shared_ptr<obs::Counter> frames_in_total_;
+  std::shared_ptr<obs::Counter> frames_out_total_;
+  std::shared_ptr<obs::Counter> bytes_in_total_;
+  std::shared_ptr<obs::Counter> bytes_out_total_;
+  std::shared_ptr<obs::Counter> decode_errors_total_;
+  std::shared_ptr<obs::Counter> error_replies_total_;
+  std::shared_ptr<obs::Counter> solves_total_;
+  std::shared_ptr<obs::Counter> cancels_total_;
+  std::shared_ptr<obs::Counter> backpressure_pauses_total_;
+  std::shared_ptr<obs::Counter> disconnect_abandoned_total_;
+  /// Reactor handle time per request op (decode → reply queued), indexed
+  /// by Op request value (1..7).
+  std::vector<std::shared_ptr<obs::Histogram>> op_handle_hist_;
+  /// Solve admission → Result frame queued.
+  std::shared_ptr<obs::Histogram> solve_turnaround_hist_;
+  std::vector<obs::Registry::CallbackHandle> gauge_handles_;
+};
+
+}  // namespace gvc::net

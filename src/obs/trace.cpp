@@ -21,6 +21,7 @@ const char* trace_cat_name(TraceCat c) {
     case TraceCat::kBranch: return "branch";
     case TraceCat::kWork: return "work";
     case TraceCat::kCache: return "cache";
+    case TraceCat::kNet: return "net";
   }
   return "?";
 }

@@ -47,6 +47,7 @@ enum class TraceCat : std::uint8_t {
   kBranch,   // branch / undo / prune (sampled)
   kWork,     // adoption, steals, donations, spills
   kCache,    // result-cache hits/misses/stores
+  kNet,      // serving daemon: connections, frames, request handling
 };
 const char* trace_cat_name(TraceCat c);
 

@@ -8,6 +8,12 @@ namespace {
 
 constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ull;
 
+// Domain separators for the two CSR arrays ("offs\0..1" / "adj\0...2" in
+// big-endian ASCII). Any distinct constants work; naming them makes hash
+// dumps greppable.
+constexpr std::uint64_t kOffsetsTag = 0x6f66667300000001ull;
+constexpr std::uint64_t kAdjacencyTag = 0x61646a0000000002ull;
+
 /// Running fingerprint: order-sensitive fold of 64-bit words. Order
 /// sensitivity is wanted — the adjacency of a CSR graph is canonically
 /// sorted, so position carries structure.
@@ -32,22 +38,26 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t canonical_graph_hash(const graph::CsrGraph& g) {
+std::uint64_t canonical_csr_hash(const std::vector<std::int64_t>& offsets,
+                                 const std::vector<graph::Vertex>& adjacency) {
   Fold fold;
-  fold.add(static_cast<std::uint64_t>(g.num_vertices()));
-  fold.add(static_cast<std::uint64_t>(g.num_edges()));
-
-  // Degree sequence, then the neighborhood fingerprint. The degree pass is
-  // technically implied by the offsets consumed below, but folding it
-  // separately keeps the hash sensitive to degree-layer structure even if a
-  // future representation drops explicit offsets.
-  const graph::Vertex n = g.num_vertices();
-  for (graph::Vertex v = 0; v < n; ++v)
-    fold.add(static_cast<std::uint64_t>(g.degree(v)));
-  for (graph::Vertex v = 0; v < n; ++v)
-    for (graph::Vertex u : g.neighbors(v))
-      fold.add(static_cast<std::uint64_t>(u));
+  // Each array is framed by a domain separator and its explicit length. A
+  // plain fold of the concatenated streams cannot tell where the offsets
+  // end and the adjacency begins: offsets [0,1,2] + adjacency [1,0] and
+  // offsets [0,1] + adjacency [2,1,0] flatten to the identical word stream
+  // [0,1,2,1,0] and would alias to one cache entry. The separators make
+  // the array boundary part of the fingerprint.
+  fold.add(kOffsetsTag);
+  fold.add(static_cast<std::uint64_t>(offsets.size()));
+  for (std::int64_t o : offsets) fold.add(static_cast<std::uint64_t>(o));
+  fold.add(kAdjacencyTag);
+  fold.add(static_cast<std::uint64_t>(adjacency.size()));
+  for (graph::Vertex u : adjacency) fold.add(static_cast<std::uint64_t>(u));
   return fold.get();
+}
+
+std::uint64_t canonical_graph_hash(const graph::CsrGraph& g) {
+  return canonical_csr_hash(g.offsets(), g.adjacency());
 }
 
 std::uint64_t solve_config_hash(parallel::Method method,

@@ -5,14 +5,20 @@
 // A cache key must identify "the same solve request" across submissions that
 // constructed their graphs independently. Structural CsrGraph equality would
 // be exact but costs O(|E|) per probe and a full graph copy per entry; the
-// cache instead keys on a 64-bit canonical hash mixing |V|, |E|, the degree
-// sequence, and a per-vertex neighborhood fingerprint (every adjacency id
-// folded through an avalanche mixer), together with a hash of every
-// result-shaping solver knob. |V| and |E| ride along in the key verbatim as
-// cheap collision guards; a residual 2^-64-scale fingerprint collision maps
-// distinct requests to one entry, the standard trade of content-hash caches.
+// cache instead keys on a 64-bit canonical hash of the raw CSR arrays — a
+// domain separator, an explicit length, and every word of the offset array,
+// then the same framing for the adjacency array, folded through an
+// avalanche mixer — together with a hash of every result-shaping solver
+// knob. The per-array framing matters: a fold of the bare concatenation
+// cannot tell where the offsets end and the adjacency begins, so two
+// different graphs whose arrays flatten to the same word stream would share
+// an entry (see test_graph_hash). |V| and |E| ride along in the key
+// verbatim as cheap collision guards; a residual 2^-64-scale fingerprint
+// collision maps distinct requests to one entry, the standard trade of
+// content-hash caches.
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "parallel/config.hpp"
@@ -29,6 +35,14 @@ std::uint64_t mix64(std::uint64_t x);
 /// equal, and any edge/vertex difference changes the hash with
 /// overwhelming probability.
 std::uint64_t canonical_graph_hash(const graph::CsrGraph& g);
+
+/// The fold underneath canonical_graph_hash, over raw CSR arrays: each
+/// array is framed by a domain separator and its explicit length, so the
+/// offsets/adjacency boundary is part of the fingerprint. Exposed for
+/// hashing blobs that have not (yet) passed CsrGraph validation, and for
+/// the collision regression test.
+std::uint64_t canonical_csr_hash(const std::vector<std::int64_t>& offsets,
+                                 const std::vector<graph::Vertex>& adjacency);
 
 /// Hash of every ParallelConfig field (plus the method) that shapes the
 /// result record: problem/k/rules/semantics/branch as well as the schedule

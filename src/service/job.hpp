@@ -12,9 +12,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "parallel/config.hpp"
@@ -149,8 +151,11 @@ class JobState {
       result_ = std::move(placeholder);
       queue_seconds_ = service_now_s() - submit_time_s_;
       e2e_seconds_ = queue_seconds_;
+      auto waiters = std::move(waiters_);
+      waiters_.clear();
       lock.unlock();
       cv_.notify_all();
+      for (auto& w : waiters) w();
     }
     return true;
   }
@@ -162,6 +167,7 @@ class JobState {
   /// cancel() already made the job terminal.
   void finish(JobStatus status, parallel::ParallelResult result,
               double queue_seconds, double solve_seconds) {
+    std::vector<std::function<void()>> waiters;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (is_terminal(status_)) return;
@@ -170,8 +176,32 @@ class JobState {
       queue_seconds_ = queue_seconds;
       solve_seconds_ = solve_seconds;
       e2e_seconds_ = service_now_s() - submit_time_s_;
+      waiters = std::move(waiters_);
+      waiters_.clear();
     }
     cv_.notify_all();
+    for (auto& w : waiters) w();
+  }
+
+  /// Registers a callback fired exactly once when the job turns terminal —
+  /// the async counterpart of wait(), used by the net server to push a
+  /// completion event into its reactor from whichever thread performs the
+  /// terminal transition (a solve worker, or the canceller for a queued
+  /// job). Fires immediately — on the registering thread — when the job is
+  /// already terminal. Callbacks run OUTSIDE the job mutex, so they may
+  /// call back into any JobState accessor; they must not block (the worker
+  /// that finished the solve is on the hook). Multicast: every registered
+  /// callback fires, which is what coalesced tickets from different
+  /// connections need.
+  void add_waiter(std::function<void()> fn) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!is_terminal(status_)) {
+        waiters_.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
   }
 
   /// Blocks until the job is terminal; returns the final status.
@@ -222,6 +252,8 @@ class JobState {
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   JobStatus status_ = JobStatus::kQueued;
+  std::vector<std::function<void()>> waiters_;  ///< drained at the terminal
+                                                ///< transition (see above)
   parallel::ParallelResult result_;
   double queue_seconds_ = 0.0;
   double solve_seconds_ = 0.0;

@@ -43,6 +43,60 @@ TEST(GraphHash, SpreadsAcrossAFamily) {
   EXPECT_EQ(seen.size(), 200u);
 }
 
+// ---------------------------------------------------------------------------
+// Array-boundary collision regression. canonical_csr_hash frames each CSR
+// array with a domain separator and its explicit length; a fold of the bare
+// concatenation cannot see where the offsets end and the adjacency begins,
+// so two different byte layouts that flatten to the same word stream alias.
+// ---------------------------------------------------------------------------
+
+// What a framing-less implementation looks like: every word of both arrays
+// folded in order, nothing marking the array boundary. Any such fold — the
+// mixer does not matter — collides on the crafted pair below, because the
+// concatenated word streams are identical.
+std::uint64_t unframed_fold(const std::vector<std::int64_t>& offsets,
+                            const std::vector<graph::Vertex>& adjacency) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  const auto add = [&](std::uint64_t w) { h = mix64(h ^ w); };
+  for (std::int64_t o : offsets) add(static_cast<std::uint64_t>(o));
+  for (graph::Vertex u : adjacency) add(static_cast<std::uint64_t>(u));
+  return h;
+}
+
+TEST(GraphHash, ArrayBoundaryCollisionPair) {
+  // offsets [0,1,2] + adjacency [1,0]  and  offsets [0,1] + adjacency
+  // [2,1,0] flatten to the identical stream [0,1,2,1,0]. (The second pair
+  // is not a valid CSR graph — canonical_csr_hash is exactly the hash the
+  // daemon applies to uploaded blobs BEFORE validation, so the collision
+  // domain includes malformed arrays.)
+  const std::vector<std::int64_t> offsets_a{0, 1, 2};
+  const std::vector<graph::Vertex> adjacency_a{1, 0};
+  const std::vector<std::int64_t> offsets_b{0, 1};
+  const std::vector<graph::Vertex> adjacency_b{2, 1, 0};
+
+  // The framing-less fold aliases the pair...
+  EXPECT_EQ(unframed_fold(offsets_a, adjacency_a),
+            unframed_fold(offsets_b, adjacency_b));
+  // ...the production hash must not.
+  EXPECT_NE(canonical_csr_hash(offsets_a, adjacency_a),
+            canonical_csr_hash(offsets_b, adjacency_b));
+}
+
+TEST(GraphHash, CsrHashAgreesWithGraphHash) {
+  const auto g = graph::gnp(48, 0.2, 11);
+  EXPECT_EQ(canonical_graph_hash(g),
+            canonical_csr_hash(g.offsets(), g.adjacency()));
+  // Moving one adjacency word across the boundary (shorter offsets, longer
+  // adjacency) always changes the hash, even keeping the stream equal.
+  std::vector<std::int64_t> offsets = g.offsets();
+  std::vector<graph::Vertex> adjacency = g.adjacency();
+  const std::uint64_t before = canonical_csr_hash(offsets, adjacency);
+  adjacency.insert(adjacency.begin(),
+                   static_cast<graph::Vertex>(offsets.back()));
+  offsets.pop_back();
+  EXPECT_NE(before, canonical_csr_hash(offsets, adjacency));
+}
+
 TEST(ConfigHash, CoversResultShapingKnobs) {
   parallel::ParallelConfig base;
   const std::uint64_t h = solve_config_hash(parallel::Method::kHybrid, base);

@@ -72,6 +72,8 @@
 // queue-wait and solve-time split — cache statistics, the per-worker job
 // distribution, and the per-worker phase table.
 
+#include <csignal>
+
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -84,6 +86,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "harness/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
@@ -99,52 +102,37 @@ namespace {
 
 using namespace gvc;
 
-/// Non-owning shared_ptr onto a catalog instance's cached graph. The
-/// catalog vector outlives the service, so aliasing is safe.
-std::shared_ptr<const graph::CsrGraph> borrow(const harness::Instance& inst) {
-  return {std::shared_ptr<const graph::CsrGraph>(), &inst.graph()};
+/// Builds a JobSpec from one spec line (grammar in tools/cli_common.hpp);
+/// aborts on malformed lines — this is a trusted local file, unlike the
+/// daemon's socket input.
+service::JobSpec spec_from_line(const std::string& line,
+                                const std::vector<harness::Instance>& catalog,
+                                const service::JobSpec& base, int* repeat) {
+  std::string why;
+  const std::optional<tools::SpecLine> parsed =
+      tools::try_parse_spec_line(line, &why);
+  GVC_CHECK_MSG(parsed.has_value(), ("spec line: " + why).c_str());
+  service::JobSpec spec = base;
+  spec.graph = tools::borrow(harness::find_instance(catalog, parsed->instance));
+  if (parsed->method.has_value()) spec.method = *parsed->method;
+  if (parsed->pvc) {
+    spec.config.problem = vc::Problem::kPvc;
+    spec.config.k = parsed->k;
+  }
+  spec.priority = parsed->priority;
+  if (parsed->deadline_s > 0.0) spec.deadline_s = parsed->deadline_s;
+  *repeat = parsed->repeat;
+  return spec;
 }
 
-struct ParsedLine {
-  service::JobSpec spec;
-  int repeat = 1;
-};
-
-ParsedLine parse_line(const std::string& line,
-                      const std::vector<harness::Instance>& catalog,
-                      const service::JobSpec& base) {
-  std::istringstream in(line);
-  std::string name;
-  in >> name;
-  ParsedLine out;
-  out.spec = base;
-  out.spec.graph = borrow(harness::find_instance(catalog, name));
-
-  std::string tok;
-  while (in >> tok) {
-    if (tok == "pvc") {
-      long long k = 0;
-      GVC_CHECK_MSG(static_cast<bool>(in >> k) && k > 0,
-                    "spec line: 'pvc' needs a positive K");
-      out.spec.config.problem = vc::Problem::kPvc;
-      out.spec.config.k = static_cast<int>(k);
-    } else if (tok.rfind("priority=", 0) == 0) {
-      out.spec.priority = std::stoi(tok.substr(9));
-    } else if (tok.rfind("deadline=", 0) == 0) {
-      out.spec.deadline_s = std::stod(tok.substr(9));
-    } else if (tok.size() > 1 && tok[0] == 'x') {
-      out.repeat = std::stoi(tok.substr(1));
-      GVC_CHECK_MSG(out.repeat >= 1, "spec line: xN needs N >= 1");
-    } else {
-      std::optional<parallel::Method> m = parallel::try_parse_method(tok);
-      GVC_CHECK_MSG(m.has_value(),
-                    "spec line: unknown token (want a method name "
-                    "sequential|stackonly|hybrid|globalonly|workstealing, "
-                    "'pvc K', 'priority=P', 'deadline=S', or 'xN')");
-      out.spec.method = *m;
-    }
-  }
-  return out;
+/// SIGINT/SIGTERM latch: the handler only flips the flag (async-signal-
+/// safe); a watcher thread notices, cancels every outstanding ticket, and
+/// the normal wait loop then falls through to the final report — an
+/// interrupt no longer loses the stats. A second signal exits immediately.
+volatile std::sig_atomic_t g_interrupts = 0;
+void on_signal(int) {
+  g_interrupts = g_interrupts + 1;  // volatile ++ is deprecated in C++20
+  if (g_interrupts > 1) std::_Exit(130);
 }
 
 }  // namespace
@@ -164,33 +152,9 @@ int main(int argc, char** argv) {
   service::JobSpec base;
   base.limits.time_limit_s = args.get_double("time-limit", 0.0);
   base.deadline_s = args.get_double("deadline-ms", 0.0) * 1e-3;
-  const std::optional<vc::BranchStateMode> branch_state =
-      vc::try_parse_branch_state_mode(args.get("branch-state", "undotrail"));
-  if (!branch_state.has_value()) {
-    std::fprintf(stderr, "unknown --branch-state '%s' (want undotrail|copy)\n",
-                 args.get("branch-state", "undotrail").c_str());
-    return 64;
-  }
-  base.config.branch_state = *branch_state;
-  const std::optional<vc::KernelDispatch> dispatch =
-      vc::try_parse_kernel_dispatch(args.get("kernel-dispatch", "auto"));
-  if (!dispatch.has_value()) {
-    std::fprintf(stderr, "unknown --kernel-dispatch '%s' (want auto|generic)\n",
-                 args.get("kernel-dispatch", "auto").c_str());
-    return 64;
-  }
-  base.config.kernel_dispatch = *dispatch;
-  const std::optional<vc::MaxDegreeBackend> max_degree =
-      vc::try_parse_max_degree_backend(args.get("max-degree", "cachedhint"));
-  if (!max_degree.has_value()) {
-    std::fprintf(stderr,
-                 "unknown --max-degree '%s' (want cachedhint|buckets)\n",
-                 args.get("max-degree", "cachedhint").c_str());
-    return 64;
-  }
-  base.config.max_degree_backend = *max_degree;
-  base.config.advertise_interval =
-      static_cast<int>(args.get_int("advertise-interval", 0));
+  // Shared solver-shape flags (tools/cli_common.hpp): --branch-state,
+  // --kernel-dispatch, --max-degree, --advertise-interval and friends.
+  if (!tools::parse_solver_flags(args, &base.config)) return 64;
   const double cancel_after_ms = args.get_double("cancel-after-ms", 0.0);
   const double progress_every_s = args.get_double("progress-every", 0.0);
   const std::string trace_out = args.get("trace-out", "");
@@ -223,8 +187,10 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(*in, line)) {
       if (line.empty() || line[0] == '#') continue;
-      ParsedLine p = parse_line(line, catalog, base);
-      for (int i = 0; i < p.repeat; ++i) specs.push_back(p.spec);
+      int repeat = 1;
+      const service::JobSpec spec =
+          spec_from_line(line, catalog, base, &repeat);
+      for (int i = 0; i < repeat; ++i) specs.push_back(spec);
     }
   } else {
     const int jobs = static_cast<int>(args.get_int("jobs", 64));
@@ -233,7 +199,8 @@ int main(int argc, char** argv) {
                     static_cast<int>(catalog.size())));
     for (int i = 0; i < jobs; ++i) {
       service::JobSpec spec = base;
-      spec.graph = borrow(catalog[static_cast<std::size_t>(i % distinct)]);
+      spec.graph =
+          tools::borrow(catalog[static_cast<std::size_t>(i % distinct)]);
       spec.method = parallel::Method::kHybrid;
       specs.push_back(std::move(spec));
     }
@@ -262,7 +229,33 @@ int main(int argc, char** argv) {
 
   service::SolveService svc(opts);
   util::WallTimer timer;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   std::vector<service::JobTicket> tickets = svc.submit_all(std::move(specs));
+
+  // Graceful-interrupt watcher: on SIGINT/SIGTERM, cancel everything still
+  // outstanding (queued jobs turn terminal instantly, running solves stop
+  // through their SolveControl) so the wait loop below drains and the full
+  // final report still prints.
+  std::atomic<bool> interrupt_watch_stop{false};
+  std::atomic<bool> interrupted{false};
+  std::thread interrupt_watch(
+      [&tickets, &interrupt_watch_stop, &interrupted] {
+        while (!interrupt_watch_stop.load(std::memory_order_acquire)) {
+          if (g_interrupts > 0) {
+            interrupted.store(true, std::memory_order_release);
+            std::size_t hit = 0;
+            for (const auto& t : tickets)
+              if (t.cancel()) ++hit;
+            std::printf("  [signal] interrupt: cancelled %zu outstanding "
+                        "tickets, draining...\n",
+                        hit);
+            std::fflush(stdout);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      });
 
   // The --progress-every monitor: each job's SolveControl already exists at
   // submission, so publication can be switched on for all of them and one
@@ -341,6 +334,8 @@ int main(int argc, char** argv) {
   if (canceller.joinable()) canceller.join();
   monitor_stop.store(true, std::memory_order_release);
   if (monitor.joinable()) monitor.join();
+  interrupt_watch_stop.store(true, std::memory_order_release);
+  if (interrupt_watch.joinable()) interrupt_watch.join();
 
   service::ServiceStats stats = svc.stats();
   std::printf("\n  done %zu, expired %zu, cancelled %zu, rejected %zu "
@@ -406,6 +401,8 @@ int main(int argc, char** argv) {
   if (metrics_text)
     std::printf("\n%s", obs::Registry::global().prometheus_text().c_str());
 
-  const bool drops_expected = cancel_after_ms > 0.0 || base.deadline_s > 0.0;
+  const bool drops_expected = cancel_after_ms > 0.0 || base.deadline_s > 0.0 ||
+                              interrupted.load(std::memory_order_acquire);
+  if (interrupted.load(std::memory_order_acquire)) return 130;
   return done == tickets.size() || drops_expected ? 0 : 1;
 }

@@ -46,6 +46,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "cli_common.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "graph/stats.hpp"
@@ -74,67 +75,13 @@ int main(int argc, char** argv) {
     std::printf("%s: %s\n", path.c_str(), stats.to_string().c_str());
   }
 
-  const std::optional<parallel::Method> method =
-      parallel::try_parse_method(args.get("method", "hybrid"));
-  if (!method.has_value()) {
-    std::fprintf(stderr,
-                 "unknown --method '%s' (want sequential|stackonly|hybrid|"
-                 "globalonly|workstealing)\n",
-                 args.get("method", "hybrid").c_str());
-    return 64;
-  }
+  const std::optional<parallel::Method> method = tools::parse_method_flag(args);
+  if (!method.has_value()) return 64;
 
+  // The solver-shape flags (--problem/--k/--branch/--branch-state/...) are
+  // the shared tool surface; see tools/cli_common.hpp.
   parallel::ParallelConfig config;
-  config.problem = util::to_lower(args.get("problem", "mvc")) == "pvc"
-                       ? vc::Problem::kPvc
-                       : vc::Problem::kMvc;
-  config.k = static_cast<int>(args.get_int("k", 0));
-  const std::optional<vc::BranchStrategy> branch =
-      vc::try_parse_branch_strategy(args.get("branch", "maxdegree"));
-  if (!branch.has_value()) {
-    std::fprintf(stderr,
-                 "unknown --branch '%s' (want maxdegree|mindegree|random|"
-                 "first)\n",
-                 args.get("branch", "maxdegree").c_str());
-    return 64;
-  }
-  config.branch = *branch;
-  const std::optional<vc::BranchStateMode> branch_state =
-      vc::try_parse_branch_state_mode(args.get("branch-state", "undotrail"));
-  if (!branch_state.has_value()) {
-    std::fprintf(stderr, "unknown --branch-state '%s' (want undotrail|copy)\n",
-                 args.get("branch-state", "undotrail").c_str());
-    return 64;
-  }
-  config.branch_state = *branch_state;
-  const std::optional<vc::KernelDispatch> dispatch =
-      vc::try_parse_kernel_dispatch(args.get("kernel-dispatch", "auto"));
-  if (!dispatch.has_value()) {
-    std::fprintf(stderr, "unknown --kernel-dispatch '%s' (want auto|generic)\n",
-                 args.get("kernel-dispatch", "auto").c_str());
-    return 64;
-  }
-  config.kernel_dispatch = *dispatch;
-  const std::optional<vc::MaxDegreeBackend> max_degree =
-      vc::try_parse_max_degree_backend(args.get("max-degree", "cachedhint"));
-  if (!max_degree.has_value()) {
-    std::fprintf(stderr,
-                 "unknown --max-degree '%s' (want cachedhint|buckets)\n",
-                 args.get("max-degree", "cachedhint").c_str());
-    return 64;
-  }
-  config.max_degree_backend = *max_degree;
-  config.advertise_interval =
-      static_cast<int>(args.get_int("advertise-interval", 0));
-  config.branch_seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
-  config.grid_override = static_cast<int>(args.get_int("grid", 0));
-  config.block_size_override =
-      static_cast<int>(args.get_int("block-size", 0));
-  config.worklist_capacity =
-      static_cast<std::size_t>(args.get_int("worklist-capacity", 4096));
-  config.worklist_threshold_frac =
-      args.get_double("worklist-threshold", 0.5);
-  config.start_depth = static_cast<int>(args.get_int("start-depth", 6));
+  if (!tools::parse_solver_flags(args, &config)) return 64;
   vc::SolveControl control;
   control.limits.time_limit_s = args.get_double("time-limit", 0.0);
   control.limits.max_tree_nodes =
