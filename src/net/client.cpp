@@ -73,7 +73,8 @@ std::uint64_t Client::register_pending(std::shared_ptr<Pending>* entry) {
 bool Client::send_frame(Op op, std::uint64_t id,
                         const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> wire;
-  encode_frame(wire, static_cast<std::uint8_t>(op), id, payload);
+  if (!encode_frame(wire, static_cast<std::uint8_t>(op), id, payload))
+    return false;  // payload exceeds the u32 length field
   std::lock_guard<std::mutex> lock(write_mutex_);
   std::size_t sent = 0;
   while (sent < wire.size()) {

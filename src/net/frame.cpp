@@ -1,10 +1,15 @@
 #include "net/frame.hpp"
 
+#include <limits>
+
 namespace gvc::net {
 
-void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
+bool encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
                   std::uint64_t request_id,
                   const std::vector<std::uint8_t>& payload) {
+  if (payload.size() >
+      std::numeric_limits<std::uint32_t>::max() - kFrameHeaderRest)
+    return false;
   ByteWriter w(out);
   w.u32(static_cast<std::uint32_t>(kFrameHeaderRest + payload.size()));
   w.u8(kProtocolVersion);
@@ -12,6 +17,7 @@ void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
   w.u16(0);  // flags, reserved
   w.u64(request_id);
   w.raw(payload.data(), payload.size());
+  return true;
 }
 
 FrameDecoder::Next FrameDecoder::next(Frame* out) {

@@ -164,8 +164,10 @@ struct Frame {
 };
 
 /// Appends one fully-framed message (length prefix + header + payload) to
-/// `out` — the unit the write queues carry.
-void encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
+/// `out` — the unit the write queues carry. Returns false (leaving `out`
+/// untouched) when the payload cannot be represented in the u32 length
+/// field; truncating it would silently desync the stream.
+bool encode_frame(std::vector<std::uint8_t>& out, std::uint8_t opcode,
                   std::uint64_t request_id,
                   const std::vector<std::uint8_t>& payload);
 

@@ -137,10 +137,15 @@ bool decode_upload_graph(const std::vector<std::uint8_t>& payload,
   if (!r.ok()) return fail("truncated header");
   // Cross-check the declared sizes against the actual payload length before
   // allocating anything: a hostile header cannot make the daemon reserve
-  // gigabytes for a 20-byte frame.
+  // gigabytes for a 20-byte frame. The bounds are checked in division form
+  // first — `arcs * 4` wraps u64 for arcs >= 2^62, which would otherwise
+  // let a tiny frame slip past the equality check into a huge allocation.
+  const std::uint64_t rest = r.remaining();
+  if (static_cast<std::uint64_t>(n) > rest / 8 || arcs > rest / 4)
+    return fail("declared sizes mismatch payload");
   const std::uint64_t expect =
       (static_cast<std::uint64_t>(n) + 1) * 8 + arcs * 4;
-  if (r.remaining() != expect) return fail("declared sizes mismatch payload");
+  if (rest != expect) return fail("declared sizes mismatch payload");
   if (arcs % 2 != 0) return fail("odd arc count (graph must be symmetric)");
 
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1);

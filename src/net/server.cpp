@@ -111,8 +111,9 @@ bool Server::start(std::string* error) {
     if (error != nullptr) *error = why + ": " + std::strerror(errno);
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+    const int wfd = wake_write_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (wfd >= 0) ::close(wfd);
+    listen_fd_ = wake_read_fd_ = -1;
     return false;
   };
   if (running_.load(std::memory_order_acquire)) {
@@ -123,8 +124,8 @@ bool Server::start(std::string* error) {
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) return fail("pipe");
   wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  if (!set_nonblocking(wake_read_fd_) || !set_nonblocking(wake_write_fd_))
+  wake_write_fd_.store(pipe_fds[1], std::memory_order_release);
+  if (!set_nonblocking(pipe_fds[0]) || !set_nonblocking(pipe_fds[1]))
     return fail("fcntl(wake)");
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -156,7 +157,7 @@ bool Server::start(std::string* error) {
 
   {
     std::lock_guard<std::mutex> lock(bus_->mutex);
-    bus_->wake_fd = wake_write_fd_;
+    bus_->wake_fd = wake_write_fd_.load(std::memory_order_acquire);
   }
   running_.store(true, std::memory_order_release);
   reactor_ = std::thread([this] { reactor_loop(); });
@@ -165,11 +166,12 @@ bool Server::start(std::string* error) {
 
 void Server::begin_shutdown() {
   admission_closed_.store(true, std::memory_order_release);
-  // Async-signal-safe wake (one write on a pre-opened fd) so the reactor
-  // notices promptly even when idle in poll().
-  if (wake_write_fd_ >= 0) {
+  // Async-signal-safe wake (one atomic load + one write on a pre-opened
+  // fd) so the reactor notices promptly even when idle in poll().
+  const int fd = wake_write_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
     const char b = 0;
-    [[maybe_unused]] const ssize_t r = ::write(wake_write_fd_, &b, 1);
+    [[maybe_unused]] const ssize_t r = ::write(fd, &b, 1);
   }
 }
 
@@ -192,23 +194,27 @@ void Server::stop(double drain_timeout_s) {
   wake();
   reactor_.join();
 
-  // Detach the bus BEFORE closing the pipe: a worker-thread waiter firing
-  // right now holds the bus mutex while it checks wake_fd, so after this
-  // block it can never write into a closed (possibly reused) descriptor.
+  // Detach the bus AND the signal-handler fd BEFORE closing the pipe: a
+  // worker-thread waiter firing right now holds the bus mutex while it
+  // checks wake_fd, and a SIGINT landing right now loads wake_write_fd_ in
+  // begin_shutdown() — after these two detaches neither can write into a
+  // closed (possibly kernel-reused) descriptor.
   {
     std::lock_guard<std::mutex> lock(bus_->mutex);
     bus_->wake_fd = -1;
   }
+  const int wfd = wake_write_fd_.exchange(-1, std::memory_order_acq_rel);
   ::close(wake_read_fd_);
-  ::close(wake_write_fd_);
+  if (wfd >= 0) ::close(wfd);
   ::close(listen_fd_);
-  wake_read_fd_ = wake_write_fd_ = listen_fd_ = -1;
+  wake_read_fd_ = listen_fd_ = -1;
 }
 
 void Server::wake() {
-  if (wake_write_fd_ >= 0) {
+  const int fd = wake_write_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
     const char b = 0;
-    [[maybe_unused]] const ssize_t r = ::write(wake_write_fd_, &b, 1);
+    [[maybe_unused]] const ssize_t r = ::write(fd, &b, 1);
   }
 }
 
@@ -314,7 +320,17 @@ void Server::read_ready(Connection& c) {
       for (;;) {
         const FrameDecoder::Next next = c.decoder.next(&f);
         if (next == FrameDecoder::Next::kFrame) {
-          handle_frame(c, f);
+          // Last-resort containment: an exception escaping a handler (e.g.
+          // an allocation failure on a pathological request) costs this
+          // connection, not the whole daemon — the reactor thread has no
+          // other catch and would std::terminate.
+          try {
+            handle_frame(c, f);
+          } catch (const std::exception& e) {
+            GVC_LOG_ERROR("net: handler exception on conn %llu: %s",
+                          static_cast<unsigned long long>(c.id), e.what());
+            close_connection(c);
+          }
           if (c.dead) return;
           continue;
         }
@@ -374,7 +390,15 @@ void Server::write_ready(Connection& c) {
 void Server::send_frame(Connection& c, Op op, std::uint64_t request_id,
                         const std::vector<std::uint8_t>& payload) {
   const std::size_t before = c.out.size();
-  encode_frame(c.out, static_cast<std::uint8_t>(op), request_id, payload);
+  if (!encode_frame(c.out, static_cast<std::uint8_t>(op), request_id,
+                    payload)) {
+    // Unreachable for server-built payloads (all far below 4 GiB), but a
+    // desynced stream is never an acceptable fallback.
+    GVC_LOG_ERROR("net: reply payload exceeds frame length field (conn %llu)",
+                  static_cast<unsigned long long>(c.id));
+    close_connection(c);
+    return;
+  }
   pending_out_bytes_.fetch_add(c.out.size() - before,
                                std::memory_order_relaxed);
   frames_out_total_->add();
@@ -459,6 +483,21 @@ void Server::handle_upload(Connection& c, const Frame& f) {
                "per-connection graph limit reached");
     return;
   }
+  // Byte budgets, checked on the wire size before any decode work: the
+  // graph count cap alone would still let every connection pin
+  // max_graphs * max_frame_bytes of CSR data.
+  if (c.graph_bytes + f.payload.size() >
+      options_.max_graph_bytes_per_connection) {
+    send_error(c, f.request_id, ErrorCode::kNotAllowed,
+               "per-connection graph byte budget exceeded");
+    return;
+  }
+  if (graph_bytes_total_ + f.payload.size() >
+      options_.max_graph_bytes_total) {
+    send_error(c, f.request_id, ErrorCode::kNotAllowed,
+               "server graph byte budget exceeded");
+    return;
+  }
   std::uint64_t graph_id = 0;
   auto g = std::make_shared<graph::CsrGraph>();
   std::string why;
@@ -471,6 +510,8 @@ void Server::handle_upload(Connection& c, const Frame& f) {
                "graph id already registered on this connection");
     return;
   }
+  c.graph_bytes += f.payload.size();
+  graph_bytes_total_ += f.payload.size();
   GraphAckMsg ack;
   ack.graph_id = graph_id;
   ack.canonical_hash = service::canonical_graph_hash(*g);
@@ -654,6 +695,8 @@ void Server::close_connection(Connection& c) {
   }
   c.jobs.clear();
   c.graphs.clear();
+  graph_bytes_total_ -= c.graph_bytes;
+  c.graph_bytes = 0;
 
   pending_out_bytes_.fetch_sub(c.pending_out(), std::memory_order_relaxed);
   c.out.clear();

@@ -74,6 +74,15 @@ struct ServerOptions {
   /// Uploaded-graph registrations a single connection may hold.
   std::size_t max_graphs_per_connection = 64;
 
+  /// Uploaded-graph byte budgets (measured as upload-payload wire bytes,
+  /// which bound the decoded arrays): per connection, and across all
+  /// connections. Without these, max_graphs_per_connection still lets each
+  /// connection pin max_graphs * max_frame_bytes of CSR data — a memory-
+  /// exhaustion vector for any non-loopback deployment. Uploads over
+  /// budget are refused with ErrorCode::kNotAllowed.
+  std::size_t max_graph_bytes_per_connection = std::size_t{256} << 20;
+  std::size_t max_graph_bytes_total = std::size_t{1} << 30;
+
   /// Resolves a kSolve by-name reference to a graph (e.g. the harness
   /// catalog). Null, or a null return, yields kUnknownInstance. Called on
   /// the reactor thread; must be cheap after first use (memoize).
@@ -147,6 +156,7 @@ class Server {
     std::unordered_map<std::uint64_t, PendingJob> jobs;  ///< by request id
     std::unordered_map<std::uint64_t, std::shared_ptr<const graph::CsrGraph>>
         graphs;
+    std::size_t graph_bytes = 0;  ///< wire bytes charged against the budget
 
     Connection(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
     std::size_t pending_out() const { return out.size() - out_pos; }
@@ -186,7 +196,11 @@ class Server {
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
+  /// Atomic because begin_shutdown() reads it from a signal handler while
+  /// stop() detaches it; stop() swaps in -1 BEFORE closing (the same
+  /// discipline as CompletionBus::wake_fd) so a concurrent signal never
+  /// writes into a closed, possibly kernel-reused descriptor.
+  std::atomic<int> wake_write_fd_{-1};
   int port_ = 0;
 
   std::thread reactor_;
@@ -195,6 +209,7 @@ class Server {
 
   std::shared_ptr<CompletionBus> bus_;
   std::uint64_t next_conn_id_ = 1;  // reactor-thread only
+  std::size_t graph_bytes_total_ = 0;  // reactor-thread only
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 
   std::atomic<std::uint64_t> open_connections_{0};

@@ -100,6 +100,54 @@ TEST(NetE2E, PingUploadStats) {
   client->close();
 }
 
+TEST(NetE2E, UploadByteBudgetPerConnection) {
+  const auto g = graph::gnp(60, 0.2, 7);
+  std::vector<std::uint8_t> blob;
+  encode_upload_graph(blob, 1, g);
+
+  // Budget fits one copy of the blob but not two.
+  ServerOptions nopts;
+  nopts.max_graph_bytes_per_connection = blob.size() + blob.size() / 2;
+  TestDaemon daemon(1, std::move(nopts));
+  auto client = connect_to(daemon);
+  GraphAckMsg ack;
+  ErrorMsg err;
+  ASSERT_TRUE(client->upload_graph(1, g, &ack, &err)) << err.message;
+  EXPECT_FALSE(client->upload_graph(2, g, &ack, &err));
+  EXPECT_EQ(err.code, ErrorCode::kNotAllowed);
+  client->close();
+}
+
+TEST(NetE2E, UploadByteBudgetGlobalRefundedOnDisconnect) {
+  const auto g = graph::gnp(60, 0.2, 7);
+  std::vector<std::uint8_t> blob;
+  encode_upload_graph(blob, 1, g);
+
+  // Global budget fits two blobs but not three; per-connection stays ample.
+  ServerOptions nopts;
+  nopts.max_graph_bytes_total = 2 * blob.size() + blob.size() / 2;
+  TestDaemon daemon(1, std::move(nopts));
+  auto a = connect_to(daemon);
+  auto b = connect_to(daemon);
+  GraphAckMsg ack;
+  ErrorMsg err;
+  ASSERT_TRUE(a->upload_graph(1, g, &ack, &err)) << err.message;
+  ASSERT_TRUE(b->upload_graph(1, g, &ack, &err)) << err.message;
+  EXPECT_FALSE(b->upload_graph(2, g, &ack, &err));
+  EXPECT_EQ(err.code, ErrorCode::kNotAllowed);
+
+  // Dropping A must refund its bytes, re-opening headroom for B.
+  a->close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon.server->open_connections() > 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(daemon.server->open_connections(), 1u);
+  ASSERT_TRUE(b->upload_graph(2, g, &ack, &err)) << err.message;
+  b->close();
+}
+
 // The tentpole acceptance: for all five methods, a solve routed through
 // upload + wire frames returns the exact record a direct in-process
 // submit() produces — same outcome, same cover, same tree shape.

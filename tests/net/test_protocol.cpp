@@ -215,6 +215,24 @@ TEST(Protocol, GraphBlobRejectsLengthMismatch) {
   EXPECT_FALSE(decode_upload_graph(payload, &id, &g, &why));
 }
 
+TEST(Protocol, GraphBlobRejectsOverflowingArcCount) {
+  // arcs = 2^62 makes `arcs * 4` wrap u64 to 0, so a multiply-form size
+  // cross-check computes expect == 8 and a 28-byte frame would demand a
+  // 2^62-entry adjacency vector (bad_alloc on the reactor). The division-
+  // form guard must reject before any allocation.
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(payload);
+  w.u64(1);                   // graph id
+  w.u32(0);                   // n = 0
+  w.u64(1ull << 62);          // arcs: arcs * 4 == 0 (mod 2^64)
+  w.i64(0);                   // offsets[0] — remaining == 8 == wrapped expect
+  std::uint64_t id;
+  graph::CsrGraph g;
+  std::string why;
+  EXPECT_FALSE(decode_upload_graph(payload, &id, &g, &why));
+  EXPECT_FALSE(why.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Enum-range and truncation rejection.
 // ---------------------------------------------------------------------------

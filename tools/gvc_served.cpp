@@ -19,6 +19,9 @@
 //                          (smoke|default|large, default smoke)
 //   --max-frame BYTES      per-frame size cap, binary suffixes OK ("64M")
 //   --max-write-queue BYTES  per-connection write-queue bound ("8M")
+//   --max-graph-bytes BYTES  per-connection uploaded-graph byte budget
+//                          ("256M"); uploads over it get not-allowed
+//   --max-graph-bytes-total BYTES  same budget across all connections ("1G")
 //   --allow-remote-shutdown  honor Op::kShutdown from clients
 //   --drain-timeout S      graceful-stop drain budget (default 10)
 //   --metrics-out FILE     Prometheus scrape of the registry at shutdown
@@ -97,6 +100,23 @@ int main(int argc, char** argv) {
                  args.get("max-write-queue").c_str());
     return 64;
   }
+  std::optional<std::size_t> max_graph_bytes = std::size_t{256} << 20;
+  if (args.has("max-graph-bytes") &&
+      !(max_graph_bytes = tools::try_parse_bytes(args.get("max-graph-bytes")))
+           .has_value()) {
+    std::fprintf(stderr, "bad --max-graph-bytes '%s'\n",
+                 args.get("max-graph-bytes").c_str());
+    return 64;
+  }
+  std::optional<std::size_t> max_graph_total = std::size_t{1} << 30;
+  if (args.has("max-graph-bytes-total") &&
+      !(max_graph_total =
+            tools::try_parse_bytes(args.get("max-graph-bytes-total")))
+           .has_value()) {
+    std::fprintf(stderr, "bad --max-graph-bytes-total '%s'\n",
+                 args.get("max-graph-bytes-total").c_str());
+    return 64;
+  }
 
   service::ServiceOptions opts;
   opts.num_workers = static_cast<int>(args.get_int("workers", 4));
@@ -120,6 +140,8 @@ int main(int argc, char** argv) {
   sopts.port = listen->port;
   sopts.max_frame_bytes = *max_frame;
   sopts.max_write_queue_bytes = *max_wq;
+  sopts.max_graph_bytes_per_connection = *max_graph_bytes;
+  sopts.max_graph_bytes_total = *max_graph_total;
   sopts.allow_remote_shutdown = args.get_bool("allow-remote-shutdown", false);
   sopts.instance_resolver =
       [catalog = std::move(catalog),
