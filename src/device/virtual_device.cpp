@@ -80,8 +80,8 @@ LaunchStats VirtualDevice::launch(
 
   util::WallTimer timer;
 
-  auto run_block = [&](int block_id, int sm_id) {
-    BlockContext ctx(block_id, sm_id);
+  auto run_block = [&](int block_id, int sm_id, int slot_id) {
+    BlockContext ctx(block_id, sm_id, slot_id);
     std::uint64_t start = util::thread_cpu_ns();
     body(ctx);
     ctx.mutable_stats().cpu_ns = util::thread_cpu_ns() - start;
@@ -94,7 +94,7 @@ LaunchStats VirtualDevice::launch(
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(grid_size));
     for (int b = 0; b < grid_size; ++b)
-      threads.emplace_back(run_block, b, b % spec_.num_sms);
+      threads.emplace_back(run_block, b, b % spec_.num_sms, b);
     for (auto& t : threads) t.join();
   } else {
     // Pooled: `resident` slots drain the grid in block-id order. A slot is
@@ -112,7 +112,7 @@ LaunchStats VirtualDevice::launch(
         for (;;) {
           int b = next.fetch_add(1, std::memory_order_relaxed);
           if (b >= grid_size) return;
-          run_block(b, slot % spec_.num_sms);
+          run_block(b, slot % spec_.num_sms, slot);
         }
       });
     }

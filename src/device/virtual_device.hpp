@@ -39,13 +39,21 @@ struct BlockStats {
 /// Handed to the block body; the block's window onto its instrumentation.
 class BlockContext {
  public:
-  BlockContext(int block_id, int sm_id) : stats_() {
+  BlockContext(int block_id, int sm_id, int slot_id = -1)
+      : slot_id_(slot_id < 0 ? block_id : slot_id), stats_() {
     stats_.block_id = block_id;
     stats_.sm_id = sm_id;
   }
 
   int block_id() const { return stats_.block_id; }
   int sm_id() const { return stats_.sm_id; }
+
+  /// The resident slot executing this block: equal to block_id() under a
+  /// cooperative launch (every block resident), the slot index in [0,
+  /// resident) under a pooled launch. Bodies that pool per-*slot* scratch —
+  /// the batch solver runs 10k+ blocks through ≤32 slots — key it on this,
+  /// not on block_id(), so the pool stays resident-sized.
+  int slot_id() const { return slot_id_; }
 
   /// Record one visited search-tree node.
   void count_node() { ++stats_.nodes_visited; }
@@ -61,6 +69,7 @@ class BlockContext {
   BlockStats& mutable_stats() { return stats_; }
 
  private:
+  int slot_id_;
   BlockStats stats_;
 };
 

@@ -1,0 +1,110 @@
+#pragma once
+
+// Multi-graph corpus streams. Graph-mining workloads (the gspan family of
+// datasets in particular) ship as one file holding thousands-to-millions of
+// small graphs; the batch solve path (parallel/batch.hpp, SolveService::
+// submit_batch) consumes them one at a time through the reader here, never
+// materializing the whole corpus.
+//
+// Three stream formats are supported, autodetected from the first
+// significant line:
+//
+//   * gspan transactions — records start with "t # <id>", followed by
+//     "v <id> <label>" vertex lines (ids 0-based, sequential) and
+//     "e <u> <v> <label>" edge lines. First token 't' selects this format.
+//   * DIMACS stream — plain DIMACS records ("c" comments, "p edge <n> <m>",
+//     "e <u> <v>") concatenated back to back; each "p" line starts a new
+//     record. First token 'p' or 'c' selects this format.
+//   * edge-list stream — whitespace "u v" pairs with "#"/"%" comments,
+//     records separated by one or more blank lines, vertex ids compacted
+//     per record. Anything else selects this format.
+//
+// Error contract (inherited from graph/io.hpp's try_* readers): a malformed
+// record is *skipped and counted*, never fatal. The reader resynchronizes at
+// the next record boundary — the next "t" line (gspan), the next "p" line or
+// blank line (DIMACS), the next blank line (edge list) — records a
+// CorpusSkip naming the record index, line number, and reason, and carries
+// on. One corrupt graph in a 10k-instance stream costs one skip, not the
+// process.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gvc::graph {
+
+enum class CorpusFormat { kAuto, kGspan, kDimacs, kEdgeList };
+
+const char* corpus_format_name(CorpusFormat f);
+
+/// One well-formed graph pulled from the stream.
+struct CorpusRecord {
+  long long index = 0;  ///< 0-based record position, counting skipped ones.
+  long long line = 0;   ///< 1-based line where the record started.
+  std::string id;       ///< gspan transaction id; empty for other formats.
+  CsrGraph graph;
+};
+
+/// One record the reader gave up on.
+struct CorpusSkip {
+  long long index = 0;  ///< record position the skip occupies.
+  long long line = 0;   ///< line the diagnostic points at.
+  std::string reason;
+};
+
+/// Pull-based reader over a multi-graph stream. Not thread-safe; drive it
+/// from one thread and hand the yielded graphs off.
+class CorpusReader {
+ public:
+  /// The stream must outlive the reader. kAuto sniffs the format from the
+  /// first significant line (resolved lazily on the first next()).
+  explicit CorpusReader(std::istream& in,
+                        CorpusFormat format = CorpusFormat::kAuto);
+
+  /// Yields the next well-formed graph, silently absorbing malformed
+  /// records into skips(). std::nullopt means end of stream — permanent;
+  /// further calls keep returning nullopt.
+  std::optional<CorpusRecord> next();
+
+  /// The resolved format (kAuto until the first next() on an auto reader).
+  CorpusFormat format() const { return resolved_; }
+
+  /// Diagnostics for every record skipped so far, in stream order.
+  const std::vector<CorpusSkip>& skips() const { return skips_; }
+
+  /// Records consumed so far: yielded + skipped.
+  long long records_read() const { return next_index_; }
+  long long records_skipped() const {
+    return static_cast<long long>(skips_.size());
+  }
+
+ private:
+  bool get_line(std::string& out);
+  void push_back(std::string line);
+  void skip_record(long long line, std::string reason);
+  bool detect_format();
+
+  std::optional<CorpusRecord> next_gspan();
+  std::optional<CorpusRecord> next_dimacs();
+  std::optional<CorpusRecord> next_edge_list();
+
+  void resync_to_token(char token);  // consume until a line starting `token`
+  void resync_to_blank();            // consume until a blank line
+
+  std::istream& in_;
+  CorpusFormat resolved_;
+  long long line_no_ = 0;
+  bool has_pending_ = false;
+  std::string pending_;
+  long long next_index_ = 0;
+  std::vector<CorpusSkip> skips_;
+};
+
+/// Writes one gspan transaction record ("t # <id>", "v <i> 0", "e <u> <v> 0").
+/// Concatenating calls produces a valid gspan corpus.
+void write_gspan(std::ostream& out, const CsrGraph& g, const std::string& id);
+
+}  // namespace gvc::graph

@@ -9,6 +9,7 @@
 
 #include "graph/builder.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace gvc::graph {
@@ -19,56 +20,110 @@ using util::starts_with;
 using util::to_lower;
 using util::trim;
 
+std::string IoError::to_string() const {
+  // Path-level failures (cannot open, etc.) carry no line; the bare
+  // message IS the diagnostic.
+  if (!at_end && line <= 0) return what;
+  if (at_end && line <= 0)
+    return util::format("malformed graph file: %s (empty input)",
+                        what.c_str());
+  if (at_end)
+    return util::format("malformed graph file: %s (end of input after "
+                        "line %lld)",
+                        what.c_str(), line);
+  return util::format("malformed graph file: %s (line %lld)", what.c_str(),
+                      line);
+}
+
 namespace {
 
-[[noreturn]] void malformed(const std::string& what, int line_no) {
-  GVC_CHECK_MSG(false,
-                util::format("malformed graph file: %s (line %d)",
-                             what.c_str(), line_no)
-                    .c_str());
-  __builtin_unreachable();
+IoError malformed(std::string what, long long line, bool at_end = false) {
+  IoError e;
+  e.what = std::move(what);
+  e.line = line;
+  e.at_end = at_end;
+  return e;
+}
+
+/// Fail-fast adapter for the legacy read_*() entry points: aborts with the
+/// error's full message, logs non-fatal warnings at WARN.
+template <typename T>
+T value_or_die(IoResult<T> r) {
+  if (!r.ok()) {
+    const std::string msg = r.error().to_string();
+    GVC_CHECK_MSG(false, msg.c_str());
+  }
+  if (!r.warning.empty()) GVC_LOG_WARN("%s", r.warning.c_str());
+  return std::move(r.value());
 }
 
 }  // namespace
 
-CsrGraph read_dimacs(std::istream& in) {
+IoResult<CsrGraph> try_read_dimacs(std::istream& in, bool strict_edge_count) {
   std::string line;
-  int line_no = 0;
+  long long line_no = 0;
+  long long header_line = 0;
   bool have_header = false;
   Vertex n = 0;
+  long long mm = 0;
   GraphBuilder builder(0);
   while (std::getline(in, line)) {
     ++line_no;
     auto t = trim(line);
     if (t.empty() || t[0] == 'c') continue;
     if (t[0] == 'p') {
-      if (have_header) malformed("duplicate p line", line_no);
+      if (have_header) return malformed("duplicate p line", line_no);
       auto fields = split_ws(t);
-      if (fields.size() < 4) malformed("short p line", line_no);
-      long long nn = 0, mm = 0;
-      if (!parse_int(fields[2], nn) || !parse_int(fields[3], mm) || nn < 0)
-        malformed("bad p line numbers", line_no);
+      if (fields.size() < 4) return malformed("short p line", line_no);
+      long long nn = 0;
+      if (!parse_int(fields[2], nn) || !parse_int(fields[3], mm) || nn < 0 ||
+          mm < 0)
+        return malformed("bad p line numbers", line_no);
       n = static_cast<Vertex>(nn);
       builder = GraphBuilder(n);
       have_header = true;
+      header_line = line_no;
       continue;
     }
     if (t[0] == 'e') {
-      if (!have_header) malformed("edge before p line", line_no);
+      if (!have_header) return malformed("edge before p line", line_no);
       auto fields = split_ws(t);
-      if (fields.size() < 3) malformed("short e line", line_no);
+      if (fields.size() < 3) return malformed("short e line", line_no);
       long long u = 0, v = 0;
       if (!parse_int(fields[1], u) || !parse_int(fields[2], v))
-        malformed("bad e line numbers", line_no);
+        return malformed("bad e line numbers", line_no);
       if (u < 1 || u > n || v < 1 || v > n)
-        malformed("edge endpoint out of range", line_no);
+        return malformed("edge endpoint out of range", line_no);
       builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
       continue;
     }
-    malformed("unknown record type", line_no);
+    return malformed("unknown record type", line_no);
   }
-  if (!have_header) malformed("missing p line", line_no);
-  return builder.build();
+  if (!have_header)
+    return malformed("missing p line", line_no, /*at_end=*/true);
+  IoResult<CsrGraph> result(builder.build());
+  const long long body_edges =
+      static_cast<long long>(result.value().num_edges());
+  if (body_edges != mm) {
+    // The p-line edge count used to be parsed and silently discarded; a
+    // disagreement now surfaces. Warning by default (wild files routinely
+    // lie), hard error in strict mode (a short corpus record usually means
+    // truncation).
+    if (strict_edge_count)
+      return malformed(util::format("edge count disagrees with p line "
+                                    "(header says %lld, body has %lld)",
+                                    mm, body_edges),
+                       header_line);
+    result.warning = util::format(
+        "dimacs edge count disagrees with p line (line %lld): header says "
+        "%lld, body has %lld after normalization",
+        header_line, mm, body_edges);
+  }
+  return result;
+}
+
+CsrGraph read_dimacs(std::istream& in) {
+  return value_or_die(try_read_dimacs(in));
 }
 
 void write_dimacs(std::ostream& out, const CsrGraph& g,
@@ -80,9 +135,9 @@ void write_dimacs(std::ostream& out, const CsrGraph& g,
       if (u > v) out << "e " << (v + 1) << ' ' << (u + 1) << '\n';
 }
 
-CsrGraph read_metis(std::istream& in) {
+IoResult<CsrGraph> try_read_metis(std::istream& in) {
   std::string line;
-  int line_no = 0;
+  long long line_no = 0;
   // Header: skip comment lines starting with '%'.
   long long n = 0, m = 0, fmt = 0;
   while (std::getline(in, line)) {
@@ -90,11 +145,11 @@ CsrGraph read_metis(std::istream& in) {
     auto t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     auto fields = split_ws(t);
-    if (fields.size() < 2) malformed("short METIS header", line_no);
+    if (fields.size() < 2) return malformed("short METIS header", line_no);
     if (!parse_int(fields[0], n) || !parse_int(fields[1], m) || n < 0)
-      malformed("bad METIS header", line_no);
+      return malformed("bad METIS header", line_no);
     if (fields.size() >= 3 && (!parse_int(fields[2], fmt) || fmt != 0))
-      malformed("weighted METIS format unsupported", line_no);
+      return malformed("weighted METIS format unsupported", line_no);
     break;
   }
   GraphBuilder builder(static_cast<Vertex>(n));
@@ -105,14 +160,20 @@ CsrGraph read_metis(std::istream& in) {
     if (!t.empty() && t[0] == '%') continue;
     for (const auto& f : split_ws(t)) {
       long long u = 0;
-      if (!parse_int(f, u)) malformed("bad METIS neighbor", line_no);
-      if (u < 1 || u > n) malformed("METIS neighbor out of range", line_no);
+      if (!parse_int(f, u)) return malformed("bad METIS neighbor", line_no);
+      if (u < 1 || u > n)
+        return malformed("METIS neighbor out of range", line_no);
       builder.add_edge(v, static_cast<Vertex>(u - 1));
     }
     ++v;
   }
-  if (v != n) malformed("METIS file truncated", line_no);
+  if (v != n)
+    return malformed("METIS file truncated", line_no, /*at_end=*/true);
   return builder.build();
+}
+
+CsrGraph read_metis(std::istream& in) {
+  return value_or_die(try_read_metis(in));
 }
 
 void write_metis(std::ostream& out, const CsrGraph& g) {
@@ -128,30 +189,38 @@ void write_metis(std::ostream& out, const CsrGraph& g) {
   }
 }
 
-CsrGraph read_matrix_market(std::istream& in) {
+IoResult<CsrGraph> try_read_matrix_market(std::istream& in) {
   std::string line;
-  int line_no = 0;
-  GVC_CHECK_MSG(static_cast<bool>(std::getline(in, line)), "empty mtx file");
+  long long line_no = 0;
+  if (!std::getline(in, line))
+    return malformed("empty mtx file", 0, /*at_end=*/true);
   ++line_no;
   auto banner = to_lower(trim(line));
   if (!starts_with(banner, "%%matrixmarket"))
-    malformed("missing MatrixMarket banner", line_no);
+    return malformed("missing MatrixMarket banner", line_no);
   if (banner.find("coordinate") == std::string::npos)
-    malformed("only coordinate mtx supported", line_no);
+    return malformed("only coordinate mtx supported", line_no);
   // Header line: rows cols entries.
   long long rows = 0, cols = 0, entries = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
     ++line_no;
     auto t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     auto fields = split_ws(t);
-    if (fields.size() < 3) malformed("short mtx size line", line_no);
+    if (fields.size() < 3) return malformed("short mtx size line", line_no);
     if (!parse_int(fields[0], rows) || !parse_int(fields[1], cols) ||
         !parse_int(fields[2], entries))
-      malformed("bad mtx size line", line_no);
+      return malformed("bad mtx size line", line_no);
+    have_size = true;
     break;
   }
-  if (rows != cols) malformed("mtx adjacency matrix must be square", line_no);
+  if (!have_size)
+    return malformed("missing mtx size line", line_no, /*at_end=*/true);
+  if (rows != cols)
+    return malformed("mtx adjacency matrix must be square", line_no);
+  if (rows < 0 || entries < 0)
+    return malformed("bad mtx size line", line_no);
   GraphBuilder builder(static_cast<Vertex>(rows));
   long long seen = 0;
   while (seen < entries && std::getline(in, line)) {
@@ -159,22 +228,27 @@ CsrGraph read_matrix_market(std::istream& in) {
     auto t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     auto fields = split_ws(t);
-    if (fields.size() < 2) malformed("short mtx entry", line_no);
+    if (fields.size() < 2) return malformed("short mtx entry", line_no);
     long long u = 0, v = 0;
     if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
-      malformed("bad mtx entry", line_no);
+      return malformed("bad mtx entry", line_no);
     if (u < 1 || u > rows || v < 1 || v > rows)
-      malformed("mtx entry out of range", line_no);
+      return malformed("mtx entry out of range", line_no);
     builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
     ++seen;
   }
-  if (seen != entries) malformed("mtx file truncated", line_no);
+  if (seen != entries)
+    return malformed("mtx file truncated", line_no, /*at_end=*/true);
   return builder.build();
 }
 
-CsrGraph read_edge_list(std::istream& in) {
+CsrGraph read_matrix_market(std::istream& in) {
+  return value_or_die(try_read_matrix_market(in));
+}
+
+IoResult<CsrGraph> try_read_edge_list(std::istream& in) {
   std::string line;
-  int line_no = 0;
+  long long line_no = 0;
   std::vector<std::pair<long long, long long>> raw;
   std::map<long long, Vertex> compact;
   while (std::getline(in, line)) {
@@ -182,10 +256,10 @@ CsrGraph read_edge_list(std::istream& in) {
     auto t = trim(line);
     if (t.empty() || t[0] == '#' || t[0] == '%') continue;
     auto fields = split_ws(t);
-    if (fields.size() < 2) malformed("short edge list line", line_no);
+    if (fields.size() < 2) return malformed("short edge list line", line_no);
     long long u = 0, v = 0;
     if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
-      malformed("bad edge list line", line_no);
+      return malformed("bad edge list line", line_no);
     raw.emplace_back(u, v);
     compact.emplace(u, 0);
     compact.emplace(v, 0);
@@ -197,6 +271,10 @@ CsrGraph read_edge_list(std::istream& in) {
   return builder.build();
 }
 
+CsrGraph read_edge_list(std::istream& in) {
+  return value_or_die(try_read_edge_list(in));
+}
+
 void write_edge_list(std::ostream& out, const CsrGraph& g) {
   out << "# gvc edge list: " << g.num_vertices() << " vertices, "
       << g.num_edges() << " edges\n";
@@ -205,9 +283,9 @@ void write_edge_list(std::ostream& out, const CsrGraph& g) {
       if (u > v) out << v << ' ' << u << '\n';
 }
 
-CsrGraph read_pace(std::istream& in) {
+IoResult<CsrGraph> try_read_pace(std::istream& in) {
   std::string line;
-  int line_no = 0;
+  long long line_no = 0;
   bool have_header = false;
   long long n = 0, m = 0;
   GraphBuilder builder(0);
@@ -216,32 +294,35 @@ CsrGraph read_pace(std::istream& in) {
     auto t = trim(line);
     if (t.empty() || t[0] == 'c') continue;
     if (t[0] == 'p') {
-      if (have_header) malformed("duplicate p line", line_no);
+      if (have_header) return malformed("duplicate p line", line_no);
       auto fields = split_ws(t);
-      if (fields.size() < 4) malformed("short p line", line_no);
+      if (fields.size() < 4) return malformed("short p line", line_no);
       const auto desc = to_lower(fields[1]);
       if (desc != "td" && desc != "vc" && desc != "edge")
-        malformed("unknown PACE problem descriptor", line_no);
+        return malformed("unknown PACE problem descriptor", line_no);
       if (!parse_int(fields[2], n) || !parse_int(fields[3], m) || n < 0 ||
           m < 0)
-        malformed("bad p line numbers", line_no);
+        return malformed("bad p line numbers", line_no);
       builder = GraphBuilder(static_cast<Vertex>(n));
       have_header = true;
       continue;
     }
-    if (!have_header) malformed("edge before p line", line_no);
+    if (!have_header) return malformed("edge before p line", line_no);
     auto fields = split_ws(t);
-    if (fields.size() < 2) malformed("short edge line", line_no);
+    if (fields.size() < 2) return malformed("short edge line", line_no);
     long long u = 0, v = 0;
     if (!parse_int(fields[0], u) || !parse_int(fields[1], v))
-      malformed("bad edge line numbers", line_no);
+      return malformed("bad edge line numbers", line_no);
     if (u < 1 || u > n || v < 1 || v > n)
-      malformed("edge endpoint out of range", line_no);
+      return malformed("edge endpoint out of range", line_no);
     builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1));
   }
-  if (!have_header) malformed("missing p line", line_no);
+  if (!have_header)
+    return malformed("missing p line", line_no, /*at_end=*/true);
   return builder.build();
 }
+
+CsrGraph read_pace(std::istream& in) { return value_or_die(try_read_pace(in)); }
 
 void write_pace(std::ostream& out, const CsrGraph& g,
                 const std::string& comment) {
@@ -258,9 +339,9 @@ void write_pace_solution(std::ostream& out, Vertex num_vertices,
   for (Vertex v : cover) out << (v + 1) << '\n';
 }
 
-std::vector<Vertex> read_pace_solution(std::istream& in) {
+IoResult<std::vector<Vertex>> try_read_pace_solution(std::istream& in) {
   std::string line;
-  int line_no = 0;
+  long long line_no = 0;
   bool have_header = false;
   long long n = 0, k = 0;
   std::vector<Vertex> cover;
@@ -269,28 +350,35 @@ std::vector<Vertex> read_pace_solution(std::istream& in) {
     auto t = trim(line);
     if (t.empty() || t[0] == 'c') continue;
     if (t[0] == 's') {
-      if (have_header) malformed("duplicate s line", line_no);
+      if (have_header) return malformed("duplicate s line", line_no);
       auto fields = split_ws(t);
       if (fields.size() < 4 || to_lower(fields[1]) != "vc")
-        malformed("bad s line", line_no);
+        return malformed("bad s line", line_no);
       if (!parse_int(fields[2], n) || !parse_int(fields[3], k) || n < 0 ||
           k < 0 || k > n)
-        malformed("bad s line numbers", line_no);
+        return malformed("bad s line numbers", line_no);
       cover.reserve(static_cast<std::size_t>(k));
       have_header = true;
       continue;
     }
-    if (!have_header) malformed("vertex before s line", line_no);
+    if (!have_header) return malformed("vertex before s line", line_no);
     long long v = 0;
-    if (!parse_int(t, v)) malformed("bad solution vertex", line_no);
-    if (v < 1 || v > n) malformed("solution vertex out of range", line_no);
+    if (!parse_int(t, v)) return malformed("bad solution vertex", line_no);
+    if (v < 1 || v > n)
+      return malformed("solution vertex out of range", line_no);
     cover.push_back(static_cast<Vertex>(v - 1));
   }
-  if (!have_header) malformed("missing s line", line_no);
+  if (!have_header)
+    return malformed("missing s line", line_no, /*at_end=*/true);
   if (static_cast<long long>(cover.size()) != k)
-    malformed("solution size disagrees with s line", line_no);
+    return malformed("solution size disagrees with s line", line_no,
+                     /*at_end=*/true);
   std::sort(cover.begin(), cover.end());
   return cover;
+}
+
+std::vector<Vertex> read_pace_solution(std::istream& in) {
+  return value_or_die(try_read_pace_solution(in));
 }
 
 namespace {
@@ -311,18 +399,24 @@ Format sniff(const std::string& path) {
 
 }  // namespace
 
-CsrGraph load_graph(const std::string& path) {
+IoResult<CsrGraph> try_load_graph(const std::string& path) {
   std::ifstream in(path);
-  GVC_CHECK_MSG(in.good(), "cannot open graph file");
+  if (!in.good())
+    return malformed(util::format("cannot open graph file: %s", path.c_str()),
+                     0);
   switch (sniff(path)) {
-    case Format::kDimacs:   return read_dimacs(in);
-    case Format::kMetis:    return read_metis(in);
-    case Format::kMtx:      return read_matrix_market(in);
-    case Format::kPace:     return read_pace(in);
-    case Format::kEdgeList: return read_edge_list(in);
+    case Format::kDimacs:   return try_read_dimacs(in);
+    case Format::kMetis:    return try_read_metis(in);
+    case Format::kMtx:      return try_read_matrix_market(in);
+    case Format::kPace:     return try_read_pace(in);
+    case Format::kEdgeList: return try_read_edge_list(in);
   }
   GVC_CHECK(false);
-  return {};
+  return malformed("unreachable", 0);
+}
+
+CsrGraph load_graph(const std::string& path) {
+  return value_or_die(try_load_graph(path));
 }
 
 void save_graph(const std::string& path, const CsrGraph& g) {

@@ -4,33 +4,100 @@
 // ship in: DIMACS .col/.clq ("p edge"), METIS, MatrixMarket pattern files,
 // and SNAP/KONECT whitespace edge lists. Writers exist for DIMACS and edge
 // lists so generated stand-ins can be exported and inspected.
+//
+// Error contract. Every reader exists in two forms:
+//
+//   * try_read_*() — the recoverable contract: returns an IoResult carrying
+//     either the graph or an IoError naming what was malformed and where.
+//     Never aborts on input bytes, whatever they contain. This is the form
+//     the corpus readers (graph/corpus.hpp) and every caller that must
+//     survive one bad graph in a stream of thousands build on.
+//   * read_*() — the legacy fail-fast form: a thin wrapper that aborts
+//     (GVC_CHECK) with the IoError's message on malformed input. Single-
+//     graph tools keep this behavior deliberately — a CLI solve on a broken
+//     file should die loudly, not limp on.
+//
+// Non-fatal findings (e.g. a DIMACS edge count that disagrees with the
+// p-line header) are attached to a *successful* IoResult as a warning; the
+// fail-fast wrappers log them at WARN.
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/csr.hpp"
 
 namespace gvc::graph {
 
+/// Where and why a read failed. `line` is 1-based; 0 only when the stream
+/// held no lines at all. `at_end` marks diagnostics raised at end of input
+/// (missing header, truncated body) — the position then names the last line
+/// actually read, not a phantom record.
+struct IoError {
+  std::string what;
+  long long line = 0;
+  bool at_end = false;
+
+  /// "malformed graph file: <what> (line N)" — or, for at_end errors,
+  /// "(end of input after line N)" / "(empty input)" so a truncation is
+  /// never reported as if line N itself were bad.
+  std::string to_string() const;
+};
+
+/// Result of a recoverable read: a value or an IoError, plus an optional
+/// non-fatal warning attached to successful reads ("" = none).
+template <typename T>
+class IoResult {
+ public:
+  IoResult(T value) : value_(std::move(value)), ok_(true) {}  // NOLINT
+  IoResult(IoError error) : error_(std::move(error)) {}       // NOLINT
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  /// Valid only when ok().
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+
+  /// Valid only when !ok().
+  const IoError& error() const { return error_; }
+
+  /// Non-fatal diagnostic attached to a successful read ("" = none).
+  std::string warning;
+
+ private:
+  T value_{};
+  IoError error_;
+  bool ok_ = false;
+};
+
 /// DIMACS: "c" comments, "p edge|col <n> <m>" header, "e <u> <v>" edges
-/// (1-based). Tolerates edge counts that disagree with the header (common in
-/// the wild) but requires a header before the first edge.
+/// (1-based). The edge count of the p line is validated against the body
+/// (after dedup/self-loop normalization): a disagreement is a warning by
+/// default — common in the wild — or an error under `strict_edge_count`
+/// (the corpus readers' mode, where a short body usually means a truncated
+/// record).
+IoResult<CsrGraph> try_read_dimacs(std::istream& in,
+                                   bool strict_edge_count = false);
 CsrGraph read_dimacs(std::istream& in);
 void write_dimacs(std::ostream& out, const CsrGraph& g,
                   const std::string& comment = "");
 
 /// METIS: header "<n> <m> [fmt]", then line i holds the 1-based neighbors of
 /// vertex i. Only the unweighted format (fmt absent or 0) is supported.
+IoResult<CsrGraph> try_read_metis(std::istream& in);
 CsrGraph read_metis(std::istream& in);
 void write_metis(std::ostream& out, const CsrGraph& g);
 
 /// MatrixMarket coordinate pattern, symmetric or general. General matrices
 /// are symmetrized; diagonal entries are dropped.
+IoResult<CsrGraph> try_read_matrix_market(std::istream& in);
 CsrGraph read_matrix_market(std::istream& in);
 
 /// SNAP/KONECT edge list: "#"/"%" comments, one "u v" pair per line.
 /// Vertex ids are compacted to 0..n-1 preserving numeric order.
+IoResult<CsrGraph> try_read_edge_list(std::istream& in);
 CsrGraph read_edge_list(std::istream& in);
 void write_edge_list(std::ostream& out, const CsrGraph& g);
 
@@ -38,6 +105,7 @@ void write_edge_list(std::ostream& out, const CsrGraph& g);
 /// "c" comments, "p td <n> <m>" header (the 2019 VC track reused the
 /// treedepth descriptor; "p vc"/"p edge" are accepted too), then one
 /// 1-based "u v" pair per line before which the header must appear.
+IoResult<CsrGraph> try_read_pace(std::istream& in);
 CsrGraph read_pace(std::istream& in);
 void write_pace(std::ostream& out, const CsrGraph& g,
                 const std::string& comment = "");
@@ -47,11 +115,15 @@ void write_pace(std::ostream& out, const CsrGraph& g,
 void write_pace_solution(std::ostream& out, Vertex num_vertices,
                          const std::vector<Vertex>& cover);
 /// Returns the cover as 0-based vertex ids (ascending).
+IoResult<std::vector<Vertex>> try_read_pace_solution(std::istream& in);
 std::vector<Vertex> read_pace_solution(std::istream& in);
 
 /// Loads from a path, dispatching on extension:
 ///   .col/.clq/.dimacs → DIMACS, .graph/.metis → METIS,
 ///   .mtx → MatrixMarket, .gr → PACE, anything else → edge list.
+/// try_load_graph reports unopenable files and malformed content as
+/// IoErrors; load_graph aborts on both (fail-fast tool contract).
+IoResult<CsrGraph> try_load_graph(const std::string& path);
 CsrGraph load_graph(const std::string& path);
 
 /// Saves as DIMACS if path ends in .col/.clq/.dimacs, PACE if .gr, else

@@ -1,0 +1,58 @@
+#pragma once
+
+// Batch solving: many small instances through one VirtualDevice launch.
+//
+// The paper's grid model maps one block to one search; applied across a
+// corpus that becomes one block per *graph* — a pooled (non-cooperative)
+// launch whose resident slots drain the instance list in id order, exactly
+// how a GPU scheduler drains an oversubscribed grid. Each block runs the
+// Sequential engine to completion on its graph, so per-graph results are
+// bit-identical to an individual Method::kSequential solve of the same
+// config (the differential suite in tests/parallel/test_batch.cpp holds
+// this). The win is throughput: per-block reduce scratch is pooled per
+// resident *slot* (BlockContext::slot_id), so a 10k-graph batch pays for
+// ~32 workspaces instead of 10k, and launch/teardown is paid once.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/config.hpp"
+
+namespace gvc::parallel {
+
+struct BatchResult {
+  /// One entry per input graph, in input order.
+  std::vector<vc::SolveResult> results;
+
+  device::LaunchPlan plan;     ///< occupancy plan sizing the resident pool
+  device::LaunchStats launch;  ///< one BlockStats per graph
+  double wall_seconds = 0.0;
+  /// Simulated parallel time of the launch (LaunchStats::makespan_seconds).
+  double sim_seconds = 0.0;
+
+  std::uint64_t total_tree_nodes() const {
+    std::uint64_t n = 0;
+    for (const auto& r : results) n += r.tree_nodes;
+    return n;
+  }
+};
+
+/// Solves every graph in `graphs` (borrowed pointers, all non-null) in one
+/// pooled launch of graphs.size() blocks. The resident-slot count comes
+/// from the §IV-E occupancy plan for the largest instance in the batch
+/// (config.grid_override forces it; block_size_override is forwarded).
+///
+/// `control` is shared by all blocks: its deadline and cancel latch stop
+/// the whole batch mid-flight, while its node/time budgets apply per graph
+/// (each block launches its own bounded search). Graphs stopped early carry
+/// the usual limit Outcome in their slot — a batch never fails as a unit.
+///
+/// `workspace` pools per-slot reduce scratch across the batch (and across
+/// batches, when the caller reuses it); pass nullptr to allocate per slot.
+/// Not thread-safe: one (workspace, call) pair at a time.
+BatchResult solve_batch(const std::vector<const graph::CsrGraph*>& graphs,
+                        const ParallelConfig& config,
+                        vc::SolveControl* control = nullptr,
+                        SolveWorkspace* workspace = nullptr);
+
+}  // namespace gvc::parallel

@@ -10,6 +10,7 @@
 #include "device/virtual_device.hpp"
 #include "vc/branching.hpp"
 #include "vc/reductions.hpp"
+#include "vc/sequential.hpp"
 #include "vc/solve_types.hpp"
 #include "worklist/global_worklist.hpp"
 
@@ -136,6 +137,27 @@ struct ParallelConfig {
   /// Donation threshold as a fraction of capacity (paper sweeps 0.25-1.0).
   double worklist_threshold_frac = 0.5;
 };
+
+/// The Sequential-engine view of a ParallelConfig: every field the
+/// single-block solver understands, mapped one to one. This is the single
+/// place that mapping lives — dispatch_solve's kSequential arm and the
+/// batch solver (one Sequential engine per block) both use it, so a field
+/// added to both configs cannot be silently dropped in one path. (Before
+/// this helper existed, the solver.cpp copy dropped kernel_dispatch and
+/// max_degree_backend.)
+inline vc::SequentialConfig sequential_config_of(const ParallelConfig& config) {
+  vc::SequentialConfig sc;
+  sc.problem = config.problem;
+  sc.k = config.k;
+  sc.semantics = config.semantics;
+  sc.rules = config.rules;
+  sc.branch = config.branch;
+  sc.branch_seed = config.branch_seed;
+  sc.branch_state = config.branch_state;
+  sc.kernel_dispatch = config.kernel_dispatch;
+  sc.max_degree_backend = config.max_degree_backend;
+  return sc;
+}
 
 struct ParallelResult : vc::SolveResult {
   device::LaunchPlan plan;

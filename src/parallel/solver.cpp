@@ -86,14 +86,7 @@ ParallelResult dispatch_solve(const graph::CsrGraph& g, Method method,
                               SolveWorkspace* workspace) {
   switch (method) {
     case Method::kSequential: {
-      vc::SequentialConfig sc;
-      sc.problem = config.problem;
-      sc.k = config.k;
-      sc.semantics = config.semantics;
-      sc.branch = config.branch;
-      sc.branch_seed = config.branch_seed;
-      sc.rules = config.rules;
-      sc.branch_state = config.branch_state;
+      vc::SequentialConfig sc = sequential_config_of(config);
       vc::ReduceWorkspace* ws = nullptr;
       if (workspace) {
         workspace->prepare(1);

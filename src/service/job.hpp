@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/corpus.hpp"
 #include "graph/csr.hpp"
 #include "parallel/config.hpp"
 #include "parallel/solver.hpp"
@@ -57,6 +58,18 @@ struct JobSpec {
   /// loaded into the job's SolveControl so a solve that dequeues in time
   /// but runs past it stops with Outcome::kDeadline. 0 = no deadline.
   double deadline_s = 0.0;
+
+  /// Corpus chunk payload. When set, this job is a BATCH: `graph` stays
+  /// null and the worker runs parallel::solve_batch over the records (one
+  /// block per graph) under the job's one SolveControl. Batch jobs bypass
+  /// the ResultCache — a corpus of small one-off instances would only
+  /// churn it — and shard round-robin instead of by key hash. Per-graph
+  /// records land in JobState::batch_results(); the ticket's
+  /// ParallelResult is the chunk aggregate. Submitted via
+  /// SolveService::submit_batch, not hand-built.
+  std::shared_ptr<const std::vector<graph::CorpusRecord>> batch;
+
+  bool is_batch() const { return batch != nullptr; }
 };
 
 enum class JobStatus {
@@ -224,6 +237,20 @@ class JobState {
     return result_;
   }
 
+  /// Batch jobs: the worker stores the per-graph records here immediately
+  /// before the terminal transition (so any reader that observed a
+  /// terminal status sees them). Parallel to spec().batch — entry i is
+  /// the solve of record i. Empty for non-batch jobs and for batch jobs
+  /// dropped without a solve.
+  void set_batch_results(std::vector<vc::SolveResult> results) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_results_ = std::move(results);
+  }
+  const std::vector<vc::SolveResult>& batch_results() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batch_results_;
+  }
+
   double queue_seconds() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_seconds_;
@@ -255,6 +282,7 @@ class JobState {
   std::vector<std::function<void()>> waiters_;  ///< drained at the terminal
                                                 ///< transition (see above)
   parallel::ParallelResult result_;
+  std::vector<vc::SolveResult> batch_results_;  ///< batch jobs only
   double queue_seconds_ = 0.0;
   double solve_seconds_ = 0.0;
   double e2e_seconds_ = 0.0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "parallel/batch.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -50,6 +51,8 @@ SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)),
       phase_table_(std::max(1, options_.num_workers)) {
   options_.num_workers = std::max(1, options_.num_workers);
+  options_.corpus_chunk_size =
+      std::max<std::size_t>(1, options_.corpus_chunk_size);
 
   obs::Registry& reg = obs::Registry::global();
   submitted_ = reg.counter("gvc_service_jobs_submitted_total",
@@ -66,6 +69,16 @@ SolveService::SolveService(ServiceOptions options)
                          "jobs whose deadline fired");
   cancelled_ = reg.counter("gvc_service_jobs_cancelled_total",
                            "jobs cancelled (queued or mid-solve)");
+  corpus_batches_ = reg.counter("gvc_corpus_batches_total",
+                                "corpus chunk jobs admitted");
+  corpus_graphs_submitted_ =
+      reg.counter("gvc_corpus_graphs_submitted_total",
+                  "well-formed corpus graphs admitted");
+  corpus_graphs_solved_ = reg.counter("gvc_corpus_graphs_solved_total",
+                                      "per-graph batch records delivered");
+  corpus_graphs_skipped_ =
+      reg.counter("gvc_corpus_graphs_skipped_total",
+                  "malformed corpus records skipped by the reader");
   queue_wait_hist_ =
       reg.histogram("gvc_service_queue_wait_seconds",
                     "submission -> dequeue (or queued drop) wall time");
@@ -202,6 +215,102 @@ std::vector<JobTicket> SolveService::submit_all(std::vector<JobSpec> specs) {
   return tickets;
 }
 
+JobTicket SolveService::submit_batch_job(JobSpec spec) {
+  GVC_CHECK_MSG(spec.batch && !spec.batch->empty(),
+                "batch job without records");
+  submitted_->add();
+  corpus_batches_->add();
+  corpus_graphs_submitted_->add(spec.batch->size());
+
+  // Batch jobs don't go through the ResultCache (a corpus of one-off small
+  // instances would only churn it), so there is no content key to pin a
+  // shard with: spread chunks round-robin instead. The executed device is
+  // still the target worker's slice.
+  const int shard = static_cast<int>(
+      next_batch_shard_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<std::uint64_t>(queues_.size()));
+  if (options_.partition_device)
+    spec.config.device = worker_devices_[static_cast<std::size_t>(shard)];
+  auto state = std::make_shared<JobState>(
+      next_job_id_.fetch_add(1, std::memory_order_relaxed), std::move(spec),
+      CacheKey{});
+  obs::trace_instant(obs::TraceCat::kService, "batch_submit", "job",
+                     static_cast<std::int64_t>(state->id()));
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_->add();
+    state->finish(JobStatus::kRejected,
+                  dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
+    observe_latency(state->e2e_seconds(), 0.0, 0.0,
+                    /*queued=*/false, /*solved=*/false);
+    return JobTicket{std::move(state)};
+  }
+
+  const double deadline_abs =
+      state->spec().deadline_s > 0.0
+          ? state->submit_time_s() + state->spec().deadline_s
+          : 0.0;
+  const JobQueue::PushOutcome outcome =
+      queues_[static_cast<std::size_t>(shard)]->push(state, deadline_abs);
+  if (outcome != JobQueue::PushOutcome::kAccepted) {
+    if (outcome == JobQueue::PushOutcome::kRejectedExpired) {
+      expired_->add();
+      state->finish(JobStatus::kExpired,
+                    dropped_result(vc::Outcome::kDeadline), 0.0, 0.0);
+    } else {
+      rejected_->add();
+      state->finish(JobStatus::kRejected,
+                    dropped_result(vc::Outcome::kCancelled), 0.0, 0.0);
+    }
+    observe_latency(state->e2e_seconds(), 0.0, 0.0,
+                    /*queued=*/false, /*solved=*/false);
+  }
+  return JobTicket{std::move(state)};
+}
+
+CorpusSubmission SolveService::submit_batch(graph::CorpusReader& stream,
+                                            const CorpusOptions& options) {
+  CorpusSubmission submission;
+  const std::size_t chunk_size = options_.corpus_chunk_size;
+  const std::size_t skips_before = stream.skips().size();
+
+  auto flush = [&](std::vector<graph::CorpusRecord> chunk) {
+    JobSpec spec;
+    spec.config = options.config;
+    spec.limits = options.limits;
+    spec.priority = options.priority;
+    spec.deadline_s = options.deadline_s;
+    spec.batch = std::make_shared<const std::vector<graph::CorpusRecord>>(
+        std::move(chunk));
+    submission.graphs_submitted +=
+        static_cast<long long>(spec.batch->size());
+    submission.tickets.push_back(submit_batch_job(std::move(spec)));
+  };
+
+  std::vector<graph::CorpusRecord> chunk;
+  chunk.reserve(chunk_size);
+  while (auto rec = stream.next()) {
+    chunk.push_back(std::move(*rec));
+    if (chunk.size() >= chunk_size) {
+      // submit_batch_job blocks on a full shard under kBlock — that
+      // backpressure is what paces the stream read.
+      flush(std::move(chunk));
+      chunk = {};
+      chunk.reserve(chunk_size);
+    }
+  }
+  if (!chunk.empty()) flush(std::move(chunk));
+
+  // Everything the reader skipped while we drained it is this
+  // submission's skip set (the reader accumulates across its lifetime,
+  // so only count from where this call started).
+  submission.skips.assign(stream.skips().begin() +
+                              static_cast<std::ptrdiff_t>(skips_before),
+                          stream.skips().end());
+  corpus_graphs_skipped_->add(submission.skips.size());
+  return submission;
+}
+
 const parallel::ParallelResult& SolveService::wait(
     const JobTicket& ticket) const {
   GVC_CHECK_MSG(ticket.valid(), "wait() on an invalid ticket");
@@ -250,7 +359,7 @@ void SolveService::worker_loop(int w) {
     const double deadline_abs =
         spec.deadline_s > 0.0 ? job->submit_time_s() + spec.deadline_s : 0.0;
     if (deadline_abs > 0.0 && dequeued_s >= deadline_abs) {
-      cache_->abandon(job->key(), job.get());
+      if (!spec.is_batch()) cache_->abandon(job->key(), job.get());
       expired_->add();
       obs::trace_instant(obs::TraceCat::kService, "job_expired", "job",
                          static_cast<std::int64_t>(job->id()));
@@ -276,7 +385,7 @@ void SolveService::worker_loop(int w) {
       // here — once, from the stamped values. Like the cancelled_ count,
       // the samples land when the worker drains the entry; a stats() read
       // racing the drain may not see them yet (shutdown() makes it final).
-      cache_->abandon(job->key(), job.get());
+      if (!spec.is_batch()) cache_->abandon(job->key(), job.get());
       if (job->status() == JobStatus::kCancelled) {
         cancelled_->add();
         observe_latency(job->e2e_seconds(), job->queue_seconds(), 0.0,
@@ -288,7 +397,37 @@ void SolveService::worker_loop(int w) {
     // The executed device was already pinned into spec.config at submit
     // (so the cache key describes exactly this run).
     parallel::ParallelResult result;
-    {
+    if (spec.is_batch()) {
+      obs::TraceSpan span(obs::TraceCat::kService, "batch_solve", "job",
+                          static_cast<std::int64_t>(job->id()));
+      std::vector<const graph::CsrGraph*> graphs;
+      graphs.reserve(spec.batch->size());
+      for (const auto& rec : *spec.batch) graphs.push_back(&rec.graph);
+      parallel::BatchResult batch =
+          parallel::solve_batch(graphs, spec.config, &control, &workspace);
+      // The ticket-level record is the chunk aggregate: the first
+      // non-complete outcome (external stops first, so a cancelled chunk
+      // reads kCancelled), node/time totals, and the launch stats. The
+      // per-graph records are published on the JobState before finish()
+      // turns it terminal.
+      result.outcome = vc::Outcome::kOptimal;
+      for (const auto& r : batch.results) {
+        if (r.outcome == vc::Outcome::kCancelled ||
+            r.outcome == vc::Outcome::kDeadline) {
+          result.outcome = r.outcome;
+          break;
+        }
+        if (!r.complete() && result.outcome == vc::Outcome::kOptimal)
+          result.outcome = r.outcome;
+      }
+      result.tree_nodes = batch.total_tree_nodes();
+      result.seconds = batch.wall_seconds;
+      result.sim_seconds = batch.sim_seconds;
+      result.plan = batch.plan;
+      result.launch = std::move(batch.launch);
+      corpus_graphs_solved_->add(batch.results.size());
+      job->set_batch_results(std::move(batch.results));
+    } else {
       obs::TraceSpan span(obs::TraceCat::kService, "job_solve", "job",
                           static_cast<std::int64_t>(job->id()));
       result = parallel::solve(*spec.graph, spec.method, spec.config,
@@ -299,9 +438,11 @@ void SolveService::worker_loop(int w) {
     // Fold the solve's own activity profile into this worker's phase
     // split. The blocks ran on the launch's simulated-SM threads, so this
     // is CPU work attributed to the worker that drove the launch; solvers
-    // that report no block activity (Sequential's direct path) book their
-    // wall time as kOther so the table still accounts every solve.
-    if (result.launch.blocks.empty()) {
+    // that report no block activity — Sequential's direct path, and batch
+    // launches whose blocks are Sequential engines — book their wall time
+    // as kOther so the table still accounts every solve.
+    if (result.launch.blocks.empty() ||
+        result.launch.merged_activities().total_ns() == 0) {
       phase_table_.add(w, obs::Phase::kOther,
                        static_cast<std::uint64_t>(solve_seconds * 1e9));
     } else {
@@ -313,13 +454,16 @@ void SolveService::worker_loop(int w) {
     // (load-dependent, not canonical), as are sub-min_cache_seconds
     // solves; a refusal drops this job's in-flight registration so the
     // next identical submission re-solves. Already-coalesced tickets
-    // still get this result through the shared JobState.
-    const double cache_from_s = service_now_s();
-    cache_->complete(job->key(), result, job.get());
+    // still get this result through the shared JobState. Batch jobs hold
+    // no registration and store nothing.
+    if (!spec.is_batch()) {
+      const double cache_from_s = service_now_s();
+      cache_->complete(job->key(), result, job.get());
+      phase_table_.add(w, obs::Phase::kCache,
+                       static_cast<std::uint64_t>(
+                           (service_now_s() - cache_from_s) * 1e9));
+    }
     workspace.trim(kRetainedWorkspaceBlocks);
-    phase_table_.add(w, obs::Phase::kCache,
-                     static_cast<std::uint64_t>(
-                         (service_now_s() - cache_from_s) * 1e9));
     jobs_per_worker_[static_cast<std::size_t>(w)]->fetch_add(
         1, std::memory_order_relaxed);
 
@@ -353,6 +497,10 @@ ServiceStats SolveService::stats() const {
   s.rejected = rejected_->value();
   s.expired = expired_->value();
   s.cancelled = cancelled_->value();
+  s.corpus_batches = corpus_batches_->value();
+  s.corpus_graphs_submitted = corpus_graphs_submitted_->value();
+  s.corpus_graphs_solved = corpus_graphs_solved_->value();
+  s.corpus_graphs_skipped = corpus_graphs_skipped_->value();
   s.cache = cache_->stats();
   s.queues.reserve(queues_.size());
   for (const auto& q : queues_) s.queues.push_back(q->stats());

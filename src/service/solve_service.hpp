@@ -73,6 +73,12 @@ struct ServiceOptions {
   /// `partition_device` is set.
   device::DeviceSpec device = device::DeviceSpec::host_scaled();
 
+  /// Graphs per batch job for submit_batch(): each chunk of this many
+  /// corpus records becomes ONE queued job (one solve_batch launch). Small
+  /// chunks spread a corpus across workers; large chunks amortize launch
+  /// overhead harder. Clamped to >= 1.
+  std::size_t corpus_chunk_size = 256;
+
   /// true: the submitted config's device is replaced at admission by the
   /// target worker's SM slice of `device` (space-sharing; jobs on
   /// different workers don't oversubscribe the host). The cache key is
@@ -100,6 +106,14 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;   ///< JobTicket::cancel(): queued or
                                  ///< mid-solve (kCancelled) — counted
                                  ///< separately from expiries
+  // Corpus/batch accounting (the gvc_corpus_* families). Graphs are the
+  // unit here, not jobs: one batch job covers a whole chunk.
+  std::uint64_t corpus_batches = 0;          ///< chunk jobs admitted
+  std::uint64_t corpus_graphs_submitted = 0; ///< well-formed graphs admitted
+  std::uint64_t corpus_graphs_solved = 0;    ///< per-graph records delivered
+  std::uint64_t corpus_graphs_skipped = 0;   ///< malformed records skipped
+                                             ///< by the corpus reader
+
   ResultCache::Stats cache;
   std::vector<JobQueue::Stats> queues;           ///< one per shard
   std::vector<std::uint64_t> jobs_per_worker;    ///< solves executed
@@ -115,6 +129,33 @@ struct ServiceStats {
 
   /// Per-worker cumulative phase split (the live Fig. 6 breakdown).
   std::vector<obs::PhaseTable::Snapshot> worker_phases;
+};
+
+/// How submit_batch() should run each graph of a corpus.
+struct CorpusOptions {
+  /// Solver config applied to every graph. Batch blocks run the Sequential
+  /// engine (the grid model's one-block-per-search applied per instance),
+  /// so the method is implicit; device/branching/reduction fields apply.
+  parallel::ParallelConfig config;
+
+  /// Per-GRAPH budgets (each block launches its own bounded search).
+  vc::Limits limits;
+
+  int priority = 0;
+
+  /// Per-JOB deadline in seconds from its submission; a chunk whose
+  /// deadline fires is dropped or stopped whole. 0 = none.
+  double deadline_s = 0.0;
+};
+
+/// What submit_batch() returns: one ticket per chunk job plus the corpus
+/// reader's skip diagnostics. wait() each ticket, then read per-graph
+/// records from ticket.state->batch_results() (parallel to the chunk's
+/// spec().batch records).
+struct CorpusSubmission {
+  std::vector<JobTicket> tickets;
+  std::vector<graph::CorpusSkip> skips;
+  long long graphs_submitted = 0;
 };
 
 class SolveService {
@@ -134,6 +175,18 @@ class SolveService {
 
   /// Admits a batch in order; returns one ticket per spec.
   std::vector<JobTicket> submit_all(std::vector<JobSpec> specs);
+
+  /// Drains a corpus stream into batch jobs: reads records one at a time
+  /// (never materializing the corpus), packs every
+  /// ServiceOptions::corpus_chunk_size well-formed graphs into one queued
+  /// job, and lets the shard queues' kBlock backpressure pace the read —
+  /// a slow solver throttles the reader instead of ballooning memory.
+  /// Malformed records are the reader's problem (skipped and counted, per
+  /// graph/corpus.hpp); their diagnostics are returned and the
+  /// gvc_corpus_graphs_skipped_total counter is bumped. Batch jobs bypass
+  /// the ResultCache and shard round-robin.
+  CorpusSubmission submit_batch(graph::CorpusReader& stream,
+                                const CorpusOptions& options = {});
 
   /// Blocks until the ticket's job is terminal; returns its result record.
   /// For jobs dropped without a solve (kExpired at admission/dequeue,
@@ -195,12 +248,20 @@ class SolveService {
   std::shared_ptr<obs::Counter> rejected_;
   std::shared_ptr<obs::Counter> expired_;
   std::shared_ptr<obs::Counter> cancelled_;
+  std::shared_ptr<obs::Counter> corpus_batches_;
+  std::shared_ptr<obs::Counter> corpus_graphs_submitted_;
+  std::shared_ptr<obs::Counter> corpus_graphs_solved_;
+  std::shared_ptr<obs::Counter> corpus_graphs_skipped_;
   std::shared_ptr<obs::Histogram> queue_wait_hist_;
   std::shared_ptr<obs::Histogram> solve_hist_;
   std::shared_ptr<obs::Histogram> e2e_hist_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_per_worker_;
 
+  std::atomic<std::uint64_t> next_batch_shard_{0};
+
   int shard_of(const CacheKey& key) const;
+  /// Queues one corpus chunk as a batch job (round-robin shard, no cache).
+  JobTicket submit_batch_job(JobSpec spec);
   void worker_loop(int w);
   /// Stamp one terminal job's latencies into the histograms. `queued`: the
   /// job entered a shard queue (queue_s is meaningful); `solved`: a worker

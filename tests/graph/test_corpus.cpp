@@ -1,0 +1,327 @@
+#include "graph/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace gvc::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Autodetect boundaries
+
+TEST(CorpusAutodetect, FirstSignificantTokenDecides) {
+  {
+    std::istringstream in("t # 0\nv 0 0\nv 1 0\ne 0 1 0\n");
+    CorpusReader r(in);
+    ASSERT_TRUE(r.next().has_value());
+    EXPECT_EQ(r.format(), CorpusFormat::kGspan);
+  }
+  {
+    std::istringstream in("p edge 2 1\ne 1 2\n");
+    CorpusReader r(in);
+    ASSERT_TRUE(r.next().has_value());
+    EXPECT_EQ(r.format(), CorpusFormat::kDimacs);
+  }
+  {
+    std::istringstream in("c leading comment\np edge 2 1\ne 1 2\n");
+    CorpusReader r(in);
+    ASSERT_TRUE(r.next().has_value());
+    EXPECT_EQ(r.format(), CorpusFormat::kDimacs);
+  }
+  {
+    std::istringstream in("0 1\n1 2\n");
+    CorpusReader r(in);
+    ASSERT_TRUE(r.next().has_value());
+    EXPECT_EQ(r.format(), CorpusFormat::kEdgeList);
+  }
+}
+
+TEST(CorpusAutodetect, CommentsAndBlanksDoNotDecide) {
+  std::istringstream in(
+      "# edge-list style comment\n"
+      "% another\n"
+      "\n"
+      "t # 0\nv 0 0\nv 1 0\ne 0 1 0\n");
+  CorpusReader r(in);
+  ASSERT_TRUE(r.next().has_value());
+  EXPECT_EQ(r.format(), CorpusFormat::kGspan);
+}
+
+TEST(CorpusAutodetect, EmptyStreamYieldsNothing) {
+  std::istringstream in("\n\n# only comments\n");
+  CorpusReader r(in);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.records_read(), 0);
+  EXPECT_TRUE(r.skips().empty());
+}
+
+// ---------------------------------------------------------------------------
+// gspan transactions
+
+TEST(CorpusGspan, ParsesTransactions) {
+  std::istringstream in(
+      "t # 0\n"
+      "v 0 0\nv 1 1\nv 2 0\n"
+      "e 0 1 0\ne 1 2 0\n"
+      "t # graph-two\n"
+      "v 0 0\nv 1 0\n"
+      "e 0 1 0\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, "0");
+  EXPECT_EQ(a->index, 0);
+  EXPECT_EQ(a->line, 1);
+  EXPECT_EQ(a->graph.num_vertices(), 3);
+  EXPECT_EQ(a->graph.num_edges(), 2);
+  auto b = r.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->id, "graph-two");
+  EXPECT_EQ(b->index, 1);
+  EXPECT_EQ(b->graph.num_vertices(), 2);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.records_read(), 2);
+  EXPECT_EQ(r.records_skipped(), 0);
+}
+
+TEST(CorpusGspan, SkipsMalformedRecordAndResyncs) {
+  std::istringstream in(
+      "t # 0\nv 0 0\nv 1 0\ne 0 1 0\n"
+      "t # 1\nv 0 0\ne 0 9 0\n"  // endpoint out of range
+      "t # 2\nv 0 0\nv 1 0\ne 0 1 0\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, "0");
+  auto b = r.next();  // record 1 skipped, record 2 yielded
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->id, "2");
+  EXPECT_EQ(b->index, 2);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].index, 1);
+  EXPECT_EQ(r.skips()[0].line, 7);
+  EXPECT_EQ(r.skips()[0].reason, "edge endpoint out of range");
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CorpusGspan, SkipsEmptyGraphRecord) {
+  std::istringstream in(
+      "t # 0\n"
+      "t # 1\nv 0 0\nv 1 0\ne 0 1 0\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, "1");
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "empty graph record");
+}
+
+TEST(CorpusGspan, SkipsNonSequentialVertexIds) {
+  std::istringstream in(
+      "t # 0\nv 0 0\nv 2 0\n"
+      "t # 1\nv 0 0\nv 1 0\ne 0 1 0\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->id, "1");
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "non-sequential vertex id");
+}
+
+TEST(CorpusGspan, RoundTrip) {
+  std::ostringstream out;
+  std::vector<CsrGraph> originals;
+  for (int i = 0; i < 8; ++i) {
+    originals.push_back(gnp(10 + i, 0.4, 100 + i));
+    write_gspan(out, originals.back(), std::to_string(i));
+  }
+  std::istringstream in(out.str());
+  CorpusReader r(in);
+  for (int i = 0; i < 8; ++i) {
+    auto rec = r.next();
+    ASSERT_TRUE(rec.has_value()) << i;
+    EXPECT_EQ(rec->id, std::to_string(i));
+    EXPECT_EQ(rec->graph, originals[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.records_skipped(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS stream
+
+TEST(CorpusDimacs, ParsesConcatenatedRecords) {
+  std::istringstream in(
+      "c first\n"
+      "p edge 3 2\ne 1 2\ne 2 3\n"
+      "p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->graph.num_vertices(), 3);
+  EXPECT_EQ(a->graph.num_edges(), 2);
+  EXPECT_EQ(a->line, 1);  // the comment starts the record
+  auto b = r.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->graph.num_vertices(), 2);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CorpusDimacs, EdgeCountMismatchIsASkipReason) {
+  // Satellite 2 in corpus mode: the header promises 3 edges, the body has
+  // one — a truncated record, skipped with the mismatch named.
+  std::istringstream in(
+      "p edge 4 3\ne 1 2\n"
+      "p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->graph.num_vertices(), 2);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_NE(r.skips()[0].reason.find("disagrees with p line"),
+            std::string::npos);
+  EXPECT_EQ(r.skips()[0].line, 1);
+}
+
+TEST(CorpusDimacs, TruncatedTrailingRecordIsSkippedNotFatal) {
+  // Satellite 3's stream cousin: a comment block at end of stream with no
+  // header is a truncated record. (A comment directly after the e-lines,
+  // with no blank separator, still belongs to the previous record.)
+  std::istringstream in(
+      "p edge 2 1\ne 1 2\n"
+      "\n"
+      "c dangling trailer\n");
+  CorpusReader r(in);
+  ASSERT_TRUE(r.next().has_value());
+  EXPECT_FALSE(r.next().has_value());
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "missing p line");
+  EXPECT_EQ(r.skips()[0].line, 4);
+}
+
+TEST(CorpusDimacs, MalformedEdgeLineSkipsToNextRecord) {
+  std::istringstream in(
+      "p edge 2 1\ne 1 bogus\n"
+      "p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 1);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "bad e line");
+}
+
+TEST(CorpusDimacs, RoundTrip) {
+  std::ostringstream out;
+  std::vector<CsrGraph> originals;
+  for (int i = 0; i < 6; ++i) {
+    originals.push_back(gnp(8 + i, 0.5, 200 + i));
+    write_dimacs(out, originals.back());
+  }
+  std::istringstream in(out.str());
+  CorpusReader r(in);
+  for (int i = 0; i < 6; ++i) {
+    auto rec = r.next();
+    ASSERT_TRUE(rec.has_value()) << i;
+    EXPECT_EQ(rec->graph, originals[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.records_skipped(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list stream
+
+TEST(CorpusEdgeList, BlankLineSeparatesRecords) {
+  std::istringstream in(
+      "0 1\n1 2\n"
+      "\n"
+      "# comment inside second record\n"
+      "5 6\n"
+      "\n\n"
+      "7 8\n8 9\n9 7\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->graph.num_vertices(), 3);
+  auto b = r.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->graph.num_vertices(), 2);
+  auto c = r.next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->graph.num_vertices(), 3);
+  EXPECT_EQ(c->graph.num_edges(), 3);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CorpusEdgeList, MalformedRecordSkipsToNextBlank) {
+  std::istringstream in(
+      "0 1\nnonsense\n1 2\n"
+      "\n"
+      "3 4\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 1);
+  EXPECT_EQ(a->graph.num_edges(), 1);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "bad edge list line");
+  EXPECT_EQ(r.skips()[0].line, 2);
+}
+
+TEST(CorpusEdgeList, RoundTrip) {
+  std::ostringstream out;
+  std::vector<CsrGraph> originals;
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(gnp(12, 0.5, 300 + i));
+    write_edge_list(out, originals[static_cast<std::size_t>(i)]);
+    out << '\n';
+  }
+  std::istringstream in(out.str());
+  CorpusReader r(in);
+  for (int i = 0; i < 5; ++i) {
+    auto rec = r.next();
+    ASSERT_TRUE(rec.has_value()) << i;
+    // Compaction preserves structure when no vertex is isolated.
+    if (rec->graph.num_vertices() ==
+        originals[static_cast<std::size_t>(i)].num_vertices()) {
+      EXPECT_EQ(rec->graph, originals[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_FALSE(r.next().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Never-abort contract over hostile streams
+
+TEST(CorpusHostile, GarbageHeavyStreamCompletesWithSkips) {
+  std::istringstream in(
+      "t # 0\nv 0 0\nzzz\n"
+      "t # 1\n"
+      "t # 2\nv 0 0\nv 1 0\ne 0 1 0\n"
+      "t # 3\nv 0 0\ne 0 bogus\n"
+      "t # 4\nv 0 0\nv 1 0\ne 1 0 0\n");
+  CorpusReader r(in);
+  std::vector<CorpusRecord> got;
+  while (auto rec = r.next()) got.push_back(std::move(*rec));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, "2");
+  EXPECT_EQ(got[1].id, "4");
+  EXPECT_EQ(r.records_skipped(), 3);
+  EXPECT_EQ(r.records_read(), 5);
+}
+
+TEST(CorpusHostile, NextAfterEndStaysAtEnd) {
+  std::istringstream in("p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  ASSERT_TRUE(r.next().has_value());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.next().has_value());
+}
+
+}  // namespace
+}  // namespace gvc::graph

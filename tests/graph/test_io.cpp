@@ -158,5 +158,112 @@ TEST(FileIoDeathTest, MissingFile) {
   EXPECT_DEATH(load_graph("/nonexistent/path/graph.col"), "cannot open");
 }
 
+// ---------------------------------------------------------------------------
+// The recoverable try_*() contract: malformed input yields an IoError, never
+// a process abort, and end-of-input diagnostics name the stream position
+// correctly (the legacy reader blamed the last line of the file for a
+// missing header, and reported "line 0" for empty input).
+
+TEST(TryIo, MalformedInputReturnsErrorInsteadOfAborting) {
+  std::istringstream in("e 1 2\n");
+  auto r = try_read_dimacs(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().what, "edge before p line");
+  EXPECT_EQ(r.error().line, 1);
+  EXPECT_FALSE(r.error().at_end);
+  EXPECT_NE(r.error().to_string().find("(line 1)"), std::string::npos);
+}
+
+TEST(TryIo, MissingHeaderIsAnEndOfInputDiagnostic) {
+  std::istringstream in("c one\nc two\n");
+  auto r = try_read_dimacs(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().what, "missing p line");
+  EXPECT_EQ(r.error().line, 2);
+  EXPECT_TRUE(r.error().at_end);
+  EXPECT_NE(r.error().to_string().find("end of input after line 2"),
+            std::string::npos);
+}
+
+TEST(TryIo, EmptyStreamReportsEmptyInputNotLineZero) {
+  std::istringstream in("");
+  auto r = try_read_dimacs(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().line, 0);
+  EXPECT_TRUE(r.error().at_end);
+  EXPECT_NE(r.error().to_string().find("empty input"), std::string::npos);
+  EXPECT_EQ(r.error().to_string().find("line 0"), std::string::npos);
+}
+
+TEST(TryIo, DimacsEdgeCountMismatchWarnsByDefault) {
+  std::istringstream in("p edge 4 3\ne 1 2\n");
+  auto r = try_read_dimacs(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.warning.empty());
+  EXPECT_NE(r.warning.find("disagrees with p line"), std::string::npos);
+  EXPECT_EQ(r.value().num_edges(), 1);
+}
+
+TEST(TryIo, DimacsEdgeCountMismatchIsErrorWhenStrict) {
+  std::istringstream in("p edge 4 3\ne 1 2\n");
+  auto r = try_read_dimacs(in, /*strict_edge_count=*/true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().what.find("disagrees with p line"), std::string::npos);
+  EXPECT_EQ(r.error().line, 1);  // blames the header line, not end of file
+}
+
+TEST(TryIo, DuplicateEdgesDoNotTripEdgeCountValidation) {
+  // The header counts unique edges; the body's duplicates/reversals are
+  // normalized away, so a header matching the deduplicated count is clean.
+  std::istringstream in("p edge 3 2\ne 1 2\ne 2 1\ne 2 3\n");
+  auto r = try_read_dimacs(in, /*strict_edge_count=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.warning.empty());
+}
+
+TEST(TryIo, TruncatedMetisIsAtEnd) {
+  std::istringstream in("3 3\n2 3\n");
+  auto r = try_read_metis(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().what, "METIS file truncated");
+  EXPECT_TRUE(r.error().at_end);
+  EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(TryIo, TruncatedMtxIsAtEnd) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n");
+  auto r = try_read_matrix_market(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.error().at_end);
+}
+
+TEST(TryIo, UnopenableFileIsAnError) {
+  auto r = try_load_graph("/nonexistent/path/graph.col");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().what.find("cannot open graph file"), std::string::npos);
+}
+
+TEST(TryIo, WellFormedInputMatchesLegacyReader) {
+  CsrGraph g = gnp(30, 0.2, 11);
+  std::ostringstream out;
+  write_dimacs(out, g);
+  std::istringstream in(out.str());
+  auto r = try_read_dimacs(in, /*strict_edge_count=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.warning.empty());
+  EXPECT_EQ(r.value(), g);
+}
+
+TEST(TryIo, PaceSolutionSizeMismatchIsAtEnd) {
+  std::istringstream in("s vc 5 2\n1\n");
+  auto r = try_read_pace_solution(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().what, "solution size disagrees with s line");
+  EXPECT_TRUE(r.error().at_end);
+}
+
 }  // namespace
 }  // namespace gvc::graph

@@ -39,41 +39,135 @@
 //   --solution PATH      write the cover in PACE "s vc" format
 //   --quiet              print only the cover size
 //
+// Corpus mode — solve a stream of graphs instead of one file:
+//
+//   gvc_solve --corpus FILE [--corpus-format auto|gspan|dimacs|edgelist]
+//             [--chunk N] [--workers N] [solver flags] [--quiet]
+//
+// FILE holds many graph records (gspan transactions, concatenated DIMACS,
+// or blank-line-separated edge lists; autodetected by default). Records are
+// streamed through SolveService::submit_batch — chunks of --chunk graphs
+// (default 256) become one pooled launch each, spread over --workers
+// service workers (default 4). Malformed records are skipped with a
+// per-record diagnostic, never aborting the stream; --time-limit and
+// --node-limit bound each graph's search separately. Per-graph result
+// lines are printed in corpus order (--quiet keeps only the summary, which
+// always reports solved/skipped counts and graphs/second).
+//
 // Exit code: 0 on success (PVC: cover found), 1 for PVC "no cover ≤ k",
 // 2 when a limit/deadline fired before the search finished, 64 for usage
-// errors (unknown method names print the usage line instead of aborting).
+// errors (unknown method names print the usage line instead of aborting),
+// 65 for a malformed single-instance graph file, 66 for an unreadable
+// --corpus file. Corpus mode exits 0 even when records were skipped —
+// skips are per-record diagnostics, not process failures — and 2 when any
+// solved record is incomplete.
 
 #include <cstdio>
 #include <fstream>
 
 #include "cli_common.hpp"
+#include "graph/corpus.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "graph/stats.hpp"
 #include "parallel/solver.hpp"
+#include "service/solve_service.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 #include "vc/folding.hpp"
+
+namespace {
+
+using namespace gvc;
+
+std::optional<graph::CorpusFormat> parse_corpus_format(
+    const std::string& name) {
+  if (name == "auto") return graph::CorpusFormat::kAuto;
+  if (name == "gspan") return graph::CorpusFormat::kGspan;
+  if (name == "dimacs") return graph::CorpusFormat::kDimacs;
+  if (name == "edgelist") return graph::CorpusFormat::kEdgeList;
+  std::fprintf(stderr, "unknown --corpus-format '%s' "
+                       "(auto|gspan|dimacs|edgelist)\n", name.c_str());
+  return std::nullopt;
+}
+
+int run_corpus(util::Args& args, const parallel::ParallelConfig& config,
+               const vc::Limits& limits, bool quiet) {
+  const std::string path = args.get("corpus");
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open corpus file: %s\n", path.c_str());
+    return 66;
+  }
+  const auto format = parse_corpus_format(args.get("corpus-format", "auto"));
+  if (!format.has_value()) return 64;
+
+  service::ServiceOptions sopts;
+  sopts.num_workers = static_cast<int>(args.get_int("workers", 4));
+  sopts.corpus_chunk_size =
+      static_cast<std::size_t>(args.get_int("chunk", 256));
+  service::SolveService svc(sopts);
+
+  service::CorpusOptions copts;
+  copts.config = config;
+  copts.limits = limits;
+
+  graph::CorpusReader reader(in, *format);
+  util::WallTimer timer;
+  service::CorpusSubmission sub = svc.submit_batch(reader, copts);
+
+  // Tickets complete as workers drain; print per-graph lines in corpus
+  // order (chunks were submitted in order, records within a chunk too).
+  long long incomplete = 0;
+  for (const auto& ticket : sub.tickets) {
+    svc.wait(ticket);
+    const auto& records = *ticket.state->spec().batch;
+    const auto& results = ticket.state->batch_results();
+    for (std::size_t i = 0; i < records.size() && i < results.size(); ++i) {
+      const vc::SolveResult& r = results[i];
+      if (!r.complete()) ++incomplete;
+      if (quiet) continue;
+      std::printf("[%lld] id=%s line=%lld: cover %d (%s, %llu nodes)\n",
+                  records[i].index, records[i].id.c_str(), records[i].line,
+                  r.best_size, vc::to_string(r.outcome),
+                  static_cast<unsigned long long>(r.tree_nodes));
+    }
+  }
+  const double wall = timer.seconds();
+
+  for (const auto& skip : sub.skips)
+    std::printf("[%lld] skipped at line %lld: %s\n", skip.index, skip.line,
+                skip.reason.c_str());
+
+  const service::ServiceStats stats = svc.stats();
+  const double gps =
+      wall > 0.0 ? static_cast<double>(stats.corpus_graphs_solved) / wall
+                 : 0.0;
+  std::printf("corpus %s [%s]: %llu solved, %llu skipped, %llu batches "
+              "in %.3f s (%.0f graphs/s)\n",
+              path.c_str(), graph::corpus_format_name(reader.format()),
+              static_cast<unsigned long long>(stats.corpus_graphs_solved),
+              static_cast<unsigned long long>(stats.corpus_graphs_skipped),
+              static_cast<unsigned long long>(stats.corpus_batches), wall,
+              gps);
+  return incomplete > 0 ? 2 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gvc;
   util::Args args(argc, argv);
 
-  if (args.positional().empty()) {
+  if (args.positional().empty() && !args.has("corpus")) {
     std::fprintf(stderr, "usage: %s GRAPH [--method hybrid] [--problem mvc] "
                          "...  (see the header of tools/gvc_solve.cpp)\n",
                  args.program().c_str());
     return 64;
   }
-  const std::string path = args.positional()[0];
   const bool quiet = args.get_bool("quiet", false);
-
-  graph::CsrGraph g = graph::load_graph(path);
-  if (!quiet) {
-    graph::GraphStats stats = graph::compute_stats(g);
-    std::printf("%s: %s\n", path.c_str(), stats.to_string().c_str());
-  }
 
   const std::optional<parallel::Method> method = tools::parse_method_flag(args);
   if (!method.has_value()) return 64;
@@ -82,10 +176,29 @@ int main(int argc, char** argv) {
   // the shared tool surface; see tools/cli_common.hpp.
   parallel::ParallelConfig config;
   if (!tools::parse_solver_flags(args, &config)) return 64;
-  vc::SolveControl control;
-  control.limits.time_limit_s = args.get_double("time-limit", 0.0);
-  control.limits.max_tree_nodes =
+  vc::Limits limits;
+  limits.time_limit_s = args.get_double("time-limit", 0.0);
+  limits.max_tree_nodes =
       static_cast<std::uint64_t>(args.get_int("node-limit", 0));
+
+  if (args.has("corpus")) return run_corpus(args, config, limits, quiet);
+
+  const std::string path = args.positional()[0];
+  graph::IoResult<graph::CsrGraph> loaded = graph::try_load_graph(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.error().to_string().c_str());
+    return 65;
+  }
+  if (!loaded.warning.empty())
+    std::fprintf(stderr, "warning: %s\n", loaded.warning.c_str());
+  graph::CsrGraph g = std::move(loaded.value());
+  if (!quiet) {
+    graph::GraphStats stats = graph::compute_stats(g);
+    std::printf("%s: %s\n", path.c_str(), stats.to_string().c_str());
+  }
+
+  vc::SolveControl control;
+  control.limits = limits;
   const double deadline_ms = args.get_double("deadline-ms", 0.0);
   if (deadline_ms > 0.0)
     control.set_deadline(vc::SolveControl::now_s() + deadline_ms * 1e-3);
