@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/builder.hpp"
+#include "graph/io.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -227,6 +228,14 @@ std::optional<CorpusRecord> CorpusReader::next_dimacs() {
     if (fields.size() < 4 || !parse_int(fields[2], nn) ||
         !parse_int(fields[3], mm) || nn < 0 || mm < 0) {
       skip_record(line_no_, "bad p line");
+      resync_to_token('p');
+      return std::nullopt;
+    }
+    // Same cap as io.cpp's readers: the header count sizes the builder
+    // before any body validation, so an oversized or Vertex-overflowing
+    // count must cost one skip, never an abort or a giant allocation.
+    if (nn > static_cast<long long>(max_header_vertices())) {
+      skip_record(line_no_, "vertex count out of range");
       resync_to_token('p');
       return std::nullopt;
     }

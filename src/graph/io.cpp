@@ -1,8 +1,10 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -37,6 +39,18 @@ std::string IoError::to_string() const {
 
 namespace {
 
+std::atomic<Vertex> g_max_header_vertices{std::numeric_limits<Vertex>::max()};
+
+/// True when a header-declared vertex count is representable and within the
+/// cap. Every reader must pass counts through here BEFORE the Vertex cast
+/// and before sizing a GraphBuilder — an unchecked cast wraps negative and
+/// turns one hostile header line into a process abort.
+bool header_count_ok(long long nn) {
+  return nn >= 0 &&
+         nn <= static_cast<long long>(
+                   g_max_header_vertices.load(std::memory_order_relaxed));
+}
+
 IoError malformed(std::string what, long long line, bool at_end = false) {
   IoError e;
   e.what = std::move(what);
@@ -59,6 +73,15 @@ T value_or_die(IoResult<T> r) {
 
 }  // namespace
 
+Vertex max_header_vertices() {
+  return g_max_header_vertices.load(std::memory_order_relaxed);
+}
+
+Vertex set_max_header_vertices(Vertex cap) {
+  if (cap < 0) cap = 0;
+  return g_max_header_vertices.exchange(cap, std::memory_order_relaxed);
+}
+
 IoResult<CsrGraph> try_read_dimacs(std::istream& in, bool strict_edge_count) {
   std::string line;
   long long line_no = 0;
@@ -79,6 +102,8 @@ IoResult<CsrGraph> try_read_dimacs(std::istream& in, bool strict_edge_count) {
       if (!parse_int(fields[2], nn) || !parse_int(fields[3], mm) || nn < 0 ||
           mm < 0)
         return malformed("bad p line numbers", line_no);
+      if (!header_count_ok(nn))
+        return malformed("vertex count out of range", line_no);
       n = static_cast<Vertex>(nn);
       builder = GraphBuilder(n);
       have_header = true;
@@ -140,6 +165,7 @@ IoResult<CsrGraph> try_read_metis(std::istream& in) {
   long long line_no = 0;
   // Header: skip comment lines starting with '%'.
   long long n = 0, m = 0, fmt = 0;
+  bool have_header = false;
   while (std::getline(in, line)) {
     ++line_no;
     auto t = trim(line);
@@ -148,10 +174,15 @@ IoResult<CsrGraph> try_read_metis(std::istream& in) {
     if (fields.size() < 2) return malformed("short METIS header", line_no);
     if (!parse_int(fields[0], n) || !parse_int(fields[1], m) || n < 0)
       return malformed("bad METIS header", line_no);
+    if (!header_count_ok(n))
+      return malformed("vertex count out of range", line_no);
     if (fields.size() >= 3 && (!parse_int(fields[2], fmt) || fmt != 0))
       return malformed("weighted METIS format unsupported", line_no);
+    have_header = true;
     break;
   }
+  if (!have_header)
+    return malformed("missing METIS header", line_no, /*at_end=*/true);
   GraphBuilder builder(static_cast<Vertex>(n));
   Vertex v = 0;
   while (v < n && std::getline(in, line)) {
@@ -221,6 +252,8 @@ IoResult<CsrGraph> try_read_matrix_market(std::istream& in) {
     return malformed("mtx adjacency matrix must be square", line_no);
   if (rows < 0 || entries < 0)
     return malformed("bad mtx size line", line_no);
+  if (!header_count_ok(rows))
+    return malformed("vertex count out of range", line_no);
   GraphBuilder builder(static_cast<Vertex>(rows));
   long long seen = 0;
   while (seen < entries && std::getline(in, line)) {
@@ -303,6 +336,8 @@ IoResult<CsrGraph> try_read_pace(std::istream& in) {
       if (!parse_int(fields[2], n) || !parse_int(fields[3], m) || n < 0 ||
           m < 0)
         return malformed("bad p line numbers", line_no);
+      if (!header_count_ok(n))
+        return malformed("vertex count out of range", line_no);
       builder = GraphBuilder(static_cast<Vertex>(n));
       have_header = true;
       continue;
@@ -357,6 +392,8 @@ IoResult<std::vector<Vertex>> try_read_pace_solution(std::istream& in) {
       if (!parse_int(fields[2], n) || !parse_int(fields[3], k) || n < 0 ||
           k < 0 || k > n)
         return malformed("bad s line numbers", line_no);
+      if (!header_count_ok(n))
+        return malformed("vertex count out of range", line_no);
       cover.reserve(static_cast<std::size_t>(k));
       have_header = true;
       continue;

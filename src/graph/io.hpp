@@ -30,6 +30,19 @@
 
 namespace gvc::graph {
 
+/// Largest vertex count a reader accepts from a header line. Header-declared
+/// counts size the CSR allocation before a single body byte is validated, so
+/// one line of an untrusted stream can demand gigabytes (or overflow the
+/// 32-bit Vertex cast into an abort); counts above the cap are rejected as
+/// malformed ("vertex count out of range"). Defaults to Vertex's full
+/// positive range; ingest layers facing untrusted bytes may lower it.
+/// Shared by the corpus readers (graph/corpus.hpp).
+Vertex max_header_vertices();
+
+/// Sets the cap (clamped to >= 0) and returns the previous value. Global
+/// and atomic — intended for process setup, not per-read toggling.
+Vertex set_max_header_vertices(Vertex cap);
+
 /// Where and why a read failed. `line` is 1-based; 0 only when the stream
 /// held no lines at all. `at_end` marks diagnostics raised at end of input
 /// (missing header, truncated body) — the position then names the last line

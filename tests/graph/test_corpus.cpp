@@ -215,6 +215,39 @@ TEST(CorpusDimacs, MalformedEdgeLineSkipsToNextRecord) {
   EXPECT_EQ(r.skips()[0].reason, "bad e line");
 }
 
+TEST(CorpusDimacs, OversizedVertexCountIsASkipNotAnAbort) {
+  // "p edge 2147483648 0" used to wrap negative in the Vertex cast and
+  // abort inside GraphBuilder — one hostile record killing the whole
+  // stream. It must cost exactly one skip, with the stream resyncing to
+  // the next record.
+  std::istringstream in(
+      "p edge 2147483648 0\n"
+      "p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 1);
+  EXPECT_EQ(a->graph.num_vertices(), 2);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "vertex count out of range");
+  EXPECT_EQ(r.skips()[0].line, 1);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CorpusDimacs, HeaderVertexCapAppliesToStreams) {
+  const Vertex prev = set_max_header_vertices(100);
+  std::istringstream in(
+      "p edge 200 0\n"
+      "p edge 2 1\ne 1 2\n");
+  CorpusReader r(in);
+  auto a = r.next();
+  set_max_header_vertices(prev);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 1);
+  ASSERT_EQ(r.skips().size(), 1u);
+  EXPECT_EQ(r.skips()[0].reason, "vertex count out of range");
+}
+
 TEST(CorpusDimacs, RoundTrip) {
   std::ostringstream out;
   std::vector<CsrGraph> originals;

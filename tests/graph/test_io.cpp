@@ -257,6 +257,82 @@ TEST(TryIo, WellFormedInputMatchesLegacyReader) {
   EXPECT_EQ(r.value(), g);
 }
 
+// A header-declared vertex count that overflows the 32-bit Vertex used to
+// wrap negative in the cast and abort inside GraphBuilder — a process death
+// from one line of input, violating the try_* contract. Every header-bearing
+// reader must reject it as a plain IoError.
+
+TEST(TryIo, VertexCountOverflowingVertexIsMalformedNotFatal) {
+  {
+    std::istringstream in("p edge 2147483648 0\n");
+    auto r = try_read_dimacs(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "vertex count out of range");
+    EXPECT_EQ(r.error().line, 1);
+  }
+  {
+    std::istringstream in("2147483648 0\n");
+    auto r = try_read_metis(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "vertex count out of range");
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2147483648 2147483648 0\n");
+    auto r = try_read_matrix_market(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "vertex count out of range");
+  }
+  {
+    std::istringstream in("p td 2147483648 0\n");
+    auto r = try_read_pace(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "vertex count out of range");
+  }
+  {
+    std::istringstream in("s vc 2147483648 0\n");
+    auto r = try_read_pace_solution(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "vertex count out of range");
+  }
+}
+
+TEST(TryIo, HeaderVertexCapIsConfigurable) {
+  // An in-range count can still demand gigabytes of CSR offsets from one
+  // header line; untrusted-ingest layers lower the cap to bound that.
+  const Vertex prev = set_max_header_vertices(1000);
+  std::istringstream in("p edge 2000 0\n");
+  auto r = try_read_dimacs(in);
+  set_max_header_vertices(prev);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().what, "vertex count out of range");
+  std::istringstream ok_in("p edge 1000 0\n");
+  EXPECT_TRUE(try_read_dimacs(ok_in).ok());
+}
+
+TEST(TryIo, MetisMissingHeaderIsAnEndOfInputDiagnostic) {
+  // Empty or comments-only METIS input used to parse as a successful empty
+  // graph (the truncation check passed 0 == 0) — inconsistent with the
+  // other formats, which report a missing header.
+  {
+    std::istringstream in("");
+    auto r = try_read_metis(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "missing METIS header");
+    EXPECT_EQ(r.error().line, 0);
+    EXPECT_TRUE(r.error().at_end);
+  }
+  {
+    std::istringstream in("% only a comment\n\n");
+    auto r = try_read_metis(in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().what, "missing METIS header");
+    EXPECT_EQ(r.error().line, 2);
+    EXPECT_TRUE(r.error().at_end);
+  }
+}
+
 TEST(TryIo, PaceSolutionSizeMismatchIsAtEnd) {
   std::istringstream in("s vc 5 2\n1\n");
   auto r = try_read_pace_solution(in);

@@ -120,12 +120,24 @@ int run_corpus(util::Args& args, const parallel::ParallelConfig& config,
 
   // Tickets complete as workers drain; print per-graph lines in corpus
   // order (chunks were submitted in order, records within a chunk too).
+  // A chunk dropped without a solve (rejected/expired) has no per-graph
+  // results at all — those records were admitted but never solved, so they
+  // count as incomplete rather than silently vanishing from the output.
   long long incomplete = 0;
   for (const auto& ticket : sub.tickets) {
     svc.wait(ticket);
     const auto& records = *ticket.state->spec().batch;
     const auto& results = ticket.state->batch_results();
-    for (std::size_t i = 0; i < records.size() && i < results.size(); ++i) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (i >= results.size()) {
+        ++incomplete;
+        if (!quiet)
+          std::printf("[%lld] id=%s line=%lld: not solved (%s)\n",
+                      records[i].index, records[i].id.c_str(),
+                      records[i].line,
+                      service::job_status_name(ticket.state->status()));
+        continue;
+      }
       const vc::SolveResult& r = results[i];
       if (!r.complete()) ++incomplete;
       if (quiet) continue;
