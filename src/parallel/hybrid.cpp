@@ -1,6 +1,7 @@
 #include "parallel/hybrid.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -12,6 +13,7 @@
 #include "vc/greedy.hpp"
 #include "vc/reductions.hpp"
 #include "vc/undo_trail.hpp"
+#include "worklist/device_broker.hpp"
 #include "worklist/global_worklist.hpp"
 #include "worklist/local_stack.hpp"
 
@@ -29,7 +31,7 @@ using worklist::GlobalWorklist;
 
 ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
                             vc::SolveControl* control,
-                            SolveWorkspace* workspace) {
+                            SolveWorkspace* workspace, const StealEnv* env) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -63,6 +65,20 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
 
   const Vertex n = g.num_vertices();
   if (workspace) workspace->prepare(grid);
+
+  // Cross-device migration (steal tier 2): register this solve with the
+  // hosting service's broker. A migrated node re-enters through
+  // drain_subtree — the same adopt/visit path a donated node takes — run
+  // against THIS solve's shared search, on whichever thread imports it.
+  std::optional<worklist::DeviceBroker::Group> steal_group;
+  if (env != nullptr && env->broker != nullptr)
+    steal_group.emplace(*env->broker, env->device_id,
+                        [&](vc::DegreeArray&& node, vc::ReduceWorkspace& ws) {
+                          drain_subtree(g, config, shared, std::move(node),
+                                        ws);
+                        });
+  worklist::DeviceBroker::Group* migrate =
+      steal_group.has_value() ? &*steal_group : nullptr;
 
   // Apply/undo variant of the block loop: the local stack of self-contained
   // nodes is replaced by the workspace's trail + frame stack. A deferred
@@ -126,19 +142,30 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
       }
       if (out != NodeOutcome::kBranch) continue;  // enter stays false: backtrack
 
-      // Branch: donate the neighbors child if the worklist wants it
-      // (materialized as a snapshot — it leaves the block), otherwise defer
-      // it as a frame; then continue immediately with the vmax child.
+      // Branch: donate the neighbors child if a starved remote device or
+      // the worklist wants it (materialized as a snapshot — it leaves the
+      // block), otherwise defer it as a frame; then continue immediately
+      // with the vmax child. The broker outranks the worklist: remote
+      // demand means a whole device is idle, while the worklist threshold
+      // only signals local blocks MAY go hungry soon. With no broker (or
+      // no demand) the pre-existing single-device path runs unchanged.
       bool donated = false;
-      if (worklist.poll_donate_gate()) {
+      const bool broker_wants = migrate != nullptr && migrate->want_export();
+      if (broker_wants || worklist.poll_donate_gate()) {
         {
           ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
           snapshot = da;
           snapshot.remove_neighbors_into_solution(g, vmax);
         }
         ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
-        donated = worklist.try_donate(std::move(snapshot));
-        if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
+        if (broker_wants) {
+          donated = migrate->try_export(std::move(snapshot));
+          if (donated) obs::trace_instant(obs::TraceCat::kWork, "migrate");
+        }
+        if (!donated) {
+          donated = worklist.try_donate(std::move(snapshot));
+          if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
+        }
       }
       {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);
@@ -213,9 +240,10 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
         continue;
       }
 
-      // Branch (Fig. 4 lines 20-29): build the neighbors child, donate it
-      // to the worklist if below threshold else keep it on the local stack,
-      // then continue immediately with the vmax child.
+      // Branch (Fig. 4 lines 20-29): build the neighbors child, export it
+      // to a starved remote device first, else donate it to the worklist
+      // if below threshold, else keep it on the local stack; then continue
+      // immediately with the vmax child.
       {
         ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
         child = da;
@@ -224,8 +252,14 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
       bool donated;
       {
         ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
-        donated = worklist.try_donate(std::move(child));
-        if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
+        donated = migrate != nullptr && migrate->want_export() &&
+                  migrate->try_export(std::move(child));
+        if (donated) {
+          obs::trace_instant(obs::TraceCat::kWork, "migrate");
+        } else {
+          donated = worklist.try_donate(std::move(child));
+          if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
+        }
       }
       if (!donated) {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);
@@ -248,6 +282,17 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
 
   device::VirtualDevice dev(config.device);
   result.launch = dev.launch(grid, /*cooperative=*/true, body);
+
+  // Settle migrated nodes BEFORE harvesting: un-imported exports are taken
+  // back and run inline (they are unexplored subtrees — a clean MVC
+  // optimum must cover them) unless the solve already stopped, and the
+  // drain blocks until every remotely running import has completed against
+  // `shared` — nothing references this solve's stack after this line.
+  if (migrate != nullptr) {
+    vc::ReduceWorkspace reclaim_ws;
+    const bool abandon = shared.aborted() || (!mvc && shared.pvc_found());
+    migrate->drain(reclaim_ws, abandon);
+  }
 
   static_cast<vc::SolveResult&>(result) = shared.harvest();
   result.greedy_upper_bound = greedy.size;

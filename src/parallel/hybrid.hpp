@@ -9,12 +9,20 @@
 
 #include "graph/csr.hpp"
 #include "parallel/config.hpp"
+#include "parallel/steal_env.hpp"
 
 namespace gvc::parallel {
 
+/// `env` (optional): cross-device stealing — at a branch, when a remote
+/// device advertises demand through env->broker, the materialized neighbors
+/// child is exported there instead of donated to the local worklist; after
+/// the launch, every migrated node is settled (executed-or-abandoned)
+/// before the shared search is harvested. Null env: exact single-device
+/// behavior.
 ParallelResult solve_hybrid(const graph::CsrGraph& g,
                             const ParallelConfig& config,
                             vc::SolveControl* control = nullptr,
-                            SolveWorkspace* workspace = nullptr);
+                            SolveWorkspace* workspace = nullptr,
+                            const StealEnv* env = nullptr);
 
 }  // namespace gvc::parallel

@@ -7,6 +7,9 @@
 // cover harvest cannot split the kCopy/kUndoTrail bit-identity contract:
 // the engines may differ ONLY in how they carry state between visits.
 
+#include <utility>
+#include <vector>
+
 #include "device/virtual_device.hpp"
 #include "obs/trace.hpp"
 #include "parallel/config.hpp"
@@ -84,6 +87,53 @@ inline NodeOutcome process_node(const graph::CsrGraph& g,
   obs::trace_instant_sampled(obs::TraceCat::kBranch, "branch", "v", vmax);
   vmax_out = vmax;
   return NodeOutcome::kBranch;
+}
+
+/// Runs one migrated (or reclaimed) donation snapshot to exhaustion against
+/// its owning solve's SharedSearch: a self-contained copy-mode DFS built
+/// from the same adopt_node()/process_node() visit the block loops use, so
+/// a node that crossed a device boundary is explored under exactly the
+/// owner's semantics — same prune bound (the owner's live `best`), same
+/// budgets, same cover harvest. The caller provides its OWN reduce scratch
+/// (an importing service worker passes its workspace; the owner's reclaim
+/// path passes one of its launch's). Never re-exports: a migrated subtree
+/// is drained where it landed, which is what makes the broker's
+/// executed-or-abandoned accounting exact. Stops early — like any block —
+/// when the shared search aborts or a PVC cover is latched.
+inline void drain_subtree(const graph::CsrGraph& g,
+                          const ParallelConfig& config, SharedSearch& shared,
+                          vc::DegreeArray root, vc::ReduceWorkspace& ws) {
+  // Instrumentation sinks: migrated nodes run outside any launch, so block
+  // stats go nowhere (the service charges the wall time to its own phase
+  // table); shared-node accounting still flows through NodeBatch.
+  device::BlockContext ctx(/*block_id=*/0, /*sm_id=*/0);
+  NodeBatch nodes(shared);
+  device::NodeCounter visited(ctx);
+  const bool mvc = config.problem == vc::Problem::kMvc;
+
+  std::vector<vc::DegreeArray> stack;
+  stack.push_back(std::move(root));
+  while (!stack.empty()) {
+    if (!mvc && shared.pvc_found()) return;
+    if (shared.aborted()) return;
+
+    vc::DegreeArray da = std::move(stack.back());
+    stack.pop_back();
+    adopt_node(config, da, ws);
+
+    graph::Vertex vmax = -1;
+    NodeOutcome out =
+        process_node(g, config, shared, nodes, visited, ctx, da, ws, vmax);
+    if (out == NodeOutcome::kAbort) return;
+    if (out == NodeOutcome::kFound && !mvc) return;
+    if (out != NodeOutcome::kBranch) continue;
+
+    vc::DegreeArray child = da;
+    child.remove_neighbors_into_solution(g, vmax);
+    da.remove_into_solution(g, vmax);
+    stack.push_back(std::move(child));
+    stack.push_back(std::move(da));
+  }
 }
 
 }  // namespace gvc::parallel

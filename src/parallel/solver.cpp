@@ -83,7 +83,8 @@ namespace {
 ParallelResult dispatch_solve(const graph::CsrGraph& g, Method method,
                               const ParallelConfig& config,
                               vc::SolveControl* control,
-                              SolveWorkspace* workspace) {
+                              SolveWorkspace* workspace,
+                              const StealEnv* env) {
   switch (method) {
     case Method::kSequential: {
       vc::SequentialConfig sc = sequential_config_of(config);
@@ -100,11 +101,11 @@ ParallelResult dispatch_solve(const graph::CsrGraph& g, Method method,
     case Method::kStackOnly:
       return solve_stack_only(g, config, control, workspace);
     case Method::kHybrid:
-      return solve_hybrid(g, config, control, workspace);
+      return solve_hybrid(g, config, control, workspace, env);
     case Method::kGlobalOnly:
       return solve_global_only(g, config, control, workspace);
     case Method::kWorkStealing:
-      return solve_work_stealing(g, config, control, workspace);
+      return solve_work_stealing(g, config, control, workspace, env);
   }
   GVC_CHECK(false);
   return {};
@@ -114,12 +115,12 @@ ParallelResult dispatch_solve(const graph::CsrGraph& g, Method method,
 
 ParallelResult solve(const graph::CsrGraph& g, Method method,
                      const ParallelConfig& config, vc::SolveControl* control,
-                     SolveWorkspace* workspace) {
+                     SolveWorkspace* workspace, const StealEnv* env) {
   ParallelResult result;
   {
     obs::TraceSpan span(obs::TraceCat::kSolve, method_name(method), "vertices",
                         g.num_vertices());
-    result = dispatch_solve(g, method, config, control, workspace);
+    result = dispatch_solve(g, method, config, control, workspace, env);
   }
   const SolverMetrics& m = SolverMetrics::get();
   m.solves->add(1);

@@ -16,6 +16,7 @@
 #include "parallel/global_only.hpp"
 #include "parallel/hybrid.hpp"
 #include "parallel/stack_only.hpp"
+#include "parallel/steal_env.hpp"
 #include "parallel/work_stealing.hpp"
 #include "vc/sequential.hpp"
 
@@ -55,9 +56,16 @@ Method parse_method(const std::string& name);
 /// Re-entrant: concurrent calls (with distinct workspaces, or none) are
 /// safe — all solver state lives on the call's stack. Passing `workspace`
 /// reuses its buffers instead of allocating scratch per call.
+///
+/// `env` (optional) is the cross-device stealing environment: when set,
+/// Hybrid and WorkStealing divert branch children into its DeviceBroker
+/// while remote devices advertise demand, and settle every migrated node
+/// (executed-or-abandoned) before returning. The other methods ignore it.
+/// Null env is bit-identical to the pre-multi-device behavior.
 ParallelResult solve(const graph::CsrGraph& g, Method method,
                      const ParallelConfig& config,
                      vc::SolveControl* control = nullptr,
-                     SolveWorkspace* workspace = nullptr);
+                     SolveWorkspace* workspace = nullptr,
+                     const StealEnv* env = nullptr);
 
 }  // namespace gvc::parallel

@@ -1,0 +1,27 @@
+#pragma once
+
+// StealEnv — the cross-device stealing environment a multi-device caller
+// (SolveService with steal_tiers = kJobsAndNodes) threads into solve().
+//
+// It is deliberately NOT a ParallelConfig field: which broker a solve
+// advertises into is execution policy of the hosting service, not part of
+// the request's identity, so it must stay out of the result-cache key the
+// way Limits and branch_state do. A null env (the default everywhere) is
+// the exact pre-existing single-device behavior.
+
+namespace gvc::worklist {
+class DeviceBroker;
+}
+
+namespace gvc::parallel {
+
+struct StealEnv {
+  /// Cross-device migration broker; never null inside a valid env.
+  worklist::DeviceBroker* broker = nullptr;
+
+  /// Device the solve runs on — exports advertise demand from OTHER
+  /// devices only, and importers never take their own device's nodes.
+  int device_id = 0;
+};
+
+}  // namespace gvc::parallel

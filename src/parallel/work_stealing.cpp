@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "vc/greedy.hpp"
 #include "vc/reductions.hpp"
 #include "vc/undo_trail.hpp"
+#include "worklist/device_broker.hpp"
 #include "worklist/steal_deque.hpp"
 
 namespace gvc::parallel {
@@ -128,7 +130,8 @@ class StealGroup {
 ParallelResult solve_work_stealing(const CsrGraph& g,
                                    const ParallelConfig& config,
                                    vc::SolveControl* control,
-                                   SolveWorkspace* workspace) {
+                                   SolveWorkspace* workspace,
+                                   const StealEnv* env) {
   util::WallTimer timer;
   ParallelResult result;
 
@@ -157,6 +160,20 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
   std::atomic<std::uint64_t> steal_attempts_total{0};
   std::atomic<std::uint64_t> steals_total{0};
   if (workspace) workspace->prepare(grid);
+
+  // Cross-device migration (steal tier 2): the node that would be
+  // advertised on the own deque is exported to the broker instead while a
+  // remote device is starved — Chase–Lev donation snapshots are already
+  // detached, so crossing a device is the same contract as being stolen.
+  std::optional<worklist::DeviceBroker::Group> steal_group;
+  if (env != nullptr && env->broker != nullptr)
+    steal_group.emplace(*env->broker, env->device_id,
+                        [&](vc::DegreeArray&& node, vc::ReduceWorkspace& ws) {
+                          drain_subtree(g, config, shared, std::move(node),
+                                        ws);
+                        });
+  worklist::DeviceBroker::Group* migrate =
+      steal_group.has_value() ? &*steal_group : nullptr;
 
   // Apply/undo variant: the owner's depth-first descent runs on the trail,
   // so deferred children are frames a thief cannot see. To keep the
@@ -244,30 +261,44 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
 
       // Branch: advertise the neighbors child when nothing of ours is
       // visible to thieves (or the rate policy fires), otherwise defer it
-      // as a frame; then continue immediately with the vmax child.
+      // as a frame; then continue immediately with the vmax child. A
+      // starved remote device outranks both: its demand materializes the
+      // snapshot even when local thieves are fed, and the child leaves the
+      // device entirely. An export that loses the race falls back to the
+      // local rules (including the capacity gate — the §IV-E bound covers
+      // the lazy rule, not an arbitrary advertisement backlog); with no
+      // room either, the child stays a frame.
       bool advertised = false;
       if (advertise_interval > 0) ++branches_since_advert;
+      const bool broker_wants = migrate != nullptr && migrate->want_export();
       // The rate-fired advertisement is opportunistic: when the deque is
-      // already at capacity (the §IV-E bound covers the lazy rule, not an
-      // arbitrary advertisement backlog), keep the child as a frame instead.
-      // The size gate reads a stale top_, which only UNDER-reports free
-      // space, so a push it admits can never overflow.
-      if (own.empty_approx() ||
+      // already at capacity, keep the child as a frame instead. The size
+      // gate reads a stale top_, which only UNDER-reports free space, so a
+      // push it admits can never overflow.
+      const bool advertise_locally =
+          own.empty_approx() ||
           (advertise_interval > 0 &&
            branches_since_advert >= advertise_interval &&
-           own.size_approx() < own.capacity())) {
+           own.size_approx() < own.capacity());
+      if (broker_wants || advertise_locally) {
         {
           ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
           snapshot = da;
           snapshot.remove_neighbors_into_solution(g, vmax);
         }
-        {
-          ActivityScope scope(ctx.activities(), Activity::kStackPush);
-          own.push_bottom(std::move(snapshot));
+        if (broker_wants && migrate->try_export(std::move(snapshot))) {
+          obs::trace_instant(obs::TraceCat::kWork, "migrate");
+          advertised = true;
+          branches_since_advert = 0;
+        } else if (advertise_locally) {
+          {
+            ActivityScope scope(ctx.activities(), Activity::kStackPush);
+            own.push_bottom(std::move(snapshot));
+          }
+          group.notify();
+          advertised = true;
+          branches_since_advert = 0;
         }
-        group.notify();
-        advertised = true;
-        branches_since_advert = 0;
       }
       {
         ActivityScope scope(ctx.activities(), Activity::kStackPush);
@@ -342,18 +373,24 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
         continue;
       }
 
-      // Branch exactly like Hybrid, except the neighbors child always goes
-      // to the OWN deque — load balancing is entirely the thieves' job.
+      // Branch exactly like Hybrid, except the neighbors child goes to the
+      // OWN deque — load balancing is the thieves' job — unless a starved
+      // remote device claims it first (tier-2 migration).
       {
         ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
         child = da;
         child.remove_neighbors_into_solution(g, vmax);
       }
-      {
-        ActivityScope scope(ctx.activities(), Activity::kStackPush);
-        own.push_bottom(child);
+      if (migrate != nullptr && migrate->want_export() &&
+          migrate->try_export(std::move(child))) {
+        obs::trace_instant(obs::TraceCat::kWork, "migrate");
+      } else {
+        {
+          ActivityScope scope(ctx.activities(), Activity::kStackPush);
+          own.push_bottom(child);
+        }
+        group.notify();
       }
-      group.notify();
       {
         ActivityScope scope(ctx.activities(), Activity::kRemoveMaxVertex);
         da.remove_into_solution(g, vmax);
@@ -372,6 +409,15 @@ ParallelResult solve_work_stealing(const CsrGraph& g,
 
   device::VirtualDevice dev(config.device);
   result.launch = dev.launch(grid, /*cooperative=*/true, body);
+
+  // Settle migrated nodes before harvesting (see solve_hybrid): reclaim
+  // and run what nobody imported — unless the solve already stopped — and
+  // wait out every remotely running import.
+  if (migrate != nullptr) {
+    vc::ReduceWorkspace reclaim_ws;
+    const bool abandon = shared.aborted() || (!mvc && shared.pvc_found());
+    migrate->drain(reclaim_ws, abandon);
+  }
 
   static_cast<vc::SolveResult&>(result) = shared.harvest();
   result.greedy_upper_bound = greedy.size;

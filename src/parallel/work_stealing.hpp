@@ -24,12 +24,18 @@
 
 #include "graph/csr.hpp"
 #include "parallel/config.hpp"
+#include "parallel/steal_env.hpp"
 
 namespace gvc::parallel {
 
+/// `env` (optional): cross-device stealing — an advertised (or about-to-be
+/// advertised) neighbors child is exported to env->broker while a remote
+/// device is starved, and every migrated node is settled before the shared
+/// search is harvested. Null env: exact single-device behavior.
 ParallelResult solve_work_stealing(const graph::CsrGraph& g,
                                    const ParallelConfig& config,
                                    vc::SolveControl* control = nullptr,
-                                   SolveWorkspace* workspace = nullptr);
+                                   SolveWorkspace* workspace = nullptr,
+                                   const StealEnv* env = nullptr);
 
 }  // namespace gvc::parallel

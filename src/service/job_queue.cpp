@@ -1,6 +1,7 @@
 #include "service/job_queue.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/check.hpp"
@@ -83,19 +84,49 @@ JobQueue::PushOutcome JobQueue::push(std::shared_ptr<JobState> job,
       return PushOutcome::kRejectedFull;
     }
     ++stats_.blocked_pushes;
-    not_full_.wait(lock, [&] { return closed_ || heap_.size() < capacity_; });
-    if (closed_) {
-      ++stats_.rejected_closed;
-      return PushOutcome::kRejectedClosed;
-    }
-    // Re-check the deadline: it may have lapsed while we were blocked. We
-    // consumed a pop's not_full_ signal to get here, so pass it on — the
-    // slot we are declining may be another blocked pusher's only wakeup.
-    if (deadline_abs > 0.0 && now_s() >= deadline_abs) {
-      ++stats_.rejected_expired;
-      lock.unlock();
-      not_full_.notify_one();
-      return PushOutcome::kRejectedExpired;
+    // Blocked wait, re-running the FULL admission sequence on every wake.
+    // Two wake sources matter here and neither may be trusted blindly:
+    //
+    //  * a not_full_ signal can come from a STEAL (a sibling worker
+    //    draining this shard) while this shard's own worker is off
+    //    stealing elsewhere — the slot is real, but by the time we wake
+    //    the deadline may have lapsed or another pusher may have taken it,
+    //    so capacity and deadline are both re-checked before landing;
+    //  * with the shard's worker gone stealing there may be NO pop (and no
+    //    signal) for an arbitrarily long time, so a deadline-carrying
+    //    producer bounds its own wait and expires in place instead of
+    //    sleeping past its deadline.
+    for (;;) {
+      bool woke_with_slot = true;
+      if (deadline_abs > 0.0) {
+        const double remaining = deadline_abs - now_s();
+        if (remaining <= 0.0) {
+          ++stats_.rejected_expired;
+          // A consumed not_full_ signal may be another blocked pusher's
+          // only wakeup — pass it on since we are declining the slot.
+          lock.unlock();
+          not_full_.notify_one();
+          return PushOutcome::kRejectedExpired;
+        }
+        woke_with_slot = not_full_.wait_for(
+            lock, std::chrono::duration<double>(remaining),
+            [&] { return closed_ || heap_.size() < capacity_; });
+      } else {
+        not_full_.wait(lock,
+                       [&] { return closed_ || heap_.size() < capacity_; });
+      }
+      if (closed_) {
+        ++stats_.rejected_closed;
+        return PushOutcome::kRejectedClosed;
+      }
+      if (!woke_with_slot) continue;  // deadline hit: rejected at the top
+      if (deadline_abs > 0.0 && now_s() >= deadline_abs) {
+        ++stats_.rejected_expired;
+        lock.unlock();
+        not_full_.notify_one();
+        return PushOutcome::kRejectedExpired;
+      }
+      if (heap_.size() < capacity_) break;
     }
   }
 
@@ -116,6 +147,30 @@ std::shared_ptr<JobState> JobQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
   if (heap_.empty()) return nullptr;  // closed and drained
+  Entry e = heap_pop();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return std::move(e.job);
+}
+
+std::shared_ptr<JobState> JobQueue::try_pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (heap_.empty()) return nullptr;
+  Entry e = heap_pop();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return std::move(e.job);
+}
+
+std::shared_ptr<JobState> JobQueue::pop_for(double seconds,
+                                            bool* closed_out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, std::chrono::duration<double>(seconds),
+                      [&] { return closed_ || !heap_.empty(); });
+  if (closed_out) *closed_out = closed_;
+  if (heap_.empty()) return nullptr;  // timed out, or closed and drained
   Entry e = heap_pop();
   ++stats_.popped;
   lock.unlock();

@@ -13,7 +13,12 @@
 // full queue either blocks the submitting thread until a worker drains an
 // entry (FullPolicy::kBlock — the service's default, load sheds onto the
 // callers) or fails immediately (FullPolicy::kReject — for callers that
-// prefer an error to latency).
+// prefer an error to latency). A blocked push re-runs the FULL admission
+// sequence (closed → deadline → capacity) on every wake, and its wait is
+// bounded by the job's own deadline: the shard's worker may have gone
+// stealing from a sibling queue, in which case nobody pops this queue for
+// an arbitrarily long time and a deadline-carrying producer must expire on
+// its own rather than sleep past its deadline.
 //
 // Shutdown: close() stops admission; pop() keeps draining what was admitted
 // and returns nullptr once the queue is empty and closed.
@@ -58,6 +63,18 @@ class JobQueue {
 
   /// Blocks until a job is available; nullptr once closed and drained.
   std::shared_ptr<JobState> pop();
+
+  /// Non-blocking: the next job if one is queued, nullptr otherwise. This
+  /// is the steal path — a sibling worker draining this shard — so it
+  /// signals not_full_ exactly like pop(): a steal must free a producer
+  /// blocked on this queue even though the shard's own worker never popped.
+  std::shared_ptr<JobState> try_pop();
+
+  /// Like pop(), but gives up after `seconds`. nullptr on timeout OR on
+  /// closed-and-drained; `*closed_out` (optional) distinguishes the two.
+  /// Stealing workers use this as their bounded sleep quantum so they come
+  /// back to the steal scan instead of parking on their own shard forever.
+  std::shared_ptr<JobState> pop_for(double seconds, bool* closed_out = nullptr);
 
   /// Stops admission and wakes all blocked pushers/poppers.
   void close();

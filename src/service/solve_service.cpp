@@ -11,6 +11,24 @@
 
 namespace gvc::service {
 
+const char* steal_tiers_name(StealTiers t) {
+  switch (t) {
+    case StealTiers::kNone:         return "none";
+    case StealTiers::kJobs:         return "jobs";
+    case StealTiers::kJobsAndNodes: return "jobs+nodes";
+  }
+  return "?";
+}
+
+std::optional<StealTiers> try_parse_steal_tiers(const std::string& name) {
+  std::string n = util::to_lower(name);
+  if (n == "none" || n == "off") return StealTiers::kNone;
+  if (n == "jobs") return StealTiers::kJobs;
+  if (n == "jobs+nodes" || n == "jobs-and-nodes" || n == "nodes")
+    return StealTiers::kJobsAndNodes;
+  return std::nullopt;
+}
+
 std::vector<device::DeviceSpec> SolveService::partition_device(
     const device::DeviceSpec& device, int workers) {
   GVC_CHECK(workers >= 1);
@@ -51,6 +69,9 @@ SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)),
       phase_table_(std::max(1, options_.num_workers)) {
   options_.num_workers = std::max(1, options_.num_workers);
+  options_.num_devices =
+      std::min(std::max(1, options_.num_devices), options_.num_workers);
+  options_.steal_poll_seconds = std::max(1e-4, options_.steal_poll_seconds);
   options_.corpus_chunk_size =
       std::max<std::size_t>(1, options_.corpus_chunk_size);
 
@@ -86,12 +107,56 @@ SolveService::SolveService(ServiceOptions options)
                               "worker solve wall time");
   e2e_hist_ = reg.histogram("gvc_service_e2e_seconds",
                             "true submit -> terminal wall time");
+  steal_jobs_ = reg.counter(
+      "gvc_steal_jobs_total",
+      "tier-1 steals: queued jobs taken from a sibling shard");
+  steal_nodes_ = reg.counter(
+      "gvc_steal_nodes_total",
+      "tier-2 steals: migrated subtree nodes executed by a worker");
+  migrate_run_hist_ =
+      reg.histogram("gvc_steal_migration_run_seconds",
+                    "wall time of one migrated-node run on the thief");
 
   cache_ = options_.cache
                ? options_.cache
                : std::make_shared<ResultCache>(options_.cache_capacity,
                                                options_.min_cache_seconds);
-  worker_devices_ = partition_device(options_.device, options_.num_workers);
+
+  // Topology. One device: workers slice the machine directly — the exact
+  // pre-sharding layout (slice names included, so cache keys and test
+  // expectations carry over). Multiple devices: the machine is carved into
+  // device slices first, each device slice is carved across its workers
+  // with the SAME partition rule, and workers map to devices contiguously
+  // (the first W % D devices take the extra worker).
+  const int num_workers = options_.num_workers;
+  const int num_devices = options_.num_devices;
+  worker_device_.assign(static_cast<std::size_t>(num_workers), 0);
+  device_workers_.assign(static_cast<std::size_t>(num_devices), {});
+  if (num_devices == 1) {
+    device_slices_ = {options_.device};
+    worker_devices_ = partition_device(options_.device, num_workers);
+    for (int w = 0; w < num_workers; ++w) device_workers_[0].push_back(w);
+  } else {
+    device_slices_ = partition_device(options_.device, num_devices);
+    worker_devices_.reserve(static_cast<std::size_t>(num_workers));
+    const int base = num_workers / num_devices;
+    const int extra = num_workers % num_devices;
+    int w = 0;
+    for (int d = 0; d < num_devices; ++d) {
+      const int wpd = base + (d < extra ? 1 : 0);
+      std::vector<device::DeviceSpec> slices =
+          partition_device(device_slices_[static_cast<std::size_t>(d)], wpd);
+      for (int j = 0; j < wpd; ++j, ++w) {
+        worker_device_[static_cast<std::size_t>(w)] = d;
+        device_workers_[static_cast<std::size_t>(d)].push_back(w);
+        worker_devices_.push_back(std::move(slices[static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+  // Tier 2 needs at least two devices (imports are cross-device only).
+  if (options_.steal_tiers == StealTiers::kJobsAndNodes && num_devices > 1)
+    broker_ = std::make_unique<worklist::DeviceBroker>(
+        num_devices, options_.broker_capacity);
 
   queues_.reserve(static_cast<std::size_t>(options_.num_workers));
   jobs_per_worker_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -119,8 +184,7 @@ void SolveService::shutdown() {
 }
 
 int SolveService::shard_of(const CacheKey& key) const {
-  return static_cast<int>(CacheKeyHash{}(key) %
-                          static_cast<std::size_t>(queues_.size()));
+  return home_shard(key, static_cast<int>(queues_.size()));
 }
 
 JobTicket SolveService::submit(JobSpec spec) {
@@ -341,13 +405,20 @@ void SolveService::worker_loop(int w) {
   constexpr int kRetainedWorkspaceBlocks = 64;
   parallel::SolveWorkspace workspace;
   JobQueue& queue = *queues_[static_cast<std::size_t>(w)];
+  const bool stealing = options_.steal_tiers != StealTiers::kNone;
 
   for (;;) {
-    const double idle_from_s = service_now_s();
-    std::shared_ptr<JobState> job = queue.pop();
-    phase_table_.add(w, obs::Phase::kIdle,
-                     static_cast<std::uint64_t>(
-                         (service_now_s() - idle_from_s) * 1e9));
+    std::shared_ptr<JobState> job;
+    if (stealing) {
+      job = acquire_job_stealing(w, workspace);
+    } else {
+      // No stealing: the original blocking per-shard pop, untouched.
+      const double idle_from_s = service_now_s();
+      job = queue.pop();
+      phase_table_.add(w, obs::Phase::kIdle,
+                       static_cast<std::uint64_t>(
+                           (service_now_s() - idle_from_s) * 1e9));
+    }
     if (!job) return;  // closed and drained
 
     const double dequeued_s = service_now_s();
@@ -430,8 +501,12 @@ void SolveService::worker_loop(int w) {
     } else {
       obs::TraceSpan span(obs::TraceCat::kService, "job_solve", "job",
                           static_cast<std::int64_t>(job->id()));
+      // Tier 2: with a broker, the solve may divert branch children to a
+      // starved remote device (and settles them before harvesting).
+      parallel::StealEnv steal_env{broker_.get(), device_of_worker(w)};
       result = parallel::solve(*spec.graph, spec.method, spec.config,
-                               &control, &workspace);
+                               &control, &workspace,
+                               broker_ ? &steal_env : nullptr);
     }
     const double solve_seconds = service_now_s() - dequeued_s;
 
@@ -488,6 +563,90 @@ void SolveService::worker_loop(int w) {
   }
 }
 
+std::shared_ptr<JobState> SolveService::acquire_job_stealing(
+    int w, parallel::SolveWorkspace& workspace) {
+  JobQueue& own = *queues_[static_cast<std::size_t>(w)];
+  const int dev = worker_device_[static_cast<std::size_t>(w)];
+  const std::vector<int>& siblings =
+      device_workers_[static_cast<std::size_t>(dev)];
+
+  // Everything here is waiting (kIdle) except migrated-node runs (kSteal).
+  double idle_from_s = service_now_s();
+  auto book_idle = [&] {
+    const double now = service_now_s();
+    phase_table_.add(w, obs::Phase::kIdle,
+                     static_cast<std::uint64_t>((now - idle_from_s) * 1e9));
+    idle_from_s = now;
+  };
+
+  for (;;) {
+    // Own shard outranks everything (keeps the key->shard affinity warm).
+    if (std::shared_ptr<JobState> job = own.try_pop()) {
+      book_idle();
+      return job;
+    }
+
+    // Tier 1: drain a sibling shard on this device. The stolen job runs
+    // the config it was pinned at admission — its cache key already
+    // describes that slice, so executing it here changes nothing the key
+    // encodes.
+    for (int s : siblings) {
+      if (s == w) continue;
+      if (std::shared_ptr<JobState> job =
+              queues_[static_cast<std::size_t>(s)]->try_pop()) {
+        steal_jobs_->add();
+        obs::trace_instant(obs::TraceCat::kService, "job_steal", "from",
+                           static_cast<std::int64_t>(s));
+        book_idle();
+        return job;
+      }
+    }
+
+    // Tier 2: run ONE migrated subtree node from a solve on another
+    // device, then rescan the queues — whole jobs outrank more imports.
+    if (broker_) {
+      worklist::DeviceBroker::Import im;
+      if (broker_->try_import(dev, im)) {
+        book_idle();
+        const double run_from_s = service_now_s();
+        workspace.prepare(1);
+        {
+          obs::TraceSpan span(obs::TraceCat::kService, "migrated_node_run",
+                              "from", static_cast<std::int64_t>(
+                                          im.source_device()));
+          im.run(workspace.block(0));
+        }
+        const double run_s = service_now_s() - run_from_s;
+        steal_nodes_->add();
+        migrate_run_hist_->observe_seconds(run_s);
+        phase_table_.add(w, obs::Phase::kSteal,
+                         static_cast<std::uint64_t>(run_s * 1e9));
+        idle_from_s = service_now_s();
+        continue;
+      }
+    }
+
+    // Nothing anywhere: bounded sleep on the own shard, registered hungry
+    // so solves on other devices see this device's demand meanwhile.
+    if (broker_) broker_->enter_hungry(dev);
+    bool closed = false;
+    std::shared_ptr<JobState> job =
+        own.pop_for(options_.steal_poll_seconds, &closed);
+    if (broker_) broker_->leave_hungry(dev);
+    if (job) {
+      book_idle();
+      return job;
+    }
+    if (closed) {
+      // Own shard closed AND empty (pop_for would have returned a job
+      // otherwise): exit. Sibling leftovers belong to their own workers,
+      // which only exit once their shard is drained too.
+      book_idle();
+      return nullptr;
+    }
+  }
+}
+
 ServiceStats SolveService::stats() const {
   ServiceStats s;
   s.submitted = submitted_->value();
@@ -501,6 +660,9 @@ ServiceStats SolveService::stats() const {
   s.corpus_graphs_submitted = corpus_graphs_submitted_->value();
   s.corpus_graphs_solved = corpus_graphs_solved_->value();
   s.corpus_graphs_skipped = corpus_graphs_skipped_->value();
+  s.steal_jobs = steal_jobs_->value();
+  s.steal_nodes = steal_nodes_->value();
+  if (broker_) s.broker = broker_->stats();
   s.cache = cache_->stats();
   s.queues.reserve(queues_.size());
   for (const auto& q : queues_) s.queues.push_back(q->stats());

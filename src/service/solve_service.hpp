@@ -25,12 +25,25 @@
 //    re-entrant by the workspace refactor); cached and coalesced tickets
 //    return the record of the first completed identical submission.
 //
+//  * With num_devices > 1 the machine is first split into device slices
+//    (virtual GPUs), workers are pinned to (device, shard) pairs, and two
+//    work-conserving steal tiers keep a skewed load from stranding a
+//    device: an idle worker first drains queued jobs from sibling shards
+//    on ITS OWN device (tier 1 — the stolen job executes the config it was
+//    pinned at admission, so the cache key still describes the run), and a
+//    starved DEVICE imports branch-tree nodes from solves running on other
+//    devices through a worklist::DeviceBroker (tier 2). Both tiers are off
+//    by default (StealTiers::kNone), in which case behavior is identical
+//    to the single-device service.
+//
 // Thread safety: every public method may be called from any thread.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,12 +54,45 @@
 #include "service/job.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
+#include "worklist/device_broker.hpp"
 
 namespace gvc::service {
 
+/// Which steal tiers an idle worker escalates through before sleeping.
+enum class StealTiers {
+  kNone,          ///< no stealing: each worker blocks on its own shard
+  kJobs,          ///< tier 1 only: steal queued jobs from sibling shards
+                  ///< on the same device
+  kJobsAndNodes,  ///< tiers 1+2: also import migrated subtree nodes from
+                  ///< solves running on OTHER devices (DeviceBroker)
+};
+
+const char* steal_tiers_name(StealTiers t);
+std::optional<StealTiers> try_parse_steal_tiers(const std::string& name);
+
 struct ServiceOptions {
-  /// Worker threads (= queue shards = device slices). Clamped to >= 1.
+  /// Worker threads (= queue shards = worker device slices). Clamped
+  /// to >= 1, and to >= num_devices (every device gets a worker).
   int num_workers = 4;
+
+  /// Virtual devices the machine is split into. 1 keeps the flat layout
+  /// (workers slice `device` directly); N > 1 first carves `device` into N
+  /// device slices, then carves each device slice across its workers.
+  /// Workers map to devices contiguously (worker w's device is fixed at
+  /// construction; see device_of_worker()). Clamped to [1, num_workers].
+  int num_devices = 1;
+
+  /// Work-conserving stealing for idle workers. kNone reproduces the
+  /// pre-sharding service exactly (blocking per-shard pops, no broker).
+  StealTiers steal_tiers = StealTiers::kNone;
+
+  /// With stealing on: how long an everything-empty worker sleeps on its
+  /// own shard before rescanning steal targets. Small enough that remote
+  /// demand is noticed promptly, large enough not to spin.
+  double steal_poll_seconds = 0.002;
+
+  /// Tier-2 broker: max migrated nodes parked cross-device at once.
+  std::size_t broker_capacity = 64;
 
   /// Per-shard JobQueue capacity.
   std::size_t queue_capacity = 256;
@@ -113,6 +159,13 @@ struct ServiceStats {
   std::uint64_t corpus_graphs_solved = 0;    ///< per-graph records delivered
   std::uint64_t corpus_graphs_skipped = 0;   ///< malformed records skipped
                                              ///< by the corpus reader
+
+  // Steal tiers (all zero under StealTiers::kNone).
+  std::uint64_t steal_jobs = 0;   ///< tier 1: queued jobs taken from a
+                                  ///< sibling shard on the same device
+  std::uint64_t steal_nodes = 0;  ///< tier 2: migrated subtree nodes this
+                                  ///< service's workers executed
+  worklist::DeviceBroker::Stats broker;  ///< tier-2 conservation ledger
 
   ResultCache::Stats cache;
   std::vector<JobQueue::Stats> queues;           ///< one per shard
@@ -210,6 +263,30 @@ class SolveService {
     return worker_devices_[static_cast<std::size_t>(w)];
   }
 
+  int num_devices() const { return static_cast<int>(device_slices_.size()); }
+
+  /// The device worker `w` is pinned to (its tier-1 steal domain).
+  int device_of_worker(int w) const {
+    return worker_device_[static_cast<std::size_t>(w)];
+  }
+
+  /// Device slice `d` of the machine (== `options.device` when
+  /// num_devices == 1).
+  const device::DeviceSpec& device_slice(int d) const {
+    return device_slices_[static_cast<std::size_t>(d)];
+  }
+
+  /// The shard a key routes to under `num_shards` queues — exposed so
+  /// tests and benches can construct shard-skewed loads deliberately.
+  static int home_shard(const CacheKey& key, int num_shards) {
+    return static_cast<int>(CacheKeyHash{}(key) %
+                            static_cast<std::size_t>(num_shards));
+  }
+
+  /// Tier-2 broker (null unless steal_tiers == kJobsAndNodes with more
+  /// than one device). Exposed for conservation checks in tests.
+  const worklist::DeviceBroker* broker() const { return broker_.get(); }
+
   const std::shared_ptr<ResultCache>& cache() const { return cache_; }
 
   ServiceStats stats() const;
@@ -230,7 +307,11 @@ class SolveService {
   /// Per-worker phase profile; sized from the clamped worker count.
   obs::PhaseTable phase_table_;
   std::shared_ptr<ResultCache> cache_;
-  std::vector<device::DeviceSpec> worker_devices_;
+  std::vector<device::DeviceSpec> device_slices_;   ///< one per device
+  std::vector<device::DeviceSpec> worker_devices_;  ///< one per worker
+  std::vector<int> worker_device_;               ///< worker -> device
+  std::vector<std::vector<int>> device_workers_; ///< device -> its workers
+  std::unique_ptr<worklist::DeviceBroker> broker_;  ///< tier 2; may be null
   std::vector<std::unique_ptr<JobQueue>> queues_;
   std::vector<std::thread> workers_;
 
@@ -252,9 +333,12 @@ class SolveService {
   std::shared_ptr<obs::Counter> corpus_graphs_submitted_;
   std::shared_ptr<obs::Counter> corpus_graphs_solved_;
   std::shared_ptr<obs::Counter> corpus_graphs_skipped_;
+  std::shared_ptr<obs::Counter> steal_jobs_;
+  std::shared_ptr<obs::Counter> steal_nodes_;
   std::shared_ptr<obs::Histogram> queue_wait_hist_;
   std::shared_ptr<obs::Histogram> solve_hist_;
   std::shared_ptr<obs::Histogram> e2e_hist_;
+  std::shared_ptr<obs::Histogram> migrate_run_hist_;
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_per_worker_;
 
   std::atomic<std::uint64_t> next_batch_shard_{0};
@@ -263,6 +347,12 @@ class SolveService {
   /// Queues one corpus chunk as a batch job (round-robin shard, no cache).
   JobTicket submit_batch_job(JobSpec spec);
   void worker_loop(int w);
+  /// The steal-tiers job source: own shard, then tier-1 siblings, then a
+  /// tier-2 migrated node, then a bounded hungry sleep; loops until a job
+  /// arrives or the own shard is closed-and-drained (returns null). The
+  /// whole wait is booked as kIdle except migrated-node runs (kSteal).
+  std::shared_ptr<JobState> acquire_job_stealing(
+      int w, parallel::SolveWorkspace& workspace);
   /// Stamp one terminal job's latencies into the histograms. `queued`: the
   /// job entered a shard queue (queue_s is meaningful); `solved`: a worker
   /// ran a solve for it. Workers call this BEFORE JobState::finish() wakes

@@ -1,0 +1,246 @@
+#include "worklist/device_broker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gvc::worklist {
+
+// ---------------------------------------------------------------------------
+// Import
+// ---------------------------------------------------------------------------
+
+DeviceBroker::Import& DeviceBroker::Import::operator=(Import&& o) noexcept {
+  if (this != &o) {
+    release_unrun();
+    group_ = o.group_;
+    node_ = std::move(o.node_);
+    o.group_ = nullptr;
+  }
+  return *this;
+}
+
+int DeviceBroker::Import::source_device() const {
+  GVC_CHECK(group_ != nullptr);
+  return group_->device();
+}
+
+void DeviceBroker::Import::run(vc::ReduceWorkspace& ws) {
+  GVC_CHECK_MSG(group_ != nullptr, "Import::run() on an empty handle");
+  Group* g = group_;
+  group_ = nullptr;  // consumed before running: exactly-once
+  g->runner_(std::move(node_), ws);
+  g->broker_->count_run();
+  g->complete_one();
+}
+
+void DeviceBroker::Import::release_unrun() {
+  if (group_ == nullptr) return;
+  Group* g = group_;
+  group_ = nullptr;
+  g->broker_->count_abandons(1);
+  g->complete_one();
+}
+
+// ---------------------------------------------------------------------------
+// Group
+// ---------------------------------------------------------------------------
+
+DeviceBroker::Group::Group(DeviceBroker& broker, int device, Runner runner)
+    : broker_(&broker), device_(device), runner_(std::move(runner)) {
+  GVC_CHECK(device >= 0 && device < broker.num_devices());
+  GVC_CHECK(runner_ != nullptr);
+}
+
+DeviceBroker::Group::~Group() {
+  // Abandoning settlement for owners that never drained (an exception
+  // path): nothing may reference this group once it dies.
+  std::vector<vc::DegreeArray> mine = broker_->sweep(this);
+  if (!mine.empty()) broker_->count_abandons(mine.size());
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+bool DeviceBroker::Group::try_export(vc::DegreeArray&& node) {
+  return broker_->export_node(this, std::move(node));
+}
+
+void DeviceBroker::Group::drain(vc::ReduceWorkspace& ws, bool abandon) {
+  std::vector<vc::DegreeArray> mine = broker_->sweep(this);
+  if (abandon) {
+    broker_->count_abandons(mine.size());
+  } else {
+    // Un-imported subtrees are unexplored work: for a clean MVC completion
+    // they MUST run or the reported optimum could miss their covers. They
+    // run inline on the owner's thread, through the same runner an import
+    // uses.
+    for (auto& n : mine) runner_(std::move(n), ws);
+    broker_->count_reclaims(mine.size());
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void DeviceBroker::Group::begin_import() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++inflight_;
+}
+
+void DeviceBroker::Group::complete_one() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GVC_CHECK(inflight_ > 0);
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// DeviceBroker
+// ---------------------------------------------------------------------------
+
+DeviceBroker::DeviceBroker(int num_devices, std::size_t capacity)
+    : capacity_(capacity),
+      hungry_(static_cast<std::size_t>(std::max(1, num_devices))) {
+  GVC_CHECK_MSG(capacity_ > 0, "DeviceBroker capacity must be positive");
+
+  obs::Registry& reg = obs::Registry::global();
+  auto counter = [&](const char* name, const char* help,
+                     std::uint64_t Stats::* field) {
+    metric_handles_.push_back(reg.counter_fn(name, help, [this, field] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return static_cast<double>(stats_.*field);
+    }));
+  };
+  counter("gvc_steal_nodes_exported_total",
+          "subtree nodes diverted to the cross-device broker",
+          &Stats::exports);
+  counter("gvc_steal_nodes_imported_total",
+          "migrated nodes taken by a starved device", &Stats::imports);
+  counter("gvc_steal_nodes_reclaimed_total",
+          "un-imported nodes drained back and run by their owner",
+          &Stats::reclaims);
+  counter("gvc_steal_nodes_abandoned_total",
+          "migrated nodes dropped because their solve already stopped",
+          &Stats::abandons);
+  metric_handles_.push_back(
+      reg.gauge("gvc_steal_broker_depth", "migrated nodes currently queued",
+                [this] {
+                  std::lock_guard<std::mutex> lock(mutex_);
+                  return static_cast<double>(queue_.size());
+                }));
+  wait_hist_ = reg.histogram("gvc_steal_migration_wait_seconds",
+                             "export -> import queue residence of a "
+                             "migrated node");
+}
+
+DeviceBroker::~DeviceBroker() {
+  // Every Group must be gone (each waits out its own entries/imports).
+  std::lock_guard<std::mutex> lock(mutex_);
+  GVC_CHECK_MSG(queue_.empty(), "DeviceBroker died with queued migrations");
+}
+
+void DeviceBroker::enter_hungry(int device) {
+  hungry_[static_cast<std::size_t>(device)].fetch_add(
+      1, std::memory_order_relaxed);
+  hungry_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DeviceBroker::leave_hungry(int device) {
+  hungry_[static_cast<std::size_t>(device)].fetch_sub(
+      1, std::memory_order_relaxed);
+  hungry_total_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool DeviceBroker::export_node(Group* g, vc::DegreeArray&& node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  // Confirm demand under the lock: the pre-gate's relaxed reads may have
+  // raced a worker leaving hungry or a competing export.
+  const int elsewhere =
+      hungry_total_.load(std::memory_order_relaxed) -
+      hungry_[static_cast<std::size_t>(g->device_)].load(
+          std::memory_order_relaxed);
+  if (elsewhere <= static_cast<int>(queue_.size())) {
+    ++stats_.rejected_no_demand;
+    return false;
+  }
+  queue_.push_back(Entry{g, std::move(node), clock_.seconds()});
+  queued_approx_.store(static_cast<int>(queue_.size()),
+                       std::memory_order_relaxed);
+  ++stats_.exports;
+  g->exported_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DeviceBroker::try_import(int device, Import& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->group->device_ == device) continue;  // cross-device only
+    // inflight is raised while the entry leaves the queue (both under the
+    // broker mutex), so the owner's drain() sweep either finds the entry
+    // or waits for this import — never neither.
+    it->group->begin_import();
+    out.release_unrun();
+    out.group_ = it->group;
+    out.node_ = std::move(it->node);
+    wait_hist_->observe_seconds(clock_.seconds() - it->export_s);
+    queue_.erase(it);
+    queued_approx_.store(static_cast<int>(queue_.size()),
+                         std::memory_order_relaxed);
+    ++stats_.imports;
+    return true;
+  }
+  return false;
+}
+
+std::vector<vc::DegreeArray> DeviceBroker::sweep(Group* g) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<vc::DegreeArray> mine;
+  auto keep = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->group == g) {
+      mine.push_back(std::move(it->node));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  queue_.erase(keep, queue_.end());
+  queued_approx_.store(static_cast<int>(queue_.size()),
+                       std::memory_order_relaxed);
+  return mine;
+}
+
+void DeviceBroker::count_run() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.runs;
+}
+
+void DeviceBroker::count_reclaims(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.reclaims += n;
+}
+
+void DeviceBroker::count_abandons(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.abandons += n;
+}
+
+std::size_t DeviceBroker::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+DeviceBroker::Stats DeviceBroker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gvc::worklist

@@ -1,0 +1,229 @@
+#pragma once
+
+// DeviceBroker — the cross-DEVICE tier of work-conserving stealing, one
+// level above the per-block structures in this directory. The GlobalWorklist
+// balances blocks within one launch and the StealDeques balance blocks
+// within one grid; the broker balances whole devices within one service:
+// when every worker of a device is hungry (its shard queues are dry and its
+// siblings have nothing to steal), running solves on OTHER devices divert
+// the occasional branch child here instead of keeping it local, and the
+// hungry device's workers adopt it exactly as a donated node — the PR 4
+// donation-snapshot rule (a node leaving its block is a detached,
+// self-contained DegreeArray copy) already made migration serializable, so
+// crossing a device boundary is the same contract one level up.
+//
+// Roles:
+//
+//  * A running solve (Hybrid / WorkStealing) holds a GROUP — the per-solve
+//    registration. At a branch it consults want_export() (two relaxed loads;
+//    nothing is paid when no remote device is hungry) and, when demand
+//    exists, exports the materialized neighbors child instead of donating it
+//    locally. After its launch completes the owner calls drain(): entries
+//    nobody imported are taken back (and run inline, or abandoned when the
+//    solve already stopped), then the owner blocks until every imported node
+//    has finished running remotely — the group's SharedSearch outlives every
+//    migrated node, and every exported node is executed-or-abandoned exactly
+//    once.
+//
+//  * An idle service worker on a starved device calls enter_hungry() /
+//    leave_hungry() around its bounded queue wait (that registration IS the
+//    demand signal) and try_import()s nodes exported by OTHER devices. The
+//    returned Import handle runs the node through the owning group's runner
+//    — which re-enters it with the same adopt_node() path a donated node
+//    takes — and guarantees exactly-once completion even if the handle is
+//    dropped without running.
+//
+// Demand gating keeps migration conservative: an export is admitted only
+// while the count of hungry workers on OTHER devices exceeds the number of
+// nodes already queued, so the broker never hoards subtrees a local block
+// could have kept (§IV-C's donation-threshold idea, applied across devices).
+//
+// Lock order: broker mutex → group mutex. Stats are exact at quiescence
+// (after drain), the same contract as every stats struct in this layer.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+#include "vc/degree_array.hpp"
+#include "vc/reductions.hpp"
+
+namespace gvc::worklist {
+
+class DeviceBroker {
+ public:
+  /// Every exported node ends in exactly one bucket: runs (imported and
+  /// executed remotely), reclaims (drained back by the owner and run
+  /// inline), or abandons (dropped because the solve already stopped, or an
+  /// Import handle died unrun). At quiescence:
+  ///   exports == runs + reclaims + abandons,  imports == runs + <unrun
+  ///   imports, counted in abandons>.
+  struct Stats {
+    std::uint64_t exports = 0;
+    std::uint64_t imports = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t rejected_no_demand = 0;  ///< confirm-time demand recheck
+    std::uint64_t rejected_full = 0;       ///< bounded queue was full
+  };
+
+  class Group;
+
+  /// A migrated node in the hands of an importing worker. Move-only;
+  /// run() executes it through the owner group's runner exactly once.
+  /// Dropping an un-run handle completes the node as abandoned — the
+  /// owner's drain() never deadlocks on a worker that bailed out.
+  class Import {
+   public:
+    Import() = default;
+    Import(Import&& o) noexcept { *this = std::move(o); }
+    Import& operator=(Import&& o) noexcept;
+    ~Import() { release_unrun(); }
+    Import(const Import&) = delete;
+    Import& operator=(const Import&) = delete;
+
+    explicit operator bool() const { return group_ != nullptr; }
+    /// Device the node's owning solve runs on (the exporter side).
+    int source_device() const;
+
+    /// Executes the node against the owning solve's shared search, using
+    /// the CALLING worker's reduce scratch. Exactly once per handle.
+    void run(vc::ReduceWorkspace& ws);
+
+   private:
+    friend class DeviceBroker;
+    Group* group_ = nullptr;
+    vc::DegreeArray node_;
+    void release_unrun();
+  };
+
+  /// Per-solve registration of an exporting owner. The runner is how a
+  /// migrated node re-enters execution — both remotely (Import::run) and
+  /// on the owner's own thread (drain's reclaim path); it must be callable
+  /// from any thread and each call gets the calling thread's workspace.
+  class Group {
+   public:
+    using Runner = std::function<void(vc::DegreeArray&&, vc::ReduceWorkspace&)>;
+
+    Group(DeviceBroker& broker, int device, Runner runner);
+    /// Safety net: sweeps + waits like drain(abandon=true). Idempotent
+    /// after drain().
+    ~Group();
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    int device() const { return device_; }
+
+    /// Cheap pre-gate for the solver branch hot path: true while hungry
+    /// workers on OTHER devices outnumber the nodes already queued. Two
+    /// relaxed loads; may be stale in either direction (try_export
+    /// re-checks under the lock).
+    bool want_export() const { return broker_->want_export(device_); }
+
+    /// Hands one detached snapshot to the broker. False when demand
+    /// vanished or the queue is full — the caller keeps the node local,
+    /// exactly as a refused worklist donation is kept.
+    bool try_export(vc::DegreeArray&& node);
+
+    /// Owner-side settlement, called after the launch completes and BEFORE
+    /// the shared search is harvested: takes back every entry still queued
+    /// (runs each through the runner with `ws`, or counts it abandoned when
+    /// `abandon` — the solve was stopped and the subtree is moot), then
+    /// blocks until every imported node has completed remotely.
+    void drain(vc::ReduceWorkspace& ws, bool abandon);
+
+    /// Nodes this group exported (relaxed; exact after drain()).
+    std::uint64_t exported() const {
+      return exported_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class DeviceBroker;
+    friend class Import;
+
+    void begin_import();  ///< under the broker mutex
+    void complete_one();
+
+    DeviceBroker* broker_;
+    const int device_;
+    Runner runner_;
+    std::atomic<std::uint64_t> exported_{0};
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int inflight_ = 0;  ///< imported, not yet completed
+    bool swept_ = false;
+  };
+
+  /// `num_devices` sizes the per-device hungry counters; `capacity` bounds
+  /// the migration queue (small on purpose — the broker is a relief valve,
+  /// not a worklist).
+  explicit DeviceBroker(int num_devices, std::size_t capacity = 64);
+  ~DeviceBroker();
+  DeviceBroker(const DeviceBroker&) = delete;
+  DeviceBroker& operator=(const DeviceBroker&) = delete;
+
+  int num_devices() const { return static_cast<int>(hungry_.size()); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Demand registration for an idle worker of `device`. Balanced calls;
+  /// a worker registers around each bounded wait on its dry shard.
+  void enter_hungry(int device);
+  void leave_hungry(int device);
+
+  /// Takes the oldest queued node exported by a DIFFERENT device. False
+  /// when nothing eligible is queued.
+  bool try_import(int device, Import& out);
+
+  std::size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Group* group = nullptr;
+    vc::DegreeArray node;
+    double export_s = 0.0;
+  };
+
+  bool want_export(int device) const {
+    const int elsewhere =
+        hungry_total_.load(std::memory_order_relaxed) -
+        hungry_[static_cast<std::size_t>(device)].load(
+            std::memory_order_relaxed);
+    return elsewhere > queued_approx_.load(std::memory_order_relaxed);
+  }
+
+  bool export_node(Group* g, vc::DegreeArray&& node);
+  /// Removes every queued entry of `g`; returns their nodes.
+  std::vector<vc::DegreeArray> sweep(Group* g);
+  void count_run();
+  void count_reclaims(std::uint64_t n);
+  void count_abandons(std::uint64_t n);
+
+  const std::size_t capacity_;
+  util::WallTimer clock_;
+
+  std::vector<std::atomic<int>> hungry_;
+  std::atomic<int> hungry_total_{0};
+  std::atomic<int> queued_approx_{0};
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> queue_;
+  Stats stats_;
+
+  // Registry exposure (gvc_steal_nodes_*): per-instance collectors, family
+  // sums at scrape — same pattern as JobQueue. Declared last so the
+  // callbacks unregister before the guarded state dies.
+  std::shared_ptr<obs::Histogram> wait_hist_;
+  std::vector<obs::Registry::CallbackHandle> metric_handles_;
+};
+
+}  // namespace gvc::worklist

@@ -20,12 +20,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "../test_support.hpp"
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
 #include "parallel/solver.hpp"
+#include "service/solve_service.hpp"
 #include "vc/sequential.hpp"
 
 namespace gvc {
@@ -233,6 +237,143 @@ TEST(RandomDifferential, MultiBlockModesAgreeOnTheOptimum) {
       }
     }
   }
+}
+
+// Multi-device sharding differential (PR 10): a service that splits one
+// N-SM machine into multiple virtual devices (with tier-1 job stealing ON)
+// must serve results BIT-IDENTICAL to the flat N-worker service over the
+// same machine — same outcome, same cover size, same cover, and, because
+// every worker slice is a one-SM/one-block device (serialized schedule),
+// the same tree node count — for all five methods. This is the proof that
+// topology and job stealing change WHERE a job runs and nothing else: the
+// pinned config travels with the job, worker slices of the two layouts are
+// numerically identical, and the config hash excludes the slice name.
+TEST(RandomDifferential, MultiDeviceShardingBitIdenticalToSingleDevice) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 20 + 2;
+  constexpr int kWorkers = 4;
+
+  device::DeviceSpec machine = device::DeviceSpec::host_scaled();
+  machine.num_sms = kWorkers;
+  machine.max_blocks_per_sm = 1;  // 1-SM slices => grid 1 => serialized
+
+  service::ServiceOptions flat;
+  flat.num_workers = kWorkers;
+  flat.device = machine;
+  service::ServiceOptions sharded = flat;
+  // Two 2-SM devices, two workers each: the recursive split lands on the
+  // same 1-SM worker slices as the flat partition, and each device has a
+  // sibling shard so tier-1 steals actually occur under backlog.
+  sharded.num_devices = 2;
+  sharded.steal_tiers = service::StealTiers::kJobs;
+
+  service::SolveService a(flat);
+  service::SolveService b(sharded);
+  ASSERT_EQ(b.num_devices(), 2);
+  for (int w = 0; w < kWorkers; ++w) {
+    // The recursive partition must land on the same numerics, or the two
+    // layouts would execute (and cache) different configs.
+    ASSERT_EQ(a.worker_device(w).num_sms, b.worker_device(w).num_sms);
+    ASSERT_EQ(a.worker_device(w).global_mem_bytes,
+              b.worker_device(w).global_mem_bytes);
+  }
+
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        SCOPED_TRACE(trace(family, size, seed));
+        auto g = std::make_shared<CsrGraph>(
+            family.make(size, static_cast<std::uint64_t>(seed) * 131 + 17));
+
+        // All five method jobs go in flight on the sharded side at once —
+        // the backlog is what makes tier-1 steals happen; bit-identity
+        // must hold no matter which worker ends up running a job.
+        std::vector<service::JobTicket> in_flight;
+        for (parallel::Method method : parallel::all_methods()) {
+          service::JobSpec spec;
+          spec.graph = g;
+          spec.method = method;
+          spec.config.start_depth = 2;
+          spec.config.worklist_capacity = 64;
+          in_flight.push_back(b.submit(std::move(spec)));
+        }
+        std::size_t i = 0;
+        for (parallel::Method method : parallel::all_methods()) {
+          service::JobSpec spec;
+          spec.graph = g;
+          spec.method = method;
+          spec.config.start_depth = 2;
+          spec.config.worklist_capacity = 64;
+          const service::JobTicket ta = a.submit(std::move(spec));
+          const parallel::ParallelResult& ra = a.wait(ta);
+          const parallel::ParallelResult& rb = b.wait(in_flight[i++]);
+          ASSERT_EQ(ra.outcome, rb.outcome) << parallel::method_name(method);
+          ASSERT_EQ(ra.best_size, rb.best_size)
+              << parallel::method_name(method);
+          ASSERT_EQ(ra.tree_nodes, rb.tree_nodes)
+              << parallel::method_name(method)
+              << ": tree shape diverged between flat and sharded layouts";
+          ASSERT_EQ(ra.cover, rb.cover) << parallel::method_name(method);
+        }
+      }
+    }
+  }
+  b.shutdown();
+  const service::ServiceStats sb = b.stats();
+  EXPECT_EQ(sb.steal_nodes, 0u);  // kJobs: no node migration
+}
+
+// Tier 2 (subtree-node migration) is NOT schedule-preserving — a migrated
+// node's subtree is explored by the thief — so the contract drops to:
+// same optimum, valid cover, every migrated node settled exactly once.
+TEST(RandomDifferential, NodeMigrationPreservesTheOptimum) {
+  const int seeds = env_knob("GVC_DIFF_SEEDS", 60) / 20 + 2;
+
+  service::ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.num_devices = 2;
+  opts.steal_tiers = service::StealTiers::kJobsAndNodes;
+  opts.steal_poll_seconds = 0.001;
+  service::SolveService svc(opts);
+
+  struct Expected {
+    std::shared_ptr<CsrGraph> graph;
+    int best = 0;
+    service::JobTicket ticket;
+  };
+  std::vector<Expected> cases;
+  for (const Family& family : kFamilies) {
+    for (int size : kSizes) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        Expected e;
+        e.graph = std::make_shared<CsrGraph>(
+            family.make(size, static_cast<std::uint64_t>(seed) * 211 + 13));
+        vc::SequentialConfig ref;
+        e.best = vc::solve_sequential(*e.graph, ref).best_size;
+        // Hybrid and WorkStealing are the exporting methods; alternate.
+        service::JobSpec spec;
+        spec.graph = e.graph;
+        spec.method = (seed % 2 == 0) ? parallel::Method::kHybrid
+                                      : parallel::Method::kWorkStealing;
+        spec.config.start_depth = 2;
+        spec.config.worklist_capacity = 64;
+        e.ticket = svc.submit(std::move(spec));  // all in flight at once
+        cases.push_back(std::move(e));
+      }
+    }
+  }
+  for (const Expected& e : cases) {
+    const parallel::ParallelResult& r = svc.wait(e.ticket);
+    ASSERT_EQ(r.outcome, vc::Outcome::kOptimal);
+    ASSERT_EQ(r.best_size, e.best);
+    ASSERT_TRUE(graph::is_vertex_cover(*e.graph, r.cover));
+  }
+  svc.shutdown();
+
+  const service::ServiceStats s = svc.stats();
+  // Conservation even when migration did fire: every export settled.
+  EXPECT_EQ(s.broker.runs + s.broker.reclaims + s.broker.abandons,
+            s.broker.exports);
+  EXPECT_EQ(s.steal_nodes, s.broker.runs);
 }
 
 TEST(RandomDifferential, PvcIndicatorAgreesAcrossModes) {

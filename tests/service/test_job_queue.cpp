@@ -123,6 +123,93 @@ TEST(JobQueue, CloseWakesBlockedPusher) {
   pusher.join();
 }
 
+// Regression (PR 10): a kBlock push against a full shard used to wait on
+// "closed or slot free" with no deadline bound — if the shard's worker never
+// popped (it was off stealing from a sibling), a deadlined producer slept
+// forever. The blocked wait must re-run full admission on every wake and
+// give up when the job's own deadline passes. On the old code this test
+// hangs; the driver timeout is the failure mode.
+TEST(JobQueue, BlockedPushExpiresAtItsOwnDeadline) {
+  JobQueue q(1, JobQueue::FullPolicy::kBlock);
+  ASSERT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Nobody ever pops: the push must come back as expired once its
+  // deadline fires, not block until close().
+  EXPECT_EQ(q.push(make_job(2), JobQueue::now_s() + 0.05),
+            JobQueue::PushOutcome::kRejectedExpired);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(40));
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  EXPECT_EQ(q.stats().rejected_expired, 1u);
+  EXPECT_EQ(q.size(), 1u);  // the blocked job never entered the queue
+}
+
+// A deadline that stays ahead of the wait must still be admitted once a
+// slot frees — expiry applies to the job's deadline, not the wait itself.
+TEST(JobQueue, BlockedPushAdmittedWhenSlotFreesBeforeDeadline) {
+  JobQueue q(1, JobQueue::FullPolicy::kBlock);
+  ASSERT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+  std::thread pusher([&] {
+    EXPECT_EQ(q.push(make_job(2), JobQueue::now_s() + 30.0),
+              JobQueue::PushOutcome::kAccepted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop()->id(), 1u);
+  pusher.join();
+  EXPECT_EQ(q.pop()->id(), 2u);
+}
+
+// A steal (try_pop from another worker) frees a slot exactly like the
+// owner's pop: the blocked producer must be woken and admitted.
+TEST(JobQueue, TryPopWakesBlockedProducer) {
+  JobQueue q(1, JobQueue::FullPolicy::kBlock);
+  ASSERT_EQ(q.push(make_job(1), 0.0), JobQueue::PushOutcome::kAccepted);
+  std::atomic<bool> accepted{false};
+  std::thread pusher([&] {
+    EXPECT_EQ(q.push(make_job(2), 0.0), JobQueue::PushOutcome::kAccepted);
+    accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());
+
+  std::shared_ptr<JobState> stolen = q.try_pop();
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_EQ(stolen->id(), 1u);
+  pusher.join();
+  EXPECT_TRUE(accepted.load());
+  EXPECT_EQ(q.pop()->id(), 2u);
+}
+
+TEST(JobQueue, TryPopIsNonBlocking) {
+  JobQueue q(4, JobQueue::FullPolicy::kReject);
+  EXPECT_EQ(q.try_pop(), nullptr);
+  q.push(make_job(7), 0.0);
+  ASSERT_NE(q.try_pop(), nullptr);
+  EXPECT_EQ(q.try_pop(), nullptr);
+  EXPECT_EQ(q.stats().popped, 1u);
+}
+
+TEST(JobQueue, PopForTimesOutThenDelivers) {
+  JobQueue q(4, JobQueue::FullPolicy::kReject);
+  bool closed = true;
+  EXPECT_EQ(q.pop_for(0.01, &closed), nullptr);
+  EXPECT_FALSE(closed);  // timed out on an open queue
+  q.push(make_job(3), 0.0);
+  EXPECT_EQ(q.pop_for(0.01, &closed)->id(), 3u);
+}
+
+TEST(JobQueue, PopForReportsClosedAfterDrain) {
+  JobQueue q(4, JobQueue::FullPolicy::kReject);
+  q.push(make_job(1), 0.0);
+  q.close();
+  bool closed = false;
+  // Closed with an entry left: the entry is still delivered.
+  EXPECT_NE(q.pop_for(0.01, &closed), nullptr);
+  EXPECT_EQ(q.pop_for(0.01, &closed), nullptr);
+  EXPECT_TRUE(closed);
+}
+
 TEST(JobQueue, ConcurrentProducersConsumersDeliverEverything) {
   JobQueue q(16, JobQueue::FullPolicy::kBlock);
   constexpr int kProducers = 4, kPerProducer = 50;

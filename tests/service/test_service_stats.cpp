@@ -51,8 +51,15 @@ TotalsCheck sum_queues(const ServiceStats& s) {
 void expect_terminal_identity(const ServiceStats& s) {
   // Every submission is exactly one of: solved, served from cache,
   // coalesced onto another ticket, rejected, expired, or cancelled.
+  // Stealing (PR 10) must not disturb this: a steal changes WHERE a job
+  // or subtree node runs, never how many terminal states exist.
   EXPECT_EQ(s.submitted, s.completed + s.cache_hits + s.coalesced +
                              s.rejected + s.expired + s.cancelled);
+  // Steal-counter side of the identity: every worker-executed migrated
+  // node is a broker run, and the broker's ledger settles every export.
+  EXPECT_EQ(s.steal_nodes, s.broker.runs);
+  EXPECT_EQ(s.broker.runs + s.broker.reclaims + s.broker.abandons,
+            s.broker.exports);
   // One e2e latency sample per non-coalesced submission (a coalesced
   // ticket shares its owner's JobState, so it is not separately observed).
   EXPECT_EQ(s.e2e_latency.count, s.submitted - s.coalesced);
@@ -172,6 +179,63 @@ TEST(ServiceStats, MixedCancelExpireHitRejectWorkload) {
   EXPECT_EQ(q.queue_popped, q.queue_pushed);
   // Queue-side rejects surface as service rejections/expiries.
   EXPECT_LE(q.queue_rejected, s.rejected + s.expired);
+}
+
+TEST(ServiceStats, StealCountersStayZeroUnderNonePolicy) {
+  // steal_tiers defaults to kNone: the service must behave exactly like
+  // the pre-sharding build — blocking per-shard pops, no broker, and
+  // every gvc_steal_* counter pinned at zero even under a workload that
+  // WOULD steal with the policy on.
+  ServiceOptions opts;
+  opts.num_workers = 3;
+  ASSERT_EQ(opts.steal_tiers, StealTiers::kNone);
+  auto svc = std::make_unique<SolveService>(opts);
+  EXPECT_EQ(svc->broker(), nullptr);
+  EXPECT_EQ(svc->num_devices(), 1);
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 9; ++i) {
+    JobSpec spec;
+    spec.graph = instance(60 + i);
+    tickets.push_back(svc->submit(std::move(spec)));
+  }
+  for (const auto& t : tickets) svc->wait(t);
+  svc->shutdown();
+
+  const ServiceStats s = svc->stats();
+  EXPECT_EQ(s.steal_jobs, 0u);
+  EXPECT_EQ(s.steal_nodes, 0u);
+  EXPECT_EQ(s.broker.exports, 0u);
+  EXPECT_EQ(s.broker.imports, 0u);
+  // With no thieves, every shard drains exactly what it admitted.
+  for (const auto& q : s.queues) EXPECT_EQ(q.popped, q.pushed);
+  expect_terminal_identity(s);
+}
+
+TEST(ServiceStats, TerminalIdentityHoldsWithStealTiersOn) {
+  ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.num_devices = 2;
+  opts.steal_tiers = StealTiers::kJobsAndNodes;
+  auto svc = std::make_unique<SolveService>(opts);
+  ASSERT_NE(svc->num_devices(), 1);
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 14; ++i) {
+    JobSpec spec;
+    spec.graph = instance(200 + i % 7);  // repeats -> hits/coalesces too
+    tickets.push_back(svc->submit(std::move(spec)));
+  }
+  tickets[3].cancel();
+  for (const auto& t : tickets) svc->wait(t);
+  svc->shutdown();
+
+  const ServiceStats s = svc->stats();
+  EXPECT_EQ(s.submitted, 14u);
+  expect_terminal_identity(s);
+  // Pop totals conserve across shards even when thieves cross them.
+  const TotalsCheck q = sum_queues(s);
+  EXPECT_EQ(q.queue_popped, q.queue_pushed);
 }
 
 TEST(ServiceStats, StatsAreAViewOverRegistryFamilies) {

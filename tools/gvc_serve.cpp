@@ -21,6 +21,10 @@
 //
 // Service knobs:
 //   --workers N            worker threads / device slices (default 4)
+//   --devices N            virtual devices to shard the machine into; each
+//                          worker pins to one device's slice (default 1)
+//   --steal-tiers S        none|jobs|jobs+nodes work-conserving stealing
+//                          (docs/sharding.md; default none)
 //   --queue-capacity N     per-shard admission queue (default 256)
 //   --reject               reject on a full shard instead of blocking
 //   --cache-capacity N     completed-entry LRU capacity (default 1024)
@@ -81,6 +85,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -163,6 +168,19 @@ int main(int argc, char** argv) {
 
   service::ServiceOptions opts;
   opts.num_workers = static_cast<int>(args.get_int("workers", 4));
+  opts.num_devices = static_cast<int>(args.get_int("devices", 1));
+  {
+    const std::string tiers = args.get("steal-tiers", "none");
+    const std::optional<service::StealTiers> parsed =
+        service::try_parse_steal_tiers(tiers);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "unknown --steal-tiers '%s' (want none|jobs|jobs+nodes)\n",
+                   tiers.c_str());
+      return 64;
+    }
+    opts.steal_tiers = *parsed;
+  }
   opts.queue_capacity =
       static_cast<std::size_t>(args.get_int("queue-capacity", 256));
   opts.full_policy = args.get_bool("reject", false)
@@ -207,13 +225,16 @@ int main(int argc, char** argv) {
   }
   GVC_CHECK_MSG(!specs.empty(), "no jobs to run");
 
-  std::printf("gvc_serve: %zu jobs, %d workers, queue %zu (%s), cache %zu%s\n",
-              specs.size(), opts.num_workers, opts.queue_capacity,
-              opts.full_policy == service::JobQueue::FullPolicy::kBlock
-                  ? "block"
-                  : "reject",
-              opts.cache_capacity,
-              opts.partition_device ? ", partitioned device" : "");
+  std::printf(
+      "gvc_serve: %zu jobs, %d workers on %d device%s (steal: %s), "
+      "queue %zu (%s), cache %zu%s\n",
+      specs.size(), opts.num_workers, opts.num_devices,
+      opts.num_devices == 1 ? "" : "s",
+      service::steal_tiers_name(opts.steal_tiers), opts.queue_capacity,
+      opts.full_policy == service::JobQueue::FullPolicy::kBlock ? "block"
+                                                                : "reject",
+      opts.cache_capacity,
+      opts.partition_device ? ", partitioned device" : "");
 
   // Start the trace session BEFORE the service exists so worker threads
   // register (and label) their buffers from their very first event.
