@@ -151,7 +151,13 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
       // no demand) the pre-existing single-device path runs unchanged.
       bool donated = false;
       const bool broker_wants = migrate != nullptr && migrate->want_export();
-      if (broker_wants || worklist.poll_donate_gate()) {
+      // The gate is polled exactly when a LOCAL donation is on the table:
+      // up front in the no-broker path (bit-identical to the single-device
+      // build), or after a failed export — a fallback donation must clear
+      // the same gate it would have cleared without a broker, so attaching
+      // one never changes local donation pressure.
+      bool gate_open = !broker_wants && worklist.poll_donate_gate();
+      if (broker_wants || gate_open) {
         {
           ActivityScope scope(ctx.activities(), Activity::kRemoveNeighbors);
           snapshot = da;
@@ -160,9 +166,12 @@ ParallelResult solve_hybrid(const CsrGraph& g, const ParallelConfig& config,
         ActivityScope scope(ctx.activities(), Activity::kWorklistAdd);
         if (broker_wants) {
           donated = migrate->try_export(std::move(snapshot));
-          if (donated) obs::trace_instant(obs::TraceCat::kWork, "migrate");
+          if (donated)
+            obs::trace_instant(obs::TraceCat::kWork, "migrate");
+          else
+            gate_open = worklist.poll_donate_gate();
         }
-        if (!donated) {
+        if (!donated && gate_open) {
           donated = worklist.try_donate(std::move(snapshot));
           if (donated) obs::trace_instant(obs::TraceCat::kWork, "donate");
         }

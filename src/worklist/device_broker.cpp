@@ -30,7 +30,16 @@ void DeviceBroker::Import::run(vc::ReduceWorkspace& ws) {
   GVC_CHECK_MSG(group_ != nullptr, "Import::run() on an empty handle");
   Group* g = group_;
   group_ = nullptr;  // consumed before running: exactly-once
-  g->runner_(std::move(node_), ws);
+  try {
+    g->runner_(std::move(node_), ws);
+  } catch (...) {
+    // A throwing runner must still settle the node, or the owner's drain()
+    // waits forever and the ledger loses a bucket (exports != runs +
+    // reclaims + abandons). The subtree went unexplored: it is abandoned.
+    g->broker_->count_abandons(1);
+    g->complete_one();
+    throw;
+  }
   g->broker_->count_run();
   g->complete_one();
 }
@@ -88,11 +97,14 @@ void DeviceBroker::Group::begin_import() {
 }
 
 void DeviceBroker::Group::complete_one() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    GVC_CHECK(inflight_ > 0);
-    --inflight_;
-  }
+  // The notify must happen UNDER the mutex: the owner waiting in drain() /
+  // ~Group may destroy this Group the instant the predicate holds, and a
+  // second completer that already decremented could otherwise reach its
+  // notify_all after the condition_variable is gone. Holding the lock
+  // pins the waiter inside cv_.wait() until the notify has completed.
+  std::lock_guard<std::mutex> lock(mutex_);
+  GVC_CHECK(inflight_ > 0);
+  --inflight_;
   cv_.notify_all();
 }
 
@@ -178,6 +190,10 @@ bool DeviceBroker::export_node(Group* g, vc::DegreeArray&& node) {
 }
 
 bool DeviceBroker::try_import(int device, Import& out) {
+  // Settle any node the caller still holds BEFORE taking the broker lock:
+  // releasing a live handle counts an abandon, which locks this same
+  // (non-recursive) mutex.
+  out.release_unrun();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->group->device_ == device) continue;  // cross-device only
@@ -185,7 +201,6 @@ bool DeviceBroker::try_import(int device, Import& out) {
     // broker mutex), so the owner's drain() sweep either finds the entry
     // or waits for this import — never neither.
     it->group->begin_import();
-    out.release_unrun();
     out.group_ = it->group;
     out.node_ = std::move(it->node);
     wait_hist_->observe_seconds(clock_.seconds() - it->export_s);

@@ -160,7 +160,6 @@ class DeviceBroker {
     std::mutex mutex_;
     std::condition_variable cv_;
     int inflight_ = 0;  ///< imported, not yet completed
-    bool swept_ = false;
   };
 
   /// `num_devices` sizes the per-device hungry counters; `capacity` bounds
